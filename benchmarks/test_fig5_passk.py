@@ -1,0 +1,29 @@
+"""Figure 5: pass@k as a function of k.
+
+The paper's curve rises steeply up to k around 20 and saturates near k = 50.
+The benchmark recomputes the unbiased pass@k estimate from the same sampled
+completions used for Table 2 and checks the curve's monotone, saturating
+shape.
+"""
+
+from repro.reporting import render_pass_at_k_curve
+
+
+def test_fig5_pass_at_k_curve(benchmark, checksum_evaluation, bench_completions):
+    ks = [k for k in (1, 2, 3, 4, 5, 10, 20, 30, 40, 50, 100) if k <= bench_completions]
+
+    def compute():
+        return checksum_evaluation.pass_at_k(ks)
+
+    curve = benchmark(compute)
+    print()
+    print(render_pass_at_k_curve(curve, title="Figure 5: pass@k of LLM-Vectorizer (checksum criterion)"))
+
+    values = [curve[k] for k in ks]
+    assert all(later >= earlier for earlier, later in zip(values, values[1:])), "pass@k must be monotone"
+    assert curve[ks[-1]] > curve[ks[0]], "sampling more completions must help"
+    # Saturation: the last quarter of the curve contributes little.
+    if len(ks) >= 4:
+        early_gain = curve[ks[len(ks) // 2]] - curve[ks[0]]
+        late_gain = curve[ks[-1]] - curve[ks[len(ks) // 2]]
+        assert late_gain <= early_gain + 1e-9

@@ -1,0 +1,27 @@
+"""Table 1: compiler versions and optimization flags.
+
+Regenerates the configuration table (GCC / Clang / ICC, unvectorized vs
+vectorized flag sets) from the simulated-compiler definitions.
+"""
+
+from repro.compilers import COMPILER_FLAG_TABLE, all_compilers
+from repro.reporting import render_table
+
+
+def test_table1_compiler_flags(benchmark):
+    def build():
+        return [
+            {
+                "Compiler": entry.name,
+                "Version": entry.version,
+                "Unvectorized": entry.unvectorized_flags,
+                "Vectorized": entry.vectorized_flags,
+            }
+            for entry in COMPILER_FLAG_TABLE
+        ]
+
+    rows = benchmark(build)
+    print()
+    print(render_table(rows, title="Table 1: Compiler Optimization Flags and Version Details"))
+    assert {row["Compiler"] for row in rows} == {c.name for c in all_compilers()}
+    assert len(rows) == 3

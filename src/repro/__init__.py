@@ -1,0 +1,15 @@
+"""repro — reproduction of "LLM-Vectorizer: LLM-Based Verified Loop Vectorizer" (CGO 2025).
+
+The package re-implements the complete pipeline from the paper in pure
+Python: a C-subset frontend and interpreter with AVX2 intrinsic semantics, a
+checksum-based tester, a synthetic-LLM vectorizer behind the paper's LLM
+client interface, the multi-agent finite-state-machine orchestration, a
+bounded translation-validation stack (mini IR + bitvector SMT substrate)
+standing in for Alive2/Z3, simulated GCC/Clang/ICC auto-vectorizing baselines
+with a cycle cost model, and the TSVC benchmark suite.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+table-by-table reproduction record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,27 @@
+"""Multi-agent finite-state-machine orchestration (paper Section 2.2).
+
+Three agents cooperate: a *user proxy* that kicks off the conversation with
+the scalar code plus the compiler's dependence analysis, a *vectorizer
+assistant* that consults the LLM, and a *compiler tester assistant* that runs
+checksum-based testing and feeds discrepancies back.  The FSM bounds the
+conversation at ten attempts and terminates as soon as a plausible candidate
+is found, which is how the paper reduces the number of LLM invocations.
+"""
+
+from repro.agents.base import Agent, Message
+from repro.agents.fsm import FSMConfig, FSMResult, FSMState, VectorizationFSM
+from repro.agents.tester_agent import CompilerTesterAgent
+from repro.agents.user_proxy import UserProxyAgent
+from repro.agents.vectorizer_agent import VectorizerAgent
+
+__all__ = [
+    "Agent",
+    "Message",
+    "FSMConfig",
+    "FSMResult",
+    "FSMState",
+    "VectorizationFSM",
+    "CompilerTesterAgent",
+    "UserProxyAgent",
+    "VectorizerAgent",
+]

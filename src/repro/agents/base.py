@@ -1,0 +1,31 @@
+"""Agent primitives: messages and the agent interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Message:
+    """One turn in the agent conversation."""
+
+    sender: str
+    recipient: str
+    content: str
+    #: Structured payload (candidate code, test report, ...), keyed by kind.
+    payload: dict = field(default_factory=dict)
+
+
+class Agent(abc.ABC):
+    """An agent that can receive a message and produce a reply.
+
+    Agents are intentionally synchronous and stateless between calls except
+    for the conversation history they are handed; the FSM owns control flow.
+    """
+
+    name: str = "agent"
+
+    @abc.abstractmethod
+    def respond(self, message: Message, history: list[Message]) -> Message:
+        """Produce the reply to ``message`` given the conversation so far."""

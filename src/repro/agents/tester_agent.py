@@ -1,0 +1,40 @@
+"""The compiler tester assistant agent: checksum testing + feedback."""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent, Message
+from repro.interp.checksum import ChecksumOutcome, checksum_testing
+
+
+class CompilerTesterAgent(Agent):
+    """Runs checksum-based testing on the candidate and reports the outcome.
+
+    On a mismatch (or a compile failure) the reply carries enough detail —
+    example inputs, expected and actual output arrays — for the vectorizer to
+    attempt a repair, matching the s453 walkthrough of Section 4.4.2.
+    """
+
+    name = "tester"
+
+    def __init__(self, scalar_code: str, seed: int = 0, trip_counts: list[int] | None = None):
+        self.scalar_code = scalar_code
+        self.seed = seed
+        self.trip_counts = trip_counts
+
+    def respond(self, message: Message, history: list[Message]) -> Message:
+        candidate = message.payload.get("candidate_code", "")
+        report = checksum_testing(
+            self.scalar_code, candidate, seed=self.seed, trip_counts=self.trip_counts
+        )
+        accepted = report.outcome is ChecksumOutcome.PLAUSIBLE
+        return Message(
+            sender=self.name,
+            recipient="vectorizer",
+            content=report.feedback_text(),
+            payload={
+                "outcome": report.outcome.value,
+                "accepted": accepted,
+                "candidate_code": candidate,
+                "report": report,
+            },
+        )

@@ -1,0 +1,569 @@
+"""Symbolic execution of the C subset over bitvector terms.
+
+The executor runs a kernel with
+
+* a *concrete* trip count (loops are fully unrolled, the "bounded" part of
+  bounded translation validation),
+* *symbolic* array contents (each cell of each pointer parameter starts as a
+  fresh bitvector variable ``<array>_<index>``),
+* concrete values for the remaining scalar parameters, and
+* per-parameter disjoint memory regions (the paper's non-aliasing setup).
+
+Data-dependent control flow is handled by executing both branches and merging
+states with ``ite`` terms, so no path explosion occurs; loops whose condition
+does not fold to a constant (data-dependent trip counts, early exits) raise
+:class:`SymbolicExecutionError`, which the verifier reports as Inconclusive —
+the same bucket the paper uses for queries Alive2 cannot encode.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from repro.cfront import ast_nodes as ast
+from repro.intrinsics.avx2 import LANES, is_intrinsic, lookup_intrinsic
+from repro.smt.terms import Term, TermKind, bv_const, bv_var, mk, poison
+
+MINUS_ONE = bv_const(-1)
+ZERO = bv_const(0)
+
+
+class SymbolicExecutionError(Exception):
+    """The program cannot be executed symbolically (reported as Inconclusive)."""
+
+
+@dataclass(frozen=True)
+class SymPointer:
+    """A pointer value: region name plus a concrete element offset."""
+
+    region: str
+    offset: int = 0
+
+    def advanced(self, delta: int) -> "SymPointer":
+        return SymPointer(self.region, self.offset + delta)
+
+
+@dataclass
+class SymVector:
+    """A symbolic ``__m256i``: eight lane terms."""
+
+    lanes: list[Term]
+
+    def __post_init__(self) -> None:
+        if len(self.lanes) != LANES:
+            raise SymbolicExecutionError("__m256i requires exactly 8 lanes")
+
+
+SymValue = Union[Term, SymPointer, SymVector]
+
+
+@dataclass
+class SymRegion:
+    """One array region with symbolic cells and an out-of-bounds log."""
+
+    name: str
+    size: int
+    cells: dict[int, Term] = field(default_factory=dict)
+
+    def cell(self, index: int) -> Term:
+        if index not in self.cells:
+            self.cells[index] = bv_var(f"{self.name}_{index}")
+        return self.cells[index]
+
+
+@dataclass
+class SymbolicState:
+    """Memory + scalar environment of a symbolic execution."""
+
+    regions: dict[str, SymRegion] = field(default_factory=dict)
+    scalars: dict[str, SymValue] = field(default_factory=dict)
+    ub_events: list[str] = field(default_factory=list)
+
+    def clone(self) -> "SymbolicState":
+        new = SymbolicState()
+        new.regions = {name: SymRegion(r.name, r.size, dict(r.cells)) for name, r in self.regions.items()}
+        new.scalars = dict(self.scalars)
+        new.ub_events = list(self.ub_events)
+        return new
+
+    # -- memory -------------------------------------------------------------------
+
+    def load(self, region_name: str, index: int) -> Term:
+        region = self.regions.get(region_name)
+        if region is None:
+            raise SymbolicExecutionError(f"load from unknown region {region_name!r}")
+        if index < 0 or index >= region.size:
+            self.ub_events.append(f"out-of-bounds read {region_name}[{index}]")
+            return poison(f"oob:{region_name}[{index}]")
+        return region.cell(index)
+
+    def store(self, region_name: str, index: int, value: Term) -> None:
+        region = self.regions.get(region_name)
+        if region is None:
+            raise SymbolicExecutionError(f"store to unknown region {region_name!r}")
+        if index < 0 or index >= region.size:
+            self.ub_events.append(f"out-of-bounds write {region_name}[{index}]")
+            return
+        if value.kind is TermKind.POISON:
+            self.ub_events.append(f"poison stored to {region_name}[{index}]")
+        region.cells[index] = value
+
+    def final_cells(self) -> dict[str, dict[int, Term]]:
+        return {name: {i: region.cell(i) for i in range(region.size)} for name, region in self.regions.items()}
+
+
+def _as_concrete(value: SymValue, what: str) -> int:
+    if isinstance(value, Term) and value.kind is TermKind.CONST:
+        unsigned = value.value
+        return unsigned - (1 << 32) if unsigned >= (1 << 31) else unsigned
+    raise SymbolicExecutionError(f"{what} is not a compile-time constant during symbolic execution")
+
+
+class SymbolicExecutor:
+    """Executes one function symbolically."""
+
+    def __init__(self, func: ast.FunctionDef, state: SymbolicState, max_steps: int = 200_000):
+        self.func = func
+        self.state = state
+        self.max_steps = max_steps
+        self.steps = 0
+
+    # -- driver ---------------------------------------------------------------------
+
+    def run(self) -> SymbolicState:
+        try:
+            self._exec_block_like(self.func.body, self.state)
+        except _ReturnSignal:
+            pass
+        return self.state
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise SymbolicExecutionError("symbolic execution step budget exceeded")
+
+    # -- statements --------------------------------------------------------------------
+
+    def _exec_block_like(self, stmt: ast.Stmt, state: SymbolicState) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self._exec_stmt(inner, state)
+            return
+        self._exec_stmt(stmt, state)
+
+    def _exec_stmt(self, stmt: ast.Stmt, state: SymbolicState) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Block):
+            self._exec_block_like(stmt, state)
+        elif isinstance(stmt, ast.Decl):
+            self._exec_decl(stmt, state)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, state)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt, state)
+        elif isinstance(stmt, ast.ForLoop):
+            self._exec_for(stmt, state)
+        elif isinstance(stmt, ast.WhileLoop):
+            self._exec_while(stmt, state)
+        elif isinstance(stmt, ast.Return):
+            raise _ReturnSignal()
+        elif isinstance(stmt, ast.Label):
+            self._exec_stmt(stmt.stmt, state)
+        elif isinstance(stmt, (ast.Goto, ast.Break, ast.Continue, ast.DoWhileLoop)):
+            raise SymbolicExecutionError(
+                f"statement {type(stmt).__name__} is not supported by the symbolic executor"
+            )
+        else:
+            raise SymbolicExecutionError(f"cannot execute {type(stmt).__name__} symbolically")
+
+    def _exec_decl(self, decl: ast.Decl, state: SymbolicState) -> None:
+        if decl.array_size is not None:
+            size = _as_concrete(self._eval(decl.array_size, state), "local array size")
+            state.regions[decl.name] = SymRegion(decl.name, size, {i: ZERO for i in range(size)})
+            state.scalars[decl.name] = SymPointer(decl.name, 0)
+            return
+        if decl.init is not None:
+            state.scalars[decl.name] = self._eval(decl.init, state)
+        elif decl.var_type.is_vector:
+            state.scalars[decl.name] = SymVector([ZERO] * LANES)
+        else:
+            state.scalars[decl.name] = ZERO
+
+    def _exec_if(self, stmt: ast.If, state: SymbolicState) -> None:
+        cond = self._eval(stmt.cond, state)
+        cond_term = self._as_bool_term(cond)
+        if cond_term.kind is TermKind.CONST:
+            if cond_term.value != 0:
+                self._exec_block_like(stmt.then, state)
+            elif stmt.otherwise is not None:
+                self._exec_block_like(stmt.otherwise, state)
+            return
+        # Data-dependent branch: execute both sides and merge with ite.
+        then_state = state.clone()
+        else_state = state.clone()
+        self._exec_block_like(stmt.then, then_state)
+        if stmt.otherwise is not None:
+            self._exec_block_like(stmt.otherwise, else_state)
+        self._merge_into(state, cond_term, then_state, else_state)
+
+    def _merge_into(self, state: SymbolicState, cond: Term,
+                    then_state: SymbolicState, else_state: SymbolicState) -> None:
+        for name, region in state.regions.items():
+            then_region = then_state.regions[name]
+            else_region = else_state.regions[name]
+            indices = set(region.cells) | set(then_region.cells) | set(else_region.cells)
+            for index in indices:
+                then_val = then_region.cell(index) if 0 <= index < then_region.size else ZERO
+                else_val = else_region.cell(index) if 0 <= index < else_region.size else ZERO
+                if then_val != else_val:
+                    region.cells[index] = mk(TermKind.ITE, cond, then_val, else_val)
+                else:
+                    region.cells[index] = then_val
+        for name in set(then_state.scalars) | set(else_state.scalars):
+            then_val = then_state.scalars.get(name)
+            else_val = else_state.scalars.get(name)
+            if then_val is None or else_val is None:
+                state.scalars[name] = then_val if then_val is not None else else_val
+                continue
+            if isinstance(then_val, Term) and isinstance(else_val, Term):
+                state.scalars[name] = (
+                    then_val if then_val == else_val else mk(TermKind.ITE, cond, then_val, else_val)
+                )
+            elif isinstance(then_val, SymVector) and isinstance(else_val, SymVector):
+                state.scalars[name] = SymVector(
+                    [mk(TermKind.ITE, cond, t, e) if t != e else t
+                     for t, e in zip(then_val.lanes, else_val.lanes)]
+                )
+            else:
+                state.scalars[name] = then_val
+        # UB in either branch is conservatively kept: a branch that may execute
+        # under some input and has UB makes the whole program have potential UB.
+        merged_events = then_state.ub_events + [e for e in else_state.ub_events
+                                                if e not in then_state.ub_events]
+        state.ub_events = merged_events
+
+    def _exec_for(self, loop: ast.ForLoop, state: SymbolicState) -> None:
+        if loop.init is not None:
+            self._exec_stmt(loop.init, state)
+        iterations = 0
+        while True:
+            self._tick()
+            if loop.cond is not None:
+                cond = self._as_bool_term(self._eval(loop.cond, state))
+                if cond.kind is not TermKind.CONST:
+                    raise SymbolicExecutionError("loop bound does not fold to a constant")
+                if cond.value == 0:
+                    break
+            self._exec_block_like(loop.body, state)
+            if loop.step is not None:
+                self._eval(loop.step, state)
+            iterations += 1
+            if iterations > 4096:
+                raise SymbolicExecutionError("loop unrolling exceeded the iteration budget")
+
+    def _exec_while(self, loop: ast.WhileLoop, state: SymbolicState) -> None:
+        iterations = 0
+        while True:
+            self._tick()
+            cond = self._as_bool_term(self._eval(loop.cond, state))
+            if cond.kind is not TermKind.CONST:
+                raise SymbolicExecutionError("while condition does not fold to a constant")
+            if cond.value == 0:
+                break
+            self._exec_block_like(loop.body, state)
+            iterations += 1
+            if iterations > 4096:
+                raise SymbolicExecutionError("loop unrolling exceeded the iteration budget")
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, state: SymbolicState) -> SymValue:
+        self._tick()
+        if isinstance(expr, ast.IntLiteral):
+            return bv_const(expr.value)
+        if isinstance(expr, ast.Identifier):
+            if expr.name not in state.scalars:
+                raise SymbolicExecutionError(f"use of undeclared identifier {expr.name!r}")
+            return state.scalars[expr.name]
+        if isinstance(expr, ast.ArrayRef):
+            pointer, index = self._resolve(expr, state)
+            return state.load(pointer.region, pointer.offset + index)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, state)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr, state)
+        if isinstance(expr, ast.PostfixOp):
+            return self._apply_increment(expr.operand, 1 if expr.op == "++" else -1, state, return_new=False)
+        if isinstance(expr, ast.TernaryOp):
+            cond = self._as_bool_term(self._eval(expr.cond, state))
+            then_val = self._eval(expr.then, state)
+            else_val = self._eval(expr.otherwise, state)
+            if isinstance(then_val, Term) and isinstance(else_val, Term):
+                return mk(TermKind.ITE, cond, then_val, else_val)
+            raise SymbolicExecutionError("ternary over non-scalar values")
+        if isinstance(expr, ast.Assign):
+            return self._eval_assign(expr, state)
+        if isinstance(expr, ast.Cast):
+            return self._eval(expr.operand, state)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, state)
+        raise SymbolicExecutionError(f"cannot evaluate {type(expr).__name__} symbolically")
+
+    def _resolve(self, expr: ast.ArrayRef, state: SymbolicState) -> tuple[SymPointer, int]:
+        base = self._eval(expr.base, state)
+        index = _as_concrete(self._eval(expr.index, state), "array subscript")
+        if not isinstance(base, SymPointer):
+            raise SymbolicExecutionError("array subscript on a non-pointer value")
+        return base, index
+
+    _BIN_TABLE = {
+        "+": TermKind.ADD, "-": TermKind.SUB, "*": TermKind.MUL,
+        "&": TermKind.AND, "|": TermKind.OR, "^": TermKind.XOR,
+        "/": TermKind.DIV, "%": TermKind.REM,
+        "<<": TermKind.SHL, ">>": TermKind.ASHR,
+        "<": TermKind.LT, ">": TermKind.GT, "<=": TermKind.LE, ">=": TermKind.GE,
+        "==": TermKind.EQ, "!=": TermKind.NE,
+    }
+
+    def _eval_binop(self, expr: ast.BinOp, state: SymbolicState) -> SymValue:
+        if expr.op in ("&&", "||"):
+            left = self._as_bool_term(self._eval(expr.left, state))
+            right = self._as_bool_term(self._eval(expr.right, state))
+            kind = TermKind.AND if expr.op == "&&" else TermKind.OR
+            return mk(kind, left, right)
+        left = self._eval(expr.left, state)
+        right = self._eval(expr.right, state)
+        if isinstance(left, SymPointer) or isinstance(right, SymPointer):
+            return self._pointer_arith(expr.op, left, right)
+        if isinstance(left, SymVector) or isinstance(right, SymVector):
+            raise SymbolicExecutionError("scalar operator applied to a vector value")
+        return mk(self._BIN_TABLE[expr.op], left, right)
+
+    def _pointer_arith(self, op: str, left: SymValue, right: SymValue) -> SymValue:
+        if isinstance(left, SymPointer) and isinstance(right, Term):
+            delta = _as_concrete(right, "pointer offset")
+            return left.advanced(delta if op == "+" else -delta)
+        if isinstance(right, SymPointer) and isinstance(left, Term) and op == "+":
+            return right.advanced(_as_concrete(left, "pointer offset"))
+        raise SymbolicExecutionError(f"unsupported pointer arithmetic {op!r}")
+
+    def _eval_unary(self, expr: ast.UnaryOp, state: SymbolicState) -> SymValue:
+        if expr.op == "&":
+            if isinstance(expr.operand, ast.ArrayRef):
+                pointer, index = self._resolve(expr.operand, state)
+                return pointer.advanced(index)
+            if isinstance(expr.operand, ast.Identifier):
+                value = state.scalars.get(expr.operand.name)
+                if isinstance(value, SymPointer):
+                    return value
+            raise SymbolicExecutionError("unsupported address-of operand")
+        if expr.op == "*":
+            value = self._eval(expr.operand, state)
+            if isinstance(value, SymPointer):
+                return state.load(value.region, value.offset)
+            raise SymbolicExecutionError("dereference of a non-pointer")
+        if expr.op in ("++", "--"):
+            return self._apply_increment(expr.operand, 1 if expr.op == "++" else -1, state, return_new=True)
+        operand = self._eval(expr.operand, state)
+        if not isinstance(operand, Term):
+            raise SymbolicExecutionError("unary operator on a non-scalar value")
+        if expr.op == "-":
+            return mk(TermKind.NEG, operand)
+        if expr.op == "+":
+            return operand
+        if expr.op == "~":
+            return mk(TermKind.NOT, operand)
+        if expr.op == "!":
+            return mk(TermKind.EQ, operand, ZERO)
+        raise SymbolicExecutionError(f"unsupported unary operator {expr.op!r}")
+
+    def _apply_increment(self, target: ast.Expr, delta: int, state: SymbolicState,
+                         return_new: bool) -> Term:
+        old = self._read_lvalue(target, state)
+        if not isinstance(old, Term):
+            raise SymbolicExecutionError("increment of a non-scalar value")
+        new = mk(TermKind.ADD, old, bv_const(delta))
+        self._write_lvalue(target, new, state)
+        return new if return_new else old
+
+    def _eval_assign(self, expr: ast.Assign, state: SymbolicState) -> SymValue:
+        if expr.op == "=":
+            value = self._eval(expr.value, state)
+            self._write_lvalue(expr.target, value, state)
+            return value
+        base_op = expr.op[:-1]
+        current = self._read_lvalue(expr.target, state)
+        rhs = self._eval(expr.value, state)
+        if isinstance(current, Term) and isinstance(rhs, Term):
+            value: SymValue = mk(self._BIN_TABLE[base_op], current, rhs)
+        elif isinstance(current, SymPointer):
+            value = self._pointer_arith(base_op, current, rhs)
+        else:
+            raise SymbolicExecutionError("unsupported compound assignment")
+        self._write_lvalue(expr.target, value, state)
+        return value
+
+    def _read_lvalue(self, target: ast.Expr, state: SymbolicState) -> SymValue:
+        if isinstance(target, ast.Identifier):
+            if target.name not in state.scalars:
+                raise SymbolicExecutionError(f"use of undeclared identifier {target.name!r}")
+            return state.scalars[target.name]
+        if isinstance(target, ast.ArrayRef):
+            pointer, index = self._resolve(target, state)
+            return state.load(pointer.region, pointer.offset + index)
+        raise SymbolicExecutionError("unsupported lvalue")
+
+    def _write_lvalue(self, target: ast.Expr, value: SymValue, state: SymbolicState) -> None:
+        if isinstance(target, ast.Identifier):
+            state.scalars[target.name] = value
+            return
+        if isinstance(target, ast.ArrayRef):
+            pointer, index = self._resolve(target, state)
+            if not isinstance(value, Term):
+                raise SymbolicExecutionError("storing a non-scalar value to an array cell")
+            state.store(pointer.region, pointer.offset + index, value)
+            return
+        raise SymbolicExecutionError("unsupported assignment target")
+
+    def _as_bool_term(self, value: SymValue) -> Term:
+        if isinstance(value, Term):
+            if value.kind in (TermKind.LT, TermKind.LE, TermKind.GT, TermKind.GE,
+                              TermKind.EQ, TermKind.NE):
+                return value
+            if value.kind is TermKind.CONST:
+                return bv_const(1 if value.value != 0 else 0)
+            return mk(TermKind.NE, value, ZERO)
+        raise SymbolicExecutionError("condition is not a scalar value")
+
+    # -- intrinsics ---------------------------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call, state: SymbolicState) -> SymValue:
+        name = expr.func
+        if name == "abs":
+            value = self._eval(expr.args[0], state)
+            return mk(TermKind.ABS, value)
+        if name in ("max", "min"):
+            left = self._eval(expr.args[0], state)
+            right = self._eval(expr.args[1], state)
+            return mk(TermKind.MAX if name == "max" else TermKind.MIN, left, right)
+        if not is_intrinsic(name):
+            raise SymbolicExecutionError(f"call to unmodelled function {name!r}")
+        spec = lookup_intrinsic(name)
+        if spec.kind == "load":
+            pointer = self._pointer_arg(expr.args[0], state)
+            return SymVector([state.load(pointer.region, pointer.offset + lane) for lane in range(LANES)])
+        if spec.kind == "store":
+            pointer = self._pointer_arg(expr.args[0], state)
+            vector = self._vector_arg(expr.args[1], state)
+            for lane in range(LANES):
+                state.store(pointer.region, pointer.offset + lane, vector.lanes[lane])
+            return vector
+        if spec.kind == "set1":
+            value = self._eval(expr.args[0], state)
+            if not isinstance(value, Term):
+                raise SymbolicExecutionError("set1 argument is not a scalar")
+            return SymVector([value] * LANES)
+        if spec.kind == "setzero":
+            return SymVector([ZERO] * LANES)
+        if spec.kind == "setr":
+            lanes = [self._eval(arg, state) for arg in expr.args]
+            return SymVector(list(lanes))
+        if spec.kind == "set":
+            lanes = [self._eval(arg, state) for arg in expr.args]
+            return SymVector(list(reversed(lanes)))
+        if spec.kind in ("extract", "extract128"):
+            vector = self._vector_arg(expr.args[0], state)
+            lane = _as_concrete(self._eval(expr.args[1], state), "extract lane") % LANES
+            return vector.lanes[lane]
+        if spec.kind == "cast128":
+            return self._vector_arg(expr.args[0], state)
+        if spec.kind == "pure_binary":
+            left = self._vector_arg(expr.args[0], state)
+            right = self._vector_arg(expr.args[1], state)
+            return SymVector([self._lane_binary(name, a, b) for a, b in zip(left.lanes, right.lanes)])
+        if spec.kind == "pure_unary":
+            operand = self._vector_arg(expr.args[0], state)
+            return SymVector([self._lane_unary(name, lane) for lane in operand.lanes])
+        if spec.kind == "pure_vector" and name == "_mm256_blendv_epi8":
+            a = self._vector_arg(expr.args[0], state)
+            b = self._vector_arg(expr.args[1], state)
+            mask = self._vector_arg(expr.args[2], state)
+            return SymVector([
+                mk(TermKind.ITE, mk(TermKind.NE, m, ZERO), bv, av)
+                for av, bv, m in zip(a.lanes, b.lanes, mask.lanes)
+            ])
+        raise SymbolicExecutionError(f"intrinsic {name} is not modelled symbolically")
+
+    _LANE_BINARY = {
+        "_mm256_add_epi32": TermKind.ADD,
+        "_mm256_sub_epi32": TermKind.SUB,
+        "_mm256_mullo_epi32": TermKind.MUL,
+        "_mm256_and_si256": TermKind.AND,
+        "_mm256_or_si256": TermKind.OR,
+        "_mm256_xor_si256": TermKind.XOR,
+        "_mm256_max_epi32": TermKind.MAX,
+        "_mm256_min_epi32": TermKind.MIN,
+    }
+
+    def _lane_binary(self, name: str, a: Term, b: Term) -> Term:
+        if name in self._LANE_BINARY:
+            return mk(self._LANE_BINARY[name], a, b)
+        if name == "_mm256_cmpgt_epi32":
+            return mk(TermKind.ITE, mk(TermKind.GT, a, b), MINUS_ONE, ZERO)
+        if name == "_mm256_cmpeq_epi32":
+            return mk(TermKind.ITE, mk(TermKind.EQ, a, b), MINUS_ONE, ZERO)
+        if name == "_mm256_andnot_si256":
+            return mk(TermKind.AND, mk(TermKind.NOT, a), b)
+        raise SymbolicExecutionError(f"lane operation {name} is not modelled")
+
+    def _lane_unary(self, name: str, a: Term) -> Term:
+        if name == "_mm256_abs_epi32":
+            return mk(TermKind.ABS, a)
+        raise SymbolicExecutionError(f"lane operation {name} is not modelled")
+
+    def _pointer_arg(self, expr: ast.Expr, state: SymbolicState) -> SymPointer:
+        value = self._eval(expr, state)
+        if not isinstance(value, SymPointer):
+            raise SymbolicExecutionError("intrinsic memory operand is not a pointer")
+        return value
+
+    def _vector_arg(self, expr: ast.Expr, state: SymbolicState) -> SymVector:
+        value = self._eval(expr, state)
+        if not isinstance(value, SymVector):
+            raise SymbolicExecutionError("intrinsic vector operand is not a __m256i value")
+        return value
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+def execute_symbolically(
+    func: ast.FunctionDef,
+    array_sizes: Mapping[str, int],
+    scalar_values: Mapping[str, int],
+    max_steps: int = 200_000,
+) -> SymbolicState:
+    """Run ``func`` symbolically with the given region sizes and concrete scalars.
+
+    Array cells share variable names across calls (``a_0``, ``a_1``, ...), so
+    executing the scalar and vectorized functions with the same sizes yields
+    final states over the same symbolic inputs — exactly what the refinement
+    check needs.
+    """
+    state = SymbolicState()
+    for param in func.params:
+        if param.param_type.is_pointer:
+            size = array_sizes.get(param.name)
+            if size is None:
+                raise SymbolicExecutionError(f"no size provided for array parameter {param.name!r}")
+            state.regions[param.name] = SymRegion(param.name, size)
+            state.scalars[param.name] = SymPointer(param.name, 0)
+        else:
+            if param.name not in scalar_values:
+                raise SymbolicExecutionError(f"no value provided for scalar parameter {param.name!r}")
+            state.scalars[param.name] = bv_const(int(scalar_values[param.name]))
+    executor = SymbolicExecutor(func, state, max_steps=max_steps)
+    return executor.run()

@@ -1,0 +1,34 @@
+"""Loop and dependence analysis over the C AST.
+
+This is the analysis substrate shared by the rule-based vectorizer, the
+simulated GCC/Clang/ICC baselines, the spatial-splitting legality check and
+the prompt construction (the paper feeds Clang's "why not vectorized"
+dependence report to the LLM).
+"""
+
+from repro.analysis.loops import LoopNest, LoopInfo, find_loops, find_main_loop
+from repro.analysis.accesses import ArrayAccess, AccessKind, collect_accesses, affine_index
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceKind,
+    DependenceReport,
+    analyze_dependences,
+)
+from repro.analysis.features import KernelFeatures, analyze_kernel
+
+__all__ = [
+    "LoopNest",
+    "LoopInfo",
+    "find_loops",
+    "find_main_loop",
+    "ArrayAccess",
+    "AccessKind",
+    "collect_accesses",
+    "affine_index",
+    "Dependence",
+    "DependenceKind",
+    "DependenceReport",
+    "analyze_dependences",
+    "KernelFeatures",
+    "analyze_kernel",
+]

@@ -1,0 +1,210 @@
+"""Array-access collection and affine index recognition.
+
+Every ``base[index]`` occurrence inside a loop body is classified as a read
+or a write, and its index expression is matched against the affine form
+``coefficient * iterator + offset`` (plus "uses another scalar variable" as a
+fallback).  The dependence analysis, the vectorizer's legality check, and the
+spatial-splitting precondition all work over these access records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cfront import ast_nodes as ast
+from repro.cfront.printer import expr_to_c
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """An index of the form ``coefficient * iterator + offset``.
+
+    ``iterator`` is ``None`` for loop-invariant indices (constant or made of
+    variables other than the loop iterator); in that case ``offset`` is only
+    meaningful when ``symbolic`` is False.
+    """
+
+    iterator: Optional[str]
+    coefficient: int = 1
+    offset: int = 0
+    symbolic: bool = False
+
+    @property
+    def is_iterator_affine(self) -> bool:
+        return self.iterator is not None and not self.symbolic
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One array access inside a loop body."""
+
+    array: str
+    kind: AccessKind
+    index_expr: ast.Expr
+    affine: AffineIndex
+    conditional: bool = False
+
+    def describe(self) -> str:
+        mode = "write to" if self.kind is AccessKind.WRITE else "read of"
+        guard = " (under a condition)" if self.conditional else ""
+        return f"{mode} {self.array}[{expr_to_c(self.index_expr)}]{guard}"
+
+
+def affine_index(expr: ast.Expr, iterator: Optional[str]) -> AffineIndex:
+    """Match ``expr`` against ``coefficient * iterator + offset``."""
+    coefficient, offset, symbolic, uses_iterator = _affine_parts(expr, iterator)
+    if symbolic:
+        return AffineIndex(iterator=iterator if uses_iterator else None, coefficient=coefficient,
+                           offset=offset, symbolic=True)
+    if uses_iterator:
+        return AffineIndex(iterator=iterator, coefficient=coefficient, offset=offset)
+    return AffineIndex(iterator=None, coefficient=0, offset=offset)
+
+
+def _affine_parts(expr: ast.Expr, iterator: Optional[str]) -> tuple[int, int, bool, bool]:
+    """Return (coefficient, offset, symbolic, uses_iterator)."""
+    if isinstance(expr, ast.IntLiteral):
+        return 0, expr.value, False, False
+    if isinstance(expr, ast.Identifier):
+        if iterator is not None and expr.name == iterator:
+            return 1, 0, False, True
+        return 0, 0, True, False
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        coefficient, offset, symbolic, uses = _affine_parts(expr.operand, iterator)
+        return -coefficient, -offset, symbolic, uses
+    if isinstance(expr, ast.UnaryOp) and expr.op == "+":
+        return _affine_parts(expr.operand, iterator)
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "-"):
+        lc, lo, ls, lu = _affine_parts(expr.left, iterator)
+        rc, ro, rs, ru = _affine_parts(expr.right, iterator)
+        sign = 1 if expr.op == "+" else -1
+        return lc + sign * rc, lo + sign * ro, ls or rs, lu or ru
+    if isinstance(expr, ast.BinOp) and expr.op == "*":
+        lc, lo, ls, lu = _affine_parts(expr.left, iterator)
+        rc, ro, rs, ru = _affine_parts(expr.right, iterator)
+        # constant * affine or affine * constant
+        if not lu and not ls:
+            return lo * rc, lo * ro, rs, ru
+        if not ru and not rs:
+            return lc * ro, lo * ro, ls, lu
+        return 0, 0, True, lu or ru
+    # Anything else (division, shifts, nested subscripts) is symbolic.
+    uses = _mentions(expr, iterator)
+    return 0, 0, True, uses
+
+
+def _mentions(expr: ast.Expr, name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    return any(isinstance(n, ast.Identifier) and n.name == name for n in ast.walk(expr))
+
+
+def collect_accesses(body: ast.Stmt, iterator: Optional[str]) -> list[ArrayAccess]:
+    """Collect every array access in ``body`` with read/write classification."""
+    accesses: list[ArrayAccess] = []
+    _collect_stmt(body, iterator, conditional=False, accesses=accesses)
+    return accesses
+
+
+def _collect_stmt(stmt: ast.Stmt, iterator: Optional[str], conditional: bool,
+                  accesses: list[ArrayAccess]) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.body:
+            _collect_stmt(inner, iterator, conditional, accesses)
+    elif isinstance(stmt, ast.ExprStmt):
+        _collect_expr(stmt.expr, iterator, conditional, accesses, as_write=False)
+    elif isinstance(stmt, ast.Decl):
+        if stmt.init is not None:
+            _collect_expr(stmt.init, iterator, conditional, accesses, as_write=False)
+    elif isinstance(stmt, ast.If):
+        _collect_expr(stmt.cond, iterator, conditional, accesses, as_write=False)
+        _collect_stmt(stmt.then, iterator, True, accesses)
+        if stmt.otherwise is not None:
+            _collect_stmt(stmt.otherwise, iterator, True, accesses)
+    elif isinstance(stmt, (ast.ForLoop, ast.WhileLoop, ast.DoWhileLoop)):
+        if isinstance(stmt, ast.ForLoop):
+            if stmt.init is not None:
+                _collect_stmt(stmt.init, iterator, conditional, accesses)
+            if stmt.cond is not None:
+                _collect_expr(stmt.cond, iterator, conditional, accesses, as_write=False)
+            if stmt.step is not None:
+                _collect_expr(stmt.step, iterator, conditional, accesses, as_write=False)
+        else:
+            _collect_expr(stmt.cond, iterator, conditional, accesses, as_write=False)
+        _collect_stmt(stmt.body, iterator, conditional, accesses)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            _collect_expr(stmt.value, iterator, conditional, accesses, as_write=False)
+    elif isinstance(stmt, ast.Label):
+        _collect_stmt(stmt.stmt, iterator, conditional, accesses)
+    # Break/Continue/Goto carry no accesses.
+
+
+def _collect_expr(expr: ast.Expr, iterator: Optional[str], conditional: bool,
+                  accesses: list[ArrayAccess], as_write: bool) -> None:
+    if isinstance(expr, ast.ArrayRef):
+        base_name = _base_array_name(expr.base)
+        if base_name is not None:
+            accesses.append(
+                ArrayAccess(
+                    array=base_name,
+                    kind=AccessKind.WRITE if as_write else AccessKind.READ,
+                    index_expr=expr.index,
+                    affine=affine_index(expr.index, iterator),
+                    conditional=conditional,
+                )
+            )
+        _collect_expr(expr.index, iterator, conditional, accesses, as_write=False)
+        if not isinstance(expr.base, ast.Identifier):
+            _collect_expr(expr.base, iterator, conditional, accesses, as_write=False)
+        return
+    if isinstance(expr, ast.Assign):
+        _collect_expr(expr.target, iterator, conditional, accesses, as_write=True)
+        if expr.op != "=":
+            # Compound assignment also reads the target.
+            _collect_expr(expr.target, iterator, conditional, accesses, as_write=False)
+        _collect_expr(expr.value, iterator, conditional, accesses, as_write=False)
+        return
+    if isinstance(expr, (ast.UnaryOp, ast.PostfixOp)):
+        if expr.op in ("++", "--"):
+            _collect_expr(expr.operand, iterator, conditional, accesses, as_write=True)
+            _collect_expr(expr.operand, iterator, conditional, accesses, as_write=False)
+        else:
+            _collect_expr(expr.operand, iterator, conditional, accesses, as_write=as_write)
+        return
+    if isinstance(expr, ast.BinOp):
+        _collect_expr(expr.left, iterator, conditional, accesses, as_write=False)
+        _collect_expr(expr.right, iterator, conditional, accesses, as_write=False)
+        return
+    if isinstance(expr, ast.TernaryOp):
+        _collect_expr(expr.cond, iterator, conditional, accesses, as_write=False)
+        _collect_expr(expr.then, iterator, True, accesses, as_write=False)
+        _collect_expr(expr.otherwise, iterator, True, accesses, as_write=False)
+        return
+    if isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _collect_expr(arg, iterator, conditional, accesses, as_write=False)
+        return
+    if isinstance(expr, ast.Cast):
+        _collect_expr(expr.operand, iterator, conditional, accesses, as_write=as_write)
+        return
+    # IntLiteral / Identifier leaves: no array accesses.
+
+
+def _base_array_name(expr: ast.Expr) -> Optional[str]:
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Cast):
+        return _base_array_name(expr.operand)
+    if isinstance(expr, ast.UnaryOp) and expr.op in ("&", "*"):
+        return _base_array_name(expr.operand)
+    if isinstance(expr, ast.BinOp) and expr.op in ("+", "-"):
+        return _base_array_name(expr.left) or _base_array_name(expr.right)
+    return None

@@ -1,0 +1,248 @@
+"""Loop-carried dependence analysis over array accesses.
+
+The analysis mirrors what the paper's prompt construction relies on: a
+Clang-style report explaining *why* a loop could not be auto-vectorized —
+read-after-write, write-after-read and write-after-write dependences across
+iterations, scalar recurrences (reductions and induction variables), and the
+aliasing that imprecise static analysis must assume for arbitrary pointer
+parameters.
+
+The dependence test is the classic single-subscript constant-distance test:
+for two accesses ``x[c1*i + o1]`` and ``x[c2*i + o2]`` with equal
+coefficients, a loop-carried dependence exists when ``(o1 - o2)`` is a
+nonzero multiple of the coefficient (distance ``(o1 - o2) / c``).  Accesses
+with symbolic or differing-coefficient subscripts are conservatively reported
+as unknown dependences, which is exactly the imprecision that makes real
+compilers give up (the paper's central motivation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.accesses import AccessKind, ArrayAccess
+from repro.cfront import ast_nodes as ast
+from repro.cfront.printer import expr_to_c
+
+
+class DependenceKind(enum.Enum):
+    """Classification of a loop-carried dependence."""
+
+    FLOW = "read-after-write"        # true dependence
+    ANTI = "write-after-read"        # anti dependence
+    OUTPUT = "write-after-write"     # output dependence
+    UNKNOWN = "unknown"              # conservative / symbolic subscripts
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A loop-carried dependence between two accesses to the same array."""
+
+    array: str
+    kind: DependenceKind
+    source: ArrayAccess
+    sink: ArrayAccess
+    distance: Optional[int] = None
+
+    def describe(self) -> str:
+        distance = f" (distance {self.distance})" if self.distance is not None else ""
+        return (
+            f"{self.kind.value} dependence on array '{self.array}' between "
+            f"{self.source.describe()} and {self.sink.describe()}{distance}"
+        )
+
+
+@dataclass
+class ScalarRecurrence:
+    """A scalar updated across iterations (reduction or induction variable)."""
+
+    name: str
+    kind: str  # "reduction" or "induction" or "other"
+    operation: Optional[str] = None
+    step: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.kind == "reduction":
+            return f"scalar '{self.name}' is a reduction with operator '{self.operation}'"
+        if self.kind == "induction":
+            return f"scalar '{self.name}' is an induction variable updated by {self.step} each iteration"
+        return f"scalar '{self.name}' is updated across loop iterations"
+
+
+@dataclass
+class DependenceReport:
+    """Aggregate dependence information for one loop."""
+
+    dependences: list[Dependence] = field(default_factory=list)
+    recurrences: list[ScalarRecurrence] = field(default_factory=list)
+    has_control_flow: bool = False
+    has_goto: bool = False
+
+    @property
+    def loop_carried(self) -> list[Dependence]:
+        return [d for d in self.dependences if d.distance is None or d.distance != 0]
+
+    @property
+    def has_loop_carried_dependence(self) -> bool:
+        return bool(self.loop_carried)
+
+    @property
+    def reductions(self) -> list[ScalarRecurrence]:
+        return [r for r in self.recurrences if r.kind == "reduction"]
+
+    @property
+    def inductions(self) -> list[ScalarRecurrence]:
+        return [r for r in self.recurrences if r.kind == "induction"]
+
+    def clang_style_remark(self, iterator: str = "i") -> str:
+        """A "-Rpass-analysis=loop-vectorize"-style remark, used in prompts."""
+        if not self.dependences and not self.recurrences:
+            return "loop-vectorize: loop appears vectorizable; no loop-carried dependences detected."
+        lines = []
+        if self.has_loop_carried_dependence:
+            lines.append("remark: loop not vectorized: unsafe dependent memory operations in loop.")
+        for dep in self.dependences:
+            lines.append(f"remark: {dep.describe()}")
+        for rec in self.recurrences:
+            lines.append(f"remark: {rec.describe()}")
+        if self.has_goto:
+            lines.append("remark: loop not vectorized: loop control flow is not understood by vectorizer (goto).")
+        elif self.has_control_flow:
+            lines.append("remark: loop contains conditional control flow; if-conversion required.")
+        return "\n".join(lines)
+
+
+def _pairwise_dependence(write: ArrayAccess, other: ArrayAccess) -> Optional[Dependence]:
+    """Dependence between a write and another access to the same array, if any."""
+    if write.array != other.array:
+        return None
+    wa, oa = write.affine, other.affine
+    kind = _classify(write, other)
+    if wa.symbolic or oa.symbolic or not wa.is_iterator_affine or not oa.is_iterator_affine:
+        # Loop-invariant subscripts (e.g. a[j] with j updated every iteration)
+        # and symbolic subscripts are conservatively unknown dependences.
+        return Dependence(array=write.array, kind=kind, source=write, sink=other, distance=None)
+    if wa.coefficient != oa.coefficient or wa.coefficient == 0:
+        return Dependence(array=write.array, kind=kind, source=write, sink=other, distance=None)
+    delta = oa.offset - wa.offset
+    if delta % wa.coefficient != 0:
+        return None  # subscripts can never be equal across iterations
+    distance = delta // wa.coefficient
+    if distance == 0:
+        return None  # same-iteration dependence only; not loop-carried
+    return Dependence(array=write.array, kind=kind, source=write, sink=other, distance=distance)
+
+
+def _classify(write: ArrayAccess, other: ArrayAccess) -> DependenceKind:
+    if other.kind is AccessKind.WRITE:
+        return DependenceKind.OUTPUT
+    return DependenceKind.FLOW if _reads_later(write, other) else DependenceKind.ANTI
+
+
+def _reads_later(write: ArrayAccess, read: ArrayAccess) -> bool:
+    """Heuristic direction: positive-offset reads of a written array are flow deps.
+
+    Because our accesses are collected without program-point ordering, the
+    direction is derived from the subscript offsets: a read at a *lower*
+    offset than the write (e.g. read ``a[i-1]`` against write ``a[i]``)
+    consumes values produced by earlier iterations, i.e. a flow (RAW)
+    dependence; a read at a *higher* offset (``a[i+1]``) is consumed before
+    being overwritten, i.e. an anti (WAR) dependence.
+    """
+    if write.affine.is_iterator_affine and read.affine.is_iterator_affine:
+        return read.affine.offset < write.affine.offset
+    return True
+
+
+def _find_scalar_recurrences(body: ast.Stmt, iterator: Optional[str]) -> list[ScalarRecurrence]:
+    """Find scalars assigned inside the loop from their own previous value."""
+    recurrences: dict[str, ScalarRecurrence] = {}
+    for node in ast.walk(body):
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Identifier):
+            name = node.target.name
+            if name == iterator:
+                continue
+            if node.op in ("+=", "-=", "*=", "|=", "&=", "^="):
+                if _is_constant(node.value):
+                    recurrences[name] = ScalarRecurrence(
+                        name=name, kind="induction", operation=node.op[:-1],
+                        step=_constant_value(node.value) * (-1 if node.op == "-=" else 1),
+                    )
+                else:
+                    recurrences[name] = ScalarRecurrence(name=name, kind="reduction", operation=node.op[:-1])
+            elif node.op == "=" and _mentions_name(node.value, name):
+                operation = node.value.op if isinstance(node.value, ast.BinOp) else None
+                recurrences[name] = ScalarRecurrence(name=name, kind="reduction", operation=operation)
+            elif node.op == "=" and not _mentions_name(node.value, name):
+                # Plain overwrite each iteration: not a recurrence, but only
+                # if the value does not feed later iterations; keep quiet.
+                pass
+        elif isinstance(node, (ast.PostfixOp,)) and node.op in ("++", "--"):
+            if isinstance(node.operand, ast.Identifier) and node.operand.name != iterator:
+                recurrences[node.operand.name] = ScalarRecurrence(
+                    name=node.operand.name, kind="induction", operation="+",
+                    step=1 if node.op == "++" else -1,
+                )
+        elif isinstance(node, ast.UnaryOp) and node.op in ("++", "--"):
+            if isinstance(node.operand, ast.Identifier) and node.operand.name != iterator:
+                recurrences[node.operand.name] = ScalarRecurrence(
+                    name=node.operand.name, kind="induction", operation="+",
+                    step=1 if node.op == "++" else -1,
+                )
+    return list(recurrences.values())
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    return isinstance(expr, ast.IntLiteral) or (
+        isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.IntLiteral)
+    )
+
+
+def _constant_value(expr: ast.Expr) -> int:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.IntLiteral):
+        return -expr.operand.value
+    raise ValueError("not a constant expression")
+
+
+def _mentions_name(expr: ast.Expr, name: str) -> bool:
+    return any(isinstance(n, ast.Identifier) and n.name == name for n in ast.walk(expr))
+
+
+def _has_control_flow(body: ast.Stmt) -> tuple[bool, bool]:
+    has_if = any(isinstance(n, (ast.If, ast.TernaryOp)) for n in ast.walk(body))
+    has_goto = any(isinstance(n, ast.Goto) for n in ast.walk(body))
+    return has_if, has_goto
+
+
+def analyze_dependences(accesses: list[ArrayAccess], body: ast.Stmt,
+                        iterator: Optional[str]) -> DependenceReport:
+    """Compute the dependence report for one loop body."""
+    report = DependenceReport()
+    report.has_control_flow, report.has_goto = _has_control_flow(body)
+    report.recurrences = _find_scalar_recurrences(body, iterator)
+
+    writes = [a for a in accesses if a.kind is AccessKind.WRITE]
+    seen: set[tuple] = set()
+    for write in writes:
+        for other in accesses:
+            if other is write:
+                continue
+            dependence = _pairwise_dependence(write, other)
+            if dependence is None:
+                continue
+            key = (
+                dependence.array,
+                dependence.kind,
+                expr_to_c(dependence.source.index_expr),
+                expr_to_c(dependence.sink.index_expr),
+                dependence.sink.kind,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            report.dependences.append(dependence)
+    return report

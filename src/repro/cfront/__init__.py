@@ -1,0 +1,79 @@
+"""C-subset frontend: lexer, parser, AST, types and pretty printer.
+
+The frontend accepts the dialect of C used by the TSVC kernels and by the
+AVX2-vectorized candidates the paper's LLM produces: ``int`` scalars, ``int*``
+array parameters, ``__m256i`` vector values, ``for``/``while``/``if``/``goto``
+control flow, and calls to ``_mm256_*`` intrinsics.
+
+Public entry points:
+
+* :func:`repro.cfront.cparser.parse_program` — parse a translation unit.
+* :func:`repro.cfront.cparser.parse_function` — parse a single function.
+* :func:`repro.cfront.printer.to_c` — pretty-print an AST back to C text.
+"""
+
+from repro.cfront.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Continue,
+    Decl,
+    ExprStmt,
+    ForLoop,
+    FunctionDef,
+    Goto,
+    Identifier,
+    If,
+    IntLiteral,
+    Label,
+    Program,
+    Return,
+    TernaryOp,
+    UnaryOp,
+    WhileLoop,
+)
+from repro.cfront.cparser import parse_expression, parse_function, parse_program
+from repro.cfront.ctypes import CType, INT, VOID, M256I, PTR_INT
+from repro.cfront.lexer import Token, TokenKind, tokenize
+from repro.cfront.printer import to_c
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Block",
+    "Break",
+    "Call",
+    "Cast",
+    "Continue",
+    "Decl",
+    "ExprStmt",
+    "ForLoop",
+    "FunctionDef",
+    "Goto",
+    "Identifier",
+    "If",
+    "IntLiteral",
+    "Label",
+    "Program",
+    "Return",
+    "TernaryOp",
+    "UnaryOp",
+    "WhileLoop",
+    "CType",
+    "INT",
+    "VOID",
+    "M256I",
+    "PTR_INT",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_program",
+    "parse_function",
+    "parse_expression",
+    "to_c",
+]

@@ -1,0 +1,317 @@
+"""AST node definitions for the C subset.
+
+The AST is deliberately small and regular so that the interpreter, the
+dependence analysis, the source-to-source transforms (C-level unrolling,
+spatial splitting) and the IR lowering can all traverse it with plain
+structural pattern matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Union
+
+from repro.cfront.ctypes import CType
+from repro.errors import SourceLocation
+
+
+@dataclass
+class Node:
+    """Base class for every AST node."""
+
+    location: SourceLocation = field(default_factory=SourceLocation, kw_only=True)
+
+    def clone(self, **changes) -> "Node":
+        """Return a shallow copy of this node with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class ArrayRef(Expr):
+    """``base[index]`` where ``base`` is an expression of pointer type."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Prefix unary operator: ``-``, ``+``, ``!``, ``~``, ``&``, ``*``, ``++``, ``--``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class PostfixOp(Expr):
+    """Postfix ``++`` / ``--``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class TernaryOp(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment expression ``target op target/value``.
+
+    ``op`` is ``=`` or a compound assignment such as ``+=``.
+    """
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A call; in this subset all callees are simple identifiers."""
+
+    func: str
+    args: list[Expr]
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Decl(Stmt):
+    """A declaration of one variable, optionally initialized.
+
+    Multi-declarator declarations are split by the parser into one
+    :class:`Decl` per variable so transforms never have to handle lists.
+    """
+
+    var_type: CType
+    name: str
+    init: Optional[Expr] = None
+    array_size: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.body)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class ForLoop(Stmt):
+    """``for (init; cond; step) body``; each header slot may be empty."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class WhileLoop(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhileLoop(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Goto(Stmt):
+    label: str
+
+
+@dataclass
+class Label(Stmt):
+    """A label attached to a statement (``L20: stmt``)."""
+
+    name: str
+    stmt: Stmt
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Parameter(Node):
+    param_type: CType
+    name: str
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: CType
+    name: str
+    params: list[Parameter]
+    body: Block
+
+    def param_names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+
+@dataclass
+class Program(Node):
+    """A translation unit: the functions it defines, in order."""
+
+    functions: list[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+
+AnyNode = Union[Expr, Stmt, FunctionDef, Program, Parameter]
+
+
+def walk(node: AnyNode) -> Iterator[Node]:
+    """Yield ``node`` and every node reachable from it, preorder."""
+    yield node
+    for child in children(node):
+        yield from walk(child)
+
+
+def children(node: AnyNode) -> Iterator[Node]:
+    """Yield the direct child nodes of ``node``."""
+    if isinstance(node, Program):
+        yield from node.functions
+    elif isinstance(node, FunctionDef):
+        yield from node.params
+        yield node.body
+    elif isinstance(node, Block):
+        yield from node.body
+    elif isinstance(node, ExprStmt):
+        yield node.expr
+    elif isinstance(node, Decl):
+        if node.array_size is not None:
+            yield node.array_size
+        if node.init is not None:
+            yield node.init
+    elif isinstance(node, If):
+        yield node.cond
+        yield node.then
+        if node.otherwise is not None:
+            yield node.otherwise
+    elif isinstance(node, ForLoop):
+        if node.init is not None:
+            yield node.init
+        if node.cond is not None:
+            yield node.cond
+        if node.step is not None:
+            yield node.step
+        yield node.body
+    elif isinstance(node, WhileLoop):
+        yield node.cond
+        yield node.body
+    elif isinstance(node, DoWhileLoop):
+        yield node.body
+        yield node.cond
+    elif isinstance(node, Return):
+        if node.value is not None:
+            yield node.value
+    elif isinstance(node, Label):
+        yield node.stmt
+    elif isinstance(node, ArrayRef):
+        yield node.base
+        yield node.index
+    elif isinstance(node, (UnaryOp, PostfixOp)):
+        yield node.operand
+    elif isinstance(node, BinOp):
+        yield node.left
+        yield node.right
+    elif isinstance(node, TernaryOp):
+        yield node.cond
+        yield node.then
+        yield node.otherwise
+    elif isinstance(node, Assign):
+        yield node.target
+        yield node.value
+    elif isinstance(node, Call):
+        yield from node.args
+    elif isinstance(node, Cast):
+        yield node.operand
+    # Leaf nodes (IntLiteral, Identifier, Break, Continue, Goto, Parameter)
+    # contribute no children.
+
+
+def collect(node: AnyNode, node_type) -> list:
+    """Collect every descendant of ``node`` that is an instance of ``node_type``."""
+    return [n for n in walk(node) if isinstance(n, node_type)]

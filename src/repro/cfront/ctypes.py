@@ -1,0 +1,81 @@
+"""Type representation for the C subset.
+
+Only the types that actually occur in TSVC kernels and their AVX2
+vectorizations are modelled: ``int``, ``void``, pointers to ``int``, and the
+256-bit integer vector type ``__m256i``.  A handful of aliases (``long``,
+``unsigned``) are folded onto ``int`` because TSVC uses 32-bit integer data
+exclusively (the paper restricts itself to the 149 integer loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CType:
+    """A type in the C subset.
+
+    ``name`` is one of ``int``, ``void``, ``__m256i``; ``pointer_depth``
+    counts ``*`` wrappers (``int*`` has depth 1).
+    """
+
+    name: str
+    pointer_depth: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer_depth > 0
+
+    @property
+    def is_vector(self) -> bool:
+        return self.name == "__m256i" and self.pointer_depth == 0
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name == "int" and self.pointer_depth == 0
+
+    @property
+    def is_void(self) -> bool:
+        return self.name == "void" and self.pointer_depth == 0
+
+    def pointee(self) -> "CType":
+        if not self.is_pointer:
+            raise ValueError(f"{self} is not a pointer type")
+        return CType(self.name, self.pointer_depth - 1)
+
+    def pointer_to(self) -> "CType":
+        return CType(self.name, self.pointer_depth + 1)
+
+    def __str__(self) -> str:
+        return self.name + "*" * self.pointer_depth
+
+
+INT = CType("int")
+VOID = CType("void")
+M256I = CType("__m256i")
+PTR_INT = CType("int", 1)
+PTR_M256I = CType("__m256i", 1)
+
+#: Type specifiers that are collapsed onto plain ``int``.
+_INT_ALIASES = frozenset({"int", "long", "short", "char", "signed", "unsigned"})
+
+
+def normalize_base_type(specifiers: list[str]) -> CType:
+    """Map a list of declaration specifiers to a base :class:`CType`.
+
+    Qualifiers (``const``, ``static``, ``extern``) are dropped; all integer
+    flavours collapse to ``int``.
+    """
+    relevant = [s for s in specifiers if s not in ("const", "static", "extern")]
+    if not relevant:
+        raise ValueError("empty declaration specifier list")
+    if "__m256i" in relevant:
+        return M256I
+    if "__m128i" in relevant:
+        return M256I
+    if "void" in relevant:
+        return VOID
+    if all(s in _INT_ALIASES for s in relevant):
+        return INT
+    raise ValueError(f"unsupported type specifiers: {specifiers}")

@@ -1,0 +1,184 @@
+"""Pretty printer: AST back to C source text.
+
+Round-tripping through :func:`to_c` and the parser is used by the
+source-to-source transforms (C-level unrolling, spatial splitting) and by the
+synthetic LLM, which — like the real one — exchanges *text*, not ASTs.
+"""
+
+from __future__ import annotations
+
+from repro.cfront import ast_nodes as ast
+
+_INDENT = "    "
+
+# Operator precedence table used to decide where parentheses are required.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+_POSTFIX_PRECEDENCE = 12
+
+
+def expr_to_c(expr: ast.Expr, parent_precedence: int = 0) -> str:
+    """Render an expression, inserting parentheses only where needed."""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        return f"{expr_to_c(expr.base, _POSTFIX_PRECEDENCE)}[{expr_to_c(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(expr_to_c(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.Cast):
+        text = f"({expr.target_type}){expr_to_c(expr.operand, _UNARY_PRECEDENCE)}"
+        return _parenthesize(text, _UNARY_PRECEDENCE, parent_precedence)
+    if isinstance(expr, ast.UnaryOp):
+        text = f"{expr.op}{expr_to_c(expr.operand, _UNARY_PRECEDENCE)}"
+        return _parenthesize(text, _UNARY_PRECEDENCE, parent_precedence)
+    if isinstance(expr, ast.PostfixOp):
+        text = f"{expr_to_c(expr.operand, _POSTFIX_PRECEDENCE)}{expr.op}"
+        return _parenthesize(text, _POSTFIX_PRECEDENCE, parent_precedence)
+    if isinstance(expr, ast.BinOp):
+        precedence = _PRECEDENCE[expr.op]
+        left = expr_to_c(expr.left, precedence)
+        right = expr_to_c(expr.right, precedence + 1)
+        return _parenthesize(f"{left} {expr.op} {right}", precedence, parent_precedence)
+    if isinstance(expr, ast.TernaryOp):
+        text = f"{expr_to_c(expr.cond, 1)} ? {expr_to_c(expr.then)} : {expr_to_c(expr.otherwise)}"
+        return _parenthesize(text, 0, parent_precedence)
+    if isinstance(expr, ast.Assign):
+        text = f"{expr_to_c(expr.target, _UNARY_PRECEDENCE)} {expr.op} {expr_to_c(expr.value)}"
+        return _parenthesize(text, 0, parent_precedence)
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _parenthesize(text: str, precedence: int, parent_precedence: int) -> str:
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _decl_to_c(decl: ast.Decl) -> str:
+    if decl.array_size is not None:
+        base = decl.var_type.pointee()
+        text = f"{base} {decl.name}[{expr_to_c(decl.array_size)}]"
+    else:
+        text = f"{decl.var_type} {decl.name}"
+    if decl.init is not None:
+        text += f" = {expr_to_c(decl.init)}"
+    return text + ";"
+
+
+def _stmt_lines(stmt: ast.Stmt, indent: int) -> list[str]:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.Decl):
+        return [pad + _decl_to_c(stmt)]
+    if isinstance(stmt, ast.ExprStmt):
+        return [pad + expr_to_c(stmt.expr) + ";"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [pad + f"return {expr_to_c(stmt.value)};"]
+    if isinstance(stmt, ast.Break):
+        return [pad + "break;"]
+    if isinstance(stmt, ast.Continue):
+        return [pad + "continue;"]
+    if isinstance(stmt, ast.Goto):
+        return [pad + f"goto {stmt.label};"]
+    if isinstance(stmt, ast.Label):
+        lines = [pad + f"{stmt.name}:"]
+        lines.extend(_stmt_lines(stmt.stmt, indent))
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [pad + f"if ({expr_to_c(stmt.cond)})"]
+        lines.extend(_stmt_lines(_as_block(stmt.then), indent))
+        if stmt.otherwise is not None:
+            lines.append(pad + "else")
+            lines.extend(_stmt_lines(_as_block(stmt.otherwise), indent))
+        return lines
+    if isinstance(stmt, ast.ForLoop):
+        init = _for_init_to_c(stmt.init)
+        cond = expr_to_c(stmt.cond) if stmt.cond is not None else ""
+        step = expr_to_c(stmt.step) if stmt.step is not None else ""
+        lines = [pad + f"for ({init} {cond}; {step})"]
+        lines.extend(_stmt_lines(_as_block(stmt.body), indent))
+        return lines
+    if isinstance(stmt, ast.WhileLoop):
+        lines = [pad + f"while ({expr_to_c(stmt.cond)})"]
+        lines.extend(_stmt_lines(_as_block(stmt.body), indent))
+        return lines
+    if isinstance(stmt, ast.DoWhileLoop):
+        lines = [pad + "do"]
+        lines.extend(_stmt_lines(_as_block(stmt.body), indent))
+        lines.append(pad + f"while ({expr_to_c(stmt.cond)});")
+        return lines
+    raise TypeError(f"cannot print statement node {type(stmt).__name__}")
+
+
+def _for_init_to_c(init: ast.Stmt | None) -> str:
+    if init is None:
+        return ";"
+    if isinstance(init, ast.Decl):
+        return _decl_to_c(init)
+    if isinstance(init, ast.ExprStmt):
+        return expr_to_c(init.expr) + ";"
+    raise TypeError(f"unsupported for-loop initializer {type(init).__name__}")
+
+
+def _as_block(stmt: ast.Stmt) -> ast.Block:
+    if isinstance(stmt, ast.Block):
+        return stmt
+    return ast.Block(body=[stmt], location=stmt.location)
+
+
+def function_to_c(func: ast.FunctionDef, include_header: bool = False) -> str:
+    """Render a function definition as C text.
+
+    ``include_header`` prepends ``#include <immintrin.h>`` which vectorized
+    candidates conventionally carry (and which the lexer skips on re-parse).
+    """
+    params = ", ".join(f"{p.param_type} {p.name}" for p in func.params)
+    header = f"{func.return_type} {func.name}({params})"
+    lines = []
+    if include_header:
+        lines.append("#include <immintrin.h>")
+    lines.append(header)
+    lines.extend(_stmt_lines(func.body, 0))
+    return "\n".join(lines) + "\n"
+
+
+def to_c(node: ast.Node) -> str:
+    """Render any statement-level or top-level node as C text."""
+    if isinstance(node, ast.Program):
+        return "\n".join(function_to_c(f) for f in node.functions)
+    if isinstance(node, ast.FunctionDef):
+        return function_to_c(node)
+    if isinstance(node, ast.Stmt):
+        return "\n".join(_stmt_lines(node, 0)) + "\n"
+    if isinstance(node, ast.Expr):
+        return expr_to_c(node)
+    raise TypeError(f"cannot print node {type(node).__name__}")

@@ -1,0 +1,29 @@
+"""Simulated auto-vectorizing compiler baselines (GCC / Clang / ICC stand-ins).
+
+The paper compares LLM-generated vector code against three production
+compilers.  Here each baseline is modelled as an auto-vectorization *decision
+procedure* (built on the shared dependence analysis, with per-compiler
+precision and aggressiveness knobs) plus the shared cycle cost model in
+:mod:`repro.perf`: a baseline that decides it can vectorize a loop gets
+vector-cost execution, otherwise scalar-cost execution.  The decision knobs
+are calibrated to the qualitative behaviour the paper reports — ICC's
+dependence analysis is the most precise and also handles wrap-around scalars
+via peeling, GCC and Clang frequently give up in the presence of potential
+dependences or complex control flow.
+"""
+
+from repro.compilers.base import CompilerDecision, SimulatedCompiler
+from repro.compilers.suites import CLANG, GCC, ICC, all_compilers, compiler_by_name
+from repro.compilers.flags import COMPILER_FLAG_TABLE, CompilerFlags
+
+__all__ = [
+    "CompilerDecision",
+    "SimulatedCompiler",
+    "CLANG",
+    "GCC",
+    "ICC",
+    "all_compilers",
+    "compiler_by_name",
+    "COMPILER_FLAG_TABLE",
+    "CompilerFlags",
+]

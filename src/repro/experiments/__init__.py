@@ -1,0 +1,17 @@
+"""Experiment harness: one function per table / figure of the paper."""
+
+from repro.experiments.checksum_eval import ChecksumEvaluation, run_checksum_evaluation
+from repro.experiments.verification_eval import VerificationFunnel, run_verification_funnel
+from repro.experiments.fsm_eval import FSMEvaluation, run_fsm_evaluation
+from repro.experiments.performance_eval import PerformanceEvaluation, run_performance_evaluation
+
+__all__ = [
+    "ChecksumEvaluation",
+    "run_checksum_evaluation",
+    "VerificationFunnel",
+    "run_verification_funnel",
+    "FSMEvaluation",
+    "run_fsm_evaluation",
+    "PerformanceEvaluation",
+    "run_performance_evaluation",
+]

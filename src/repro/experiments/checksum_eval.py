@@ -1,0 +1,111 @@
+"""RQ1 experiment: checksum-based evaluation of LLM completions (Table 2, Figure 5).
+
+For every TSVC kernel the synthetic LLM produces ``n`` code completions; each
+is classified by checksum-based testing as plausible / not-equivalent /
+cannot-compile.  Table 2 reports, for k in {1, 10, 100}, how many kernels
+have at least one plausible completion among their first k; Figure 5 reports
+the averaged unbiased pass@k estimate.
+
+Identical completions are checksum-tested once (they are frequent — the model
+often regenerates the same correct program), which keeps the full 149 x 100
+evaluation tractable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.interp.checksum import ChecksumOutcome, checksum_testing
+from repro.llm.client import CompletionRequest, LLMClient
+from repro.llm.prompts import build_vectorization_prompt
+from repro.llm.synthetic import SyntheticLLM
+from repro.metrics.passk import pass_at_k_curve
+from repro.tsvc import LoadedKernel, load_suite
+
+
+@dataclass
+class KernelChecksumRecord:
+    """Per-kernel record: outcome of each completion, in generation order."""
+
+    kernel: str
+    outcomes: list[ChecksumOutcome] = field(default_factory=list)
+    first_plausible_code: str | None = None
+
+    def plausible_within(self, k: int) -> bool:
+        return any(o is ChecksumOutcome.PLAUSIBLE for o in self.outcomes[:k])
+
+    def all_cannot_compile_within(self, k: int) -> bool:
+        prefix = self.outcomes[:k]
+        return bool(prefix) and all(o is ChecksumOutcome.CANNOT_COMPILE for o in prefix)
+
+    @property
+    def plausible_count(self) -> int:
+        return sum(1 for o in self.outcomes if o is ChecksumOutcome.PLAUSIBLE)
+
+
+@dataclass
+class ChecksumEvaluation:
+    """The full RQ1 evaluation result."""
+
+    records: list[KernelChecksumRecord]
+    num_completions: int
+
+    def table2_row(self, k: int) -> dict[str, int]:
+        """The Table 2 column for a given k: plausible / not equivalent / cannot compile."""
+        plausible = sum(1 for r in self.records if r.plausible_within(k))
+        cannot_compile = sum(1 for r in self.records if r.all_cannot_compile_within(k))
+        not_equivalent = len(self.records) - plausible - cannot_compile
+        return {
+            "Plausible": plausible,
+            "Not equivalent": not_equivalent,
+            "Cannot compile": cannot_compile,
+        }
+
+    def pass_at_k(self, ks: list[int]) -> dict[int, float]:
+        counts = [(len(r.outcomes), r.plausible_count) for r in self.records]
+        return pass_at_k_curve(counts, ks)
+
+    def plausible_kernels(self, k: int | None = None) -> list[str]:
+        limit = k if k is not None else self.num_completions
+        return [r.kernel for r in self.records if r.plausible_within(limit)]
+
+    def first_plausible_codes(self) -> dict[str, str]:
+        return {r.kernel: r.first_plausible_code for r in self.records
+                if r.first_plausible_code is not None}
+
+
+def run_checksum_evaluation(
+    num_completions: int = 100,
+    kernels: list[str] | None = None,
+    llm: LLMClient | None = None,
+    checksum_seed: int = 0,
+    temperature: float = 1.0,
+) -> ChecksumEvaluation:
+    """Generate ``num_completions`` per kernel and classify each by checksum testing."""
+    model = llm or SyntheticLLM()
+    suite: list[LoadedKernel] = load_suite(kernels)
+    records: list[KernelChecksumRecord] = []
+    for kernel in suite:
+        prompt = build_vectorization_prompt(kernel.source)
+        request = CompletionRequest(
+            prompt=prompt,
+            kernel_name=kernel.name,
+            scalar_code=kernel.source,
+            num_completions=num_completions,
+            temperature=temperature,
+        )
+        completions = model.complete(request)
+        record = KernelChecksumRecord(kernel=kernel.name)
+        cache: dict[str, ChecksumOutcome] = {}
+        for completion in completions:
+            digest = hashlib.sha256(completion.code.encode()).hexdigest()
+            outcome = cache.get(digest)
+            if outcome is None:
+                outcome = checksum_testing(kernel.source, completion.code, seed=checksum_seed).outcome
+                cache[digest] = outcome
+            record.outcomes.append(outcome)
+            if outcome is ChecksumOutcome.PLAUSIBLE and record.first_plausible_code is None:
+                record.first_plausible_code = completion.code
+        records.append(record)
+    return ChecksumEvaluation(records=records, num_completions=num_completions)

@@ -1,0 +1,89 @@
+"""RQ3 experiment: runtime speedup of verified vectorizations (Figure 1(c), Figure 6).
+
+For every kernel whose vectorization was proven equivalent, the cycle
+simulator measures the LLM-generated code and each baseline compiler's code,
+and the speedups are grouped into the six categories of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.features import ALL_CATEGORIES
+from repro.perf.simulator import KernelPerformance, measure_kernel
+from repro.tsvc import load_kernel
+
+COMPILER_NAMES = ("GCC", "Clang", "ICC")
+
+
+@dataclass
+class PerformanceEvaluation:
+    """Speedups for verified kernels, ready to be grouped Figure-6 style."""
+
+    performances: list[KernelPerformance] = field(default_factory=list)
+
+    def by_category(self) -> dict[str, list[KernelPerformance]]:
+        groups: dict[str, list[KernelPerformance]] = {name: [] for name in ALL_CATEGORIES}
+        for performance in self.performances:
+            groups.setdefault(performance.category, []).append(performance)
+        return groups
+
+    def speedup_rows(self) -> list[dict[str, object]]:
+        """One row per kernel: category plus speedup against each compiler."""
+        rows = []
+        for performance in sorted(self.performances, key=lambda p: (p.category, p.kernel)):
+            row: dict[str, object] = {"Test": performance.kernel, "Category": performance.category}
+            for compiler in COMPILER_NAMES:
+                row[f"vs {compiler}"] = round(performance.speedup_over(compiler), 2)
+            rows.append(row)
+        return rows
+
+    def category_summary(self) -> list[dict[str, object]]:
+        """Geometric-mean speedup per category per compiler (Figure 6 shape)."""
+        summary = []
+        for category, group in self.by_category().items():
+            if not group:
+                continue
+            row: dict[str, object] = {"Category": category, "Tests": len(group)}
+            for compiler in COMPILER_NAMES:
+                speedups = [p.speedup_over(compiler) for p in group]
+                row[f"vs {compiler}"] = round(_geomean(speedups), 2)
+            summary.append(row)
+        return summary
+
+    def speedup_range(self) -> tuple[float, float]:
+        """Min and max speedup over any compiler (the paper's 1.1x-9.4x headline)."""
+        values = [p.speedup_over(c) for p in self.performances for c in COMPILER_NAMES]
+        if not values:
+            return (0.0, 0.0)
+        return (min(values), max(values))
+
+
+def _geomean(values: list[float]) -> float:
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))
+
+
+def run_performance_evaluation(
+    verified_candidates: dict[str, str],
+    trip_count: int = 256,
+    seed: int = 11,
+) -> PerformanceEvaluation:
+    """Measure every verified (kernel -> vectorized source) pair against the baselines."""
+    evaluation = PerformanceEvaluation()
+    for kernel_name, vectorized_source in sorted(verified_candidates.items()):
+        kernel = load_kernel(kernel_name)
+        performance = measure_kernel(
+            kernel_name=kernel_name,
+            scalar_code=kernel.source,
+            llm_code=vectorized_source,
+            n=trip_count,
+            seed=seed,
+        )
+        evaluation.performances.append(performance)
+    return evaluation

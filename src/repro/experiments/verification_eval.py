@@ -1,0 +1,119 @@
+"""RQ2 experiment: the equivalence-checking funnel (Table 3).
+
+Starting from one checksum-plausible candidate per kernel, the three
+verification techniques are applied as a funnel: each technique only sees the
+cases the previous ones left inconclusive.  The result reproduces the
+structure of the paper's Table 3, including the "All" summary row and the
+contribution of the domain-specific optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alive.verifier import AliveVerifier, VerificationOutcome, VerifierConfig
+
+
+@dataclass
+class FunnelStage:
+    """One row of Table 3."""
+
+    name: str
+    total: int = 0
+    equivalent: int = 0
+    not_equivalent: int = 0
+    inconclusive: int = 0
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "Techniques": self.name,
+            "Total": self.total,
+            "Equiv": self.equivalent,
+            "Not Equiv": self.not_equivalent,
+            "Inconcl": self.inconclusive,
+        }
+
+
+@dataclass
+class VerificationFunnel:
+    """The whole Table 3: per-stage rows plus per-kernel final verdicts."""
+
+    stages: list[FunnelStage] = field(default_factory=list)
+    verdict_by_kernel: dict[str, str] = field(default_factory=dict)
+    verified_kernels: list[str] = field(default_factory=list)
+    refuted_kernels: list[str] = field(default_factory=list)
+    inconclusive_kernels: list[str] = field(default_factory=list)
+    checksum_refuted: int = 0
+    total_tests: int = 0
+
+    def summary_row(self) -> dict[str, int | str]:
+        return {
+            "Techniques": "All",
+            "Total": self.total_tests,
+            "Equiv": len(self.verified_kernels),
+            "Not Equiv": len(self.refuted_kernels) + self.checksum_refuted,
+            "Inconcl": len(self.inconclusive_kernels),
+        }
+
+    def rows(self) -> list[dict[str, int | str]]:
+        checksum_row = {
+            "Techniques": "Checksum",
+            "Total": self.total_tests,
+            "Equiv": 0,
+            "Not Equiv": self.checksum_refuted,
+            "Inconcl": self.total_tests - self.checksum_refuted,
+        }
+        return [checksum_row] + [stage.as_row() for stage in self.stages] + [self.summary_row()]
+
+
+def run_verification_funnel(
+    plausible_candidates: dict[str, str],
+    scalar_sources: dict[str, str],
+    total_tests: int | None = None,
+    verifier_config: VerifierConfig | None = None,
+) -> VerificationFunnel:
+    """Run the three-stage funnel over checksum-plausible candidates.
+
+    ``plausible_candidates`` maps kernel name to the plausible vectorized
+    source; ``scalar_sources`` maps kernel name to the scalar source.
+    ``total_tests`` is the size of the full dataset (for the Checksum row);
+    kernels without a plausible candidate count as refuted by checksum.
+    """
+    verifier = AliveVerifier(verifier_config)
+    total = total_tests if total_tests is not None else len(plausible_candidates)
+    funnel = VerificationFunnel(
+        total_tests=total,
+        checksum_refuted=total - len(plausible_candidates),
+    )
+
+    stages = [
+        ("Alive2", verifier.check_with_alive_unroll),
+        ("C-Unroll", verifier.check_with_c_unroll),
+        ("Splitting", verifier.check_with_spatial_splitting),
+    ]
+
+    pending = dict(plausible_candidates)
+    for stage_name, check in stages:
+        stage = FunnelStage(name=stage_name, total=len(pending))
+        still_pending: dict[str, str] = {}
+        for kernel_name, candidate in pending.items():
+            scalar = scalar_sources[kernel_name]
+            report = check(scalar, candidate)
+            if report.outcome is VerificationOutcome.EQUIVALENT:
+                stage.equivalent += 1
+                funnel.verdict_by_kernel[kernel_name] = "equivalent"
+                funnel.verified_kernels.append(kernel_name)
+            elif report.outcome is VerificationOutcome.NOT_EQUIVALENT:
+                stage.not_equivalent += 1
+                funnel.verdict_by_kernel[kernel_name] = "not_equivalent"
+                funnel.refuted_kernels.append(kernel_name)
+            else:
+                stage.inconclusive += 1
+                still_pending[kernel_name] = candidate
+        funnel.stages.append(stage)
+        pending = still_pending
+
+    for kernel_name in pending:
+        funnel.verdict_by_kernel[kernel_name] = "inconclusive"
+        funnel.inconclusive_kernels.append(kernel_name)
+    return funnel

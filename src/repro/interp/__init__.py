@@ -1,0 +1,17 @@
+"""Concrete execution substrate: memory model, interpreter and checksum testing."""
+
+from repro.interp.memory import ArrayRegion, Memory, UBEvent
+from repro.interp.interpreter import ExecutionResult, Interpreter, run_function
+from repro.interp.checksum import ChecksumOutcome, ChecksumReport, checksum_testing
+
+__all__ = [
+    "ArrayRegion",
+    "Memory",
+    "UBEvent",
+    "ExecutionResult",
+    "Interpreter",
+    "run_function",
+    "ChecksumOutcome",
+    "ChecksumReport",
+    "checksum_testing",
+]

@@ -1,0 +1,203 @@
+"""Checksum-based testing (paper Section 2.1).
+
+Given a scalar function and a candidate vectorized function, the tester
+initializes the input arrays randomly, executes both functions, and compares
+the output arrays.  The outcome is one of
+
+* ``PLAUSIBLE`` — outputs matched on every test vector (possibly correct),
+* ``NOT_EQUIVALENT`` — some output array differed,
+* ``CANNOT_COMPILE`` — the candidate was rejected before execution
+  (parse error, unknown intrinsic, undeclared identifier, ...).
+
+Checksum testing deliberately does *not* fail a candidate for guard-zone
+(out-of-bounds-by-a-vector) accesses: on real hardware those reads usually
+succeed, which is exactly why the paper needs symbolic verification to catch
+bugs like the unconditional load in s124.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.cfront import ast_nodes as ast
+from repro.cfront.cparser import parse_function
+from repro.errors import (
+    CompileError,
+    InterpreterError,
+    ParseError,
+    LexError,
+    ReproError,
+    UndefinedBehaviorError,
+)
+from repro.interp.interpreter import ExecutionResult, run_function
+from repro.interp.randominit import InputSpec, TestVector, make_test_suite
+
+
+class ChecksumOutcome(enum.Enum):
+    """Verdict of checksum-based testing."""
+
+    PLAUSIBLE = "plausible"
+    NOT_EQUIVALENT = "not_equivalent"
+    CANNOT_COMPILE = "cannot_compile"
+
+
+@dataclass
+class Mismatch:
+    """A single observed difference between scalar and vectorized outputs."""
+
+    array: str
+    index: int
+    expected: int
+    actual: int
+    trip_count: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.array}[{self.index}] differs for n={self.trip_count}: "
+            f"scalar={self.expected}, vectorized={self.actual}"
+        )
+
+
+@dataclass
+class ChecksumReport:
+    """Full report of a checksum-testing run, used as agent feedback."""
+
+    outcome: ChecksumOutcome
+    mismatches: list[Mismatch] = field(default_factory=list)
+    compile_error: str | None = None
+    tests_run: int = 0
+    scalar_ub_events: int = 0
+    vector_ub_events: int = 0
+    sample_inputs: dict[str, list[int]] = field(default_factory=dict)
+    sample_expected: dict[str, list[int]] = field(default_factory=dict)
+    sample_actual: dict[str, list[int]] = field(default_factory=dict)
+
+    @property
+    def is_plausible(self) -> bool:
+        return self.outcome is ChecksumOutcome.PLAUSIBLE
+
+    def feedback_text(self, limit: int = 5) -> str:
+        """Human/LLM-readable feedback, mirroring the tester agent's messages."""
+        if self.outcome is ChecksumOutcome.CANNOT_COMPILE:
+            return f"The vectorized code does not compile: {self.compile_error}"
+        if self.outcome is ChecksumOutcome.PLAUSIBLE:
+            return "The vectorized code matches the scalar code on all random tests."
+        lines = ["The vectorized code produced different outputs than the scalar code:"]
+        for mismatch in self.mismatches[:limit]:
+            lines.append(f"  - {mismatch}")
+        if self.sample_inputs:
+            lines.append("Example input arrays:")
+            for name, values in sorted(self.sample_inputs.items()):
+                lines.append(f"  {name} = {values[:12]}")
+            lines.append("Expected (scalar) outputs:")
+            for name, values in sorted(self.sample_expected.items()):
+                lines.append(f"  {name} = {values[:12]}")
+            lines.append("Actual (vectorized) outputs:")
+            for name, values in sorted(self.sample_actual.items()):
+                lines.append(f"  {name} = {values[:12]}")
+        return "\n".join(lines)
+
+
+def _ensure_function(code: str | ast.FunctionDef) -> ast.FunctionDef:
+    if isinstance(code, ast.FunctionDef):
+        return code
+    return parse_function(code)
+
+
+def _execute(func: ast.FunctionDef, vector: TestVector) -> ExecutionResult:
+    return run_function(func, arrays=vector.arrays, scalars=vector.scalars)
+
+
+def _compare_outputs(
+    scalar_result: ExecutionResult,
+    vector_result: ExecutionResult,
+    vector: TestVector,
+) -> list[Mismatch]:
+    mismatches: list[Mismatch] = []
+    scalar_out = scalar_result.outputs()
+    vector_out = vector_result.outputs()
+    trip = next(iter(vector.scalars.values()), 0)
+    for name, expected_values in scalar_out.items():
+        actual_values = vector_out.get(name)
+        if actual_values is None:
+            continue
+        for index, (expected, actual) in enumerate(zip(expected_values, actual_values)):
+            if expected != actual:
+                mismatches.append(
+                    Mismatch(
+                        array=name,
+                        index=index,
+                        expected=expected,
+                        actual=actual,
+                        trip_count=vector.scalars.get("n", trip),
+                    )
+                )
+    return mismatches
+
+
+def checksum_testing(
+    scalar_code: str | ast.FunctionDef,
+    vectorized_code: str | ast.FunctionDef,
+    seed: int = 0,
+    trip_counts: list[int] | None = None,
+    value_range: tuple[int, int] = (-1000, 1000),
+) -> ChecksumReport:
+    """Run checksum-based testing of ``vectorized_code`` against ``scalar_code``."""
+    try:
+        scalar_func = _ensure_function(scalar_code)
+    except (ParseError, LexError) as exc:
+        raise ReproError(f"the scalar reference program failed to parse: {exc}") from exc
+
+    try:
+        vector_func = _ensure_function(vectorized_code)
+    except (ParseError, LexError, CompileError) as exc:
+        return ChecksumReport(
+            outcome=ChecksumOutcome.CANNOT_COMPILE, compile_error=str(exc), tests_run=0
+        )
+
+    rng = random.Random(seed)
+    spec = InputSpec.from_function(scalar_func)
+    suite = make_test_suite(spec, rng, trip_counts=trip_counts, value_range=value_range)
+
+    report = ChecksumReport(outcome=ChecksumOutcome.PLAUSIBLE)
+    for vector in suite:
+        try:
+            scalar_result = _execute(scalar_func, vector)
+        except ReproError as exc:
+            raise ReproError(f"the scalar reference program failed to execute: {exc}") from exc
+        try:
+            vector_result = _execute(vector_func, vector)
+        except (CompileError,) as exc:
+            return ChecksumReport(
+                outcome=ChecksumOutcome.CANNOT_COMPILE,
+                compile_error=str(exc),
+                tests_run=report.tests_run,
+            )
+        except (UndefinedBehaviorError, InterpreterError) as exc:
+            report.outcome = ChecksumOutcome.NOT_EQUIVALENT
+            report.compile_error = None
+            report.mismatches.append(
+                Mismatch(array="<crash>", index=0, expected=0, actual=0,
+                         trip_count=vector.scalars.get("n", 0))
+            )
+            report.tests_run += 1
+            report.sample_inputs = {k: list(v) for k, v in vector.arrays.items()}
+            report.sample_expected = scalar_result.outputs()
+            report.sample_actual = {}
+            _ = exc
+            return report
+
+        report.tests_run += 1
+        report.scalar_ub_events += len(scalar_result.ub_events)
+        report.vector_ub_events += len(vector_result.ub_events)
+        mismatches = _compare_outputs(scalar_result, vector_result, vector)
+        if mismatches:
+            report.outcome = ChecksumOutcome.NOT_EQUIVALENT
+            report.mismatches.extend(mismatches)
+            report.sample_inputs = {k: list(v) for k, v in vector.arrays.items()}
+            report.sample_expected = scalar_result.outputs()
+            report.sample_actual = vector_result.outputs()
+            return report
+    return report

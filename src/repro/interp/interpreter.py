@@ -1,0 +1,635 @@
+"""Tree-walking interpreter for the C subset, including AVX2 intrinsics.
+
+The interpreter executes both the scalar TSVC kernels and the vectorized
+candidates.  It is the execution substrate behind checksum-based testing
+(Section 2.1 of the paper) and behind the performance model (operation counts
+collected during execution feed the cycle cost model in :mod:`repro.perf`).
+
+Semantics notes:
+
+* all integer arithmetic is 32-bit two's-complement wraparound;
+* pointers are ``(region, offset)`` pairs — distinct arrays never alias,
+  matching the non-aliasing assumption the paper establishes for parameters;
+* out-of-bounds accesses inside the guard zone yield poison and are recorded
+  as UB events rather than crashing (this is what lets checksum testing miss
+  the s124-style bug that symbolic verification catches);
+* ``goto`` is supported for forward jumps to labels declared in an enclosing
+  statement sequence, which covers the TSVC control-flow kernels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from repro.cfront import ast_nodes as ast
+from repro.errors import CompileError, InterpreterError, UndefinedBehaviorError
+from repro.interp.memory import Memory, UBEvent
+from repro.intrinsics.avx2 import (
+    INTRINSIC_REGISTRY,
+    LANES,
+    M256Value,
+    apply_pure_intrinsic,
+    is_intrinsic,
+    lookup_intrinsic,
+    wrap32,
+)
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer value: a named region plus an element offset."""
+
+    region: str
+    offset: int = 0
+
+    def advanced(self, delta: int) -> "Pointer":
+        return Pointer(self.region, self.offset + delta)
+
+
+Value = Union[int, Pointer, M256Value]
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Optional[Value]):
+        self.value = value
+        super().__init__("return")
+
+
+class _GotoSignal(Exception):
+    def __init__(self, label: str):
+        self.label = label
+        super().__init__(f"goto {label}")
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one execution of a kernel."""
+
+    memory: Memory
+    return_value: Optional[Value]
+    op_counts: Counter = field(default_factory=Counter)
+    steps: int = 0
+
+    @property
+    def ub_events(self) -> list[UBEvent]:
+        return self.memory.ub_events
+
+    @property
+    def has_ub(self) -> bool:
+        return self.memory.has_ub
+
+    def outputs(self) -> dict[str, list[int]]:
+        return self.memory.snapshot()
+
+    def checksum(self) -> int:
+        return self.memory.checksum()
+
+
+class Interpreter:
+    """Executes a single :class:`~repro.cfront.ast_nodes.FunctionDef`."""
+
+    def __init__(self, func: ast.FunctionDef, memory: Memory, scalars: Mapping[str, int],
+                 max_steps: int = 2_000_000):
+        self.func = func
+        self.memory = memory
+        self.scope: dict[str, Value] = {}
+        self.max_steps = max_steps
+        self.steps = 0
+        self.op_counts: Counter = Counter()
+        self._bind_parameters(scalars)
+
+    # -- setup ----------------------------------------------------------------
+
+    def _bind_parameters(self, scalars: Mapping[str, int]) -> None:
+        for param in self.func.params:
+            if param.param_type.is_pointer:
+                if not self.memory.has_region(param.name):
+                    raise CompileError(
+                        f"no array provided for pointer parameter {param.name!r}"
+                    )
+                self.scope[param.name] = Pointer(param.name, 0)
+            else:
+                if param.name not in scalars:
+                    raise CompileError(f"no value provided for scalar parameter {param.name!r}")
+                self.scope[param.name] = wrap32(int(scalars[param.name]))
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _tick(self, category: str, amount: int = 1) -> None:
+        self.steps += 1
+        self.op_counts[category] += amount
+        if self.steps > self.max_steps:
+            raise InterpreterError(
+                f"execution exceeded {self.max_steps} steps (possible infinite loop)"
+            )
+
+    # -- public entry ----------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        return_value: Optional[Value] = None
+        try:
+            self._exec_stmt(self.func.body)
+        except _ReturnSignal as signal:
+            return_value = signal.value
+        except _GotoSignal as signal:
+            raise InterpreterError(f"goto to unknown label {signal.label!r}") from signal
+        return ExecutionResult(
+            memory=self.memory,
+            return_value=return_value,
+            op_counts=self.op_counts,
+            steps=self.steps,
+        )
+
+    # -- statements -------------------------------------------------------------
+
+    def _exec_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._exec_sequence(stmt.body)
+        elif isinstance(stmt, ast.Decl):
+            self._exec_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._tick("branch")
+            if self._truth(self._eval(stmt.cond)):
+                self._exec_stmt(stmt.then)
+            elif stmt.otherwise is not None:
+                self._exec_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.ForLoop):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.WhileLoop):
+            self._exec_while(stmt)
+        elif isinstance(stmt, ast.DoWhileLoop):
+            self._exec_do_while(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value) if stmt.value is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.Goto):
+            raise _GotoSignal(stmt.label)
+        elif isinstance(stmt, ast.Label):
+            self._exec_stmt(stmt.stmt)
+        else:
+            raise InterpreterError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _exec_sequence(self, stmts: list[ast.Stmt]) -> None:
+        """Execute a statement list, resolving forward ``goto`` jumps locally."""
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            try:
+                self._exec_stmt(stmt)
+            except _GotoSignal as signal:
+                target = self._find_label(stmts, signal.label)
+                if target is None:
+                    raise
+                index = target
+                continue
+            index += 1
+
+    @staticmethod
+    def _find_label(stmts: list[ast.Stmt], label: str) -> Optional[int]:
+        for position, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.Label) and stmt.name == label:
+                return position
+        return None
+
+    def _exec_decl(self, decl: ast.Decl) -> None:
+        if decl.array_size is not None:
+            size = self._as_int(self._eval(decl.array_size))
+            if size < 0:
+                raise UndefinedBehaviorError(f"negative array size for {decl.name!r}", "bad-alloc")
+            self.memory.allocate(decl.name, size)
+            self.scope[decl.name] = Pointer(decl.name, 0)
+            self._tick("alloc")
+            return
+        if decl.init is not None:
+            value = self._eval(decl.init)
+        elif decl.var_type.is_vector:
+            value = M256Value.zero()
+        elif decl.var_type.is_pointer:
+            value = Pointer("__null__", 0)
+        else:
+            value = 0
+        self.scope[decl.name] = self._coerce_for_type(value, decl.var_type)
+        self._tick("decl")
+
+    def _exec_for(self, loop: ast.ForLoop) -> None:
+        if loop.init is not None:
+            self._exec_stmt(loop.init)
+        while True:
+            if loop.cond is not None:
+                self._tick("branch")
+                if not self._truth(self._eval(loop.cond)):
+                    break
+            try:
+                self._exec_stmt(loop.body)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            self.op_counts["loop_iteration"] += 1
+            if loop.step is not None:
+                self._eval(loop.step)
+
+    def _exec_while(self, loop: ast.WhileLoop) -> None:
+        while True:
+            self._tick("branch")
+            if not self._truth(self._eval(loop.cond)):
+                break
+            try:
+                self._exec_stmt(loop.body)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+            self.op_counts["loop_iteration"] += 1
+
+    def _exec_do_while(self, loop: ast.DoWhileLoop) -> None:
+        while True:
+            try:
+                self._exec_stmt(loop.body)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            self.op_counts["loop_iteration"] += 1
+            self._tick("branch")
+            if not self._truth(self._eval(loop.cond)):
+                break
+
+    # -- expressions --------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return wrap32(expr.value)
+        if isinstance(expr, ast.Identifier):
+            return self._load_identifier(expr.name)
+        if isinstance(expr, ast.ArrayRef):
+            return self._eval_array_load(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr)
+        if isinstance(expr, ast.PostfixOp):
+            return self._eval_postfix(expr)
+        if isinstance(expr, ast.TernaryOp):
+            self._tick("branch")
+            if self._truth(self._eval(expr.cond)):
+                return self._eval(expr.then)
+            return self._eval(expr.otherwise)
+        if isinstance(expr, ast.Assign):
+            return self._eval_assign(expr)
+        if isinstance(expr, ast.Cast):
+            return self._eval_cast(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        raise InterpreterError(f"cannot evaluate expression {type(expr).__name__}")
+
+    def _load_identifier(self, name: str) -> Value:
+        if name not in self.scope:
+            raise CompileError(f"use of undeclared identifier {name!r}")
+        self._tick("scalar_read", 0)
+        return self.scope[name]
+
+    def _eval_array_load(self, expr: ast.ArrayRef) -> int:
+        pointer, index = self._resolve_element(expr)
+        value, poison = self.memory.load(pointer.region, pointer.offset + index)
+        self._tick("scalar_load")
+        if poison:
+            # The concrete value is still produced (as on hardware); the UB
+            # event has already been recorded by the memory model.
+            return value
+        return value
+
+    def _resolve_element(self, expr: ast.ArrayRef) -> tuple[Pointer, int]:
+        base = self._eval(expr.base)
+        index = self._as_int(self._eval(expr.index))
+        if not isinstance(base, Pointer):
+            raise InterpreterError("array subscript applied to a non-pointer value")
+        return base, index
+
+    def _eval_binop(self, expr: ast.BinOp) -> Value:
+        op = expr.op
+        if op == "&&":
+            self._tick("scalar_arith")
+            return 1 if self._truth(self._eval(expr.left)) and self._truth(self._eval(expr.right)) else 0
+        if op == "||":
+            self._tick("scalar_arith")
+            return 1 if self._truth(self._eval(expr.left)) or self._truth(self._eval(expr.right)) else 0
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        # Pointer arithmetic: ptr + int, ptr - int, int + ptr.
+        if isinstance(left, Pointer) or isinstance(right, Pointer):
+            return self._pointer_arith(op, left, right)
+        lhs, rhs = self._as_int(left), self._as_int(right)
+        self._tick("scalar_mul" if op in ("*", "/", "%") else "scalar_arith")
+        return self._scalar_binop(op, lhs, rhs)
+
+    def _scalar_binop(self, op: str, lhs: int, rhs: int) -> int:
+        if op == "+":
+            return wrap32(lhs + rhs)
+        if op == "-":
+            return wrap32(lhs - rhs)
+        if op == "*":
+            return wrap32(lhs * rhs)
+        if op == "/":
+            if rhs == 0:
+                self.memory._record(UBEvent("div-by-zero", "<scalar>", 0, "division by zero"))
+                return 0
+            return wrap32(int(lhs / rhs))  # C truncates toward zero
+        if op == "%":
+            if rhs == 0:
+                self.memory._record(UBEvent("div-by-zero", "<scalar>", 0, "modulo by zero"))
+                return 0
+            return wrap32(lhs - int(lhs / rhs) * rhs)
+        if op == "<":
+            return 1 if lhs < rhs else 0
+        if op == ">":
+            return 1 if lhs > rhs else 0
+        if op == "<=":
+            return 1 if lhs <= rhs else 0
+        if op == ">=":
+            return 1 if lhs >= rhs else 0
+        if op == "==":
+            return 1 if lhs == rhs else 0
+        if op == "!=":
+            return 1 if lhs != rhs else 0
+        if op == "&":
+            return wrap32(lhs & rhs)
+        if op == "|":
+            return wrap32(lhs | rhs)
+        if op == "^":
+            return wrap32(lhs ^ rhs)
+        if op == "<<":
+            return wrap32(lhs << (rhs & 31))
+        if op == ">>":
+            return wrap32(lhs >> (rhs & 31))
+        raise InterpreterError(f"unsupported binary operator {op!r}")
+
+    def _pointer_arith(self, op: str, left: Value, right: Value) -> Value:
+        if isinstance(left, Pointer) and isinstance(right, Pointer):
+            if op == "-" and left.region == right.region:
+                return wrap32(left.offset - right.offset)
+            if op in ("==", "!="):
+                same = left == right
+                return (1 if same else 0) if op == "==" else (0 if same else 1)
+            raise InterpreterError(f"unsupported pointer-pointer operation {op!r}")
+        if isinstance(left, Pointer):
+            delta = self._as_int(right)
+            if op == "+":
+                return left.advanced(delta)
+            if op == "-":
+                return left.advanced(-delta)
+        if isinstance(right, Pointer) and op == "+":
+            return right.advanced(self._as_int(left))
+        raise InterpreterError(f"unsupported pointer arithmetic {op!r}")
+
+    def _eval_unary(self, expr: ast.UnaryOp) -> Value:
+        op = expr.op
+        if op == "&":
+            if isinstance(expr.operand, ast.ArrayRef):
+                pointer, index = self._resolve_element(expr.operand)
+                return pointer.advanced(index)
+            if isinstance(expr.operand, ast.Identifier):
+                value = self._load_identifier(expr.operand.name)
+                if isinstance(value, Pointer):
+                    return value
+                raise InterpreterError("address-of scalar variables is not supported")
+            raise InterpreterError("unsupported address-of operand")
+        if op == "*":
+            value = self._eval(expr.operand)
+            if isinstance(value, Pointer):
+                loaded, _poison = self.memory.load(value.region, value.offset)
+                self._tick("scalar_load")
+                return loaded
+            raise InterpreterError("dereference of a non-pointer value")
+        if op in ("++", "--"):
+            delta = 1 if op == "++" else -1
+            return self._apply_increment(expr.operand, delta, return_new=True)
+        operand = self._eval(expr.operand)
+        value = self._as_int(operand)
+        self._tick("scalar_arith")
+        if op == "-":
+            return wrap32(-value)
+        if op == "+":
+            return value
+        if op == "!":
+            return 0 if value else 1
+        if op == "~":
+            return wrap32(~value)
+        raise InterpreterError(f"unsupported unary operator {op!r}")
+
+    def _eval_postfix(self, expr: ast.PostfixOp) -> int:
+        delta = 1 if expr.op == "++" else -1
+        return self._apply_increment(expr.operand, delta, return_new=False)
+
+    def _apply_increment(self, target: ast.Expr, delta: int, return_new: bool) -> int:
+        old = self._as_int(self._read_lvalue(target))
+        new = wrap32(old + delta)
+        self._write_lvalue(target, new)
+        self._tick("scalar_arith")
+        return new if return_new else old
+
+    def _eval_assign(self, expr: ast.Assign) -> Value:
+        if expr.op == "=":
+            value = self._eval(expr.value)
+            self._write_lvalue(expr.target, value)
+            return value
+        # Compound assignment: target op= value.
+        base_op = expr.op[:-1]
+        current = self._read_lvalue(expr.target)
+        rhs = self._eval(expr.value)
+        if isinstance(current, Pointer):
+            result: Value = self._pointer_arith(base_op, current, rhs)
+        else:
+            self._tick("scalar_mul" if base_op in ("*", "/", "%") else "scalar_arith")
+            result = self._scalar_binop(base_op, self._as_int(current), self._as_int(rhs))
+        self._write_lvalue(expr.target, result)
+        return result
+
+    def _read_lvalue(self, target: ast.Expr) -> Value:
+        if isinstance(target, ast.Identifier):
+            return self._load_identifier(target.name)
+        if isinstance(target, ast.ArrayRef):
+            return self._eval_array_load(target)
+        if isinstance(target, ast.UnaryOp) and target.op == "*":
+            return self._eval(target)
+        raise InterpreterError(f"unsupported lvalue {type(target).__name__}")
+
+    def _write_lvalue(self, target: ast.Expr, value: Value) -> None:
+        if isinstance(target, ast.Identifier):
+            if target.name not in self.scope:
+                raise CompileError(f"assignment to undeclared identifier {target.name!r}")
+            existing = self.scope[target.name]
+            if isinstance(existing, M256Value) or isinstance(value, M256Value):
+                self.scope[target.name] = value
+            elif isinstance(existing, Pointer) or isinstance(value, Pointer):
+                self.scope[target.name] = value
+            else:
+                self.scope[target.name] = wrap32(self._as_int(value))
+            self._tick("scalar_write", 0)
+            return
+        if isinstance(target, ast.ArrayRef):
+            pointer, index = self._resolve_element(target)
+            self.memory.store(pointer.region, pointer.offset + index, self._as_int(value))
+            self._tick("scalar_store")
+            return
+        if isinstance(target, ast.UnaryOp) and target.op == "*":
+            pointer = self._eval(target.operand)
+            if not isinstance(pointer, Pointer):
+                raise InterpreterError("store through a non-pointer value")
+            self.memory.store(pointer.region, pointer.offset, self._as_int(value))
+            self._tick("scalar_store")
+            return
+        raise InterpreterError(f"unsupported assignment target {type(target).__name__}")
+
+    def _eval_cast(self, expr: ast.Cast) -> Value:
+        value = self._eval(expr.operand)
+        return self._coerce_for_type(value, expr.target_type)
+
+    def _coerce_for_type(self, value: Value, target_type) -> Value:
+        if target_type.is_pointer:
+            if isinstance(value, Pointer):
+                return value
+            if isinstance(value, int) and value == 0:
+                return Pointer("__null__", 0)
+            raise InterpreterError(f"cannot cast {type(value).__name__} to pointer type")
+        if target_type.is_vector:
+            if isinstance(value, M256Value):
+                return value
+            raise InterpreterError("cannot cast a scalar to __m256i")
+        if isinstance(value, int):
+            return wrap32(value)
+        if isinstance(value, Pointer):
+            raise InterpreterError("cannot cast a pointer to int in this subset")
+        raise InterpreterError(f"cannot coerce {type(value).__name__} to {target_type}")
+
+    # -- intrinsic calls -----------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call) -> Value:
+        name = expr.func
+        if name in ("abs", "labs"):
+            value = self._as_int(self._eval(expr.args[0]))
+            self._tick("scalar_arith")
+            return wrap32(abs(value))
+        if name in ("min", "max"):
+            lhs = self._as_int(self._eval(expr.args[0]))
+            rhs = self._as_int(self._eval(expr.args[1]))
+            self._tick("scalar_arith")
+            return min(lhs, rhs) if name == "min" else max(lhs, rhs)
+        if not is_intrinsic(name):
+            raise CompileError(f"call to unknown function or intrinsic {name!r}")
+        spec = lookup_intrinsic(name)
+        if len(expr.args) != spec.arity and spec.kind not in ("setr", "set"):
+            raise CompileError(
+                f"intrinsic {name} expects {spec.arity} arguments, got {len(expr.args)}"
+            )
+        self.op_counts[f"vec_{spec.kind}"] += 1
+        self.op_counts["vector_op"] += 1
+        self._tick("vector_instr")
+        if spec.kind == "load":
+            pointer = self._pointer_argument(expr.args[0])
+            values, poison = self.memory.load_vector(pointer.region, pointer.offset, LANES)
+            return M256Value.from_lanes(values, poison)
+        if spec.kind == "maskload":
+            pointer = self._pointer_argument(expr.args[0])
+            mask = self._vector_argument(expr.args[1])
+            values: list[int] = []
+            poison: list[bool] = []
+            for lane in range(LANES):
+                if mask.lanes[lane] < 0:
+                    value, is_poison = self.memory.load(pointer.region, pointer.offset + lane)
+                    values.append(value)
+                    poison.append(is_poison)
+                else:
+                    values.append(0)
+                    poison.append(False)
+            return M256Value.from_lanes(values, poison)
+        if spec.kind == "store":
+            pointer = self._pointer_argument(expr.args[0])
+            vector = self._vector_argument(expr.args[1])
+            self.memory.store_vector(pointer.region, pointer.offset, list(vector.lanes), list(vector.poison))
+            return vector
+        if spec.kind == "maskstore":
+            pointer = self._pointer_argument(expr.args[0])
+            mask = self._vector_argument(expr.args[1])
+            vector = self._vector_argument(expr.args[2])
+            for lane in range(LANES):
+                if mask.lanes[lane] < 0:
+                    self.memory.store(
+                        pointer.region, pointer.offset + lane, vector.lanes[lane], vector.poison[lane]
+                    )
+            return vector
+        if spec.kind in ("extract", "extract128"):
+            vector = self._vector_argument(expr.args[0])
+            lane = self._as_int(self._eval(expr.args[1])) % LANES
+            return vector.lanes[lane]
+        if spec.kind == "cast128":
+            return self._vector_argument(expr.args[0])
+        args = [self._eval(arg) for arg in expr.args]
+        return apply_pure_intrinsic(name, args)
+
+    def _pointer_argument(self, expr: ast.Expr) -> Pointer:
+        value = self._eval(expr)
+        if not isinstance(value, Pointer):
+            raise InterpreterError("intrinsic memory operand is not a pointer")
+        return value
+
+    def _vector_argument(self, expr: ast.Expr) -> M256Value:
+        value = self._eval(expr)
+        if not isinstance(value, M256Value):
+            raise InterpreterError("intrinsic vector operand is not a __m256i value")
+        return value
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _truth(self, value: Value) -> bool:
+        if isinstance(value, Pointer):
+            return value.region != "__null__"
+        return self._as_int(value) != 0
+
+    @staticmethod
+    def _as_int(value: Value) -> int:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, M256Value):
+            raise InterpreterError("a __m256i value was used where a scalar was expected")
+        if isinstance(value, Pointer):
+            raise InterpreterError("a pointer value was used where a scalar was expected")
+        raise InterpreterError(f"unexpected value of type {type(value).__name__}")
+
+
+def run_function(
+    func: ast.FunctionDef,
+    arrays: Mapping[str, list[int]],
+    scalars: Mapping[str, int],
+    guard: int = 16,
+    max_steps: int = 2_000_000,
+) -> ExecutionResult:
+    """Execute ``func`` with the given array contents and scalar arguments.
+
+    ``arrays`` maps pointer-parameter names to initial contents; each becomes
+    an isolated memory region (plus guard zone).  ``scalars`` maps value
+    parameters such as ``n``.
+    """
+    memory = Memory()
+    for name, values in arrays.items():
+        memory.allocate(name, len(values), values, guard=guard)
+    interpreter = Interpreter(func, memory, scalars, max_steps=max_steps)
+    return interpreter.run()

@@ -1,0 +1,178 @@
+"""Memory model for the interpreter.
+
+Arrays passed to a TSVC kernel live in distinct regions (the non-aliasing
+assumption the paper establishes for verification, Section 3.1).  Each region
+is a fixed-size buffer of 32-bit integers with a guard zone: reads inside the
+declared extent return data, reads within the guard zone return *poison*
+values and record a :class:`UBEvent`, and accesses beyond the guard raise
+:class:`~repro.errors.UndefinedBehaviorError`.
+
+The guard zone is what lets checksum-based testing *miss* the out-of-bounds
+bug of the paper's s124 example while symbolic verification catches it: the
+vector loop may read up to a vector width past the end of an array without
+crashing, exactly as on real hardware with malloc slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import UndefinedBehaviorError
+from repro.intrinsics.avx2 import wrap32
+
+#: Number of guard elements kept past the end of every array region.
+DEFAULT_GUARD_ELEMS = 16
+
+
+@dataclass(frozen=True)
+class UBEvent:
+    """A record of undefined behaviour observed during execution."""
+
+    kind: str
+    region: str
+    index: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"UB[{self.kind}] {self.region}[{self.index}] {self.detail}".rstrip()
+
+
+@dataclass
+class ArrayRegion:
+    """A single array region: declared extent plus a guard zone."""
+
+    name: str
+    size: int
+    guard: int = DEFAULT_GUARD_ELEMS
+    data: list[int] = field(default_factory=list)
+    poison: list[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        total = self.size + self.guard
+        if not self.data:
+            self.data = [0] * total
+        if len(self.data) < total:
+            self.data = list(self.data) + [0] * (total - len(self.data))
+        if not self.poison:
+            # Guard elements hold poison: reading them is observable UB.
+            self.poison = [False] * self.size + [True] * self.guard
+
+    def in_bounds(self, index: int) -> bool:
+        return 0 <= index < self.size
+
+    def in_guard(self, index: int) -> bool:
+        return self.size <= index < self.size + self.guard
+
+    def snapshot(self) -> list[int]:
+        """Return the declared (non-guard) contents."""
+        return list(self.data[: self.size])
+
+
+class Memory:
+    """A collection of named array regions plus a UB event log."""
+
+    def __init__(self, strict: bool = False):
+        self.regions: dict[str, ArrayRegion] = {}
+        self.ub_events: list[UBEvent] = []
+        #: In strict mode every UB event raises immediately (used by the
+        #: verifier's concretization path); in permissive mode (checksum
+        #: testing) guard-zone accesses proceed with poison values.
+        self.strict = strict
+
+    # -- region management ---------------------------------------------------
+
+    def allocate(self, name: str, size: int, values: Iterable[int] | None = None,
+                 guard: int = DEFAULT_GUARD_ELEMS) -> ArrayRegion:
+        """Allocate a region named ``name`` with ``size`` declared elements."""
+        data = [wrap32(v) for v in values] if values is not None else None
+        region = ArrayRegion(name=name, size=size, guard=guard, data=data or [])
+        if values is not None:
+            # Re-run post-init padding with the provided prefix.
+            padded = [wrap32(v) for v in values][:size]
+            padded += [0] * (size + guard - len(padded))
+            region.data = padded
+        self.regions[name] = region
+        return region
+
+    def region(self, name: str) -> ArrayRegion:
+        if name not in self.regions:
+            raise UndefinedBehaviorError(f"access to unknown memory region {name!r}", "unknown-region")
+        return self.regions[name]
+
+    def has_region(self, name: str) -> bool:
+        return name in self.regions
+
+    # -- element access -------------------------------------------------------
+
+    def _record(self, event: UBEvent) -> None:
+        self.ub_events.append(event)
+        if self.strict:
+            raise UndefinedBehaviorError(str(event), event.kind)
+
+    def load(self, name: str, index: int) -> tuple[int, bool]:
+        """Load one element; returns ``(value, poison)``."""
+        region = self.region(name)
+        if region.in_bounds(index):
+            return region.data[index], region.poison[index]
+        if region.in_guard(index):
+            self._record(UBEvent("oob-read", name, index, "read in guard zone"))
+            return region.data[index], True
+        if -region.guard <= index < 0:
+            self._record(UBEvent("oob-read", name, index, "read before start"))
+            return 0, True
+        raise UndefinedBehaviorError(
+            f"out-of-bounds read {name}[{index}] (size {region.size})", "oob-read-far"
+        )
+
+    def store(self, name: str, index: int, value: int, poison: bool = False) -> None:
+        """Store one element, recording UB for guard-zone or poison stores."""
+        region = self.region(name)
+        if poison:
+            self._record(UBEvent("poison-store", name, index, "stored a poison value"))
+        if region.in_bounds(index):
+            region.data[index] = wrap32(value)
+            region.poison[index] = poison
+            return
+        if region.in_guard(index):
+            self._record(UBEvent("oob-write", name, index, "write in guard zone"))
+            region.data[index] = wrap32(value)
+            region.poison[index] = True
+            return
+        if -region.guard <= index < 0:
+            self._record(UBEvent("oob-write", name, index, "write before start"))
+            return
+        raise UndefinedBehaviorError(
+            f"out-of-bounds write {name}[{index}] (size {region.size})", "oob-write-far"
+        )
+
+    def load_vector(self, name: str, index: int, lanes: int = 8) -> tuple[list[int], list[bool]]:
+        values: list[int] = []
+        poison: list[bool] = []
+        for lane in range(lanes):
+            value, is_poison = self.load(name, index + lane)
+            values.append(value)
+            poison.append(is_poison)
+        return values, poison
+
+    def store_vector(self, name: str, index: int, values: list[int], poison: list[bool]) -> None:
+        for lane, (value, is_poison) in enumerate(zip(values, poison)):
+            self.store(name, index + lane, value, is_poison)
+
+    # -- observation ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, list[int]]:
+        """Declared contents of every region, for output comparison."""
+        return {name: region.snapshot() for name, region in self.regions.items()}
+
+    def checksum(self) -> int:
+        """An order-sensitive checksum over every region's declared contents."""
+        acc = 0
+        for name in sorted(self.regions):
+            for value in self.regions[name].snapshot():
+                acc = wrap32(acc * 31 + value)
+        return acc
+
+    @property
+    def has_ub(self) -> bool:
+        return bool(self.ub_events)

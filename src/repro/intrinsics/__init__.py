@@ -1,0 +1,22 @@
+"""Semantic models of the AVX2 intrinsics used by TSVC vectorizations.
+
+Each intrinsic is modelled at lane level over Python integers with 32-bit
+wraparound semantics, so the interpreter and the symbolic encoder share one
+source of truth for what ``_mm256_mullo_epi32`` and friends mean.
+"""
+
+from repro.intrinsics.avx2 import (
+    INTRINSIC_REGISTRY,
+    IntrinsicSpec,
+    M256Value,
+    is_intrinsic,
+    lookup_intrinsic,
+)
+
+__all__ = [
+    "INTRINSIC_REGISTRY",
+    "IntrinsicSpec",
+    "M256Value",
+    "is_intrinsic",
+    "lookup_intrinsic",
+]

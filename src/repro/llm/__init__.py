@@ -1,0 +1,25 @@
+"""LLM substrate: the client interface the pipeline talks to, plus the synthetic stand-in.
+
+The paper drives GPT-4 through the Azure OpenAI API; this package exposes the
+same shape of interface (:class:`LLMClient`: prompt in, k code completions
+out) and provides :class:`SyntheticLLM`, a deterministic stand-in built from
+the rule-based vectorizer wrapped in a calibrated fault model.  Any real LLM
+can be substituted by implementing :class:`LLMClient`.
+"""
+
+from repro.llm.client import CompletionRequest, LLMClient, LLMCompletion
+from repro.llm.faults import FaultKind, FaultProfile
+from repro.llm.prompts import build_vectorization_prompt, build_repair_prompt
+from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
+
+__all__ = [
+    "CompletionRequest",
+    "LLMClient",
+    "LLMCompletion",
+    "FaultKind",
+    "FaultProfile",
+    "build_vectorization_prompt",
+    "build_repair_prompt",
+    "SyntheticLLM",
+    "SyntheticLLMConfig",
+]

@@ -1,0 +1,258 @@
+"""Fault model: the mistake classes the synthetic LLM injects into candidates.
+
+The paper's qualitative analysis (Sections 4.1.3 and 4.4.2) identifies the
+recurring GPT-4 failure modes: mishandled loop-carried dependences and
+induction variables (the s453 first attempt), unsafe hoisting out of
+conditionals, code that does not compile, and subtle bugs that survive
+checksum testing but are caught by symbolic verification (the s124 story).
+Each :class:`FaultKind` below reproduces one of those modes as a concrete
+program transformation applied to an otherwise-correct vectorization, so the
+downstream tools (checksum tester, translation validator, agents) are
+exercised against *real* buggy programs rather than labels.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfront import ast_nodes as ast
+from repro.cfront.cparser import parse_function
+from repro.cfront.printer import function_to_c
+
+
+class FaultKind(enum.Enum):
+    """A class of LLM mistake, with how the pipeline typically experiences it."""
+
+    #: Misspelled intrinsic: the candidate does not compile (Table 2 row 3).
+    COMPILE_ERROR = "compile_error"
+    #: An arithmetic intrinsic replaced by another: caught by checksum testing.
+    WRONG_OPERATOR = "wrong_operator"
+    #: Induction vector built naively (the paper's s453 first attempt): caught
+    #: by checksum testing and repairable from its feedback.
+    NAIVE_INDUCTION = "naive_induction"
+    #: A masked (if-converted) store made unconditional (unsafe hoisting):
+    #: caught by checksum testing.
+    UNSAFE_HOIST = "unsafe_hoist"
+    #: A strict comparison relaxed to non-strict: usually invisible to random
+    #: testing (needs a tie) but refuted by symbolic verification.
+    CMP_OFF_BY_ONE = "cmp_off_by_one"
+    #: The scalar epilogue loop dropped: correct only when the trip count is a
+    #: multiple of the vector width.
+    MISSING_EPILOGUE = "missing_epilogue"
+
+
+#: Faults that the repair loop can plausibly fix once the tester reports a
+#: mismatch (they are localized and the feedback pinpoints them).
+REPAIRABLE_FAULTS = frozenset(
+    {FaultKind.WRONG_OPERATOR, FaultKind.NAIVE_INDUCTION, FaultKind.UNSAFE_HOIST,
+     FaultKind.COMPILE_ERROR}
+)
+
+
+@dataclass
+class FaultProfile:
+    """Per-request fault probabilities.
+
+    ``base_fault_rate`` is the probability that a completion receives at
+    least one fault; ``kind_weights`` selects which one.  The rates drop when
+    dependence-analysis context is present (the agents' prompts) and when
+    tester feedback identifies the previous fault — this is the calibrated
+    mechanism behind the multi-agent FSM improvements of Section 4.4.
+    """
+
+    base_fault_rate: float = 0.32
+    with_dependence_info_rate: float = 0.18
+    with_feedback_rate: float = 0.12
+    kind_weights: dict[FaultKind, float] = field(default_factory=lambda: {
+        FaultKind.COMPILE_ERROR: 0.12,
+        FaultKind.WRONG_OPERATOR: 0.22,
+        FaultKind.NAIVE_INDUCTION: 0.16,
+        FaultKind.UNSAFE_HOIST: 0.16,
+        FaultKind.CMP_OFF_BY_ONE: 0.22,
+        FaultKind.MISSING_EPILOGUE: 0.12,
+    })
+
+    def fault_rate(self, has_dependence_info: bool, has_feedback: bool) -> float:
+        if has_feedback:
+            return self.with_feedback_rate
+        if has_dependence_info:
+            return self.with_dependence_info_rate
+        return self.base_fault_rate
+
+    def sample_kind(self, rng: random.Random, applicable: list["FaultKind"]) -> Optional["FaultKind"]:
+        candidates = [(kind, self.kind_weights.get(kind, 0.0)) for kind in applicable]
+        total = sum(weight for _, weight in candidates)
+        if total <= 0:
+            return None
+        pick = rng.uniform(0, total)
+        accumulated = 0.0
+        for kind, weight in candidates:
+            accumulated += weight
+            if pick <= accumulated:
+                return kind
+        return candidates[-1][0]
+
+
+# ---------------------------------------------------------------------------
+# fault application
+# ---------------------------------------------------------------------------
+
+_OPERATOR_SWAPS = {
+    "_mm256_add_epi32": "_mm256_sub_epi32",
+    "_mm256_sub_epi32": "_mm256_add_epi32",
+    "_mm256_mullo_epi32": "_mm256_add_epi32",
+}
+
+
+def applicable_faults(vectorized_source: str) -> list[FaultKind]:
+    """Which fault kinds can be expressed on this particular candidate."""
+    faults = [FaultKind.COMPILE_ERROR]
+    if any(name in vectorized_source for name in _OPERATOR_SWAPS):
+        faults.append(FaultKind.WRONG_OPERATOR)
+    if "_mm256_setr_epi32" in vectorized_source:
+        faults.append(FaultKind.NAIVE_INDUCTION)
+    if "_mm256_blendv_epi8" in vectorized_source:
+        faults.append(FaultKind.UNSAFE_HOIST)
+    if "_mm256_cmpgt_epi32" in vectorized_source:
+        faults.append(FaultKind.CMP_OFF_BY_ONE)
+    if _count_for_loops(vectorized_source) >= 2:
+        faults.append(FaultKind.MISSING_EPILOGUE)
+    return faults
+
+
+def _count_for_loops(source: str) -> int:
+    try:
+        func = parse_function(source)
+    except Exception:
+        return 0
+    return sum(1 for node in ast.walk(func) if isinstance(node, ast.ForLoop))
+
+
+def apply_fault(vectorized_source: str, kind: FaultKind, rng: random.Random) -> str:
+    """Return a mutated copy of ``vectorized_source`` exhibiting ``kind``.
+
+    If the requested mutation turns out not to apply (e.g. no blend to
+    un-guard), the source is returned unchanged; callers treat that as "no
+    fault injected".
+    """
+    if kind is FaultKind.COMPILE_ERROR:
+        return _inject_compile_error(vectorized_source, rng)
+    func = parse_function(vectorized_source)
+    if kind is FaultKind.WRONG_OPERATOR:
+        changed = _swap_one_operator(func, rng)
+    elif kind is FaultKind.NAIVE_INDUCTION:
+        changed = _naive_induction(func)
+    elif kind is FaultKind.UNSAFE_HOIST:
+        changed = _unsafe_hoist(func, rng)
+    elif kind is FaultKind.CMP_OFF_BY_ONE:
+        changed = _relax_comparison(func, rng)
+    elif kind is FaultKind.MISSING_EPILOGUE:
+        changed = _drop_epilogue(func)
+    else:  # pragma: no cover - defensive
+        changed = False
+    if not changed:
+        return vectorized_source
+    return function_to_c(func, include_header=True)
+
+
+def _inject_compile_error(source: str, rng: random.Random) -> str:
+    """Misspell one intrinsic so the candidate fails to compile."""
+    for name in ("_mm256_loadu_si256", "_mm256_add_epi32", "_mm256_mullo_epi32",
+                 "_mm256_storeu_si256", "_mm256_set1_epi32"):
+        if name in source:
+            return source.replace(name, name + "x", 1)
+    return source + "\n/* missing translation unit */ int __undefined_symbol = undeclared_variable;\n"
+
+
+def _calls(func: ast.FunctionDef, names: set[str]) -> list[ast.Call]:
+    return [node for node in ast.walk(func) if isinstance(node, ast.Call) and node.func in names]
+
+
+def _swap_one_operator(func: ast.FunctionDef, rng: random.Random) -> bool:
+    calls = _calls(func, set(_OPERATOR_SWAPS))
+    if not calls:
+        return False
+    target = rng.choice(calls)
+    target.func = _OPERATOR_SWAPS[target.func]
+    return True
+
+
+def _naive_induction(func: ast.FunctionDef) -> bool:
+    """Replace a ``setr`` ramp with a constant splat of its first element.
+
+    This reproduces the paper's s453 first attempt, where the induction
+    vector was initialized as if a single scalar update covered all eight
+    lanes.
+    """
+    calls = _calls(func, {"_mm256_setr_epi32"})
+    ramps = [c for c in calls if len(c.args) == 8]
+    if not ramps:
+        return False
+    ramp = ramps[0]
+    first = ramp.args[0]
+    ramp.args = [first] * 8
+    return True
+
+
+def _unsafe_hoist(func: ast.FunctionDef, rng: random.Random) -> bool:
+    """Drop the blend on one if-converted value (store the 'then' value always)."""
+    calls = _calls(func, {"_mm256_blendv_epi8"})
+    if not calls:
+        return False
+    target = rng.choice(calls)
+    then_value = target.args[1]
+    target.func = "_mm256_add_epi32"
+    target.args = [then_value, ast.Call(func="_mm256_setzero_si256", args=[])]
+    return True
+
+
+def _relax_comparison(func: ast.FunctionDef, rng: random.Random) -> bool:
+    """Turn one strict ``>`` mask into ``>=`` (greater-or-equal).
+
+    The difference only shows when the compared lanes tie, so random testing
+    rarely notices — but translation validation does.
+    """
+    calls = _calls(func, {"_mm256_cmpgt_epi32"})
+    if not calls:
+        return False
+    target = rng.choice(calls)
+    left, right = target.args
+    greater = ast.Call(func="_mm256_cmpgt_epi32", args=[left, right])
+    equal = ast.Call(func="_mm256_cmpeq_epi32", args=[left, right])
+    target.func = "_mm256_or_si256"
+    target.args = [greater, equal]
+    return True
+
+
+def _drop_epilogue(func: ast.FunctionDef) -> bool:
+    """Remove the scalar epilogue loop (the last for loop of the region)."""
+    loops = [node for node in ast.walk(func) if isinstance(node, ast.ForLoop)]
+    if len(loops) < 2:
+        return False
+    epilogue = loops[-1]
+    return _remove_stmt(func.body, epilogue)
+
+
+def _remove_stmt(container: ast.Stmt, target: ast.Stmt) -> bool:
+    if isinstance(container, ast.Block):
+        for index, stmt in enumerate(container.body):
+            if stmt is target:
+                del container.body[index]
+                return True
+            if _remove_stmt(stmt, target):
+                return True
+        return False
+    if isinstance(container, ast.If):
+        if _remove_stmt(container.then, target):
+            return True
+        if container.otherwise is not None:
+            return _remove_stmt(container.otherwise, target)
+        return False
+    if isinstance(container, (ast.ForLoop, ast.WhileLoop, ast.DoWhileLoop)):
+        return _remove_stmt(container.body, target)
+    if isinstance(container, ast.Label):
+        return _remove_stmt(container.stmt, target)
+    return False

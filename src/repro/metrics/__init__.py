@@ -1,0 +1,5 @@
+"""Evaluation metrics (pass@k)."""
+
+from repro.metrics.passk import pass_at_k, pass_at_k_curve
+
+__all__ = ["pass_at_k", "pass_at_k_curve"]

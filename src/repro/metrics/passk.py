@@ -1,0 +1,44 @@
+"""The pass@k metric (Chen et al. 2021), adapted to checksum plausibility.
+
+``pass@k`` is the expected probability that a sample of ``k`` completions
+(out of ``n`` generated) contains at least one correct one; the paper adapts
+"correct" to "labelled Plausible by checksum-based testing" and reports the
+average over the 149 TSVC kernels for k = 1..100 (Figure 5).
+
+The unbiased estimator is ``1 - C(n - c, k) / C(n, k)`` for a kernel with
+``c`` correct completions out of ``n``.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased pass@k estimate for one problem (n samples, c correct)."""
+    if n < 0 or c < 0 or c > n:
+        raise ValueError("need 0 <= c <= n")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > n:
+        k = n
+    if c == 0:
+        return 0.0
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def pass_at_k_curve(per_problem_counts: list[tuple[int, int]], ks: list[int]) -> dict[int, float]:
+    """Average pass@k over problems.
+
+    ``per_problem_counts`` holds ``(n, c)`` per problem; the result maps each
+    ``k`` to the mean estimate — the quantity plotted in Figure 5.
+    """
+    if not per_problem_counts:
+        return {k: 0.0 for k in ks}
+    curve: dict[int, float] = {}
+    for k in ks:
+        total = sum(pass_at_k(n, c, k) for n, c in per_problem_counts)
+        curve[k] = total / len(per_problem_counts)
+    return curve

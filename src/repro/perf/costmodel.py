@@ -1,0 +1,66 @@
+"""Instruction cost tables for the cycle simulator.
+
+Costs are rough reciprocal-throughput figures for a Haswell/Skylake-class
+AVX2 core, expressed in cycles per executed operation.  They do not model
+instruction-level parallelism or the memory hierarchy; the simulator's output
+is a cycle *estimate* whose ratios (scalar loop vs. 8-lane vector loop,
+if-converted vs. straight-line) match the qualitative behaviour the paper's
+Figure 6 relies on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs per interpreter operation category."""
+
+    scalar_costs: dict = field(default_factory=lambda: {
+        "scalar_arith": 1.0,
+        "scalar_mul": 3.0,
+        "scalar_load": 4.0,
+        "scalar_store": 4.0,
+        "branch": 1.5,
+        "decl": 0.5,
+        "alloc": 2.0,
+        "loop_iteration": 1.0,   # induction update + compare overhead
+    })
+    vector_costs: dict = field(default_factory=lambda: {
+        "vec_load": 6.0,
+        "vec_store": 6.0,
+        "vec_maskload": 8.0,
+        "vec_maskstore": 8.0,
+        "vec_pure_binary": 1.5,
+        "vec_pure_unary": 1.0,
+        "vec_pure_vector": 2.0,   # blends, horizontal adds
+        "vec_pure_imm": 1.0,
+        "vec_pure_imm2": 3.0,
+        "vec_set1": 1.5,
+        "vec_setr": 2.0,
+        "vec_set": 2.0,
+        "vec_setzero": 0.5,
+        "vec_extract": 3.0,
+        "vec_extract128": 3.0,
+        "vec_cast128": 0.0,
+    })
+    #: Fixed per-invocation overhead charged to every measured run (call,
+    #: prologue, loop setup).
+    invocation_overhead: float = 20.0
+
+    def cycles_for(self, op_counts: Counter) -> float:
+        """Total estimated cycles for an execution's operation counts."""
+        total = self.invocation_overhead
+        for category, count in op_counts.items():
+            if category in self.scalar_costs:
+                total += self.scalar_costs[category] * count
+            elif category in self.vector_costs:
+                total += self.vector_costs[category] * count
+            # Aggregate categories (vector_op, vector_instr, scalar_read/write)
+            # are bookkeeping duplicates of the specific ones and carry no cost.
+        return total
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,14 @@
+"""End-to-end pipeline: Algorithm 1 and per-kernel / whole-suite runners."""
+
+from repro.pipeline.verdict import Verdict
+from repro.pipeline.equivalence import EquivalencePipeline, PipelineReport
+from repro.pipeline.runner import KernelRunResult, LLMVectorizer, LLMVectorizerConfig
+
+__all__ = [
+    "Verdict",
+    "EquivalencePipeline",
+    "PipelineReport",
+    "KernelRunResult",
+    "LLMVectorizer",
+    "LLMVectorizerConfig",
+]

@@ -1,0 +1,81 @@
+"""LLM-Vectorizer: the end-to-end tool (Figure 2 of the paper).
+
+:class:`LLMVectorizer` ties everything together for one kernel: the
+multi-agent FSM drives the LLM to a checksum-plausible candidate, and the
+equivalence pipeline (Algorithm 1) then tries to formally verify or refute
+it.  The batch entry point runs the whole TSVC suite and is what the
+experiment harness and the benchmarks build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agents.fsm import FSMConfig, FSMResult, VectorizationFSM
+from repro.llm.client import LLMClient
+from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
+from repro.pipeline.equivalence import EquivalencePipeline, PipelineReport
+from repro.pipeline.verdict import Verdict
+from repro.tsvc import LoadedKernel, load_suite
+
+
+@dataclass
+class LLMVectorizerConfig:
+    """Top-level configuration of the end-to-end tool."""
+
+    fsm: FSMConfig = field(default_factory=FSMConfig)
+    llm: SyntheticLLMConfig = field(default_factory=SyntheticLLMConfig)
+    run_verification: bool = True
+    checksum_seed: int = 0
+
+
+@dataclass
+class KernelRunResult:
+    """Everything the tool produced for one kernel."""
+
+    kernel: LoadedKernel
+    fsm_result: FSMResult
+    pipeline_report: Optional[PipelineReport] = None
+
+    @property
+    def plausible(self) -> bool:
+        return self.fsm_result.accepted
+
+    @property
+    def verdict(self) -> Verdict:
+        if not self.plausible:
+            return Verdict.NOT_EQUIVALENT
+        if self.pipeline_report is None:
+            return Verdict.PLAUSIBLE
+        return self.pipeline_report.verdict
+
+    @property
+    def vectorized_code(self) -> Optional[str]:
+        return self.fsm_result.final_code
+
+
+class LLMVectorizer:
+    """The end-to-end tool: scalar C in, (verified) vectorized C out."""
+
+    def __init__(self, config: LLMVectorizerConfig | None = None, llm: LLMClient | None = None):
+        self.config = config or LLMVectorizerConfig()
+        self.llm = llm or SyntheticLLM(self.config.llm)
+        self.pipeline = EquivalencePipeline(checksum_seed=self.config.checksum_seed)
+
+    def vectorize(self, kernel: LoadedKernel) -> KernelRunResult:
+        """Run the full tool on one kernel."""
+        fsm = VectorizationFSM(self.llm, kernel.name, kernel.source, self.config.fsm)
+        fsm_result = fsm.run()
+        pipeline_report = None
+        if fsm_result.accepted and self.config.run_verification and fsm_result.final_code:
+            # Checksum already passed inside the FSM; Algorithm 1's later
+            # stages do the formal work.
+            pipeline_report = self.pipeline.check_equivalence(
+                kernel.source, fsm_result.final_code, skip_checksum=True
+            )
+        return KernelRunResult(kernel=kernel, fsm_result=fsm_result, pipeline_report=pipeline_report)
+
+    def vectorize_suite(self, names: list[str] | None = None) -> list[KernelRunResult]:
+        """Run the tool over the TSVC suite (or the subset ``names``)."""
+        return [self.vectorize(kernel) for kernel in load_suite(names)]

@@ -1,0 +1,18 @@
+"""Verdict vocabulary shared by the testing and verification stages."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Verdict(enum.Enum):
+    """The four verdicts of the paper's equivalence-checking methodology."""
+
+    PLAUSIBLE = "plausible"            # survived checksum testing (possibly correct)
+    EQUIVALENT = "equivalent"          # formally verified (modulo bounded unrolling)
+    NOT_EQUIVALENT = "not_equivalent"  # refuted by testing or verification
+    INCONCLUSIVE = "inconclusive"      # resource limits / unsupported encodings
+
+    @property
+    def is_final(self) -> bool:
+        return self in (Verdict.EQUIVALENT, Verdict.NOT_EQUIVALENT)

@@ -1,0 +1,5 @@
+"""Plain-text table and figure renderers for the experiment harness."""
+
+from repro.reporting.tables import render_table, render_pass_at_k_curve
+
+__all__ = ["render_table", "render_pass_at_k_curve"]

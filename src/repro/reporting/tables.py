@@ -1,0 +1,40 @@
+"""Text renderers used by the benchmark harness and the examples.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+format them as aligned text tables and simple ASCII curves so the regenerated
+artifacts can be read directly from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty table)\n" if title else "(empty table)\n"
+    columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines) + "\n"
+
+
+def render_pass_at_k_curve(curve: Mapping[int, float], title: str = "pass@k", width: int = 50) -> str:
+    """Render a pass@k curve as an ASCII bar chart (Figure 5 style)."""
+    lines = [title]
+    for k in sorted(curve):
+        value = curve[k]
+        bar = "#" * int(round(value * width))
+        lines.append(f"k={k:>3}  {value:5.3f}  {bar}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,412 @@
+"""Equivalence checking of bitvector terms.
+
+The checker discharges "is term S equal to term T for all inputs?" queries in
+three stages (cheapest first):
+
+1. **Algebraic normalization** — wraparound add/sub/mul form a commutative
+   ring, so both terms are rewritten into a canonical polynomial form (atoms
+   such as comparisons or selects become opaque variables whose arguments are
+   normalized recursively).  Structural equality of the normal forms is a
+   sound proof of equivalence at full width.
+2. **Randomized refutation** — concrete evaluation at 32 bits over a battery
+   of random and boundary assignments; any difference is a genuine
+   counterexample.
+3. **Bit-blasting + CDCL SAT at reduced width** — an UNSAT answer proves
+   equivalence *modulo bitwidth reduction* (the documented soundness trade of
+   this reproduction); a SAT answer is re-checked at 32 bits before being
+   reported as a refutation; budget exhaustion is Inconclusive, mirroring
+   Alive2/Z3 timeouts in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.smt.bitblast import BitBlaster, UnsupportedTerm, assert_words_differ
+from repro.smt.sat import CDCLSolver, SATResult
+from repro.smt.terms import (
+    Term,
+    TermKind,
+    WORD_BITS,
+    bv_const,
+    bv_var,
+    collect_variables,
+    evaluate,
+    mk,
+    term_size,
+    to_unsigned,
+)
+
+_RING_OPS = {TermKind.ADD, TermKind.SUB, TermKind.MUL, TermKind.NEG}
+_MODULUS = 1 << WORD_BITS
+
+
+class EquivalenceOutcome(enum.Enum):
+    EQUIVALENT = "equivalent"
+    NOT_EQUIVALENT = "not_equivalent"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass
+class SolverBudget:
+    """Resource limits; exhausting any of them yields Inconclusive."""
+
+    max_term_nodes: int = 6000
+    random_samples: int = 48
+    sat_bitwidth: int = 6
+    sat_conflict_budget: int = 30_000
+    sat_propagation_budget: int = 1_500_000
+
+
+@dataclass
+class EquivalenceResult:
+    outcome: EquivalenceOutcome
+    method: str = ""
+    counterexample: Optional[dict[str, int]] = None
+    detail: str = ""
+
+
+# ---------------------------------------------------------------------------
+# stage 1: algebraic normalization
+# ---------------------------------------------------------------------------
+
+
+def _polynomial(term: Term, atoms: dict[Term, str]) -> dict[tuple[str, ...], int]:
+    """Multivariate polynomial (monomial -> coefficient mod 2^32) of ``term``.
+
+    Non-ring sub-terms become atom variables; their *normalized* form is used
+    as the atom key so equal-modulo-arithmetic atoms coincide.
+    """
+    kind = term.kind
+    if kind is TermKind.CONST:
+        return {(): term.value % _MODULUS} if term.value % _MODULUS else {}
+    if kind is TermKind.VAR:
+        return {(term.name,): 1}
+    if kind is TermKind.ADD:
+        return _poly_add(_polynomial(term.args[0], atoms), _polynomial(term.args[1], atoms), 1)
+    if kind is TermKind.SUB:
+        return _poly_add(_polynomial(term.args[0], atoms), _polynomial(term.args[1], atoms), -1)
+    if kind is TermKind.NEG:
+        return _poly_scale(_polynomial(term.args[0], atoms), -1)
+    if kind is TermKind.MUL:
+        return _poly_mul(_polynomial(term.args[0], atoms), _polynomial(term.args[1], atoms))
+    # Non-ring operation: normalize it recursively and treat it as an atom.
+    normalized = normalize_term(term)
+    if normalized.kind in _RING_OPS or normalized.kind in (TermKind.CONST, TermKind.VAR):
+        return _polynomial(normalized, atoms)
+    name = atoms.setdefault(normalized, f"__atom{len(atoms)}")
+    return {(name,): 1}
+
+
+def _poly_add(left: dict, right: dict, sign: int) -> dict:
+    result = dict(left)
+    for monomial, coefficient in right.items():
+        result[monomial] = (result.get(monomial, 0) + sign * coefficient) % _MODULUS
+        if result[monomial] == 0:
+            del result[monomial]
+    return result
+
+
+def _poly_scale(poly: dict, factor: int) -> dict:
+    result = {}
+    for monomial, coefficient in poly.items():
+        scaled = (coefficient * factor) % _MODULUS
+        if scaled:
+            result[monomial] = scaled
+    return result
+
+
+def _poly_mul(left: dict, right: dict) -> dict:
+    result: dict[tuple[str, ...], int] = {}
+    for mono_l, coeff_l in left.items():
+        for mono_r, coeff_r in right.items():
+            monomial = tuple(sorted(mono_l + mono_r))
+            coefficient = (result.get(monomial, 0) + coeff_l * coeff_r) % _MODULUS
+            if coefficient:
+                result[monomial] = coefficient
+            elif monomial in result:
+                del result[monomial]
+    return result
+
+
+def _poly_to_term(poly: dict, atom_terms: dict[str, Term]) -> Term:
+    if not poly:
+        return bv_const(0)
+    terms: list[Term] = []
+    for monomial in sorted(poly):
+        coefficient = poly[monomial]
+        factors: list[Term] = []
+        for name in monomial:
+            factors.append(atom_terms.get(name, bv_var(name)))
+        product: Term = bv_const(coefficient)
+        if factors:
+            product = factors[0]
+            for factor in factors[1:]:
+                product = Term(TermKind.MUL, (product, factor))
+            if coefficient != 1:
+                product = Term(TermKind.MUL, (bv_const(coefficient), product))
+        terms.append(product)
+    result = terms[0]
+    for term in terms[1:]:
+        result = Term(TermKind.ADD, (result, term))
+    return result
+
+
+#: Associative-commutative operators flattened and sorted during normalization.
+_AC_OPS = {TermKind.MAX, TermKind.MIN, TermKind.AND, TermKind.OR, TermKind.XOR}
+
+
+def _flatten_ac(term: Term, kind: TermKind, out: list[Term]) -> None:
+    if term.kind is kind:
+        for arg in term.args:
+            _flatten_ac(arg, kind, out)
+    else:
+        out.append(term)
+
+
+def normalize_term(term: Term) -> Term:
+    """Canonical form: polynomial normal form with recursively-normalized atoms.
+
+    Besides the ring normalization, two more canonicalizations are applied so
+    that scalar and vectorized programs converge to the same shape:
+
+    * associative-commutative chains (min/max/and/or/xor) are flattened and
+      their operands sorted, so a left-deep scalar reduction matches a
+      lane-then-combine vector reduction;
+    * ``ite(c, t, e)`` is rewritten into the additive form ``e + ite(c, t-e, 0)``,
+      so a conditionally-accumulated scalar (``ite(c, s+x, s)``) matches the
+      masked vector accumulation (``s + ite(c, x, 0)``).
+    """
+    if term.kind in (TermKind.CONST, TermKind.VAR, TermKind.POISON):
+        return term
+    if term.kind in _RING_OPS:
+        atoms: dict[Term, str] = {}
+        poly = _polynomial(term, atoms)
+        atom_terms = {name: atom for atom, name in atoms.items()}
+        return _poly_to_term(poly, atom_terms)
+    if term.kind in _AC_OPS:
+        operands: list[Term] = []
+        _flatten_ac(term, term.kind, operands)
+        normalized = sorted((normalize_term(o) for o in operands), key=_ordering_key)
+        if term.kind is not TermKind.XOR:
+            # min/max/and/or are idempotent: duplicate operands collapse.
+            deduped: list[Term] = []
+            for operand in normalized:
+                if not deduped or deduped[-1] != operand:
+                    deduped.append(operand)
+            normalized = deduped
+        result = normalized[0]
+        for operand in normalized[1:]:
+            result = Term(term.kind, (result, operand))
+        return result
+    if term.kind is TermKind.ITE:
+        cond = normalize_term(term.args[0])
+        then = normalize_term(term.args[1])
+        otherwise = normalize_term(term.args[2])
+        if then == otherwise:
+            return then
+        difference = normalize_term(Term(TermKind.SUB, (then, otherwise)))
+        selected = mk(TermKind.ITE, cond, difference, bv_const(0))
+        if otherwise == bv_const(0):
+            return selected
+        return normalize_term(Term(TermKind.ADD, (otherwise, selected)))
+    normalized_args = tuple(normalize_term(a) for a in term.args)
+    return mk(term.kind, *normalized_args)
+
+
+def _ordering_key(term: Term) -> str:
+    return repr((term.kind.value, term.value, term.name, tuple(_ordering_key(a) for a in term.args)))
+
+
+_NORMALIZE_CACHE: dict[Term, Term] = {}
+
+
+def cached_normalize(term: Term) -> Term:
+    """Memoized :func:`normalize_term` (normal forms are reused across queries)."""
+    cached = _NORMALIZE_CACHE.get(term)
+    if cached is None:
+        cached = normalize_term(term)
+        if len(_NORMALIZE_CACHE) > 50_000:
+            _NORMALIZE_CACHE.clear()
+        _NORMALIZE_CACHE[term] = cached
+    return cached
+
+
+def terms_structurally_equal(left: Term, right: Term) -> bool:
+    """Equality after canonical normalization (a sound full-width proof)."""
+    if left == right:
+        return True
+    return cached_normalize(left) == cached_normalize(right)
+
+
+# ---------------------------------------------------------------------------
+# stage 2: randomized refutation; stage 3: bit-blasting
+# ---------------------------------------------------------------------------
+
+
+_BOUNDARY_VALUES = [0, 1, 2, 7, 8, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0xFFFFFFFE]
+
+
+class EquivalenceChecker:
+    """Checks pairs of terms for equivalence under a resource budget."""
+
+    def __init__(self, budget: SolverBudget | None = None, seed: int = 7):
+        self.budget = budget or SolverBudget()
+        self.seed = seed
+
+    # -- public ------------------------------------------------------------------
+
+    def check_pair(self, source: Term, target: Term) -> EquivalenceResult:
+        """Is ``source == target`` for all variable assignments?"""
+        if terms_structurally_equal(source, target):
+            return EquivalenceResult(EquivalenceOutcome.EQUIVALENT, method="normalization")
+
+        counterexample = self._random_refute(source, target)
+        if counterexample is not None:
+            return EquivalenceResult(
+                EquivalenceOutcome.NOT_EQUIVALENT, method="concrete", counterexample=counterexample
+            )
+
+        total_nodes = term_size(source) + term_size(target)
+        if total_nodes > self.budget.max_term_nodes:
+            return EquivalenceResult(
+                EquivalenceOutcome.INCONCLUSIVE,
+                method="budget",
+                detail=f"term too large for the SAT stage ({total_nodes} nodes)",
+            )
+        return self._sat_check(source, target)
+
+    def check_pairs(self, pairs: list[tuple[Term, Term]]) -> EquivalenceResult:
+        """All pairs must be equivalent; the first refutation / inconclusive wins.
+
+        Pairs are first filtered through normalization (cheap proofs), then a
+        single batched random-refutation pass runs over the survivors before
+        any of them is handed to the SAT stage.
+        """
+        unproven: list[tuple[Term, Term]] = []
+        for source, target in pairs:
+            if not terms_structurally_equal(source, target):
+                unproven.append((source, target))
+        if not unproven:
+            return EquivalenceResult(EquivalenceOutcome.EQUIVALENT, method="all-pairs")
+
+        counterexample = self._batched_random_refute(unproven)
+        if counterexample is not None:
+            return EquivalenceResult(
+                EquivalenceOutcome.NOT_EQUIVALENT, method="concrete", counterexample=counterexample
+            )
+
+        worst: Optional[EquivalenceResult] = None
+        for source, target in sorted(unproven, key=lambda p: term_size(p[0]) + term_size(p[1])):
+            total_nodes = term_size(source) + term_size(target)
+            if total_nodes > self.budget.max_term_nodes:
+                worst = EquivalenceResult(
+                    EquivalenceOutcome.INCONCLUSIVE, method="budget",
+                    detail=f"term too large for the SAT stage ({total_nodes} nodes)",
+                )
+                continue
+            result = self._sat_check(source, target)
+            if result.outcome is EquivalenceOutcome.NOT_EQUIVALENT:
+                return result
+            if result.outcome is EquivalenceOutcome.INCONCLUSIVE and worst is None:
+                worst = result
+        if worst is not None:
+            return worst
+        return EquivalenceResult(EquivalenceOutcome.EQUIVALENT, method="all-pairs")
+
+    def _batched_random_refute(self, pairs: list[tuple[Term, Term]]) -> Optional[dict[str, int]]:
+        variables: set[str] = set()
+        for source, target in pairs:
+            variables |= collect_variables(source) | collect_variables(target)
+        ordered = sorted(variables)
+        rng = random.Random(self.seed)
+        for sample in range(self.budget.random_samples):
+            assignment: dict[str, int] = {}
+            for name in ordered:
+                if sample < len(_BOUNDARY_VALUES):
+                    assignment[name] = to_unsigned(_BOUNDARY_VALUES[sample] + rng.randint(-2, 2))
+                elif sample % 3 == 0:
+                    assignment[name] = to_unsigned(rng.randint(-10, 10))
+                else:
+                    assignment[name] = rng.getrandbits(WORD_BITS)
+            for source, target in pairs:
+                if evaluate(source, assignment) != evaluate(target, assignment):
+                    return assignment
+        return None
+
+    # -- internals ------------------------------------------------------------------
+
+    def _random_refute(self, source: Term, target: Term) -> Optional[dict[str, int]]:
+        variables = sorted(collect_variables(source) | collect_variables(target))
+        rng = random.Random(self.seed)
+        for sample in range(self.budget.random_samples):
+            assignment: dict[str, int] = {}
+            for name in variables:
+                if sample < len(_BOUNDARY_VALUES):
+                    base = _BOUNDARY_VALUES[sample]
+                    assignment[name] = to_unsigned(base + rng.randint(-2, 2))
+                elif sample % 3 == 0:
+                    assignment[name] = to_unsigned(rng.randint(-10, 10))
+                else:
+                    assignment[name] = rng.getrandbits(WORD_BITS)
+            if evaluate(source, assignment) != evaluate(target, assignment):
+                return assignment
+        return None
+
+    def _sat_check(self, source: Term, target: Term) -> EquivalenceResult:
+        solver = CDCLSolver(
+            propagation_budget=self.budget.sat_propagation_budget,
+            conflict_budget=self.budget.sat_conflict_budget,
+        )
+        blaster = BitBlaster(solver, bits=self.budget.sat_bitwidth)
+        try:
+            left_bits = blaster.blast(source)
+            right_bits = blaster.blast(target)
+        except (UnsupportedTerm, RecursionError) as exc:
+            return EquivalenceResult(
+                EquivalenceOutcome.INCONCLUSIVE, method="bitblast", detail=str(exc)
+            )
+        assert_words_differ(blaster, left_bits, right_bits)
+        result, model = solver.solve()
+        if result is SATResult.UNSAT:
+            return EquivalenceResult(
+                EquivalenceOutcome.EQUIVALENT,
+                method=f"sat-unsat@{self.budget.sat_bitwidth}bit",
+                detail="equivalent modulo bitwidth reduction",
+            )
+        if result is SATResult.UNKNOWN:
+            return EquivalenceResult(
+                EquivalenceOutcome.INCONCLUSIVE, method="sat-budget", detail="solver budget exhausted"
+            )
+        # SAT at reduced width: extract an assignment and confirm at 32 bits.
+        assignment = self._model_to_assignment(blaster, model)
+        try:
+            if evaluate(source, assignment) != evaluate(target, assignment):
+                return EquivalenceResult(
+                    EquivalenceOutcome.NOT_EQUIVALENT, method="sat-model", counterexample=assignment
+                )
+        except KeyError:
+            pass
+        return EquivalenceResult(
+            EquivalenceOutcome.INCONCLUSIVE,
+            method="sat-width-artifact",
+            detail="reduced-width counterexample did not reproduce at full width",
+        )
+
+    @staticmethod
+    def _model_to_assignment(blaster: BitBlaster, model: dict[int, bool]) -> dict[str, int]:
+        assignment: dict[str, int] = {}
+        for name, bits in blaster._var_bits.items():
+            value = 0
+            for position, literal in enumerate(bits):
+                if model.get(abs(literal), False) == (literal > 0):
+                    value |= 1 << position
+            # Sign-extend the reduced-width value into 32 bits so boundary
+            # behaviour (negative numbers) is preserved.
+            if value & (1 << (blaster.bits - 1)):
+                value |= ((1 << (WORD_BITS - blaster.bits)) - 1) << blaster.bits
+            assignment[name] = value
+        return assignment

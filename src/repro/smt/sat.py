@@ -1,0 +1,259 @@
+"""A compact CDCL SAT solver.
+
+The solver implements the standard conflict-driven clause learning loop with
+two-watched-literal propagation, first-UIP conflict analysis, VSIDS-style
+activity ordering and Luby-free geometric restarts.  It is deliberately small
+but it is a real solver: the bit-blasted vectorization equivalence queries it
+receives routinely contain a few thousand clauses.
+
+Literals are encoded as nonzero integers (DIMACS convention: ``-v`` is the
+negation of variable ``v``).  A propagation/decision budget turns
+runaway queries into a ``SATResult.UNKNOWN`` answer, which the verification
+layer reports as Inconclusive — the analogue of an Alive2/Z3 timeout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SATResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SATStatistics:
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning SAT solver over integer literals."""
+
+    def __init__(self, propagation_budget: int = 2_000_000, conflict_budget: int = 50_000):
+        self.clauses: list[list[int]] = []
+        self.num_vars = 0
+        self.propagation_budget = propagation_budget
+        self.conflict_budget = conflict_budget
+        self.stats = SATStatistics()
+
+    # -- problem construction -----------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: list[int]) -> None:
+        """Add a clause (list of literals); empty clauses make the problem UNSAT."""
+        clause = sorted(set(literals), key=abs)
+        # Skip tautologies (x OR NOT x).
+        seen = set(clause)
+        if any(-lit in seen for lit in clause):
+            return
+        for literal in clause:
+            self.num_vars = max(self.num_vars, abs(literal))
+        self.clauses.append(clause)
+
+    # -- solving ---------------------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None) -> tuple[SATResult, dict[int, bool]]:
+        """Solve the formula; returns (result, model) where model maps var -> bool."""
+        if any(len(clause) == 0 for clause in self.clauses):
+            return SATResult.UNSAT, {}
+        self._init_state()
+        for literal in assumptions or []:
+            if not self._assume(literal):
+                return SATResult.UNSAT, {}
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if self.stats.conflicts > self.conflict_budget:
+                    return SATResult.UNKNOWN, {}
+                if self.decision_level == 0:
+                    return SATResult.UNSAT, {}
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                self._learn(learned)
+            else:
+                if self.stats.propagations > self.propagation_budget:
+                    return SATResult.UNKNOWN, {}
+                literal = self._pick_branch()
+                if literal is None:
+                    model = {var: self.assignment[var] for var in range(1, self.num_vars + 1)
+                             if self.assignment[var] is not None}
+                    return SATResult.SAT, model
+                self.stats.decisions += 1
+                self.decision_level += 1
+                self._enqueue(literal, None)
+
+    # -- internal state ---------------------------------------------------------------
+
+    def _init_state(self) -> None:
+        size = self.num_vars + 1
+        self.assignment: list[bool | None] = [None] * size
+        self.level: list[int] = [0] * size
+        self.reason: list[list[int] | None] = [None] * size
+        self.activity: list[float] = [0.0] * size
+        self.activity_increment = 1.0
+        self.trail: list[int] = []
+        self.trail_limits: list[int] = []
+        self.decision_level = 0
+        self.propagation_head = 0
+        # Two-watched-literals: watches[lit] = clauses watching lit.
+        self.watches: dict[int, list[list[int]]] = {}
+        self.all_clauses: list[list[int]] = []
+        for clause in self.clauses:
+            self._attach(clause)
+
+    def _attach(self, clause: list[int]) -> None:
+        self.all_clauses.append(clause)
+        if len(clause) == 1:
+            self._enqueue(clause[0], clause)
+            return
+        self.watches.setdefault(clause[0], []).append(clause)
+        self.watches.setdefault(clause[1], []).append(clause)
+
+    def _value(self, literal: int) -> bool | None:
+        assigned = self.assignment[abs(literal)]
+        if assigned is None:
+            return None
+        return assigned if literal > 0 else not assigned
+
+    def _assume(self, literal: int) -> bool:
+        if self._value(literal) is False:
+            return False
+        if self._value(literal) is None:
+            self._enqueue(literal, None)
+        return True
+
+    def _enqueue(self, literal: int, reason: list[int] | None) -> None:
+        variable = abs(literal)
+        self.assignment[variable] = literal > 0
+        self.level[variable] = self.decision_level
+        self.reason[variable] = reason
+        self.trail.append(literal)
+        if self.decision_level > 0 and len(self.trail_limits) < self.decision_level:
+            self.trail_limits.append(len(self.trail) - 1)
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.propagation_head < len(self.trail):
+            literal = self.trail[self.propagation_head]
+            self.propagation_head += 1
+            self.stats.propagations += 1
+            falsified = -literal
+            watching = self.watches.get(falsified, [])
+            index = 0
+            while index < len(watching):
+                clause = watching[index]
+                # Ensure the falsified literal is in position 1.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    index += 1
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for position in range(2, len(clause)):
+                    if self._value(clause[position]) is not False:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self.watches.setdefault(clause[1], []).append(clause)
+                        watching.pop(index)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                # No replacement: clause is unit or conflicting.
+                if self._value(first) is False:
+                    return clause
+                self._enqueue(first, clause)
+                index += 1
+        return None
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP conflict analysis; returns (learned clause, backtrack level)."""
+        learned: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = None
+        clause = conflict
+        trail_index = len(self.trail) - 1
+
+        while True:
+            for lit in clause:
+                variable = abs(lit)
+                if not seen[variable] and self.level[variable] > 0:
+                    seen[variable] = True
+                    self._bump(variable)
+                    if self.level[variable] == self.decision_level:
+                        counter += 1
+                    else:
+                        learned.append(lit)
+            # Find the next literal on the trail at the current level.
+            while True:
+                literal = self.trail[trail_index]
+                trail_index -= 1
+                if seen[abs(literal)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[abs(literal)] or []
+        learned.append(-literal)
+        self.stats.learned_clauses += 1
+        if len(learned) == 1:
+            return learned, 0
+        backtrack_level = max(self.level[abs(lit)] for lit in learned[:-1])
+        return learned, backtrack_level
+
+    def _backtrack(self, level: int) -> None:
+        while self.decision_level > level:
+            limit = self.trail_limits.pop() if self.trail_limits else 0
+            while len(self.trail) > limit:
+                literal = self.trail.pop()
+                variable = abs(literal)
+                self.assignment[variable] = None
+                self.reason[variable] = None
+            self.decision_level -= 1
+        self.propagation_head = min(self.propagation_head, len(self.trail))
+
+    def _learn(self, clause: list[int]) -> None:
+        # Put the asserting literal first so it becomes unit immediately.
+        asserting = clause[-1]
+        ordered = [asserting] + clause[:-1]
+        if len(ordered) == 1:
+            self._enqueue(asserting, ordered)
+            return
+        # Second watch: a literal from the backtrack level.
+        self.watches.setdefault(ordered[0], []).append(ordered)
+        self.watches.setdefault(ordered[1], []).append(ordered)
+        self.all_clauses.append(ordered)
+        self._enqueue(asserting, ordered)
+
+    def _bump(self, variable: int) -> None:
+        self.activity[variable] += self.activity_increment
+        if self.activity[variable] > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= 1e-100
+            self.activity_increment *= 1e-100
+        self.activity_increment *= 1.05
+
+    def _pick_branch(self) -> int | None:
+        best_var = None
+        best_activity = -1.0
+        for variable in range(1, self.num_vars + 1):
+            if self.assignment[variable] is None and self.activity[variable] > best_activity:
+                best_var = variable
+                best_activity = self.activity[variable]
+        if best_var is None:
+            return None
+        return -best_var  # branch negative first: bit-blasted queries favour zeros

@@ -1,0 +1,406 @@
+"""Bitvector term language.
+
+Terms are immutable, hash-consed DAG nodes over a fixed word width (32 bits
+for the concrete semantics; the bit-blaster may re-interpret them at a
+reduced width).  The operation set covers exactly what the symbolic executor
+needs for TSVC kernels and their AVX2 vectorizations: wraparound arithmetic,
+bitwise logic, comparisons (yielding 0/1), if-then-else selection, min/max
+and absolute value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+WORD_BITS = 32
+_WORD_MASK = (1 << WORD_BITS) - 1
+_SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+def to_signed(value: int, bits: int = WORD_BITS) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def to_unsigned(value: int, bits: int = WORD_BITS) -> int:
+    return value & ((1 << bits) - 1)
+
+
+class TermKind(enum.Enum):
+    CONST = "const"
+    VAR = "var"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    NEG = "neg"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    DIV = "div"      # C-style truncating signed division
+    REM = "rem"      # C-style signed remainder
+    ITE = "ite"      # ite(cond, a, b) where cond is 0/1
+    LT = "lt"        # signed less-than, yields 0/1
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQ = "eq"
+    NE = "ne"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    POISON = "poison"  # a poison marker value (UB tracking)
+
+
+_COMMUTATIVE = {TermKind.ADD, TermKind.MUL, TermKind.AND, TermKind.OR, TermKind.XOR,
+                TermKind.EQ, TermKind.NE, TermKind.MIN, TermKind.MAX}
+
+
+@dataclass(frozen=True)
+class Term:
+    """One node of the term DAG."""
+
+    kind: TermKind
+    args: tuple["Term", ...] = ()
+    value: int | None = None       # for CONST
+    name: str | None = None        # for VAR / POISON provenance
+
+    def __post_init__(self) -> None:
+        if self.kind is TermKind.CONST and self.value is None:
+            raise ValueError("constant terms need a value")
+        if self.kind is TermKind.VAR and not self.name:
+            raise ValueError("variable terms need a name")
+
+    # The default dataclass equality/hash over (kind,args,value,name) doubles
+    # as structural hash-consing when combined with the caches below.
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is TermKind.CONST:
+            return str(to_signed(self.value))
+        if self.kind is TermKind.VAR:
+            return self.name
+        return f"{self.kind.value}({', '.join(str(a) for a in self.args)})"
+
+
+_CONST_CACHE: dict[int, Term] = {}
+_VAR_CACHE: dict[str, Term] = {}
+
+
+def bv_const(value: int) -> Term:
+    value = to_unsigned(int(value))
+    if value not in _CONST_CACHE:
+        _CONST_CACHE[value] = Term(TermKind.CONST, value=value)
+    return _CONST_CACHE[value]
+
+
+def bv_var(name: str) -> Term:
+    if name not in _VAR_CACHE:
+        _VAR_CACHE[name] = Term(TermKind.VAR, name=name)
+    return _VAR_CACHE[name]
+
+
+def poison(reason: str = "poison") -> Term:
+    return Term(TermKind.POISON, name=reason)
+
+
+ZERO = bv_const(0)
+ONE = bv_const(1)
+
+
+def _all_const(args: Iterable[Term]) -> bool:
+    return all(a.kind is TermKind.CONST for a in args)
+
+
+def mk(kind: TermKind, *args: Term) -> Term:
+    """Build a term with light local simplification (constant folding, identities)."""
+    if any(a.kind is TermKind.POISON for a in args):
+        # Poison propagates through every operation except ITE selection,
+        # which the executor handles explicitly before calling ``mk``.
+        for a in args:
+            if a.kind is TermKind.POISON:
+                return a
+    if _all_const(args):
+        return bv_const(evaluate(Term(kind, tuple(args)), {}))
+    if kind is TermKind.ADD:
+        left, right = args
+        if left is ZERO:
+            return right
+        if right is ZERO:
+            return left
+    if kind is TermKind.SUB:
+        left, right = args
+        if right is ZERO:
+            return left
+        if left == right:
+            return ZERO
+    if kind is TermKind.MUL:
+        left, right = args
+        if left is ZERO or right is ZERO:
+            return ZERO
+        if left is ONE:
+            return right
+        if right is ONE:
+            return left
+    if kind in (TermKind.GT, TermKind.GE):
+        # Canonical comparison direction: only LT / LE survive construction.
+        flipped = TermKind.LT if kind is TermKind.GT else TermKind.LE
+        return mk(flipped, args[1], args[0])
+    if kind is TermKind.ITE:
+        cond, then, otherwise = args
+        if cond.kind is TermKind.CONST:
+            return then if cond.value != 0 else otherwise
+        if then == otherwise:
+            return then
+        minmax = _minmax_pattern(cond, then, otherwise)
+        if minmax is not None:
+            return minmax
+    rewritten = _comparison_negation(kind, args)
+    if rewritten is not None:
+        return rewritten
+    rewritten = _mask_algebra(kind, args)
+    if rewritten is not None:
+        return rewritten
+    if kind in _COMMUTATIVE and len(args) == 2:
+        left, right = args
+        # Canonical argument order gives structural equality a better chance.
+        if _term_key(right) < _term_key(left):
+            args = (right, left)
+    return Term(kind, tuple(args))
+
+
+def _minmax_pattern(cond: Term, then: Term, otherwise: Term) -> Term | None:
+    """Recognize ``ite(a < b ? ...)`` selections that are really min/max."""
+    if cond.kind not in (TermKind.LT, TermKind.LE):
+        return None
+    low, high = cond.args
+    if low == otherwise and high == then:
+        # ite(e < t, t, e): picks the larger operand.
+        return Term(TermKind.MAX, tuple(sorted((then, otherwise), key=_term_key)))
+    if low == then and high == otherwise:
+        # ite(t < e, t, e): picks the smaller operand.
+        return Term(TermKind.MIN, tuple(sorted((then, otherwise), key=_term_key)))
+    return None
+
+
+_COMPARISON_NEGATIONS = {
+    TermKind.LT: TermKind.GE,
+    TermKind.LE: TermKind.GT,
+    TermKind.EQ: TermKind.NE,
+    TermKind.NE: TermKind.EQ,
+}
+
+
+def _comparison_negation(kind: TermKind, args: tuple[Term, ...]) -> Term | None:
+    """Fold ``(a CMP b) == 0`` into the negated comparison."""
+    if kind is not TermKind.EQ or len(args) != 2:
+        return None
+    left, right = args
+    for cmp_term, zero in ((left, right), (right, left)):
+        if zero.kind is TermKind.CONST and zero.value == 0 and cmp_term.kind in _COMPARISON_NEGATIONS:
+            negated = _COMPARISON_NEGATIONS[cmp_term.kind]
+            return mk(negated, cmp_term.args[0], cmp_term.args[1])
+    return None
+
+
+_ALL_ONES_VALUE = _WORD_MASK
+
+
+def _as_lane_mask(term: Term) -> Term | None:
+    """If ``term`` is a full-lane mask (``ite(cond, -1, 0)``), return ``cond``."""
+    if (
+        term.kind is TermKind.ITE
+        and term.args[1].kind is TermKind.CONST
+        and term.args[2].kind is TermKind.CONST
+        and term.args[1].value == _ALL_ONES_VALUE
+        and term.args[2].value == 0
+    ):
+        return term.args[0]
+    return None
+
+
+def _bool_not(cond: Term) -> Term:
+    """Negation of a 0/1-valued condition term."""
+    return mk(TermKind.EQ, cond, bv_const(0))
+
+
+def _mask_algebra(kind: TermKind, args: tuple[Term, ...]) -> Term | None:
+    """Rewrite the AVX2 mask idioms back into plain conditions.
+
+    Comparison intrinsics produce per-lane masks ``ite(cond, -1, 0)``; blends
+    test them with ``!= 0`` and combine them with bitwise and/or/xor.  These
+    rules fold that algebra away so that the vectorized program's final terms
+    normalize to the same ``ite(cond, ...)`` shape as the scalar program's —
+    letting the normalization stage prove equivalence without bit-blasting.
+    """
+    if kind in (TermKind.NE, TermKind.EQ) and len(args) == 2:
+        left, right = args
+        if right.kind is TermKind.CONST and right.value == 0:
+            cond = _as_lane_mask(left)
+            if cond is not None:
+                return cond if kind is TermKind.NE else _bool_not(cond)
+        if left.kind is TermKind.CONST and left.value == 0:
+            cond = _as_lane_mask(right)
+            if cond is not None:
+                return cond if kind is TermKind.NE else _bool_not(cond)
+    if kind in (TermKind.AND, TermKind.OR) and len(args) == 2:
+        cond_a = _as_lane_mask(args[0])
+        cond_b = _as_lane_mask(args[1])
+        if cond_a is not None and cond_b is not None:
+            combined = mk(kind, cond_a, cond_b)
+            return mk(TermKind.ITE, combined, bv_const(-1), bv_const(0))
+        # andnot(mask, x) shows up as and(not(mask), x).
+    if kind is TermKind.NOT and len(args) == 1:
+        cond = _as_lane_mask(args[0])
+        if cond is not None:
+            return mk(TermKind.ITE, _bool_not(cond), bv_const(-1), bv_const(0))
+    if kind is TermKind.XOR and len(args) == 2:
+        left, right = args
+        for mask_arg, other in ((left, right), (right, left)):
+            cond = _as_lane_mask(mask_arg)
+            if cond is not None and other.kind is TermKind.CONST and other.value == _ALL_ONES_VALUE:
+                return mk(TermKind.ITE, _bool_not(cond), bv_const(-1), bv_const(0))
+    return None
+
+
+def _term_key(term: Term) -> tuple:
+    return (term.kind.value, term.value if term.value is not None else -1, term.name or "", len(term.args))
+
+
+def evaluate(term: Term, assignment: Mapping[str, int], bits: int = WORD_BITS) -> int:
+    """Evaluate ``term`` under ``assignment`` (values are unsigned ``bits``-wide).
+
+    The evaluation is memoized over DAG node identity so shared sub-terms are
+    evaluated once.
+    """
+    mask = (1 << bits) - 1
+    cache: dict[int, int] = {}
+
+    def sgn(value: int) -> int:
+        return to_signed(value, bits)
+
+    def go(node: Term) -> int:
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        result = _eval_node(node)
+        cache[id(node)] = result
+        return result
+
+    def _eval_node(node: Term) -> int:
+        if node.kind is TermKind.CONST:
+            return node.value & mask
+        if node.kind is TermKind.VAR:
+            if node.name not in assignment:
+                raise KeyError(f"unassigned variable {node.name!r}")
+            return assignment[node.name] & mask
+        if node.kind is TermKind.POISON:
+            # Concrete evaluation treats poison as an arbitrary-but-fixed value.
+            return 0xDEAD & mask
+        values = [go(a) for a in node.args]
+        if node.kind is TermKind.ADD:
+            return (values[0] + values[1]) & mask
+        if node.kind is TermKind.SUB:
+            return (values[0] - values[1]) & mask
+        if node.kind is TermKind.MUL:
+            return (values[0] * values[1]) & mask
+        if node.kind is TermKind.NEG:
+            return (-values[0]) & mask
+        if node.kind is TermKind.AND:
+            return values[0] & values[1]
+        if node.kind is TermKind.OR:
+            return values[0] | values[1]
+        if node.kind is TermKind.XOR:
+            return values[0] ^ values[1]
+        if node.kind is TermKind.NOT:
+            return (~values[0]) & mask
+        if node.kind is TermKind.SHL:
+            return (values[0] << (values[1] % bits)) & mask
+        if node.kind is TermKind.LSHR:
+            return (values[0] >> (values[1] % bits)) & mask
+        if node.kind is TermKind.ASHR:
+            return (sgn(values[0]) >> (values[1] % bits)) & mask
+        if node.kind is TermKind.DIV:
+            if sgn(values[1]) == 0:
+                return 0
+            return int(sgn(values[0]) / sgn(values[1])) & mask
+        if node.kind is TermKind.REM:
+            if sgn(values[1]) == 0:
+                return 0
+            quotient = int(sgn(values[0]) / sgn(values[1]))
+            return (sgn(values[0]) - quotient * sgn(values[1])) & mask
+        if node.kind is TermKind.ITE:
+            return values[1] if values[0] != 0 else values[2]
+        if node.kind is TermKind.LT:
+            return 1 if sgn(values[0]) < sgn(values[1]) else 0
+        if node.kind is TermKind.LE:
+            return 1 if sgn(values[0]) <= sgn(values[1]) else 0
+        if node.kind is TermKind.GT:
+            return 1 if sgn(values[0]) > sgn(values[1]) else 0
+        if node.kind is TermKind.GE:
+            return 1 if sgn(values[0]) >= sgn(values[1]) else 0
+        if node.kind is TermKind.EQ:
+            return 1 if values[0] == values[1] else 0
+        if node.kind is TermKind.NE:
+            return 1 if values[0] != values[1] else 0
+        if node.kind is TermKind.MIN:
+            return values[0] if sgn(values[0]) <= sgn(values[1]) else values[1]
+        if node.kind is TermKind.MAX:
+            return values[0] if sgn(values[0]) >= sgn(values[1]) else values[1]
+        if node.kind is TermKind.ABS:
+            return abs(sgn(values[0])) & mask
+        raise ValueError(f"cannot evaluate term kind {node.kind}")
+
+    return go(term)
+
+
+def collect_variables(term: Term) -> set[str]:
+    """All variable names appearing in ``term``."""
+    names: set[str] = set()
+    stack = [term]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node.kind is TermKind.VAR:
+            names.add(node.name)
+        stack.extend(node.args)
+    return names
+
+
+def contains_poison(term: Term) -> bool:
+    stack = [term]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node.kind is TermKind.POISON:
+            return True
+        stack.extend(node.args)
+    return False
+
+
+def term_size(term: Term) -> int:
+    """Number of distinct DAG nodes in ``term`` (used for budget decisions)."""
+    count = 0
+    stack = [term]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        count += 1
+        stack.extend(node.args)
+    return count

@@ -1,0 +1,12 @@
+"""Domain-specific source-to-source transforms that scale the verification (paper Section 3.2-3.3)."""
+
+from repro.transforms.c_unroll import CUnrollError, unroll_scalar_function
+from repro.transforms.spatial import SpatialSplitError, is_spatially_splittable, spatial_access_summary
+
+__all__ = [
+    "CUnrollError",
+    "unroll_scalar_function",
+    "SpatialSplitError",
+    "is_spatially_splittable",
+    "spatial_access_summary",
+]

@@ -1,0 +1,149 @@
+"""C-level unrolling of the scalar program (paper Section 3.2).
+
+Because verification is restricted to trip counts that are multiples of the
+vectorization width, the loop-termination check between consecutive scalar
+iterations inside one vector block can be skipped.  This transform performs
+that simplification *at the C level*, before symbolic execution: the loop
+
+.. code-block:: c
+
+    for (i = start; i < end; i++) body
+
+becomes
+
+.. code-block:: c
+
+    i = start;
+    while (i < end) {        // checked once per block of v iterations
+        body; i += step;
+        body; i += step;
+        ...                  // v copies
+    }
+
+with the three fix-ups the paper describes: ``break`` is replaced by
+``return``, ``goto`` labels are renamed per unrolled copy so they stay unique,
+and duplicated declarations are renamed apart.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.analysis.loops import find_main_loop
+from repro.cfront import ast_nodes as ast
+from repro.cfront.ctypes import INT
+
+
+class CUnrollError(Exception):
+    """The function's main loop cannot be unrolled at the C level."""
+
+
+def unroll_scalar_function(func: ast.FunctionDef, factor: int = 8) -> ast.FunctionDef:
+    """Return a copy of ``func`` with its main loop body unrolled ``factor`` times."""
+    new_func = copy.deepcopy(func)
+    loop_info = find_main_loop(new_func)
+    if loop_info is None:
+        raise CUnrollError("the function contains no for loop")
+    if not loop_info.is_canonical or loop_info.step is None:
+        raise CUnrollError("the main loop is not in canonical form")
+    loop = loop_info.node
+
+    unrolled_body: list[ast.Stmt] = []
+    for copy_index in range(factor):
+        body_copy = copy.deepcopy(loop.body)
+        body_copy = _rewrite_break_to_return(body_copy)
+        body_copy = _rename_labels(body_copy, copy_index)
+        body_copy = _rename_local_decls(body_copy, copy_index)
+        unrolled_body.append(body_copy)
+        unrolled_body.append(ast.ExprStmt(expr=copy.deepcopy(loop.step)))
+
+    new_loop_body = ast.Block(body=unrolled_body)
+    replacement_stmts: list[ast.Stmt] = []
+    if loop_info.declares_iterator:
+        replacement_stmts.append(
+            ast.Decl(var_type=INT, name=loop_info.iterator, init=copy.deepcopy(loop_info.start))
+        )
+    elif loop.init is not None:
+        replacement_stmts.append(copy.deepcopy(loop.init))
+    block_loop = ast.WhileLoop(cond=copy.deepcopy(loop.cond), body=new_loop_body)
+    replacement_stmts.append(block_loop)
+    replacement = ast.Block(body=replacement_stmts)
+
+    _replace_stmt(new_func.body, loop, replacement)
+    return new_func
+
+
+def _rewrite_break_to_return(stmt: ast.Stmt) -> ast.Stmt:
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Block):
+            node.body = [ast.Return() if isinstance(s, ast.Break) else s for s in node.body]
+        elif isinstance(node, ast.If):
+            if isinstance(node.then, ast.Break):
+                node.then = ast.Return()
+            if isinstance(node.otherwise, ast.Break):
+                node.otherwise = ast.Return()
+        elif isinstance(node, ast.Label) and isinstance(node.stmt, ast.Break):
+            node.stmt = ast.Return()
+    return stmt
+
+
+def _rename_labels(stmt: ast.Stmt, copy_index: int) -> ast.Stmt:
+    suffix = f"_u{copy_index}"
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Label):
+            node.name = node.name + suffix
+        elif isinstance(node, ast.Goto):
+            node.label = node.label + suffix
+    return stmt
+
+
+def _rename_local_decls(stmt: ast.Stmt, copy_index: int) -> ast.Stmt:
+    """Rename block-local declarations so unrolled copies do not collide."""
+    if copy_index == 0:
+        return stmt
+    renames: dict[str, str] = {}
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Decl):
+            renames[node.name] = f"{node.name}_u{copy_index}"
+    if not renames:
+        return stmt
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Decl) and node.name in renames:
+            node.name = renames[node.name]
+        elif isinstance(node, ast.Identifier) and node.name in renames:
+            node.name = renames[node.name]
+    return stmt
+
+
+def _replace_stmt(container: ast.Stmt, target: ast.Stmt, replacement: ast.Stmt) -> bool:
+    if isinstance(container, ast.Block):
+        for index, stmt in enumerate(container.body):
+            if stmt is target:
+                container.body[index] = replacement
+                return True
+            if _replace_stmt(stmt, target, replacement):
+                return True
+        return False
+    if isinstance(container, ast.If):
+        if container.then is target:
+            container.then = replacement
+            return True
+        if _replace_stmt(container.then, target, replacement):
+            return True
+        if container.otherwise is not None:
+            if container.otherwise is target:
+                container.otherwise = replacement
+                return True
+            return _replace_stmt(container.otherwise, target, replacement)
+        return False
+    if isinstance(container, (ast.ForLoop, ast.WhileLoop, ast.DoWhileLoop)):
+        if container.body is target:
+            container.body = replacement
+            return True
+        return _replace_stmt(container.body, target, replacement)
+    if isinstance(container, ast.Label):
+        if container.stmt is target:
+            container.stmt = replacement
+            return True
+        return _replace_stmt(container.stmt, target, replacement)
+    return False

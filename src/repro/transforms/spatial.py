@@ -1,0 +1,88 @@
+"""Spatial case splitting precondition (paper Section 3.3).
+
+For loops without loop-carried dependences, the equivalence of whole arrays
+decomposes into one query per array index.  The paper's legality check is
+deliberately syntactic and conservative; this module implements the same two
+conditions:
+
+1. the scalar program accesses only the ``i``-th element of every array in
+   iteration ``i`` (affine subscripts with coefficient 1 and offset 0), and
+   the vectorized program only touches vectors starting at the ``i``-th
+   element; and
+2. neither program updates a scalar across loop iterations.
+
+Kernels that fail the check are "filtered away" exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.accesses import AccessKind, collect_accesses
+from repro.analysis.dependence import analyze_dependences
+from repro.analysis.loops import find_main_loop
+from repro.cfront import ast_nodes as ast
+
+
+class SpatialSplitError(Exception):
+    """The kernel does not satisfy the conservative splitting precondition."""
+
+
+@dataclass(frozen=True)
+class SpatialSummary:
+    """What the splitting check established about a kernel pair."""
+
+    splittable: bool
+    reason: str = ""
+    written_arrays: tuple[str, ...] = ()
+
+
+def _loop_iterator(loop) -> str | None:
+    """The loop's induction variable, tolerating headers with an empty init.
+
+    Vectorized candidates conventionally declare the iterator before the loop
+    (``int i = 0; for (; i <= n - 8; i += 8)``), so the canonical-form
+    extractor leaves ``iterator`` unset; the condition still names it.
+    """
+    if loop.iterator is not None:
+        return loop.iterator
+    cond = loop.node.cond
+    if isinstance(cond, ast.BinOp) and isinstance(cond.left, ast.Identifier):
+        return cond.left.name
+    return None
+
+
+def _check_one_function(func: ast.FunctionDef, role: str) -> tuple[bool, str, tuple[str, ...]]:
+    loop = find_main_loop(func)
+    if loop is None:
+        return False, f"{role}: no loop", ()
+    iterator = _loop_iterator(loop)
+    if iterator is None:
+        return False, f"{role}: no recognizable loop iterator", ()
+    accesses = collect_accesses(loop.body, iterator)
+    report = analyze_dependences(accesses, loop.body, iterator)
+    if report.recurrences:
+        return False, f"{role}: scalar value updated across iterations", ()
+    written = []
+    for access in accesses:
+        affine = access.affine
+        if not affine.is_iterator_affine or affine.coefficient != 1 or affine.offset != 0:
+            return False, f"{role}: access {access.describe()} is not to the i-th element", ()
+        if access.kind is AccessKind.WRITE and access.array not in written:
+            written.append(access.array)
+    return True, "", tuple(written)
+
+
+def spatial_access_summary(scalar_func: ast.FunctionDef, vector_func: ast.FunctionDef) -> SpatialSummary:
+    """Run the conservative splitting check on the scalar/vectorized pair."""
+    ok_scalar, reason_scalar, written = _check_one_function(scalar_func, "scalar")
+    if not ok_scalar:
+        return SpatialSummary(splittable=False, reason=reason_scalar)
+    ok_vector, reason_vector, _ = _check_one_function(vector_func, "vectorized")
+    if not ok_vector:
+        return SpatialSummary(splittable=False, reason=reason_vector)
+    return SpatialSummary(splittable=True, written_arrays=written)
+
+
+def is_spatially_splittable(scalar_func: ast.FunctionDef, vector_func: ast.FunctionDef) -> bool:
+    return spatial_access_summary(scalar_func, vector_func).splittable

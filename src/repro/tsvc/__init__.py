@@ -1,0 +1,29 @@
+"""TSVC benchmark suite (integer kernels), re-expressed in the supported C subset.
+
+The paper evaluates on the 149 integer ``for`` loops of the Test Suite for
+Vectorizing Compilers (Maleki et al.); each loop is treated as an individual
+test program.  This package provides the kernels as C source strings plus
+per-kernel metadata, and a loader that parses and analyzes them on demand.
+"""
+
+from repro.tsvc.registry import (
+    KernelSpec,
+    all_kernel_names,
+    all_kernels,
+    get_kernel,
+    kernel_count,
+    kernels_by_class,
+)
+from repro.tsvc.loader import LoadedKernel, load_kernel, load_suite
+
+__all__ = [
+    "KernelSpec",
+    "all_kernel_names",
+    "all_kernels",
+    "get_kernel",
+    "kernel_count",
+    "kernels_by_class",
+    "LoadedKernel",
+    "load_kernel",
+    "load_suite",
+]

@@ -1,0 +1,595 @@
+"""TSVC kernels: control flow, node splitting, crossing thresholds, and if-conversion.
+
+The s2xx-series loops mix conditionals (and occasionally ``goto``) with array
+updates; they are the kernels the paper's Figure 6 places in the
+"Control Flow" and "Dependence+Control Flow" categories.
+"""
+
+from repro.tsvc.registry import KernelSpec
+
+KERNELS = [
+    KernelSpec(
+        name="s233",
+        tsvc_class="loop interchange",
+        description="two coupled recurrences over separate arrays",
+        source="""
+void s233(int n, int *a, int *b, int *c) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + c[i];
+        b[i] = b[i - 1] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s235",
+        tsvc_class="loop interchange",
+        description="independent update followed by a recurrence on another array",
+        source="""
+void s235(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 1; i < n; i++) {
+        a[i] += b[i] * c[i];
+        d[i] = d[i - 1] * d[i - 1] + a[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s241",
+        tsvc_class="node splitting",
+        description="write of a then read of the next element of a",
+        source="""
+void s241(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = b[i] * c[i] * d[i];
+        b[i] = a[i] * a[i + 1] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s242",
+        tsvc_class="node splitting",
+        description="recurrence with two scalar addends",
+        source="""
+void s242(int n, int s1, int s2, int *a, int *b, int *c, int *d) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + s1 + s2 + b[i] + c[i] + d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s243",
+        tsvc_class="node splitting",
+        description="forward read of a[i+1] between two updates",
+        source="""
+void s243(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = b[i] + c[i] * d[i];
+        b[i] = a[i] + d[i] * e[i];
+        a[i] = b[i] + a[i + 1] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s244",
+        tsvc_class="node splitting",
+        description="write a[i] then a[i+1]; next iteration overwrites a[i+1]",
+        source="""
+void s244(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = b[i] + c[i] * d[i];
+        b[i] = c[i] + b[i];
+        a[i + 1] = b[i] + a[i + 1] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1244",
+        tsvc_class="node splitting",
+        description="sum written to one array, difference of neighbours to another",
+        source="""
+void s1244(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = b[i] + c[i] * c[i] + b[i] * b[i] + c[i];
+        d[i] = a[i] + a[i + 1];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s251",
+        tsvc_class="scalar expansion",
+        description="scalar temporary defined and used in the same iteration",
+        source="""
+void s251(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n; i++) {
+        int s = b[i] + c[i] * d[i];
+        a[i] = s * s;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1251",
+        tsvc_class="scalar expansion",
+        description="scalar temporary reused for two outputs",
+        source="""
+void s1251(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        int s = b[i] + c[i];
+        b[i] = a[i] + d[i];
+        a[i] = s * e[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s252",
+        tsvc_class="scalar expansion",
+        description="scalar carried from the previous iteration",
+        source="""
+void s252(int n, int *a, int *b, int *c) {
+    int t = 0;
+    for (int i = 0; i < n; i++) {
+        int s = b[i] * c[i];
+        a[i] = s + t;
+        t = s;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s253",
+        tsvc_class="scalar expansion",
+        description="conditionally defined scalar stored to a second array",
+        source="""
+void s253(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] > b[i]) {
+            int s = a[i] - b[i] * d[i];
+            c[i] += s;
+            a[i] = s;
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s254",
+        tsvc_class="scalar expansion",
+        description="scalar initialized from the last array element before the loop",
+        source="""
+void s254(int n, int *a, int *b) {
+    int x = b[n - 1];
+    for (int i = 0; i < n; i++) {
+        a[i] = (b[i] + x) / 2;
+        x = b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s255",
+        tsvc_class="scalar expansion",
+        description="two carried scalars from the last two array elements",
+        source="""
+void s255(int n, int *a, int *b) {
+    int x = b[n - 1];
+    int y = b[n - 2];
+    for (int i = 0; i < n; i++) {
+        a[i] = (b[i] + x + y) / 3;
+        y = x;
+        x = b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s256",
+        tsvc_class="scalar expansion",
+        description="flattened 2-D sweep with a scalar carrying the previous column",
+        source="""
+void s256(int n, int *a, int *b, int *c) {
+    for (int i = 1; i < n; i++) {
+        a[i] = 1 - a[i - 1];
+        b[i] = a[i] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s257",
+        tsvc_class="scalar expansion",
+        description="recurrence through a scalar copied from another array",
+        source="""
+void s257(int n, int *a, int *b, int *c) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] * b[i];
+        b[i] = a[i] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s258",
+        tsvc_class="scalar expansion",
+        description="conditionally updated carried scalar used by every iteration",
+        source="""
+void s258(int n, int *a, int *b, int *c, int *d, int *e) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            s = d[i] * d[i];
+        }
+        b[i] = s * c[i] + d[i];
+        e[i] = (s + 1) * a[i] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s261",
+        tsvc_class="scalar renaming",
+        description="scalar temporary redefined between its two uses",
+        source="""
+void s261(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 1; i < n; i++) {
+        int t = a[i] + b[i];
+        a[i] = t + c[i - 1];
+        t = c[i] * d[i];
+        c[i] = t;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s271",
+        tsvc_class="control flow",
+        description="single guarded update, classic if-conversion target",
+        source="""
+void s271(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        if (b[i] > 0) {
+            a[i] += b[i] * c[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s272",
+        tsvc_class="control flow",
+        description="two updates under one data-dependent guard",
+        source="""
+void s272(int n, int t, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        if (e[i] >= t) {
+            a[i] += c[i] * d[i];
+            b[i] += c[i] * c[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s273",
+        tsvc_class="control flow",
+        description="guarded update between two unconditional updates",
+        source="""
+void s273(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        a[i] += d[i] * e[i];
+        if (a[i] < 0) {
+            b[i] += d[i] * e[i];
+        }
+        c[i] += a[i] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s274",
+        tsvc_class="control flow",
+        description="guard depends on a value computed in the same iteration (paper RQ3 example)",
+        source="""
+void s274(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        a[i] = c[i] + e[i] * d[i];
+        if (a[i] > 0) {
+            b[i] = a[i] + b[i];
+        } else {
+            a[i] = d[i] * e[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s275",
+        tsvc_class="control flow",
+        description="whole inner computation guarded by the first element",
+        source="""
+void s275(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            a[i] = b[i] + c[i] * c[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2275",
+        tsvc_class="control flow",
+        description="unvectorizable guarded recurrence next to a plain update",
+        source="""
+void s2275(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 1; i < n; i++) {
+        if (c[i] > 0) {
+            a[i] = a[i - 1] + b[i];
+        }
+        d[i] = b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s276",
+        tsvc_class="control flow",
+        description="guard on the loop index against a mid-point",
+        source="""
+void s276(int n, int *a, int *b, int *c, int *d) {
+    int mid = n / 2;
+    for (int i = 0; i < n; i++) {
+        if (i + 1 < mid) {
+            a[i] += b[i] * c[i];
+        } else {
+            a[i] += b[i] * d[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s277",
+        tsvc_class="control flow",
+        description="nested guards with a dependent second condition",
+        source="""
+void s277(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n - 1; i++) {
+        if (a[i] >= 0) {
+            if (b[i] >= 0) {
+                a[i] += c[i] * d[i];
+            }
+            b[i + 1] = c[i] + d[i] * e[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s278",
+        tsvc_class="control flow",
+        description="goto-based control flow needing select instructions (paper RQ3 example)",
+        source="""
+void s278(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            goto L20;
+        }
+        b[i] = -b[i] + d[i] * e[i];
+        goto L30;
+        L20:
+        c[i] = -c[i] + d[i] * e[i];
+        L30:
+        a[i] = b[i] + c[i] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s279",
+        tsvc_class="control flow",
+        description="goto control flow with an extra dependent update",
+        source="""
+void s279(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            goto L20;
+        }
+        b[i] = -b[i] + d[i] * d[i];
+        if (b[i] <= a[i]) {
+            goto L30;
+        }
+        c[i] += d[i] * e[i];
+        goto L30;
+        L20:
+        c[i] = -c[i] + e[i] * e[i];
+        L30:
+        a[i] = b[i] + c[i] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1279",
+        tsvc_class="control flow",
+        description="two independent guards writing the same output",
+        source="""
+void s1279(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] < 0) {
+            if (b[i] > a[i]) {
+                c[i] += d[i] * e[i];
+            }
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2710",
+        tsvc_class="control flow",
+        description="guard selecting among three different updates",
+        source="""
+void s2710(int n, int x, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] > b[i]) {
+            a[i] += b[i] * d[i];
+            if (n > 10) {
+                c[i] += d[i] * d[i];
+            } else {
+                c[i] = d[i] * e[i] + 1;
+            }
+        } else {
+            b[i] = a[i] + e[i] * e[i];
+            if (x > 0) {
+                c[i] = a[i] + d[i] * d[i];
+            } else {
+                c[i] += e[i] * e[i];
+            }
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2711",
+        tsvc_class="control flow",
+        description="guard against zero before accumulating",
+        source="""
+void s2711(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        if (b[i] != 0) {
+            a[i] += b[i] * c[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2712",
+        tsvc_class="control flow",
+        description="relational guard between two arrays before accumulating",
+        source="""
+void s2712(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] > b[i]) {
+            a[i] += b[i] * c[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s281",
+        tsvc_class="crossing thresholds",
+        description="mirror-image read of the output array",
+        source="""
+void s281(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        int x = a[n - i - 1] + b[i] * c[i];
+        a[i] = x - 1;
+        b[i] = x;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1281",
+        tsvc_class="crossing thresholds",
+        description="output overwrites input used for its own computation",
+        source="""
+void s1281(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        int x = b[i] * c[i] + a[i] * d[i] + e[i];
+        a[i] = x - 1;
+        b[i] = x;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s291",
+        tsvc_class="loop peeling",
+        description="wrap-around scalar carrying the previous index (paper RQ3 example)",
+        source="""
+void s291(int n, int *a, int *b) {
+    int im1 = n - 1;
+    for (int i = 0; i < n; i++) {
+        a[i] = (b[i] + b[im1]) * 2;
+        im1 = i;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s292",
+        tsvc_class="loop peeling",
+        description="two wrap-around scalars carrying the previous two indices",
+        source="""
+void s292(int n, int *a, int *b) {
+    int im1 = n - 1;
+    int im2 = n - 2;
+    for (int i = 0; i < n; i++) {
+        a[i] = (b[i] + b[im1] + b[im2]) * 2;
+        im2 = im1;
+        im1 = i;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s293",
+        tsvc_class="loop peeling",
+        description="every element set from the first element of the same array",
+        source="""
+void s293(int n, int *a) {
+    for (int i = 0; i < n; i++) {
+        a[i] = a[0];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2101",
+        tsvc_class="diagonals",
+        description="diagonal update flattened to stride n+1, expressed with a product index",
+        source="""
+void s2101(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[i] * b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2102",
+        tsvc_class="diagonals",
+        description="identity-matrix style initialization flattened to 1-D",
+        source="""
+void s2102(int n, int *a) {
+    for (int i = 0; i < n; i++) {
+        a[i] = 0;
+        a[i] = a[i] + 1;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2111",
+        tsvc_class="wavefronts",
+        description="wavefront recurrence flattened to 1-D",
+        source="""
+void s2111(int n, int *a) {
+    for (int i = 1; i < n; i++) {
+        a[i] = (a[i] + a[i - 1]) / 2;
+    }
+}
+""",
+    ),
+]

@@ -1,0 +1,79 @@
+"""TSVC kernels: additional loops completing the 149-kernel suite.
+
+These five kernels round the re-expressed suite out to the paper's count of
+149 integer test programs: loop-invariant code motion, equivalence-class
+style aliasing patterns re-expressed over disjoint arrays, and two more
+control-flow variants.
+"""
+
+from repro.tsvc.registry import KernelSpec
+
+KERNELS = [
+    KernelSpec(
+        name="s1119",
+        tsvc_class="linear dependence",
+        description="sum of the previous output row flattened to 1-D",
+        source="""
+void s1119(int n, int *a, int *b) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + b[i] * b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2251",
+        tsvc_class="scalar expansion",
+        description="scalar temporary carried between two statements in one iteration",
+        source="""
+void s2251(int n, int *a, int *b, int *c, int *e) {
+    for (int i = 0; i < n; i++) {
+        int s = b[i] + c[i];
+        b[i] = a[i] + e[i];
+        a[i] = s * e[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s13110",
+        tsvc_class="reductions",
+        description="sum of products of three arrays",
+        source="""
+void s13110(int n, int *a, int *b, int *c, int *out) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += a[i] * b[i] * c[i];
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="s2712b",
+        tsvc_class="control flow",
+        description="guarded scaled accumulation with an extra unconditional store",
+        source="""
+void s2712b(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n; i++) {
+        d[i] = b[i] + c[i];
+        if (a[i] > b[i]) {
+            a[i] += c[i] * d[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vneg",
+        tsvc_class="vector idioms",
+        description="elementwise negation",
+        source="""
+void vneg(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] = -b[i];
+    }
+}
+""",
+    ),
+]

@@ -1,0 +1,546 @@
+"""TSVC kernels: linear dependence testing, induction variables, strides, and global data flow.
+
+These are the s1xx / s2xx-series loops whose vectorizability hinges on how
+precisely the compiler can reason about loop-carried dependences and
+induction variables.  All kernels operate on ``int`` arrays (the paper's 149
+integer loops) and are expressed in the supported C subset: where the
+original TSVC kernel uses a 2-D array it has been re-expressed over 1-D
+arrays with equivalent dependence structure.
+"""
+
+from repro.tsvc.registry import KernelSpec
+
+KERNELS = [
+    KernelSpec(
+        name="s000",
+        tsvc_class="linear dependence",
+        description="simple copy with an add; trivially vectorizable",
+        source="""
+void s000(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + 1;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s111",
+        tsvc_class="linear dependence",
+        description="stride-2 update from neighbouring element",
+        source="""
+void s111(int n, int *a, int *b) {
+    for (int i = 1; i < n; i += 2) {
+        a[i] = a[i - 1] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1111",
+        tsvc_class="linear dependence",
+        description="stride-2 gather into packed output",
+        source="""
+void s1111(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n / 2; i++) {
+        a[2 * i] = c[i] * b[i] + d[i] * b[i] + c[i] * c[i] + d[i] * b[i] + d[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s112",
+        tsvc_class="linear dependence",
+        description="backward loop with forward dependence distance 1",
+        source="""
+void s112(int n, int *a, int *b) {
+    for (int i = n - 2; i >= 0; i--) {
+        a[i + 1] = a[i] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1112",
+        tsvc_class="linear dependence",
+        description="backward iteration, independent updates",
+        source="""
+void s1112(int n, int *a, int *b) {
+    for (int i = n - 1; i >= 0; i--) {
+        a[i] = b[i] + 1;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s113",
+        tsvc_class="linear dependence",
+        description="all iterations read element 0 written before the loop body",
+        source="""
+void s113(int n, int *a, int *b) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[0] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1113",
+        tsvc_class="linear dependence",
+        description="read of the middle element that one iteration overwrites",
+        source="""
+void s1113(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] = a[n / 2] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s114",
+        tsvc_class="linear dependence",
+        description="triangular access re-expressed over 1-D arrays",
+        source="""
+void s114(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[n - 1 - i] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s115",
+        tsvc_class="linear dependence",
+        description="saxpy-like update against a fixed earlier element",
+        source="""
+void s115(int n, int *a, int *b, int *c) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i] - b[i] * a[i - 1];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s116",
+        tsvc_class="linear dependence",
+        description="five-point unrolled copy chain with stride 5",
+        source="""
+void s116(int n, int *a) {
+    for (int i = 0; i < n - 5; i += 5) {
+        a[i] = a[i + 1] * a[i];
+        a[i + 1] = a[i + 2] * a[i + 1];
+        a[i + 2] = a[i + 3] * a[i + 2];
+        a[i + 3] = a[i + 4] * a[i + 3];
+        a[i + 4] = a[i + 5] * a[i + 4];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s118",
+        tsvc_class="linear dependence",
+        description="prefix-style accumulation from earlier elements",
+        source="""
+void s118(int n, int *a, int *b) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + b[i - 1];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s119",
+        tsvc_class="linear dependence",
+        description="update using the previous output element and two inputs",
+        source="""
+void s119(int n, int *a, int *b, int *c) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s121",
+        tsvc_class="induction variable",
+        description="read one ahead of the element being written",
+        source="""
+void s121(int n, int *a, int *b) {
+    for (int i = 0; i < n - 1; i++) {
+        int j = i + 1;
+        a[i] = a[j] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s122",
+        tsvc_class="induction variable",
+        description="induction variable driven by two parameters with backward access",
+        source="""
+void s122(int n, int n1, int n3, int *a, int *b) {
+    int j = 1;
+    int k = 0;
+    for (int i = n1 - 1; i < n; i += n3) {
+        k += j;
+        a[i] += b[n - k];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s123",
+        tsvc_class="induction variable",
+        description="conditional extra increment of the output index",
+        source="""
+void s123(int n, int *a, int *b, int *c, int *d, int *e) {
+    int j = -1;
+    for (int i = 0; i < n / 2; i++) {
+        j++;
+        a[j] = b[i] + d[i] * e[i];
+        if (c[i] > 0) {
+            j++;
+            a[j] = c[i] + d[i] * e[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s124",
+        tsvc_class="induction variable",
+        description="induction index incremented in both branches (paper Figure 4)",
+        source="""
+void s124(int *a, int *b, int *c, int *d, int *e, int n) {
+    int j = -1;
+    for (int i = 0; i < n; i++) {
+        if (b[i] > 0) {
+            j++;
+            a[j] = b[i] + d[i] * e[i];
+        } else {
+            j++;
+            a[j] = c[i] + d[i] * e[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s125",
+        tsvc_class="induction variable",
+        description="flattened 2-D update with a running output index",
+        source="""
+void s125(int n, int *a, int *b, int *c) {
+    int k = -1;
+    for (int i = 0; i < n; i++) {
+        k++;
+        a[k] = b[i] + c[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s126",
+        tsvc_class="induction variable",
+        description="running index advanced by a non-unit amount each iteration",
+        source="""
+void s126(int n, int *a, int *b) {
+    int k = 1;
+    for (int i = 0; i < n / 2; i++) {
+        a[k] = a[k - 1] + b[i];
+        k += 2;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s127",
+        tsvc_class="induction variable",
+        description="induction variable with two increments per iteration",
+        source="""
+void s127(int n, int *a, int *b, int *c, int *d, int *e) {
+    int j = -1;
+    for (int i = 0; i < n / 2; i++) {
+        j++;
+        a[j] = b[i] + c[i] * d[i];
+        j++;
+        a[j] = b[i] + d[i] * e[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s128",
+        tsvc_class="induction variable",
+        description="coupled induction variables with stride-2 writes",
+        source="""
+void s128(int n, int *a, int *b, int *c, int *d) {
+    int j = -1;
+    for (int i = 0; i < n / 2; i++) {
+        int k = j + 1;
+        a[i] = b[k] - d[i];
+        j = k + 1;
+        b[k] = a[i] + c[k];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s131",
+        tsvc_class="global data flow",
+        description="offset read via a loop-invariant variable",
+        source="""
+void s131(int n, int *a, int *b) {
+    int m = 1;
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = a[i + m] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s132",
+        tsvc_class="global data flow",
+        description="write one ahead using two invariant offsets",
+        source="""
+void s132(int n, int *a, int *b, int *c) {
+    int m = 0;
+    int j = m;
+    int k = m + 1;
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - j] * b[i] + c[k];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s141",
+        tsvc_class="global data flow",
+        description="packed lower-triangle style accumulation",
+        source="""
+void s141(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i] + b[i] * b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s151",
+        tsvc_class="interprocedural data flow",
+        description="simple add of neighbouring element (inlined helper)",
+        source="""
+void s151(int n, int *a, int *b) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = a[i + 1] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s152",
+        tsvc_class="interprocedural data flow",
+        description="update through an inlined helper touching three arrays",
+        source="""
+void s152(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 0; i < n; i++) {
+        b[i] = d[i] * e[i];
+        a[i] = a[i] + b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s161",
+        tsvc_class="control flow",
+        description="branch selecting between two outputs with a forward write",
+        source="""
+void s161(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n - 1; i++) {
+        if (b[i] < 0) {
+            c[i + 1] = a[i] + d[i] * d[i];
+        } else {
+            a[i] = c[i] + d[i] * b[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s162",
+        tsvc_class="control flow",
+        description="guarded loop body behind a scalar condition",
+        source="""
+void s162(int n, int k, int *a, int *b, int *c) {
+    if (k > 0) {
+        for (int i = 0; i < n - 1; i++) {
+            a[i] = a[i + k] + b[i] * c[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s171",
+        tsvc_class="symbolics",
+        description="strided store with a symbolic stride",
+        source="""
+void s171(int n, int inc, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i * inc] += b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s172",
+        tsvc_class="symbolics",
+        description="symbolic lower bound and stride",
+        source="""
+void s172(int n, int n1, int n3, int *a, int *b) {
+    for (int i = n1 - 1; i < n; i += n3) {
+        a[i] += b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s173",
+        tsvc_class="symbolics",
+        description="write offset by a symbolic half-length",
+        source="""
+void s173(int n, int *a, int *b) {
+    int k = n / 2;
+    for (int i = 0; i < n / 2; i++) {
+        a[i + k] = a[i] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s174",
+        tsvc_class="symbolics",
+        description="same as s173 but the offset arrives as a parameter",
+        source="""
+void s174(int n, int m, int *a, int *b) {
+    for (int i = 0; i < m; i++) {
+        a[i + m] = a[i] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s175",
+        tsvc_class="symbolics",
+        description="symbolic stride with read one stride ahead",
+        source="""
+void s175(int n, int inc, int *a, int *b) {
+    for (int i = 0; i < n - 1; i += inc) {
+        a[i] = a[i + inc] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s176",
+        tsvc_class="symbolics",
+        description="convolution-style doubly indexed access flattened to 1-D",
+        source="""
+void s176(int n, int *a, int *b, int *c) {
+    int m = n / 2;
+    for (int i = 0; i < m; i++) {
+        a[i] += b[i + m - 1] * c[m - 1];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s211",
+        tsvc_class="statement reordering",
+        description="forward and backward neighbour reads around two statements",
+        source="""
+void s211(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 1; i < n - 1; i++) {
+        a[i] = b[i - 1] + c[i] * d[i];
+        b[i] = b[i + 1] - e[i] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s212",
+        tsvc_class="statement reordering",
+        description="spurious backward dependence (paper Figure 1 motivating example)",
+        source="""
+void s212(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] *= c[i];
+        b[i] += a[i + 1] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1213",
+        tsvc_class="statement reordering",
+        description="write then read of neighbouring elements across two arrays",
+        source="""
+void s1213(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 1; i < n - 1; i++) {
+        a[i] = b[i - 1] + c[i];
+        b[i] = a[i + 1] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s221",
+        tsvc_class="loop distribution",
+        description="partially recurrent loop: one statement recurrent, one not",
+        source="""
+void s221(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 1; i < n; i++) {
+        a[i] += c[i] * d[i];
+        b[i] = b[i - 1] + a[i] + d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s222",
+        tsvc_class="loop distribution",
+        description="recurrence sandwiched between two independent updates",
+        source="""
+void s222(int n, int *a, int *b, int *c, int *e) {
+    for (int i = 1; i < n; i++) {
+        a[i] += b[i] * c[i];
+        e[i] = e[i - 1] * e[i - 1];
+        a[i] -= b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s231",
+        tsvc_class="loop interchange",
+        description="column-sweep recurrence flattened to 1-D",
+        source="""
+void s231(int n, int *a, int *b) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s232",
+        tsvc_class="loop interchange",
+        description="triangular product recurrence flattened to 1-D",
+        source="""
+void s232(int n, int *a, int *b) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] * b[i] + b[i];
+    }
+}
+""",
+    ),
+]

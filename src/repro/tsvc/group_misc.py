@@ -1,0 +1,523 @@
+"""TSVC kernels: loop bound recognition, storage classes, pointer forms, and vector idioms.
+
+The s4xx-series and the v* idiom loops.  Several of the originals exercise
+equivalenced/overlapping storage or indirect addressing; they are
+re-expressed here with the same dependence structure over disjoint 1-D
+arrays (documented per kernel), which keeps them meaningful for the
+vectorization and verification pipeline while staying inside the C subset.
+"""
+
+from repro.tsvc.registry import KernelSpec
+
+KERNELS = [
+    KernelSpec(
+        name="s421",
+        tsvc_class="storage classes",
+        description="copy shifted by one through a second name for the same data",
+        source="""
+void s421(int n, int *a, int *b) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = a[i + 1] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1421",
+        tsvc_class="storage classes",
+        description="add the upper half of an array into the lower half",
+        source="""
+void s1421(int n, int *a, int *b) {
+    int m = n / 2;
+    for (int i = 0; i < m; i++) {
+        b[i] = b[i + m] + a[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s422",
+        tsvc_class="storage classes",
+        description="read four ahead of the element being written",
+        source="""
+void s422(int n, int *a, int *b) {
+    for (int i = 0; i < n - 4; i++) {
+        a[i] = a[i + 4] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s423",
+        tsvc_class="storage classes",
+        description="write one ahead of the element being read",
+        source="""
+void s423(int n, int *a, int *b) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i + 1] = a[i] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s424",
+        tsvc_class="storage classes",
+        description="offset copy with a positive distance below the vector length",
+        source="""
+void s424(int n, int *a, int *b) {
+    for (int i = 0; i < n - 3; i++) {
+        a[i + 3] = a[i] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s431",
+        tsvc_class="parameters",
+        description="loop bound computed from parameters known only at run time",
+        source="""
+void s431(int n, int *a, int *b) {
+    int k = 2 * n - n;
+    k = k - n;
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i + k] + b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s441",
+        tsvc_class="non-logical ifs",
+        description="three-way select via the sign of a control array",
+        source="""
+void s441(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n; i++) {
+        if (d[i] < 0) {
+            a[i] += b[i] * c[i];
+        } else {
+            if (d[i] == 0) {
+                a[i] += b[i] * b[i];
+            } else {
+                a[i] += c[i] * c[i];
+            }
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s442",
+        tsvc_class="non-logical ifs",
+        description="four-way dispatch on a control value (switch re-expressed with ifs)",
+        source="""
+void s442(int n, int *a, int *b, int *c, int *d, int *e, int *indx) {
+    for (int i = 0; i < n; i++) {
+        int sel = indx[i] & 3;
+        if (sel == 0) {
+            a[i] += b[i] * b[i];
+        } else {
+            if (sel == 1) {
+                a[i] += c[i] * c[i];
+            } else {
+                if (sel == 2) {
+                    a[i] += d[i] * d[i];
+                } else {
+                    a[i] += e[i] * e[i];
+                }
+            }
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s443",
+        tsvc_class="non-logical ifs",
+        description="two-way arithmetic select written with goto",
+        source="""
+void s443(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n; i++) {
+        if (d[i] <= 0) {
+            goto L20;
+        }
+        a[i] += b[i] * c[i];
+        goto L30;
+        L20:
+        a[i] += b[i] * b[i];
+        L30:
+        ;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s451",
+        tsvc_class="intrinsic functions",
+        description="elementwise polynomial (intrinsic-heavy original reduced to integer ops)",
+        source="""
+void s451(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] * b[i] + c[i] * b[i] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s452",
+        tsvc_class="intrinsic functions",
+        description="add a linear ramp of the loop index",
+        source="""
+void s452(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + c[i] * (i + 1);
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s453",
+        tsvc_class="induction variable",
+        description="scalar induction variable scaling each element (paper Section 4.4 example)",
+        source="""
+void s453(int *a, int *b, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += 2;
+        a[i] = s * b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s471",
+        tsvc_class="call statements",
+        description="two updates with the original call site removed",
+        source="""
+void s471(int n, int *a, int *b, int *c, int *d, int *e, int *x) {
+    int m = n;
+    for (int i = 0; i < m; i++) {
+        x[i] = b[i] + d[i] * d[i];
+        b[i] = c[i] + d[i] * e[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s481",
+        tsvc_class="non-local gotos",
+        description="early function exit guarded by a data-dependent test",
+        source="""
+void s481(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n; i++) {
+        if (d[i] < 0) {
+            return;
+        }
+        a[i] += b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s482",
+        tsvc_class="non-local gotos",
+        description="loop exit via break under a data-dependent test",
+        source="""
+void s482(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[i] * c[i];
+        if (c[i] > b[i]) {
+            break;
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s491",
+        tsvc_class="vector semantics",
+        description="scatter through an index array",
+        source="""
+void s491(int n, int *a, int *b, int *c, int *d, int *indx) {
+    for (int i = 0; i < n; i++) {
+        a[indx[i]] = b[i] + c[i] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s4112",
+        tsvc_class="indirect addressing",
+        description="gather through an index array into a dense update",
+        source="""
+void s4112(int n, int s, int *a, int *b, int *indx) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[indx[i]] * s;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s4113",
+        tsvc_class="indirect addressing",
+        description="both gather and scatter through the same index array",
+        source="""
+void s4113(int n, int *a, int *b, int *c, int *indx) {
+    for (int i = 0; i < n; i++) {
+        a[indx[i]] = b[indx[i]] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s4114",
+        tsvc_class="indirect addressing",
+        description="gather with a reversed dense index",
+        source="""
+void s4114(int n, int n1, int *a, int *b, int *c, int *d, int *indx) {
+    for (int i = n1 - 1; i < n; i++) {
+        int k = indx[i];
+        a[i] = b[i] + c[n - k - 1] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s4115",
+        tsvc_class="indirect addressing",
+        description="sparse dot product through an index array",
+        source="""
+void s4115(int n, int *a, int *b, int *indx, int *out) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += a[i] * b[indx[i]];
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="s4116",
+        tsvc_class="indirect addressing",
+        description="sparse reduction with a strided index stream",
+        source="""
+void s4116(int n, int inc, int j, int *a, int *b, int *indx, int *out) {
+    int sum = 0;
+    int off = inc + 1;
+    for (int i = 0; i < n - 1; i++) {
+        int k = indx[i] + off;
+        sum += a[i] * b[k];
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="s4117",
+        tsvc_class="indirect addressing",
+        description="dense update with a shifted read window",
+        source="""
+void s4117(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n - 1; i++) {
+        a[i] = b[i] + c[i + 1] * d[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s4121",
+        tsvc_class="statement functions",
+        description="update through an inlined helper expression",
+        source="""
+void s4121(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="va",
+        tsvc_class="vector idioms",
+        description="vector assignment",
+        source="""
+void va(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vag",
+        tsvc_class="vector idioms",
+        description="vector assignment gathered through an index array",
+        source="""
+void vag(int n, int *a, int *b, int *indx) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[indx[i]];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vas",
+        tsvc_class="vector idioms",
+        description="vector assignment scattered through an index array",
+        source="""
+void vas(int n, int *a, int *b, int *indx) {
+    for (int i = 0; i < n; i++) {
+        a[indx[i]] = b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vif",
+        tsvc_class="vector idioms",
+        description="vector assignment under a data-dependent guard",
+        source="""
+void vif(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        if (b[i] > 0) {
+            a[i] = b[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vpv",
+        tsvc_class="vector idioms",
+        description="vector plus vector",
+        source="""
+void vpv(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vtv",
+        tsvc_class="vector idioms",
+        description="vector times vector",
+        source="""
+void vtv(int n, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] *= b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vpvtv",
+        tsvc_class="vector idioms",
+        description="vector plus vector times vector",
+        source="""
+void vpvtv(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vpvts",
+        tsvc_class="vector idioms",
+        description="vector plus vector times scalar",
+        source="""
+void vpvts(int n, int s, int *a, int *b) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[i] * s;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vpvpv",
+        tsvc_class="vector idioms",
+        description="vector plus vector plus vector",
+        source="""
+void vpvpv(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[i] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vtvtv",
+        tsvc_class="vector idioms",
+        description="vector times vector times vector",
+        source="""
+void vtvtv(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i] * b[i] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s176b",
+        tsvc_class="symbolics",
+        description="inner-product style accumulation with a reversed read",
+        source="""
+void s176b(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] += b[n - i - 1] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s2233",
+        tsvc_class="loop interchange",
+        description="pair of recurrences where only one direction vectorizes",
+        source="""
+void s2233(int n, int *a, int *b, int *c) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + c[i];
+        b[i] = b[i] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1161",
+        tsvc_class="control flow",
+        description="two outputs selected by a sign test with a forward write",
+        source="""
+void s1161(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n - 1; i++) {
+        if (c[i] < 0) {
+            goto L20;
+        }
+        a[i] = c[i] + d[i] * d[i];
+        goto L10;
+        L20:
+        b[i] = a[i] + d[i] * d[i];
+        L10:
+        ;
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s253b",
+        tsvc_class="scalar expansion",
+        description="conditional difference accumulated into a second output",
+        source="""
+void s253b(int n, int *a, int *b, int *c, int *d) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] > b[i]) {
+            int s = a[i] - b[i] * d[i];
+            c[i] += s;
+            a[i] = s;
+        } else {
+            c[i] += 1;
+        }
+    }
+}
+""",
+    ),
+]

@@ -1,0 +1,445 @@
+"""TSVC kernels: reductions, recurrences, searches, and packing.
+
+The s3xx-series loops carry a value across iterations (sums, dot products,
+min/max searches, prefix counts).  Vectorizing them needs the reduction
+patterns that mainstream compilers support well, which is why the paper's
+Figure 6 reports only small LLM speedups in the "Reduction" categories.
+"""
+
+from repro.tsvc.registry import KernelSpec
+
+KERNELS = [
+    KernelSpec(
+        name="s311",
+        tsvc_class="reductions",
+        description="plain sum reduction",
+        source="""
+void s311(int n, int *a, int *out) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += a[i];
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="s3110",
+        tsvc_class="reductions",
+        description="max reduction also recording the position",
+        source="""
+void s3110(int n, int *a, int *out) {
+    int max = a[0];
+    int index = 0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > max) {
+            max = a[i];
+            index = i;
+        }
+    }
+    out[0] = max;
+    out[1] = index;
+}
+""",
+    ),
+    KernelSpec(
+        name="s3111",
+        tsvc_class="reductions",
+        description="conditional sum of the positive elements",
+        source="""
+void s3111(int n, int *a, int *out) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            sum += a[i];
+        }
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="s3112",
+        tsvc_class="reductions",
+        description="running (prefix) sum stored to an output array",
+        source="""
+void s3112(int n, int *a, int *b, int *out) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += a[i];
+        b[i] = sum;
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="s3113",
+        tsvc_class="reductions",
+        description="max of absolute values",
+        source="""
+void s3113(int n, int *a, int *out) {
+    int max = abs(a[0]);
+    for (int i = 0; i < n; i++) {
+        if (abs(a[i]) > max) {
+            max = abs(a[i]);
+        }
+    }
+    out[0] = max;
+}
+""",
+    ),
+    KernelSpec(
+        name="s312",
+        tsvc_class="reductions",
+        description="product reduction",
+        source="""
+void s312(int n, int *a, int *out) {
+    int prod = 1;
+    for (int i = 0; i < n; i++) {
+        prod *= a[i];
+    }
+    out[0] = prod;
+}
+""",
+    ),
+    KernelSpec(
+        name="s313",
+        tsvc_class="reductions",
+        description="dot-product reduction",
+        source="""
+void s313(int n, int *a, int *b, int *out) {
+    int dot = 0;
+    for (int i = 0; i < n; i++) {
+        dot += a[i] * b[i];
+    }
+    out[0] = dot;
+}
+""",
+    ),
+    KernelSpec(
+        name="s314",
+        tsvc_class="reductions",
+        description="max-value search",
+        source="""
+void s314(int n, int *a, int *out) {
+    int x = a[0];
+    for (int i = 0; i < n; i++) {
+        if (a[i] > x) {
+            x = a[i];
+        }
+    }
+    out[0] = x;
+}
+""",
+    ),
+    KernelSpec(
+        name="s315",
+        tsvc_class="reductions",
+        description="max-value search also tracking the index",
+        source="""
+void s315(int n, int *a, int *out) {
+    int x = a[0];
+    int index = 0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > x) {
+            x = a[i];
+            index = i;
+        }
+    }
+    out[0] = x + index + 1;
+}
+""",
+    ),
+    KernelSpec(
+        name="s316",
+        tsvc_class="reductions",
+        description="min-value search",
+        source="""
+void s316(int n, int *a, int *out) {
+    int x = a[0];
+    for (int i = 1; i < n; i++) {
+        if (a[i] < x) {
+            x = a[i];
+        }
+    }
+    out[0] = x;
+}
+""",
+    ),
+    KernelSpec(
+        name="s317",
+        tsvc_class="reductions",
+        description="repeated halving product (loop-invariant recurrence)",
+        source="""
+void s317(int n, int *out) {
+    int q = 1;
+    for (int i = 0; i < n / 2; i++) {
+        q *= 2;
+    }
+    out[0] = q;
+}
+""",
+    ),
+    KernelSpec(
+        name="s318",
+        tsvc_class="reductions",
+        description="max of absolute values with a stride parameter",
+        source="""
+void s318(int n, int inc, int *a, int *out) {
+    int k = 0;
+    int index = 0;
+    int max = abs(a[0]);
+    k += inc;
+    for (int i = 1; i < n; i++) {
+        if (abs(a[k]) > max) {
+            index = i;
+            max = abs(a[k]);
+        }
+        k += inc;
+    }
+    out[0] = max + index + 1;
+}
+""",
+    ),
+    KernelSpec(
+        name="s319",
+        tsvc_class="reductions",
+        description="coupled sum reduction over two freshly written arrays",
+        source="""
+void s319(int n, int *a, int *b, int *c, int *d, int *e, int *out) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        a[i] = c[i] + d[i];
+        sum += a[i];
+        b[i] = c[i] + e[i];
+        sum += b[i];
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="s321",
+        tsvc_class="recurrences",
+        description="first-order linear recurrence",
+        source="""
+void s321(int n, int *a, int *b) {
+    for (int i = 1; i < n; i++) {
+        a[i] += a[i - 1] * b[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s322",
+        tsvc_class="recurrences",
+        description="second-order linear recurrence",
+        source="""
+void s322(int n, int *a, int *b, int *c) {
+    for (int i = 2; i < n; i++) {
+        a[i] = a[i] + a[i - 1] * b[i] + a[i - 2] * c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s323",
+        tsvc_class="recurrences",
+        description="coupled recurrence across two arrays",
+        source="""
+void s323(int n, int *a, int *b, int *c, int *d, int *e) {
+    for (int i = 1; i < n; i++) {
+        a[i] = b[i - 1] + c[i] * d[i];
+        b[i] = a[i] + c[i] * e[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s331",
+        tsvc_class="search loops",
+        description="remember the index of the last negative element",
+        source="""
+void s331(int n, int *a, int *out) {
+    int j = -1;
+    for (int i = 0; i < n; i++) {
+        if (a[i] < 0) {
+            j = i;
+        }
+    }
+    out[0] = j;
+}
+""",
+    ),
+    KernelSpec(
+        name="s332",
+        tsvc_class="search loops",
+        description="first value greater than a threshold (early exit)",
+        source="""
+void s332(int n, int t, int *a, int *out) {
+    int index = -2;
+    int value = -1;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > t) {
+            index = i;
+            value = a[i];
+            break;
+        }
+    }
+    out[0] = value + index;
+}
+""",
+    ),
+    KernelSpec(
+        name="s341",
+        tsvc_class="packing",
+        description="pack the positive elements into the front of the output",
+        source="""
+void s341(int n, int *a, int *b) {
+    int j = -1;
+    for (int i = 0; i < n; i++) {
+        if (b[i] > 0) {
+            j++;
+            a[j] = b[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s342",
+        tsvc_class="packing",
+        description="unpack into positions selected by a predicate",
+        source="""
+void s342(int n, int *a, int *b) {
+    int j = -1;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            j++;
+            a[i] = b[j];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s343",
+        tsvc_class="packing",
+        description="pack of products guarded by a mask array",
+        source="""
+void s343(int n, int *a, int *b, int *c) {
+    int k = -1;
+    for (int i = 0; i < n; i++) {
+        if (b[i] > 0) {
+            k++;
+            c[k] = a[i] * b[i];
+        }
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s351",
+        tsvc_class="loop rerolling",
+        description="manually unrolled scaled accumulation (stride 5)",
+        source="""
+void s351(int n, int *a, int *b, int *c) {
+    int alpha = c[0];
+    for (int i = 0; i < n - 5; i += 5) {
+        a[i] += alpha * b[i];
+        a[i + 1] += alpha * b[i + 1];
+        a[i + 2] += alpha * b[i + 2];
+        a[i + 3] += alpha * b[i + 3];
+        a[i + 4] += alpha * b[i + 4];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s1351",
+        tsvc_class="loop rerolling",
+        description="plain element-wise add written with explicit pointers",
+        source="""
+void s1351(int n, int *a, int *b, int *c) {
+    for (int i = 0; i < n; i++) {
+        a[i] = b[i] + c[i];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="s352",
+        tsvc_class="loop rerolling",
+        description="manually unrolled dot product (stride 5)",
+        source="""
+void s352(int n, int *a, int *b, int *out) {
+    int dot = 0;
+    for (int i = 0; i < n - 5; i += 5) {
+        dot = dot + a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2]
+            + a[i + 3] * b[i + 3] + a[i + 4] * b[i + 4];
+    }
+    out[0] = dot;
+}
+""",
+    ),
+    KernelSpec(
+        name="s353",
+        tsvc_class="loop rerolling",
+        description="unrolled scaled add through an index array re-expressed densely",
+        source="""
+void s353(int n, int *a, int *b, int *c) {
+    int alpha = c[0];
+    for (int i = 0; i < n - 5; i += 5) {
+        a[i] += alpha * b[i];
+        a[i + 1] += alpha * b[i + 2];
+        a[i + 2] += alpha * b[i + 4];
+        a[i + 3] += alpha * b[i + 1];
+        a[i + 4] += alpha * b[i + 3];
+    }
+}
+""",
+    ),
+    KernelSpec(
+        name="vsumr",
+        tsvc_class="reductions",
+        description="straight-forward sum reduction (paper RQ3 example)",
+        source="""
+void vsumr(int n, int *a, int *out) {
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+        sum += a[i];
+    }
+    out[0] = sum;
+}
+""",
+    ),
+    KernelSpec(
+        name="vdotr",
+        tsvc_class="reductions",
+        description="dot-product reduction over two arrays",
+        source="""
+void vdotr(int n, int *a, int *b, int *out) {
+    int dot = 0;
+    for (int i = 0; i < n; i++) {
+        dot += a[i] * b[i];
+    }
+    out[0] = dot;
+}
+""",
+    ),
+    KernelSpec(
+        name="vbor",
+        tsvc_class="reductions",
+        description="wide expression feeding a per-element product accumulation",
+        source="""
+void vbor(int n, int *a, int *b, int *c, int *d, int *e, int *x) {
+    for (int i = 0; i < n; i++) {
+        int s1 = b[i] + c[i] + d[i];
+        int s2 = b[i] * c[i] + d[i] * e[i];
+        x[i] = s1 * s2 + a[i];
+    }
+}
+""",
+    ),
+]

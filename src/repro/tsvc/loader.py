@@ -1,0 +1,49 @@
+"""Load TSVC kernels: parse, analyze and cache them for the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.analysis.features import KernelFeatures, analyze_kernel
+from repro.cfront import ast_nodes as ast
+from repro.cfront.cparser import parse_function
+from repro.tsvc.registry import KernelSpec, all_kernel_names, get_kernel
+
+
+@dataclass(frozen=True)
+class LoadedKernel:
+    """A parsed and analyzed TSVC kernel ready for the pipeline."""
+
+    spec: KernelSpec
+    function: ast.FunctionDef
+    features: KernelFeatures
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def source(self) -> str:
+        return self.spec.source
+
+    @property
+    def category(self) -> str:
+        """Figure-6 category computed from the code."""
+        return self.features.category
+
+
+@lru_cache(maxsize=None)
+def load_kernel(name: str) -> LoadedKernel:
+    """Parse and analyze the kernel named ``name`` (cached)."""
+    spec = get_kernel(name)
+    function = parse_function(spec.source)
+    features = analyze_kernel(function)
+    return LoadedKernel(spec=spec, function=function, features=features)
+
+
+def load_suite(names: list[str] | None = None) -> list[LoadedKernel]:
+    """Load the full suite (or the subset ``names``), sorted by kernel name."""
+    if names is None:
+        names = all_kernel_names()
+    return [load_kernel(name) for name in names]

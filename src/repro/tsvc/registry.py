@@ -1,0 +1,65 @@
+"""Kernel registry: collects every TSVC kernel group into one lookup table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One TSVC test program.
+
+    ``tsvc_class`` is the coarse TSVC family (linear dependence, induction,
+    control flow, reductions, ...), kept for reporting; the Figure-6 category
+    is computed by :mod:`repro.analysis.features` from the code itself.
+    """
+
+    name: str
+    source: str
+    description: str
+    tsvc_class: str
+
+
+def _build_registry() -> dict[str, KernelSpec]:
+    # Imported lazily to keep module import order simple and cycle-free.
+    from repro.tsvc import group_linear, group_controlflow, group_reductions, group_misc, group_extra
+
+    registry: dict[str, KernelSpec] = {}
+    for module in (group_linear, group_controlflow, group_reductions, group_misc, group_extra):
+        for spec in module.KERNELS:
+            if spec.name in registry:
+                raise ValueError(f"duplicate TSVC kernel name {spec.name!r}")
+            registry[spec.name] = spec
+    return registry
+
+
+_REGISTRY: dict[str, KernelSpec] | None = None
+
+
+def _registry() -> dict[str, KernelSpec]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Return the kernel named ``name``; raises ``KeyError`` if unknown."""
+    return _registry()[name]
+
+
+def all_kernels() -> list[KernelSpec]:
+    """Every kernel, sorted by name."""
+    return [spec for _, spec in sorted(_registry().items())]
+
+
+def all_kernel_names() -> list[str]:
+    return sorted(_registry())
+
+
+def kernel_count() -> int:
+    return len(_registry())
+
+
+def kernels_by_class(tsvc_class: str) -> list[KernelSpec]:
+    return [spec for spec in all_kernels() if spec.tsvc_class == tsvc_class]

@@ -1,0 +1,497 @@
+"""Vectorization planning: legality analysis and strategy selection.
+
+The planner decides whether (and how) the rule-based vectorizer can rewrite
+the innermost loop of a kernel with AVX2 intrinsics.  Its rejection reasons
+mirror the failure categories the paper reports for GPT-4 (Section 4.1.3):
+loop-carried dependences, packing/one-time dependences, prefix sums,
+non-unit strides, gathers/scatters, wrap-around scalars, and unsupported
+operations (integer division has no AVX2 counterpart).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.accesses import AccessKind, affine_index
+from repro.analysis.features import KernelFeatures, analyze_kernel
+from repro.cfront import ast_nodes as ast
+from repro.vectorizer.normalize import normalize_body
+
+VECTOR_WIDTH = 8
+
+
+class RejectionReason(enum.Enum):
+    """Why the rule-based vectorizer declined to vectorize a kernel."""
+
+    NO_LOOP = "no for loop found"
+    NON_CANONICAL_LOOP = "loop is not in canonical form"
+    NON_UNIT_STEP = "loop step is not +1"
+    LOOP_CARRIED_FLOW = "loop-carried flow dependence with short distance"
+    SCALAR_RECURRENCE = "scalar value carried across iterations"
+    WRAPAROUND_SCALAR = "wrap-around scalar needs loop peeling"
+    PREFIX_SUM = "running (prefix) value stored every iteration"
+    PACKING = "conditional induction update (packing pattern)"
+    GATHER_SCATTER = "indirect (gather/scatter) addressing"
+    NON_AFFINE_SUBSCRIPT = "array subscript is not affine in the loop iterator"
+    STRIDED_SUBSCRIPT = "array subscript has a non-unit coefficient"
+    INVARIANT_WRITE = "write to a loop-invariant location inside the loop"
+    INVARIANT_READ_OF_WRITTEN = "read of a fixed element of an array that the loop writes"
+    UNSUPPORTED_OPERATION = "operation has no AVX2 integer equivalent"
+    UNSUPPORTED_CONTROL_FLOW = "control flow too complex for if-conversion"
+    EARLY_EXIT = "loop contains an early exit (break/return)"
+    NESTED_LOOP_BODY = "inner loop body itself contains a loop"
+    UNSUPPORTED_STATEMENT = "statement form not supported by the vectorizer"
+
+
+class Strategy(enum.Enum):
+    """High-level code-generation strategy."""
+
+    PLAIN = "plain"              # straight-line loads/compute/stores
+    BLEND = "blend"              # if-converted with cmp/blendv masks
+    REDUCTION = "reduction"      # vector accumulator + horizontal reduction
+    INDUCTION = "induction"      # scalar induction variables materialized as vectors
+
+
+@dataclass
+class ReductionInfo:
+    """A scalar reduction recognized in the loop body."""
+
+    name: str
+    operation: str              # "+", "*", "max", "min"
+    initial_scalar: str         # the C name holding the running value
+
+
+@dataclass
+class InductionInfo:
+    """A scalar induction variable with a constant per-iteration step."""
+
+    name: str
+    step: int
+
+
+@dataclass
+class VectorizationPlan:
+    """Everything code generation needs to rewrite the loop."""
+
+    feasible: bool
+    strategy: Optional[Strategy] = None
+    reason: Optional[RejectionReason] = None
+    features: Optional[KernelFeatures] = None
+    normalized_body: Optional[ast.Stmt] = None
+    reductions: list[ReductionInfo] = field(default_factory=list)
+    inductions: list[InductionInfo] = field(default_factory=list)
+    has_conditionals: bool = False
+    #: local int temporaries declared inside the body (scalar expansion targets)
+    local_temporaries: list[str] = field(default_factory=list)
+
+    @property
+    def rejection_text(self) -> str:
+        return self.reason.value if self.reason else ""
+
+
+def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None) -> VectorizationPlan:
+    return VectorizationPlan(feasible=False, reason=reason, features=features)
+
+
+def plan_vectorization(func: ast.FunctionDef) -> VectorizationPlan:
+    """Analyze ``func`` and return a vectorization plan or a rejection."""
+    features = analyze_kernel(func)
+    loop = features.main_loop
+    if loop is None:
+        return _reject(RejectionReason.NO_LOOP, features)
+    if not loop.is_canonical:
+        return _reject(RejectionReason.NON_CANONICAL_LOOP, features)
+    if loop.step != 1 or loop.end_op not in ("<", "<="):
+        return _reject(RejectionReason.NON_UNIT_STEP, features)
+
+    body = normalize_body(loop.body)
+    checker = _BodyChecker(loop.iterator, func)
+    return checker.check(body, features)
+
+
+class _BodyChecker:
+    """Walks the (normalized) loop body and validates it statement by statement."""
+
+    def __init__(self, iterator: str, func: ast.FunctionDef):
+        self.iterator = iterator
+        self.func = func
+        self.outer_scalars = self._collect_outer_scalars(func)
+        self.local_temporaries: list[str] = []
+        self.reductions: dict[str, ReductionInfo] = {}
+        self.inductions: dict[str, InductionInfo] = {}
+        self.has_conditionals = False
+        self.writes: list[tuple[str, int]] = []      # (array, offset)
+        self.reads: list[tuple[str, int]] = []       # (array, offset), affine only
+        self.invariant_reads: dict[str, bool] = {}   # array -> read at invariant index
+        self.rejection: Optional[RejectionReason] = None
+
+    # -- public -----------------------------------------------------------------
+
+    def check(self, body: ast.Stmt, features: KernelFeatures) -> VectorizationPlan:
+        self._check_stmt(body, conditional=False)
+        if self.rejection is None:
+            self._check_dependences()
+        if self.rejection is not None:
+            return _reject(self.rejection, features)
+
+        strategy = Strategy.PLAIN
+        if self.reductions:
+            strategy = Strategy.REDUCTION
+        elif self.inductions:
+            strategy = Strategy.INDUCTION
+        elif self.has_conditionals:
+            strategy = Strategy.BLEND
+        return VectorizationPlan(
+            feasible=True,
+            strategy=strategy,
+            features=features,
+            normalized_body=body,
+            reductions=list(self.reductions.values()),
+            inductions=list(self.inductions.values()),
+            has_conditionals=self.has_conditionals,
+            local_temporaries=list(self.local_temporaries),
+        )
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _collect_outer_scalars(func: ast.FunctionDef) -> set[str]:
+        """Names of integer scalars declared outside the main loop (including params)."""
+        names = {p.name for p in func.params if not p.param_type.is_pointer}
+        for stmt in func.body.body:
+            if isinstance(stmt, ast.Decl) and not stmt.var_type.is_pointer and stmt.array_size is None:
+                names.add(stmt.name)
+        return names
+
+    def _fail(self, reason: RejectionReason) -> None:
+        if self.rejection is None:
+            self.rejection = reason
+
+    # -- statement checking ----------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, conditional: bool) -> None:
+        if self.rejection is not None:
+            return
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self._check_stmt(inner, conditional)
+            return
+        if isinstance(stmt, ast.Decl):
+            if stmt.var_type.is_pointer or stmt.array_size is not None or stmt.var_type.is_vector:
+                self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+                return
+            self.local_temporaries.append(stmt.name)
+            if stmt.init is not None:
+                self._check_value_expr(stmt.init)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._check_top_expr(stmt.expr, conditional)
+            return
+        if isinstance(stmt, ast.If):
+            self.has_conditionals = True
+            self._check_condition(stmt.cond)
+            self._check_stmt(stmt.then, conditional=True)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, conditional=True)
+            return
+        if isinstance(stmt, (ast.Break, ast.Return)):
+            self._fail(RejectionReason.EARLY_EXIT)
+            return
+        if isinstance(stmt, (ast.Goto, ast.Label)):
+            self._fail(RejectionReason.UNSUPPORTED_CONTROL_FLOW)
+            return
+        if isinstance(stmt, (ast.ForLoop, ast.WhileLoop, ast.DoWhileLoop)):
+            self._fail(RejectionReason.NESTED_LOOP_BODY)
+            return
+        if isinstance(stmt, ast.Continue):
+            self._fail(RejectionReason.UNSUPPORTED_CONTROL_FLOW)
+            return
+        self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+
+    def _check_top_expr(self, expr: ast.Expr, conditional: bool) -> None:
+        """A statement-level expression: assignment or increment."""
+        if isinstance(expr, ast.Assign):
+            self._check_assignment(expr, conditional)
+            return
+        if isinstance(expr, (ast.PostfixOp, ast.UnaryOp)) and expr.op in ("++", "--"):
+            target = expr.operand
+            if isinstance(target, ast.Identifier):
+                self._record_scalar_update(target.name, 1 if expr.op == "++" else -1, conditional)
+                return
+        self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+
+    def _check_assignment(self, expr: ast.Assign, conditional: bool) -> None:
+        target = expr.target
+        if isinstance(target, ast.Identifier):
+            self._check_scalar_assignment(target.name, expr, conditional)
+            return
+        if isinstance(target, ast.ArrayRef):
+            self._check_array_write(target)
+            self._check_value_expr(expr.value)
+            return
+        self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+
+    def _check_scalar_assignment(self, name: str, expr: ast.Assign, conditional: bool) -> None:
+        if name in self.local_temporaries:
+            # Scalar expansion target; any vectorizable value is fine.
+            self._check_value_expr(expr.value)
+            if expr.op != "=":
+                pass  # compound update of a per-iteration temporary is still per-iteration
+            return
+        if name not in self.outer_scalars:
+            # A scalar that was never declared: treat as unsupported.
+            self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+            return
+        # A scalar declared outside the loop is being updated inside it.
+        if expr.op in ("+=", "-="):
+            step = _constant_of(expr.value)
+            if step is not None:
+                self._record_scalar_update(name, step if expr.op == "+=" else -step, conditional)
+                return
+            if expr.op == "+=" and not _mentions(expr.value, name):
+                self._record_reduction(name, "+", conditional, expr.value)
+                return
+            self._fail(RejectionReason.SCALAR_RECURRENCE)
+            return
+        if expr.op == "*=":
+            if not _mentions(expr.value, name):
+                self._record_reduction(name, "*", conditional, expr.value)
+                return
+            self._fail(RejectionReason.SCALAR_RECURRENCE)
+            return
+        if expr.op == "=":
+            # ``x = a[i]``-style overwrite under a max/min guard is handled by
+            # the caller (_check_stmt sees the If); a bare overwrite of an
+            # outer scalar is a wrap-around/recurrence pattern we reject.
+            if _mentions(expr.value, name):
+                self._record_reduction(name, "+", conditional, expr.value)
+                if not _is_simple_accumulation(expr.value, name):
+                    self._fail(RejectionReason.SCALAR_RECURRENCE)
+                return
+            if self._looks_like_minmax_update(name, expr):
+                return
+            self._fail(RejectionReason.WRAPAROUND_SCALAR)
+            return
+        self._fail(RejectionReason.SCALAR_RECURRENCE)
+
+    def _looks_like_minmax_update(self, name: str, expr: ast.Assign) -> bool:
+        """Recognize the body of ``if (v > x) x = v;`` min/max reductions."""
+        # The If wrapper has already set has_conditionals; here we only see
+        # the assignment.  We record a max/min reduction optimistically; the
+        # code generator re-validates the guard shape and the planner's
+        # dependence check still applies.
+        if not self.has_conditionals:
+            return False
+        self.reductions[name] = ReductionInfo(name=name, operation="max", initial_scalar=name)
+        return True
+
+    def _record_scalar_update(self, name: str, step: int, conditional: bool) -> None:
+        if name == self.iterator:
+            return
+        if name not in self.outer_scalars and name not in self.local_temporaries:
+            self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+            return
+        if conditional:
+            self._fail(RejectionReason.PACKING)
+            return
+        existing = self.inductions.get(name)
+        if existing is not None:
+            self._fail(RejectionReason.SCALAR_RECURRENCE)
+            return
+        self.inductions[name] = InductionInfo(name=name, step=step)
+
+    def _record_reduction(self, name: str, operation: str, conditional: bool, value: ast.Expr) -> None:
+        self._check_value_expr(value)
+        existing = self.reductions.get(name)
+        if existing is not None and existing.operation != operation:
+            self._fail(RejectionReason.SCALAR_RECURRENCE)
+            return
+        self.reductions[name] = ReductionInfo(name=name, operation=operation, initial_scalar=name)
+
+    # -- expression checking -------------------------------------------------------------
+
+    def _check_array_write(self, target: ast.ArrayRef) -> None:
+        array = _array_name(target.base)
+        if array is None:
+            self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+            return
+        index = affine_index(target.index, self.iterator)
+        if index.symbolic:
+            induction = self._induction_index(target.index)
+            if induction is not None:
+                self.writes.append((array, 0))
+                return
+            if _contains_array_ref(target.index):
+                self._fail(RejectionReason.GATHER_SCATTER)
+            else:
+                self._fail(RejectionReason.NON_AFFINE_SUBSCRIPT)
+            return
+        if not index.is_iterator_affine:
+            self._fail(RejectionReason.INVARIANT_WRITE)
+            return
+        if index.coefficient != 1:
+            self._fail(RejectionReason.STRIDED_SUBSCRIPT)
+            return
+        self.writes.append((array, index.offset))
+
+    def _check_value_expr(self, expr: ast.Expr) -> None:
+        if self.rejection is not None:
+            return
+        if isinstance(expr, ast.IntLiteral):
+            return
+        if isinstance(expr, ast.Identifier):
+            return
+        if isinstance(expr, ast.ArrayRef):
+            array = _array_name(expr.base)
+            if array is None:
+                self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+                return
+            index = affine_index(expr.index, self.iterator)
+            if index.symbolic:
+                if self._induction_index(expr.index) is not None:
+                    self.reads.append((array, 0))
+                    return
+                if _contains_array_ref(expr.index):
+                    self._fail(RejectionReason.GATHER_SCATTER)
+                else:
+                    # Loop-invariant symbolic index (e.g. c[k]): fine for reads.
+                    self.invariant_reads[array] = True
+                return
+            if not index.is_iterator_affine:
+                self.invariant_reads[array] = True
+                return
+            if index.coefficient != 1:
+                self._fail(RejectionReason.STRIDED_SUBSCRIPT)
+                return
+            self.reads.append((array, index.offset))
+            return
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("/", "%", "<<", ">>"):
+                if expr.op == "/" and isinstance(expr.right, ast.IntLiteral):
+                    self._fail(RejectionReason.UNSUPPORTED_OPERATION)
+                    return
+                self._fail(RejectionReason.UNSUPPORTED_OPERATION)
+                return
+            if expr.op in ("&&", "||", "<", ">", "<=", ">=", "==", "!="):
+                self._check_condition(expr)
+                return
+            self._check_value_expr(expr.left)
+            self._check_value_expr(expr.right)
+            return
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op in ("-", "+", "~"):
+                self._check_value_expr(expr.operand)
+                return
+            self._fail(RejectionReason.UNSUPPORTED_OPERATION)
+            return
+        if isinstance(expr, ast.TernaryOp):
+            self.has_conditionals = True
+            self._check_condition(expr.cond)
+            self._check_value_expr(expr.then)
+            self._check_value_expr(expr.otherwise)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.func in ("abs", "max", "min"):
+                for arg in expr.args:
+                    self._check_value_expr(arg)
+                return
+            self._fail(RejectionReason.UNSUPPORTED_OPERATION)
+            return
+        if isinstance(expr, ast.Assign):
+            self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+            return
+        self._fail(RejectionReason.UNSUPPORTED_STATEMENT)
+
+    def _check_condition(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.BinOp) and expr.op in ("<", ">", "<=", ">=", "==", "!="):
+            self._check_value_expr(expr.left)
+            self._check_value_expr(expr.right)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op in ("&&", "||"):
+            self._fail(RejectionReason.UNSUPPORTED_CONTROL_FLOW)
+            return
+        # A bare value used as a condition (``if (b[i])``).
+        self._check_value_expr(expr)
+
+    def _induction_index(self, expr: ast.Expr) -> Optional[str]:
+        """Return the induction variable name if ``expr`` is ``var`` or ``var +/- const``."""
+        if isinstance(expr, ast.Identifier) and expr.name in self.inductions:
+            return expr.name
+        if (
+            isinstance(expr, ast.BinOp)
+            and expr.op in ("+", "-")
+            and isinstance(expr.left, ast.Identifier)
+            and expr.left.name in self.inductions
+            and isinstance(expr.right, ast.IntLiteral)
+        ):
+            return expr.left.name
+        return None
+
+    # -- dependence legality -----------------------------------------------------------------
+
+    def _check_dependences(self) -> None:
+        """Reject loop-carried flow dependences with distance below the vector width."""
+        written_arrays = {array for array, _ in self.writes}
+        for array, read_offset in self.reads:
+            if array not in written_arrays:
+                continue
+            for write_array, write_offset in self.writes:
+                if write_array != array:
+                    continue
+                distance = write_offset - read_offset
+                if 1 <= distance < VECTOR_WIDTH:
+                    self._fail(RejectionReason.LOOP_CARRIED_FLOW)
+                    return
+        # Overlapping writes across iterations (write-after-write with a short
+        # distance, e.g. s244's stores to a[i] and a[i+1]) change which store
+        # lands last once eight iterations are issued as two block stores.
+        for index, (array_a, offset_a) in enumerate(self.writes):
+            for array_b, offset_b in self.writes[index + 1 :]:
+                if array_a != array_b:
+                    continue
+                if 0 < abs(offset_a - offset_b) < VECTOR_WIDTH:
+                    self._fail(RejectionReason.LOOP_CARRIED_FLOW)
+                    return
+        for array in self.invariant_reads:
+            if array in written_arrays:
+                self._fail(RejectionReason.INVARIANT_READ_OF_WRITTEN)
+                return
+        # Conditional induction updates were already rejected as PACKING; an
+        # induction variable together with conditionals is only supported when
+        # the induction update is unconditional (checked at record time).
+
+
+def _constant_of(expr: ast.Expr) -> Optional[int]:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.IntLiteral):
+        return -expr.operand.value
+    return None
+
+
+def _mentions(expr: ast.Expr, name: str) -> bool:
+    return any(isinstance(n, ast.Identifier) and n.name == name for n in ast.walk(expr))
+
+
+def _is_simple_accumulation(expr: ast.Expr, name: str) -> bool:
+    """True for ``name + <expr-not-mentioning-name>`` shapes."""
+    if isinstance(expr, ast.BinOp) and expr.op == "+":
+        left_is_name = isinstance(expr.left, ast.Identifier) and expr.left.name == name
+        right_is_name = isinstance(expr.right, ast.Identifier) and expr.right.name == name
+        if left_is_name and not _mentions(expr.right, name):
+            return True
+        if right_is_name and not _mentions(expr.left, name):
+            return True
+    return False
+
+
+def _array_name(expr: ast.Expr) -> Optional[str]:
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    return None
+
+
+def _contains_array_ref(expr: ast.Expr) -> bool:
+    return any(isinstance(n, ast.ArrayRef) for n in ast.walk(expr))

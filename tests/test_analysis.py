@@ -1,0 +1,127 @@
+"""Tests for loop discovery, access collection, dependence analysis and categories."""
+
+from repro.analysis.accesses import AccessKind, affine_index, collect_accesses
+from repro.analysis.dependence import DependenceKind
+from repro.analysis.features import (
+    CATEGORY_CONTROL_FLOW,
+    CATEGORY_DEPENDENCE,
+    CATEGORY_NAIVE,
+    CATEGORY_REDUCTION,
+    analyze_kernel,
+)
+from repro.analysis.loops import find_loops, find_main_loop
+from repro.cfront.cparser import parse_expression, parse_function
+from repro.tsvc import load_kernel
+
+
+class TestLoopDiscovery:
+    def test_canonical_loop_extraction(self):
+        func = parse_function("void f(int n, int *a) { for (int i = 2; i < n - 1; i += 2) a[i] = 0; }")
+        loop = find_main_loop(func)
+        assert loop.is_canonical
+        assert loop.iterator == "i"
+        assert loop.step == 2
+        assert loop.end_op == "<"
+        assert loop.declares_iterator
+
+    def test_decrementing_loop(self):
+        func = parse_function("void f(int n, int *a) { for (int i = n - 1; i >= 0; i--) a[i] = 0; }")
+        loop = find_main_loop(func)
+        assert loop.step == -1
+        assert loop.end_op == ">="
+
+    def test_nested_loop_depth_and_innermost(self):
+        func = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) a[j] = i; } }"
+        )
+        nest = find_loops(func)
+        assert nest.max_depth == 1
+        main = find_main_loop(func)
+        assert main.iterator == "j"
+        assert main.depth == 1
+
+    def test_symbolic_step_is_not_canonical_constant(self):
+        func = parse_function("void f(int n, int k, int *a) { for (int i = 0; i < n; i += k) a[i] = 0; }")
+        loop = find_main_loop(func)
+        assert loop.step is None
+
+
+class TestAffineIndices:
+    def test_plain_iterator(self):
+        affine = affine_index(parse_expression("i"), "i")
+        assert (affine.coefficient, affine.offset, affine.symbolic) == (1, 0, False)
+
+    def test_offset_and_negation(self):
+        affine = affine_index(parse_expression("i + 3"), "i")
+        assert (affine.coefficient, affine.offset) == (1, 3)
+        affine = affine_index(parse_expression("i - 2"), "i")
+        assert (affine.coefficient, affine.offset) == (1, -2)
+
+    def test_scaled_iterator(self):
+        affine = affine_index(parse_expression("2 * i + 1"), "i")
+        assert (affine.coefficient, affine.offset) == (2, 1)
+
+    def test_other_variable_is_symbolic(self):
+        affine = affine_index(parse_expression("j + 1"), "i")
+        assert affine.symbolic
+
+    def test_constant_is_invariant(self):
+        affine = affine_index(parse_expression("7"), "i")
+        assert affine.iterator is None and affine.offset == 7
+
+
+class TestAccessCollection:
+    def test_reads_and_writes_classified(self):
+        func = parse_function("void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) a[i] = b[i + 1] * a[i]; }")
+        loop = find_main_loop(func)
+        accesses = collect_accesses(loop.body, loop.iterator)
+        writes = [a for a in accesses if a.kind is AccessKind.WRITE]
+        reads = [a for a in accesses if a.kind is AccessKind.READ]
+        assert {a.array for a in writes} == {"a"}
+        assert {a.array for a in reads} == {"a", "b"}
+
+    def test_conditional_accesses_marked(self):
+        func = parse_function("void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) if (b[i] > 0) a[i] = 1; }")
+        loop = find_main_loop(func)
+        accesses = collect_accesses(loop.body, loop.iterator)
+        conditional_writes = [a for a in accesses if a.kind is AccessKind.WRITE and a.conditional]
+        assert conditional_writes
+
+
+class TestDependenceAnalysis:
+    def test_s212_has_anti_dependence_not_flow(self):
+        features = analyze_kernel(load_kernel("s212").function)
+        kinds = {d.kind for d in features.dependence.dependences if d.array == "a"}
+        assert DependenceKind.ANTI in kinds
+        assert DependenceKind.FLOW not in kinds
+
+    def test_recurrence_detected_as_flow_dependence(self):
+        func = parse_function("void f(int n, int *a, int *b) { for (int i = 1; i < n; i++) a[i] = a[i - 1] + b[i]; }")
+        features = analyze_kernel(func)
+        kinds = {d.kind for d in features.dependence.dependences}
+        assert DependenceKind.FLOW in kinds
+
+    def test_reduction_and_induction_recognition(self):
+        features = analyze_kernel(load_kernel("vsumr").function)
+        assert features.dependence.reductions
+        features = analyze_kernel(load_kernel("s453").function)
+        assert features.dependence.inductions
+
+    def test_clang_style_remark_mentions_dependences(self):
+        features = analyze_kernel(load_kernel("s321").function)
+        remark = features.dependence_summary()
+        assert "dependence" in remark.lower()
+
+
+class TestCategories:
+    def test_paper_examples_land_in_expected_categories(self):
+        assert load_kernel("s000").category == CATEGORY_NAIVE
+        assert load_kernel("s212").category == CATEGORY_DEPENDENCE
+        assert load_kernel("vsumr").category == CATEGORY_REDUCTION
+        assert load_kernel("s271").category == CATEGORY_CONTROL_FLOW
+
+    def test_every_kernel_gets_a_category(self):
+        from repro.analysis.features import ALL_CATEGORIES
+        from repro.tsvc import load_suite
+        for kernel in load_suite():
+            assert kernel.category in ALL_CATEGORIES

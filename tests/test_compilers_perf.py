@@ -1,0 +1,91 @@
+"""Tests for the simulated compiler baselines, the cost model and the speedup simulator."""
+
+from collections import Counter
+
+from repro.analysis.features import analyze_kernel
+from repro.compilers import CLANG, GCC, ICC, COMPILER_FLAG_TABLE, all_compilers, compiler_by_name
+from repro.compilers.flags import flags_for
+from repro.perf import DEFAULT_COST_MODEL, estimate_cycles, measure_kernel, speedups_for_kernel
+from repro.tsvc import load_kernel
+from repro.vectorizer import vectorize_kernel
+
+
+class TestCompilerDecisions:
+    def decide(self, compiler, name):
+        return compiler.decide(analyze_kernel(load_kernel(name).function))
+
+    def test_all_baselines_vectorize_trivial_loop(self):
+        for compiler in all_compilers():
+            assert self.decide(compiler, "s000").vectorized
+
+    def test_no_baseline_vectorizes_s212(self):
+        # The paper's motivating example: the spurious backward dependence
+        # stops GCC, Clang and ICC alike.
+        for compiler in all_compilers():
+            assert not self.decide(compiler, "s212").vectorized
+
+    def test_reductions_supported_by_all(self):
+        for compiler in all_compilers():
+            decision = self.decide(compiler, "vsumr")
+            assert decision.vectorized
+            assert "reduction" in decision.reason
+
+    def test_if_conversion_supported_by_all(self):
+        for compiler in all_compilers():
+            assert self.decide(compiler, "s271").vectorized
+
+    def test_goto_control_flow_defeats_all_baselines(self):
+        for compiler in all_compilers():
+            assert not self.decide(compiler, "s278").vectorized
+
+    def test_only_icc_handles_wraparound_scalars(self):
+        assert self.decide(ICC, "s291").vectorized
+        assert not self.decide(GCC, "s291").vectorized
+        assert not self.decide(CLANG, "s291").vectorized
+
+    def test_true_recurrence_defeats_everyone(self):
+        for compiler in all_compilers():
+            assert not self.decide(compiler, "s321").vectorized
+
+    def test_compiler_lookup_and_flags(self):
+        assert compiler_by_name("icc") is ICC
+        assert flags_for("GCC").version == "10.5.0"
+        assert len(COMPILER_FLAG_TABLE) == 3
+        assert "-no-vec" in flags_for("ICC").unvectorized_flags
+
+
+class TestCostModel:
+    def test_vector_ops_cheaper_than_eight_scalar_ops(self):
+        scalar = DEFAULT_COST_MODEL.cycles_for(Counter({"scalar_mul": 8, "scalar_load": 16, "scalar_store": 8}))
+        vector = DEFAULT_COST_MODEL.cycles_for(Counter({"vec_pure_binary": 1, "vec_load": 2, "vec_store": 1}))
+        assert vector < scalar
+
+    def test_unknown_categories_cost_nothing(self):
+        assert DEFAULT_COST_MODEL.cycles_for(Counter({"vector_op": 100})) == DEFAULT_COST_MODEL.invocation_overhead
+
+
+class TestSpeedupSimulator:
+    def test_s212_speedup_shape_matches_figure_1c(self):
+        kernel = load_kernel("s212")
+        result = vectorize_kernel(kernel.function)
+        performance = measure_kernel("s212", kernel.source, result.source, n=256)
+        speedups = speedups_for_kernel(performance)
+        # The LLM code wins against everyone, and ICC is the closest baseline.
+        assert speedups["GCC"] > 1.5
+        assert speedups["Clang"] > 1.5
+        assert speedups["ICC"] > 1.0
+        assert speedups["ICC"] < speedups["GCC"]
+
+    def test_naive_kernel_gives_no_large_win(self):
+        kernel = load_kernel("s000")
+        result = vectorize_kernel(kernel.function)
+        performance = measure_kernel("s000", kernel.source, result.source, n=256)
+        # Every baseline vectorizes this loop, so the LLM should not be far ahead.
+        assert max(speedups_for_kernel(performance).values()) < 3.0
+
+    def test_vectorized_code_costs_fewer_cycles_than_scalar(self):
+        kernel = load_kernel("vpvtv")
+        result = vectorize_kernel(kernel.function)
+        scalar_cycles = estimate_cycles(kernel.source, n=128)
+        vector_cycles = estimate_cycles(result.source, n=128)
+        assert vector_cycles < scalar_cycles

@@ -1,0 +1,53 @@
+"""Tests for the error hierarchy and the verdict vocabulary."""
+
+import pytest
+
+from repro.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    ReproError,
+    ResourceBudgetExceeded,
+    SourceLocation,
+    UndefinedBehaviorError,
+)
+from repro.pipeline.verdict import Verdict
+
+
+class TestErrors:
+    def test_all_errors_are_repro_errors(self):
+        for error_type in (LexError, ParseError, CompileError, UndefinedBehaviorError,
+                           ResourceBudgetExceeded):
+            assert issubclass(error_type, ReproError)
+
+    def test_lex_and_parse_errors_carry_location(self):
+        error = ParseError("unexpected token", SourceLocation(3, 7))
+        assert "3:7" in str(error)
+        assert error.location.line == 3
+
+    def test_ub_error_records_kind(self):
+        error = UndefinedBehaviorError("oob", kind="oob-read")
+        assert error.kind == "oob-read"
+
+    def test_budget_error_records_resource(self):
+        error = ResourceBudgetExceeded("too many conflicts", resource="sat-conflicts")
+        assert error.resource == "sat-conflicts"
+
+    def test_source_location_renders_line_colon_column(self):
+        assert str(SourceLocation(12, 4)) == "12:4"
+
+
+class TestVerdict:
+    def test_final_verdicts(self):
+        assert Verdict.EQUIVALENT.is_final
+        assert Verdict.NOT_EQUIVALENT.is_final
+        assert not Verdict.PLAUSIBLE.is_final
+        assert not Verdict.INCONCLUSIVE.is_final
+
+    def test_values_match_paper_vocabulary(self):
+        assert {v.value for v in Verdict} == {
+            "plausible", "equivalent", "not_equivalent", "inconclusive"}
+
+    @pytest.mark.parametrize("verdict", list(Verdict))
+    def test_round_trip_through_value(self, verdict):
+        assert Verdict(verdict.value) is verdict

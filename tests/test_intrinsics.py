@@ -1,0 +1,118 @@
+"""Tests for the AVX2 intrinsic semantic models."""
+
+import pytest
+
+from repro.intrinsics.avx2 import (
+    INTRINSIC_REGISTRY,
+    M256Value,
+    apply_pure_intrinsic,
+    is_intrinsic,
+    lookup_intrinsic,
+    wrap32,
+)
+
+
+class TestWrap32:
+    def test_wraps_positive_overflow(self):
+        assert wrap32(2**31) == -(2**31)
+
+    def test_wraps_negative(self):
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+
+    def test_identity_in_range(self):
+        assert wrap32(12345) == 12345
+        assert wrap32(-12345) == -12345
+
+
+class TestM256Value:
+    def test_splat_and_zero(self):
+        assert M256Value.splat(7).lanes == (7,) * 8
+        assert M256Value.zero().lanes == (0,) * 8
+
+    def test_requires_eight_lanes(self):
+        with pytest.raises(ValueError):
+            M256Value(lanes=(1, 2, 3))
+
+    def test_poison_propagates_through_binary_ops(self):
+        a = M256Value.from_lanes(range(8), poison=[True] + [False] * 7)
+        b = M256Value.splat(1)
+        result = a.map_binary(b, lambda x, y: x + y)
+        assert result.poison[0] is True
+        assert result.poison[1] is False
+
+
+class TestPureIntrinsics:
+    def test_add_epi32(self):
+        a = M256Value.from_lanes(range(8))
+        b = M256Value.splat(10)
+        out = apply_pure_intrinsic("_mm256_add_epi32", [a, b])
+        assert out.lanes == tuple(i + 10 for i in range(8))
+
+    def test_mullo_epi32_wraps(self):
+        a = M256Value.splat(2**20)
+        b = M256Value.splat(2**20)
+        out = apply_pure_intrinsic("_mm256_mullo_epi32", [a, b])
+        assert out.lanes == (wrap32(2**40),) * 8
+
+    def test_cmpgt_produces_full_lane_masks(self):
+        a = M256Value.from_lanes([5, -1, 3, 0, 7, 2, 2, -9])
+        b = M256Value.splat(2)
+        out = apply_pure_intrinsic("_mm256_cmpgt_epi32", [a, b])
+        assert out.lanes == (-1, 0, -1, 0, -1, 0, 0, 0)
+
+    def test_blendv_selects_by_mask_sign(self):
+        a = M256Value.splat(1)
+        b = M256Value.splat(2)
+        mask = M256Value.from_lanes([-1, 0, -1, 0, -1, 0, -1, 0])
+        out = apply_pure_intrinsic("_mm256_blendv_epi8", [a, b, mask])
+        assert out.lanes == (2, 1, 2, 1, 2, 1, 2, 1)
+
+    def test_setr_orders_arguments_low_to_high(self):
+        out = apply_pure_intrinsic("_mm256_setr_epi32", list(range(8)))
+        assert out.lanes == tuple(range(8))
+
+    def test_set_orders_arguments_high_to_low(self):
+        out = apply_pure_intrinsic("_mm256_set_epi32", list(range(8)))
+        assert out.lanes == tuple(reversed(range(8)))
+
+    def test_abs_and_minmax(self):
+        a = M256Value.from_lanes([-3, 4, -5, 0, 1, -1, 8, -8])
+        assert apply_pure_intrinsic("_mm256_abs_epi32", [a]).lanes == (3, 4, 5, 0, 1, 1, 8, 8)
+        b = M256Value.splat(0)
+        assert apply_pure_intrinsic("_mm256_max_epi32", [a, b]).lanes == (0, 4, 0, 0, 1, 0, 8, 0)
+        assert apply_pure_intrinsic("_mm256_min_epi32", [a, b]).lanes == (-3, 0, -5, 0, 0, -1, 0, -8)
+
+    def test_shift_intrinsics(self):
+        a = M256Value.splat(8)
+        assert apply_pure_intrinsic("_mm256_slli_epi32", [a, 2]).lanes == (32,) * 8
+        assert apply_pure_intrinsic("_mm256_srli_epi32", [a, 2]).lanes == (2,) * 8
+        negative = M256Value.splat(-8)
+        assert apply_pure_intrinsic("_mm256_srai_epi32", [negative, 2]).lanes == (-2,) * 8
+
+    def test_hadd_pairwise_within_halves(self):
+        a = M256Value.from_lanes([1, 2, 3, 4, 5, 6, 7, 8])
+        b = M256Value.from_lanes([10, 20, 30, 40, 50, 60, 70, 80])
+        out = apply_pure_intrinsic("_mm256_hadd_epi32", [a, b])
+        assert out.lanes == (3, 7, 30, 70, 11, 15, 110, 150)
+
+
+class TestRegistry:
+    def test_paper_intrinsics_are_modelled(self):
+        for name in ("_mm256_loadu_si256", "_mm256_storeu_si256", "_mm256_set1_epi32",
+                     "_mm256_setr_epi32", "_mm256_add_epi32", "_mm256_mullo_epi32",
+                     "_mm256_cmpgt_epi32", "_mm256_blendv_epi8", "_mm256_setzero_si256"):
+            assert is_intrinsic(name)
+
+    def test_unknown_intrinsic_lookup_raises(self):
+        with pytest.raises(KeyError):
+            lookup_intrinsic("_mm256_not_a_real_intrinsic")
+
+    def test_costs_are_positive_for_memory_ops(self):
+        assert lookup_intrinsic("_mm256_loadu_si256").cycle_cost > 0
+        assert lookup_intrinsic("_mm256_storeu_si256").cycle_cost > 0
+
+    def test_every_registered_intrinsic_has_consistent_spec(self):
+        for name, spec in INTRINSIC_REGISTRY.items():
+            assert spec.name == name
+            assert spec.arity >= 0
+            assert spec.cycle_cost >= 0

@@ -1,0 +1,57 @@
+"""Tests for pass@k and the text renderers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import pass_at_k, pass_at_k_curve
+from repro.reporting import render_pass_at_k_curve, render_table
+
+
+class TestPassAtK:
+    def test_known_values(self):
+        assert pass_at_k(10, 0, 5) == 0.0
+        assert pass_at_k(10, 10, 1) == 1.0
+        assert pass_at_k(1, 1, 1) == 1.0
+        assert pass_at_k(2, 1, 1) == pytest.approx(0.5)
+
+    def test_monotone_in_k(self):
+        values = [pass_at_k(100, 7, k) for k in (1, 5, 10, 50, 100)]
+        assert values == sorted(values)
+
+    def test_k_larger_than_n_is_clamped(self):
+        assert pass_at_k(5, 1, 50) == 1.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            pass_at_k(5, 6, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(5, 1, 0)
+
+    @given(st.integers(1, 60), st.integers(0, 60), st.integers(1, 60))
+    @settings(max_examples=80, deadline=None)
+    def test_estimator_stays_in_unit_interval(self, n, c, k):
+        c = min(c, n)
+        assert 0.0 <= pass_at_k(n, c, k) <= 1.0
+
+    def test_curve_averages_over_problems(self):
+        curve = pass_at_k_curve([(10, 10), (10, 0)], [1, 10])
+        assert curve[1] == pytest.approx(0.5)
+        assert curve[10] == pytest.approx(0.5)
+
+
+class TestRendering:
+    def test_render_table_aligns_columns(self):
+        rows = [{"Name": "alpha", "Value": 1}, {"Name": "b", "Value": 123456}]
+        text = render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_empty_table(self):
+        assert "empty" in render_table([])
+
+    def test_render_pass_at_k_curve(self):
+        text = render_pass_at_k_curve({1: 0.25, 10: 0.8})
+        assert "k=  1" in text
+        assert "#" in text

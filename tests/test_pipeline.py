@@ -1,0 +1,130 @@
+"""Tests for Algorithm 1, the end-to-end tool and the experiment harness."""
+
+import random
+
+from repro.llm.faults import FaultKind, apply_fault
+from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
+from repro.pipeline import EquivalencePipeline, LLMVectorizer, LLMVectorizerConfig, Verdict
+from repro.tsvc import load_kernel
+from repro.vectorizer import vectorize_kernel
+
+
+class TestEquivalencePipeline:
+    def setup_method(self):
+        self.pipeline = EquivalencePipeline()
+
+    def test_correct_candidate_reaches_equivalent(self):
+        kernel = load_kernel("s000")
+        result = vectorize_kernel(kernel.function)
+        report = self.pipeline.check_equivalence(kernel.source, result.source)
+        assert report.verdict is Verdict.EQUIVALENT
+        assert report.stage_outcomes["checksum"] == "plausible"
+
+    def test_checksum_catches_blatantly_wrong_candidate_first(self):
+        kernel = load_kernel("s000")
+        wrong = kernel.source.replace("+ 1", "+ 2")
+        report = self.pipeline.check_equivalence(kernel.source, wrong)
+        assert report.verdict is Verdict.NOT_EQUIVALENT
+        assert report.deciding_stage == "checksum"
+
+    def test_uncompilable_candidate_is_refuted_at_checksum(self):
+        kernel = load_kernel("s000")
+        report = self.pipeline.check_equivalence(kernel.source, "void s000(int n, int *a, int *b) { undeclared(); }")
+        assert report.verdict is Verdict.NOT_EQUIVALENT
+        assert report.deciding_stage == "checksum"
+
+    def test_stages_run_in_algorithm1_order(self):
+        kernel = load_kernel("s212")
+        result = vectorize_kernel(kernel.function)
+        report = self.pipeline.check_equivalence(kernel.source, result.source)
+        stages = list(report.stage_outcomes.keys())
+        assert stages[0] == "checksum"
+        assert stages[1] == "alive-unroll"
+
+    def test_skip_checksum_goes_straight_to_verification(self):
+        kernel = load_kernel("s000")
+        result = vectorize_kernel(kernel.function)
+        report = self.pipeline.check_equivalence(kernel.source, result.source, skip_checksum=True)
+        assert "checksum" not in report.stage_outcomes
+        assert report.verdict is Verdict.EQUIVALENT
+
+
+class TestLLMVectorizerTool:
+    def test_end_to_end_on_motivating_example(self):
+        tool = LLMVectorizer(LLMVectorizerConfig(llm=SyntheticLLMConfig(seed=2024)))
+        result = tool.vectorize(load_kernel("s212"))
+        assert result.plausible
+        assert result.vectorized_code is not None
+        assert result.verdict in (Verdict.EQUIVALENT, Verdict.INCONCLUSIVE)
+
+    def test_verification_can_be_disabled(self):
+        config = LLMVectorizerConfig(run_verification=False)
+        tool = LLMVectorizer(config)
+        result = tool.vectorize(load_kernel("s000"))
+        assert result.plausible
+        assert result.pipeline_report is None
+        assert result.verdict is Verdict.PLAUSIBLE
+
+    def test_unvectorizable_kernel_reports_not_equivalent(self):
+        config = LLMVectorizerConfig(llm=SyntheticLLMConfig(seed=1, hard_kernel_success_rate=0.0))
+        tool = LLMVectorizer(config)
+        result = tool.vectorize(load_kernel("s321"))
+        assert not result.plausible
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+
+
+class TestExperimentHarness:
+    def test_checksum_evaluation_on_subset(self):
+        from repro.experiments import run_checksum_evaluation
+        evaluation = run_checksum_evaluation(
+            num_completions=6, kernels=["s000", "s212", "s321", "vsumr"],
+            llm=SyntheticLLM(SyntheticLLMConfig(seed=9)))
+        row = evaluation.table2_row(6)
+        assert row["Plausible"] >= 2
+        assert sum(row.values()) == 4
+        curve = evaluation.pass_at_k([1, 3, 6])
+        assert 0.0 <= curve[1] <= curve[3] <= curve[6] <= 1.0
+
+    def test_verification_funnel_on_subset(self):
+        from repro.experiments import run_verification_funnel
+        candidates = {}
+        sources = {}
+        for name in ("s000", "vpvtv", "s453"):
+            kernel = load_kernel(name)
+            candidates[name] = vectorize_kernel(kernel.function).source
+            sources[name] = kernel.source
+        # Add one refutable candidate.
+        vif = load_kernel("vif")
+        sources["vif"] = vif.source
+        candidates["vif"] = apply_fault(vectorize_kernel(vif.function).source,
+                                        FaultKind.CMP_OFF_BY_ONE, random.Random(3))
+        funnel = run_verification_funnel(candidates, sources, total_tests=6)
+        rows = funnel.rows()
+        assert rows[0]["Techniques"] == "Checksum"
+        assert rows[-1]["Techniques"] == "All"
+        assert len(funnel.verified_kernels) >= 3
+        assert "vif" in funnel.refuted_kernels
+        assert rows[-1]["Not Equiv"] >= 3  # 2 missing-plausible + vif
+
+    def test_fsm_evaluation_summary_fields(self):
+        from repro.experiments import run_fsm_evaluation
+        evaluation = run_fsm_evaluation(kernels=["s000", "s271"],
+                                        llm=SyntheticLLM(SyntheticLLMConfig(seed=4)))
+        summary = evaluation.summary()
+        assert summary["kernels"] == 2
+        assert summary["solved_within_budget"] >= 1
+        assert summary["max_attempts"] >= 1
+
+    def test_performance_evaluation_produces_rows(self):
+        from repro.experiments import run_performance_evaluation
+        verified = {}
+        for name in ("s212", "s000"):
+            kernel = load_kernel(name)
+            verified[name] = vectorize_kernel(kernel.function).source
+        evaluation = run_performance_evaluation(verified, trip_count=64)
+        rows = evaluation.speedup_rows()
+        assert len(rows) == 2
+        low, high = evaluation.speedup_range()
+        assert 0 < low <= high
+        s212_row = [r for r in rows if r["Test"] == "s212"][0]
+        assert s212_row["vs GCC"] > 1.0  # the LLM wins where GCC does not vectorize

@@ -1,0 +1,131 @@
+"""Tests for the rule-based vectorizer: planning, code generation and correctness."""
+
+import pytest
+
+from repro.cfront.cparser import parse_function
+from repro.interp.checksum import ChecksumOutcome, checksum_testing
+from repro.tsvc import load_kernel
+from repro.vectorizer import plan_vectorization, vectorize_kernel
+from repro.vectorizer.normalize import normalize_body
+from repro.vectorizer.planner import RejectionReason, Strategy
+from repro.cfront import ast_nodes as ast
+from repro.analysis.loops import find_main_loop
+
+
+class TestPlanner:
+    def test_plain_elementwise_loop_is_feasible(self):
+        plan = plan_vectorization(load_kernel("s000").function)
+        assert plan.feasible
+        assert plan.strategy is Strategy.PLAIN
+
+    def test_anti_dependence_is_feasible(self):
+        plan = plan_vectorization(load_kernel("s212").function)
+        assert plan.feasible
+
+    def test_recurrence_is_rejected(self):
+        plan = plan_vectorization(load_kernel("s321").function)
+        assert not plan.feasible
+        assert plan.reason is RejectionReason.LOOP_CARRIED_FLOW
+
+    def test_reduction_strategy(self):
+        plan = plan_vectorization(load_kernel("vsumr").function)
+        assert plan.feasible
+        assert plan.strategy is Strategy.REDUCTION
+
+    def test_induction_strategy(self):
+        plan = plan_vectorization(load_kernel("s453").function)
+        assert plan.feasible
+        assert plan.strategy is Strategy.INDUCTION
+
+    def test_control_flow_uses_blend(self):
+        plan = plan_vectorization(load_kernel("s271").function)
+        assert plan.feasible
+        assert plan.strategy is Strategy.BLEND
+
+    def test_packing_pattern_rejected(self):
+        plan = plan_vectorization(load_kernel("s341").function)
+        assert not plan.feasible
+        assert plan.reason is RejectionReason.PACKING
+
+    def test_gather_rejected(self):
+        plan = plan_vectorization(load_kernel("vag").function)
+        assert not plan.feasible
+        assert plan.reason is RejectionReason.GATHER_SCATTER
+
+    def test_non_unit_step_rejected(self):
+        plan = plan_vectorization(load_kernel("s116").function)
+        assert not plan.feasible
+        assert plan.reason is RejectionReason.NON_UNIT_STEP
+
+    def test_overlapping_writes_rejected(self):
+        plan = plan_vectorization(load_kernel("s244").function)
+        assert not plan.feasible
+
+    def test_early_exit_rejected(self):
+        plan = plan_vectorization(load_kernel("s482").function)
+        assert not plan.feasible
+        assert plan.reason is RejectionReason.EARLY_EXIT
+
+    def test_wraparound_scalar_rejected(self):
+        plan = plan_vectorization(load_kernel("s291").function)
+        assert not plan.feasible
+        assert plan.reason is RejectionReason.WRAPAROUND_SCALAR
+
+
+class TestGotoNormalization:
+    def test_s278_diamond_becomes_if_else(self):
+        kernel = load_kernel("s278")
+        loop = find_main_loop(kernel.function)
+        normalized = normalize_body(loop.body)
+        assert not any(isinstance(n, ast.Goto) for n in ast.walk(normalized))
+        assert any(isinstance(n, ast.If) and n.otherwise is not None for n in ast.walk(normalized))
+
+    def test_normalization_preserves_plan_feasibility_for_s278(self):
+        plan = plan_vectorization(load_kernel("s278").function)
+        assert plan.feasible
+
+
+class TestCodegenCorrectness:
+    """The generated AVX2 code must agree with the scalar kernel on random inputs."""
+
+    CORRECT_KERNELS = [
+        "s000", "s212", "s251", "s271", "s273", "s274", "s278", "s1281",
+        "vsumr", "vdotr", "s453", "s452", "s314", "s316", "s3111", "s1351",
+        "vpvtv", "vtv", "vif", "s2712", "s441", "s319",
+    ]
+
+    @pytest.mark.parametrize("name", CORRECT_KERNELS)
+    def test_vectorized_kernel_matches_scalar(self, name):
+        kernel = load_kernel(name)
+        result = vectorize_kernel(kernel.function)
+        assert result is not None, f"{name} should be vectorizable"
+        report = checksum_testing(kernel.source, result.source, seed=123,
+                                  trip_counts=[16, 24, 40])
+        assert report.outcome is ChecksumOutcome.PLAUSIBLE, report.feedback_text()
+
+    def test_emitted_code_contains_epilogue_loop(self):
+        result = vectorize_kernel(load_kernel("s000").function)
+        loops = [n for n in ast.walk(result.function) if isinstance(n, ast.ForLoop)]
+        assert len(loops) == 2  # vector loop + scalar epilogue
+
+    def test_emitted_code_uses_avx2_intrinsics(self):
+        result = vectorize_kernel(load_kernel("s212").function)
+        assert "_mm256_loadu_si256" in result.source
+        assert "_mm256_storeu_si256" in result.source
+        assert "#include <immintrin.h>" in result.source
+
+    def test_reduction_emits_horizontal_combine(self):
+        result = vectorize_kernel(load_kernel("vsumr").function)
+        assert "_mm256_extract_epi32" in result.source
+
+    def test_induction_emits_setr_ramp(self):
+        result = vectorize_kernel(load_kernel("s453").function)
+        assert "_mm256_setr_epi32" in result.source
+
+    def test_infeasible_kernel_returns_none(self):
+        assert vectorize_kernel(load_kernel("s321").function) is None
+
+    def test_generated_code_reparses(self):
+        result = vectorize_kernel(load_kernel("s274").function)
+        reparsed = parse_function(result.source)
+        assert reparsed.name == "s274"
