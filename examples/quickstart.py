@@ -1,44 +1,59 @@
-"""Quickstart: vectorize one TSVC kernel end to end.
+"""Quickstart: vectorize TSVC kernels end to end through the campaign engine.
 
-Runs the full LLM-Vectorizer pipeline on the paper's motivating kernel s212:
-the multi-agent FSM drives the (synthetic) LLM to a checksum-plausible AVX2
-candidate, Algorithm 1 then formally verifies it, and the cycle simulator
-reports the speedup over the three baseline compilers.
+Runs the full LLM-Vectorizer pipeline — the multi-agent FSM drives the
+(synthetic) LLM to a checksum-plausible AVX2 candidate, Algorithm 1 formally
+verifies it — on one or more kernels via the campaign engine: kernels fan
+out over a process pool, results land in a content-addressed cache, and the
+run ends with the campaign summary (verdicts, wall clock, cache hit-rate,
+throughput).  The cycle simulator then reports the speedup of the first
+kernel over the three baseline compilers.
 
-Run with:  python examples/quickstart.py [kernel-name]
+Run with:  python examples/quickstart.py [kernel-name ...]
+
+Environment knobs: REPRO_WORKERS (pool width, default 0 = one per CPU),
+REPRO_STORE (JSONL result store for resumable runs).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.perf import measure_kernel, speedups_for_kernel
-from repro.pipeline import LLMVectorizer
+from repro.pipeline import CampaignConfig, LLMVectorizer
+from repro.reporting import render_campaign_report
 from repro.tsvc import load_kernel
 
 
 def main() -> int:
-    kernel_name = sys.argv[1] if len(sys.argv) > 1 else "s212"
-    kernel = load_kernel(kernel_name)
+    names = sys.argv[1:] or ["s212"]
+    kernel = load_kernel(names[0])
     print(f"=== scalar kernel {kernel.name} ({kernel.category}) ===")
     print(kernel.source.strip())
     print()
 
+    config = CampaignConfig(
+        workers=int(os.environ.get("REPRO_WORKERS", "0")),
+        store_path=os.environ.get("REPRO_STORE", "").strip() or None,
+    )
     tool = LLMVectorizer()
-    result = tool.vectorize(kernel)
-    print(f"FSM attempts: {result.fsm_result.attempts}, "
-          f"LLM invocations: {result.fsm_result.llm_invocations}, "
-          f"plausible: {result.plausible}")
-    if not result.plausible or result.vectorized_code is None:
+    report = tool.vectorize_suite(names, campaign=config)
+    print(render_campaign_report(report))
+
+    result = report.by_kernel()[kernel.name]
+    print(f"FSM attempts: {result['attempts']}, "
+          f"LLM invocations: {result['llm_invocations']}, "
+          f"plausible: {result['plausible']}")
+    if not result["plausible"] or not result["final_code"]:
         print("No plausible vectorization was found within the attempt budget.")
         return 1
 
     print("\n=== vectorized candidate ===")
-    print(result.vectorized_code.strip())
-    print(f"\nFormal verification verdict: {result.verdict.value}"
-          f" (stage: {result.pipeline_report.deciding_stage if result.pipeline_report else 'n/a'})")
+    print(result["final_code"].strip())
+    print(f"\nFormal verification verdict: {result['verdict']}"
+          f" (stage: {result['deciding_stage'] or 'n/a'})")
 
-    performance = measure_kernel(kernel.name, kernel.source, result.vectorized_code)
+    performance = measure_kernel(kernel.name, kernel.source, result["final_code"])
     print("\nEstimated speedup of the LLM-vectorized code:")
     for compiler, speedup in speedups_for_kernel(performance).items():
         print(f"  vs {compiler:<6} {speedup:5.2f}x")

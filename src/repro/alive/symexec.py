@@ -18,9 +18,8 @@ the same bucket the paper uses for queries Alive2 cannot encode.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Union
+from typing import Mapping, Union
 
 from repro.cfront import ast_nodes as ast
 from repro.intrinsics.avx2 import LANES, is_intrinsic, lookup_intrinsic

@@ -159,6 +159,10 @@ def _reads_later(write: ArrayAccess, read: ArrayAccess) -> bool:
 def _find_scalar_recurrences(body: ast.Stmt, iterator: Optional[str]) -> list[ScalarRecurrence]:
     """Find scalars assigned inside the loop from their own previous value."""
     recurrences: dict[str, ScalarRecurrence] = {}
+    conditional_ids = set()
+    for node in ast.walk(body):
+        if isinstance(node, (ast.If, ast.TernaryOp)):
+            conditional_ids.update(id(n) for n in ast.walk(node))
     for node in ast.walk(body):
         if isinstance(node, ast.Assign) and isinstance(node.target, ast.Identifier):
             name = node.target.name
@@ -176,9 +180,15 @@ def _find_scalar_recurrences(body: ast.Stmt, iterator: Optional[str]) -> list[Sc
                 operation = node.value.op if isinstance(node.value, ast.BinOp) else None
                 recurrences[name] = ScalarRecurrence(name=name, kind="reduction", operation=operation)
             elif node.op == "=" and not _mentions_name(node.value, name):
-                # Plain overwrite each iteration: not a recurrence, but only
-                # if the value does not feed later iterations; keep quiet.
-                pass
+                # Plain overwrite each iteration.  If the scalar is *read*
+                # earlier in the body than it is written, the read consumes
+                # the previous iteration's value — a wrap-around scalar
+                # (s291's ``im1``), which needs loop peeling to vectorize.
+                # Guarded overwrites (``if (a[i] > max) max = a[i]``) are
+                # conditional-reduction idioms, not wrap-around scalars.
+                if (name not in recurrences and id(node) not in conditional_ids
+                        and _read_before(body, name)):
+                    recurrences[name] = ScalarRecurrence(name=name, kind="other")
         elif isinstance(node, (ast.PostfixOp,)) and node.op in ("++", "--"):
             if isinstance(node.operand, ast.Identifier) and node.operand.name != iterator:
                 recurrences[node.operand.name] = ScalarRecurrence(
@@ -210,6 +220,48 @@ def _constant_value(expr: ast.Expr) -> int:
 
 def _mentions_name(expr: ast.Expr, name: str) -> bool:
     return any(isinstance(n, ast.Identifier) and n.name == name for n in ast.walk(expr))
+
+
+def _read_before(body: ast.Stmt, name: str) -> bool:
+    """Is ``name`` read at a source location before its *first* write?
+
+    Only a read preceding every write consumes the previous iteration's
+    value; a temp assigned, read, and reassigned within one iteration is
+    not loop-carried.  Source order approximates execution order within the
+    straight-line loop bodies of the supported C subset.
+    """
+    stores = set()
+    first_write = None
+    for node in ast.walk(body):
+        target = None
+        if isinstance(node, ast.Decl):
+            # Declared inside the body: per-iteration lifetime, never
+            # loop-carried.
+            if node.name == name:
+                return False
+            continue
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Identifier):
+            target = node.target
+        elif (isinstance(node, (ast.PostfixOp, ast.UnaryOp)) and node.op in ("++", "--")
+                and isinstance(node.operand, ast.Identifier)):
+            target = node.operand
+        if target is None:
+            continue
+        stores.add(id(target))
+        if target.name == name:
+            location = (target.location.line, target.location.column)
+            if first_write is None or location < first_write:
+                first_write = location
+    if first_write is None:
+        return False
+    for node in ast.walk(body):
+        if not isinstance(node, ast.Identifier) or node.name != name:
+            continue
+        if id(node) in stores:
+            continue
+        if (node.location.line, node.location.column) < first_write:
+            return True
+    return False
 
 
 def _has_control_flow(body: ast.Stmt) -> tuple[bool, bool]:

@@ -182,7 +182,7 @@ def _skip_trivia(cursor: _Cursor) -> None:
 def _lex_number(cursor: _Cursor) -> Token:
     location = cursor.location()
     start = cursor.pos
-    if cursor.peek() == "0" and cursor.peek(1) in "xX":
+    if cursor.peek() == "0" and cursor.peek(1) and cursor.peek(1) in "xX":
         cursor.advance(2)
         while cursor.peek() and cursor.peek() in "0123456789abcdefABCDEF":
             cursor.advance()
@@ -193,8 +193,9 @@ def _lex_number(cursor: _Cursor) -> Token:
             cursor.advance()
             while cursor.peek().isdigit():
                 cursor.advance()
-    # Integer suffixes are accepted and discarded.
-    while cursor.peek() in "uUlL":
+    # Integer suffixes are accepted and discarded.  (peek() returns "" at
+    # end of input, and "" is a substring of any string — guard against it.)
+    while cursor.peek() and cursor.peek() in "uUlL":
         cursor.advance()
     text = cursor.text[start : cursor.pos]
     return Token(TokenKind.NUMBER, text, location)

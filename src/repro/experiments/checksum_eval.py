@@ -6,21 +6,35 @@ cannot-compile.  Table 2 reports, for k in {1, 10, 100}, how many kernels
 have at least one plausible completion among their first k; Figure 5 reports
 the averaged unbiased pass@k estimate.
 
-Identical completions are checksum-tested once (they are frequent — the model
-often regenerates the same correct program), which keeps the full 149 x 100
-evaluation tractable.
+The evaluation goes through the campaign engine: kernels fan out over the
+worker pool, each with a seed derived from (LLM seed, kernel name), so the
+sampled completions are identical at any parallelism level.  Completion
+batches are prefix-consistent in ``n`` — completion ``i`` of an ``n=100``
+batch equals completion ``i`` of an ``n=30`` batch — so a cached larger
+batch satisfies any smaller re-estimation request (pass@k re-runs are pure
+cache hits).  Identical completions within a batch are checksum-tested once
+(they are frequent — the model often regenerates the same correct program),
+which keeps the full 149 x 100 evaluation tractable.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.interp.checksum import ChecksumOutcome, checksum_testing
 from repro.llm.client import CompletionRequest, LLMClient
 from repro.llm.prompts import build_vectorization_prompt
-from repro.llm.synthetic import SyntheticLLM
+from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
 from repro.metrics.passk import pass_at_k_curve
+from repro.pipeline.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    CampaignSummary,
+    KernelTask,
+    as_campaign_runner,
+)
+from repro.pipeline.cache import config_fingerprint
 from repro.tsvc import LoadedKernel, load_suite
 
 
@@ -50,6 +64,9 @@ class ChecksumEvaluation:
 
     records: list[KernelChecksumRecord]
     num_completions: int
+    #: Campaign accounting (cache hit-rate, wall clock, throughput); None on
+    #: the serial fallback path.
+    campaign_summary: "CampaignSummary | None" = None
 
     def table2_row(self, k: int) -> dict[str, int]:
         """The Table 2 column for a given k: plausible / not equivalent / cannot compile."""
@@ -75,37 +92,149 @@ class ChecksumEvaluation:
                 if r.first_plausible_code is not None}
 
 
+def classify_completions(scalar_code: str, codes: list[str],
+                         checksum_seed: int = 0) -> tuple[list[ChecksumOutcome], int | None]:
+    """Classify completions by checksum testing, deduplicating identical code.
+
+    Returns the per-completion outcomes plus the index of the first plausible
+    completion (or None).
+    """
+    outcomes: list[ChecksumOutcome] = []
+    first_plausible: int | None = None
+    cache: dict[str, ChecksumOutcome] = {}
+    for index, code in enumerate(codes):
+        digest = hashlib.sha256(code.encode()).hexdigest()
+        outcome = cache.get(digest)
+        if outcome is None:
+            outcome = checksum_testing(scalar_code, code, seed=checksum_seed).outcome
+            cache[digest] = outcome
+        outcomes.append(outcome)
+        if outcome is ChecksumOutcome.PLAUSIBLE and first_plausible is None:
+            first_plausible = index
+    return outcomes, first_plausible
+
+
+def checksum_kernel_job(task: KernelTask) -> dict:
+    """Campaign job: sample ``n`` completions for one kernel and classify each."""
+    payload = task.payload
+    model = SyntheticLLM(replace(payload["llm_config"], seed=task.seed))
+    request = CompletionRequest(
+        prompt=build_vectorization_prompt(task.scalar_code),
+        kernel_name=task.kernel,
+        scalar_code=task.scalar_code,
+        num_completions=payload["num_completions"],
+        temperature=payload["temperature"],
+    )
+    completions = model.complete(request)
+    outcomes, first_plausible = classify_completions(
+        task.scalar_code, [c.code for c in completions], payload["checksum_seed"]
+    )
+    return {
+        "kernel": task.kernel,
+        "num_completions": len(completions),
+        "outcomes": [outcome.value for outcome in outcomes],
+        "first_plausible_index": first_plausible,
+        "first_plausible_code": completions[first_plausible].code if first_plausible is not None else None,
+    }
+
+
+def _accept_batch(cached: dict, task: KernelTask) -> bool:
+    """A stored batch serves any request for the same or fewer completions."""
+    return cached.get("num_completions", 0) >= task.payload["num_completions"]
+
+
+def _slice_batch(cached: dict, task: KernelTask) -> dict:
+    """Restrict a (possibly larger) stored batch to the requested prefix."""
+    n = task.payload["num_completions"]
+    first = cached.get("first_plausible_index")
+    within = first is not None and first < n
+    return {
+        "kernel": cached["kernel"],
+        "num_completions": n,
+        "outcomes": cached["outcomes"][:n],
+        "first_plausible_index": first if within else None,
+        "first_plausible_code": cached.get("first_plausible_code") if within else None,
+    }
+
+
 def run_checksum_evaluation(
     num_completions: int = 100,
     kernels: list[str] | None = None,
     llm: LLMClient | None = None,
     checksum_seed: int = 0,
     temperature: float = 1.0,
+    campaign: CampaignRunner | CampaignConfig | None = None,
 ) -> ChecksumEvaluation:
-    """Generate ``num_completions`` per kernel and classify each by checksum testing."""
-    model = llm or SyntheticLLM()
+    """Generate ``num_completions`` per kernel and classify each by checksum testing.
+
+    With a :class:`SyntheticLLM` (or None), kernels run through the campaign
+    engine with per-kernel derived seeds.  An arbitrary :class:`LLMClient`
+    instance cannot be shipped to worker processes, so it falls back to the
+    serial in-process path with shared client state.
+    """
+    if llm is not None and not isinstance(llm, SyntheticLLM):
+        return _run_serial_with_instance(llm, num_completions, kernels, checksum_seed, temperature)
+
+    llm_config = llm.config if isinstance(llm, SyntheticLLM) else SyntheticLLMConfig()
+    payload = {
+        "llm_config": llm_config,
+        "num_completions": num_completions,
+        "checksum_seed": checksum_seed,
+        "temperature": temperature,
+    }
+    # The fingerprint excludes ``num_completions`` so that a larger stored
+    # batch is *found* for a smaller request and sliced to its prefix.
+    config_hash = config_fingerprint(
+        {"llm": llm_config, "checksum_seed": checksum_seed, "temperature": temperature}
+    )
+    runner = as_campaign_runner(campaign)
+    tasks = runner.suite_tasks(kernels, payload, config_hash, base_seed=llm_config.seed)
+    report = runner.run_tasks(
+        checksum_kernel_job, tasks, label="checksum-eval",
+        cache_accept=_accept_batch, cache_adapt=_slice_batch,
+    )
+    records = [
+        KernelChecksumRecord(
+            kernel=result["kernel"],
+            outcomes=[ChecksumOutcome(value) for value in result["outcomes"]],
+            first_plausible_code=result["first_plausible_code"],
+        )
+        for result in report.results()
+    ]
+    return ChecksumEvaluation(
+        records=records, num_completions=num_completions, campaign_summary=report.summary
+    )
+
+
+def _run_serial_with_instance(
+    llm: LLMClient,
+    num_completions: int,
+    kernels: list[str] | None,
+    checksum_seed: int,
+    temperature: float,
+) -> ChecksumEvaluation:
+    """Serial fallback for LLM clients that cannot be reconstructed per worker."""
     suite: list[LoadedKernel] = load_suite(kernels)
     records: list[KernelChecksumRecord] = []
     for kernel in suite:
-        prompt = build_vectorization_prompt(kernel.source)
         request = CompletionRequest(
-            prompt=prompt,
+            prompt=build_vectorization_prompt(kernel.source),
             kernel_name=kernel.name,
             scalar_code=kernel.source,
             num_completions=num_completions,
             temperature=temperature,
         )
-        completions = model.complete(request)
-        record = KernelChecksumRecord(kernel=kernel.name)
-        cache: dict[str, ChecksumOutcome] = {}
-        for completion in completions:
-            digest = hashlib.sha256(completion.code.encode()).hexdigest()
-            outcome = cache.get(digest)
-            if outcome is None:
-                outcome = checksum_testing(kernel.source, completion.code, seed=checksum_seed).outcome
-                cache[digest] = outcome
-            record.outcomes.append(outcome)
-            if outcome is ChecksumOutcome.PLAUSIBLE and record.first_plausible_code is None:
-                record.first_plausible_code = completion.code
-        records.append(record)
+        completions = llm.complete(request)
+        outcomes, first_plausible = classify_completions(
+            kernel.source, [c.code for c in completions], checksum_seed
+        )
+        records.append(
+            KernelChecksumRecord(
+                kernel=kernel.name,
+                outcomes=outcomes,
+                first_plausible_code=(
+                    completions[first_plausible].code if first_plausible is not None else None
+                ),
+            )
+        )
     return ChecksumEvaluation(records=records, num_completions=num_completions)

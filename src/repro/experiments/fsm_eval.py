@@ -8,32 +8,61 @@ Two quantities from the paper are reproduced:
   those needed the repair loop (more than one attempt), and the maximum
   number of attempts observed (the paper: 92 solved, nine repaired, at most
   seven attempts).
+
+Kernels run through the campaign engine: each gets a fresh synthetic LLM
+seeded from (LLM seed, kernel name), so the evaluation parallelizes and its
+results are order- and worker-count-independent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.agents.fsm import FSMConfig, FSMResult, VectorizationFSM
+from repro.agents.fsm import FSMConfig, run_fsm_on_kernel
 from repro.llm.client import LLMClient
-from repro.llm.synthetic import SyntheticLLM
+from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
+from repro.pipeline.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    CampaignSummary,
+    KernelTask,
+    as_campaign_runner,
+)
+from repro.pipeline.cache import config_fingerprint
 from repro.tsvc import load_suite
 
 
 @dataclass
-class FSMEvaluation:
-    results: list[FSMResult] = field(default_factory=list)
+class FSMKernelRecord:
+    """Slim, JSON-friendly per-kernel outcome of one FSM run."""
+
+    kernel: str
+    accepted: bool
+    attempts: int
+    llm_invocations: int
+    final_code: str | None = None
 
     @property
-    def solved(self) -> list[FSMResult]:
+    def repaired(self) -> bool:
+        """True when acceptance required more than one attempt."""
+        return self.accepted and self.attempts > 1
+
+
+@dataclass
+class FSMEvaluation:
+    results: list[FSMKernelRecord] = field(default_factory=list)
+    campaign_summary: "CampaignSummary | None" = None
+
+    @property
+    def solved(self) -> list[FSMKernelRecord]:
         return [r for r in self.results if r.accepted]
 
     @property
-    def solved_first_attempt(self) -> list[FSMResult]:
+    def solved_first_attempt(self) -> list[FSMKernelRecord]:
         return [r for r in self.results if r.accepted and r.attempts == 1]
 
     @property
-    def repaired(self) -> list[FSMResult]:
+    def repaired(self) -> list[FSMKernelRecord]:
         return [r for r in self.results if r.repaired]
 
     @property
@@ -50,16 +79,65 @@ class FSMEvaluation:
         }
 
 
+def fsm_kernel_job(task: KernelTask) -> dict:
+    """Campaign job: run the multi-agent FSM on one kernel with its derived seed."""
+    payload = task.payload
+    llm = SyntheticLLM(replace(payload["llm_config"], seed=task.seed))
+    result = run_fsm_on_kernel(llm, task.kernel, task.scalar_code, payload["fsm_config"])
+    return {
+        "kernel": task.kernel,
+        "accepted": result.accepted,
+        "attempts": result.attempts,
+        "llm_invocations": result.llm_invocations,
+        "final_code": result.final_code,
+    }
+
+
 def run_fsm_evaluation(
     kernels: list[str] | None = None,
     llm: LLMClient | None = None,
     config: FSMConfig | None = None,
+    campaign: CampaignRunner | CampaignConfig | None = None,
 ) -> FSMEvaluation:
     """Run the multi-agent FSM over the suite and collect RQ4 statistics."""
-    model = llm or SyntheticLLM()
     fsm_config = config or FSMConfig()
+    if llm is not None and not isinstance(llm, SyntheticLLM):
+        return _run_serial_with_instance(llm, kernels, fsm_config)
+
+    llm_config = llm.config if isinstance(llm, SyntheticLLM) else SyntheticLLMConfig()
+    payload = {"llm_config": llm_config, "fsm_config": fsm_config}
+    runner = as_campaign_runner(campaign)
+    tasks = runner.suite_tasks(
+        kernels, payload, config_fingerprint(payload), base_seed=llm_config.seed
+    )
+    report = runner.run_tasks(fsm_kernel_job, tasks, label="fsm-eval")
+    records = [
+        FSMKernelRecord(
+            kernel=result["kernel"],
+            accepted=result["accepted"],
+            attempts=result["attempts"],
+            llm_invocations=result["llm_invocations"],
+            final_code=result["final_code"],
+        )
+        for result in report.results()
+    ]
+    return FSMEvaluation(results=records, campaign_summary=report.summary)
+
+
+def _run_serial_with_instance(
+    llm: LLMClient, kernels: list[str] | None, fsm_config: FSMConfig
+) -> FSMEvaluation:
+    """Serial fallback for LLM clients that cannot be reconstructed per worker."""
     evaluation = FSMEvaluation()
     for kernel in load_suite(kernels):
-        fsm = VectorizationFSM(model, kernel.name, kernel.source, fsm_config)
-        evaluation.results.append(fsm.run())
+        result = run_fsm_on_kernel(llm, kernel.name, kernel.source, fsm_config)
+        evaluation.results.append(
+            FSMKernelRecord(
+                kernel=result.kernel_name,
+                accepted=result.accepted,
+                attempts=result.attempts,
+                llm_invocations=result.llm_invocations,
+                final_code=result.final_code,
+            )
+        )
     return evaluation

@@ -3,6 +3,10 @@
 For every kernel whose vectorization was proven equivalent, the cycle
 simulator measures the LLM-generated code and each baseline compiler's code,
 and the speedups are grouped into the six categories of Figure 6.
+
+Measurements run per kernel through the campaign engine; the cache key
+covers the scalar source, the verified candidate and the simulator
+parameters, so repeated Figure 6 builds are pure cache hits.
 """
 
 from __future__ import annotations
@@ -10,7 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.features import ALL_CATEGORIES
-from repro.perf.simulator import KernelPerformance, measure_kernel
+from repro.perf.simulator import KernelPerformance, SpeedupRecord, measure_kernel
+from repro.pipeline.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    CampaignSummary,
+    KernelTask,
+    as_campaign_runner,
+)
+from repro.pipeline.cache import config_fingerprint
 from repro.tsvc import load_kernel
 
 COMPILER_NAMES = ("GCC", "Clang", "ICC")
@@ -21,6 +33,7 @@ class PerformanceEvaluation:
     """Speedups for verified kernels, ready to be grouped Figure-6 style."""
 
     performances: list[KernelPerformance] = field(default_factory=list)
+    campaign_summary: "CampaignSummary | None" = None
 
     def by_category(self) -> dict[str, list[KernelPerformance]]:
         groups: dict[str, list[KernelPerformance]] = {name: [] for name in ALL_CATEGORIES}
@@ -69,21 +82,65 @@ def _geomean(values: list[float]) -> float:
     return product ** (1.0 / len(filtered))
 
 
+def performance_kernel_job(task: KernelTask) -> dict:
+    """Campaign job: simulate one verified kernel against every baseline."""
+    payload = task.payload
+    performance = measure_kernel(
+        kernel_name=task.kernel,
+        scalar_code=task.scalar_code,
+        llm_code=task.candidate_code,
+        n=payload["trip_count"],
+        seed=payload["seed"],
+    )
+    return {
+        "kernel": performance.kernel,
+        "category": performance.category,
+        "llm_cycles": performance.llm_cycles,
+        "scalar_cycles": performance.scalar_cycles,
+        "records": [
+            {
+                "kernel": record.kernel,
+                "compiler": record.compiler,
+                "baseline_cycles": record.baseline_cycles,
+                "llm_cycles": record.llm_cycles,
+                "baseline_vectorized": record.baseline_vectorized,
+                "baseline_reason": record.baseline_reason,
+            }
+            for record in performance.records
+        ],
+    }
+
+
 def run_performance_evaluation(
     verified_candidates: dict[str, str],
     trip_count: int = 256,
     seed: int = 11,
+    campaign: CampaignRunner | CampaignConfig | None = None,
 ) -> PerformanceEvaluation:
     """Measure every verified (kernel -> vectorized source) pair against the baselines."""
-    evaluation = PerformanceEvaluation()
-    for kernel_name, vectorized_source in sorted(verified_candidates.items()):
-        kernel = load_kernel(kernel_name)
-        performance = measure_kernel(
-            kernel_name=kernel_name,
-            scalar_code=kernel.source,
-            llm_code=vectorized_source,
-            n=trip_count,
+    payload = {"trip_count": trip_count, "seed": seed}
+    config_hash = config_fingerprint(payload)
+    tasks = [
+        KernelTask(
+            kernel=kernel_name,
+            scalar_code=load_kernel(kernel_name).source,
             seed=seed,
+            config_hash=config_hash,
+            payload=payload,
+            candidate_code=vectorized_source,
         )
-        evaluation.performances.append(performance)
-    return evaluation
+        for kernel_name, vectorized_source in sorted(verified_candidates.items())
+    ]
+    runner = as_campaign_runner(campaign)
+    report = runner.run_tasks(performance_kernel_job, tasks, label="performance-eval")
+    performances = [
+        KernelPerformance(
+            kernel=result["kernel"],
+            category=result["category"],
+            llm_cycles=result["llm_cycles"],
+            scalar_cycles=result["scalar_cycles"],
+            records=[SpeedupRecord(**record) for record in result["records"]],
+        )
+        for result in report.results()
+    ]
+    return PerformanceEvaluation(performances=performances, campaign_summary=report.summary)

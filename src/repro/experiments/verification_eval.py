@@ -5,6 +5,13 @@ verification techniques are applied as a funnel: each technique only sees the
 cases the previous ones left inconclusive.  The result reproduces the
 structure of the paper's Table 3, including the "All" summary row and the
 contribution of the domain-specific optimizations.
+
+Kernels are independent, so the funnel runs per kernel through the campaign
+engine: one job pushes one (scalar, candidate) pair through the stages until
+a technique settles it.  The cache key covers the scalar source, the
+candidate code and the verifier configuration, so a re-run (or a pass@k
+re-estimation feeding the same candidates) skips already-verified candidates
+entirely.
 """
 
 from __future__ import annotations
@@ -12,6 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.alive.verifier import AliveVerifier, VerificationOutcome, VerifierConfig
+from repro.pipeline.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    CampaignSummary,
+    KernelTask,
+    as_campaign_runner,
+)
+from repro.pipeline.cache import config_fingerprint
+
+#: Funnel stages in Algorithm 1 order: (row name, AliveVerifier method name).
+FUNNEL_STAGES = [
+    ("Alive2", "check_with_alive_unroll"),
+    ("C-Unroll", "check_with_c_unroll"),
+    ("Splitting", "check_with_spatial_splitting"),
+]
 
 
 @dataclass
@@ -45,6 +67,7 @@ class VerificationFunnel:
     inconclusive_kernels: list[str] = field(default_factory=list)
     checksum_refuted: int = 0
     total_tests: int = 0
+    campaign_summary: "CampaignSummary | None" = None
 
     def summary_row(self) -> dict[str, int | str]:
         return {
@@ -66,11 +89,34 @@ class VerificationFunnel:
         return [checksum_row] + [stage.as_row() for stage in self.stages] + [self.summary_row()]
 
 
+def funnel_kernel_job(task: KernelTask) -> dict:
+    """Campaign job: push one candidate through the funnel until settled."""
+    verifier = AliveVerifier(task.payload["verifier_config"])
+    stage_outcomes: dict[str, str] = {}
+    for stage_name, method_name in FUNNEL_STAGES:
+        report = getattr(verifier, method_name)(task.scalar_code, task.candidate_code)
+        stage_outcomes[stage_name] = report.outcome.value
+        if report.outcome is not VerificationOutcome.INCONCLUSIVE:
+            return {
+                "kernel": task.kernel,
+                "verdict": report.outcome.value,
+                "deciding_stage": stage_name,
+                "stage_outcomes": stage_outcomes,
+            }
+    return {
+        "kernel": task.kernel,
+        "verdict": VerificationOutcome.INCONCLUSIVE.value,
+        "deciding_stage": None,
+        "stage_outcomes": stage_outcomes,
+    }
+
+
 def run_verification_funnel(
     plausible_candidates: dict[str, str],
     scalar_sources: dict[str, str],
     total_tests: int | None = None,
     verifier_config: VerifierConfig | None = None,
+    campaign: CampaignRunner | CampaignConfig | None = None,
 ) -> VerificationFunnel:
     """Run the three-stage funnel over checksum-plausible candidates.
 
@@ -79,41 +125,54 @@ def run_verification_funnel(
     ``total_tests`` is the size of the full dataset (for the Checksum row);
     kernels without a plausible candidate count as refuted by checksum.
     """
-    verifier = AliveVerifier(verifier_config)
+    config = verifier_config or VerifierConfig()
+    payload = {"verifier_config": config}
+    config_hash = config_fingerprint(config)
+    # The verifier is deterministic, so the seed plays no role here; pinning
+    # it keeps the content-addressed key purely (scalar, candidate, config).
+    tasks = [
+        KernelTask(
+            kernel=kernel_name,
+            scalar_code=scalar_sources[kernel_name],
+            seed=0,
+            config_hash=config_hash,
+            payload=payload,
+            candidate_code=candidate,
+        )
+        for kernel_name, candidate in plausible_candidates.items()
+    ]
+    runner = as_campaign_runner(campaign)
+    report = runner.run_tasks(funnel_kernel_job, tasks, label="verification-funnel")
+
     total = total_tests if total_tests is not None else len(plausible_candidates)
     funnel = VerificationFunnel(
         total_tests=total,
         checksum_refuted=total - len(plausible_candidates),
+        campaign_summary=report.summary,
     )
-
-    stages = [
-        ("Alive2", verifier.check_with_alive_unroll),
-        ("C-Unroll", verifier.check_with_c_unroll),
-        ("Splitting", verifier.check_with_spatial_splitting),
-    ]
-
-    pending = dict(plausible_candidates)
-    for stage_name, check in stages:
+    results = report.results()
+    pending = list(results)
+    for stage_name, _ in FUNNEL_STAGES:
         stage = FunnelStage(name=stage_name, total=len(pending))
-        still_pending: dict[str, str] = {}
-        for kernel_name, candidate in pending.items():
-            scalar = scalar_sources[kernel_name]
-            report = check(scalar, candidate)
-            if report.outcome is VerificationOutcome.EQUIVALENT:
-                stage.equivalent += 1
-                funnel.verdict_by_kernel[kernel_name] = "equivalent"
-                funnel.verified_kernels.append(kernel_name)
-            elif report.outcome is VerificationOutcome.NOT_EQUIVALENT:
-                stage.not_equivalent += 1
-                funnel.verdict_by_kernel[kernel_name] = "not_equivalent"
-                funnel.refuted_kernels.append(kernel_name)
+        still_pending = []
+        for result in pending:
+            kernel_name = result["kernel"]
+            if result["deciding_stage"] == stage_name:
+                if result["verdict"] == VerificationOutcome.EQUIVALENT.value:
+                    stage.equivalent += 1
+                    funnel.verdict_by_kernel[kernel_name] = "equivalent"
+                    funnel.verified_kernels.append(kernel_name)
+                else:
+                    stage.not_equivalent += 1
+                    funnel.verdict_by_kernel[kernel_name] = "not_equivalent"
+                    funnel.refuted_kernels.append(kernel_name)
             else:
                 stage.inconclusive += 1
-                still_pending[kernel_name] = candidate
+                still_pending.append(result)
         funnel.stages.append(stage)
         pending = still_pending
 
-    for kernel_name in pending:
-        funnel.verdict_by_kernel[kernel_name] = "inconclusive"
-        funnel.inconclusive_kernels.append(kernel_name)
+    for result in pending:
+        funnel.verdict_by_kernel[result["kernel"]] = "inconclusive"
+        funnel.inconclusive_kernels.append(result["kernel"])
     return funnel

@@ -27,7 +27,6 @@ from repro.cfront import ast_nodes as ast
 from repro.errors import CompileError, InterpreterError, UndefinedBehaviorError
 from repro.interp.memory import Memory, UBEvent
 from repro.intrinsics.avx2 import (
-    INTRINSIC_REGISTRY,
     LANES,
     M256Value,
     apply_pure_intrinsic,

@@ -1,5 +1,6 @@
-"""Evaluation metrics (pass@k)."""
+"""Evaluation metrics (pass@k, campaign throughput)."""
 
 from repro.metrics.passk import pass_at_k, pass_at_k_curve
+from repro.metrics.throughput import ThroughputReport, kernels_per_second
 
-__all__ = ["pass_at_k", "pass_at_k_curve"]
+__all__ = ["pass_at_k", "pass_at_k_curve", "ThroughputReport", "kernels_per_second"]

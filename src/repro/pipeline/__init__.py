@@ -1,8 +1,17 @@
-"""End-to-end pipeline: Algorithm 1 and per-kernel / whole-suite runners."""
+"""End-to-end pipeline: Algorithm 1, per-kernel runners and the campaign engine."""
 
 from repro.pipeline.verdict import Verdict
 from repro.pipeline.equivalence import EquivalencePipeline, PipelineReport
 from repro.pipeline.runner import KernelRunResult, LLMVectorizer, LLMVectorizerConfig
+from repro.pipeline.cache import CacheStats, ResultCache, config_fingerprint, content_key
+from repro.pipeline.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignRunner,
+    CampaignSummary,
+    KernelTask,
+    derive_kernel_seed,
+)
 
 __all__ = [
     "Verdict",
@@ -11,4 +20,14 @@ __all__ = [
     "KernelRunResult",
     "LLMVectorizer",
     "LLMVectorizerConfig",
+    "CacheStats",
+    "ResultCache",
+    "config_fingerprint",
+    "content_key",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSummary",
+    "KernelTask",
+    "derive_kernel_seed",
 ]

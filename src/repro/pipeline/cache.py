@@ -1,0 +1,140 @@
+"""Content-addressed result cache for campaign runs.
+
+Every expensive unit of campaign work — vectorizing a kernel, classifying a
+sampled completion batch, running the verification funnel on a candidate —
+is identified by a SHA-256 key derived from the *content* that determines
+its outcome: the scalar kernel source, the candidate code (where one
+exists), the configuration fingerprint and the derived per-kernel seed.
+Because the key is content-addressed, a cache entry is valid forever: if any
+input changes the key changes, so stale entries can never be returned.
+
+The cache keeps everything in memory and can optionally persist to a JSONL
+file (one ``{"key": ..., "value": ...}`` object per line, append-only).  A
+crashed or interrupted campaign therefore loses at most the entry being
+written; re-running resumes from the persisted entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+
+def content_key(*parts: str) -> str:
+    """SHA-256 key over length-prefixed parts (no separator ambiguity)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        encoded = part.encode("utf-8")
+        digest.update(str(len(encoded)).encode("ascii"))
+        digest.update(b":")
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
+def config_fingerprint(obj: Any) -> str:
+    """A stable fingerprint of a (nested dataclass) configuration object."""
+    import dataclasses
+
+    def normalize(value: Any) -> Any:
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {
+                "__dataclass__": type(value).__name__,
+                **{f.name: normalize(getattr(value, f.name)) for f in dataclasses.fields(value)},
+            }
+        if isinstance(value, dict):
+            return {str(k): normalize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+        if isinstance(value, (list, tuple)):
+            return [normalize(v) for v in value]
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return repr(value)
+
+    return content_key(json.dumps(normalize(obj), sort_keys=True))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache (or one campaign run)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+class ResultCache:
+    """In-memory content-addressed cache with optional JSONL persistence."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self.stats = CacheStats()
+        self._entries: dict[str, Any] = {}
+        if self.path is not None and self.path.exists():
+            for key, value in _read_jsonl_entries(self.path):
+                self._entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any | None:
+        """Look the key up, recording a hit or a miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: str) -> Any | None:
+        """Look the key up without touching the hit/miss counters."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a JSON-serializable value, appending to the JSONL file if any."""
+        already_stored = self._entries.get(key) == value
+        self._entries[key] = value
+        if self.path is not None and not already_stored:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps({"key": key, "value": value}) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def reset_stats(self) -> CacheStats:
+        """Return the current stats and start a fresh counting window."""
+        window = self.stats
+        self.stats = CacheStats()
+        return window
+
+
+def _read_jsonl_entries(path: Path) -> Iterator[tuple[str, Any]]:
+    """Yield (key, value) pairs, tolerating a truncated trailing line."""
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # half-written final line of an interrupted run
+            if isinstance(entry, dict) and "key" in entry:
+                yield str(entry["key"]), entry.get("value")

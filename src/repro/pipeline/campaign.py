@@ -1,0 +1,445 @@
+"""The campaign engine: suite-scale runs of the pipeline, in parallel.
+
+The paper's headline experiments (Tables 1-3, Figures 5-6) all reduce to the
+same shape of work: run some per-kernel job — vectorize-and-verify, sample
+``n`` completions and classify them, push a candidate through the
+verification funnel, simulate performance — over the whole TSVC suite.  The
+seed code did this with a serial Python loop per experiment.  The campaign
+engine makes the shape a first-class subsystem:
+
+* **parallelism** — kernels fan out over a :class:`ProcessPoolExecutor`
+  with a configurable worker count (``workers=0`` means one per CPU);
+* **determinism** — every kernel gets a seed derived from
+  ``(base seed, kernel name)`` (the LLM seed for the vectorize and
+  experiment campaigns), so per-kernel results are byte-identical at any
+  parallelism level and in any completion order;
+* **caching** — results are stored in a content-addressed
+  :class:`~repro.pipeline.cache.ResultCache` keyed on the kernel source,
+  the candidate code where one exists, the configuration fingerprint and
+  the derived seed, so re-runs and pass@k re-estimation skip work that is
+  already settled;
+* **resumability** — every completed task is appended to a JSONL result
+  store; an interrupted campaign picks up where it left off;
+* **accounting** — each run produces a :class:`CampaignSummary` with
+  verdict counts, wall clock, cache hit-rate and throughput (kernels/sec).
+
+Jobs must be module-level callables taking one :class:`KernelTask` and
+returning a JSON-serializable dict (the process pool pickles jobs by
+reference).  With ``workers=1`` tasks run inline in-process, so closures
+and non-picklable payloads are also accepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.pipeline.cache import CacheStats, ResultCache, config_fingerprint, content_key
+
+JobFn = Callable[["KernelTask"], dict]
+
+#: Result-source tags recorded on every :class:`CampaignRecord`.
+SOURCE_RUN = "run"
+SOURCE_CACHE = "cache"
+SOURCE_STORE = "store"
+
+
+def count_verdicts(records: list["CampaignRecord"]) -> dict[str, int]:
+    """Tally the per-kernel verdict values (records without one are skipped)."""
+    counts: dict[str, int] = {}
+    for record in records:
+        verdict = record.result.get("verdict")
+        if verdict is not None:
+            counts[verdict] = counts.get(verdict, 0) + 1
+    return counts
+
+
+def as_campaign_runner(campaign: "CampaignRunner | CampaignConfig | None") -> "CampaignRunner":
+    """Accept a runner (shared cache), a config, or None (fresh defaults)."""
+    if isinstance(campaign, CampaignRunner):
+        return campaign
+    return CampaignRunner(campaign)
+
+
+def derive_kernel_seed(base_seed: int, kernel_name: str) -> int:
+    """A deterministic per-kernel seed, independent of suite order and worker count."""
+    digest = hashlib.sha256(f"{base_seed}:{kernel_name}".encode("utf-8")).hexdigest()
+    return int(digest[:16], 16)
+
+
+@dataclass(frozen=True)
+class KernelTask:
+    """One unit of campaign work: a kernel plus everything its job needs."""
+
+    kernel: str
+    scalar_code: str
+    seed: int
+    config_hash: str
+    #: Job-specific data; must be picklable when ``workers > 1``.
+    payload: Any = None
+    #: Candidate code, for jobs that verify an existing candidate; folding it
+    #: into the cache key makes candidate-level results content-addressed.
+    candidate_code: Optional[str] = None
+
+    def cache_key(self, label: str) -> str:
+        parts = [label, self.kernel, self.scalar_code, self.config_hash, str(self.seed)]
+        if self.candidate_code is not None:
+            parts.append(self.candidate_code)
+        return content_key(*parts)
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of a campaign run (all deterministic at any setting)."""
+
+    #: Process-pool width; 1 runs inline, 0 means one worker per CPU.
+    workers: int = 1
+    #: Base seed; each kernel derives its own seed from (seed, kernel name).
+    seed: int = 0
+    #: JSONL file backing the content-addressed result cache (optional).
+    cache_path: str | Path | None = None
+    #: JSONL result store for resumability and offline inspection (optional).
+    store_path: str | Path | None = None
+    #: Reuse records found in the result store from a previous, interrupted run.
+    resume: bool = True
+
+    def effective_workers(self) -> int:
+        if self.workers <= 0:
+            return max(1, os.cpu_count() or 1)
+        return self.workers
+
+
+@dataclass
+class CampaignRecord:
+    """One per-kernel result plus where it came from."""
+
+    kernel: str
+    key: str
+    result: dict
+    source: str = SOURCE_RUN
+
+
+@dataclass
+class CampaignSummary:
+    """Campaign-level accounting: the numbers the ROADMAP steers by."""
+
+    label: str
+    kernels: int
+    executed: int
+    cache_hits: int
+    cache_misses: int
+    resumed: int
+    wall_clock_seconds: float
+    workers: int
+    verdict_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def throughput(self) -> "ThroughputReport":
+        from repro.metrics.throughput import ThroughputReport
+
+        return ThroughputReport(
+            total_kernels=self.kernels,
+            executed_kernels=self.executed,
+            wall_clock_seconds=self.wall_clock_seconds,
+        )
+
+    @property
+    def kernels_per_second(self) -> float:
+        """Sustained rate over freshly executed work (cached results excluded:
+        a fully-cached re-run reports 0, not an inflated number)."""
+        return self.throughput.executed_rate
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kernels": self.kernels,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "resumed": self.resumed,
+            "wall_clock_seconds": round(self.wall_clock_seconds, 4),
+            "kernels_per_second": round(self.kernels_per_second, 4),
+            "effective_kernels_per_second": round(self.throughput.effective_rate, 4),
+            "workers": self.workers,
+            "verdict_counts": dict(self.verdict_counts),
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced, in deterministic task order."""
+
+    label: str
+    records: list[CampaignRecord]
+    summary: CampaignSummary
+
+    def results(self) -> list[dict]:
+        return [record.result for record in self.records]
+
+    def by_kernel(self) -> dict[str, dict]:
+        return {record.kernel: record.result for record in self.records}
+
+
+class CampaignRunner:
+    """Runs per-kernel jobs over a suite with caching, resume and fan-out."""
+
+    def __init__(self, config: CampaignConfig | None = None, cache: ResultCache | None = None):
+        self.config = config or CampaignConfig()
+        self.cache = cache if cache is not None else ResultCache(self.config.cache_path)
+
+    # -- generic task execution -------------------------------------------------
+
+    def run_tasks(
+        self,
+        job: JobFn,
+        tasks: list[KernelTask],
+        label: str,
+        cache_accept: Callable[[dict, KernelTask], bool] | None = None,
+        cache_adapt: Callable[[dict, KernelTask], dict] | None = None,
+    ) -> CampaignReport:
+        """Run ``job`` over ``tasks``; results come back in task order.
+
+        ``cache_accept`` lets a job widen cache reuse beyond exact matches
+        (for example: a stored 100-completion batch satisfies a 30-completion
+        request); ``cache_adapt`` then shapes the stored value to the request.
+        """
+        started = time.perf_counter()
+        window_before = self.cache.reset_stats()
+        accept = cache_accept or (lambda cached, task: True)
+        adapt = cache_adapt or (lambda cached, task: cached)
+
+        store = _ResultStore(self.config.store_path)
+        stored = store.load() if self.config.resume else {}
+
+        records: dict[str, CampaignRecord] = {}
+        pending: list[tuple[KernelTask, str]] = []
+        resumed = 0
+        for task in tasks:
+            key = task.cache_key(label)
+            cached = self.cache.get(key)
+            if cached is not None and accept(cached, task):
+                records[key] = CampaignRecord(task.kernel, key, adapt(cached, task), SOURCE_CACHE)
+                continue
+            if cached is not None:
+                # An entry existed but cannot serve this request (e.g. too few
+                # stored completions); count it as the miss it effectively is.
+                self.cache.stats.hits -= 1
+                self.cache.stats.misses += 1
+            from_store = stored.get(key)
+            if from_store is not None and accept(from_store, task):
+                resumed += 1
+                self.cache.put(key, from_store)
+                records[key] = CampaignRecord(task.kernel, key, adapt(from_store, task), SOURCE_STORE)
+                continue
+            pending.append((task, key))
+
+        def persist(task: KernelTask, key: str, result: dict) -> None:
+            # Persist as each task completes (not after the pool drains), so
+            # a killed campaign keeps everything that actually finished.
+            self.cache.put(key, result)
+            store.append(label, task.kernel, key, result)
+            records[key] = CampaignRecord(task.kernel, key, adapt(result, task), SOURCE_RUN)
+
+        executed = len(pending)
+        self._execute(job, pending, label, persist)
+
+        run_stats = self.cache.reset_stats()
+        self.cache.stats = window_before
+        self.cache.stats.merge(run_stats)
+
+        ordered = [records[task.cache_key(label)] for task in tasks]
+        summary = self._summarize(label, ordered, run_stats, resumed,
+                                  executed, time.perf_counter() - started)
+        store.append_summary(summary)
+        return CampaignReport(label=label, records=ordered, summary=summary)
+
+    # -- the flagship campaign: vectorize-and-verify the suite ---------------------
+
+    def run(self, names: list[str] | None = None, vectorizer_config=None) -> CampaignReport:
+        """Run the full FSM -> checksum -> formal-verification pipeline per kernel.
+
+        Per-kernel seeds derive from the synthetic LLM's seed (as in the
+        experiment harnesses), so varying ``config.llm.seed`` varies the
+        sampled completions and the cache keys coherently.
+        """
+        from repro.pipeline.runner import LLMVectorizerConfig
+
+        config = vectorizer_config or LLMVectorizerConfig()
+        tasks = self.suite_tasks(names, payload=config, config_hash=config_fingerprint(config),
+                                 base_seed=config.llm.seed)
+        return self.run_tasks(vectorize_kernel_job, tasks, label="vectorize")
+
+    def suite_tasks(
+        self,
+        names: list[str] | None,
+        payload: Any,
+        config_hash: str,
+        candidates: dict[str, str] | None = None,
+        base_seed: int | None = None,
+    ) -> list[KernelTask]:
+        """Build one task per suite kernel with the derived per-kernel seed.
+
+        ``base_seed`` overrides the campaign seed as the derivation base —
+        experiments use it so that e.g. a synthetic-LLM seed keeps selecting
+        the same sampled completions regardless of campaign settings.
+        """
+        from repro.tsvc import load_suite
+
+        seed = self.config.seed if base_seed is None else base_seed
+        tasks = []
+        for kernel in load_suite(names):
+            candidate = candidates.get(kernel.name) if candidates is not None else None
+            if candidates is not None and candidate is None:
+                continue
+            tasks.append(
+                KernelTask(
+                    kernel=kernel.name,
+                    scalar_code=kernel.source,
+                    seed=derive_kernel_seed(seed, kernel.name),
+                    config_hash=config_hash,
+                    payload=payload,
+                    candidate_code=candidate,
+                )
+            )
+        return tasks
+
+    # -- internals --------------------------------------------------------------
+
+    def _execute(
+        self,
+        job: JobFn,
+        pending: list[tuple[KernelTask, str]],
+        label: str,
+        on_result: Callable[[KernelTask, str, dict], None],
+    ) -> None:
+        """Run pending tasks, invoking ``on_result`` as each one completes."""
+        if not pending:
+            return
+        workers = min(self.config.effective_workers(), len(pending))
+        if workers <= 1:
+            for task, key in pending:
+                on_result(task, key, _run_job(job, task, label))
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_job, job, task, label): (task, key)
+                       for task, key in pending}
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, key = futures[future]
+                    on_result(task, key, future.result())
+
+    def _summarize(self, label: str, records: list[CampaignRecord], stats: CacheStats,
+                   resumed: int, executed: int, wall_clock: float) -> CampaignSummary:
+        return CampaignSummary(
+            label=label,
+            kernels=len(records),
+            executed=executed,
+            cache_hits=stats.hits,
+            cache_misses=stats.misses,
+            resumed=resumed,
+            wall_clock_seconds=wall_clock,
+            workers=self.config.effective_workers(),
+            verdict_counts=count_verdicts(records),
+        )
+
+
+# ---------------------------------------------------------------------------
+# the flagship per-kernel job
+# ---------------------------------------------------------------------------
+
+
+def kernel_result_record(result) -> dict:
+    """Flatten a :class:`~repro.pipeline.runner.KernelRunResult` to JSON."""
+    report = result.pipeline_report
+    code = result.vectorized_code
+    return {
+        "kernel": result.kernel.name,
+        "verdict": result.verdict.value,
+        "plausible": result.plausible,
+        "attempts": result.fsm_result.attempts,
+        "llm_invocations": result.fsm_result.llm_invocations,
+        "deciding_stage": report.deciding_stage if report is not None else None,
+        "stage_outcomes": dict(report.stage_outcomes) if report is not None else {},
+        "final_code": code,
+        "final_code_sha": hashlib.sha256(code.encode()).hexdigest() if code else None,
+    }
+
+
+def vectorize_kernel_job(task: KernelTask) -> dict:
+    """Run the end-to-end tool on one kernel with its derived seed.
+
+    The LLM is constructed fresh per kernel with the task seed, so the result
+    depends only on (kernel, config, seed) — never on which worker ran it or
+    what ran before it.
+    """
+    from repro.pipeline.runner import LLMVectorizer
+    from repro.tsvc import load_kernel
+
+    config = replace(task.payload, llm=replace(task.payload.llm, seed=task.seed))
+    tool = LLMVectorizer(config)
+    return kernel_result_record(tool.vectorize(load_kernel(task.kernel)))
+
+
+# ---------------------------------------------------------------------------
+# the JSONL result store
+# ---------------------------------------------------------------------------
+
+
+def _run_job(job: JobFn, task: KernelTask, label: str) -> dict:
+    try:
+        return job(task)
+    except Exception as error:
+        raise RuntimeError(f"campaign {label!r}: job failed on kernel {task.kernel!r}: {error}") from error
+
+
+class _ResultStore:
+    """Append-only JSONL store of completed task results plus run summaries."""
+
+    def __init__(self, path: str | Path | None):
+        self.path = Path(path) if path is not None else None
+
+    def load(self) -> dict[str, dict]:
+        """Map cache key -> result for every completed task on record."""
+        if self.path is None or not self.path.exists():
+            return {}
+        stored: dict[str, dict] = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # half-written final line of an interrupted run
+                if isinstance(entry, dict) and entry.get("type") == "result":
+                    stored[str(entry["key"])] = entry["result"]
+        return stored
+
+    def append(self, label: str, kernel: str, key: str, result: dict) -> None:
+        self._write({"type": "result", "campaign": label, "kernel": kernel,
+                     "key": key, "result": result})
+
+    def append_summary(self, summary: CampaignSummary) -> None:
+        self._write({"type": "summary", **summary.as_dict()})
+
+    def _write(self, entry: dict) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")

@@ -17,7 +17,7 @@ from repro.llm.client import LLMClient
 from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
 from repro.pipeline.equivalence import EquivalencePipeline, PipelineReport
 from repro.pipeline.verdict import Verdict
-from repro.tsvc import LoadedKernel, load_suite
+from repro.tsvc import LoadedKernel
 
 
 @dataclass
@@ -76,6 +76,56 @@ class LLMVectorizer:
             )
         return KernelRunResult(kernel=kernel, fsm_result=fsm_result, pipeline_report=pipeline_report)
 
-    def vectorize_suite(self, names: list[str] | None = None) -> list[KernelRunResult]:
-        """Run the tool over the TSVC suite (or the subset ``names``)."""
-        return [self.vectorize(kernel) for kernel in load_suite(names)]
+    def vectorize_suite(self, names: list[str] | None = None,
+                        campaign: "CampaignConfig | None" = None) -> "CampaignReport":
+        """Run the tool over the TSVC suite (or the subset ``names``).
+
+        Suite execution goes through the campaign engine: kernels fan out
+        over a process pool (``campaign.workers``), results are cached
+        content-addressed and appended to a resumable JSONL store, and the
+        returned :class:`~repro.pipeline.campaign.CampaignReport` carries
+        per-kernel verdicts plus the campaign summary (verdict counts, wall
+        clock, cache hit-rate, throughput).  With the synthetic LLM,
+        per-kernel results are identical at any parallelism level: each
+        kernel runs with a seed derived from ``(llm seed, kernel name)``,
+        never with shared LLM state.  An injected non-synthetic client
+        cannot be reconstructed inside worker processes, so it runs the
+        serial in-process path (shared client, no caching) instead.
+        """
+        from dataclasses import replace
+
+        from repro.pipeline.campaign import CampaignConfig, CampaignReport, CampaignRunner
+
+        if not isinstance(self.llm, SyntheticLLM):
+            return self._vectorize_suite_serial(names)
+        # The live client's config wins over self.config.llm (they differ when
+        # an already-configured SyntheticLLM instance was injected).
+        config = replace(self.config, llm=self.llm.config)
+        runner = CampaignRunner(campaign or CampaignConfig())
+        return runner.run(names, vectorizer_config=config)
+
+    def _vectorize_suite_serial(self, names: list[str] | None) -> "CampaignReport":
+        """Serial fallback for LLM clients that cannot be shipped to workers."""
+        import time
+
+        from repro.pipeline.campaign import (
+            CampaignRecord,
+            CampaignReport,
+            CampaignSummary,
+            count_verdicts,
+            kernel_result_record,
+        )
+        from repro.tsvc import load_suite
+
+        started = time.perf_counter()
+        records = []
+        for kernel in load_suite(names):
+            result = kernel_result_record(self.vectorize(kernel))
+            records.append(CampaignRecord(kernel=kernel.name, key="", result=result))
+        summary = CampaignSummary(
+            label="vectorize", kernels=len(records), executed=len(records),
+            cache_hits=0, cache_misses=0, resumed=0,
+            wall_clock_seconds=time.perf_counter() - started, workers=1,
+            verdict_counts=count_verdicts(records),
+        )
+        return CampaignReport(label="vectorize", records=records, summary=summary)

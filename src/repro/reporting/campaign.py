@@ -1,0 +1,46 @@
+"""Renderers for campaign-level summaries.
+
+The campaign engine reports the numbers the ROADMAP steers by — verdict
+counts, wall clock, cache hit-rate, throughput — and these helpers print
+them in the same aligned-text style as the paper tables.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.campaign import CampaignReport, CampaignSummary
+from repro.reporting.tables import render_table
+
+
+def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
+    """Render one campaign summary as an aligned key/value table."""
+    rows = [
+        {"Metric": "Campaign", "Value": summary.label},
+        {"Metric": "Kernels", "Value": summary.kernels},
+        {"Metric": "Executed (fresh)", "Value": summary.executed},
+        {"Metric": "Resumed from store", "Value": summary.resumed},
+        {"Metric": "Cache hits / misses", "Value": f"{summary.cache_hits} / {summary.cache_misses}"},
+        {"Metric": "Cache hit-rate", "Value": f"{summary.cache_hit_rate:.1%}"},
+        {"Metric": "Workers", "Value": summary.workers},
+        {"Metric": "Wall clock", "Value": f"{summary.wall_clock_seconds:.2f}s"},
+        {"Metric": "Throughput (fresh)", "Value": f"{summary.kernels_per_second:.2f} kernels/s"},
+        {"Metric": "Throughput (incl. cached)",
+         "Value": f"{summary.throughput.effective_rate:.2f} kernels/s"},
+    ]
+    for verdict, count in sorted(summary.verdict_counts.items()):
+        rows.append({"Metric": f"Verdict: {verdict}", "Value": count})
+    return render_table(rows, title=title or f"Campaign summary ({summary.label})")
+
+
+def render_campaign_report(report: CampaignReport, title: str = "") -> str:
+    """Render per-kernel verdicts plus the summary table."""
+    rows = []
+    for record in report.records:
+        rows.append({
+            "Test": record.kernel,
+            "Verdict": record.result.get("verdict", ""),
+            "Stage": record.result.get("deciding_stage") or "",
+            "Attempts": record.result.get("attempts", ""),
+            "Source": record.source,
+        })
+    per_kernel = render_table(rows, title=title or f"Campaign results ({report.label})")
+    return per_kernel + "\n" + render_campaign_summary(report.summary)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.smt.bitblast import BitBlaster, UnsupportedTerm, assert_words_differ
@@ -42,6 +42,17 @@ from repro.smt.terms import (
 
 _RING_OPS = {TermKind.ADD, TermKind.SUB, TermKind.MUL, TermKind.NEG}
 _MODULUS = 1 << WORD_BITS
+
+#: Polynomial expansion is worst-case exponential (a product of n sums has
+#: 2^n monomials); past this many monomials normalization abandons the ring
+#: expansion and falls back to a structural form.  The fallback only means a
+#: cheap equality proof is not attempted — the concrete and SAT stages still
+#: decide the query.
+_MAX_MONOMIALS = 4096
+
+
+class _PolynomialBlowup(Exception):
+    """Raised when ring expansion would exceed the monomial cap."""
 
 
 class EquivalenceOutcome(enum.Enum):
@@ -120,6 +131,8 @@ def _poly_scale(poly: dict, factor: int) -> dict:
 
 
 def _poly_mul(left: dict, right: dict) -> dict:
+    if len(left) * len(right) > _MAX_MONOMIALS:
+        raise _PolynomialBlowup()
     result: dict[tuple[str, ...], int] = {}
     for mono_l, coeff_l in left.items():
         for mono_r, coeff_r in right.items():
@@ -184,7 +197,11 @@ def normalize_term(term: Term) -> Term:
         return term
     if term.kind in _RING_OPS:
         atoms: dict[Term, str] = {}
-        poly = _polynomial(term, atoms)
+        try:
+            poly = _polynomial(term, atoms)
+        except _PolynomialBlowup:
+            # Too large to expand: canonicalize the operands only.
+            return mk(term.kind, *(normalize_term(a) for a in term.args))
         atom_terms = {name: atom for atom, name in atoms.items()}
         return _poly_to_term(poly, atom_terms)
     if term.kind in _AC_OPS:
@@ -217,8 +234,16 @@ def normalize_term(term: Term) -> Term:
     return mk(term.kind, *normalized_args)
 
 
-def _ordering_key(term: Term) -> str:
-    return repr((term.kind.value, term.value, term.name, tuple(_ordering_key(a) for a in term.args)))
+def _ordering_key(term: Term) -> tuple:
+    # A structural tuple, not a repr string: nesting repr re-escapes the
+    # quotes of inner keys, which makes key size exponential in term depth.
+    # Tuples share the child keys by reference and compare lazily.
+    return (
+        term.kind.value,
+        term.value if term.value is not None else 0,
+        term.name or "",
+        tuple(_ordering_key(a) for a in term.args),
+    )
 
 
 _NORMALIZE_CACHE: dict[Term, Term] = {}

@@ -15,7 +15,7 @@ layer reports as Inconclusive — the analogue of an Alive2/Z3 timeout.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class SATResult(enum.Enum):
@@ -67,6 +67,8 @@ class CDCLSolver:
         if any(len(clause) == 0 for clause in self.clauses):
             return SATResult.UNSAT, {}
         self._init_state()
+        if self.root_conflict:
+            return SATResult.UNSAT, {}
         for literal in assumptions or []:
             if not self._assume(literal):
                 return SATResult.UNSAT, {}
@@ -110,13 +112,21 @@ class CDCLSolver:
         # Two-watched-literals: watches[lit] = clauses watching lit.
         self.watches: dict[int, list[list[int]]] = {}
         self.all_clauses: list[list[int]] = []
+        self.root_conflict = False
         for clause in self.clauses:
             self._attach(clause)
 
     def _attach(self, clause: list[int]) -> None:
         self.all_clauses.append(clause)
         if len(clause) == 1:
-            self._enqueue(clause[0], clause)
+            # A unit clause assigns at level 0; contradictory units (x) and
+            # (not x) must surface as a root conflict, not overwrite each
+            # other on the trail.
+            value = self._value(clause[0])
+            if value is False:
+                self.root_conflict = True
+            elif value is None:
+                self._enqueue(clause[0], clause)
             return
         self.watches.setdefault(clause[0], []).append(clause)
         self.watches.setdefault(clause[1], []).append(clause)

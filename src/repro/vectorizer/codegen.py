@@ -19,16 +19,14 @@ rejection.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cfront import ast_nodes as ast
 from repro.cfront.ctypes import INT, M256I, PTR_M256I
 from repro.cfront.printer import expr_to_c, function_to_c
 from repro.vectorizer.planner import (
-    InductionInfo,
     ReductionInfo,
-    RejectionReason,
     VectorizationPlan,
     VECTOR_WIDTH,
     plan_vectorization,

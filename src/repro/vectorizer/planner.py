@@ -14,7 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.analysis.accesses import AccessKind, affine_index
+from repro.analysis.accesses import affine_index
 from repro.analysis.features import KernelFeatures, analyze_kernel
 from repro.cfront import ast_nodes as ast
 from repro.vectorizer.normalize import normalize_body

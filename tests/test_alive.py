@@ -8,7 +8,7 @@ from repro.alive import AliveVerifier, VerificationOutcome, VerifierConfig, exec
 from repro.alive.symexec import SymbolicExecutionError
 from repro.cfront.cparser import parse_function
 from repro.llm.faults import FaultKind, apply_fault
-from repro.smt.terms import TermKind, bv_var, evaluate
+from repro.smt.terms import evaluate
 from repro.transforms import unroll_scalar_function, is_spatially_splittable
 from repro.cfront.printer import to_c
 from repro.tsvc import load_kernel

@@ -111,7 +111,7 @@ class TestFunctionParsing:
         gotos = ast.collect(func, ast.Goto)
         labels = ast.collect(func, ast.Label)
         assert {g.label for g in gotos} == {"L20", "L30"}
-        assert {l.name for l in labels} == {"L20", "L30"}
+        assert {label.name for label in labels} == {"L20", "L30"}
 
     def test_program_with_two_functions(self):
         program = parse_program("void f(int n) { } void g(int n) { }")

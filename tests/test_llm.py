@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.interp.checksum import ChecksumOutcome, checksum_testing
 from repro.llm import (
     CompletionRequest,

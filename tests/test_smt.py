@@ -1,6 +1,5 @@
 """Tests for the SMT substrate: terms, the SAT solver, bit-blasting and equivalence."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.smt.bitblast import BitBlaster, assert_words_differ
