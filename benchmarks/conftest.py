@@ -24,6 +24,11 @@ Environment knobs (all optional):
 ``REPRO_BENCH_STORE``
     path to a campaign JSONL result store; lets an interrupted benchmark
     session resume and persists results for offline inspection.
+``REPRO_BENCH_TARGETS``
+    comma-separated target ISAs for the multi-target campaign benchmark
+    (``sse4,avx2,avx512``; ``all`` expands to every registered target,
+    which is also the default).  All targets share the session cache/store;
+    the target-salted fingerprints keep their entries disjoint.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import pytest
 from repro.experiments import run_checksum_evaluation, run_verification_funnel
 from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
 from repro.pipeline import CampaignConfig, CampaignRunner
+from repro.targets import get_target, target_names
 from repro.tsvc import all_kernel_names, load_kernel
 
 _BENCH_DIR = Path(__file__).parent
@@ -67,6 +73,13 @@ def _configured_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 
+def _configured_targets() -> list[str]:
+    names = os.environ.get("REPRO_BENCH_TARGETS", "").strip()
+    if not names or names.lower() in ("all", "*"):
+        return target_names()
+    return [get_target(name).name for name in names.split(",") if name.strip()]
+
+
 @pytest.fixture(scope="session")
 def bench_kernels() -> list[str]:
     return _configured_kernels() or all_kernel_names()
@@ -75,6 +88,11 @@ def bench_kernels() -> list[str]:
 @pytest.fixture(scope="session")
 def bench_completions() -> int:
     return _configured_completions()
+
+
+@pytest.fixture(scope="session")
+def bench_targets() -> list[str]:
+    return _configured_targets()
 
 
 @pytest.fixture(scope="session")

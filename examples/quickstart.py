@@ -1,7 +1,7 @@
 """Quickstart: vectorize TSVC kernels end to end through the campaign engine.
 
 Runs the full LLM-Vectorizer pipeline — the multi-agent FSM drives the
-(synthetic) LLM to a checksum-plausible AVX2 candidate, Algorithm 1 formally
+(synthetic) LLM to a checksum-plausible SIMD candidate, Algorithm 1 formally
 verifies it — on one or more kernels via the campaign engine: kernels fan
 out over a process pool, results land in a content-addressed cache, and the
 run ends with the campaign summary (verdicts, wall clock, cache hit-rate,
@@ -11,7 +11,8 @@ kernel over the three baseline compilers.
 Run with:  python examples/quickstart.py [kernel-name ...]
 
 Environment knobs: REPRO_WORKERS (pool width, default 0 = one per CPU),
-REPRO_STORE (JSONL result store for resumable runs).
+REPRO_STORE (JSONL result store for resumable runs), REPRO_TARGET
+(target ISA: sse4 / avx2 / avx512; default avx2, the paper's setup).
 """
 
 from __future__ import annotations
@@ -32,9 +33,11 @@ def main() -> int:
     print(kernel.source.strip())
     print()
 
+    target = os.environ.get("REPRO_TARGET", "avx2").strip() or "avx2"
     config = CampaignConfig(
         workers=int(os.environ.get("REPRO_WORKERS", "0")),
         store_path=os.environ.get("REPRO_STORE", "").strip() or None,
+        target=target,
     )
     tool = LLMVectorizer()
     report = tool.vectorize_suite(names, campaign=config)
@@ -53,7 +56,8 @@ def main() -> int:
     print(f"\nFormal verification verdict: {result['verdict']}"
           f" (stage: {result['deciding_stage'] or 'n/a'})")
 
-    performance = measure_kernel(kernel.name, kernel.source, result["final_code"])
+    performance = measure_kernel(kernel.name, kernel.source, result["final_code"],
+                                 target=target)
     print("\nEstimated speedup of the LLM-vectorized code:")
     for compiler, speedup in speedups_for_kernel(performance).items():
         print(f"  vs {compiler:<6} {speedup:5.2f}x")

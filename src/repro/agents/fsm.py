@@ -41,6 +41,8 @@ class FSMConfig:
     temperature: float = 1.0
     checksum_seed: int = 0
     trip_counts: list[int] | None = None
+    #: Target ISA name the agents vectorize for (``sse4``/``avx2``/``avx512``).
+    target: str = "avx2"
 
 
 @dataclass
@@ -80,8 +82,9 @@ class VectorizationFSM:
         self.kernel_name = kernel_name
         self.scalar_code = scalar_code
         self.llm = llm
-        self.user_proxy = UserProxyAgent(kernel_name, scalar_code)
-        self.vectorizer = VectorizerAgent(llm, kernel_name, scalar_code, self.config.temperature)
+        self.user_proxy = UserProxyAgent(kernel_name, scalar_code, target=self.config.target)
+        self.vectorizer = VectorizerAgent(llm, kernel_name, scalar_code,
+                                          self.config.temperature, target=self.config.target)
         self.tester = CompilerTesterAgent(
             scalar_code, seed=self.config.checksum_seed, trip_counts=self.config.trip_counts
         )

@@ -19,13 +19,15 @@ class UserProxyAgent(Agent):
 
     name = "user_proxy"
 
-    def __init__(self, kernel_name: str, scalar_code: str):
+    def __init__(self, kernel_name: str, scalar_code: str, target: str = "avx2"):
         self.kernel_name = kernel_name
         self.scalar_code = scalar_code
+        self.target = target
 
     def initial_message(self) -> Message:
         dependence_report = self._dependence_report()
-        prompt = build_vectorization_prompt(self.scalar_code, dependence_report)
+        prompt = build_vectorization_prompt(self.scalar_code, dependence_report,
+                                            target=self.target)
         return Message(
             sender=self.name,
             recipient="vectorizer",

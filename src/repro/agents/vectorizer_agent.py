@@ -13,11 +13,13 @@ class VectorizerAgent(Agent):
 
     name = "vectorizer"
 
-    def __init__(self, llm: LLMClient, kernel_name: str, scalar_code: str, temperature: float = 1.0):
+    def __init__(self, llm: LLMClient, kernel_name: str, scalar_code: str,
+                 temperature: float = 1.0, target: str = "avx2"):
         self.llm = llm
         self.kernel_name = kernel_name
         self.scalar_code = scalar_code
         self.temperature = temperature
+        self.target = target
         self.last_candidate: str | None = None
 
     def respond(self, message: Message, history: list[Message]) -> Message:
@@ -27,7 +29,8 @@ class VectorizerAgent(Agent):
         else:
             feedback = message.content
             prompt = build_repair_prompt(
-                self.scalar_code, self.last_candidate or "", feedback
+                self.scalar_code, self.last_candidate or "", feedback,
+                target=self.target,
             )
         request = CompletionRequest(
             prompt=prompt,
@@ -36,6 +39,7 @@ class VectorizerAgent(Agent):
             num_completions=1,
             temperature=self.temperature,
             feedback=feedback,
+            target=self.target,
         )
         completion = self.llm.complete(request)[0]
         self.last_candidate = completion.code

@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 from typing import Mapping, Union
 
 from repro.cfront import ast_nodes as ast
-from repro.intrinsics.avx2 import LANES, is_intrinsic, lookup_intrinsic
+from repro.intrinsics.lanemath import wrap32
+from repro.intrinsics.registry import is_intrinsic, lookup_intrinsic
+from repro.intrinsics.values import VALID_WIDTHS
 from repro.smt.terms import Term, TermKind, bv_const, bv_var, mk, poison
 
 MINUS_ONE = bv_const(-1)
@@ -46,13 +48,19 @@ class SymPointer:
 
 @dataclass
 class SymVector:
-    """A symbolic ``__m256i``: eight lane terms."""
+    """A symbolic SIMD register: one bitvector term per 32-bit lane."""
 
     lanes: list[Term]
 
     def __post_init__(self) -> None:
-        if len(self.lanes) != LANES:
-            raise SymbolicExecutionError("__m256i requires exactly 8 lanes")
+        if len(self.lanes) not in VALID_WIDTHS:
+            raise SymbolicExecutionError(
+                f"vector width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+            )
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
 
 
 SymValue = Union[Term, SymPointer, SymVector]
@@ -115,8 +123,7 @@ class SymbolicState:
 
 def _as_concrete(value: SymValue, what: str) -> int:
     if isinstance(value, Term) and value.kind is TermKind.CONST:
-        unsigned = value.value
-        return unsigned - (1 << 32) if unsigned >= (1 << 31) else unsigned
+        return wrap32(value.value)
     raise SymbolicExecutionError(f"{what} is not a compile-time constant during symbolic execution")
 
 
@@ -186,7 +193,7 @@ class SymbolicExecutor:
         if decl.init is not None:
             state.scalars[decl.name] = self._eval(decl.init, state)
         elif decl.var_type.is_vector:
-            state.scalars[decl.name] = SymVector([ZERO] * LANES)
+            state.scalars[decl.name] = SymVector([ZERO] * decl.var_type.vector_lanes)
         else:
             state.scalars[decl.name] = ZERO
 
@@ -452,75 +459,109 @@ class SymbolicExecutor:
         spec = lookup_intrinsic(name)
         if spec.kind == "load":
             pointer = self._pointer_arg(expr.args[0], state)
-            return SymVector([state.load(pointer.region, pointer.offset + lane) for lane in range(LANES)])
+            return SymVector([state.load(pointer.region, pointer.offset + lane)
+                              for lane in range(spec.lanes)])
         if spec.kind == "store":
             pointer = self._pointer_arg(expr.args[0], state)
-            vector = self._vector_arg(expr.args[1], state)
-            for lane in range(LANES):
+            vector = self._vector_arg(expr.args[1], state, spec.lanes)
+            for lane in range(spec.lanes):
                 state.store(pointer.region, pointer.offset + lane, vector.lanes[lane])
             return vector
+        if spec.kind == "maskload":
+            # A lane is enabled when its mask sign bit is set (matching the
+            # interpreter and the hardware semantics).  Masked-off lanes read
+            # as zero and, crucially, do not touch memory: a constant-false
+            # mask lane must not record OOB UB.
+            pointer = self._pointer_arg(expr.args[0], state)
+            mask = self._vector_arg(expr.args[1], state, spec.lanes)
+            region = state.regions.get(pointer.region)
+            if region is None:
+                raise SymbolicExecutionError(f"load from unknown region {pointer.region!r}")
+            lanes = []
+            for lane, m in enumerate(mask.lanes):
+                index = pointer.offset + lane
+                if m.kind is TermKind.CONST:
+                    lanes.append(state.load(pointer.region, index)
+                                 if wrap32(m.value) < 0 else ZERO)
+                elif index < 0 or index >= region.size:
+                    # Whether the out-of-bounds lane is read depends on a
+                    # symbolic mask bit; neither "UB" nor "no UB" is sound,
+                    # so report the query as Inconclusive.
+                    raise SymbolicExecutionError(
+                        "masked load with a data-dependent mask reaches the region boundary"
+                    )
+                else:
+                    lanes.append(mk(TermKind.ITE, mk(TermKind.LT, m, ZERO),
+                                    state.load(pointer.region, index), ZERO))
+            return SymVector(lanes)
         if spec.kind == "set1":
             value = self._eval(expr.args[0], state)
             if not isinstance(value, Term):
                 raise SymbolicExecutionError("set1 argument is not a scalar")
-            return SymVector([value] * LANES)
+            return SymVector([value] * spec.lanes)
         if spec.kind == "setzero":
-            return SymVector([ZERO] * LANES)
-        if spec.kind == "setr":
+            return SymVector([ZERO] * spec.lanes)
+        if spec.kind in ("setr", "set"):
+            if len(expr.args) != spec.lanes:
+                raise SymbolicExecutionError(
+                    f"{name} takes {spec.lanes} lane arguments, got {len(expr.args)}"
+                )
             lanes = [self._eval(arg, state) for arg in expr.args]
+            if spec.kind == "set":
+                lanes = list(reversed(lanes))
             return SymVector(list(lanes))
-        if spec.kind == "set":
-            lanes = [self._eval(arg, state) for arg in expr.args]
-            return SymVector(list(reversed(lanes)))
         if spec.kind in ("extract", "extract128"):
-            vector = self._vector_arg(expr.args[0], state)
-            lane = _as_concrete(self._eval(expr.args[1], state), "extract lane") % LANES
+            vector = self._vector_arg(expr.args[0], state, spec.lanes)
+            lane = _as_concrete(self._eval(expr.args[1], state), "extract lane") % spec.lanes
             return vector.lanes[lane]
         if spec.kind == "cast128":
-            return self._vector_arg(expr.args[0], state)
+            # Low-128-bit reinterpret: truncate to 4 lanes (see interpreter).
+            vector = self._vector_arg(expr.args[0], state, 8)
+            return SymVector(list(vector.lanes[:4]))
         if spec.kind == "pure_binary":
-            left = self._vector_arg(expr.args[0], state)
-            right = self._vector_arg(expr.args[1], state)
-            return SymVector([self._lane_binary(name, a, b) for a, b in zip(left.lanes, right.lanes)])
+            left = self._vector_arg(expr.args[0], state, spec.lanes)
+            right = self._vector_arg(expr.args[1], state, spec.lanes)
+            return SymVector([self._lane_binary(spec.op, a, b) for a, b in zip(left.lanes, right.lanes)])
         if spec.kind == "pure_unary":
-            operand = self._vector_arg(expr.args[0], state)
-            return SymVector([self._lane_unary(name, lane) for lane in operand.lanes])
-        if spec.kind == "pure_vector" and name == "_mm256_blendv_epi8":
-            a = self._vector_arg(expr.args[0], state)
-            b = self._vector_arg(expr.args[1], state)
-            mask = self._vector_arg(expr.args[2], state)
+            operand = self._vector_arg(expr.args[0], state, spec.lanes)
+            return SymVector([self._lane_unary(spec.op, lane) for lane in operand.lanes])
+        if spec.kind == "pure_vector" and spec.op == "blendv":
+            a = self._vector_arg(expr.args[0], state, spec.lanes)
+            b = self._vector_arg(expr.args[1], state, spec.lanes)
+            mask = self._vector_arg(expr.args[2], state, spec.lanes)
             return SymVector([
                 mk(TermKind.ITE, mk(TermKind.NE, m, ZERO), bv, av)
                 for av, bv, m in zip(a.lanes, b.lanes, mask.lanes)
             ])
         raise SymbolicExecutionError(f"intrinsic {name} is not modelled symbolically")
 
+    #: Generic op -> term kind, shared by every target's intrinsic spelling.
     _LANE_BINARY = {
-        "_mm256_add_epi32": TermKind.ADD,
-        "_mm256_sub_epi32": TermKind.SUB,
-        "_mm256_mullo_epi32": TermKind.MUL,
-        "_mm256_and_si256": TermKind.AND,
-        "_mm256_or_si256": TermKind.OR,
-        "_mm256_xor_si256": TermKind.XOR,
-        "_mm256_max_epi32": TermKind.MAX,
-        "_mm256_min_epi32": TermKind.MIN,
+        "add_epi32": TermKind.ADD,
+        "sub_epi32": TermKind.SUB,
+        "mullo_epi32": TermKind.MUL,
+        "and": TermKind.AND,
+        "or": TermKind.OR,
+        "xor": TermKind.XOR,
+        "max_epi32": TermKind.MAX,
+        "min_epi32": TermKind.MIN,
     }
 
-    def _lane_binary(self, name: str, a: Term, b: Term) -> Term:
-        if name in self._LANE_BINARY:
-            return mk(self._LANE_BINARY[name], a, b)
-        if name == "_mm256_cmpgt_epi32":
+    def _lane_binary(self, op: str, a: Term, b: Term) -> Term:
+        if op in self._LANE_BINARY:
+            return mk(self._LANE_BINARY[op], a, b)
+        if op == "cmpgt_epi32":
             return mk(TermKind.ITE, mk(TermKind.GT, a, b), MINUS_ONE, ZERO)
-        if name == "_mm256_cmpeq_epi32":
+        if op == "cmpeq_epi32":
             return mk(TermKind.ITE, mk(TermKind.EQ, a, b), MINUS_ONE, ZERO)
-        if name == "_mm256_andnot_si256":
+        if op == "andnot":
             return mk(TermKind.AND, mk(TermKind.NOT, a), b)
-        raise SymbolicExecutionError(f"lane operation {name} is not modelled")
+        raise SymbolicExecutionError(f"lane operation {op} is not modelled")
 
-    def _lane_unary(self, name: str, a: Term) -> Term:
-        if name == "_mm256_abs_epi32":
+    def _lane_unary(self, op: str, a: Term) -> Term:
+        if op == "abs_epi32":
             return mk(TermKind.ABS, a)
-        raise SymbolicExecutionError(f"lane operation {name} is not modelled")
+        raise SymbolicExecutionError(f"lane operation {op} is not modelled")
 
     def _pointer_arg(self, expr: ast.Expr, state: SymbolicState) -> SymPointer:
         value = self._eval(expr, state)
@@ -528,10 +569,15 @@ class SymbolicExecutor:
             raise SymbolicExecutionError("intrinsic memory operand is not a pointer")
         return value
 
-    def _vector_arg(self, expr: ast.Expr, state: SymbolicState) -> SymVector:
+    def _vector_arg(self, expr: ast.Expr, state: SymbolicState,
+                    lanes: int | None = None) -> SymVector:
         value = self._eval(expr, state)
         if not isinstance(value, SymVector):
-            raise SymbolicExecutionError("intrinsic vector operand is not a __m256i value")
+            raise SymbolicExecutionError("intrinsic vector operand is not a vector value")
+        if lanes is not None and value.width != lanes:
+            raise SymbolicExecutionError(
+                f"intrinsic vector operand has {value.width} lanes, expected {lanes}"
+            )
         return value
 
 

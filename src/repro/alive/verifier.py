@@ -39,6 +39,7 @@ from repro.cfront import ast_nodes as ast
 from repro.cfront.cparser import parse_function
 from repro.errors import ParseError, ReproError
 from repro.alive.symexec import SymbolicExecutionError, SymbolicState, execute_symbolically
+from repro.intrinsics.registry import INTRINSIC_REGISTRY
 from repro.smt.equiv import EquivalenceChecker, EquivalenceOutcome, SolverBudget
 from repro.smt.terms import Term, contains_poison
 from repro.transforms.c_unroll import CUnrollError, unroll_scalar_function
@@ -139,10 +140,17 @@ class AliveVerifier:
                 return VerificationReport(VerificationOutcome.INCONCLUSIVE, method,
                                           detail=f"splitting precondition failed: {summary.reason}")
 
+        # The unroll factor (and therefore the minimum trip count) follows the
+        # candidate's vector width: an SSE4 candidate needs 4-way alignment,
+        # an AVX-512 one 16-way.  Candidates without intrinsics (blocked
+        # scalar rewrites) fall back to the default AVX2 width.
+        lanes = _candidate_lanes(vector_func)
+        trip_count = max(trip_count, lanes)
+
         executable_scalar = scalar_func
         if transform_scalar:
             try:
-                executable_scalar = unroll_scalar_function(scalar_func, factor=VECTOR_WIDTH)
+                executable_scalar = unroll_scalar_function(scalar_func, factor=lanes)
             except CUnrollError as exc:
                 return VerificationReport(VerificationOutcome.INCONCLUSIVE, method,
                                           detail=f"C-level unrolling failed: {exc}")
@@ -242,11 +250,27 @@ class AliveVerifier:
     @staticmethod
     def _output_pairs(scalar_state: SymbolicState, vector_state: SymbolicState,
                       scalar_func: ast.FunctionDef) -> dict[str, tuple[Term, Term]]:
-        pairs: dict[str, tuple[Term, Term]] = {}
-        for name, region in scalar_state.regions.items():
-            vector_region = vector_state.regions.get(name)
-            if vector_region is None:
-                continue
-            for index in range(region.size):
-                pairs[f"{name}[{index}]"] = (region.cell(index), vector_region.cell(index))
-        return pairs
+        return _output_pairs(scalar_state, vector_state, scalar_func)
+
+
+def _candidate_lanes(vector_func: ast.FunctionDef) -> int:
+    """Vector width of a candidate, inferred from the intrinsics it calls."""
+    lanes = 0
+    for node in ast.walk(vector_func):
+        if isinstance(node, ast.Call):
+            spec = INTRINSIC_REGISTRY.get(node.func)
+            if spec is not None:
+                lanes = max(lanes, spec.lanes)
+    return lanes or VECTOR_WIDTH
+
+
+def _output_pairs(scalar_state: SymbolicState, vector_state: SymbolicState,
+                  scalar_func: ast.FunctionDef) -> dict[str, tuple[Term, Term]]:
+    pairs: dict[str, tuple[Term, Term]] = {}
+    for name, region in scalar_state.regions.items():
+        vector_region = vector_state.regions.get(name)
+        if vector_region is None:
+            continue
+        for index in range(region.size):
+            pairs[f"{name}[{index}]"] = (region.cell(index), vector_region.cell(index))
+    return pairs

@@ -31,6 +31,7 @@ _TYPE_KEYWORDS = frozenset(
         "extern",
         "__m256i",
         "__m128i",
+        "__m512i",
     }
 )
 

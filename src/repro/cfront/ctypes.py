@@ -1,23 +1,27 @@
 """Type representation for the C subset.
 
-Only the types that actually occur in TSVC kernels and their AVX2
+Only the types that actually occur in TSVC kernels and their SIMD
 vectorizations are modelled: ``int``, ``void``, pointers to ``int``, and the
-256-bit integer vector type ``__m256i``.  A handful of aliases (``long``,
-``unsigned``) are folded onto ``int`` because TSVC uses 32-bit integer data
-exclusively (the paper restricts itself to the 149 integer loops).
+integer vector types of the supported targets (``__m128i``, ``__m256i``,
+``__m512i``).  A handful of aliases (``long``, ``unsigned``) are folded onto
+``int`` because TSVC uses 32-bit integer data exclusively (the paper
+restricts itself to the 149 integer loops).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Vector type name -> number of 32-bit lanes.
+VECTOR_TYPE_LANES = {"__m128i": 4, "__m256i": 8, "__m512i": 16}
+
 
 @dataclass(frozen=True)
 class CType:
     """A type in the C subset.
 
-    ``name`` is one of ``int``, ``void``, ``__m256i``; ``pointer_depth``
-    counts ``*`` wrappers (``int*`` has depth 1).
+    ``name`` is one of ``int``, ``void`` or a vector type name;
+    ``pointer_depth`` counts ``*`` wrappers (``int*`` has depth 1).
     """
 
     name: str
@@ -29,7 +33,14 @@ class CType:
 
     @property
     def is_vector(self) -> bool:
-        return self.name == "__m256i" and self.pointer_depth == 0
+        return self.name in VECTOR_TYPE_LANES and self.pointer_depth == 0
+
+    @property
+    def vector_lanes(self) -> int:
+        """Lane count of a vector type (raises for non-vector types)."""
+        if self.name not in VECTOR_TYPE_LANES or self.pointer_depth != 0:
+            raise ValueError(f"{self} is not a vector type")
+        return VECTOR_TYPE_LANES[self.name]
 
     @property
     def is_integer(self) -> bool:
@@ -53,7 +64,9 @@ class CType:
 
 INT = CType("int")
 VOID = CType("void")
+M128I = CType("__m128i")
 M256I = CType("__m256i")
+M512I = CType("__m512i")
 PTR_INT = CType("int", 1)
 PTR_M256I = CType("__m256i", 1)
 
@@ -70,10 +83,9 @@ def normalize_base_type(specifiers: list[str]) -> CType:
     relevant = [s for s in specifiers if s not in ("const", "static", "extern")]
     if not relevant:
         raise ValueError("empty declaration specifier list")
-    if "__m256i" in relevant:
-        return M256I
-    if "__m128i" in relevant:
-        return M256I
+    for vector_name in VECTOR_TYPE_LANES:
+        if vector_name in relevant:
+            return CType(vector_name)
     if "void" in relevant:
         return VOID
     if all(s in _INT_ALIASES for s in relevant):

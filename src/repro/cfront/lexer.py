@@ -45,6 +45,7 @@ KEYWORDS = frozenset(
         "extern",
         "__m256i",
         "__m128i",
+        "__m512i",
     }
 )
 

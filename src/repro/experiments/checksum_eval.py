@@ -118,12 +118,14 @@ def checksum_kernel_job(task: KernelTask) -> dict:
     """Campaign job: sample ``n`` completions for one kernel and classify each."""
     payload = task.payload
     model = SyntheticLLM(replace(payload["llm_config"], seed=task.seed))
+    target = payload.get("target", "avx2")
     request = CompletionRequest(
-        prompt=build_vectorization_prompt(task.scalar_code),
+        prompt=build_vectorization_prompt(task.scalar_code, target=target),
         kernel_name=task.kernel,
         scalar_code=task.scalar_code,
         num_completions=payload["num_completions"],
         temperature=payload["temperature"],
+        target=target,
     )
     completions = model.complete(request)
     outcomes, first_plausible = classify_completions(
@@ -164,16 +166,23 @@ def run_checksum_evaluation(
     checksum_seed: int = 0,
     temperature: float = 1.0,
     campaign: CampaignRunner | CampaignConfig | None = None,
+    target: str = "avx2",
 ) -> ChecksumEvaluation:
     """Generate ``num_completions`` per kernel and classify each by checksum testing.
 
     With a :class:`SyntheticLLM` (or None), kernels run through the campaign
     engine with per-kernel derived seeds.  An arbitrary :class:`LLMClient`
     instance cannot be shipped to worker processes, so it falls back to the
-    serial in-process path with shared client state.
+    serial in-process path with shared client state.  ``target`` selects the
+    ISA the completions are requested for; it is salted into the cache
+    fingerprint.
     """
+    from repro.targets import get_target
+
+    target = get_target(target).name
     if llm is not None and not isinstance(llm, SyntheticLLM):
-        return _run_serial_with_instance(llm, num_completions, kernels, checksum_seed, temperature)
+        return _run_serial_with_instance(llm, num_completions, kernels, checksum_seed,
+                                         temperature, target)
 
     llm_config = llm.config if isinstance(llm, SyntheticLLM) else SyntheticLLMConfig()
     payload = {
@@ -181,17 +190,19 @@ def run_checksum_evaluation(
         "num_completions": num_completions,
         "checksum_seed": checksum_seed,
         "temperature": temperature,
+        "target": target,
     }
     # The fingerprint excludes ``num_completions`` so that a larger stored
     # batch is *found* for a smaller request and sliced to its prefix.
     config_hash = config_fingerprint(
-        {"llm": llm_config, "checksum_seed": checksum_seed, "temperature": temperature}
+        {"llm": llm_config, "checksum_seed": checksum_seed, "temperature": temperature},
+        target=target,
     )
     runner = as_campaign_runner(campaign)
     tasks = runner.suite_tasks(kernels, payload, config_hash, base_seed=llm_config.seed)
     report = runner.run_tasks(
         checksum_kernel_job, tasks, label="checksum-eval",
-        cache_accept=_accept_batch, cache_adapt=_slice_batch,
+        cache_accept=_accept_batch, cache_adapt=_slice_batch, target=target,
     )
     records = [
         KernelChecksumRecord(
@@ -212,17 +223,19 @@ def _run_serial_with_instance(
     kernels: list[str] | None,
     checksum_seed: int,
     temperature: float,
+    target: str = "avx2",
 ) -> ChecksumEvaluation:
     """Serial fallback for LLM clients that cannot be reconstructed per worker."""
     suite: list[LoadedKernel] = load_suite(kernels)
     records: list[KernelChecksumRecord] = []
     for kernel in suite:
         request = CompletionRequest(
-            prompt=build_vectorization_prompt(kernel.source),
+            prompt=build_vectorization_prompt(kernel.source, target=target),
             kernel_name=kernel.name,
             scalar_code=kernel.source,
             num_completions=num_completions,
             temperature=temperature,
+            target=target,
         )
         completions = llm.complete(request)
         outcomes, first_plausible = classify_completions(

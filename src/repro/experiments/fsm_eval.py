@@ -99,8 +99,15 @@ def run_fsm_evaluation(
     config: FSMConfig | None = None,
     campaign: CampaignRunner | CampaignConfig | None = None,
 ) -> FSMEvaluation:
-    """Run the multi-agent FSM over the suite and collect RQ4 statistics."""
+    """Run the multi-agent FSM over the suite and collect RQ4 statistics.
+
+    The target ISA comes from ``config.target``; when no FSM config is given,
+    a campaign config's ``target`` applies (matching the rest of the pipeline).
+    """
     fsm_config = config or FSMConfig()
+    if config is None and isinstance(campaign, (CampaignRunner, CampaignConfig)):
+        campaign_config = campaign.config if isinstance(campaign, CampaignRunner) else campaign
+        fsm_config = replace(fsm_config, target=campaign_config.target)
     if llm is not None and not isinstance(llm, SyntheticLLM):
         return _run_serial_with_instance(llm, kernels, fsm_config)
 
@@ -110,7 +117,8 @@ def run_fsm_evaluation(
     tasks = runner.suite_tasks(
         kernels, payload, config_fingerprint(payload), base_seed=llm_config.seed
     )
-    report = runner.run_tasks(fsm_kernel_job, tasks, label="fsm-eval")
+    report = runner.run_tasks(fsm_kernel_job, tasks, label="fsm-eval",
+                              target=fsm_config.target)
     records = [
         FSMKernelRecord(
             kernel=result["kernel"],

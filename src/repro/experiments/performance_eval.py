@@ -23,6 +23,7 @@ from repro.pipeline.campaign import (
     as_campaign_runner,
 )
 from repro.pipeline.cache import config_fingerprint
+from repro.targets import get_target
 from repro.tsvc import load_kernel
 
 COMPILER_NAMES = ("GCC", "Clang", "ICC")
@@ -91,6 +92,7 @@ def performance_kernel_job(task: KernelTask) -> dict:
         llm_code=task.candidate_code,
         n=payload["trip_count"],
         seed=payload["seed"],
+        target=payload.get("target"),
     )
     return {
         "kernel": performance.kernel,
@@ -116,10 +118,20 @@ def run_performance_evaluation(
     trip_count: int = 256,
     seed: int = 11,
     campaign: CampaignRunner | CampaignConfig | None = None,
+    target: str | None = None,
 ) -> PerformanceEvaluation:
-    """Measure every verified (kernel -> vectorized source) pair against the baselines."""
+    """Measure every verified (kernel -> vectorized source) pair against the baselines.
+
+    ``target`` prices the candidates with that ISA's cost tables (and salts
+    the cache fingerprint); the default keeps the paper's AVX2 pricing.
+    """
     payload = {"trip_count": trip_count, "seed": seed}
-    config_hash = config_fingerprint(payload)
+    # Canonicalize before salting so alias spellings ("avx", "AVX2") share
+    # the same cache entries as the canonical name.
+    canonical = get_target(target).name if target is not None else None
+    if canonical is not None:
+        payload["target"] = canonical
+    config_hash = config_fingerprint(payload, target=canonical)
     tasks = [
         KernelTask(
             kernel=kernel_name,
@@ -132,7 +144,8 @@ def run_performance_evaluation(
         for kernel_name, vectorized_source in sorted(verified_candidates.items())
     ]
     runner = as_campaign_runner(campaign)
-    report = runner.run_tasks(performance_kernel_job, tasks, label="performance-eval")
+    report = runner.run_tasks(performance_kernel_job, tasks, label="performance-eval",
+                              target=canonical or "avx2")
     performances = [
         KernelPerformance(
             kernel=result["kernel"],

@@ -141,8 +141,20 @@ def run_verification_funnel(
         )
         for kernel_name, candidate in plausible_candidates.items()
     ]
+    # The funnel has no target knob of its own — each candidate carries its
+    # width and the verifier adapts — so label the summary with the ISA the
+    # candidates actually use rather than inheriting the campaign default.
+    from repro.targets import detect_target
+
+    candidate_isas = {detect_target(code).name for code in plausible_candidates.values()
+                      if any(prefix in code for prefix in ("_mm_", "_mm256_", "_mm512_"))}
+    if len(candidate_isas) == 1:
+        summary_target = candidate_isas.pop()
+    else:
+        summary_target = "mixed" if candidate_isas else "avx2"
     runner = as_campaign_runner(campaign)
-    report = runner.run_tasks(funnel_kernel_job, tasks, label="verification-funnel")
+    report = runner.run_tasks(funnel_kernel_job, tasks, label="verification-funnel",
+                              target=summary_target)
 
     total = total_tests if total_tests is not None else len(plausible_candidates)
     funnel = VerificationFunnel(

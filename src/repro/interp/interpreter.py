@@ -1,4 +1,4 @@
-"""Tree-walking interpreter for the C subset, including AVX2 intrinsics.
+"""Tree-walking interpreter for the C subset, including SIMD intrinsics.
 
 The interpreter executes both the scalar TSVC kernels and the vectorized
 candidates.  It is the execution substrate behind checksum-based testing
@@ -26,14 +26,13 @@ from typing import Mapping, Optional, Union
 from repro.cfront import ast_nodes as ast
 from repro.errors import CompileError, InterpreterError, UndefinedBehaviorError
 from repro.interp.memory import Memory, UBEvent
-from repro.intrinsics.avx2 import (
-    LANES,
-    M256Value,
+from repro.intrinsics.lanemath import wrap32
+from repro.intrinsics.registry import (
     apply_pure_intrinsic,
     is_intrinsic,
     lookup_intrinsic,
-    wrap32,
 )
+from repro.intrinsics.values import VecValue
 
 
 @dataclass(frozen=True)
@@ -47,7 +46,7 @@ class Pointer:
         return Pointer(self.region, self.offset + delta)
 
 
-Value = Union[int, Pointer, M256Value]
+Value = Union[int, Pointer, VecValue]
 
 
 class _BreakSignal(Exception):
@@ -218,7 +217,7 @@ class Interpreter:
         if decl.init is not None:
             value = self._eval(decl.init)
         elif decl.var_type.is_vector:
-            value = M256Value.zero()
+            value = VecValue.zero(decl.var_type.vector_lanes)
         elif decl.var_type.is_pointer:
             value = Pointer("__null__", 0)
         else:
@@ -474,7 +473,7 @@ class Interpreter:
             if target.name not in self.scope:
                 raise CompileError(f"assignment to undeclared identifier {target.name!r}")
             existing = self.scope[target.name]
-            if isinstance(existing, M256Value) or isinstance(value, M256Value):
+            if isinstance(existing, VecValue) or isinstance(value, VecValue):
                 self.scope[target.name] = value
             elif isinstance(existing, Pointer) or isinstance(value, Pointer):
                 self.scope[target.name] = value
@@ -508,9 +507,9 @@ class Interpreter:
                 return Pointer("__null__", 0)
             raise InterpreterError(f"cannot cast {type(value).__name__} to pointer type")
         if target_type.is_vector:
-            if isinstance(value, M256Value):
+            if isinstance(value, VecValue):
                 return value
-            raise InterpreterError("cannot cast a scalar to __m256i")
+            raise InterpreterError(f"cannot cast a scalar to {target_type}")
         if isinstance(value, int):
             return wrap32(value)
         if isinstance(value, Pointer):
@@ -542,14 +541,14 @@ class Interpreter:
         self._tick("vector_instr")
         if spec.kind == "load":
             pointer = self._pointer_argument(expr.args[0])
-            values, poison = self.memory.load_vector(pointer.region, pointer.offset, LANES)
-            return M256Value.from_lanes(values, poison)
+            values, poison = self.memory.load_vector(pointer.region, pointer.offset, spec.lanes)
+            return VecValue.from_lanes(values, poison)
         if spec.kind == "maskload":
             pointer = self._pointer_argument(expr.args[0])
-            mask = self._vector_argument(expr.args[1])
+            mask = self._vector_argument(expr.args[1], spec.lanes)
             values: list[int] = []
             poison: list[bool] = []
-            for lane in range(LANES):
+            for lane in range(spec.lanes):
                 if mask.lanes[lane] < 0:
                     value, is_poison = self.memory.load(pointer.region, pointer.offset + lane)
                     values.append(value)
@@ -557,28 +556,31 @@ class Interpreter:
                 else:
                     values.append(0)
                     poison.append(False)
-            return M256Value.from_lanes(values, poison)
+            return VecValue.from_lanes(values, poison)
         if spec.kind == "store":
             pointer = self._pointer_argument(expr.args[0])
-            vector = self._vector_argument(expr.args[1])
+            vector = self._vector_argument(expr.args[1], spec.lanes)
             self.memory.store_vector(pointer.region, pointer.offset, list(vector.lanes), list(vector.poison))
             return vector
         if spec.kind == "maskstore":
             pointer = self._pointer_argument(expr.args[0])
-            mask = self._vector_argument(expr.args[1])
-            vector = self._vector_argument(expr.args[2])
-            for lane in range(LANES):
+            mask = self._vector_argument(expr.args[1], spec.lanes)
+            vector = self._vector_argument(expr.args[2], spec.lanes)
+            for lane in range(spec.lanes):
                 if mask.lanes[lane] < 0:
                     self.memory.store(
                         pointer.region, pointer.offset + lane, vector.lanes[lane], vector.poison[lane]
                     )
             return vector
         if spec.kind in ("extract", "extract128"):
-            vector = self._vector_argument(expr.args[0])
-            lane = self._as_int(self._eval(expr.args[1])) % LANES
+            vector = self._vector_argument(expr.args[0], spec.lanes)
+            lane = self._as_int(self._eval(expr.args[1])) % spec.lanes
             return vector.lanes[lane]
         if spec.kind == "cast128":
-            return self._vector_argument(expr.args[0])
+            # The cast reinterprets the low 128 bits: truncate to 4 lanes so
+            # downstream _mm_* consumers see a width-correct value.
+            vector = self._vector_argument(expr.args[0], 8)
+            return VecValue(vector.lanes[:4], vector.poison[:4])
         args = [self._eval(arg) for arg in expr.args]
         return apply_pure_intrinsic(name, args)
 
@@ -588,10 +590,14 @@ class Interpreter:
             raise InterpreterError("intrinsic memory operand is not a pointer")
         return value
 
-    def _vector_argument(self, expr: ast.Expr) -> M256Value:
+    def _vector_argument(self, expr: ast.Expr, lanes: int | None = None) -> VecValue:
         value = self._eval(expr)
-        if not isinstance(value, M256Value):
-            raise InterpreterError("intrinsic vector operand is not a __m256i value")
+        if not isinstance(value, VecValue):
+            raise InterpreterError("intrinsic vector operand is not a vector value")
+        if lanes is not None and value.width != lanes:
+            raise InterpreterError(
+                f"intrinsic vector operand has {value.width} lanes, expected {lanes}"
+            )
         return value
 
     # -- helpers ---------------------------------------------------------------------
@@ -607,8 +613,8 @@ class Interpreter:
             return int(value)
         if isinstance(value, int):
             return value
-        if isinstance(value, M256Value):
-            raise InterpreterError("a __m256i value was used where a scalar was expected")
+        if isinstance(value, VecValue):
+            raise InterpreterError("a vector value was used where a scalar was expected")
         if isinstance(value, Pointer):
             raise InterpreterError("a pointer value was used where a scalar was expected")
         raise InterpreterError(f"unexpected value of type {type(value).__name__}")

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import UndefinedBehaviorError
-from repro.intrinsics.avx2 import wrap32
+from repro.intrinsics.lanemath import wrap32
 
 #: Number of guard elements kept past the end of every array region.
 DEFAULT_GUARD_ELEMS = 16

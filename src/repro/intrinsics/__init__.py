@@ -1,22 +1,39 @@
-"""Semantic models of the AVX2 intrinsics used by TSVC vectorizations.
+"""Semantic models of the SIMD intrinsics used by TSVC vectorizations.
 
 Each intrinsic is modelled at lane level over Python integers with 32-bit
 wraparound semantics, so the interpreter and the symbolic encoder share one
-source of truth for what ``_mm256_mullo_epi32`` and friends mean.
+source of truth for what ``_mm256_mullo_epi32`` and friends mean.  The
+model is width-parametric: one generic operation table is materialized per
+target ISA (SSE4 / AVX2 / AVX-512), and the merged registry lets execution
+layers handle candidates of any width — the lane count travels with the
+intrinsic name.
 """
 
-from repro.intrinsics.avx2 import (
+from repro.intrinsics.lanemath import LANE_BITS, to_unsigned32, wrap32
+from repro.intrinsics.registry import (
     INTRINSIC_REGISTRY,
+    TARGET_REGISTRIES,
     IntrinsicSpec,
-    M256Value,
+    apply_pure_intrinsic,
+    build_registry,
     is_intrinsic,
     lookup_intrinsic,
+    registry_for,
 )
+from repro.intrinsics.values import M256Value, VecValue
 
 __all__ = [
     "INTRINSIC_REGISTRY",
+    "TARGET_REGISTRIES",
     "IntrinsicSpec",
+    "LANE_BITS",
     "M256Value",
+    "VecValue",
+    "apply_pure_intrinsic",
+    "build_registry",
     "is_intrinsic",
     "lookup_intrinsic",
+    "registry_for",
+    "to_unsigned32",
+    "wrap32",
 ]

@@ -1,320 +1,53 @@
-"""Lane-level semantics for the AVX2 integer intrinsics used by TSVC code.
+"""Backwards-compatible AVX2 spelling of the intrinsic layer.
 
-The model covers every intrinsic that appears either in the paper's examples
-(`_mm256_loadu_si256`, `_mm256_storeu_si256`, `_mm256_set1_epi32`,
-`_mm256_setr_epi32`, `_mm256_add_epi32`, `_mm256_mullo_epi32`,
-`_mm256_cmpgt_epi32`, `_mm256_blendv_epi8`, `_mm256_setzero_si256`) or in the
-vectorizations our rule-based vectorizer emits (min/max/abs/sub/and/or/xor,
-shifts, horizontal reduction helpers, masked loads and element extraction).
-
-Values of type ``__m256i`` are represented by :class:`M256Value`: eight 32-bit
-lanes stored as Python ints in two's-complement signed form, plus a per-lane
-poison flag used for undefined-behaviour propagation (a lane loaded from
-out-of-bounds memory is poison; arithmetic on poison lanes yields poison;
-storing a poison lane is a UB event the checker can observe).
+Historically this module *was* the intrinsic model: eight hardwired lanes of
+``_mm256_*`` semantics.  The model now lives in width-parametric form in
+:mod:`repro.intrinsics.registry` (semantics per generic op, materialized per
+:class:`~repro.targets.TargetISA`) and :mod:`repro.intrinsics.values`
+(:class:`VecValue`); this module re-exports the AVX2 view so existing
+imports — ``LANES``, ``M256Value``, ``wrap32`` and the registry helpers —
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
-
-LANES = 8
-LANE_BITS = 32
-_LANE_MASK = (1 << LANE_BITS) - 1
-_SIGN_BIT = 1 << (LANE_BITS - 1)
-
-
-def wrap32(value: int) -> int:
-    """Reduce ``value`` to signed 32-bit two's-complement range."""
-    value &= _LANE_MASK
-    if value & _SIGN_BIT:
-        value -= 1 << LANE_BITS
-    return value
-
-
-def to_unsigned32(value: int) -> int:
-    """Interpret a signed 32-bit value as unsigned."""
-    return value & _LANE_MASK
-
-
-@dataclass(frozen=True)
-class M256Value:
-    """A 256-bit integer vector: eight signed 32-bit lanes with poison flags."""
-
-    lanes: tuple[int, ...]
-    poison: tuple[bool, ...] = field(default=(False,) * LANES)
-
-    def __post_init__(self) -> None:
-        if len(self.lanes) != LANES or len(self.poison) != LANES:
-            raise ValueError("__m256i requires exactly 8 lanes")
-
-    @staticmethod
-    def from_lanes(lanes: Sequence[int], poison: Sequence[bool] | None = None) -> "M256Value":
-        wrapped = tuple(wrap32(int(v)) for v in lanes)
-        flags = tuple(bool(p) for p in poison) if poison is not None else (False,) * LANES
-        return M256Value(wrapped, flags)
-
-    @staticmethod
-    def splat(value: int) -> "M256Value":
-        return M256Value.from_lanes([value] * LANES)
-
-    @staticmethod
-    def zero() -> "M256Value":
-        return M256Value.from_lanes([0] * LANES)
-
-    @property
-    def any_poison(self) -> bool:
-        return any(self.poison)
-
-    def map_binary(self, other: "M256Value", fn: Callable[[int, int], int]) -> "M256Value":
-        lanes = tuple(wrap32(fn(a, b)) for a, b in zip(self.lanes, other.lanes))
-        poison = tuple(pa or pb for pa, pb in zip(self.poison, other.poison))
-        return M256Value(lanes, poison)
-
-    def map_unary(self, fn: Callable[[int], int]) -> "M256Value":
-        lanes = tuple(wrap32(fn(a)) for a in self.lanes)
-        return M256Value(lanes, self.poison)
-
-    def __str__(self) -> str:  # pragma: no cover - debugging aid
-        return "<" + ", ".join(str(v) for v in self.lanes) + ">"
-
-
-@dataclass(frozen=True)
-class IntrinsicSpec:
-    """Description of one intrinsic: arity, whether it touches memory, and cost.
-
-    ``kind`` is one of ``pure`` (lanes in, lanes out), ``load``, ``store``,
-    ``set`` (builds a vector from scalar arguments) or ``extract`` (vector to
-    scalar).  ``cycle_cost`` feeds the performance model (rough reciprocal
-    throughput on Haswell-class AVX2 hardware).
-    """
-
-    name: str
-    arity: int
-    kind: str
-    cycle_cost: float
-    fn: Callable | None = None
-
-
-def _mullo(a: int, b: int) -> int:
-    return wrap32(a * b)
-
-
-def _cmpgt(a: int, b: int) -> int:
-    return -1 if a > b else 0
-
-
-def _cmpeq(a: int, b: int) -> int:
-    return -1 if a == b else 0
-
-
-def _blendv_epi8(a: M256Value, b: M256Value, mask: M256Value) -> M256Value:
-    """Per-byte blend; TSVC vectorizations only use full-lane masks (0 / -1).
-
-    The byte-accurate behaviour is modelled by selecting each byte of the lane
-    according to the sign bit of the corresponding mask byte.
-    """
-    lanes = []
-    poison = []
-    for lane_a, lane_b, lane_m, pa, pb, pm in zip(
-        a.lanes, b.lanes, mask.lanes, a.poison, b.poison, mask.poison
-    ):
-        ua, ub, um = to_unsigned32(lane_a), to_unsigned32(lane_b), to_unsigned32(lane_m)
-        out = 0
-        selected_poison = pm
-        for byte in range(4):
-            shift = byte * 8
-            mask_byte = (um >> shift) & 0xFF
-            if mask_byte & 0x80:
-                out |= ((ub >> shift) & 0xFF) << shift
-                selected_poison = selected_poison or pb
-            else:
-                out |= ((ua >> shift) & 0xFF) << shift
-                selected_poison = selected_poison or pa
-        lanes.append(wrap32(out))
-        poison.append(selected_poison)
-    return M256Value(tuple(lanes), tuple(poison))
-
-
-def _srli(a: M256Value, count: int) -> M256Value:
-    count = int(count)
-    if count >= LANE_BITS:
-        return M256Value.from_lanes([0] * LANES, a.poison)
-    return M256Value(
-        tuple(wrap32(to_unsigned32(v) >> count) for v in a.lanes), a.poison
-    )
-
-
-def _slli(a: M256Value, count: int) -> M256Value:
-    count = int(count)
-    if count >= LANE_BITS:
-        return M256Value.from_lanes([0] * LANES, a.poison)
-    return M256Value(tuple(wrap32(v << count) for v in a.lanes), a.poison)
-
-
-def _srai(a: M256Value, count: int) -> M256Value:
-    count = int(count)
-    if count >= LANE_BITS:
-        count = LANE_BITS - 1
-    return M256Value(tuple(wrap32(v >> count) for v in a.lanes), a.poison)
-
-
-def _permute2x128(a: M256Value, b: M256Value, imm: int) -> M256Value:
-    """Select 128-bit halves of ``a``/``b`` according to ``imm``."""
-    halves = [a.lanes[0:4], a.lanes[4:8], b.lanes[0:4], b.lanes[4:8]]
-    half_poison = [a.poison[0:4], a.poison[4:8], b.poison[0:4], b.poison[4:8]]
-    imm = int(imm)
-    low_sel = imm & 0x3
-    high_sel = (imm >> 4) & 0x3
-    low_zero = bool(imm & 0x08)
-    high_zero = bool(imm & 0x80)
-    low = (0, 0, 0, 0) if low_zero else halves[low_sel]
-    high = (0, 0, 0, 0) if high_zero else halves[high_sel]
-    low_p = (False,) * 4 if low_zero else half_poison[low_sel]
-    high_p = (False,) * 4 if high_zero else half_poison[high_sel]
-    return M256Value(tuple(low) + tuple(high), tuple(low_p) + tuple(high_p))
-
-
-def _shuffle_epi32(a: M256Value, imm: int) -> M256Value:
-    """Shuffle 32-bit lanes within each 128-bit half."""
-    imm = int(imm)
-    selectors = [(imm >> (2 * i)) & 0x3 for i in range(4)]
-    lanes = list(a.lanes)
-    poison = list(a.poison)
-    out_lanes = []
-    out_poison = []
-    for half in range(2):
-        base = half * 4
-        for sel in selectors:
-            out_lanes.append(lanes[base + sel])
-            out_poison.append(poison[base + sel])
-    return M256Value(tuple(out_lanes), tuple(out_poison))
-
-
-def _hadd_epi32(a: M256Value, b: M256Value) -> M256Value:
-    """Horizontal pairwise add within 128-bit halves (matches _mm256_hadd_epi32)."""
-    def half(src_a, src_b, pa, pb):
-        lanes = [
-            wrap32(src_a[0] + src_a[1]),
-            wrap32(src_a[2] + src_a[3]),
-            wrap32(src_b[0] + src_b[1]),
-            wrap32(src_b[2] + src_b[3]),
-        ]
-        poison = [
-            pa[0] or pa[1],
-            pa[2] or pa[3],
-            pb[0] or pb[1],
-            pb[2] or pb[3],
-        ]
-        return lanes, poison
-
-    low_lanes, low_poison = half(a.lanes[0:4], b.lanes[0:4], a.poison[0:4], b.poison[0:4])
-    high_lanes, high_poison = half(a.lanes[4:8], b.lanes[4:8], a.poison[4:8], b.poison[4:8])
-    return M256Value(tuple(low_lanes + high_lanes), tuple(low_poison + high_poison))
-
-
-def _abs_lane(a: int) -> int:
-    return wrap32(abs(a))
-
-
-def _andnot(a: int, b: int) -> int:
-    return wrap32((~a) & b)
-
-
-#: Pure per-lane binary intrinsics: name -> (lane function, cycle cost).
-_PURE_BINARY: dict[str, tuple[Callable[[int, int], int], float]] = {
-    "_mm256_add_epi32": (lambda a, b: a + b, 0.5),
-    "_mm256_sub_epi32": (lambda a, b: a - b, 0.5),
-    "_mm256_mullo_epi32": (_mullo, 2.0),
-    "_mm256_cmpgt_epi32": (_cmpgt, 0.5),
-    "_mm256_cmpeq_epi32": (_cmpeq, 0.5),
-    "_mm256_max_epi32": (max, 0.5),
-    "_mm256_min_epi32": (min, 0.5),
-    "_mm256_and_si256": (lambda a, b: a & b, 0.33),
-    "_mm256_or_si256": (lambda a, b: a | b, 0.33),
-    "_mm256_xor_si256": (lambda a, b: a ^ b, 0.33),
-    "_mm256_andnot_si256": (_andnot, 0.33),
-}
-
-#: Pure per-lane unary intrinsics.
-_PURE_UNARY: dict[str, tuple[Callable[[int], int], float]] = {
-    "_mm256_abs_epi32": (_abs_lane, 0.5),
-}
-
-
-def _build_registry() -> dict[str, IntrinsicSpec]:
-    registry: dict[str, IntrinsicSpec] = {}
-
-    def add(name: str, arity: int, kind: str, cost: float, fn: Callable | None = None) -> None:
-        registry[name] = IntrinsicSpec(name=name, arity=arity, kind=kind, cycle_cost=cost, fn=fn)
-
-    for name, (fn, cost) in _PURE_BINARY.items():
-        add(name, 2, "pure_binary", cost, fn)
-    for name, (fn, cost) in _PURE_UNARY.items():
-        add(name, 1, "pure_unary", cost, fn)
-
-    add("_mm256_blendv_epi8", 3, "pure_vector", 1.0, _blendv_epi8)
-    add("_mm256_srli_epi32", 2, "pure_imm", 0.5, _srli)
-    add("_mm256_slli_epi32", 2, "pure_imm", 0.5, _slli)
-    add("_mm256_srai_epi32", 2, "pure_imm", 0.5, _srai)
-    add("_mm256_permute2x128_si256", 3, "pure_imm2", 3.0, _permute2x128)
-    add("_mm256_shuffle_epi32", 2, "pure_imm", 1.0, _shuffle_epi32)
-    add("_mm256_hadd_epi32", 2, "pure_vector", 2.0, _hadd_epi32)
-
-    add("_mm256_loadu_si256", 1, "load", 3.0)
-    add("_mm256_storeu_si256", 2, "store", 3.0)
-    add("_mm256_maskload_epi32", 2, "maskload", 4.0)
-    add("_mm256_maskstore_epi32", 3, "maskstore", 4.0)
-
-    add("_mm256_set1_epi32", 1, "set1", 1.0)
-    add("_mm256_setzero_si256", 0, "setzero", 0.33)
-    add("_mm256_setr_epi32", 8, "setr", 1.0)
-    add("_mm256_set_epi32", 8, "set", 1.0)
-
-    add("_mm256_extract_epi32", 2, "extract", 2.0)
-    add("_mm256_castsi256_si128", 1, "cast128", 0.0)
-    add("_mm_extract_epi32", 2, "extract128", 2.0)
-    return registry
-
-
-INTRINSIC_REGISTRY: dict[str, IntrinsicSpec] = _build_registry()
-
-
-def is_intrinsic(name: str) -> bool:
-    """Return True if ``name`` is a modelled SIMD intrinsic."""
-    return name in INTRINSIC_REGISTRY
-
-
-def lookup_intrinsic(name: str) -> IntrinsicSpec:
-    """Return the spec for ``name``; raises ``KeyError`` for unknown intrinsics."""
-    return INTRINSIC_REGISTRY[name]
-
-
-def apply_pure_intrinsic(name: str, args: list) -> M256Value:
-    """Apply a pure (non-memory) intrinsic to already-evaluated arguments.
-
-    ``args`` holds :class:`M256Value` operands and Python ints for scalar /
-    immediate operands, in call order.  Memory intrinsics are handled by the
-    interpreter, which owns the memory model.
-    """
-    spec = lookup_intrinsic(name)
-    if spec.kind == "pure_binary":
-        return args[0].map_binary(args[1], spec.fn)
-    if spec.kind == "pure_unary":
-        return args[0].map_unary(spec.fn)
-    if spec.kind == "pure_vector":
-        return spec.fn(*args)
-    if spec.kind == "pure_imm":
-        return spec.fn(args[0], args[1])
-    if spec.kind == "pure_imm2":
-        return spec.fn(args[0], args[1], args[2])
-    if spec.kind == "set1":
-        return M256Value.splat(int(args[0]))
-    if spec.kind == "setzero":
-        return M256Value.zero()
-    if spec.kind == "setr":
-        return M256Value.from_lanes([int(a) for a in args])
-    if spec.kind == "set":
-        return M256Value.from_lanes([int(a) for a in reversed(args)])
-    raise ValueError(f"intrinsic {name} is not pure; the interpreter must handle it")
+from repro.intrinsics.lanemath import (
+    LANE_BITS,
+    LANE_MASK as _LANE_MASK,
+    SIGN_BIT as _SIGN_BIT,
+    to_unsigned32,
+    wrap32,
+)
+from repro.intrinsics.registry import (
+    INTRINSIC_REGISTRY,
+    IntrinsicSpec,
+    apply_pure_intrinsic,
+    is_intrinsic,
+    lookup_intrinsic,
+    registry_for,
+)
+from repro.intrinsics.values import M256Value, VecValue
+from repro.targets import AVX2
+
+#: Lane count of the historical (AVX2) target.
+LANES = AVX2.lanes
+
+#: The AVX2 slice of the merged registry (name -> spec).
+AVX2_REGISTRY = registry_for(AVX2)
+
+__all__ = [
+    "AVX2_REGISTRY",
+    "INTRINSIC_REGISTRY",
+    "IntrinsicSpec",
+    "LANES",
+    "LANE_BITS",
+    "M256Value",
+    "VecValue",
+    "apply_pure_intrinsic",
+    "is_intrinsic",
+    "lookup_intrinsic",
+    "to_unsigned32",
+    "wrap32",
+    "_LANE_MASK",
+    "_SIGN_BIT",
+]

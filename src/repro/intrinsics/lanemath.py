@@ -1,0 +1,26 @@
+"""Shared 32-bit lane arithmetic.
+
+Every layer that models lane values — the intrinsic semantics, the concrete
+interpreter, the memory model and the symbolic executor's constant folding —
+agrees on one definition of 32-bit two's-complement wraparound, defined here
+and nowhere else.
+"""
+
+from __future__ import annotations
+
+LANE_BITS = 32
+LANE_MASK = (1 << LANE_BITS) - 1
+SIGN_BIT = 1 << (LANE_BITS - 1)
+
+
+def wrap32(value: int) -> int:
+    """Reduce ``value`` to signed 32-bit two's-complement range."""
+    value &= LANE_MASK
+    if value & SIGN_BIT:
+        value -= 1 << LANE_BITS
+    return value
+
+
+def to_unsigned32(value: int) -> int:
+    """Interpret a signed 32-bit value as unsigned."""
+    return value & LANE_MASK

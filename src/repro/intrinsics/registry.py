@@ -1,0 +1,320 @@
+"""Per-target intrinsic registries built from one generic operation table.
+
+Each generic operation (``add_epi32``, ``blendv``, ``loadu`` ...) is defined
+once — its lane semantics, arity and base cycle cost — and materialized per
+:class:`~repro.targets.TargetISA` under the target's concrete intrinsic
+names (``_mm_add_epi32`` / ``_mm256_add_epi32`` / ``_mm512_add_epi32``).
+The merged :data:`INTRINSIC_REGISTRY` spans every registered target, so the
+interpreter and the symbolic executor can execute candidates of any width
+without being told which backend produced them: the width travels with the
+intrinsic name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import CompileError
+from repro.intrinsics.lanemath import LANE_BITS, to_unsigned32, wrap32
+from repro.intrinsics.values import VecValue
+from repro.targets import ALL_TARGETS, AVX2, TargetISA, get_target
+
+
+@dataclass(frozen=True)
+class IntrinsicSpec:
+    """Description of one intrinsic: arity, kind, cost, width and generic op.
+
+    ``kind`` is one of ``pure_binary``/``pure_unary`` (lane function in
+    ``fn``), ``pure_vector`` (whole-vector function), ``pure_imm`` /
+    ``pure_imm2`` (vector plus immediates), ``load``/``store``/``maskload``/
+    ``maskstore`` (handled by the interpreter, which owns the memory model),
+    ``set``/``setr``/``set1``/``setzero`` (vector construction),
+    ``extract`` (vector to scalar) and ``cast128`` (register reinterpret).
+    ``cycle_cost`` is the rough reciprocal throughput fed to the registry
+    consumers; ``lanes`` is the register width in 32-bit lanes; ``op`` is
+    the generic operation name shared across targets.
+    """
+
+    name: str
+    arity: int
+    kind: str
+    cycle_cost: float
+    fn: Optional[Callable] = None
+    lanes: int = 8
+    op: str = ""
+    target: str = "avx2"
+
+
+# ---------------------------------------------------------------------------
+# width-agnostic lane semantics
+# ---------------------------------------------------------------------------
+
+
+def _mullo(a: int, b: int) -> int:
+    return wrap32(a * b)
+
+
+def _cmpgt(a: int, b: int) -> int:
+    return -1 if a > b else 0
+
+
+def _cmpeq(a: int, b: int) -> int:
+    return -1 if a == b else 0
+
+
+def _abs_lane(a: int) -> int:
+    return wrap32(abs(a))
+
+
+def _andnot(a: int, b: int) -> int:
+    return wrap32((~a) & b)
+
+
+def _blendv(a: VecValue, b: VecValue, mask: VecValue) -> VecValue:
+    """Per-byte blend; TSVC vectorizations only use full-lane masks (0 / -1).
+
+    The byte-accurate behaviour is modelled by selecting each byte of the
+    lane according to the sign bit of the corresponding mask byte.  The same
+    semantics serve ``*_blendv_epi8`` and AVX-512's ``_mm512_mask_blend_epi32``
+    (whose masks are full lanes by construction in this pipeline).
+    """
+    lanes = []
+    poison = []
+    for lane_a, lane_b, lane_m, pa, pb, pm in zip(
+        a.lanes, b.lanes, mask.lanes, a.poison, b.poison, mask.poison
+    ):
+        ua, ub, um = to_unsigned32(lane_a), to_unsigned32(lane_b), to_unsigned32(lane_m)
+        out = 0
+        selected_poison = pm
+        for byte in range(LANE_BITS // 8):
+            shift = byte * 8
+            mask_byte = (um >> shift) & 0xFF
+            if mask_byte & 0x80:
+                out |= ((ub >> shift) & 0xFF) << shift
+                selected_poison = selected_poison or pb
+            else:
+                out |= ((ua >> shift) & 0xFF) << shift
+                selected_poison = selected_poison or pa
+        lanes.append(wrap32(out))
+        poison.append(selected_poison)
+    return VecValue(tuple(lanes), tuple(poison))
+
+
+def _srli(a: VecValue, count: int) -> VecValue:
+    count = int(count)
+    if count >= LANE_BITS:
+        return VecValue.from_lanes([0] * a.width, a.poison)
+    return VecValue(
+        tuple(wrap32(to_unsigned32(v) >> count) for v in a.lanes), a.poison
+    )
+
+
+def _slli(a: VecValue, count: int) -> VecValue:
+    count = int(count)
+    if count >= LANE_BITS:
+        return VecValue.from_lanes([0] * a.width, a.poison)
+    return VecValue(tuple(wrap32(v << count) for v in a.lanes), a.poison)
+
+
+def _srai(a: VecValue, count: int) -> VecValue:
+    count = int(count)
+    if count >= LANE_BITS:
+        count = LANE_BITS - 1
+    return VecValue(tuple(wrap32(v >> count) for v in a.lanes), a.poison)
+
+
+def _permute2x128(a: VecValue, b: VecValue, imm: int) -> VecValue:
+    """Select 128-bit halves of ``a``/``b`` according to ``imm`` (AVX2 only)."""
+    halves = [a.lanes[0:4], a.lanes[4:8], b.lanes[0:4], b.lanes[4:8]]
+    half_poison = [a.poison[0:4], a.poison[4:8], b.poison[0:4], b.poison[4:8]]
+    imm = int(imm)
+    low_sel = imm & 0x3
+    high_sel = (imm >> 4) & 0x3
+    low_zero = bool(imm & 0x08)
+    high_zero = bool(imm & 0x80)
+    low = (0, 0, 0, 0) if low_zero else halves[low_sel]
+    high = (0, 0, 0, 0) if high_zero else halves[high_sel]
+    low_p = (False,) * 4 if low_zero else half_poison[low_sel]
+    high_p = (False,) * 4 if high_zero else half_poison[high_sel]
+    return VecValue(tuple(low) + tuple(high), tuple(low_p) + tuple(high_p))
+
+
+def _shuffle_epi32(a: VecValue, imm: int) -> VecValue:
+    """Shuffle 32-bit lanes within each 128-bit block, at any register width."""
+    imm = int(imm)
+    selectors = [(imm >> (2 * i)) & 0x3 for i in range(4)]
+    out_lanes = []
+    out_poison = []
+    for block in range(a.width // 4):
+        base = block * 4
+        for sel in selectors:
+            out_lanes.append(a.lanes[base + sel])
+            out_poison.append(a.poison[base + sel])
+    return VecValue(tuple(out_lanes), tuple(out_poison))
+
+
+def _hadd_epi32(a: VecValue, b: VecValue) -> VecValue:
+    """Horizontal pairwise add within 128-bit blocks (``*_hadd_epi32``)."""
+    out_lanes = []
+    out_poison = []
+    for block in range(a.width // 4):
+        base = block * 4
+        out_lanes += [
+            wrap32(a.lanes[base] + a.lanes[base + 1]),
+            wrap32(a.lanes[base + 2] + a.lanes[base + 3]),
+            wrap32(b.lanes[base] + b.lanes[base + 1]),
+            wrap32(b.lanes[base + 2] + b.lanes[base + 3]),
+        ]
+        out_poison += [
+            a.poison[base] or a.poison[base + 1],
+            a.poison[base + 2] or a.poison[base + 3],
+            b.poison[base] or b.poison[base + 1],
+            b.poison[base + 2] or b.poison[base + 3],
+        ]
+    return VecValue(tuple(out_lanes), tuple(out_poison))
+
+
+# ---------------------------------------------------------------------------
+# the generic operation table
+# ---------------------------------------------------------------------------
+
+#: op -> (kind, arity, base cycle cost, function).  ``arity = -1`` means one
+#: argument per lane (the set/setr constructors).  Costs are the AVX2 base
+#: figures; targets override per op via ``intrinsic_cost_overrides``.
+_GENERIC_OPS: dict[str, tuple[str, int, float, Optional[Callable]]] = {
+    "add_epi32": ("pure_binary", 2, 0.5, lambda a, b: a + b),
+    "sub_epi32": ("pure_binary", 2, 0.5, lambda a, b: a - b),
+    "mullo_epi32": ("pure_binary", 2, 2.0, _mullo),
+    "cmpgt_epi32": ("pure_binary", 2, 0.5, _cmpgt),
+    "cmpeq_epi32": ("pure_binary", 2, 0.5, _cmpeq),
+    "max_epi32": ("pure_binary", 2, 0.5, max),
+    "min_epi32": ("pure_binary", 2, 0.5, min),
+    "and": ("pure_binary", 2, 0.33, lambda a, b: a & b),
+    "or": ("pure_binary", 2, 0.33, lambda a, b: a | b),
+    "xor": ("pure_binary", 2, 0.33, lambda a, b: a ^ b),
+    "andnot": ("pure_binary", 2, 0.33, _andnot),
+    "abs_epi32": ("pure_unary", 1, 0.5, _abs_lane),
+    "blendv": ("pure_vector", 3, 1.0, _blendv),
+    "hadd_epi32": ("pure_vector", 2, 2.0, _hadd_epi32),
+    "srli_epi32": ("pure_imm", 2, 0.5, _srli),
+    "slli_epi32": ("pure_imm", 2, 0.5, _slli),
+    "srai_epi32": ("pure_imm", 2, 0.5, _srai),
+    "shuffle_epi32": ("pure_imm", 2, 1.0, _shuffle_epi32),
+    "permute2x128": ("pure_imm2", 3, 3.0, _permute2x128),
+    "loadu": ("load", 1, 3.0, None),
+    "storeu": ("store", 2, 3.0, None),
+    "maskload": ("maskload", 2, 4.0, None),
+    "maskstore": ("maskstore", 3, 4.0, None),
+    "set1": ("set1", 1, 1.0, None),
+    "setzero": ("setzero", 0, 0.33, None),
+    "setr": ("setr", -1, 1.0, None),
+    "set": ("set", -1, 1.0, None),
+    "extract": ("extract", 2, 2.0, None),
+}
+
+
+def build_registry(target: TargetISA) -> dict[str, IntrinsicSpec]:
+    """Materialize the generic operation table for one target."""
+    registry: dict[str, IntrinsicSpec] = {}
+    for op, (kind, arity, base_cost, fn) in _GENERIC_OPS.items():
+        if not target.supports(op):
+            continue
+        cost = target.intrinsic_cost_overrides.get(op, base_cost)
+        registry[target.intrinsic(op)] = IntrinsicSpec(
+            name=target.intrinsic(op),
+            arity=arity if arity >= 0 else target.lanes,
+            kind=kind,
+            cycle_cost=cost,
+            fn=fn,
+            lanes=target.lanes,
+            op=op,
+            target=target.name,
+        )
+    return registry
+
+
+def _build_merged_registry() -> dict[str, IntrinsicSpec]:
+    merged: dict[str, IntrinsicSpec] = {}
+    for target in ALL_TARGETS:
+        for name, spec in build_registry(target).items():
+            existing = merged.get(name)
+            if existing is not None and existing.op != spec.op:
+                raise RuntimeError(
+                    f"intrinsic name collision across targets: {name}"
+                )
+            merged[name] = spec
+    # AVX2 reduction tails historically extract through the low 128-bit
+    # half; the cast is a free reinterpret of the 8-lane value.
+    merged["_mm256_castsi256_si128"] = IntrinsicSpec(
+        name="_mm256_castsi256_si128", arity=1, kind="cast128",
+        cycle_cost=0.0, lanes=8, op="cast128", target=AVX2.name,
+    )
+    return merged
+
+
+TARGET_REGISTRIES: dict[str, dict[str, IntrinsicSpec]] = {
+    target.name: build_registry(target) for target in ALL_TARGETS
+}
+
+INTRINSIC_REGISTRY: dict[str, IntrinsicSpec] = _build_merged_registry()
+
+
+def registry_for(target: "TargetISA | str | None") -> dict[str, IntrinsicSpec]:
+    """The registry restricted to one target's intrinsics."""
+    return TARGET_REGISTRIES[get_target(target).name]
+
+
+def is_intrinsic(name: str) -> bool:
+    """Return True if ``name`` is a modelled SIMD intrinsic (any target)."""
+    return name in INTRINSIC_REGISTRY
+
+
+def lookup_intrinsic(name: str) -> IntrinsicSpec:
+    """Return the spec for ``name``; raises ``KeyError`` for unknown intrinsics."""
+    return INTRINSIC_REGISTRY[name]
+
+
+def apply_pure_intrinsic(name: str, args: list) -> VecValue:
+    """Apply a pure (non-memory) intrinsic to already-evaluated arguments.
+
+    ``args`` holds :class:`VecValue` operands and Python ints for scalar /
+    immediate operands, in call order.  Memory intrinsics are handled by the
+    interpreter, which owns the memory model.
+
+    Operand widths are validated against the intrinsic's register width (and
+    ``setr``/``set`` argument counts against the lane count) up front, so a
+    candidate mixing register widths is rejected like a C compiler would
+    reject it rather than silently truncated by the lane-wise zips below.
+    """
+    spec = lookup_intrinsic(name)
+    if spec.kind in ("setr", "set"):
+        if len(args) != spec.lanes:
+            raise CompileError(
+                f"{name} takes {spec.lanes} lane arguments, got {len(args)}"
+            )
+    else:
+        for arg in args:
+            if isinstance(arg, VecValue) and arg.width != spec.lanes:
+                raise CompileError(
+                    f"{name} operand has {arg.width} lanes, expected {spec.lanes}"
+                )
+    if spec.kind == "pure_binary":
+        return args[0].map_binary(args[1], spec.fn)
+    if spec.kind == "pure_unary":
+        return args[0].map_unary(spec.fn)
+    if spec.kind == "pure_vector":
+        return spec.fn(*args)
+    if spec.kind == "pure_imm":
+        return spec.fn(args[0], args[1])
+    if spec.kind == "pure_imm2":
+        return spec.fn(args[0], args[1], args[2])
+    if spec.kind == "set1":
+        return VecValue.splat(int(args[0]), spec.lanes)
+    if spec.kind == "setzero":
+        return VecValue.zero(spec.lanes)
+    if spec.kind == "setr":
+        return VecValue.from_lanes([int(a) for a in args])
+    if spec.kind == "set":
+        return VecValue.from_lanes([int(a) for a in reversed(args)])
+    raise ValueError(f"intrinsic {name} is not pure; the interpreter must handle it")

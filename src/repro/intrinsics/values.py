@@ -1,0 +1,109 @@
+"""Width-parametric vector values.
+
+:class:`VecValue` models one SIMD register of any supported width: ``n``
+32-bit lanes stored as Python ints in two's-complement signed form, plus a
+per-lane poison flag used for undefined-behaviour propagation (a lane loaded
+from out-of-bounds memory is poison; arithmetic on poison lanes yields
+poison; storing a poison lane is a UB event the checker can observe).
+
+:class:`M256Value` is the historical 8-lane (``__m256i``) spelling, kept as
+a thin subclass whose constructors default to eight lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Optional, Sequence
+
+from repro.intrinsics.lanemath import wrap32
+
+#: Lane counts with a registered target ISA (SSE4 / AVX2 / AVX-512).
+VALID_WIDTHS = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class VecValue:
+    """An integer vector: ``width`` signed 32-bit lanes with poison flags."""
+
+    lanes: tuple[int, ...]
+    poison: tuple[bool, ...] = ()
+
+    #: Subclasses may pin a width so ``splat()``/``zero()`` work bare.
+    default_width: ClassVar[Optional[int]] = None
+
+    def __post_init__(self) -> None:
+        if not self.poison:
+            object.__setattr__(self, "poison", (False,) * len(self.lanes))
+        if len(self.lanes) not in VALID_WIDTHS:
+            raise ValueError(
+                f"vector width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+            )
+        if len(self.poison) != len(self.lanes):
+            raise ValueError("poison flags must match the lane count")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def _width(cls, width: Optional[int]) -> int:
+        resolved = width if width is not None else cls.default_width
+        if resolved is None:
+            raise ValueError("a vector width is required")
+        return resolved
+
+    @classmethod
+    def from_lanes(cls, lanes: Sequence[int],
+                   poison: Sequence[bool] | None = None) -> "VecValue":
+        wrapped = tuple(wrap32(int(v)) for v in lanes)
+        flags = (
+            tuple(bool(p) for p in poison)
+            if poison is not None
+            else (False,) * len(wrapped)
+        )
+        return cls(wrapped, flags)
+
+    @classmethod
+    def splat(cls, value: int, width: Optional[int] = None) -> "VecValue":
+        return cls.from_lanes([value] * cls._width(width))
+
+    @classmethod
+    def zero(cls, width: Optional[int] = None) -> "VecValue":
+        return cls.from_lanes([0] * cls._width(width))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def any_poison(self) -> bool:
+        return any(self.poison)
+
+    # -- lane-wise combinators ----------------------------------------------
+
+    def map_binary(self, other: "VecValue", fn: Callable[[int, int], int]) -> "VecValue":
+        if other.width != self.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width} lanes"
+            )
+        lanes = tuple(wrap32(fn(a, b)) for a, b in zip(self.lanes, other.lanes))
+        poison = tuple(pa or pb for pa, pb in zip(self.poison, other.poison))
+        return VecValue(lanes, poison)
+
+    def map_unary(self, fn: Callable[[int], int]) -> "VecValue":
+        lanes = tuple(wrap32(fn(a)) for a in self.lanes)
+        return VecValue(lanes, self.poison)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "<" + ", ".join(str(v) for v in self.lanes) + ">"
+
+
+class M256Value(VecValue):
+    """The 8-lane ``__m256i`` value (historical AVX2 spelling)."""
+
+    default_width: ClassVar[int] = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.lanes) != 8:
+            raise ValueError("__m256i requires exactly 8 lanes")

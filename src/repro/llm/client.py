@@ -26,6 +26,8 @@ class CompletionRequest:
     temperature: float = 1.0
     #: Extra context the agents attach (dependence analysis, test feedback).
     feedback: str = ""
+    #: Target ISA name the completion should use (``sse4``/``avx2``/``avx512``).
+    target: str = "avx2"
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.cfront import ast_nodes as ast
 from repro.cfront.cparser import parse_function
 from repro.cfront.printer import function_to_c
+from repro.targets import ALL_TARGETS
 
 
 class FaultKind(enum.Enum):
@@ -100,11 +101,36 @@ class FaultProfile:
 # fault application
 # ---------------------------------------------------------------------------
 
+#: Naming data derived from the registered targets (longest prefix first so
+#: prefix matching is unambiguous): (prefix, full-register bitwise suffix).
+#: Deriving instead of hardcoding keeps this module in sync when a backend
+#: is added in :mod:`repro.targets`.
+_TARGET_NAMING: tuple[tuple[str, str], ...] = tuple(sorted(
+    ((t.prefix, t.intrinsic("and").rsplit("_", 1)[1]) for t in ALL_TARGETS),
+    key=lambda pair: -len(pair[0]),
+))
+
 _OPERATOR_SWAPS = {
-    "_mm256_add_epi32": "_mm256_sub_epi32",
-    "_mm256_sub_epi32": "_mm256_add_epi32",
-    "_mm256_mullo_epi32": "_mm256_add_epi32",
+    t.intrinsic(a): t.intrinsic(b)
+    for t in ALL_TARGETS
+    for a, b in (("add_epi32", "sub_epi32"), ("sub_epi32", "add_epi32"),
+                 ("mullo_epi32", "add_epi32"))
 }
+
+_BLEND_NAMES = {t.intrinsic("blendv") for t in ALL_TARGETS}
+_CMPGT_NAMES = {t.intrinsic("cmpgt_epi32") for t in ALL_TARGETS}
+_SETR_NAMES = {t.intrinsic("setr") for t in ALL_TARGETS}
+
+#: Setr arities a ramp can legitimately have (one per registered width).
+_RAMP_ARITIES = {t.lanes for t in ALL_TARGETS}
+
+
+def _prefix_of(name: str) -> tuple[str, str]:
+    """The (prefix, si-suffix) pair an intrinsic name belongs to."""
+    for prefix, si in _TARGET_NAMING:
+        if name.startswith(prefix + "_"):
+            return prefix, si
+    return "_mm256", "si256"
 
 
 def applicable_faults(vectorized_source: str) -> list[FaultKind]:
@@ -112,11 +138,11 @@ def applicable_faults(vectorized_source: str) -> list[FaultKind]:
     faults = [FaultKind.COMPILE_ERROR]
     if any(name in vectorized_source for name in _OPERATOR_SWAPS):
         faults.append(FaultKind.WRONG_OPERATOR)
-    if "_mm256_setr_epi32" in vectorized_source:
+    if any(name in vectorized_source for name in _SETR_NAMES):
         faults.append(FaultKind.NAIVE_INDUCTION)
-    if "_mm256_blendv_epi8" in vectorized_source:
+    if any(name in vectorized_source for name in _BLEND_NAMES):
         faults.append(FaultKind.UNSAFE_HOIST)
-    if "_mm256_cmpgt_epi32" in vectorized_source:
+    if any(name in vectorized_source for name in _CMPGT_NAMES):
         faults.append(FaultKind.CMP_OFF_BY_ONE)
     if _count_for_loops(vectorized_source) >= 2:
         faults.append(FaultKind.MISSING_EPILOGUE)
@@ -160,10 +186,12 @@ def apply_fault(vectorized_source: str, kind: FaultKind, rng: random.Random) -> 
 
 def _inject_compile_error(source: str, rng: random.Random) -> str:
     """Misspell one intrinsic so the candidate fails to compile."""
-    for name in ("_mm256_loadu_si256", "_mm256_add_epi32", "_mm256_mullo_epi32",
-                 "_mm256_storeu_si256", "_mm256_set1_epi32"):
-        if name in source:
-            return source.replace(name, name + "x", 1)
+    by_prefix = {t.prefix: t for t in ALL_TARGETS}
+    for op in ("loadu", "add_epi32", "mullo_epi32", "storeu", "set1"):
+        for prefix, _si in _TARGET_NAMING:
+            name = by_prefix[prefix].intrinsic(op)
+            if name in source:
+                return source.replace(name, name + "x", 1)
     return source + "\n/* missing translation unit */ int __undefined_symbol = undeclared_variable;\n"
 
 
@@ -184,28 +212,29 @@ def _naive_induction(func: ast.FunctionDef) -> bool:
     """Replace a ``setr`` ramp with a constant splat of its first element.
 
     This reproduces the paper's s453 first attempt, where the induction
-    vector was initialized as if a single scalar update covered all eight
+    vector was initialized as if a single scalar update covered all the
     lanes.
     """
-    calls = _calls(func, {"_mm256_setr_epi32"})
-    ramps = [c for c in calls if len(c.args) == 8]
+    calls = _calls(func, _SETR_NAMES)
+    ramps = [c for c in calls if len(c.args) in _RAMP_ARITIES]
     if not ramps:
         return False
     ramp = ramps[0]
     first = ramp.args[0]
-    ramp.args = [first] * 8
+    ramp.args = [first] * len(ramp.args)
     return True
 
 
 def _unsafe_hoist(func: ast.FunctionDef, rng: random.Random) -> bool:
     """Drop the blend on one if-converted value (store the 'then' value always)."""
-    calls = _calls(func, {"_mm256_blendv_epi8"})
+    calls = _calls(func, _BLEND_NAMES)
     if not calls:
         return False
     target = rng.choice(calls)
+    prefix, si = _prefix_of(target.func)
     then_value = target.args[1]
-    target.func = "_mm256_add_epi32"
-    target.args = [then_value, ast.Call(func="_mm256_setzero_si256", args=[])]
+    target.func = f"{prefix}_add_epi32"
+    target.args = [then_value, ast.Call(func=f"{prefix}_setzero_{si}", args=[])]
     return True
 
 
@@ -215,14 +244,15 @@ def _relax_comparison(func: ast.FunctionDef, rng: random.Random) -> bool:
     The difference only shows when the compared lanes tie, so random testing
     rarely notices — but translation validation does.
     """
-    calls = _calls(func, {"_mm256_cmpgt_epi32"})
+    calls = _calls(func, _CMPGT_NAMES)
     if not calls:
         return False
     target = rng.choice(calls)
+    prefix, si = _prefix_of(target.func)
     left, right = target.args
-    greater = ast.Call(func="_mm256_cmpgt_epi32", args=[left, right])
-    equal = ast.Call(func="_mm256_cmpeq_epi32", args=[left, right])
-    target.func = "_mm256_or_si256"
+    greater = ast.Call(func=f"{prefix}_cmpgt_epi32", args=[left, right])
+    equal = ast.Call(func=f"{prefix}_cmpeq_epi32", args=[left, right])
+    target.func = f"{prefix}_or_{si}"
     target.args = [greater, equal]
     return True
 

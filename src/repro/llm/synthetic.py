@@ -42,6 +42,7 @@ from repro.errors import ParseError, ReproError
 from repro.llm.client import CompletionRequest, LLMClient, LLMCompletion
 from repro.llm.faults import FaultProfile, applicable_faults, apply_fault
 from repro.llm.prompts import has_dependence_feedback, has_tester_feedback
+from repro.targets import TargetISA, get_target
 from repro.vectorizer import vectorize_kernel
 from repro.vectorizer.planner import plan_vectorization
 from repro.analysis.loops import find_main_loop
@@ -116,14 +117,15 @@ class SyntheticLLM(LLMClient):
 
     def _one_completion(self, request: CompletionRequest, index: int) -> LLMCompletion:
         rng = self._rng_for(request, index)
+        target = get_target(getattr(request, "target", None))
         try:
             scalar_func = parse_function(request.scalar_code)
         except (ParseError, ReproError):
             return LLMCompletion(code=request.scalar_code, annotations={"mode": "echo"})
 
-        result = vectorize_kernel(scalar_func)
+        result = vectorize_kernel(scalar_func, target)
         if result is None:
-            return self._hard_kernel_completion(request, scalar_func, rng)
+            return self._hard_kernel_completion(request, scalar_func, rng, target)
 
         correct_source = result.source
         fault_rate = self.config.fault_profile.fault_rate(
@@ -152,23 +154,24 @@ class SyntheticLLM(LLMClient):
     # -- hard kernels (the vectorizer cannot handle them) --------------------------
 
     def _hard_kernel_completion(
-        self, request: CompletionRequest, scalar_func: ast.FunctionDef, rng: random.Random
+        self, request: CompletionRequest, scalar_func: ast.FunctionDef,
+        rng: random.Random, target: TargetISA,
     ) -> LLMCompletion:
-        plan = plan_vectorization(scalar_func)
+        plan = plan_vectorization(scalar_func, target)
         reason = plan.rejection_text or "unsupported"
         success_rate = self.config.hard_kernel_success_rate
         if has_dependence_feedback(request.prompt) or has_tester_feedback(request.prompt):
             success_rate *= 2.0
         if rng.random() < success_rate:
-            blocked = _blocked_rewrite(scalar_func)
+            blocked = _blocked_rewrite(scalar_func, target.lanes)
             if blocked is not None:
                 return LLMCompletion(
                     code=blocked, annotations={"mode": "blocked_rewrite", "reason": reason}
                 )
         if rng.random() < self.config.broken_compile_rate:
-            broken = _uncompilable_attempt(scalar_func)
+            broken = _uncompilable_attempt(scalar_func, target)
             return LLMCompletion(code=broken, annotations={"mode": "broken_compile", "reason": reason})
-        broken = _broken_attempt(scalar_func)
+        broken = _broken_attempt(scalar_func, target.lanes)
         return LLMCompletion(code=broken, annotations={"mode": "broken_wrong", "reason": reason})
 
 
@@ -177,8 +180,8 @@ class SyntheticLLM(LLMClient):
 # ---------------------------------------------------------------------------
 
 
-def _blocked_rewrite(scalar_func: ast.FunctionDef) -> Optional[str]:
-    """A correct but unvectorized rewrite: process the loop in blocks of 8.
+def _blocked_rewrite(scalar_func: ast.FunctionDef, lanes: int = 8) -> Optional[str]:
+    """A correct but unvectorized rewrite: process the loop in lane-count blocks.
 
     This mirrors the low-effort completions GPT-4 sometimes produces for loops
     it cannot truly vectorize — correct (so checksum-plausible) but without
@@ -190,18 +193,18 @@ def _blocked_rewrite(scalar_func: ast.FunctionDef) -> Optional[str]:
         return None
     iterator = loop.iterator
     block_iter = f"{iterator}b"
-    inner_end = ast.BinOp(op="+", left=ast.Identifier(name=block_iter), right=ast.IntLiteral(value=8))
+    inner_end = ast.BinOp(op="+", left=ast.Identifier(name=block_iter), right=ast.IntLiteral(value=lanes))
     inner_loop = ast.ForLoop(
         init=ast.Decl(var_type=INT, name=iterator, init=ast.Identifier(name=block_iter)),
         cond=ast.BinOp(op="<", left=ast.Identifier(name=iterator), right=inner_end),
         step=ast.Assign(op="+=", target=ast.Identifier(name=iterator), value=ast.IntLiteral(value=1)),
         body=copy.deepcopy(loop.node.body),
     )
-    outer_end = ast.BinOp(op="-", left=copy.deepcopy(loop.end), right=ast.IntLiteral(value=7))
+    outer_end = ast.BinOp(op="-", left=copy.deepcopy(loop.end), right=ast.IntLiteral(value=lanes - 1))
     outer_loop = ast.ForLoop(
         init=ast.Decl(var_type=INT, name=block_iter, init=copy.deepcopy(loop.start)),
         cond=ast.BinOp(op=loop.end_op, left=ast.Identifier(name=block_iter), right=outer_end),
-        step=ast.Assign(op="+=", target=ast.Identifier(name=block_iter), value=ast.IntLiteral(value=8)),
+        step=ast.Assign(op="+=", target=ast.Identifier(name=block_iter), value=ast.IntLiteral(value=lanes)),
         body=ast.Block(body=[inner_loop]),
     )
     epilogue_start = ast.BinOp(
@@ -210,7 +213,7 @@ def _blocked_rewrite(scalar_func: ast.FunctionDef) -> Optional[str]:
         right=ast.BinOp(
             op="%",
             left=ast.BinOp(op="-", left=copy.deepcopy(loop.end), right=copy.deepcopy(loop.start)),
-            right=ast.IntLiteral(value=8),
+            right=ast.IntLiteral(value=lanes),
         ),
     )
     epilogue = ast.ForLoop(
@@ -224,23 +227,28 @@ def _blocked_rewrite(scalar_func: ast.FunctionDef) -> Optional[str]:
     return function_to_c(func, include_header=True)
 
 
-def _broken_attempt(scalar_func: ast.FunctionDef) -> str:
-    """A wrong attempt: bump the loop step to 8 without processing the block."""
+def _broken_attempt(scalar_func: ast.FunctionDef, lanes: int = 8) -> str:
+    """A wrong attempt: bump the loop step to the lane count without processing
+    the block."""
     func = copy.deepcopy(scalar_func)
     loop = find_main_loop(func)
     if loop is not None and loop.step_expr is not None:
         new_step = ast.Assign(
-            op="+=", target=ast.Identifier(name=loop.iterator or "i"), value=ast.IntLiteral(value=8)
+            op="+=", target=ast.Identifier(name=loop.iterator or "i"),
+            value=ast.IntLiteral(value=lanes),
         )
         loop.node.step = new_step
     return function_to_c(func, include_header=True)
 
 
-def _uncompilable_attempt(scalar_func: ast.FunctionDef) -> str:
+def _uncompilable_attempt(scalar_func: ast.FunctionDef,
+                          target: TargetISA | None = None) -> str:
     """A wrong attempt that also fails to compile (unknown intrinsic)."""
+    isa = get_target(target)
     source = function_to_c(copy.deepcopy(scalar_func), include_header=True)
     lines = source.splitlines()
-    insertion = "    __m256i vtmp = _mm256_gather_load_epi32(a, 8);"
+    insertion = (f"    {isa.vector_type} vtmp = "
+                 f"{isa.prefix}_gather_load_epi32(a, {isa.lanes});")
     for position, line in enumerate(lines):
         if line.strip().startswith("for ("):
             lines.insert(position + 2, insertion)

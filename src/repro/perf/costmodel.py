@@ -1,11 +1,15 @@
-"""Instruction cost tables for the cycle simulator.
+"""Instruction cost tables for the cycle simulator, per target ISA.
 
-Costs are rough reciprocal-throughput figures for a Haswell/Skylake-class
-AVX2 core, expressed in cycles per executed operation.  They do not model
-instruction-level parallelism or the memory hierarchy; the simulator's output
-is a cycle *estimate* whose ratios (scalar loop vs. 8-lane vector loop,
-if-converted vs. straight-line) match the qualitative behaviour the paper's
-Figure 6 relies on.
+Costs are rough reciprocal-throughput figures expressed in cycles per
+executed operation.  The base tables model a Haswell/Skylake-class AVX2
+core (the paper's hardware); :func:`cost_model_for` derives SSE4 and
+AVX-512 variants by applying each target's category overrides — narrower
+SSE loads move half the data and cost less, 512-bit operations pay a
+latency/licensing premium but amortize over twice the lanes.  The tables do
+not model instruction-level parallelism or the memory hierarchy; the
+simulator's output is a cycle *estimate* whose ratios (scalar loop vs.
+vector loop, one width vs. another) match the qualitative behaviour the
+paper's Figure 6 relies on.
 """
 
 from __future__ import annotations
@@ -13,12 +17,11 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.targets import TargetISA, get_target
 
-@dataclass(frozen=True)
-class CostModel:
-    """Cycle costs per interpreter operation category."""
 
-    scalar_costs: dict = field(default_factory=lambda: {
+def _base_scalar_costs() -> dict[str, float]:
+    return {
         "scalar_arith": 1.0,
         "scalar_mul": 3.0,
         "scalar_load": 4.0,
@@ -27,8 +30,11 @@ class CostModel:
         "decl": 0.5,
         "alloc": 2.0,
         "loop_iteration": 1.0,   # induction update + compare overhead
-    })
-    vector_costs: dict = field(default_factory=lambda: {
+    }
+
+
+def _base_vector_costs() -> dict[str, float]:
+    return {
         "vec_load": 6.0,
         "vec_store": 6.0,
         "vec_maskload": 8.0,
@@ -45,10 +51,20 @@ class CostModel:
         "vec_extract": 3.0,
         "vec_extract128": 3.0,
         "vec_cast128": 0.0,
-    })
+    }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs per interpreter operation category."""
+
+    scalar_costs: dict[str, float] = field(default_factory=_base_scalar_costs)
+    vector_costs: dict[str, float] = field(default_factory=_base_vector_costs)
     #: Fixed per-invocation overhead charged to every measured run (call,
     #: prologue, loop setup).
     invocation_overhead: float = 20.0
+    #: The ISA whose vector tables these are (informational).
+    target_name: str = "avx2"
 
     def cycles_for(self, op_counts: Counter) -> float:
         """Total estimated cycles for an execution's operation counts."""
@@ -64,3 +80,17 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+_MODEL_CACHE: dict[str, CostModel] = {"avx2": DEFAULT_COST_MODEL}
+
+
+def cost_model_for(target: "TargetISA | str | None") -> CostModel:
+    """The cost model of one target: base AVX2 tables + the target's overrides."""
+    isa = get_target(target)
+    cached = _MODEL_CACHE.get(isa.name)
+    if cached is None:
+        vector_costs = _base_vector_costs()
+        vector_costs.update(isa.vector_cost_overrides)
+        cached = CostModel(vector_costs=vector_costs, target_name=isa.name)
+        _MODEL_CACHE[isa.name] = cached
+    return cached

@@ -1,13 +1,14 @@
 """The runtime simulator: cycle estimates and speedups against the baselines.
 
 For the LLM-generated candidate the interpreter executes the actual vector
-code and the cost model prices the executed instruction mix.  For each
-baseline compiler the scalar kernel is executed once, and the baseline's
-:class:`~repro.compilers.base.CompilerDecision` determines whether its cycles
-are charged at scalar cost or scaled by the 8-lane vector width times the
-baseline's codegen-efficiency factor.  Speedup is then the ratio of baseline
-cycles to LLM cycles — the quantity plotted in the paper's Figure 1(c) and
-Figure 6.
+code and the target's cost model prices the executed instruction mix.  For
+each baseline compiler the scalar kernel is executed once, and the
+baseline's :class:`~repro.compilers.base.CompilerDecision` determines
+whether its cycles are charged at scalar cost or scaled by the target's
+lane count times the baseline's codegen-efficiency factor.  Speedup is then
+the ratio of baseline cycles to LLM cycles — the quantity plotted in the
+paper's Figure 1(c) and Figure 6.  Passing ``target`` prices both sides
+with that ISA's tables, which is how per-width speedups are compared.
 """
 
 from __future__ import annotations
@@ -22,7 +23,8 @@ from repro.compilers.base import CompilerDecision, SimulatedCompiler
 from repro.compilers.suites import all_compilers
 from repro.interp.interpreter import run_function
 from repro.interp.randominit import InputSpec, make_test_vector
-from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.perf.costmodel import DEFAULT_COST_MODEL, CostModel, cost_model_for
+from repro.targets import TargetISA, get_target
 from repro.vectorizer.planner import VECTOR_WIDTH
 
 
@@ -76,7 +78,8 @@ def estimate_cycles(code: str | ast.FunctionDef, n: int = 256, seed: int = 11,
 
 
 def baseline_cycles(scalar_cycles: float, decision: CompilerDecision,
-                    trip_count: int, scalar_efficiency: float = 1.0) -> float:
+                    trip_count: int, scalar_efficiency: float = 1.0,
+                    vector_width: int = VECTOR_WIDTH) -> float:
     """Cycles for a baseline compiler, given the scalar-execution estimate.
 
     ``scalar_efficiency`` captures how much faster than the naive estimate the
@@ -91,7 +94,7 @@ def baseline_cycles(scalar_cycles: float, decision: CompilerDecision,
     # call overhead (roughly proportional to the trip count) stays scalar.
     overhead = DEFAULT_COST_MODEL.invocation_overhead + trip_count * 0.25
     body = max(scalar_cycles - overhead, 0.0)
-    return (overhead + body / (VECTOR_WIDTH * decision.efficiency)) / scalar_efficiency
+    return (overhead + body / (vector_width * decision.efficiency)) / scalar_efficiency
 
 
 def measure_kernel(
@@ -101,9 +104,17 @@ def measure_kernel(
     n: int = 256,
     seed: int = 11,
     compilers: list[SimulatedCompiler] | None = None,
-    cost_model: CostModel = DEFAULT_COST_MODEL,
+    cost_model: CostModel | None = None,
+    target: "TargetISA | str | None" = None,
 ) -> KernelPerformance:
-    """Measure LLM-vectorized ``llm_code`` against every baseline for one kernel."""
+    """Measure LLM-vectorized ``llm_code`` against every baseline for one kernel.
+
+    ``target`` selects the ISA cost tables and the lane count used to scale
+    vectorizing baselines; an explicit ``cost_model`` overrides the tables.
+    """
+    isa = get_target(target)
+    if cost_model is None:
+        cost_model = cost_model_for(isa)
     scalar_func = parse_function(scalar_code)
     features = analyze_kernel(scalar_func)
     scalar_cycles = estimate_cycles(scalar_func, n=n, seed=seed, cost_model=cost_model)
@@ -118,7 +129,8 @@ def measure_kernel(
     for compiler in compilers or all_compilers():
         decision = compiler.decide(features)
         cycles = baseline_cycles(scalar_cycles, decision, trip_count=n,
-                                 scalar_efficiency=compiler.scalar_efficiency)
+                                 scalar_efficiency=compiler.scalar_efficiency,
+                                 vector_width=isa.lanes)
         performance.records.append(
             SpeedupRecord(
                 kernel=kernel_name,

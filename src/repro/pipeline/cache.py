@@ -35,8 +35,15 @@ def content_key(*parts: str) -> str:
     return digest.hexdigest()
 
 
-def config_fingerprint(obj: Any) -> str:
-    """A stable fingerprint of a (nested dataclass) configuration object."""
+def config_fingerprint(obj: Any, target: str | None = None) -> str:
+    """A stable fingerprint of a (nested dataclass) configuration object.
+
+    ``target`` salts the fingerprint with a target-ISA name.  Multi-target
+    campaigns share one cache file, and several configuration objects (e.g.
+    the performance-eval payload) do not themselves carry the target; salting
+    the fingerprint guarantees that per-ISA verdicts can never collide on a
+    cached entry even then.
+    """
     import dataclasses
 
     def normalize(value: Any) -> Any:
@@ -53,7 +60,10 @@ def config_fingerprint(obj: Any) -> str:
             return value
         return repr(value)
 
-    return content_key(json.dumps(normalize(obj), sort_keys=True))
+    parts = [json.dumps(normalize(obj), sort_keys=True)]
+    if target is not None:
+        parts.append(f"target:{target}")
+    return content_key(*parts)
 
 
 @dataclass

@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.pipeline.cache import CacheStats, ResultCache, config_fingerprint, content_key
+from repro.targets import get_target, target_names
 
 JobFn = Callable[["KernelTask"], dict]
 
@@ -108,6 +109,10 @@ class CampaignConfig:
     store_path: str | Path | None = None
     #: Reuse records found in the result store from a previous, interrupted run.
     resume: bool = True
+    #: Target ISA name the campaign vectorizes for (``sse4``/``avx2``/``avx512``).
+    #: The target is folded into every cache-key fingerprint, so multi-target
+    #: campaigns can share one cache/store without colliding on a verdict.
+    target: str = "avx2"
 
     def effective_workers(self) -> int:
         if self.workers <= 0:
@@ -138,6 +143,8 @@ class CampaignSummary:
     wall_clock_seconds: float
     workers: int
     verdict_counts: dict[str, int] = field(default_factory=dict)
+    #: Target ISA the campaign ran for.
+    target: str = "avx2"
 
     @property
     def cache_hit_rate(self) -> float:
@@ -173,6 +180,7 @@ class CampaignSummary:
             "kernels_per_second": round(self.kernels_per_second, 4),
             "effective_kernels_per_second": round(self.throughput.effective_rate, 4),
             "workers": self.workers,
+            "target": self.target,
             "verdict_counts": dict(self.verdict_counts),
         }
 
@@ -208,6 +216,7 @@ class CampaignRunner:
         label: str,
         cache_accept: Callable[[dict, KernelTask], bool] | None = None,
         cache_adapt: Callable[[dict, KernelTask], dict] | None = None,
+        target: str | None = None,
     ) -> CampaignReport:
         """Run ``job`` over ``tasks``; results come back in task order.
 
@@ -261,25 +270,57 @@ class CampaignRunner:
 
         ordered = [records[task.cache_key(label)] for task in tasks]
         summary = self._summarize(label, ordered, run_stats, resumed,
-                                  executed, time.perf_counter() - started)
+                                  executed, time.perf_counter() - started,
+                                  target=target or self.config.target)
         store.append_summary(summary)
         return CampaignReport(label=label, records=ordered, summary=summary)
 
     # -- the flagship campaign: vectorize-and-verify the suite ---------------------
 
-    def run(self, names: list[str] | None = None, vectorizer_config=None) -> CampaignReport:
+    def run(self, names: list[str] | None = None, vectorizer_config=None,
+            target: str | None = None) -> CampaignReport:
         """Run the full FSM -> checksum -> formal-verification pipeline per kernel.
 
         Per-kernel seeds derive from the synthetic LLM's seed (as in the
         experiment harnesses), so varying ``config.llm.seed`` varies the
-        sampled completions and the cache keys coherently.
+        sampled completions and the cache keys coherently.  ``target``
+        (default: the campaign config's target) selects the ISA; it is folded
+        into both the vectorizer configuration and the cache fingerprint.
         """
         from repro.pipeline.runner import LLMVectorizerConfig
 
+        if target is not None:
+            isa = get_target(target)
+        elif vectorizer_config is not None and vectorizer_config.target is not None:
+            # A vectorizer config with an explicitly-set target carries the
+            # choice; an unset (None) one defers to the campaign config.
+            isa = get_target(vectorizer_config.target)
+        else:
+            isa = get_target(self.config.target)
         config = vectorizer_config or LLMVectorizerConfig()
-        tasks = self.suite_tasks(names, payload=config, config_hash=config_fingerprint(config),
+        if config.target != isa.name:
+            config = replace(config, target=isa.name)
+        tasks = self.suite_tasks(names, payload=config,
+                                 config_hash=config_fingerprint(config, target=isa.name),
                                  base_seed=config.llm.seed)
-        return self.run_tasks(vectorize_kernel_job, tasks, label="vectorize")
+        return self.run_tasks(vectorize_kernel_job, tasks, label="vectorize",
+                              target=isa.name)
+
+    def run_multi_target(self, names: list[str] | None = None, vectorizer_config=None,
+                         targets: list[str] | None = None) -> dict[str, CampaignReport]:
+        """Fan one suite run out as per-ISA campaigns sharing this runner's cache.
+
+        Each target runs as its own campaign (its workers fan out over the
+        process pool as usual) against the same content-addressed cache and
+        JSONL store; the target-salted fingerprints keep their entries
+        disjoint.  Returns an ordered mapping target name -> report, so
+        per-target summaries can be compared side by side.
+        """
+        names_in_order = [get_target(t).name for t in (targets or target_names())]
+        return {
+            name: self.run(names, vectorizer_config=vectorizer_config, target=name)
+            for name in names_in_order
+        }
 
     def suite_tasks(
         self,
@@ -343,7 +384,8 @@ class CampaignRunner:
                     on_result(task, key, future.result())
 
     def _summarize(self, label: str, records: list[CampaignRecord], stats: CacheStats,
-                   resumed: int, executed: int, wall_clock: float) -> CampaignSummary:
+                   resumed: int, executed: int, wall_clock: float,
+                   target: str | None = None) -> CampaignSummary:
         return CampaignSummary(
             label=label,
             kernels=len(records),
@@ -354,6 +396,7 @@ class CampaignRunner:
             wall_clock_seconds=wall_clock,
             workers=self.config.effective_workers(),
             verdict_counts=count_verdicts(records),
+            target=target or self.config.target,
         )
 
 

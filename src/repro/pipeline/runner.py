@@ -9,7 +9,7 @@ experiment harness and the benchmarks build on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.agents.fsm import FSMConfig, FSMResult, VectorizationFSM
@@ -28,6 +28,10 @@ class LLMVectorizerConfig:
     llm: SyntheticLLMConfig = field(default_factory=SyntheticLLMConfig)
     run_verification: bool = True
     checksum_seed: int = 0
+    #: Target ISA name the tool vectorizes for (``sse4``/``avx2``/``avx512``).
+    #: ``None`` means "unset": campaign-level targets apply, and the tool
+    #: itself falls back to the AVX2 default.
+    target: str | None = None
 
 
 @dataclass
@@ -65,7 +69,14 @@ class LLMVectorizer:
 
     def vectorize(self, kernel: LoadedKernel) -> KernelRunResult:
         """Run the full tool on one kernel."""
-        fsm = VectorizationFSM(self.llm, kernel.name, kernel.source, self.config.fsm)
+        return self._vectorize_for(kernel, self.config.target or "avx2")
+
+    def _vectorize_for(self, kernel: LoadedKernel, target: str) -> KernelRunResult:
+        """Run the tool on one kernel for an explicit target ISA."""
+        fsm_config = self.config.fsm
+        if fsm_config.target != target:
+            fsm_config = replace(fsm_config, target=target)
+        fsm = VectorizationFSM(self.llm, kernel.name, kernel.source, fsm_config)
         fsm_result = fsm.run()
         pipeline_report = None
         if fsm_result.accepted and self.config.run_verification and fsm_result.final_code:
@@ -92,19 +103,23 @@ class LLMVectorizer:
         cannot be reconstructed inside worker processes, so it runs the
         serial in-process path (shared client, no caching) instead.
         """
-        from dataclasses import replace
-
         from repro.pipeline.campaign import CampaignConfig, CampaignReport, CampaignRunner
 
         if not isinstance(self.llm, SyntheticLLM):
-            return self._vectorize_suite_serial(names)
+            # Same precedence as the campaign path: an explicitly-set tool
+            # target wins, otherwise the campaign config's target applies.
+            target = self.config.target
+            if target is None and campaign is not None:
+                target = getattr(campaign, "config", campaign).target
+            return self._vectorize_suite_serial(names, target or "avx2")
         # The live client's config wins over self.config.llm (they differ when
         # an already-configured SyntheticLLM instance was injected).
         config = replace(self.config, llm=self.llm.config)
         runner = CampaignRunner(campaign or CampaignConfig())
         return runner.run(names, vectorizer_config=config)
 
-    def _vectorize_suite_serial(self, names: list[str] | None) -> "CampaignReport":
+    def _vectorize_suite_serial(self, names: list[str] | None,
+                                target: str = "avx2") -> "CampaignReport":
         """Serial fallback for LLM clients that cannot be shipped to workers."""
         import time
 
@@ -120,12 +135,13 @@ class LLMVectorizer:
         started = time.perf_counter()
         records = []
         for kernel in load_suite(names):
-            result = kernel_result_record(self.vectorize(kernel))
+            result = kernel_result_record(self._vectorize_for(kernel, target))
             records.append(CampaignRecord(kernel=kernel.name, key="", result=result))
         summary = CampaignSummary(
             label="vectorize", kernels=len(records), executed=len(records),
             cache_hits=0, cache_misses=0, resumed=0,
             wall_clock_seconds=time.perf_counter() - started, workers=1,
             verdict_counts=count_verdicts(records),
+            target=target,
         )
         return CampaignReport(label="vectorize", records=records, summary=summary)

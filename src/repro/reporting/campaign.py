@@ -15,6 +15,7 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
     """Render one campaign summary as an aligned key/value table."""
     rows = [
         {"Metric": "Campaign", "Value": summary.label},
+        {"Metric": "Target", "Value": summary.target},
         {"Metric": "Kernels", "Value": summary.kernels},
         {"Metric": "Executed (fresh)", "Value": summary.executed},
         {"Metric": "Resumed from store", "Value": summary.resumed},
@@ -44,3 +45,31 @@ def render_campaign_report(report: CampaignReport, title: str = "") -> str:
         })
     per_kernel = render_table(rows, title=title or f"Campaign results ({report.label})")
     return per_kernel + "\n" + render_campaign_summary(report.summary)
+
+
+def render_multi_target_summary(reports: "dict[str, CampaignReport]",
+                                title: str = "") -> str:
+    """One row per target ISA: verdict counts and campaign accounting side by side.
+
+    ``reports`` is the mapping returned by
+    :meth:`~repro.pipeline.campaign.CampaignRunner.run_multi_target`.
+    """
+    verdicts: list[str] = []
+    for report in reports.values():
+        for verdict in report.summary.verdict_counts:
+            if verdict not in verdicts:
+                verdicts.append(verdict)
+    rows = []
+    for target, report in reports.items():
+        summary = report.summary
+        row: dict[str, object] = {
+            "Target": target,
+            "Kernels": summary.kernels,
+            "Executed": summary.executed,
+            "Hit-rate": f"{summary.cache_hit_rate:.1%}",
+            "Wall clock": f"{summary.wall_clock_seconds:.2f}s",
+        }
+        for verdict in sorted(verdicts):
+            row[verdict] = summary.verdict_counts.get(verdict, 0)
+        rows.append(row)
+    return render_table(rows, title=title or "Per-target campaign summaries")

@@ -1,0 +1,37 @@
+"""Pluggable vector-target layer: ISA descriptions consumed by every stage.
+
+``repro.targets`` is the single source of truth for what a vector backend
+*is*: lane count, type and intrinsic naming, per-operation availability and
+cycle costs.  The planner, code generator, interpreter, symbolic executor,
+performance model and campaign engine all parameterize on a
+:class:`TargetISA`; the AVX2 instance reproduces the paper's setup exactly
+and remains the default everywhere.
+"""
+
+from repro.targets.isa import (
+    ALL_TARGETS,
+    AVX2,
+    AVX512,
+    DEFAULT_TARGET,
+    SSE4,
+    TargetISA,
+    UnsupportedTargetOperation,
+    all_targets,
+    detect_target,
+    get_target,
+    target_names,
+)
+
+__all__ = [
+    "ALL_TARGETS",
+    "AVX2",
+    "AVX512",
+    "DEFAULT_TARGET",
+    "SSE4",
+    "TargetISA",
+    "UnsupportedTargetOperation",
+    "all_targets",
+    "detect_target",
+    "get_target",
+    "target_names",
+]

@@ -1,0 +1,274 @@
+"""Target ISA descriptions: the data that defines a vector backend.
+
+A :class:`TargetISA` bundles everything the pipeline needs to know about one
+SIMD instruction set: how many 32-bit lanes a register holds, what the
+vector type and the intrinsics are called, which generic operations the ISA
+can express, and how its instructions are priced by the cycle simulator.
+Three concrete instances ship here:
+
+* ``SSE4``  — 4 lanes / 128-bit registers, ``_mm_*`` intrinsics;
+* ``AVX2``  — 8 lanes / 256-bit registers, ``_mm256_*`` intrinsics (the
+  paper's target; every default in the pipeline resolves to it);
+* ``AVX512`` — 16 lanes / 512-bit registers, ``_mm512_*`` intrinsics with
+  native masked loads/stores/blends.
+
+Everything downstream — the intrinsic registries, the planner's legality
+window, code generation, the interpreter and symbolic executor, the cost
+model and the campaign engine — consumes these descriptions, so adding a
+further backend is a data-only change in this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cfront.ctypes import CType
+
+
+class UnsupportedTargetOperation(KeyError):
+    """A generic vector operation the active target cannot express."""
+
+    def __init__(self, target: "TargetISA", op: str):
+        super().__init__(f"{target.display_name} has no intrinsic for {op!r}")
+        self.target = target
+        self.op = op
+
+
+def _x86_op_names(prefix: str, si: str, **overrides: str) -> dict[str, str]:
+    """The regular x86 naming scheme: ``{prefix}_{op}`` / ``{prefix}_{op}_{si}``.
+
+    ``overrides`` replaces individual entries (e.g. AVX-512's native masked
+    forms); mapping an op to an empty string removes it, which is how a
+    target declares an operation unavailable.
+    """
+    names = {
+        # per-lane arithmetic / comparison (suffix epi32)
+        "add_epi32": f"{prefix}_add_epi32",
+        "sub_epi32": f"{prefix}_sub_epi32",
+        "mullo_epi32": f"{prefix}_mullo_epi32",
+        "cmpgt_epi32": f"{prefix}_cmpgt_epi32",
+        "cmpeq_epi32": f"{prefix}_cmpeq_epi32",
+        "max_epi32": f"{prefix}_max_epi32",
+        "min_epi32": f"{prefix}_min_epi32",
+        "abs_epi32": f"{prefix}_abs_epi32",
+        # full-register bitwise (suffix si128/si256/si512)
+        "and": f"{prefix}_and_{si}",
+        "or": f"{prefix}_or_{si}",
+        "xor": f"{prefix}_xor_{si}",
+        "andnot": f"{prefix}_andnot_{si}",
+        # blends and shifts
+        "blendv": f"{prefix}_blendv_epi8",
+        "srli_epi32": f"{prefix}_srli_epi32",
+        "slli_epi32": f"{prefix}_slli_epi32",
+        "srai_epi32": f"{prefix}_srai_epi32",
+        # lane rearrangement
+        "shuffle_epi32": f"{prefix}_shuffle_epi32",
+        "hadd_epi32": f"{prefix}_hadd_epi32",
+        "permute2x128": f"{prefix}_permute2x128_{si}",
+        # memory
+        "loadu": f"{prefix}_loadu_{si}",
+        "storeu": f"{prefix}_storeu_{si}",
+        "maskload": f"{prefix}_maskload_epi32",
+        "maskstore": f"{prefix}_maskstore_epi32",
+        # vector construction / extraction
+        "set1": f"{prefix}_set1_epi32",
+        "setzero": f"{prefix}_setzero_{si}",
+        "setr": f"{prefix}_setr_epi32",
+        "set": f"{prefix}_set_epi32",
+        "extract": f"{prefix}_extract_epi32",
+    }
+    for op, name in overrides.items():
+        if name:
+            names[op] = name
+        else:
+            names.pop(op, None)
+    return names
+
+
+@dataclass(frozen=True)
+class TargetISA:
+    """One vector backend, described entirely as data."""
+
+    #: Canonical lowercase identifier used in configs, caches and env knobs.
+    name: str
+    #: Human-facing spelling used in prompts and rejection messages.
+    display_name: str
+    #: Number of 32-bit lanes per vector register.
+    lanes: int
+    #: The C vector type the backend's candidates declare (``__m256i`` ...).
+    vector_type: str
+    #: Intrinsic name prefix (``_mm``, ``_mm256``, ``_mm512``).
+    prefix: str
+    #: Generic operation -> concrete intrinsic name.  An op absent from this
+    #: mapping is unavailable on the target.
+    op_names: Mapping[str, str] = field(default_factory=dict)
+    #: Cost-model category overrides (``vec_load`` ...) relative to the AVX2
+    #: base table in :mod:`repro.perf.costmodel`.
+    vector_cost_overrides: Mapping[str, float] = field(default_factory=dict)
+    #: Per-op cycle-cost overrides for the intrinsic registry specs.
+    intrinsic_cost_overrides: Mapping[str, float] = field(default_factory=dict)
+    #: True when masked loads/stores/blends are first-class instructions
+    #: (AVX-512) rather than AVX-style emulations.
+    has_native_masked_ops: bool = False
+    #: Bits per lane; the whole pipeline models 32-bit integer TSVC loops.
+    lane_bits: int = 32
+
+    # -- capability queries -------------------------------------------------
+
+    @property
+    def register_bits(self) -> int:
+        return self.lanes * self.lane_bits
+
+    def supports(self, op: str) -> bool:
+        """Whether the generic operation ``op`` exists on this target."""
+        return op in self.op_names
+
+    def intrinsic(self, op: str) -> str:
+        """Concrete intrinsic name for a generic op (raises if unavailable)."""
+        try:
+            return self.op_names[op]
+        except KeyError:
+            raise UnsupportedTargetOperation(self, op) from None
+
+    # -- C-type plumbing ----------------------------------------------------
+
+    @property
+    def vector_ctype(self) -> CType:
+        return CType(self.vector_type)
+
+    @property
+    def vector_pointer_ctype(self) -> CType:
+        return CType(self.vector_type, 1)
+
+
+#: 4 x 32-bit lanes.  ``_mm_maskload_epi32`` is technically an AVX (VEX)
+#: encoding of a 128-bit operation; it is included so masked-epilogue
+#: candidates stay expressible at every width.
+SSE4 = TargetISA(
+    name="sse4",
+    display_name="SSE4",
+    lanes=4,
+    vector_type="__m128i",
+    prefix="_mm",
+    op_names=_x86_op_names("_mm", "si128", permute2x128=""),
+    vector_cost_overrides={
+        # 128-bit memory ops move half the data of the AVX2 base figures.
+        "vec_load": 4.0,
+        "vec_store": 4.0,
+        "vec_maskload": 6.0,
+        "vec_maskstore": 6.0,
+        "vec_setr": 1.5,
+        "vec_set": 1.5,
+        "vec_extract": 2.0,
+    },
+    intrinsic_cost_overrides={"loadu": 2.0, "storeu": 2.0, "extract": 1.0},
+)
+
+#: 8 x 32-bit lanes — the paper's target; the behavioural baseline every
+#: other backend is measured against.  No overrides: the AVX2 tables *are*
+#: the base tables.
+AVX2 = TargetISA(
+    name="avx2",
+    display_name="AVX2",
+    lanes=8,
+    vector_type="__m256i",
+    prefix="_mm256",
+    op_names=_x86_op_names("_mm256", "si256"),
+)
+
+#: 16 x 32-bit lanes with native masked memory ops and blends.  Horizontal
+#: adds and 2x128 permutes do not exist at 512 bits; reductions fall back to
+#: per-lane extracts.
+#:
+#: Fidelity note: this backend keeps the pipeline's uniform call shapes, so
+#: a few spellings are model-level pseudo-intrinsics rather than verbatim
+#: immintrin.h: real AVX-512 comparisons return ``__mmask16``
+#: (``_mm512_cmpgt_epi32_mask``), the masked forms take the mask operand
+#: first, and there is no ``_mm512_extract_epi32``.  The semantics modelled
+#: (full-lane 0/-1 masks, blend/maskload argument order shared with the
+#: other targets) are what the interpreter, symbolic executor and verifier
+#: implement; emitting compilable AVX-512 C would need a thin renaming pass
+#: on top of this table.
+AVX512 = TargetISA(
+    name="avx512",
+    display_name="AVX-512",
+    lanes=16,
+    vector_type="__m512i",
+    prefix="_mm512",
+    op_names=_x86_op_names(
+        "_mm512", "si512",
+        blendv="_mm512_mask_blend_epi32",
+        maskload="_mm512_mask_loadu_epi32",
+        maskstore="_mm512_mask_storeu_epi32",
+        hadd_epi32="",
+        permute2x128="",
+    ),
+    vector_cost_overrides={
+        # 512-bit ops: wider data per instruction, slightly worse latency
+        # (port 5 pressure / licence-level downclock on Skylake-X-class cores).
+        "vec_load": 8.0,
+        "vec_store": 8.0,
+        "vec_maskload": 9.0,
+        "vec_maskstore": 9.0,
+        "vec_pure_binary": 2.0,
+        "vec_pure_vector": 2.5,
+        "vec_setr": 3.0,
+        "vec_set": 3.0,
+        "vec_extract": 4.0,
+    },
+    intrinsic_cost_overrides={"loadu": 4.0, "storeu": 4.0, "extract": 3.0,
+                              "mullo_epi32": 2.5, "blendv": 1.0},
+    has_native_masked_ops=True,
+)
+
+#: Registration order doubles as the canonical narrow-to-wide ordering.
+ALL_TARGETS: tuple[TargetISA, ...] = (SSE4, AVX2, AVX512)
+
+DEFAULT_TARGET: TargetISA = AVX2
+
+_ALIASES = {
+    "sse": "sse4", "sse4": "sse4", "sse4.1": "sse4", "sse41": "sse4",
+    "avx2": "avx2", "avx": "avx2",
+    "avx512": "avx512", "avx-512": "avx512", "avx512f": "avx512",
+}
+
+_BY_NAME = {target.name: target for target in ALL_TARGETS}
+
+
+def target_names() -> list[str]:
+    """Canonical names of all registered targets, narrow to wide."""
+    return [target.name for target in ALL_TARGETS]
+
+
+def all_targets() -> tuple[TargetISA, ...]:
+    return ALL_TARGETS
+
+
+def get_target(target: "TargetISA | str | None") -> TargetISA:
+    """Resolve a target spec (instance, name/alias, or None -> default)."""
+    if target is None:
+        return DEFAULT_TARGET
+    if isinstance(target, TargetISA):
+        return target
+    canonical = _ALIASES.get(str(target).strip().lower())
+    if canonical is None:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ValueError(f"unknown target ISA {target!r} (known: {known})")
+    return _BY_NAME[canonical]
+
+
+def detect_target(source: str, default: "TargetISA | str | None" = None) -> TargetISA:
+    """Infer the target ISA of candidate C source from its intrinsic prefixes.
+
+    Widest match wins (``_mm512_`` before ``_mm256_`` before ``_mm_``, which
+    is also a prefix of the other two); source with no intrinsics at all
+    resolves to ``default`` (the AVX2 default when not given).
+    """
+    if "_mm512_" in source:
+        return AVX512
+    if "_mm256_" in source:
+        return AVX2
+    if "_mm_" in source:
+        return SSE4
+    return get_target(default)

@@ -1,17 +1,19 @@
-"""AVX2 code generation from a vectorization plan.
+"""SIMD code generation from a vectorization plan, for any target ISA.
 
 The generator rewrites the innermost loop of a kernel into
 
-* a *vector loop* processing eight iterations per trip with ``_mm256_*``
-  intrinsics (loads hoisted above stores, if-conversion through
-  ``cmpgt``/``blendv`` masks, vector accumulators for reductions, ``setr``
-  vectors for induction variables), followed by
+* a *vector loop* processing one lane-count block of iterations per trip
+  with the target's intrinsics (``_mm_*`` / ``_mm256_*`` / ``_mm512_*``:
+  loads hoisted above stores, if-conversion through ``cmpgt``/blend masks,
+  vector accumulators for reductions, ``setr`` vectors for induction
+  variables), followed by
 * reduction finalization (horizontal combine back into the scalar), and
-* a scalar *epilogue loop* that finishes the remaining ``n mod 8`` iterations
-  with the original loop body,
+* a scalar *epilogue loop* that finishes the remaining ``n mod lanes``
+  iterations with the original loop body,
 
 which is exactly the shape of the GPT-4 generated code in the paper's
-Figures 1 and Section 4.4.  Anything the generator cannot express raises
+Figures 1 and Section 4.4 (there for AVX2, the default target here).
+Anything the generator cannot express raises
 :class:`InfeasibleVectorization`; callers treat that like a planner
 rejection.
 """
@@ -23,18 +25,19 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cfront import ast_nodes as ast
-from repro.cfront.ctypes import INT, M256I, PTR_M256I
+from repro.cfront.ctypes import INT
 from repro.cfront.printer import expr_to_c, function_to_c
+from repro.targets import TargetISA, get_target
 from repro.vectorizer.planner import (
     ReductionInfo,
     VectorizationPlan,
-    VECTOR_WIDTH,
+    VECTOR_WIDTH,  # noqa: F401  (re-exported for backwards compatibility)
     plan_vectorization,
 )
 
 
 class InfeasibleVectorization(Exception):
-    """Raised when code generation cannot express the kernel with AVX2."""
+    """Raised when code generation cannot express the kernel on the target."""
 
 
 @dataclass
@@ -45,6 +48,10 @@ class VectorizationResult:
     source: str
     strategy: str
     plan: VectorizationPlan
+
+    @property
+    def target(self) -> TargetISA:
+        return self.plan.target
 
 
 # ---------------------------------------------------------------------------
@@ -77,15 +84,6 @@ def _index_expr(base: str, offset: int) -> ast.Expr:
     return ast.BinOp(op=op, left=_ident(base), right=ast.IntLiteral(value=abs(offset)))
 
 
-def _vector_pointer(array: str, index: ast.Expr) -> ast.Expr:
-    address = ast.UnaryOp(op="&", operand=ast.ArrayRef(base=_ident(array), index=index))
-    return ast.Cast(target_type=PTR_M256I, operand=address)
-
-
-def _vec_decl(name: str, init: ast.Expr) -> ast.Decl:
-    return ast.Decl(var_type=M256I, name=name, init=init)
-
-
 # ---------------------------------------------------------------------------
 # the body builder
 # ---------------------------------------------------------------------------
@@ -103,6 +101,8 @@ class _VectorBodyBuilder:
 
     def __init__(self, plan: VectorizationPlan, iterator: str, existing_names: set[str]):
         self.plan = plan
+        self.target = plan.target
+        self.lanes = plan.target.lanes
         self.iterator = iterator
         self.existing_names = existing_names
         self.counter = 0
@@ -115,6 +115,29 @@ class _VectorBodyBuilder:
         self.accumulators: dict[str, str] = {}
         self.reduction_ops: dict[str, str] = {r.name: r.operation for r in plan.reductions}
         self.local_temporaries = set(plan.local_temporaries)
+
+    # -- target plumbing ------------------------------------------------------
+
+    def _op(self, op: str) -> str:
+        """Concrete intrinsic name of a generic op on the active target."""
+        if not self.target.supports(op):
+            raise InfeasibleVectorization(
+                f"operation {op!r} has no {self.target.display_name} equivalent"
+            )
+        return self.target.intrinsic(op)
+
+    def _binop_intrinsic(self, op: str) -> Optional[str]:
+        table = {"+": "add_epi32", "-": "sub_epi32", "*": "mullo_epi32",
+                 "&": "and", "|": "or", "^": "xor"}
+        generic = table.get(op)
+        return self._op(generic) if generic is not None else None
+
+    def _vector_pointer(self, array: str, index: ast.Expr) -> ast.Expr:
+        address = ast.UnaryOp(op="&", operand=ast.ArrayRef(base=_ident(array), index=index))
+        return ast.Cast(target_type=self.target.vector_pointer_ctype, operand=address)
+
+    def _vec_decl(self, name: str, init: ast.Expr) -> ast.Decl:
+        return ast.Decl(var_type=self.target.vector_ctype, name=name, init=init)
 
     # -- naming ---------------------------------------------------------------
 
@@ -134,23 +157,23 @@ class _VectorBodyBuilder:
 
     def _emit_value(self, hint: str, init: ast.Expr) -> str:
         name = self._fresh(hint)
-        self._emit(_vec_decl(name, init))
+        self._emit(self._vec_decl(name, init))
         return name
 
     def _constant_vector(self, value: int) -> str:
         key = ("const", value)
         if key not in self.registers:
-            self.registers[key] = self._emit_value(f"c{value}", _call("_mm256_set1_epi32", _lit(value)))
+            self.registers[key] = self._emit_value(f"c{value}", _call(self._op("set1"), _lit(value)))
         return self.registers[key]
 
     def _zero_vector(self) -> str:
         key = ("zero",)
         if key not in self.registers:
-            self.registers[key] = self._emit_value("zero", _call("_mm256_setzero_si256"))
+            self.registers[key] = self._emit_value("zero", _call(self._op("setzero")))
         return self.registers[key]
 
     def _splat_expr(self, expr: ast.Expr, hint: str) -> str:
-        return self._emit_value(hint, _call("_mm256_set1_epi32", expr))
+        return self._emit_value(hint, _call(self._op("set1"), expr))
 
     def _read_location(self, array: str, offset: int) -> str:
         current = self.registers.get(("cur", array, offset))
@@ -159,20 +182,20 @@ class _VectorBodyBuilder:
         key = ("load", array, offset)
         if key not in self.registers:
             name = self._fresh(f"{array}_{offset}")
-            load = _call("_mm256_loadu_si256", _vector_pointer(array, _index_expr(self.iterator, offset)))
-            self.preload_stmts.append(_vec_decl(name, load))
+            load = _call(self._op("loadu"), self._vector_pointer(array, _index_expr(self.iterator, offset)))
+            self.preload_stmts.append(self._vec_decl(name, load))
             self.registers[key] = name
         return self.registers[key]
 
     def _iterator_vector(self) -> str:
         key = ("itervec",)
         if key not in self.registers:
-            ramp = _call("_mm256_setr_epi32", *[_lit(k) for k in range(VECTOR_WIDTH)])
-            base = _call("_mm256_set1_epi32", _ident(self.iterator))
+            ramp = _call(self._op("setr"), *[_lit(k) for k in range(self.lanes)])
+            base = _call(self._op("set1"), _ident(self.iterator))
             ramp_reg = self._emit_value("ramp", ramp)
             base_reg = self._emit_value("ibase", base)
             self.registers[key] = self._emit_value(
-                "ivec", _call("_mm256_add_epi32", _ident(base_reg), _ident(ramp_reg))
+                "ivec", _call(self._op("add_epi32"), _ident(base_reg), _ident(ramp_reg))
             )
         return self.registers[key]
 
@@ -182,11 +205,11 @@ class _VectorBodyBuilder:
         updates_seen = self.induction_updates_seen[name]
         key = ("ind", name, updates_seen)
         if key not in self.registers:
-            lanes = [_lit(info.step * (lane + updates_seen)) for lane in range(VECTOR_WIDTH)]
-            ramp_reg = self._emit_value(f"{name}_ramp", _call("_mm256_setr_epi32", *lanes))
-            base_reg = self._emit_value(f"{name}_base", _call("_mm256_set1_epi32", _ident(name)))
+            lanes = [_lit(info.step * (lane + updates_seen)) for lane in range(self.lanes)]
+            ramp_reg = self._emit_value(f"{name}_ramp", _call(self._op("setr"), *lanes))
+            base_reg = self._emit_value(f"{name}_base", _call(self._op("set1"), _ident(name)))
             self.registers[key] = self._emit_value(
-                f"{name}_vec", _call("_mm256_add_epi32", _ident(base_reg), _ident(ramp_reg))
+                f"{name}_vec", _call(self._op("add_epi32"), _ident(base_reg), _ident(ramp_reg))
             )
         return self.registers[key]
 
@@ -204,12 +227,12 @@ class _VectorBodyBuilder:
         return self.registers[key]
 
     def _invert(self, mask: str) -> str:
-        return self._emit_value("nmask", _call("_mm256_xor_si256", _ident(mask), _ident(self._all_ones())))
+        return self._emit_value("nmask", _call(self._op("xor"), _ident(mask), _ident(self._all_ones())))
 
     def _and_masks(self, left: Optional[str], right: str) -> str:
         if left is None:
             return right
-        return self._emit_value("mask", _call("_mm256_and_si256", _ident(left), _ident(right)))
+        return self._emit_value("mask", _call(self._op("and"), _ident(left), _ident(right)))
 
     def _condition_mask(self, cond: ast.Expr) -> str:
         """Return a register holding an all-ones-per-lane mask where ``cond`` is true."""
@@ -217,23 +240,23 @@ class _VectorBodyBuilder:
             left = self._vectorize_value(cond.left)
             right = self._vectorize_value(cond.right)
             if cond.op == ">":
-                return self._emit_value("gt", _call("_mm256_cmpgt_epi32", _ident(left), _ident(right)))
+                return self._emit_value("gt", _call(self._op("cmpgt_epi32"), _ident(left), _ident(right)))
             if cond.op == "<":
-                return self._emit_value("lt", _call("_mm256_cmpgt_epi32", _ident(right), _ident(left)))
+                return self._emit_value("lt", _call(self._op("cmpgt_epi32"), _ident(right), _ident(left)))
             if cond.op == "==":
-                return self._emit_value("eq", _call("_mm256_cmpeq_epi32", _ident(left), _ident(right)))
+                return self._emit_value("eq", _call(self._op("cmpeq_epi32"), _ident(left), _ident(right)))
             if cond.op == "!=":
-                eq = self._emit_value("eq", _call("_mm256_cmpeq_epi32", _ident(left), _ident(right)))
+                eq = self._emit_value("eq", _call(self._op("cmpeq_epi32"), _ident(left), _ident(right)))
                 return self._invert(eq)
             if cond.op == ">=":
-                lt = self._emit_value("lt", _call("_mm256_cmpgt_epi32", _ident(right), _ident(left)))
+                lt = self._emit_value("lt", _call(self._op("cmpgt_epi32"), _ident(right), _ident(left)))
                 return self._invert(lt)
             # cond.op == "<="
-            gt = self._emit_value("gt", _call("_mm256_cmpgt_epi32", _ident(left), _ident(right)))
+            gt = self._emit_value("gt", _call(self._op("cmpgt_epi32"), _ident(left), _ident(right)))
             return self._invert(gt)
         # Bare value used as a condition: true when != 0.
         value = self._vectorize_value(cond)
-        eq = self._emit_value("eqz", _call("_mm256_cmpeq_epi32", _ident(value), _ident(self._zero_vector())))
+        eq = self._emit_value("eqz", _call(self._op("cmpeq_epi32"), _ident(value), _ident(self._zero_vector())))
         return self._invert(eq)
 
     # -- value vectorization ---------------------------------------------------------------
@@ -269,28 +292,30 @@ class _VectorBodyBuilder:
         if isinstance(expr, ast.UnaryOp):
             if expr.op == "-":
                 operand = self._vectorize_value(expr.operand)
-                return self._emit_value("neg", _call("_mm256_sub_epi32", _ident(self._zero_vector()), _ident(operand)))
+                return self._emit_value("neg", _call(self._op("sub_epi32"), _ident(self._zero_vector()), _ident(operand)))
             if expr.op == "+":
                 return self._vectorize_value(expr.operand)
             if expr.op == "~":
                 operand = self._vectorize_value(expr.operand)
                 return self._invert(operand)
-            raise InfeasibleVectorization(f"unary operator {expr.op!r} has no AVX2 equivalent")
+            raise InfeasibleVectorization(
+                f"unary operator {expr.op!r} has no {self.target.display_name} equivalent"
+            )
         if isinstance(expr, ast.TernaryOp):
             mask = self._condition_mask(expr.cond)
             then_reg = self._vectorize_value(expr.then)
             else_reg = self._vectorize_value(expr.otherwise)
             return self._emit_value(
-                "sel", _call("_mm256_blendv_epi8", _ident(else_reg), _ident(then_reg), _ident(mask))
+                "sel", _call(self._op("blendv"), _ident(else_reg), _ident(then_reg), _ident(mask))
             )
         if isinstance(expr, ast.Call):
             if expr.func == "abs":
                 operand = self._vectorize_value(expr.args[0])
-                return self._emit_value("abs", _call("_mm256_abs_epi32", _ident(operand)))
+                return self._emit_value("abs", _call(self._op("abs_epi32"), _ident(operand)))
             if expr.func in ("max", "min"):
                 left = self._vectorize_value(expr.args[0])
                 right = self._vectorize_value(expr.args[1])
-                intrinsic = "_mm256_max_epi32" if expr.func == "max" else "_mm256_min_epi32"
+                intrinsic = self._op("max_epi32") if expr.func == "max" else self._op("min_epi32")
                 return self._emit_value(expr.func, _call(intrinsic, _ident(left), _ident(right)))
             raise InfeasibleVectorization(f"call to {expr.func!r} cannot be vectorized")
         raise InfeasibleVectorization(f"expression {type(expr).__name__} cannot be vectorized")
@@ -311,24 +336,25 @@ class _VectorBodyBuilder:
             updates_seen = self.induction_updates_seen[name]
             total = const + info.step * updates_seen
             index = _index_expr(name, total)
-            load = _call("_mm256_loadu_si256", _vector_pointer(array, index))
+            load = _call(self._op("loadu"), self._vector_pointer(array, index))
             return self._emit_value(f"{array}_{name}", load)
         if self._is_loop_invariant(expr.index):
             return self._splat_expr(copy.deepcopy(expr), f"{array}_inv")
         raise InfeasibleVectorization("array subscript is neither affine nor loop-invariant")
 
     def _vectorize_binop(self, expr: ast.BinOp) -> str:
-        table = {"+": "_mm256_add_epi32", "-": "_mm256_sub_epi32", "*": "_mm256_mullo_epi32",
-                 "&": "_mm256_and_si256", "|": "_mm256_or_si256", "^": "_mm256_xor_si256"}
-        if expr.op in table:
+        intrinsic = self._binop_intrinsic(expr.op)
+        if intrinsic is not None:
             left = self._vectorize_value(expr.left)
             right = self._vectorize_value(expr.right)
-            return self._emit_value("t", _call(table[expr.op], _ident(left), _ident(right)))
+            return self._emit_value("t", _call(intrinsic, _ident(left), _ident(right)))
         if expr.op in ("<", ">", "<=", ">=", "==", "!="):
             mask = self._condition_mask(expr)
             one = self._constant_vector(1)
-            return self._emit_value("bool", _call("_mm256_and_si256", _ident(mask), _ident(one)))
-        raise InfeasibleVectorization(f"binary operator {expr.op!r} has no AVX2 integer equivalent")
+            return self._emit_value("bool", _call(self._op("and"), _ident(mask), _ident(one)))
+        raise InfeasibleVectorization(
+            f"binary operator {expr.op!r} has no {self.target.display_name} integer equivalent"
+        )
 
     # -- affine helpers ------------------------------------------------------------------------
 
@@ -376,23 +402,23 @@ class _VectorBodyBuilder:
     def _init_accumulators(self) -> None:
         for reduction in self.plan.reductions:
             if reduction.operation == "+":
-                init: ast.Expr = _call("_mm256_setzero_si256")
+                init: ast.Expr = _call(self._op("setzero"))
             elif reduction.operation == "*":
-                init = _call("_mm256_set1_epi32", _lit(1))
+                init = _call(self._op("set1"), _lit(1))
             else:  # max / min start from the current scalar value
-                init = _call("_mm256_set1_epi32", _ident(reduction.name))
+                init = _call(self._op("set1"), _ident(reduction.name))
             name = self._fresh(f"acc_{reduction.name}")
             # Accumulators are declared in the preheader, before the vector loop.
             self.accumulators[reduction.name] = name
             self.accumulator_decls = getattr(self, "accumulator_decls", [])
-            self.accumulator_decls.append(_vec_decl(name, init))
+            self.accumulator_decls.append(self._vec_decl(name, init))
 
     def _emit_induction_advances(self) -> None:
         for name, info in self.inductions.items():
             advance = ast.Assign(
-                op="+=" if info.step * VECTOR_WIDTH >= 0 else "-=",
+                op="+=" if info.step * self.lanes >= 0 else "-=",
                 target=_ident(name),
-                value=ast.IntLiteral(value=abs(info.step * VECTOR_WIDTH)),
+                value=ast.IntLiteral(value=abs(info.step * self.lanes)),
             )
             self._emit(ast.ExprStmt(expr=advance))
 
@@ -461,7 +487,7 @@ class _VectorBodyBuilder:
         self.reductions[scalar] = ReductionInfo(name=scalar, operation=operation, initial_scalar=scalar)
         value_reg = self._vectorize_value(assign.value)
         acc = self._accumulator(scalar)
-        intrinsic = "_mm256_max_epi32" if operation == "max" else "_mm256_min_epi32"
+        intrinsic = self._op("max_epi32") if operation == "max" else self._op("min_epi32")
         self._emit(ast.ExprStmt(expr=ast.Assign(
             op="=", target=_ident(acc), value=_call(intrinsic, _ident(acc), _ident(value_reg))
         )))
@@ -507,7 +533,7 @@ class _VectorBodyBuilder:
             if mask is not None:
                 old = self.registers.get(("temp", name), self._zero_vector())
                 value = self._emit_value(
-                    "sel", _call("_mm256_blendv_epi8", _ident(old), _ident(value), _ident(mask))
+                    "sel", _call(self._op("blendv"), _ident(old), _ident(value), _ident(mask))
                 )
             self.registers[("temp", name)] = value
             return
@@ -528,9 +554,9 @@ class _VectorBodyBuilder:
         if mask is not None:
             neutral = self._zero_vector() if operation == "+" else self._constant_vector(1)
             value = self._emit_value(
-                "sel", _call("_mm256_blendv_epi8", _ident(neutral), _ident(value), _ident(mask))
+                "sel", _call(self._op("blendv"), _ident(neutral), _ident(value), _ident(mask))
             )
-        intrinsic = "_mm256_add_epi32" if operation == "+" else "_mm256_mullo_epi32"
+        intrinsic = self._op("add_epi32") if operation == "+" else self._op("mullo_epi32")
         self._emit(ast.ExprStmt(expr=ast.Assign(
             op="=", target=_ident(acc), value=_call(intrinsic, _ident(acc), _ident(value))
         )))
@@ -549,15 +575,16 @@ class _VectorBodyBuilder:
         if expr.op == "=":
             return self._vectorize_value(expr.value)
         base_op = expr.op[:-1]
-        table = {"+": "_mm256_add_epi32", "-": "_mm256_sub_epi32", "*": "_mm256_mullo_epi32",
-                 "&": "_mm256_and_si256", "|": "_mm256_or_si256", "^": "_mm256_xor_si256"}
-        if base_op not in table:
-            raise InfeasibleVectorization(f"compound operator {expr.op!r} has no AVX2 equivalent")
+        intrinsic = self._binop_intrinsic(base_op)
+        if intrinsic is None:
+            raise InfeasibleVectorization(
+                f"compound operator {expr.op!r} has no {self.target.display_name} equivalent"
+            )
         current = self.registers.get(current_key)
         if current is None:
             raise InfeasibleVectorization("compound assignment to a value that was never loaded")
         value = self._vectorize_value(expr.value)
-        return self._emit_value("t", _call(table[base_op], _ident(current), _ident(value)))
+        return self._emit_value("t", _call(intrinsic, _ident(current), _ident(value)))
 
     def _emit_array_assign(self, target: ast.ArrayRef, expr: ast.Assign, mask: Optional[str]) -> None:
         array = target.base.name if isinstance(target.base, ast.Identifier) else None
@@ -573,7 +600,7 @@ class _VectorBodyBuilder:
         if offset is not None:
             current_key = ("cur", array, offset)
             read_current = lambda: self._read_location(array, offset)  # noqa: E731
-            address = _vector_pointer(array, _index_expr(self.iterator, offset))
+            address = self._vector_pointer(array, _index_expr(self.iterator, offset))
         else:
             name, const = induction_target
             info = self.inductions[name]
@@ -582,34 +609,35 @@ class _VectorBodyBuilder:
             updates_seen = self.induction_updates_seen[name]
             total = const + info.step * updates_seen
             current_key = ("cur-ind", array, name, total)
-            address = _vector_pointer(array, _index_expr(name, total))
+            address = self._vector_pointer(array, _index_expr(name, total))
 
             def read_current() -> str:
-                load = _call("_mm256_loadu_si256", copy.deepcopy(address))
+                load = _call(self._op("loadu"), copy.deepcopy(address))
                 return self._emit_value(f"{array}_{name}_old", load)
 
         if expr.op == "=":
             value = self._vectorize_value(expr.value)
         else:
             base_op = expr.op[:-1]
-            table = {"+": "_mm256_add_epi32", "-": "_mm256_sub_epi32", "*": "_mm256_mullo_epi32",
-                     "&": "_mm256_and_si256", "|": "_mm256_or_si256", "^": "_mm256_xor_si256"}
-            if base_op not in table:
-                raise InfeasibleVectorization(f"compound operator {expr.op!r} has no AVX2 equivalent")
+            intrinsic = self._binop_intrinsic(base_op)
+            if intrinsic is None:
+                raise InfeasibleVectorization(
+                    f"compound operator {expr.op!r} has no {self.target.display_name} equivalent"
+                )
             current = self.registers.get(current_key)
             if current is None:
                 current = read_current()
             rhs = self._vectorize_value(expr.value)
-            value = self._emit_value("t", _call(table[base_op], _ident(current), _ident(rhs)))
+            value = self._emit_value("t", _call(intrinsic, _ident(current), _ident(rhs)))
 
         if mask is not None:
             old = self.registers.get(current_key)
             if old is None:
                 old = read_current()
             value = self._emit_value(
-                "sel", _call("_mm256_blendv_epi8", _ident(old), _ident(value), _ident(mask))
+                "sel", _call(self._op("blendv"), _ident(old), _ident(value), _ident(mask))
             )
-        self._emit(ast.ExprStmt(expr=_call("_mm256_storeu_si256", address, _ident(value))))
+        self._emit(ast.ExprStmt(expr=_call(self._op("storeu"), address, _ident(value))))
         self.registers[current_key] = value
 
 
@@ -621,11 +649,12 @@ class _VectorBodyBuilder:
 def _reduction_finalize(builder: _VectorBodyBuilder) -> list[ast.Stmt]:
     """Horizontal reduction of each accumulator back into its scalar."""
     statements: list[ast.Stmt] = []
+    extract = builder.target.intrinsic("extract")
     for name, acc in builder.accumulators.items():
         operation = builder.reduction_ops[name]
         extracts = [
-            _call("_mm256_extract_epi32", _ident(acc), ast.IntLiteral(value=lane))
-            for lane in range(VECTOR_WIDTH)
+            _call(extract, _ident(acc), ast.IntLiteral(value=lane))
+            for lane in range(builder.lanes)
         ]
         if operation == "+":
             combined: ast.Expr = _ident(name)
@@ -667,15 +696,16 @@ def _build_vector_loop_region(func: ast.FunctionDef, plan: VectorizationPlan) ->
     """Build the block that replaces the original main loop."""
     loop = plan.features.main_loop
     iterator = loop.iterator
+    lanes = plan.target.lanes
     builder = _VectorBodyBuilder(plan, iterator, _collect_identifier_names(func))
     builder.accumulator_decls = []
     builder.build(plan.normalized_body)
 
     vector_body = ast.Block(body=list(builder.preload_stmts) + list(builder.body_stmts))
 
-    end_minus = ast.BinOp(op="-", left=copy.deepcopy(loop.end), right=ast.IntLiteral(value=VECTOR_WIDTH - 1))
+    end_minus = ast.BinOp(op="-", left=copy.deepcopy(loop.end), right=ast.IntLiteral(value=lanes - 1))
     vector_cond = ast.BinOp(op=loop.end_op, left=_ident(iterator), right=end_minus)
-    vector_step = ast.Assign(op="+=", target=_ident(iterator), value=ast.IntLiteral(value=VECTOR_WIDTH))
+    vector_step = ast.Assign(op="+=", target=_ident(iterator), value=ast.IntLiteral(value=lanes))
     vector_loop = ast.ForLoop(init=None, cond=vector_cond, step=vector_step, body=vector_body)
 
     epilogue_cond = ast.BinOp(op=loop.end_op, left=_ident(iterator), right=copy.deepcopy(loop.end))
@@ -747,9 +777,11 @@ def _find_matching_loop(new_func: ast.FunctionDef, old_func: ast.FunctionDef,
     raise InfeasibleVectorization("could not locate the loop to replace")
 
 
-def vectorize_kernel(func: ast.FunctionDef) -> Optional[VectorizationResult]:
-    """Plan and generate AVX2 code for ``func``; returns None when infeasible."""
-    plan = plan_vectorization(func)
+def vectorize_kernel(func: ast.FunctionDef,
+                     target: "TargetISA | str | None" = None) -> Optional[VectorizationResult]:
+    """Plan and generate SIMD code for ``func`` on ``target`` (default AVX2);
+    returns None when infeasible."""
+    plan = plan_vectorization(func, get_target(target))
     if not plan.feasible:
         return None
     try:

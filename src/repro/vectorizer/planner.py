@@ -1,11 +1,18 @@
 """Vectorization planning: legality analysis and strategy selection.
 
 The planner decides whether (and how) the rule-based vectorizer can rewrite
-the innermost loop of a kernel with AVX2 intrinsics.  Its rejection reasons
-mirror the failure categories the paper reports for GPT-4 (Section 4.1.3):
-loop-carried dependences, packing/one-time dependences, prefix sums,
-non-unit strides, gathers/scatters, wrap-around scalars, and unsupported
-operations (integer division has no AVX2 counterpart).
+the innermost loop of a kernel with the intrinsics of a given target ISA
+(SSE4 / AVX2 / AVX-512; AVX2, the paper's setup, is the default).  Its
+rejection reasons mirror the failure categories the paper reports for GPT-4
+(Section 4.1.3): loop-carried dependences, packing/one-time dependences,
+prefix sums, non-unit strides, gathers/scatters, wrap-around scalars, and
+unsupported operations (integer division has no SIMD counterpart on any
+modelled target).
+
+Legality is target-dependent in two ways: the dependence-distance window
+scales with the target's lane count (a flow dependence of distance 5 blocks
+8-lane AVX2 but not 4-lane SSE4), and each operation is checked against the
+target's per-op availability table.
 """
 
 from __future__ import annotations
@@ -17,9 +24,12 @@ from typing import Optional
 from repro.analysis.accesses import affine_index
 from repro.analysis.features import KernelFeatures, analyze_kernel
 from repro.cfront import ast_nodes as ast
+from repro.targets import DEFAULT_TARGET, TargetISA, get_target
 from repro.vectorizer.normalize import normalize_body
 
-VECTOR_WIDTH = 8
+#: Lane count of the default (AVX2) target, kept for backwards compatibility;
+#: target-aware code should use ``plan.target.lanes`` instead.
+VECTOR_WIDTH = DEFAULT_TARGET.lanes
 
 
 class RejectionReason(enum.Enum):
@@ -38,7 +48,7 @@ class RejectionReason(enum.Enum):
     STRIDED_SUBSCRIPT = "array subscript has a non-unit coefficient"
     INVARIANT_WRITE = "write to a loop-invariant location inside the loop"
     INVARIANT_READ_OF_WRITTEN = "read of a fixed element of an array that the loop writes"
-    UNSUPPORTED_OPERATION = "operation has no AVX2 integer equivalent"
+    UNSUPPORTED_OPERATION = "operation has no {isa} integer equivalent"
     UNSUPPORTED_CONTROL_FLOW = "control flow too complex for if-conversion"
     EARLY_EXIT = "loop contains an early exit (break/return)"
     NESTED_LOOP_BODY = "inner loop body itself contains a loop"
@@ -85,38 +95,52 @@ class VectorizationPlan:
     has_conditionals: bool = False
     #: local int temporaries declared inside the body (scalar expansion targets)
     local_temporaries: list[str] = field(default_factory=list)
+    #: The ISA this plan was made for (lane count, intrinsic naming, op set).
+    target: TargetISA = DEFAULT_TARGET
 
     @property
     def rejection_text(self) -> str:
-        return self.reason.value if self.reason else ""
+        if self.reason is None:
+            return ""
+        return self.reason.value.format(isa=self.target.display_name)
 
 
-def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None) -> VectorizationPlan:
-    return VectorizationPlan(feasible=False, reason=reason, features=features)
+def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None,
+            target: TargetISA = DEFAULT_TARGET) -> VectorizationPlan:
+    return VectorizationPlan(feasible=False, reason=reason, features=features, target=target)
 
 
-def plan_vectorization(func: ast.FunctionDef) -> VectorizationPlan:
-    """Analyze ``func`` and return a vectorization plan or a rejection."""
+def plan_vectorization(func: ast.FunctionDef,
+                       target: TargetISA | str | None = None) -> VectorizationPlan:
+    """Analyze ``func`` and return a vectorization plan or a rejection.
+
+    ``target`` selects the ISA whose lane count and operation set legality is
+    judged against; the default is the paper's AVX2 setup.
+    """
+    isa = get_target(target)
     features = analyze_kernel(func)
     loop = features.main_loop
     if loop is None:
-        return _reject(RejectionReason.NO_LOOP, features)
+        return _reject(RejectionReason.NO_LOOP, features, isa)
     if not loop.is_canonical:
-        return _reject(RejectionReason.NON_CANONICAL_LOOP, features)
+        return _reject(RejectionReason.NON_CANONICAL_LOOP, features, isa)
     if loop.step != 1 or loop.end_op not in ("<", "<="):
-        return _reject(RejectionReason.NON_UNIT_STEP, features)
+        return _reject(RejectionReason.NON_UNIT_STEP, features, isa)
 
     body = normalize_body(loop.body)
-    checker = _BodyChecker(loop.iterator, func)
+    checker = _BodyChecker(loop.iterator, func, isa)
     return checker.check(body, features)
 
 
 class _BodyChecker:
     """Walks the (normalized) loop body and validates it statement by statement."""
 
-    def __init__(self, iterator: str, func: ast.FunctionDef):
+    def __init__(self, iterator: str, func: ast.FunctionDef,
+                 target: TargetISA = DEFAULT_TARGET):
         self.iterator = iterator
         self.func = func
+        self.target = target
+        self.width = target.lanes
         self.outer_scalars = self._collect_outer_scalars(func)
         self.local_temporaries: list[str] = []
         self.reductions: dict[str, ReductionInfo] = {}
@@ -134,7 +158,7 @@ class _BodyChecker:
         if self.rejection is None:
             self._check_dependences()
         if self.rejection is not None:
-            return _reject(self.rejection, features)
+            return _reject(self.rejection, features, self.target)
 
         strategy = Strategy.PLAIN
         if self.reductions:
@@ -152,6 +176,7 @@ class _BodyChecker:
             inductions=list(self.inductions.values()),
             has_conditionals=self.has_conditionals,
             local_temporaries=list(self.local_temporaries),
+            target=self.target,
         )
 
     # -- helpers ------------------------------------------------------------------
@@ -168,6 +193,14 @@ class _BodyChecker:
     def _fail(self, reason: RejectionReason) -> None:
         if self.rejection is None:
             self.rejection = reason
+
+    def _require_ops(self, *ops: str) -> bool:
+        """Check the target can express every generic op; fail otherwise."""
+        for op in ops:
+            if not self.target.supports(op):
+                self._fail(RejectionReason.UNSUPPORTED_OPERATION)
+                return False
+        return True
 
     # -- statement checking ----------------------------------------------------------
 
@@ -191,6 +224,9 @@ class _BodyChecker:
             return
         if isinstance(stmt, ast.If):
             self.has_conditionals = True
+            # If-conversion needs compare masks and a blend/select on the target.
+            if not self._require_ops("cmpgt_epi32", "cmpeq_epi32", "blendv"):
+                return
             self._check_condition(stmt.cond)
             self._check_stmt(stmt.then, conditional=True)
             if stmt.otherwise is not None:
@@ -377,6 +413,8 @@ class _BodyChecker:
             if expr.op in ("&&", "||", "<", ">", "<=", ">=", "==", "!="):
                 self._check_condition(expr)
                 return
+            if expr.op == "*" and not self._require_ops("mullo_epi32"):
+                return
             self._check_value_expr(expr.left)
             self._check_value_expr(expr.right)
             return
@@ -388,12 +426,16 @@ class _BodyChecker:
             return
         if isinstance(expr, ast.TernaryOp):
             self.has_conditionals = True
+            if not self._require_ops("cmpgt_epi32", "cmpeq_epi32", "blendv"):
+                return
             self._check_condition(expr.cond)
             self._check_value_expr(expr.then)
             self._check_value_expr(expr.otherwise)
             return
         if isinstance(expr, ast.Call):
             if expr.func in ("abs", "max", "min"):
+                if not self._require_ops(f"{expr.func}_epi32"):
+                    return
                 for arg in expr.args:
                     self._check_value_expr(arg)
                 return
@@ -432,7 +474,11 @@ class _BodyChecker:
     # -- dependence legality -----------------------------------------------------------------
 
     def _check_dependences(self) -> None:
-        """Reject loop-carried flow dependences with distance below the vector width."""
+        """Reject loop-carried flow dependences with distance below the lane count.
+
+        The window scales with the target: a distance-5 dependence blocks
+        8-lane AVX2 and 16-lane AVX-512 but is legal for 4-lane SSE4.
+        """
         written_arrays = {array for array, _ in self.writes}
         for array, read_offset in self.reads:
             if array not in written_arrays:
@@ -441,17 +487,18 @@ class _BodyChecker:
                 if write_array != array:
                     continue
                 distance = write_offset - read_offset
-                if 1 <= distance < VECTOR_WIDTH:
+                if 1 <= distance < self.width:
                     self._fail(RejectionReason.LOOP_CARRIED_FLOW)
                     return
         # Overlapping writes across iterations (write-after-write with a short
         # distance, e.g. s244's stores to a[i] and a[i+1]) change which store
-        # lands last once eight iterations are issued as two block stores.
+        # lands last once a lane-count block of iterations is issued as block
+        # stores.
         for index, (array_a, offset_a) in enumerate(self.writes):
             for array_b, offset_b in self.writes[index + 1 :]:
                 if array_a != array_b:
                     continue
-                if 0 < abs(offset_a - offset_b) < VECTOR_WIDTH:
+                if 0 < abs(offset_a - offset_b) < self.width:
                     self._fail(RejectionReason.LOOP_CARRIED_FLOW)
                     return
         for array in self.invariant_reads:

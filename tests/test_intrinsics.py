@@ -1,15 +1,41 @@
-"""Tests for the AVX2 intrinsic semantic models."""
+"""Tests for the SIMD intrinsic semantic models, across every target width.
+
+Every lane-semantics test runs at 4, 8 and 16 lanes (SSE4 / AVX2 / AVX-512)
+through each target's own intrinsic spelling, including poison propagation
+through masked loads and the blend/shift edge cases.
+"""
 
 import pytest
 
-from repro.intrinsics.avx2 import (
+from repro.cfront.cparser import parse_function
+from repro.interp.interpreter import run_function
+from repro.intrinsics import (
     INTRINSIC_REGISTRY,
-    M256Value,
+    VecValue,
     apply_pure_intrinsic,
     is_intrinsic,
     lookup_intrinsic,
+    registry_for,
     wrap32,
 )
+from repro.intrinsics.avx2 import LANES, M256Value
+from repro.targets import ALL_TARGETS, get_target
+
+
+@pytest.fixture(params=[t.name for t in ALL_TARGETS])
+def isa(request):
+    return get_target(request.param)
+
+
+def _vec(isa, values):
+    assert len(values) == isa.lanes
+    return VecValue.from_lanes(values)
+
+
+def _pattern(isa, period=4):
+    """A deterministic per-width lane pattern mixing signs and magnitudes."""
+    base = [5, -1, 3, 0, 7, 2, -9, 11, -4, 6, 0, -7, 13, 1, -2, 8]
+    return base[: isa.lanes]
 
 
 class TestWrap32:
@@ -24,76 +50,224 @@ class TestWrap32:
         assert wrap32(-12345) == -12345
 
 
-class TestM256Value:
-    def test_splat_and_zero(self):
-        assert M256Value.splat(7).lanes == (7,) * 8
-        assert M256Value.zero().lanes == (0,) * 8
+class TestVecValue:
+    def test_splat_and_zero_at_every_width(self, isa):
+        assert VecValue.splat(7, isa.lanes).lanes == (7,) * isa.lanes
+        assert VecValue.zero(isa.lanes).lanes == (0,) * isa.lanes
 
-    def test_requires_eight_lanes(self):
+    def test_rejects_unregistered_widths(self):
         with pytest.raises(ValueError):
-            M256Value(lanes=(1, 2, 3))
+            VecValue(lanes=(1, 2, 3))
+        with pytest.raises(ValueError):
+            VecValue(lanes=(0,) * 32)
 
-    def test_poison_propagates_through_binary_ops(self):
-        a = M256Value.from_lanes(range(8), poison=[True] + [False] * 7)
-        b = M256Value.splat(1)
+    def test_poison_propagates_through_binary_ops(self, isa):
+        width = isa.lanes
+        a = VecValue.from_lanes(range(width), poison=[True] + [False] * (width - 1))
+        b = VecValue.splat(1, width)
         result = a.map_binary(b, lambda x, y: x + y)
         assert result.poison[0] is True
         assert result.poison[1] is False
 
+    def test_width_mismatch_is_an_error(self):
+        with pytest.raises(ValueError):
+            VecValue.zero(4).map_binary(VecValue.zero(8), lambda x, y: x + y)
+
+    def test_m256_compat_defaults_to_eight_lanes(self):
+        assert M256Value.splat(7).lanes == (7,) * 8
+        assert M256Value.zero().lanes == (0,) * 8
+        assert LANES == 8
+        with pytest.raises(ValueError):
+            M256Value(lanes=(1, 2, 3, 4))
+
 
 class TestPureIntrinsics:
-    def test_add_epi32(self):
-        a = M256Value.from_lanes(range(8))
-        b = M256Value.splat(10)
-        out = apply_pure_intrinsic("_mm256_add_epi32", [a, b])
-        assert out.lanes == tuple(i + 10 for i in range(8))
+    def test_add_epi32(self, isa):
+        a = _vec(isa, list(range(isa.lanes)))
+        b = VecValue.splat(10, isa.lanes)
+        out = apply_pure_intrinsic(isa.intrinsic("add_epi32"), [a, b])
+        assert out.lanes == tuple(i + 10 for i in range(isa.lanes))
 
-    def test_mullo_epi32_wraps(self):
-        a = M256Value.splat(2**20)
-        b = M256Value.splat(2**20)
-        out = apply_pure_intrinsic("_mm256_mullo_epi32", [a, b])
-        assert out.lanes == (wrap32(2**40),) * 8
+    def test_mullo_epi32_wraps(self, isa):
+        a = VecValue.splat(2**20, isa.lanes)
+        b = VecValue.splat(2**20, isa.lanes)
+        out = apply_pure_intrinsic(isa.intrinsic("mullo_epi32"), [a, b])
+        assert out.lanes == (wrap32(2**40),) * isa.lanes
 
-    def test_cmpgt_produces_full_lane_masks(self):
-        a = M256Value.from_lanes([5, -1, 3, 0, 7, 2, 2, -9])
-        b = M256Value.splat(2)
-        out = apply_pure_intrinsic("_mm256_cmpgt_epi32", [a, b])
-        assert out.lanes == (-1, 0, -1, 0, -1, 0, 0, 0)
+    def test_cmpgt_produces_full_lane_masks(self, isa):
+        a = _vec(isa, _pattern(isa))
+        b = VecValue.splat(2, isa.lanes)
+        out = apply_pure_intrinsic(isa.intrinsic("cmpgt_epi32"), [a, b])
+        assert out.lanes == tuple(-1 if v > 2 else 0 for v in _pattern(isa))
 
-    def test_blendv_selects_by_mask_sign(self):
-        a = M256Value.splat(1)
-        b = M256Value.splat(2)
-        mask = M256Value.from_lanes([-1, 0, -1, 0, -1, 0, -1, 0])
-        out = apply_pure_intrinsic("_mm256_blendv_epi8", [a, b, mask])
-        assert out.lanes == (2, 1, 2, 1, 2, 1, 2, 1)
+    def test_blendv_selects_by_mask_sign(self, isa):
+        a = VecValue.splat(1, isa.lanes)
+        b = VecValue.splat(2, isa.lanes)
+        mask = _vec(isa, [-1 if i % 2 == 0 else 0 for i in range(isa.lanes)])
+        out = apply_pure_intrinsic(isa.intrinsic("blendv"), [a, b, mask])
+        assert out.lanes == tuple(2 if i % 2 == 0 else 1 for i in range(isa.lanes))
 
-    def test_setr_orders_arguments_low_to_high(self):
-        out = apply_pure_intrinsic("_mm256_setr_epi32", list(range(8)))
-        assert out.lanes == tuple(range(8))
+    def test_blendv_is_byte_granular(self, isa):
+        """A mask with only the top byte's sign bit set blends only that byte."""
+        a = VecValue.splat(0, isa.lanes)
+        b = VecValue.splat(-1, isa.lanes)
+        mask = VecValue.splat(wrap32(0x80000000), isa.lanes)
+        out = apply_pure_intrinsic(isa.intrinsic("blendv"), [a, b, mask])
+        assert out.lanes == (wrap32(0xFF000000),) * isa.lanes
 
-    def test_set_orders_arguments_high_to_low(self):
-        out = apply_pure_intrinsic("_mm256_set_epi32", list(range(8)))
-        assert out.lanes == tuple(reversed(range(8)))
+    def test_blendv_propagates_mask_and_selected_poison(self, isa):
+        width = isa.lanes
+        a = VecValue.from_lanes([1] * width, poison=[True] + [False] * (width - 1))
+        b = VecValue.splat(2, width)
+        mask = VecValue.from_lanes([0] * width,
+                                   poison=[False] * (width - 1) + [True])
+        out = apply_pure_intrinsic(isa.intrinsic("blendv"), [a, b, mask])
+        assert out.poison[0] is True          # selected lane was poison
+        assert out.poison[-1] is True         # poison mask poisons the lane
+        assert not any(out.poison[1:-1])
 
-    def test_abs_and_minmax(self):
-        a = M256Value.from_lanes([-3, 4, -5, 0, 1, -1, 8, -8])
-        assert apply_pure_intrinsic("_mm256_abs_epi32", [a]).lanes == (3, 4, 5, 0, 1, 1, 8, 8)
-        b = M256Value.splat(0)
-        assert apply_pure_intrinsic("_mm256_max_epi32", [a, b]).lanes == (0, 4, 0, 0, 1, 0, 8, 0)
-        assert apply_pure_intrinsic("_mm256_min_epi32", [a, b]).lanes == (-3, 0, -5, 0, 0, -1, 0, -8)
+    def test_setr_orders_arguments_low_to_high(self, isa):
+        out = apply_pure_intrinsic(isa.intrinsic("setr"), list(range(isa.lanes)))
+        assert out.lanes == tuple(range(isa.lanes))
 
-    def test_shift_intrinsics(self):
-        a = M256Value.splat(8)
-        assert apply_pure_intrinsic("_mm256_slli_epi32", [a, 2]).lanes == (32,) * 8
-        assert apply_pure_intrinsic("_mm256_srli_epi32", [a, 2]).lanes == (2,) * 8
-        negative = M256Value.splat(-8)
-        assert apply_pure_intrinsic("_mm256_srai_epi32", [negative, 2]).lanes == (-2,) * 8
+    def test_set_orders_arguments_high_to_low(self, isa):
+        out = apply_pure_intrinsic(isa.intrinsic("set"), list(range(isa.lanes)))
+        assert out.lanes == tuple(reversed(range(isa.lanes)))
 
-    def test_hadd_pairwise_within_halves(self):
-        a = M256Value.from_lanes([1, 2, 3, 4, 5, 6, 7, 8])
-        b = M256Value.from_lanes([10, 20, 30, 40, 50, 60, 70, 80])
-        out = apply_pure_intrinsic("_mm256_hadd_epi32", [a, b])
-        assert out.lanes == (3, 7, 30, 70, 11, 15, 110, 150)
+    def test_abs_and_minmax(self, isa):
+        values = _pattern(isa)
+        a = _vec(isa, values)
+        b = VecValue.splat(0, isa.lanes)
+        assert apply_pure_intrinsic(isa.intrinsic("abs_epi32"), [a]).lanes == tuple(
+            abs(v) for v in values
+        )
+        assert apply_pure_intrinsic(isa.intrinsic("max_epi32"), [a, b]).lanes == tuple(
+            max(v, 0) for v in values
+        )
+        assert apply_pure_intrinsic(isa.intrinsic("min_epi32"), [a, b]).lanes == tuple(
+            min(v, 0) for v in values
+        )
+
+    def test_shift_intrinsics(self, isa):
+        a = VecValue.splat(8, isa.lanes)
+        assert apply_pure_intrinsic(isa.intrinsic("slli_epi32"), [a, 2]).lanes == (32,) * isa.lanes
+        assert apply_pure_intrinsic(isa.intrinsic("srli_epi32"), [a, 2]).lanes == (2,) * isa.lanes
+        negative = VecValue.splat(-8, isa.lanes)
+        assert apply_pure_intrinsic(isa.intrinsic("srai_epi32"), [negative, 2]).lanes == (-2,) * isa.lanes
+
+    def test_shift_edge_counts(self, isa):
+        """Counts at and past the lane width: logical shifts zero, srai saturates."""
+        width = isa.lanes
+        a = VecValue.from_lanes([-8] * width, poison=[True] + [False] * (width - 1))
+        for count in (32, 33, 100):
+            out = apply_pure_intrinsic(isa.intrinsic("slli_epi32"), [a, count])
+            assert out.lanes == (0,) * width
+            assert out.poison[0] is True      # poison survives the zeroing
+            out = apply_pure_intrinsic(isa.intrinsic("srli_epi32"), [a, count])
+            assert out.lanes == (0,) * width
+            out = apply_pure_intrinsic(isa.intrinsic("srai_epi32"), [a, count])
+            assert out.lanes == (-1,) * width  # sign fill saturates
+            assert out.poison[0] is True
+        # shift by 31: sign bit lands in the low bit for srli
+        b = VecValue.splat(-1, isa.lanes)
+        assert apply_pure_intrinsic(isa.intrinsic("srli_epi32"), [b, 31]).lanes == (1,) * width
+
+    def test_shuffle_works_per_128bit_block(self, isa):
+        a = _vec(isa, list(range(isa.lanes)))
+        out = apply_pure_intrinsic(isa.intrinsic("shuffle_epi32"), [a, 0b00_01_10_11])
+        expected = []
+        for block in range(isa.lanes // 4):
+            base = block * 4
+            expected += [base + 3, base + 2, base + 1, base + 0]
+        assert out.lanes == tuple(expected)
+
+    def test_hadd_pairwise_within_blocks(self, isa):
+        if not isa.supports("hadd_epi32"):
+            pytest.skip(f"{isa.display_name} has no hadd")
+        a = _vec(isa, list(range(1, isa.lanes + 1)))
+        b = _vec(isa, [10 * v for v in range(1, isa.lanes + 1)])
+        out = apply_pure_intrinsic(isa.intrinsic("hadd_epi32"), [a, b])
+        expected = []
+        for block in range(isa.lanes // 4):
+            base = block * 4
+            expected += [
+                (base + 1) + (base + 2), (base + 3) + (base + 4),
+                10 * (base + 1) + 10 * (base + 2), 10 * (base + 3) + 10 * (base + 4),
+            ]
+        assert out.lanes == tuple(expected)
+
+
+class TestMaskedLoadPoison:
+    """Poison must flow through masked loads exactly where the mask is on."""
+
+    def _masked_load_source(self, isa, start: int) -> str:
+        vt = isa.vector_type
+        mask_args = ", ".join("-1" if i % 2 == 0 else "0" for i in range(isa.lanes))
+        return f"""
+void kernel(int * a, int * out, int n)
+{{
+    {vt} mask = {isa.intrinsic("setr")}({mask_args});
+    {vt} v = {isa.intrinsic("maskload")}(&a[{start}], mask);
+    {isa.intrinsic("storeu")}(({vt}*)&out[0], v);
+}}
+"""
+
+    def test_in_bounds_masked_load_has_no_ub(self, isa):
+        size = isa.lanes * 2
+        func = parse_function(self._masked_load_source(isa, 0))
+        result = run_function(func, {"a": list(range(1, size + 1)), "out": [0] * isa.lanes},
+                              {"n": size})
+        assert not result.has_ub
+        out = result.outputs()["out"]
+        assert out == [i + 1 if i % 2 == 0 else 0 for i in range(isa.lanes)]
+
+    def test_oob_lanes_become_poison_only_where_mask_is_on(self, isa):
+        size = isa.lanes * 2
+        start = size - 2  # lanes 0..1 in bounds, the rest in the guard zone
+        func = parse_function(self._masked_load_source(isa, start))
+        result = run_function(func, {"a": list(range(1, size + 1)), "out": [0] * isa.lanes},
+                              {"n": size})
+        oob_reads = [e for e in result.ub_events if e.kind == "oob-read"]
+        poison_stores = [e for e in result.ub_events if e.kind == "poison-store"]
+        # Mask-on lanes past the end: even lane indices >= 2.
+        expected_oob = [start + i for i in range(2, isa.lanes, 2)]
+        assert [e.index for e in oob_reads] == expected_oob
+        # Every poison lane that reaches the store is observable UB.
+        assert [e.index for e in poison_stores] == list(range(2, isa.lanes, 2))
+        # Masked-off lanes stayed zero and clean.
+        out = result.outputs()["out"]
+        assert all(out[i] == 0 for i in range(1, isa.lanes, 2))
+
+
+class TestMaskSignAgreement:
+    """Interpreter and symbolic executor must agree that only the mask sign
+    bit enables a masked-load lane (a positive mask value is OFF)."""
+
+    def _source(self, isa) -> str:
+        vt = isa.vector_type
+        return f"""
+void kernel(int * a, int * out, int n)
+{{
+    {vt} mask = {isa.intrinsic("set1")}(1);
+    {vt} v = {isa.intrinsic("maskload")}(&a[0], mask);
+    {isa.intrinsic("storeu")}(({vt}*)&out[0], v);
+}}
+"""
+
+    def test_positive_mask_disables_every_lane_in_both_executors(self, isa):
+        from repro.alive.symexec import execute_symbolically
+        from repro.smt.terms import TermKind
+
+        width = isa.lanes
+        func = parse_function(self._source(isa))
+        concrete = run_function(func, {"a": list(range(1, width + 1)), "out": [0] * width},
+                                {"n": width})
+        assert concrete.outputs()["out"] == [0] * width
+
+        state = execute_symbolically(func, {"a": width, "out": width}, {"n": width})
+        for index in range(width):
+            cell = state.regions["out"].cell(index)
+            assert cell.kind is TermKind.CONST and cell.value == 0
 
 
 class TestRegistry:
@@ -103,16 +277,38 @@ class TestRegistry:
                      "_mm256_cmpgt_epi32", "_mm256_blendv_epi8", "_mm256_setzero_si256"):
             assert is_intrinsic(name)
 
+    def test_every_target_registry_is_complete(self, isa):
+        registry = registry_for(isa)
+        for op in ("add_epi32", "sub_epi32", "mullo_epi32", "cmpgt_epi32", "blendv",
+                   "loadu", "storeu", "maskload", "set1", "setr", "setzero", "extract"):
+            name = isa.intrinsic(op)
+            assert name in registry
+            spec = registry[name]
+            assert spec.lanes == isa.lanes
+            assert spec.op == op
+            assert spec.target == isa.name
+
+    def test_per_op_availability_differs_across_targets(self):
+        sse4, avx2, avx512 = (get_target(n) for n in ("sse4", "avx2", "avx512"))
+        assert avx2.supports("permute2x128")
+        assert not sse4.supports("permute2x128")
+        assert not avx512.supports("permute2x128")
+        assert sse4.supports("hadd_epi32") and avx2.supports("hadd_epi32")
+        assert not avx512.supports("hadd_epi32")
+        assert avx512.has_native_masked_ops
+        assert avx512.intrinsic("blendv") == "_mm512_mask_blend_epi32"
+
     def test_unknown_intrinsic_lookup_raises(self):
         with pytest.raises(KeyError):
             lookup_intrinsic("_mm256_not_a_real_intrinsic")
 
-    def test_costs_are_positive_for_memory_ops(self):
-        assert lookup_intrinsic("_mm256_loadu_si256").cycle_cost > 0
-        assert lookup_intrinsic("_mm256_storeu_si256").cycle_cost > 0
+    def test_costs_are_positive_for_memory_ops(self, isa):
+        assert lookup_intrinsic(isa.intrinsic("loadu")).cycle_cost > 0
+        assert lookup_intrinsic(isa.intrinsic("storeu")).cycle_cost > 0
 
     def test_every_registered_intrinsic_has_consistent_spec(self):
         for name, spec in INTRINSIC_REGISTRY.items():
             assert spec.name == name
             assert spec.arity >= 0
             assert spec.cycle_cost >= 0
+            assert spec.lanes in (4, 8, 16)
