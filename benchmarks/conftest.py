@@ -26,9 +26,16 @@ Environment knobs (all optional):
     session resume and persists results for offline inspection.
 ``REPRO_BENCH_TARGETS``
     comma-separated target ISAs for the multi-target campaign benchmark
-    (``sse4,avx2,avx512``; ``all`` expands to every registered target,
-    which is also the default).  All targets share the session cache/store;
-    the target-salted fingerprints keep their entries disjoint.
+    (``sse4,neon,avx2,avx512``; ``all`` expands to every registered
+    target, which is also the default).  All targets share the session
+    cache/store; the target-salted fingerprints keep their entries
+    disjoint.
+``REPRO_BENCH_JSON``
+    when set, write every campaign summary of the session (throughput,
+    cache hit-rates, verdict counts per target) to a benchmark JSON file —
+    ``1``/``true`` selects the default ``BENCH_campaign.json`` at the repo
+    root, any other value is used as the output path.  This is what feeds
+    the perf trajectory across runs.
 """
 
 from __future__ import annotations
@@ -95,12 +102,31 @@ def bench_targets() -> list[str]:
     return _configured_targets()
 
 
+def _bench_json_path() -> Path | None:
+    value = os.environ.get("REPRO_BENCH_JSON", "").strip()
+    if not value or value.lower() in ("0", "false", "no"):
+        return None
+    if value.lower() in ("1", "true", "yes"):
+        return _BENCH_DIR.parent / "BENCH_campaign.json"
+    return Path(value)
+
+
 @pytest.fixture(scope="session")
 def bench_campaign() -> CampaignRunner:
-    """One campaign runner (and thus one result cache) for the whole session."""
+    """One campaign runner (and thus one result cache) for the whole session.
+
+    With ``REPRO_BENCH_JSON`` set, every campaign summary the session
+    produced is written out at teardown so the perf trajectory accumulates.
+    """
     store = os.environ.get("REPRO_BENCH_STORE", "").strip() or None
     config = CampaignConfig(workers=_configured_workers(), store_path=store)
-    return CampaignRunner(config)
+    runner = CampaignRunner(config)
+    yield runner
+    path = _bench_json_path()
+    if path is not None and runner.summaries:
+        from repro.reporting.campaign import write_bench_json
+
+        write_bench_json(runner.summaries, path)
 
 
 @pytest.fixture(scope="session")

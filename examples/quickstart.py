@@ -12,7 +12,7 @@ Run with:  python examples/quickstart.py [kernel-name ...]
 
 Environment knobs: REPRO_WORKERS (pool width, default 0 = one per CPU),
 REPRO_STORE (JSONL result store for resumable runs), REPRO_TARGET
-(target ISA: sse4 / avx2 / avx512; default avx2, the paper's setup).
+(target ISA: sse4 / neon / avx2 / avx512; default avx2, the paper's setup).
 """
 
 from __future__ import annotations

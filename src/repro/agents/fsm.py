@@ -41,8 +41,10 @@ class FSMConfig:
     temperature: float = 1.0
     checksum_seed: int = 0
     trip_counts: list[int] | None = None
-    #: Target ISA name the agents vectorize for (``sse4``/``avx2``/``avx512``).
-    target: str = "avx2"
+    #: Target ISA name the agents vectorize for.  ``None`` means "inherit":
+    #: the tool/campaign layer resolves the active target through
+    #: :func:`repro.targets.resolve_target_setting` and pins it here.
+    target: str | None = None
 
 
 @dataclass

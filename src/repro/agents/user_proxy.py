@@ -19,7 +19,7 @@ class UserProxyAgent(Agent):
 
     name = "user_proxy"
 
-    def __init__(self, kernel_name: str, scalar_code: str, target: str = "avx2"):
+    def __init__(self, kernel_name: str, scalar_code: str, target: str | None = None):
         self.kernel_name = kernel_name
         self.scalar_code = scalar_code
         self.target = target

@@ -14,7 +14,7 @@ class VectorizerAgent(Agent):
     name = "vectorizer"
 
     def __init__(self, llm: LLMClient, kernel_name: str, scalar_code: str,
-                 temperature: float = 1.0, target: str = "avx2"):
+                 temperature: float = 1.0, target: str | None = None):
         self.llm = llm
         self.kernel_name = kernel_name
         self.scalar_code = scalar_code

@@ -494,6 +494,33 @@ class SymbolicExecutor:
                     lanes.append(mk(TermKind.ITE, mk(TermKind.LT, m, ZERO),
                                     state.load(pointer.region, index), ZERO))
             return SymVector(lanes)
+        if spec.kind == "maskstore":
+            # Mirror image of the masked load: enabled lanes (mask sign bit
+            # set) store, disabled lanes must not touch memory — a
+            # constant-false lane at the region boundary records no UB.
+            pointer = self._pointer_arg(expr.args[0], state)
+            mask = self._vector_arg(expr.args[1], state, spec.lanes)
+            vector = self._vector_arg(expr.args[2], state, spec.lanes)
+            region = state.regions.get(pointer.region)
+            if region is None:
+                raise SymbolicExecutionError(f"store to unknown region {pointer.region!r}")
+            for lane, m in enumerate(mask.lanes):
+                index = pointer.offset + lane
+                if m.kind is TermKind.CONST:
+                    if wrap32(m.value) < 0:
+                        state.store(pointer.region, index, vector.lanes[lane])
+                elif index < 0 or index >= region.size:
+                    # Whether the out-of-bounds lane is written depends on a
+                    # symbolic mask bit; report the query as Inconclusive.
+                    raise SymbolicExecutionError(
+                        "masked store with a data-dependent mask reaches the region boundary"
+                    )
+                else:
+                    old = state.load(pointer.region, index)
+                    state.store(pointer.region, index,
+                                mk(TermKind.ITE, mk(TermKind.LT, m, ZERO),
+                                   vector.lanes[lane], old))
+            return vector
         if spec.kind == "set1":
             value = self._eval(expr.args[0], state)
             if not isinstance(value, Term):
@@ -510,14 +537,15 @@ class SymbolicExecutor:
             if spec.kind == "set":
                 lanes = list(reversed(lanes))
             return SymVector(list(lanes))
-        if spec.kind in ("extract", "extract128"):
+        if spec.kind == "extract":
             vector = self._vector_arg(expr.args[0], state, spec.lanes)
             lane = _as_concrete(self._eval(expr.args[1], state), "extract lane") % spec.lanes
             return vector.lanes[lane]
-        if spec.kind == "cast128":
-            # Low-128-bit reinterpret: truncate to 4 lanes (see interpreter).
-            vector = self._vector_arg(expr.args[0], state, 8)
-            return SymVector(list(vector.lanes[:4]))
+        if spec.kind == "cast_low":
+            # Low-register-half reinterpret: truncate to half the lanes
+            # (see interpreter).
+            vector = self._vector_arg(expr.args[0], state, spec.lanes)
+            return SymVector(list(vector.lanes[: spec.lanes // 2]))
         if spec.kind == "pure_binary":
             left = self._vector_arg(expr.args[0], state, spec.lanes)
             right = self._vector_arg(expr.args[1], state, spec.lanes)
@@ -525,7 +553,19 @@ class SymbolicExecutor:
         if spec.kind == "pure_unary":
             operand = self._vector_arg(expr.args[0], state, spec.lanes)
             return SymVector([self._lane_unary(spec.op, lane) for lane in operand.lanes])
-        if spec.kind == "pure_vector" and spec.op == "blendv":
+        if spec.kind == "pure_imm":
+            vector = self._vector_arg(expr.args[0], state, spec.lanes)
+            imm = _as_concrete(self._eval(expr.args[1], state), "intrinsic immediate")
+            return self._imm_op(spec.op, vector, imm)
+        if spec.kind == "pure_imm2" and spec.op == "permute_halves":
+            a = self._vector_arg(expr.args[0], state, spec.lanes)
+            b = self._vector_arg(expr.args[1], state, spec.lanes)
+            imm = _as_concrete(self._eval(expr.args[2], state), "permute immediate")
+            halves = [a.lanes[0:4], a.lanes[4:8], b.lanes[0:4], b.lanes[4:8]]
+            low = [ZERO] * 4 if imm & 0x08 else list(halves[imm & 0x3])
+            high = [ZERO] * 4 if imm & 0x80 else list(halves[(imm >> 4) & 0x3])
+            return SymVector(low + high)
+        if spec.kind == "pure_vector" and spec.op == "select":
             a = self._vector_arg(expr.args[0], state, spec.lanes)
             b = self._vector_arg(expr.args[1], state, spec.lanes)
             mask = self._vector_arg(expr.args[2], state, spec.lanes)
@@ -533,33 +573,70 @@ class SymbolicExecutor:
                 mk(TermKind.ITE, mk(TermKind.NE, m, ZERO), bv, av)
                 for av, bv, m in zip(a.lanes, b.lanes, mask.lanes)
             ])
+        if spec.kind == "pure_vector" and spec.op == "hadd":
+            a = self._vector_arg(expr.args[0], state, spec.lanes)
+            b = self._vector_arg(expr.args[1], state, spec.lanes)
+            lanes = []
+            for block in range(spec.lanes // 4):
+                base = block * 4
+                lanes += [
+                    mk(TermKind.ADD, a.lanes[base], a.lanes[base + 1]),
+                    mk(TermKind.ADD, a.lanes[base + 2], a.lanes[base + 3]),
+                    mk(TermKind.ADD, b.lanes[base], b.lanes[base + 1]),
+                    mk(TermKind.ADD, b.lanes[base + 2], b.lanes[base + 3]),
+                ]
+            return SymVector(lanes)
         raise SymbolicExecutionError(f"intrinsic {name} is not modelled symbolically")
+
+    def _imm_op(self, op: str, vector: SymVector, imm: int) -> SymVector:
+        """Immediate-operand lane ops: shifts and in-block shuffles."""
+        from repro.intrinsics.lanemath import LANE_BITS
+
+        imm = int(imm)
+        if op == "shuffle":
+            selectors = [(imm >> (2 * i)) & 0x3 for i in range(4)]
+            lanes = []
+            for block in range(vector.width // 4):
+                base = block * 4
+                lanes += [vector.lanes[base + sel] for sel in selectors]
+            return SymVector(lanes)
+        if op in ("sll", "srl") and imm >= LANE_BITS:
+            return SymVector([ZERO] * vector.width)
+        if op == "sra" and imm >= LANE_BITS:
+            imm = LANE_BITS - 1
+        if imm == 0:
+            return vector
+        count = bv_const(imm)
+        kind = {"sll": TermKind.SHL, "srl": TermKind.LSHR, "sra": TermKind.ASHR}.get(op)
+        if kind is None:
+            raise SymbolicExecutionError(f"immediate operation {op} is not modelled")
+        return SymVector([mk(kind, lane, count) for lane in vector.lanes])
 
     #: Generic op -> term kind, shared by every target's intrinsic spelling.
     _LANE_BINARY = {
-        "add_epi32": TermKind.ADD,
-        "sub_epi32": TermKind.SUB,
-        "mullo_epi32": TermKind.MUL,
+        "add": TermKind.ADD,
+        "sub": TermKind.SUB,
+        "mul": TermKind.MUL,
         "and": TermKind.AND,
         "or": TermKind.OR,
         "xor": TermKind.XOR,
-        "max_epi32": TermKind.MAX,
-        "min_epi32": TermKind.MIN,
+        "max": TermKind.MAX,
+        "min": TermKind.MIN,
     }
 
     def _lane_binary(self, op: str, a: Term, b: Term) -> Term:
         if op in self._LANE_BINARY:
             return mk(self._LANE_BINARY[op], a, b)
-        if op == "cmpgt_epi32":
+        if op == "cmpgt":
             return mk(TermKind.ITE, mk(TermKind.GT, a, b), MINUS_ONE, ZERO)
-        if op == "cmpeq_epi32":
+        if op == "cmpeq":
             return mk(TermKind.ITE, mk(TermKind.EQ, a, b), MINUS_ONE, ZERO)
         if op == "andnot":
             return mk(TermKind.AND, mk(TermKind.NOT, a), b)
         raise SymbolicExecutionError(f"lane operation {op} is not modelled")
 
     def _lane_unary(self, op: str, a: Term) -> Term:
-        if op == "abs_epi32":
+        if op == "abs":
             return mk(TermKind.ABS, a)
         raise SymbolicExecutionError(f"lane operation {op} is not modelled")
 

@@ -1,9 +1,12 @@
 """C-subset frontend: lexer, parser, AST, types and pretty printer.
 
 The frontend accepts the dialect of C used by the TSVC kernels and by the
-AVX2-vectorized candidates the paper's LLM produces: ``int`` scalars, ``int*``
-array parameters, ``__m256i`` vector values, ``for``/``while``/``if``/``goto``
-control flow, and calls to ``_mm256_*`` intrinsics.
+SIMD-vectorized candidates the paper's LLM produces: ``int`` scalars,
+``int*`` array parameters, the vector-register values of every registered
+target ISA, ``for``/``while``/``if``/``goto`` control flow, and calls to
+the targets' intrinsics.  The vector type names (and thus the lexer and
+parser keyword sets) are derived from :mod:`repro.targets`, never
+hardcoded.
 
 Public entry points:
 
@@ -37,7 +40,7 @@ from repro.cfront.ast_nodes import (
     WhileLoop,
 )
 from repro.cfront.cparser import parse_expression, parse_function, parse_program
-from repro.cfront.ctypes import CType, INT, VOID, M256I, PTR_INT
+from repro.cfront.ctypes import CType, INT, VOID, PTR_INT
 from repro.cfront.lexer import Token, TokenKind, tokenize
 from repro.cfront.printer import to_c
 
@@ -67,7 +70,6 @@ __all__ = [
     "CType",
     "INT",
     "VOID",
-    "M256I",
     "PTR_INT",
     "Token",
     "TokenKind",

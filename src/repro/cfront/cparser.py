@@ -1,11 +1,13 @@
 """Recursive-descent parser for the C subset.
 
 The grammar covers exactly the shapes that occur in TSVC kernels and in the
-AVX2-vectorized candidates: function definitions with ``int``/``int*``
-parameters, declarations (including ``__m256i`` vector temporaries),
-``for``/``while``/``do``/``if``/``goto``/labels, assignment (simple and
-compound), the usual C operator precedence ladder, array subscripts, casts
-such as ``(__m256i*)&a[i]``, and calls to ``_mm256_*`` intrinsics.
+SIMD-vectorized candidates of any registered target ISA: function
+definitions with ``int``/``int*`` parameters, declarations (including
+vector-register temporaries), ``for``/``while``/``do``/``if``/``goto``/
+labels, assignment (simple and compound), the usual C operator precedence
+ladder, array subscripts, vector-pointer casts of array-element addresses,
+and calls to the targets' intrinsics.  The vector type keywords are derived
+from the target registry, never hardcoded.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from repro.cfront import ast_nodes as ast
 from repro.cfront.ctypes import CType, normalize_base_type
 from repro.cfront.lexer import Token, TokenKind, tokenize
 from repro.errors import ParseError, SourceLocation
+from repro.targets.isa import VECTOR_TYPE_LANES
 
 _TYPE_KEYWORDS = frozenset(
     {
@@ -29,11 +32,8 @@ _TYPE_KEYWORDS = frozenset(
         "const",
         "static",
         "extern",
-        "__m256i",
-        "__m128i",
-        "__m512i",
     }
-)
+) | frozenset(VECTOR_TYPE_LANES)
 
 _ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
 
@@ -342,7 +342,7 @@ class _Parser:
     def parse_declaration(self) -> ast.Stmt:
         """Parse one declaration statement.
 
-        Multi-declarator declarations (``__m256i a_vec, b_vec;``) are returned
+        Multi-declarator declarations (``vectype a_vec, b_vec;``) are returned
         as a :class:`ast.Block` marked with location of the first token; the
         caller flattens it into the surrounding block.
         """

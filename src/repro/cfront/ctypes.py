@@ -2,8 +2,11 @@
 
 Only the types that actually occur in TSVC kernels and their SIMD
 vectorizations are modelled: ``int``, ``void``, pointers to ``int``, and the
-integer vector types of the supported targets (``__m128i``, ``__m256i``,
-``__m512i``).  A handful of aliases (``long``, ``unsigned``) are folded onto
+integer vector types of the registered target ISAs.  Which vector types
+exist — and how many 32-bit lanes each holds — is *derived from the target
+registry* (:data:`repro.targets.VECTOR_TYPE_LANES`), so a new backend's
+vector type is recognized here, in the lexer and in the parser without any
+code change.  A handful of aliases (``long``, ``unsigned``) are folded onto
 ``int`` because TSVC uses 32-bit integer data exclusively (the paper
 restricts itself to the 149 integer loops).
 """
@@ -12,15 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-#: Vector type name -> number of 32-bit lanes.
-VECTOR_TYPE_LANES = {"__m128i": 4, "__m256i": 8, "__m512i": 16}
+from repro.targets.isa import VECTOR_TYPE_LANES
 
 
 @dataclass(frozen=True)
 class CType:
     """A type in the C subset.
 
-    ``name`` is one of ``int``, ``void`` or a vector type name;
+    ``name`` is one of ``int``, ``void`` or a registered vector type name;
     ``pointer_depth`` counts ``*`` wrappers (``int*`` has depth 1).
     """
 
@@ -64,11 +66,7 @@ class CType:
 
 INT = CType("int")
 VOID = CType("void")
-M128I = CType("__m128i")
-M256I = CType("__m256i")
-M512I = CType("__m512i")
 PTR_INT = CType("int", 1)
-PTR_M256I = CType("__m256i", 1)
 
 #: Type specifiers that are collapsed onto plain ``int``.
 _INT_ALIASES = frozenset({"int", "long", "short", "char", "signed", "unsigned"})

@@ -1,4 +1,9 @@
-"""Tokenizer for the C subset used by TSVC kernels and AVX2 candidates."""
+"""Tokenizer for the C subset used by TSVC kernels and SIMD candidates.
+
+The keyword set includes the vector type name of every registered target
+ISA (derived from :mod:`repro.targets`), so candidates for a new backend
+lex without touching this module.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import LexError, SourceLocation
+from repro.targets.isa import VECTOR_TYPE_LANES
 
 
 class TokenKind(enum.Enum):
@@ -43,11 +49,8 @@ KEYWORDS = frozenset(
         "sizeof",
         "static",
         "extern",
-        "__m256i",
-        "__m128i",
-        "__m512i",
     }
-)
+) | frozenset(VECTOR_TYPE_LANES)
 
 # Multi-character punctuators, longest first so maximal munch works.
 _PUNCTUATORS = [

@@ -155,17 +155,38 @@ def _as_block(stmt: ast.Stmt) -> ast.Block:
     return ast.Block(body=[stmt], location=stmt.location)
 
 
+def _intrinsics_header(func: ast.FunctionDef) -> str:
+    """Header name for the target whose intrinsics the function calls.
+
+    Resolved through the target registry's reverse spelling map; functions
+    without registered intrinsics keep the default target's conventional
+    header (the lexer skips preprocessor lines on re-parse either way).
+    """
+    from repro.targets import DEFAULT_TARGET, resolve_intrinsic
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            try:
+                isa, _op = resolve_intrinsic(node.func)
+            except KeyError:
+                continue
+            return isa.header
+    return DEFAULT_TARGET.header
+
+
 def function_to_c(func: ast.FunctionDef, include_header: bool = False) -> str:
     """Render a function definition as C text.
 
-    ``include_header`` prepends ``#include <immintrin.h>`` which vectorized
-    candidates conventionally carry (and which the lexer skips on re-parse).
+    ``include_header`` prepends the ``#include`` of the intrinsics header
+    matching the function's target (resolved from its intrinsic spellings),
+    which vectorized candidates conventionally carry and the lexer skips on
+    re-parse.
     """
     params = ", ".join(f"{p.param_type} {p.name}" for p in func.params)
     header = f"{func.return_type} {func.name}({params})"
     lines = []
     if include_header:
-        lines.append("#include <immintrin.h>")
+        lines.append(f"#include <{_intrinsics_header(func)}>")
     lines.append(header)
     lines.extend(_stmt_lines(func.body, 0))
     return "\n".join(lines) + "\n"

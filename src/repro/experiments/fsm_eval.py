@@ -101,13 +101,22 @@ def run_fsm_evaluation(
 ) -> FSMEvaluation:
     """Run the multi-agent FSM over the suite and collect RQ4 statistics.
 
-    The target ISA comes from ``config.target``; when no FSM config is given,
-    a campaign config's ``target`` applies (matching the rest of the pipeline).
+    The target ISA resolves through the pipeline's single rule: an
+    explicitly-set ``config.target`` wins, an unset one inherits the
+    campaign config's target, and the pipeline default applies last.  The
+    resolved name is pinned into the FSM config, so the jobs and the
+    campaign summary label can never disagree.
     """
+    from repro.targets import resolve_target_setting
+
     fsm_config = config or FSMConfig()
-    if config is None and isinstance(campaign, (CampaignRunner, CampaignConfig)):
+    campaign_target = None
+    if isinstance(campaign, (CampaignRunner, CampaignConfig)):
         campaign_config = campaign.config if isinstance(campaign, CampaignRunner) else campaign
-        fsm_config = replace(fsm_config, target=campaign_config.target)
+        campaign_target = campaign_config.target
+    resolved = resolve_target_setting(fsm_config.target, campaign_target).name
+    if fsm_config.target != resolved:
+        fsm_config = replace(fsm_config, target=resolved)
     if llm is not None and not isinstance(llm, SyntheticLLM):
         return _run_serial_with_instance(llm, kernels, fsm_config)
 

@@ -144,10 +144,10 @@ def run_verification_funnel(
     # The funnel has no target knob of its own — each candidate carries its
     # width and the verifier adapts — so label the summary with the ISA the
     # candidates actually use rather than inheriting the campaign default.
-    from repro.targets import detect_target
+    from repro.targets import contains_known_intrinsics, detect_target
 
     candidate_isas = {detect_target(code).name for code in plausible_candidates.values()
-                      if any(prefix in code for prefix in ("_mm_", "_mm256_", "_mm512_"))}
+                      if contains_known_intrinsics(code)}
     if len(candidate_isas) == 1:
         summary_target = candidate_isas.pop()
     else:

@@ -572,15 +572,17 @@ class Interpreter:
                         pointer.region, pointer.offset + lane, vector.lanes[lane], vector.poison[lane]
                     )
             return vector
-        if spec.kind in ("extract", "extract128"):
+        if spec.kind == "extract":
             vector = self._vector_argument(expr.args[0], spec.lanes)
             lane = self._as_int(self._eval(expr.args[1])) % spec.lanes
             return vector.lanes[lane]
-        if spec.kind == "cast128":
-            # The cast reinterprets the low 128 bits: truncate to 4 lanes so
-            # downstream _mm_* consumers see a width-correct value.
-            vector = self._vector_argument(expr.args[0], 8)
-            return VecValue(vector.lanes[:4], vector.poison[:4])
+        if spec.kind == "cast_low":
+            # The cast reinterprets the low register half: truncate to half
+            # the lanes so narrower downstream consumers see a width-correct
+            # value (the historical AVX2 reduction-tail idiom).
+            half = spec.lanes // 2
+            vector = self._vector_argument(expr.args[0], spec.lanes)
+            return VecValue(vector.lanes[:half], vector.poison[:half])
         args = [self._eval(arg) for arg in expr.args]
         return apply_pure_intrinsic(name, args)
 

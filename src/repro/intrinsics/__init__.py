@@ -2,11 +2,11 @@
 
 Each intrinsic is modelled at lane level over Python integers with 32-bit
 wraparound semantics, so the interpreter and the symbolic encoder share one
-source of truth for what ``_mm256_mullo_epi32`` and friends mean.  The
-model is width-parametric: one generic operation table is materialized per
-target ISA (SSE4 / AVX2 / AVX-512), and the merged registry lets execution
-layers handle candidates of any width — the lane count travels with the
-intrinsic name.
+source of truth for what every target's vector-multiply and friends mean.
+The model is width-parametric: one generic operation table is materialized
+per registered target ISA under that target's own spellings, and the merged
+registry lets execution layers handle candidates of any width and naming
+scheme — the lane count travels with the intrinsic name.
 """
 
 from repro.intrinsics.lanemath import LANE_BITS, to_unsigned32, wrap32

@@ -1,7 +1,7 @@
 """Backwards-compatible AVX2 spelling of the intrinsic layer.
 
-Historically this module *was* the intrinsic model: eight hardwired lanes of
-``_mm256_*`` semantics.  The model now lives in width-parametric form in
+Historically this module *was* the intrinsic model: eight hardwired lanes
+of AVX2 semantics.  The model now lives in width-parametric form in
 :mod:`repro.intrinsics.registry` (semantics per generic op, materialized per
 :class:`~repro.targets.TargetISA`) and :mod:`repro.intrinsics.values`
 (:class:`VecValue`); this module re-exports the AVX2 view so existing

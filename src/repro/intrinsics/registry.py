@@ -1,13 +1,13 @@
 """Per-target intrinsic registries built from one generic operation table.
 
-Each generic operation (``add_epi32``, ``blendv``, ``loadu`` ...) is defined
-once — its lane semantics, arity and base cycle cost — and materialized per
-:class:`~repro.targets.TargetISA` under the target's concrete intrinsic
-names (``_mm_add_epi32`` / ``_mm256_add_epi32`` / ``_mm512_add_epi32``).
+Each generic operation (``add``, ``select``, ``loadu`` ...) is defined once
+— its lane semantics, arity and base cycle cost — and materialized per
+:class:`~repro.targets.TargetISA` under the target's concrete spellings
+(``repro.targets`` owns the spelling; this module owns the semantics).
 The merged :data:`INTRINSIC_REGISTRY` spans every registered target, so the
 interpreter and the symbolic executor can execute candidates of any width
-without being told which backend produced them: the width travels with the
-intrinsic name.
+and naming scheme without being told which backend produced them: the width
+travels with the intrinsic name.
 """
 
 from __future__ import annotations
@@ -18,7 +18,7 @@ from typing import Callable, Optional
 from repro.errors import CompileError
 from repro.intrinsics.lanemath import LANE_BITS, to_unsigned32, wrap32
 from repro.intrinsics.values import VecValue
-from repro.targets import ALL_TARGETS, AVX2, TargetISA, get_target
+from repro.targets import ALL_TARGETS, TargetISA, get_target
 
 
 @dataclass(frozen=True)
@@ -30,10 +30,10 @@ class IntrinsicSpec:
     ``pure_imm2`` (vector plus immediates), ``load``/``store``/``maskload``/
     ``maskstore`` (handled by the interpreter, which owns the memory model),
     ``set``/``setr``/``set1``/``setzero`` (vector construction),
-    ``extract`` (vector to scalar) and ``cast128`` (register reinterpret).
-    ``cycle_cost`` is the rough reciprocal throughput fed to the registry
-    consumers; ``lanes`` is the register width in 32-bit lanes; ``op`` is
-    the generic operation name shared across targets.
+    ``extract`` (vector to scalar) and ``cast_low`` (reinterpret of the low
+    register half).  ``cycle_cost`` is the rough reciprocal throughput fed
+    to the registry consumers; ``lanes`` is the register width in 32-bit
+    lanes; ``op`` is the generic operation name shared across targets.
     """
 
     name: str
@@ -51,7 +51,7 @@ class IntrinsicSpec:
 # ---------------------------------------------------------------------------
 
 
-def _mullo(a: int, b: int) -> int:
+def _mul_lane(a: int, b: int) -> int:
     return wrap32(a * b)
 
 
@@ -71,13 +71,14 @@ def _andnot(a: int, b: int) -> int:
     return wrap32((~a) & b)
 
 
-def _blendv(a: VecValue, b: VecValue, mask: VecValue) -> VecValue:
-    """Per-byte blend; TSVC vectorizations only use full-lane masks (0 / -1).
+def _select(a: VecValue, b: VecValue, mask: VecValue) -> VecValue:
+    """Per-byte select; TSVC vectorizations only use full-lane masks (0 / -1).
 
     The byte-accurate behaviour is modelled by selecting each byte of the
     lane according to the sign bit of the corresponding mask byte.  The same
-    semantics serve ``*_blendv_epi8`` and AVX-512's ``_mm512_mask_blend_epi32``
-    (whose masks are full lanes by construction in this pipeline).
+    semantics serve the x86 byte blends, AVX-512's lane-masked blend (whose
+    masks are full lanes by construction in this pipeline) and NEON's bit
+    select (ditto).
     """
     lanes = []
     poison = []
@@ -101,7 +102,7 @@ def _blendv(a: VecValue, b: VecValue, mask: VecValue) -> VecValue:
     return VecValue(tuple(lanes), tuple(poison))
 
 
-def _srli(a: VecValue, count: int) -> VecValue:
+def _srl(a: VecValue, count: int) -> VecValue:
     count = int(count)
     if count >= LANE_BITS:
         return VecValue.from_lanes([0] * a.width, a.poison)
@@ -110,21 +111,21 @@ def _srli(a: VecValue, count: int) -> VecValue:
     )
 
 
-def _slli(a: VecValue, count: int) -> VecValue:
+def _sll(a: VecValue, count: int) -> VecValue:
     count = int(count)
     if count >= LANE_BITS:
         return VecValue.from_lanes([0] * a.width, a.poison)
     return VecValue(tuple(wrap32(v << count) for v in a.lanes), a.poison)
 
 
-def _srai(a: VecValue, count: int) -> VecValue:
+def _sra(a: VecValue, count: int) -> VecValue:
     count = int(count)
     if count >= LANE_BITS:
         count = LANE_BITS - 1
     return VecValue(tuple(wrap32(v >> count) for v in a.lanes), a.poison)
 
 
-def _permute2x128(a: VecValue, b: VecValue, imm: int) -> VecValue:
+def _permute_halves(a: VecValue, b: VecValue, imm: int) -> VecValue:
     """Select 128-bit halves of ``a``/``b`` according to ``imm`` (AVX2 only)."""
     halves = [a.lanes[0:4], a.lanes[4:8], b.lanes[0:4], b.lanes[4:8]]
     half_poison = [a.poison[0:4], a.poison[4:8], b.poison[0:4], b.poison[4:8]]
@@ -140,7 +141,7 @@ def _permute2x128(a: VecValue, b: VecValue, imm: int) -> VecValue:
     return VecValue(tuple(low) + tuple(high), tuple(low_p) + tuple(high_p))
 
 
-def _shuffle_epi32(a: VecValue, imm: int) -> VecValue:
+def _shuffle_lanes(a: VecValue, imm: int) -> VecValue:
     """Shuffle 32-bit lanes within each 128-bit block, at any register width."""
     imm = int(imm)
     selectors = [(imm >> (2 * i)) & 0x3 for i in range(4)]
@@ -154,8 +155,8 @@ def _shuffle_epi32(a: VecValue, imm: int) -> VecValue:
     return VecValue(tuple(out_lanes), tuple(out_poison))
 
 
-def _hadd_epi32(a: VecValue, b: VecValue) -> VecValue:
-    """Horizontal pairwise add within 128-bit blocks (``*_hadd_epi32``)."""
+def _hadd(a: VecValue, b: VecValue) -> VecValue:
+    """Horizontal pairwise add within 128-bit blocks."""
     out_lanes = []
     out_poison = []
     for block in range(a.width // 4):
@@ -183,25 +184,25 @@ def _hadd_epi32(a: VecValue, b: VecValue) -> VecValue:
 #: argument per lane (the set/setr constructors).  Costs are the AVX2 base
 #: figures; targets override per op via ``intrinsic_cost_overrides``.
 _GENERIC_OPS: dict[str, tuple[str, int, float, Optional[Callable]]] = {
-    "add_epi32": ("pure_binary", 2, 0.5, lambda a, b: a + b),
-    "sub_epi32": ("pure_binary", 2, 0.5, lambda a, b: a - b),
-    "mullo_epi32": ("pure_binary", 2, 2.0, _mullo),
-    "cmpgt_epi32": ("pure_binary", 2, 0.5, _cmpgt),
-    "cmpeq_epi32": ("pure_binary", 2, 0.5, _cmpeq),
-    "max_epi32": ("pure_binary", 2, 0.5, max),
-    "min_epi32": ("pure_binary", 2, 0.5, min),
+    "add": ("pure_binary", 2, 0.5, lambda a, b: a + b),
+    "sub": ("pure_binary", 2, 0.5, lambda a, b: a - b),
+    "mul": ("pure_binary", 2, 2.0, _mul_lane),
+    "cmpgt": ("pure_binary", 2, 0.5, _cmpgt),
+    "cmpeq": ("pure_binary", 2, 0.5, _cmpeq),
+    "max": ("pure_binary", 2, 0.5, max),
+    "min": ("pure_binary", 2, 0.5, min),
     "and": ("pure_binary", 2, 0.33, lambda a, b: a & b),
     "or": ("pure_binary", 2, 0.33, lambda a, b: a | b),
     "xor": ("pure_binary", 2, 0.33, lambda a, b: a ^ b),
     "andnot": ("pure_binary", 2, 0.33, _andnot),
-    "abs_epi32": ("pure_unary", 1, 0.5, _abs_lane),
-    "blendv": ("pure_vector", 3, 1.0, _blendv),
-    "hadd_epi32": ("pure_vector", 2, 2.0, _hadd_epi32),
-    "srli_epi32": ("pure_imm", 2, 0.5, _srli),
-    "slli_epi32": ("pure_imm", 2, 0.5, _slli),
-    "srai_epi32": ("pure_imm", 2, 0.5, _srai),
-    "shuffle_epi32": ("pure_imm", 2, 1.0, _shuffle_epi32),
-    "permute2x128": ("pure_imm2", 3, 3.0, _permute2x128),
+    "abs": ("pure_unary", 1, 0.5, _abs_lane),
+    "select": ("pure_vector", 3, 1.0, _select),
+    "hadd": ("pure_vector", 2, 2.0, _hadd),
+    "srl": ("pure_imm", 2, 0.5, _srl),
+    "sll": ("pure_imm", 2, 0.5, _sll),
+    "sra": ("pure_imm", 2, 0.5, _sra),
+    "shuffle": ("pure_imm", 2, 1.0, _shuffle_lanes),
+    "permute_halves": ("pure_imm2", 3, 3.0, _permute_halves),
     "loadu": ("load", 1, 3.0, None),
     "storeu": ("store", 2, 3.0, None),
     "maskload": ("maskload", 2, 4.0, None),
@@ -211,6 +212,9 @@ _GENERIC_OPS: dict[str, tuple[str, int, float, Optional[Callable]]] = {
     "setr": ("setr", -1, 1.0, None),
     "set": ("set", -1, 1.0, None),
     "extract": ("extract", 2, 2.0, None),
+    # Reduction tails historically extract through the low register half;
+    # the cast is a free reinterpret, modelled as a width truncation.
+    "cast_low": ("cast_low", 1, 0.0, None),
 }
 
 
@@ -244,12 +248,6 @@ def _build_merged_registry() -> dict[str, IntrinsicSpec]:
                     f"intrinsic name collision across targets: {name}"
                 )
             merged[name] = spec
-    # AVX2 reduction tails historically extract through the low 128-bit
-    # half; the cast is a free reinterpret of the 8-lane value.
-    merged["_mm256_castsi256_si128"] = IntrinsicSpec(
-        name="_mm256_castsi256_si128", arity=1, kind="cast128",
-        cycle_cost=0.0, lanes=8, op="cast128", target=AVX2.name,
-    )
     return merged
 
 

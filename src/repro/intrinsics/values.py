@@ -6,8 +6,8 @@ per-lane poison flag used for undefined-behaviour propagation (a lane loaded
 from out-of-bounds memory is poison; arithmetic on poison lanes yields
 poison; storing a poison lane is a UB event the checker can observe).
 
-:class:`M256Value` is the historical 8-lane (``__m256i``) spelling, kept as
-a thin subclass whose constructors default to eight lanes.
+:class:`M256Value` is the historical 8-lane (AVX2-register) spelling, kept
+as a thin subclass whose constructors default to eight lanes.
 """
 
 from __future__ import annotations
@@ -16,9 +16,10 @@ from dataclasses import dataclass
 from typing import Callable, ClassVar, Optional, Sequence
 
 from repro.intrinsics.lanemath import wrap32
+from repro.targets import ALL_TARGETS
 
-#: Lane counts with a registered target ISA (SSE4 / AVX2 / AVX-512).
-VALID_WIDTHS = (4, 8, 16)
+#: Lane counts with a registered target ISA, derived from the registry.
+VALID_WIDTHS = tuple(sorted({target.lanes for target in ALL_TARGETS}))
 
 
 @dataclass(frozen=True)
@@ -99,11 +100,11 @@ class VecValue:
 
 
 class M256Value(VecValue):
-    """The 8-lane ``__m256i`` value (historical AVX2 spelling)."""
+    """The 8-lane AVX2-register value (historical spelling)."""
 
     default_width: ClassVar[int] = 8
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if len(self.lanes) != 8:
-            raise ValueError("__m256i requires exactly 8 lanes")
+            raise ValueError("an AVX2 register value requires exactly 8 lanes")

@@ -26,8 +26,11 @@ class CompletionRequest:
     temperature: float = 1.0
     #: Extra context the agents attach (dependence analysis, test feedback).
     feedback: str = ""
-    #: Target ISA name the completion should use (``sse4``/``avx2``/``avx512``).
-    target: str = "avx2"
+    #: Target ISA name the completion should use.  ``None`` means "inherit":
+    #: the single default-resolution rule in
+    #: :func:`repro.targets.resolve_target_setting` applies, so requests,
+    #: prompts and tool configs cannot disagree about the active target.
+    target: str | None = None
 
 
 @dataclass(frozen=True)

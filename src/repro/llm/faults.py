@@ -21,7 +21,7 @@ from typing import Optional
 from repro.cfront import ast_nodes as ast
 from repro.cfront.cparser import parse_function
 from repro.cfront.printer import function_to_c
-from repro.targets import ALL_TARGETS
+from repro.targets import ALL_TARGETS, TargetISA, resolve_intrinsic
 
 
 class FaultKind(enum.Enum):
@@ -101,36 +101,40 @@ class FaultProfile:
 # fault application
 # ---------------------------------------------------------------------------
 
-#: Naming data derived from the registered targets (longest prefix first so
-#: prefix matching is unambiguous): (prefix, full-register bitwise suffix).
-#: Deriving instead of hardcoding keeps this module in sync when a backend
-#: is added in :mod:`repro.targets`.
-_TARGET_NAMING: tuple[tuple[str, str], ...] = tuple(sorted(
-    ((t.prefix, t.intrinsic("and").rsplit("_", 1)[1]) for t in ALL_TARGETS),
-    key=lambda pair: -len(pair[0]),
-))
-
+#: Spelling data derived from the registered targets.  No prefix matching
+#: and no string surgery: the bidirectional op <-> name mapping lives with
+#: each :class:`~repro.targets.TargetISA`, so a backend whose names share
+#: nothing with the x86 grammar (NEON) participates automatically, and an
+#: unknown spelling raises :class:`~repro.targets.UnknownIntrinsicName`
+#: instead of being silently mutated into another ISA's name.
 _OPERATOR_SWAPS = {
     t.intrinsic(a): t.intrinsic(b)
     for t in ALL_TARGETS
-    for a, b in (("add_epi32", "sub_epi32"), ("sub_epi32", "add_epi32"),
-                 ("mullo_epi32", "add_epi32"))
+    for a, b in (("add", "sub"), ("sub", "add"), ("mul", "add"))
 }
 
-_BLEND_NAMES = {t.intrinsic("blendv") for t in ALL_TARGETS}
-_CMPGT_NAMES = {t.intrinsic("cmpgt_epi32") for t in ALL_TARGETS}
+_SELECT_NAMES = {t.intrinsic("select") for t in ALL_TARGETS}
+_CMPGT_NAMES = {t.intrinsic("cmpgt") for t in ALL_TARGETS}
 _SETR_NAMES = {t.intrinsic("setr") for t in ALL_TARGETS}
 
 #: Setr arities a ramp can legitimately have (one per registered width).
 _RAMP_ARITIES = {t.lanes for t in ALL_TARGETS}
 
 
-def _prefix_of(name: str) -> tuple[str, str]:
-    """The (prefix, si-suffix) pair an intrinsic name belongs to."""
-    for prefix, si in _TARGET_NAMING:
-        if name.startswith(prefix + "_"):
-            return prefix, si
-    return "_mm256", "si256"
+def _target_of(name: str) -> TargetISA:
+    """The target ISA owning an intrinsic spelling.
+
+    Raises :class:`~repro.targets.UnknownIntrinsicName` for spellings no
+    registered target emits — a fault mutation must never respell a
+    candidate into a different ISA.
+    """
+    isa, _op = resolve_intrinsic(name)
+    return isa
+
+
+def _zero_call(isa: TargetISA) -> ast.Call:
+    name, args = isa.zero_call()
+    return ast.Call(func=name, args=[ast.IntLiteral(value=arg) for arg in args])
 
 
 def applicable_faults(vectorized_source: str) -> list[FaultKind]:
@@ -140,7 +144,7 @@ def applicable_faults(vectorized_source: str) -> list[FaultKind]:
         faults.append(FaultKind.WRONG_OPERATOR)
     if any(name in vectorized_source for name in _SETR_NAMES):
         faults.append(FaultKind.NAIVE_INDUCTION)
-    if any(name in vectorized_source for name in _BLEND_NAMES):
+    if any(name in vectorized_source for name in _SELECT_NAMES):
         faults.append(FaultKind.UNSAFE_HOIST)
     if any(name in vectorized_source for name in _CMPGT_NAMES):
         faults.append(FaultKind.CMP_OFF_BY_ONE)
@@ -186,10 +190,11 @@ def apply_fault(vectorized_source: str, kind: FaultKind, rng: random.Random) -> 
 
 def _inject_compile_error(source: str, rng: random.Random) -> str:
     """Misspell one intrinsic so the candidate fails to compile."""
-    by_prefix = {t.prefix: t for t in ALL_TARGETS}
-    for op in ("loadu", "add_epi32", "mullo_epi32", "storeu", "set1"):
-        for prefix, _si in _TARGET_NAMING:
-            name = by_prefix[prefix].intrinsic(op)
+    for op in ("loadu", "add", "mul", "storeu", "set1"):
+        for isa in ALL_TARGETS:
+            if not isa.supports(op):
+                continue
+            name = isa.intrinsic(op)
             if name in source:
                 return source.replace(name, name + "x", 1)
     return source + "\n/* missing translation unit */ int __undefined_symbol = undeclared_variable;\n"
@@ -226,15 +231,15 @@ def _naive_induction(func: ast.FunctionDef) -> bool:
 
 
 def _unsafe_hoist(func: ast.FunctionDef, rng: random.Random) -> bool:
-    """Drop the blend on one if-converted value (store the 'then' value always)."""
-    calls = _calls(func, _BLEND_NAMES)
+    """Drop the select on one if-converted value (store the 'then' value always)."""
+    calls = _calls(func, _SELECT_NAMES)
     if not calls:
         return False
     target = rng.choice(calls)
-    prefix, si = _prefix_of(target.func)
+    isa = _target_of(target.func)
     then_value = target.args[1]
-    target.func = f"{prefix}_add_epi32"
-    target.args = [then_value, ast.Call(func=f"{prefix}_setzero_{si}", args=[])]
+    target.func = isa.intrinsic("add")
+    target.args = [then_value, _zero_call(isa)]
     return True
 
 
@@ -248,11 +253,11 @@ def _relax_comparison(func: ast.FunctionDef, rng: random.Random) -> bool:
     if not calls:
         return False
     target = rng.choice(calls)
-    prefix, si = _prefix_of(target.func)
+    isa = _target_of(target.func)
     left, right = target.args
-    greater = ast.Call(func=f"{prefix}_cmpgt_epi32", args=[left, right])
-    equal = ast.Call(func=f"{prefix}_cmpeq_epi32", args=[left, right])
-    target.func = f"{prefix}_or_{si}"
+    greater = ast.Call(func=isa.intrinsic("cmpgt"), args=[left, right])
+    equal = ast.Call(func=isa.intrinsic("cmpeq"), args=[left, right])
+    target.func = isa.intrinsic("or")
     target.args = [greater, equal]
     return True
 

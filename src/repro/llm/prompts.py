@@ -12,7 +12,7 @@ our reproduction, matching Section 4.4.1).
 
 from __future__ import annotations
 
-from repro.targets import TargetISA, get_target
+from repro.targets import TargetISA, resolve_target_setting
 
 DEPENDENCE_SECTION_HEADER = "Dependence analysis from the compiler:"
 FEEDBACK_SECTION_HEADER = "Feedback from checksum-based testing:"
@@ -27,10 +27,10 @@ def _lane_phrase(isa: TargetISA) -> str:
 def build_vectorization_prompt(
     scalar_code: str,
     dependence_report: str = "",
-    target: "TargetISA | str" = "avx2",
+    target: "TargetISA | str | None" = None,
 ) -> str:
     """The initial prompt asking for a vectorized program for one target ISA."""
-    isa = get_target(target)
+    isa = resolve_target_setting(target)
     lines = [
         f"You are an expert in SIMD programming with {isa.display_name} compiler intrinsics.",
         "Rewrite the following scalar C function into an equivalent vectorized C",
@@ -59,10 +59,10 @@ def build_repair_prompt(
     scalar_code: str,
     previous_attempt: str,
     feedback: str,
-    target: "TargetISA | str" = "avx2",
+    target: "TargetISA | str | None" = None,
 ) -> str:
     """The re-vectorization prompt carrying tester feedback (repair loop)."""
-    isa = get_target(target)
+    isa = resolve_target_setting(target)
     lines = [
         f"The previous {isa.display_name} vectorization attempt was not equivalent to the",
         "scalar code. Produce a corrected vectorized C function.",

@@ -42,7 +42,7 @@ from repro.errors import ParseError, ReproError
 from repro.llm.client import CompletionRequest, LLMClient, LLMCompletion
 from repro.llm.faults import FaultProfile, applicable_faults, apply_fault
 from repro.llm.prompts import has_dependence_feedback, has_tester_feedback
-from repro.targets import TargetISA, get_target
+from repro.targets import TargetISA, get_target, resolve_target_setting
 from repro.vectorizer import vectorize_kernel
 from repro.vectorizer.planner import plan_vectorization
 from repro.analysis.loops import find_main_loop
@@ -117,7 +117,7 @@ class SyntheticLLM(LLMClient):
 
     def _one_completion(self, request: CompletionRequest, index: int) -> LLMCompletion:
         rng = self._rng_for(request, index)
-        target = get_target(getattr(request, "target", None))
+        target = resolve_target_setting(getattr(request, "target", None))
         try:
             scalar_func = parse_function(request.scalar_code)
         except (ParseError, ReproError):
@@ -243,12 +243,17 @@ def _broken_attempt(scalar_func: ast.FunctionDef, lanes: int = 8) -> str:
 
 def _uncompilable_attempt(scalar_func: ast.FunctionDef,
                           target: TargetISA | None = None) -> str:
-    """A wrong attempt that also fails to compile (unknown intrinsic)."""
+    """A wrong attempt that also fails to compile (an invented intrinsic).
+
+    The bogus gather spelling is target data: it follows the ISA's own
+    naming style (so the candidate *looks* plausible) without being a name
+    any registered target actually emits.
+    """
     isa = get_target(target)
     source = function_to_c(copy.deepcopy(scalar_func), include_header=True)
     lines = source.splitlines()
     insertion = (f"    {isa.vector_type} vtmp = "
-                 f"{isa.prefix}_gather_load_epi32(a, {isa.lanes});")
+                 f"{isa.bogus_gather_spelling}(a, {isa.lanes});")
     for position, line in enumerate(lines):
         if line.strip().startswith("for ("):
             lines.insert(position + 2, insertion)

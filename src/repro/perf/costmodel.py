@@ -2,10 +2,11 @@
 
 Costs are rough reciprocal-throughput figures expressed in cycles per
 executed operation.  The base tables model a Haswell/Skylake-class AVX2
-core (the paper's hardware); :func:`cost_model_for` derives SSE4 and
-AVX-512 variants by applying each target's category overrides — narrower
-SSE loads move half the data and cost less, 512-bit operations pay a
-latency/licensing premium but amortize over twice the lanes.  The tables do
+core (the paper's hardware); :func:`cost_model_for` derives every other
+registered target's variant by applying that target's category overrides —
+narrower 128-bit loads (SSE4, NEON) move half the data and cost less,
+512-bit operations pay a latency/licensing premium but amortize over twice
+the lanes.  The tables do
 not model instruction-level parallelism or the memory hierarchy; the
 simulator's output is a cycle *estimate* whose ratios (scalar loop vs.
 vector loop, one width vs. another) match the qualitative behaviour the
@@ -49,8 +50,7 @@ def _base_vector_costs() -> dict[str, float]:
         "vec_set": 2.0,
         "vec_setzero": 0.5,
         "vec_extract": 3.0,
-        "vec_extract128": 3.0,
-        "vec_cast128": 0.0,
+        "vec_cast_low": 0.0,
     }
 
 

@@ -41,7 +41,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.pipeline.cache import CacheStats, ResultCache, config_fingerprint, content_key
-from repro.targets import get_target, target_names
+from repro.targets import get_target, resolve_target_setting, target_names
 
 JobFn = Callable[["KernelTask"], dict]
 
@@ -109,10 +109,15 @@ class CampaignConfig:
     store_path: str | Path | None = None
     #: Reuse records found in the result store from a previous, interrupted run.
     resume: bool = True
-    #: Target ISA name the campaign vectorizes for (``sse4``/``avx2``/``avx512``).
-    #: The target is folded into every cache-key fingerprint, so multi-target
+    #: Target ISA name the campaign vectorizes for; ``None`` means "inherit"
+    #: (the single default-resolution rule in
+    #: :func:`repro.targets.resolve_target_setting` applies).  The resolved
+    #: target is folded into every cache-key fingerprint, so multi-target
     #: campaigns can share one cache/store without colliding on a verdict.
-    target: str = "avx2"
+    target: str | None = None
+
+    def resolved_target_name(self) -> str:
+        return resolve_target_setting(self.target).name
 
     def effective_workers(self) -> int:
         if self.workers <= 0:
@@ -206,6 +211,9 @@ class CampaignRunner:
     def __init__(self, config: CampaignConfig | None = None, cache: ResultCache | None = None):
         self.config = config or CampaignConfig()
         self.cache = cache if cache is not None else ResultCache(self.config.cache_path)
+        #: Every summary this runner produced, in run order — the raw
+        #: material for benchmark trajectories (``REPRO_BENCH_JSON``).
+        self.summaries: list[CampaignSummary] = []
 
     # -- generic task execution -------------------------------------------------
 
@@ -271,8 +279,9 @@ class CampaignRunner:
         ordered = [records[task.cache_key(label)] for task in tasks]
         summary = self._summarize(label, ordered, run_stats, resumed,
                                   executed, time.perf_counter() - started,
-                                  target=target or self.config.target)
+                                  target=target or self.config.resolved_target_name())
         store.append_summary(summary)
+        self.summaries.append(summary)
         return CampaignReport(label=label, records=ordered, summary=summary)
 
     # -- the flagship campaign: vectorize-and-verify the suite ---------------------
@@ -289,14 +298,14 @@ class CampaignRunner:
         """
         from repro.pipeline.runner import LLMVectorizerConfig
 
-        if target is not None:
-            isa = get_target(target)
-        elif vectorizer_config is not None and vectorizer_config.target is not None:
-            # A vectorizer config with an explicitly-set target carries the
-            # choice; an unset (None) one defers to the campaign config.
-            isa = get_target(vectorizer_config.target)
-        else:
-            isa = get_target(self.config.target)
+        # One resolution rule, most to least specific: the explicit argument,
+        # then a vectorizer config with a set target, then the campaign
+        # config, then the pipeline default.
+        isa = resolve_target_setting(
+            target,
+            vectorizer_config.target if vectorizer_config is not None else None,
+            self.config.target,
+        )
         config = vectorizer_config or LLMVectorizerConfig()
         if config.target != isa.name:
             config = replace(config, target=isa.name)
@@ -396,7 +405,7 @@ class CampaignRunner:
             wall_clock_seconds=wall_clock,
             workers=self.config.effective_workers(),
             verdict_counts=count_verdicts(records),
-            target=target or self.config.target,
+            target=target or self.config.resolved_target_name(),
         )
 
 

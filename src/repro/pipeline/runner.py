@@ -17,6 +17,7 @@ from repro.llm.client import LLMClient
 from repro.llm.synthetic import SyntheticLLM, SyntheticLLMConfig
 from repro.pipeline.equivalence import EquivalencePipeline, PipelineReport
 from repro.pipeline.verdict import Verdict
+from repro.targets import resolve_target_setting
 from repro.tsvc import LoadedKernel
 
 
@@ -28,9 +29,9 @@ class LLMVectorizerConfig:
     llm: SyntheticLLMConfig = field(default_factory=SyntheticLLMConfig)
     run_verification: bool = True
     checksum_seed: int = 0
-    #: Target ISA name the tool vectorizes for (``sse4``/``avx2``/``avx512``).
-    #: ``None`` means "unset": campaign-level targets apply, and the tool
-    #: itself falls back to the AVX2 default.
+    #: Target ISA name the tool vectorizes for.  ``None`` means "unset":
+    #: campaign-level targets apply, and unresolved settings fall through
+    #: :func:`repro.targets.resolve_target_setting` to the pipeline default.
     target: str | None = None
 
 
@@ -69,7 +70,7 @@ class LLMVectorizer:
 
     def vectorize(self, kernel: LoadedKernel) -> KernelRunResult:
         """Run the full tool on one kernel."""
-        return self._vectorize_for(kernel, self.config.target or "avx2")
+        return self._vectorize_for(kernel, resolve_target_setting(self.config.target).name)
 
     def _vectorize_for(self, kernel: LoadedKernel, target: str) -> KernelRunResult:
         """Run the tool on one kernel for an explicit target ISA."""
@@ -108,10 +109,10 @@ class LLMVectorizer:
         if not isinstance(self.llm, SyntheticLLM):
             # Same precedence as the campaign path: an explicitly-set tool
             # target wins, otherwise the campaign config's target applies.
-            target = self.config.target
-            if target is None and campaign is not None:
-                target = getattr(campaign, "config", campaign).target
-            return self._vectorize_suite_serial(names, target or "avx2")
+            campaign_target = (getattr(campaign, "config", campaign).target
+                               if campaign is not None else None)
+            isa = resolve_target_setting(self.config.target, campaign_target)
+            return self._vectorize_suite_serial(names, isa.name)
         # The live client's config wins over self.config.llm (they differ when
         # an already-configured SyntheticLLM instance was injected).
         config = replace(self.config, llm=self.llm.config)

@@ -7,8 +7,46 @@ them in the same aligned-text style as the paper tables.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.pipeline.campaign import CampaignReport, CampaignSummary
 from repro.reporting.tables import render_table
+
+
+def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> Path:
+    """Append campaign throughput/verdict summaries to a benchmark JSON file.
+
+    The benchmark harness calls this when ``REPRO_BENCH_JSON`` is set.  The
+    file accumulates across sessions: existing campaign entries are kept
+    and the new session's points (per-campaign kernels/sec, cache
+    hit-rates, verdict counts) are appended, so the perf trajectory grows
+    run over run.  An unreadable existing file is replaced rather than
+    crashing the session teardown.
+    """
+    path = Path(path)
+    campaigns: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            prior = existing.get("campaigns", [])
+            campaigns = [entry for entry in prior if isinstance(entry, dict)]
+        except (json.JSONDecodeError, OSError, AttributeError):
+            campaigns = []
+    campaigns.extend(summary.as_dict() for summary in summaries)
+    payload = {
+        "campaigns": campaigns,
+        "totals": {
+            "campaigns": len(campaigns),
+            "kernels": sum(c.get("kernels", 0) for c in campaigns),
+            "executed": sum(c.get("executed", 0) for c in campaigns),
+            "wall_clock_seconds": round(
+                sum(c.get("wall_clock_seconds", 0.0) for c in campaigns), 4),
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:

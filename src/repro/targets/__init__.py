@@ -1,9 +1,10 @@
 """Pluggable vector-target layer: ISA descriptions consumed by every stage.
 
 ``repro.targets`` is the single source of truth for what a vector backend
-*is*: lane count, type and intrinsic naming, per-operation availability and
-cycle costs.  The planner, code generator, interpreter, symbolic executor,
-performance model and campaign engine all parameterize on a
+*is*: lane count, vector type, intrinsic spelling (the bidirectional
+op <-> name mapping), per-operation availability and cycle costs.  The
+planner, code generator, interpreter, symbolic executor, lexer/parser
+keyword sets, performance model and campaign engine all parameterize on a
 :class:`TargetISA`; the AVX2 instance reproduces the paper's setup exactly
 and remains the default everywhere.
 """
@@ -13,13 +14,21 @@ from repro.targets.isa import (
     AVX2,
     AVX512,
     DEFAULT_TARGET,
+    NEON,
     SSE4,
+    VECTOR_TYPE_LANES,
     TargetISA,
+    UnknownIntrinsicName,
     UnsupportedTargetOperation,
     all_targets,
+    contains_known_intrinsics,
     detect_target,
     get_target,
+    known_intrinsic_spellings,
+    resolve_intrinsic,
+    resolve_target_setting,
     target_names,
+    vector_type_lanes,
 )
 
 __all__ = [
@@ -27,11 +36,19 @@ __all__ = [
     "AVX2",
     "AVX512",
     "DEFAULT_TARGET",
+    "NEON",
     "SSE4",
+    "VECTOR_TYPE_LANES",
     "TargetISA",
+    "UnknownIntrinsicName",
     "UnsupportedTargetOperation",
     "all_targets",
+    "contains_known_intrinsics",
     "detect_target",
     "get_target",
+    "known_intrinsic_spellings",
+    "resolve_intrinsic",
+    "resolve_target_setting",
     "target_names",
+    "vector_type_lanes",
 ]

@@ -4,26 +4,44 @@ A :class:`TargetISA` bundles everything the pipeline needs to know about one
 SIMD instruction set: how many 32-bit lanes a register holds, what the
 vector type and the intrinsics are called, which generic operations the ISA
 can express, and how its instructions are priced by the cycle simulator.
-Three concrete instances ship here:
 
-* ``SSE4``  — 4 lanes / 128-bit registers, ``_mm_*`` intrinsics;
-* ``AVX2``  — 8 lanes / 256-bit registers, ``_mm256_*`` intrinsics (the
-  paper's target; every default in the pipeline resolves to it);
-* ``AVX512`` — 16 lanes / 512-bit registers, ``_mm512_*`` intrinsics with
-  native masked loads/stores/blends.
+This module is the **only** place where concrete intrinsic spellings live.
+Every other layer speaks in *generic operation* names (``add``, ``mul``,
+``select``, ``loadu`` ...); the mapping to a target's spelling — and back —
+is owned by the target:
+
+* ``TargetISA.intrinsic(op)`` spells a generic op for the target;
+* ``TargetISA.op_of(name)`` inverts one target's spelling;
+* :func:`resolve_intrinsic` inverts any registered target's spelling and
+  raises :class:`UnknownIntrinsicName` for spellings no target emits —
+  callers must never guess or silently coerce an unknown name into some
+  other ISA's grammar.
+
+Four concrete instances ship here:
+
+* ``SSE4``  — 4 lanes / 128-bit registers, x86 ``{prefix}_{op}_{suffix}``
+  spellings;
+* ``NEON``  — 4 lanes / 128-bit registers with the ARM ``v{op}q_s32``
+  spelling scheme, which deliberately shares nothing with the x86 grammar;
+* ``AVX2``  — 8 lanes / 256-bit registers (the paper's target; every
+  default in the pipeline resolves to it);
+* ``AVX512`` — 16 lanes / 512-bit registers with native masked
+  loads/stores/blends.
 
 Everything downstream — the intrinsic registries, the planner's legality
-window, code generation, the interpreter and symbolic executor, the cost
-model and the campaign engine — consumes these descriptions, so adding a
-further backend is a data-only change in this module.
+window, code generation, the interpreter and symbolic executor, the lexer's
+vector-type keywords, the cost model and the campaign engine — consumes
+these descriptions, so adding a further backend (SVE, RVV, ...) is a
+data-only change in this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
-from repro.cfront.ctypes import CType
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cfront derives
+    from repro.cfront.ctypes import CType  # its vector types from this module)
 
 
 class UnsupportedTargetOperation(KeyError):
@@ -35,37 +53,55 @@ class UnsupportedTargetOperation(KeyError):
         self.op = op
 
 
+class UnknownIntrinsicName(KeyError):
+    """An intrinsic spelling that no registered target emits.
+
+    Raised by the reverse mapping instead of guessing a target: mutating an
+    unknown spelling into some ISA's grammar would silently change which
+    backend a candidate belongs to.
+    """
+
+    def __init__(self, name: str):
+        known = ", ".join(t.display_name for t in ALL_TARGETS)
+        super().__init__(
+            f"intrinsic spelling {name!r} belongs to no registered target ({known})"
+        )
+        self.name = name
+
+
 def _x86_op_names(prefix: str, si: str, **overrides: str) -> dict[str, str]:
     """The regular x86 naming scheme: ``{prefix}_{op}`` / ``{prefix}_{op}_{si}``.
 
+    Keys are the ISA-neutral generic operation names the rest of the
+    pipeline speaks; values are this scheme's concrete spellings.
     ``overrides`` replaces individual entries (e.g. AVX-512's native masked
     forms); mapping an op to an empty string removes it, which is how a
     target declares an operation unavailable.
     """
     names = {
-        # per-lane arithmetic / comparison (suffix epi32)
-        "add_epi32": f"{prefix}_add_epi32",
-        "sub_epi32": f"{prefix}_sub_epi32",
-        "mullo_epi32": f"{prefix}_mullo_epi32",
-        "cmpgt_epi32": f"{prefix}_cmpgt_epi32",
-        "cmpeq_epi32": f"{prefix}_cmpeq_epi32",
-        "max_epi32": f"{prefix}_max_epi32",
-        "min_epi32": f"{prefix}_min_epi32",
-        "abs_epi32": f"{prefix}_abs_epi32",
-        # full-register bitwise (suffix si128/si256/si512)
+        # per-lane arithmetic / comparison
+        "add": f"{prefix}_add_epi32",
+        "sub": f"{prefix}_sub_epi32",
+        "mul": f"{prefix}_mullo_epi32",
+        "cmpgt": f"{prefix}_cmpgt_epi32",
+        "cmpeq": f"{prefix}_cmpeq_epi32",
+        "max": f"{prefix}_max_epi32",
+        "min": f"{prefix}_min_epi32",
+        "abs": f"{prefix}_abs_epi32",
+        # full-register bitwise
         "and": f"{prefix}_and_{si}",
         "or": f"{prefix}_or_{si}",
         "xor": f"{prefix}_xor_{si}",
         "andnot": f"{prefix}_andnot_{si}",
-        # blends and shifts
-        "blendv": f"{prefix}_blendv_epi8",
-        "srli_epi32": f"{prefix}_srli_epi32",
-        "slli_epi32": f"{prefix}_slli_epi32",
-        "srai_epi32": f"{prefix}_srai_epi32",
+        # per-lane selects and shifts
+        "select": f"{prefix}_blendv_epi8",
+        "srl": f"{prefix}_srli_epi32",
+        "sll": f"{prefix}_slli_epi32",
+        "sra": f"{prefix}_srai_epi32",
         # lane rearrangement
-        "shuffle_epi32": f"{prefix}_shuffle_epi32",
-        "hadd_epi32": f"{prefix}_hadd_epi32",
-        "permute2x128": f"{prefix}_permute2x128_{si}",
+        "shuffle": f"{prefix}_shuffle_epi32",
+        "hadd": f"{prefix}_hadd_epi32",
+        "permute_halves": f"{prefix}_permute2x128_{si}",
         # memory
         "loadu": f"{prefix}_loadu_{si}",
         "storeu": f"{prefix}_storeu_{si}",
@@ -96,9 +132,10 @@ class TargetISA:
     display_name: str
     #: Number of 32-bit lanes per vector register.
     lanes: int
-    #: The C vector type the backend's candidates declare (``__m256i`` ...).
+    #: The C vector type the backend's candidates declare.
     vector_type: str
-    #: Intrinsic name prefix (``_mm``, ``_mm256``, ``_mm512``).
+    #: Intrinsic name prefix; informational (prompts, docs) — spelling goes
+    #: through ``op_names``, never through string surgery on the prefix.
     prefix: str
     #: Generic operation -> concrete intrinsic name.  An op absent from this
     #: mapping is unavailable on the target.
@@ -106,13 +143,31 @@ class TargetISA:
     #: Cost-model category overrides (``vec_load`` ...) relative to the AVX2
     #: base table in :mod:`repro.perf.costmodel`.
     vector_cost_overrides: Mapping[str, float] = field(default_factory=dict)
-    #: Per-op cycle-cost overrides for the intrinsic registry specs.
+    #: Per-op cycle-cost overrides for the intrinsic registry specs, keyed by
+    #: generic op name.
     intrinsic_cost_overrides: Mapping[str, float] = field(default_factory=dict)
     #: True when masked loads/stores/blends are first-class instructions
     #: (AVX-512) rather than AVX-style emulations.
     has_native_masked_ops: bool = False
     #: Bits per lane; the whole pipeline models 32-bit integer TSVC loops.
     lane_bits: int = 32
+    #: Header a candidate for this target conventionally includes.
+    header: str = "immintrin.h"
+    #: A gather spelling the target does *not* actually have; the synthetic
+    #: LLM uses it to model "the model invented an intrinsic" failures.  It
+    #: must never collide with a real ``op_names`` entry of any target.
+    bogus_gather_spelling: str = ""
+
+    def __post_init__(self) -> None:
+        reverse: dict[str, str] = {}
+        for op, spelled in self.op_names.items():
+            if spelled in reverse:
+                raise ValueError(
+                    f"{self.display_name}: spelling {spelled!r} assigned to both "
+                    f"{reverse[spelled]!r} and {op!r}"
+                )
+            reverse[spelled] = op
+        object.__setattr__(self, "_ops_by_name", reverse)
 
     # -- capability queries -------------------------------------------------
 
@@ -124,6 +179,15 @@ class TargetISA:
         """Whether the generic operation ``op`` exists on this target."""
         return op in self.op_names
 
+    @property
+    def has_masked_memory(self) -> bool:
+        """Whether the target can express masked loads *and* stores at all
+        (natively or as AVX-style emulations).  NEON-class targets cannot:
+        their masking is select-based and purely in-register."""
+        return self.supports("maskload") and self.supports("maskstore")
+
+    # -- spelling (the bidirectional op <-> name mapping) -------------------
+
     def intrinsic(self, op: str) -> str:
         """Concrete intrinsic name for a generic op (raises if unavailable)."""
         try:
@@ -131,27 +195,54 @@ class TargetISA:
         except KeyError:
             raise UnsupportedTargetOperation(self, op) from None
 
+    def op_of(self, name: str) -> str:
+        """Generic op of one of *this* target's spellings (raises otherwise)."""
+        try:
+            return self._ops_by_name[name]
+        except KeyError:
+            raise UnknownIntrinsicName(name) from None
+
+    def spells(self, name: str) -> bool:
+        """Whether ``name`` is one of this target's intrinsic spellings."""
+        return name in self._ops_by_name
+
+    def zero_call(self) -> tuple[str, tuple[int, ...]]:
+        """How this target materializes an all-zero register, as
+        ``(intrinsic name, immediate args)``.
+
+        x86 has a dedicated ``setzero``; NEON idiomatically broadcasts a zero
+        (``vdupq_n_s32(0)``), so targets without ``setzero`` fall back to
+        ``set1`` with a literal 0 argument.
+        """
+        if self.supports("setzero"):
+            return self.intrinsic("setzero"), ()
+        return self.intrinsic("set1"), (0,)
+
     # -- C-type plumbing ----------------------------------------------------
 
     @property
-    def vector_ctype(self) -> CType:
+    def vector_ctype(self) -> "CType":
+        from repro.cfront.ctypes import CType
+
         return CType(self.vector_type)
 
     @property
-    def vector_pointer_ctype(self) -> CType:
+    def vector_pointer_ctype(self) -> "CType":
+        from repro.cfront.ctypes import CType
+
         return CType(self.vector_type, 1)
 
 
-#: 4 x 32-bit lanes.  ``_mm_maskload_epi32`` is technically an AVX (VEX)
+#: 4 x 32-bit lanes.  The 128-bit maskload is technically an AVX (VEX)
 #: encoding of a 128-bit operation; it is included so masked-epilogue
-#: candidates stay expressible at every width.
+#: candidates stay expressible at every x86 width.
 SSE4 = TargetISA(
     name="sse4",
     display_name="SSE4",
     lanes=4,
     vector_type="__m128i",
     prefix="_mm",
-    op_names=_x86_op_names("_mm", "si128", permute2x128=""),
+    op_names=_x86_op_names("_mm", "si128", permute_halves=""),
     vector_cost_overrides={
         # 128-bit memory ops move half the data of the AVX2 base figures.
         "vec_load": 4.0,
@@ -163,33 +254,101 @@ SSE4 = TargetISA(
         "vec_extract": 2.0,
     },
     intrinsic_cost_overrides={"loadu": 2.0, "storeu": 2.0, "extract": 1.0},
+    bogus_gather_spelling="_mm_gather_load_epi32",
+)
+
+#: 4 x 32-bit lanes with the ARM NEON (AArch64 AdvSIMD) naming scheme: the
+#: first backend whose spellings share nothing with the x86
+#: ``{prefix}_{op}_{suffix}`` grammar, which is exactly why it exists —
+#: any string surgery that survives elsewhere breaks on ``vaddq_s32``.
+#:
+#: NEON has **no masked loads or stores**: ``maskload``/``maskstore`` are
+#: absent from the table, masking is select-based (``vbslq_s32``) and purely
+#: in-register, and the planner/codegen reject masked-memory requests with a
+#: message naming the gap.  There is also no zero-idiom intrinsic
+#: (``zero_call`` falls back to ``vdupq_n_s32(0)``), no whole-register
+#: ``set`` constructor and no in-register shuffle-by-immediate.
+#:
+#: Fidelity notes (same spirit as the AVX-512 ones): the pipeline keeps one
+#: uniform call shape per generic op, so a few spellings are model-level
+#: pseudo-intrinsics rather than verbatim ``arm_neon.h``: real
+#: ``vbslq_s32`` takes the mask operand *first* (here it shares the
+#: ``(else, then, mask)`` order of the other targets), ``vshrq_n_u32``
+#: would need ``vreinterpretq`` casts around it for a logical shift of
+#: signed data, and ``vsetq_s32`` stands in for the lane-by-lane
+#: ``vsetq_lane_s32`` chain that a real ramp constant needs.
+NEON = TargetISA(
+    name="neon",
+    display_name="NEON",
+    lanes=4,
+    vector_type="int32x4_t",
+    prefix="v",
+    op_names={
+        "add": "vaddq_s32",
+        "sub": "vsubq_s32",
+        "mul": "vmulq_s32",
+        "cmpgt": "vcgtq_s32",
+        "cmpeq": "vceqq_s32",
+        "max": "vmaxq_s32",
+        "min": "vminq_s32",
+        "abs": "vabsq_s32",
+        "and": "vandq_s32",
+        "or": "vorrq_s32",
+        "xor": "veorq_s32",
+        "select": "vbslq_s32",
+        "srl": "vshrq_n_u32",
+        "sll": "vshlq_n_s32",
+        "sra": "vshrq_n_s32",
+        "hadd": "vpaddq_s32",
+        "loadu": "vld1q_s32",
+        "storeu": "vst1q_s32",
+        "set1": "vdupq_n_s32",
+        "setr": "vsetq_s32",
+        "extract": "vgetq_lane_s32",
+    },
+    vector_cost_overrides={
+        # 128-bit memory ops, like SSE4; NEON multiplies are single-uop and
+        # lane extraction is cheap on AArch64 cores.
+        "vec_load": 4.0,
+        "vec_store": 4.0,
+        "vec_pure_vector": 1.5,
+        "vec_setr": 1.5,
+        "vec_extract": 1.5,
+    },
+    intrinsic_cost_overrides={"loadu": 2.0, "storeu": 2.0, "extract": 1.0,
+                              "mul": 1.5, "select": 0.5},
+    bogus_gather_spelling="vgatherq_s32",
+    header="arm_neon.h",
 )
 
 #: 8 x 32-bit lanes — the paper's target; the behavioural baseline every
 #: other backend is measured against.  No overrides: the AVX2 tables *are*
-#: the base tables.
+#: the base tables.  ``cast_low`` is the historical reduction-tail
+#: reinterpret of the low 128-bit half, an AVX2-only extra spelling.
 AVX2 = TargetISA(
     name="avx2",
     display_name="AVX2",
     lanes=8,
     vector_type="__m256i",
     prefix="_mm256",
-    op_names=_x86_op_names("_mm256", "si256"),
+    op_names=_x86_op_names("_mm256", "si256",
+                           cast_low="_mm256_castsi256_si128"),
+    bogus_gather_spelling="_mm256_gather_load_epi32",
 )
 
 #: 16 x 32-bit lanes with native masked memory ops and blends.  Horizontal
-#: adds and 2x128 permutes do not exist at 512 bits; reductions fall back to
-#: per-lane extracts.
+#: adds and half-register permutes do not exist at 512 bits; reductions fall
+#: back to per-lane extracts.
 #:
 #: Fidelity note: this backend keeps the pipeline's uniform call shapes, so
 #: a few spellings are model-level pseudo-intrinsics rather than verbatim
-#: immintrin.h: real AVX-512 comparisons return ``__mmask16``
-#: (``_mm512_cmpgt_epi32_mask``), the masked forms take the mask operand
-#: first, and there is no ``_mm512_extract_epi32``.  The semantics modelled
-#: (full-lane 0/-1 masks, blend/maskload argument order shared with the
-#: other targets) are what the interpreter, symbolic executor and verifier
-#: implement; emitting compilable AVX-512 C would need a thin renaming pass
-#: on top of this table.
+#: immintrin.h: real AVX-512 comparisons return a 16-bit predicate mask,
+#: the masked forms take the mask operand first, and there is no 512-bit
+#: single-lane extract.  The semantics modelled (full-lane 0/-1 masks,
+#: select/maskload argument order shared with the other targets) are what
+#: the interpreter, symbolic executor and verifier implement; emitting
+#: compilable AVX-512 C would need a thin renaming pass on top of this
+#: table.
 AVX512 = TargetISA(
     name="avx512",
     display_name="AVX-512",
@@ -198,11 +357,11 @@ AVX512 = TargetISA(
     prefix="_mm512",
     op_names=_x86_op_names(
         "_mm512", "si512",
-        blendv="_mm512_mask_blend_epi32",
+        select="_mm512_mask_blend_epi32",
         maskload="_mm512_mask_loadu_epi32",
         maskstore="_mm512_mask_storeu_epi32",
-        hadd_epi32="",
-        permute2x128="",
+        hadd="",
+        permute_halves="",
     ),
     vector_cost_overrides={
         # 512-bit ops: wider data per instruction, slightly worse latency
@@ -218,22 +377,68 @@ AVX512 = TargetISA(
         "vec_extract": 4.0,
     },
     intrinsic_cost_overrides={"loadu": 4.0, "storeu": 4.0, "extract": 3.0,
-                              "mullo_epi32": 2.5, "blendv": 1.0},
+                              "mul": 2.5, "select": 1.0},
     has_native_masked_ops=True,
+    bogus_gather_spelling="_mm512_gather_load_epi32",
 )
 
-#: Registration order doubles as the canonical narrow-to-wide ordering.
-ALL_TARGETS: tuple[TargetISA, ...] = (SSE4, AVX2, AVX512)
+#: Registration order doubles as the canonical narrow-to-wide ordering
+#: (ties broken by registration: SSE4 before NEON at 4 lanes).
+ALL_TARGETS: tuple[TargetISA, ...] = (SSE4, NEON, AVX2, AVX512)
 
 DEFAULT_TARGET: TargetISA = AVX2
 
 _ALIASES = {
     "sse": "sse4", "sse4": "sse4", "sse4.1": "sse4", "sse41": "sse4",
+    "neon": "neon", "arm": "neon", "armv8": "neon", "asimd": "neon",
     "avx2": "avx2", "avx": "avx2",
     "avx512": "avx512", "avx-512": "avx512", "avx512f": "avx512",
 }
 
 _BY_NAME = {target.name: target for target in ALL_TARGETS}
+
+
+def _build_spelling_index() -> dict[str, tuple[str, str]]:
+    """Intrinsic spelling -> (target name, generic op), across all targets."""
+    index: dict[str, tuple[str, str]] = {}
+    for target in ALL_TARGETS:
+        for op, spelled in target.op_names.items():
+            existing = index.get(spelled)
+            if existing is not None and existing[1] != op:
+                raise RuntimeError(
+                    f"intrinsic spelling collision across targets: {spelled!r} "
+                    f"is {existing[1]!r} on {existing[0]} but {op!r} on {target.name}"
+                )
+            if existing is None:
+                index[spelled] = (target.name, op)
+    return index
+
+
+_SPELLING_INDEX = _build_spelling_index()
+
+
+def _build_vector_type_lanes() -> dict[str, int]:
+    table: dict[str, int] = {}
+    for target in ALL_TARGETS:
+        existing = table.get(target.vector_type)
+        if existing is not None and existing != target.lanes:
+            raise RuntimeError(
+                f"vector type {target.vector_type!r} registered with both "
+                f"{existing} and {target.lanes} lanes"
+            )
+        table[target.vector_type] = target.lanes
+    return table
+
+
+#: Vector type name -> 32-bit lane count, derived from the registered
+#: targets.  The lexer/parser keyword sets and the C type model consume
+#: this, so a new backend's vector type becomes a keyword automatically.
+VECTOR_TYPE_LANES: dict[str, int] = _build_vector_type_lanes()
+
+
+def vector_type_lanes() -> dict[str, int]:
+    """A copy of the vector-type table (type name -> lane count)."""
+    return dict(VECTOR_TYPE_LANES)
 
 
 def target_names() -> list[str]:
@@ -258,17 +463,54 @@ def get_target(target: "TargetISA | str | None") -> TargetISA:
     return _BY_NAME[canonical]
 
 
-def detect_target(source: str, default: "TargetISA | str | None" = None) -> TargetISA:
-    """Infer the target ISA of candidate C source from its intrinsic prefixes.
+def resolve_target_setting(*settings: "TargetISA | str | None") -> TargetISA:
+    """The single default-resolution rule for layered target settings.
 
-    Widest match wins (``_mm512_`` before ``_mm256_`` before ``_mm_``, which
-    is also a prefix of the other two); source with no intrinsics at all
-    resolves to ``default`` (the AVX2 default when not given).
+    Walks ``settings`` from most to least specific (e.g. explicit argument,
+    tool config, campaign config) and resolves the first one that is set;
+    when every layer is unset (``None``), the pipeline default applies.
+    Agents, prompts, the synthetic LLM and the campaign engine all resolve
+    through here, so they cannot disagree about the active target.
     """
-    if "_mm512_" in source:
-        return AVX512
-    if "_mm256_" in source:
-        return AVX2
-    if "_mm_" in source:
-        return SSE4
+    for setting in settings:
+        if setting is not None:
+            return get_target(setting)
+    return DEFAULT_TARGET
+
+
+def resolve_intrinsic(name: str) -> tuple[TargetISA, str]:
+    """Invert an intrinsic spelling: ``(owning target, generic op)``.
+
+    Spellings shared by several targets resolve to the first registrant.
+    Raises :class:`UnknownIntrinsicName` for spellings no target emits —
+    never coerces an unknown name into another ISA's grammar.
+    """
+    entry = _SPELLING_INDEX.get(name)
+    if entry is None:
+        raise UnknownIntrinsicName(name)
+    target_name, op = entry
+    return _BY_NAME[target_name], op
+
+
+def known_intrinsic_spellings() -> frozenset[str]:
+    """Every intrinsic spelling any registered target emits."""
+    return frozenset(_SPELLING_INDEX)
+
+
+def contains_known_intrinsics(source: str) -> bool:
+    """Whether ``source`` mentions any registered target's intrinsics."""
+    return any(name in source for name in _SPELLING_INDEX)
+
+
+def detect_target(source: str, default: "TargetISA | str | None" = None) -> TargetISA:
+    """Infer the target ISA of candidate C source from its intrinsic spellings.
+
+    The widest target with a spelling hit wins (an AVX2 reduction tail may
+    legitimately contain the narrow ``cast_low`` + 4-lane extract idiom);
+    source with no registered intrinsics at all resolves to ``default`` (the
+    pipeline default when not given).
+    """
+    for target in sorted(ALL_TARGETS, key=lambda t: -t.lanes):
+        if any(name in source for name in target.op_names.values()):
+            return target
     return get_target(default)

@@ -3,18 +3,20 @@
 The generator rewrites the innermost loop of a kernel into
 
 * a *vector loop* processing one lane-count block of iterations per trip
-  with the target's intrinsics (``_mm_*`` / ``_mm256_*`` / ``_mm512_*``:
-  loads hoisted above stores, if-conversion through ``cmpgt``/blend masks,
-  vector accumulators for reductions, ``setr`` vectors for induction
-  variables), followed by
+  with the target's own intrinsic spellings (loads hoisted above stores,
+  if-conversion through compare/select masks, vector accumulators for
+  reductions, ``setr`` ramps for induction variables), followed by
 * reduction finalization (horizontal combine back into the scalar), and
 * a scalar *epilogue loop* that finishes the remaining ``n mod lanes``
-  iterations with the original loop body,
+  iterations with the original loop body — or, when the plan carries
+  ``masked_epilogue``, one masked tail iteration that retires the remainder
+  with the target's masked loads/stores instead of a scalar loop,
 
 which is exactly the shape of the GPT-4 generated code in the paper's
 Figures 1 and Section 4.4 (there for AVX2, the default target here).
-Anything the generator cannot express raises
-:class:`InfeasibleVectorization`; callers treat that like a planner
+Every intrinsic is requested by its generic op name through the target's
+spelling table; anything the generator cannot express raises
+:class:`InfeasibleVectorization`, and callers treat that like a planner
 rejection.
 """
 
@@ -105,6 +107,9 @@ class _VectorBodyBuilder:
         self.lanes = plan.target.lanes
         self.iterator = iterator
         self.existing_names = existing_names
+        #: When set, the builder is emitting a masked tail: every memory
+        #: access goes through maskload/maskstore with this mask register.
+        self.tail_mask: Optional[str] = None
         self.counter = 0
         self.preload_stmts: list[ast.Stmt] = []
         self.body_stmts: list[ast.Stmt] = []
@@ -121,13 +126,20 @@ class _VectorBodyBuilder:
     def _op(self, op: str) -> str:
         """Concrete intrinsic name of a generic op on the active target."""
         if not self.target.supports(op):
+            if op in ("maskload", "maskstore"):
+                raise InfeasibleVectorization(
+                    f"masked memory operation {op!r} has no "
+                    f"{self.target.display_name} equivalent (no masked "
+                    f"loads/stores on this target; select-based masking "
+                    f"covers in-register blends only)"
+                )
             raise InfeasibleVectorization(
                 f"operation {op!r} has no {self.target.display_name} equivalent"
             )
         return self.target.intrinsic(op)
 
     def _binop_intrinsic(self, op: str) -> Optional[str]:
-        table = {"+": "add_epi32", "-": "sub_epi32", "*": "mullo_epi32",
+        table = {"+": "add", "-": "sub", "*": "mul",
                  "&": "and", "|": "or", "^": "xor"}
         generic = table.get(op)
         return self._op(generic) if generic is not None else None
@@ -169,7 +181,11 @@ class _VectorBodyBuilder:
     def _zero_vector(self) -> str:
         key = ("zero",)
         if key not in self.registers:
-            self.registers[key] = self._emit_value("zero", _call(self._op("setzero")))
+            # x86 has a dedicated zero idiom; NEON-class targets broadcast 0.
+            name, args = self.target.zero_call()
+            self.registers[key] = self._emit_value(
+                "zero", _call(name, *[_lit(arg) for arg in args])
+            )
         return self.registers[key]
 
     def _splat_expr(self, expr: ast.Expr, hint: str) -> str:
@@ -182,7 +198,11 @@ class _VectorBodyBuilder:
         key = ("load", array, offset)
         if key not in self.registers:
             name = self._fresh(f"{array}_{offset}")
-            load = _call(self._op("loadu"), self._vector_pointer(array, _index_expr(self.iterator, offset)))
+            pointer = self._vector_pointer(array, _index_expr(self.iterator, offset))
+            if self.tail_mask is not None:
+                load = _call(self._op("maskload"), pointer, _ident(self.tail_mask))
+            else:
+                load = _call(self._op("loadu"), pointer)
             self.preload_stmts.append(self._vec_decl(name, load))
             self.registers[key] = name
         return self.registers[key]
@@ -195,7 +215,7 @@ class _VectorBodyBuilder:
             ramp_reg = self._emit_value("ramp", ramp)
             base_reg = self._emit_value("ibase", base)
             self.registers[key] = self._emit_value(
-                "ivec", _call(self._op("add_epi32"), _ident(base_reg), _ident(ramp_reg))
+                "ivec", _call(self._op("add"), _ident(base_reg), _ident(ramp_reg))
             )
         return self.registers[key]
 
@@ -209,7 +229,7 @@ class _VectorBodyBuilder:
             ramp_reg = self._emit_value(f"{name}_ramp", _call(self._op("setr"), *lanes))
             base_reg = self._emit_value(f"{name}_base", _call(self._op("set1"), _ident(name)))
             self.registers[key] = self._emit_value(
-                f"{name}_vec", _call(self._op("add_epi32"), _ident(base_reg), _ident(ramp_reg))
+                f"{name}_vec", _call(self._op("add"), _ident(base_reg), _ident(ramp_reg))
             )
         return self.registers[key]
 
@@ -240,23 +260,23 @@ class _VectorBodyBuilder:
             left = self._vectorize_value(cond.left)
             right = self._vectorize_value(cond.right)
             if cond.op == ">":
-                return self._emit_value("gt", _call(self._op("cmpgt_epi32"), _ident(left), _ident(right)))
+                return self._emit_value("gt", _call(self._op("cmpgt"), _ident(left), _ident(right)))
             if cond.op == "<":
-                return self._emit_value("lt", _call(self._op("cmpgt_epi32"), _ident(right), _ident(left)))
+                return self._emit_value("lt", _call(self._op("cmpgt"), _ident(right), _ident(left)))
             if cond.op == "==":
-                return self._emit_value("eq", _call(self._op("cmpeq_epi32"), _ident(left), _ident(right)))
+                return self._emit_value("eq", _call(self._op("cmpeq"), _ident(left), _ident(right)))
             if cond.op == "!=":
-                eq = self._emit_value("eq", _call(self._op("cmpeq_epi32"), _ident(left), _ident(right)))
+                eq = self._emit_value("eq", _call(self._op("cmpeq"), _ident(left), _ident(right)))
                 return self._invert(eq)
             if cond.op == ">=":
-                lt = self._emit_value("lt", _call(self._op("cmpgt_epi32"), _ident(right), _ident(left)))
+                lt = self._emit_value("lt", _call(self._op("cmpgt"), _ident(right), _ident(left)))
                 return self._invert(lt)
             # cond.op == "<="
-            gt = self._emit_value("gt", _call(self._op("cmpgt_epi32"), _ident(left), _ident(right)))
+            gt = self._emit_value("gt", _call(self._op("cmpgt"), _ident(left), _ident(right)))
             return self._invert(gt)
         # Bare value used as a condition: true when != 0.
         value = self._vectorize_value(cond)
-        eq = self._emit_value("eqz", _call(self._op("cmpeq_epi32"), _ident(value), _ident(self._zero_vector())))
+        eq = self._emit_value("eqz", _call(self._op("cmpeq"), _ident(value), _ident(self._zero_vector())))
         return self._invert(eq)
 
     # -- value vectorization ---------------------------------------------------------------
@@ -292,7 +312,7 @@ class _VectorBodyBuilder:
         if isinstance(expr, ast.UnaryOp):
             if expr.op == "-":
                 operand = self._vectorize_value(expr.operand)
-                return self._emit_value("neg", _call(self._op("sub_epi32"), _ident(self._zero_vector()), _ident(operand)))
+                return self._emit_value("neg", _call(self._op("sub"), _ident(self._zero_vector()), _ident(operand)))
             if expr.op == "+":
                 return self._vectorize_value(expr.operand)
             if expr.op == "~":
@@ -306,16 +326,16 @@ class _VectorBodyBuilder:
             then_reg = self._vectorize_value(expr.then)
             else_reg = self._vectorize_value(expr.otherwise)
             return self._emit_value(
-                "sel", _call(self._op("blendv"), _ident(else_reg), _ident(then_reg), _ident(mask))
+                "sel", _call(self._op("select"), _ident(else_reg), _ident(then_reg), _ident(mask))
             )
         if isinstance(expr, ast.Call):
             if expr.func == "abs":
                 operand = self._vectorize_value(expr.args[0])
-                return self._emit_value("abs", _call(self._op("abs_epi32"), _ident(operand)))
+                return self._emit_value("abs", _call(self._op("abs"), _ident(operand)))
             if expr.func in ("max", "min"):
                 left = self._vectorize_value(expr.args[0])
                 right = self._vectorize_value(expr.args[1])
-                intrinsic = self._op("max_epi32") if expr.func == "max" else self._op("min_epi32")
+                intrinsic = self._op("max") if expr.func == "max" else self._op("min")
                 return self._emit_value(expr.func, _call(intrinsic, _ident(left), _ident(right)))
             raise InfeasibleVectorization(f"call to {expr.func!r} cannot be vectorized")
         raise InfeasibleVectorization(f"expression {type(expr).__name__} cannot be vectorized")
@@ -402,7 +422,8 @@ class _VectorBodyBuilder:
     def _init_accumulators(self) -> None:
         for reduction in self.plan.reductions:
             if reduction.operation == "+":
-                init: ast.Expr = _call(self._op("setzero"))
+                zero_name, zero_args = self.target.zero_call()
+                init: ast.Expr = _call(zero_name, *[_lit(arg) for arg in zero_args])
             elif reduction.operation == "*":
                 init = _call(self._op("set1"), _lit(1))
             else:  # max / min start from the current scalar value
@@ -487,7 +508,7 @@ class _VectorBodyBuilder:
         self.reductions[scalar] = ReductionInfo(name=scalar, operation=operation, initial_scalar=scalar)
         value_reg = self._vectorize_value(assign.value)
         acc = self._accumulator(scalar)
-        intrinsic = self._op("max_epi32") if operation == "max" else self._op("min_epi32")
+        intrinsic = self._op("max") if operation == "max" else self._op("min")
         self._emit(ast.ExprStmt(expr=ast.Assign(
             op="=", target=_ident(acc), value=_call(intrinsic, _ident(acc), _ident(value_reg))
         )))
@@ -533,7 +554,7 @@ class _VectorBodyBuilder:
             if mask is not None:
                 old = self.registers.get(("temp", name), self._zero_vector())
                 value = self._emit_value(
-                    "sel", _call(self._op("blendv"), _ident(old), _ident(value), _ident(mask))
+                    "sel", _call(self._op("select"), _ident(old), _ident(value), _ident(mask))
                 )
             self.registers[("temp", name)] = value
             return
@@ -554,9 +575,9 @@ class _VectorBodyBuilder:
         if mask is not None:
             neutral = self._zero_vector() if operation == "+" else self._constant_vector(1)
             value = self._emit_value(
-                "sel", _call(self._op("blendv"), _ident(neutral), _ident(value), _ident(mask))
+                "sel", _call(self._op("select"), _ident(neutral), _ident(value), _ident(mask))
             )
-        intrinsic = self._op("add_epi32") if operation == "+" else self._op("mullo_epi32")
+        intrinsic = self._op("add") if operation == "+" else self._op("mul")
         self._emit(ast.ExprStmt(expr=ast.Assign(
             op="=", target=_ident(acc), value=_call(intrinsic, _ident(acc), _ident(value))
         )))
@@ -635,9 +656,13 @@ class _VectorBodyBuilder:
             if old is None:
                 old = read_current()
             value = self._emit_value(
-                "sel", _call(self._op("blendv"), _ident(old), _ident(value), _ident(mask))
+                "sel", _call(self._op("select"), _ident(old), _ident(value), _ident(mask))
             )
-        self._emit(ast.ExprStmt(expr=_call(self._op("storeu"), address, _ident(value))))
+        if self.tail_mask is not None:
+            store = _call(self._op("maskstore"), address, _ident(self.tail_mask), _ident(value))
+        else:
+            store = _call(self._op("storeu"), address, _ident(value))
+        self._emit(ast.ExprStmt(expr=store))
         self.registers[current_key] = value
 
 
@@ -692,6 +717,43 @@ def _collect_identifier_names(func: ast.FunctionDef) -> set[str]:
     return names
 
 
+def _build_masked_tail(plan: VectorizationPlan, iterator: str,
+                       existing_names: set[str], loop) -> ast.Stmt:
+    """One masked tail iteration retiring the final ``n mod lanes`` elements.
+
+    Builds a per-lane bound mask (lane ``k`` enabled when ``i + k`` is still
+    inside the iteration space) and re-emits the loop body with every memory
+    access routed through the target's masked loads/stores.  The planner has
+    already checked the target can express masked memory; on NEON-class
+    targets the request is rejected there with a message naming the gap.
+    """
+    builder = _VectorBodyBuilder(plan, iterator, existing_names)
+    builder.accumulator_decls = []
+    lanes = plan.target.lanes
+    ramp = builder._fresh("tail_ramp")
+    idx = builder._fresh("tail_idx")
+    bound = builder._fresh("tail_bound")
+    mask = builder._fresh("tail_mask")
+    builder.preload_stmts += [
+        builder._vec_decl(ramp, _call(builder._op("setr"),
+                                      *[_lit(k) for k in range(lanes)])),
+        builder._vec_decl(idx, _call(builder._op("add"),
+                                     _call(builder._op("set1"), _ident(iterator)),
+                                     _ident(ramp))),
+        builder._vec_decl(bound, _call(builder._op("set1"), copy.deepcopy(loop.end))),
+        builder._vec_decl(mask, _call(builder._op("cmpgt"),
+                                      _ident(bound), _ident(idx))),
+    ]
+    builder.tail_mask = mask
+    builder.build(plan.normalized_body)
+    tail_stmts = list(builder.preload_stmts) + list(builder.body_stmts)
+    # The scalar epilogue would have left the iterator at the loop bound.
+    tail_stmts.append(ast.ExprStmt(expr=ast.Assign(
+        op="=", target=_ident(iterator), value=copy.deepcopy(loop.end))))
+    guard = ast.BinOp(op="<", left=_ident(iterator), right=copy.deepcopy(loop.end))
+    return ast.If(cond=guard, then=ast.Block(body=tail_stmts), otherwise=None)
+
+
 def _build_vector_loop_region(func: ast.FunctionDef, plan: VectorizationPlan) -> ast.Block:
     """Build the block that replaces the original main loop."""
     loop = plan.features.main_loop
@@ -708,11 +770,6 @@ def _build_vector_loop_region(func: ast.FunctionDef, plan: VectorizationPlan) ->
     vector_step = ast.Assign(op="+=", target=_ident(iterator), value=ast.IntLiteral(value=lanes))
     vector_loop = ast.ForLoop(init=None, cond=vector_cond, step=vector_step, body=vector_body)
 
-    epilogue_cond = ast.BinOp(op=loop.end_op, left=_ident(iterator), right=copy.deepcopy(loop.end))
-    epilogue_step = copy.deepcopy(loop.node.step)
-    epilogue_loop = ast.ForLoop(init=None, cond=epilogue_cond, step=epilogue_step,
-                                body=copy.deepcopy(loop.node.body))
-
     region: list[ast.Stmt] = []
     if loop.declares_iterator:
         region.append(ast.Decl(var_type=INT, name=iterator, init=copy.deepcopy(loop.start)))
@@ -722,7 +779,14 @@ def _build_vector_loop_region(func: ast.FunctionDef, plan: VectorizationPlan) ->
     region.extend(builder.accumulator_decls)
     region.append(vector_loop)
     region.extend(_reduction_finalize(builder))
-    region.append(epilogue_loop)
+    if plan.masked_epilogue:
+        region.append(_build_masked_tail(plan, iterator, builder.existing_names, loop))
+    else:
+        epilogue_cond = ast.BinOp(op=loop.end_op, left=_ident(iterator),
+                                  right=copy.deepcopy(loop.end))
+        epilogue_step = copy.deepcopy(loop.node.step)
+        region.append(ast.ForLoop(init=None, cond=epilogue_cond, step=epilogue_step,
+                                  body=copy.deepcopy(loop.node.body)))
     return ast.Block(body=region)
 
 
@@ -778,10 +842,13 @@ def _find_matching_loop(new_func: ast.FunctionDef, old_func: ast.FunctionDef,
 
 
 def vectorize_kernel(func: ast.FunctionDef,
-                     target: "TargetISA | str | None" = None) -> Optional[VectorizationResult]:
+                     target: "TargetISA | str | None" = None,
+                     masked_epilogue: bool = False) -> Optional[VectorizationResult]:
     """Plan and generate SIMD code for ``func`` on ``target`` (default AVX2);
-    returns None when infeasible."""
-    plan = plan_vectorization(func, get_target(target))
+    returns None when infeasible.  ``masked_epilogue`` asks for a masked
+    tail iteration instead of the scalar remainder loop (targets with
+    masked memory operations only)."""
+    plan = plan_vectorization(func, get_target(target), masked_epilogue=masked_epilogue)
     if not plan.feasible:
         return None
     try:

@@ -2,17 +2,19 @@
 
 The planner decides whether (and how) the rule-based vectorizer can rewrite
 the innermost loop of a kernel with the intrinsics of a given target ISA
-(SSE4 / AVX2 / AVX-512; AVX2, the paper's setup, is the default).  Its
-rejection reasons mirror the failure categories the paper reports for GPT-4
-(Section 4.1.3): loop-carried dependences, packing/one-time dependences,
-prefix sums, non-unit strides, gathers/scatters, wrap-around scalars, and
-unsupported operations (integer division has no SIMD counterpart on any
-modelled target).
+(AVX2, the paper's setup, is the default).  Its rejection reasons mirror
+the failure categories the paper reports for GPT-4 (Section 4.1.3):
+loop-carried dependences, packing/one-time dependences, prefix sums,
+non-unit strides, gathers/scatters, wrap-around scalars, and unsupported
+operations (integer division has no SIMD counterpart on any modelled
+target).
 
-Legality is target-dependent in two ways: the dependence-distance window
+Legality is target-dependent in three ways: the dependence-distance window
 scales with the target's lane count (a flow dependence of distance 5 blocks
-8-lane AVX2 but not 4-lane SSE4), and each operation is checked against the
-target's per-op availability table.
+8-lane AVX2 but not a 4-lane target), each operation is checked against the
+target's per-op availability table, and masked-tail plans additionally need
+masked memory operations, which NEON-class targets cannot express (their
+masking is select-based and purely in-register).
 """
 
 from __future__ import annotations
@@ -49,6 +51,12 @@ class RejectionReason(enum.Enum):
     INVARIANT_WRITE = "write to a loop-invariant location inside the loop"
     INVARIANT_READ_OF_WRITTEN = "read of a fixed element of an array that the loop writes"
     UNSUPPORTED_OPERATION = "operation has no {isa} integer equivalent"
+    MASKED_MEMORY = ("masked tail needs masked loads/stores, which {isa} cannot "
+                     "express (no masked memory operations; select-based masking "
+                     "covers in-register blends only — keep the scalar epilogue)")
+    MASKED_TAIL_SHAPE = ("masked-tail code generation supports only plain and "
+                         "if-converted loops (no reductions, inductions or "
+                         "inclusive bounds)")
     UNSUPPORTED_CONTROL_FLOW = "control flow too complex for if-conversion"
     EARLY_EXIT = "loop contains an early exit (break/return)"
     NESTED_LOOP_BODY = "inner loop body itself contains a loop"
@@ -97,6 +105,9 @@ class VectorizationPlan:
     local_temporaries: list[str] = field(default_factory=list)
     #: The ISA this plan was made for (lane count, intrinsic naming, op set).
     target: TargetISA = DEFAULT_TARGET
+    #: Replace the scalar epilogue with one masked tail iteration (needs the
+    #: target's masked loads/stores; legality-checked at planning time).
+    masked_epilogue: bool = False
 
     @property
     def rejection_text(self) -> str:
@@ -111,11 +122,15 @@ def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None,
 
 
 def plan_vectorization(func: ast.FunctionDef,
-                       target: TargetISA | str | None = None) -> VectorizationPlan:
+                       target: TargetISA | str | None = None,
+                       masked_epilogue: bool = False) -> VectorizationPlan:
     """Analyze ``func`` and return a vectorization plan or a rejection.
 
     ``target`` selects the ISA whose lane count and operation set legality is
     judged against; the default is the paper's AVX2 setup.
+    ``masked_epilogue`` asks for the scalar remainder loop to be replaced by
+    one masked tail iteration — legal only on targets with masked memory
+    operations, and only for plain/if-converted loop shapes.
     """
     isa = get_target(target)
     features = analyze_kernel(func)
@@ -129,7 +144,28 @@ def plan_vectorization(func: ast.FunctionDef,
 
     body = normalize_body(loop.body)
     checker = _BodyChecker(loop.iterator, func, isa)
-    return checker.check(body, features)
+    plan = checker.check(body, features)
+    if plan.feasible and masked_epilogue:
+        return _check_masked_epilogue(plan, loop)
+    return plan
+
+
+def _check_masked_epilogue(plan: VectorizationPlan, loop) -> VectorizationPlan:
+    """Validate that the feasible ``plan`` can also carry a masked tail.
+
+    The tail trades the scalar epilogue for masked loads/stores over the
+    final partial block, so the target must be able to express masked memory
+    at all — on NEON-class targets the rejection names that gap explicitly —
+    and the loop shape must be one the tail generator handles (reductions
+    and induction vectors would need masked accumulator merges).
+    """
+    isa = plan.target
+    if not isa.has_masked_memory:
+        return _reject(RejectionReason.MASKED_MEMORY, plan.features, isa)
+    if plan.reductions or plan.inductions or loop.end_op != "<":
+        return _reject(RejectionReason.MASKED_TAIL_SHAPE, plan.features, isa)
+    plan.masked_epilogue = True
+    return plan
 
 
 class _BodyChecker:
@@ -224,8 +260,8 @@ class _BodyChecker:
             return
         if isinstance(stmt, ast.If):
             self.has_conditionals = True
-            # If-conversion needs compare masks and a blend/select on the target.
-            if not self._require_ops("cmpgt_epi32", "cmpeq_epi32", "blendv"):
+            # If-conversion needs compare masks and a select on the target.
+            if not self._require_ops("cmpgt", "cmpeq", "select"):
                 return
             self._check_condition(stmt.cond)
             self._check_stmt(stmt.then, conditional=True)
@@ -413,7 +449,7 @@ class _BodyChecker:
             if expr.op in ("&&", "||", "<", ">", "<=", ">=", "==", "!="):
                 self._check_condition(expr)
                 return
-            if expr.op == "*" and not self._require_ops("mullo_epi32"):
+            if expr.op == "*" and not self._require_ops("mul"):
                 return
             self._check_value_expr(expr.left)
             self._check_value_expr(expr.right)
@@ -426,7 +462,7 @@ class _BodyChecker:
             return
         if isinstance(expr, ast.TernaryOp):
             self.has_conditionals = True
-            if not self._require_ops("cmpgt_epi32", "cmpeq_epi32", "blendv"):
+            if not self._require_ops("cmpgt", "cmpeq", "select"):
                 return
             self._check_condition(expr.cond)
             self._check_value_expr(expr.then)
@@ -434,7 +470,7 @@ class _BodyChecker:
             return
         if isinstance(expr, ast.Call):
             if expr.func in ("abs", "max", "min"):
-                if not self._require_ops(f"{expr.func}_epi32"):
+                if not self._require_ops(expr.func):
                     return
                 for arg in expr.args:
                     self._check_value_expr(arg)

@@ -26,9 +26,9 @@ from repro.vectorizer import vectorize_kernel
 
 class TestTargetDescriptions:
     def test_registered_targets_narrow_to_wide(self):
-        assert target_names() == ["sse4", "avx2", "avx512"]
-        assert [t.lanes for t in ALL_TARGETS] == [4, 8, 16]
-        assert [t.register_bits for t in ALL_TARGETS] == [128, 256, 512]
+        assert target_names() == ["sse4", "neon", "avx2", "avx512"]
+        assert [t.lanes for t in ALL_TARGETS] == [4, 4, 8, 16]
+        assert [t.register_bits for t in ALL_TARGETS] == [128, 128, 256, 512]
 
     def test_get_target_resolves_aliases_and_instances(self):
         assert get_target(None) is AVX2
@@ -38,14 +38,14 @@ class TestTargetDescriptions:
 
     def test_unknown_target_is_an_error(self):
         with pytest.raises(ValueError, match="unknown target"):
-            get_target("neon")
+            get_target("rvv")
 
     def test_unsupported_op_raises_with_context(self):
         with pytest.raises(UnsupportedTargetOperation, match="AVX-512"):
-            AVX512.intrinsic("hadd_epi32")
+            AVX512.intrinsic("hadd")
 
     def test_intrinsic_naming_is_regular(self):
-        assert SSE4.intrinsic("add_epi32") == "_mm_add_epi32"
+        assert SSE4.intrinsic("add") == "_mm_add_epi32"
         assert AVX2.intrinsic("and") == "_mm256_and_si256"
         assert AVX512.intrinsic("loadu") == "_mm512_loadu_si512"
 
