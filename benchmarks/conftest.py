@@ -24,6 +24,12 @@ Environment knobs (all optional):
 ``REPRO_BENCH_STORE``
     path to a campaign JSONL result store; lets an interrupted benchmark
     session resume and persists results for offline inspection.
+``REPRO_BENCH_SHARD``
+    ``i/n`` restricts every campaign of the session to the i-th of n
+    disjoint suite shards (kernel-name-hash partition; results stay
+    bit-identical to an unsharded run).  Point each shard's machine at its
+    own ``REPRO_BENCH_STORE`` file, then merge the stores into one report
+    with ``repro.pipeline.shard.merge_stores`` / ``report_from_store``.
 ``REPRO_BENCH_TARGETS``
     comma-separated target ISAs for the multi-target campaign benchmark
     (``sse4,neon,avx2,avx512``; ``all`` expands to every registered
@@ -80,6 +86,13 @@ def _configured_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 
+def _configured_shard():
+    from repro.pipeline import ShardSpec
+
+    spec = os.environ.get("REPRO_BENCH_SHARD", "").strip()
+    return ShardSpec.parse(spec) if spec else None
+
+
 def _configured_targets() -> list[str]:
     names = os.environ.get("REPRO_BENCH_TARGETS", "").strip()
     if not names or names.lower() in ("all", "*"):
@@ -119,7 +132,8 @@ def bench_campaign() -> CampaignRunner:
     produced is written out at teardown so the perf trajectory accumulates.
     """
     store = os.environ.get("REPRO_BENCH_STORE", "").strip() or None
-    config = CampaignConfig(workers=_configured_workers(), store_path=store)
+    config = CampaignConfig(workers=_configured_workers(), store_path=store,
+                            shard=_configured_shard())
     runner = CampaignRunner(config)
     yield runner
     path = _bench_json_path()

@@ -1,0 +1,50 @@
+"""Benchmark: the fsync cost of the persistent result cache.
+
+The seed cache fsync'd every entry — ~600 fsyncs for a 149-kernel x
+4-target campaign — and that durability is now a knob
+(``ResultCache(flush_interval=N)``; the campaign engine flushes at the end
+of every ``run_tasks`` call).  This benchmark measures the per-put cost of
+the durable default against batched and end-of-run syncing, and verifies
+that every mode persists every entry.
+"""
+
+import time
+
+from repro.pipeline import ResultCache, content_key
+
+ENTRIES = 400
+#: A payload the size of a realistic per-kernel verdict record.
+VALUE = {"kernel": "s000", "verdict": "equivalent", "attempts": 3,
+         "final_code_sha": "0" * 64, "stage_outcomes": {"Alive2": "equivalent"}}
+
+
+def _time_puts(path, flush_interval: int) -> float:
+    cache = ResultCache(path, flush_interval=flush_interval)
+    started = time.perf_counter()
+    for i in range(ENTRIES):
+        cache.put(content_key(f"key-{i}"), VALUE)
+    cache.flush()
+    elapsed = time.perf_counter() - started
+    cache.close()
+    return elapsed
+
+
+def test_batched_fsync_beats_per_entry_fsync(tmp_path):
+    durable = _time_puts(tmp_path / "durable.jsonl", flush_interval=1)
+    batched = _time_puts(tmp_path / "batched.jsonl", flush_interval=64)
+    end_of_run = _time_puts(tmp_path / "end.jsonl", flush_interval=0)
+
+    for name in ("durable", "batched", "end"):
+        reloaded = ResultCache(tmp_path / f"{name}.jsonl")
+        assert len(reloaded) == ENTRIES, name
+        assert reloaded.peek(content_key("key-7")) == VALUE
+
+    per_put = {"flush_interval=1": durable / ENTRIES,
+               "flush_interval=64": batched / ENTRIES,
+               "flush_interval=0": end_of_run / ENTRIES}
+    print("\ncache put cost (s/entry): "
+          + ", ".join(f"{k}: {v:.2e}" for k, v in per_put.items()))
+    # Timing asserts flake on fast tmpfs, so this only guards the absurd:
+    # batching must never be an order of magnitude *slower* than per-entry.
+    assert batched < durable * 10
+    assert end_of_run < durable * 10

@@ -12,7 +12,10 @@ Run with:  python examples/quickstart.py [kernel-name ...]
 
 Environment knobs: REPRO_WORKERS (pool width, default 0 = one per CPU),
 REPRO_STORE (JSONL result store for resumable runs), REPRO_TARGET
-(target ISA: sse4 / neon / avx2 / avx512; default avx2, the paper's setup).
+(target ISA: sse4 / neon / avx2 / avx512; default avx2, the paper's setup),
+REPRO_SHARD ("i/n" runs only the i-th of n disjoint suite shards — run each
+shard on its own machine with its own REPRO_STORE, then merge the stores
+with repro.pipeline.shard.merge_stores / report_from_store).
 """
 
 from __future__ import annotations
@@ -34,16 +37,25 @@ def main() -> int:
     print()
 
     target = os.environ.get("REPRO_TARGET", "avx2").strip() or "avx2"
+    shard = os.environ.get("REPRO_SHARD", "").strip() or None
     config = CampaignConfig(
         workers=int(os.environ.get("REPRO_WORKERS", "0")),
         store_path=os.environ.get("REPRO_STORE", "").strip() or None,
         target=target,
+        shard=shard,
     )
     tool = LLMVectorizer()
     report = tool.vectorize_suite(names, campaign=config)
     print(render_campaign_report(report))
 
+    if kernel.name not in report.by_kernel():
+        print(f"{kernel.name} is outside shard {shard}; nothing more to show here.")
+        return 0
     result = report.by_kernel()[kernel.name]
+    if result["verdict"] == "error":
+        print(f"{kernel.name} failed with an error (recorded, campaign continued):")
+        print(f"  {result['error']}")
+        return 1
     print(f"FSM attempts: {result['attempts']}, "
           f"LLM invocations: {result['llm_invocations']}, "
           f"plausible: {result['plausible']}")

@@ -33,6 +33,7 @@ from repro.pipeline.campaign import (
     CampaignSummary,
     KernelTask,
     as_campaign_runner,
+    is_error_result,
 )
 from repro.pipeline.cache import config_fingerprint
 from repro.tsvc import LoadedKernel, load_suite
@@ -204,6 +205,8 @@ def run_checksum_evaluation(
         checksum_kernel_job, tasks, label="checksum-eval",
         cache_accept=_accept_batch, cache_adapt=_slice_batch, target=target,
     )
+    # Error records (a kernel whose job raised) carry no outcomes; the
+    # campaign summary still counts them, so they are reported, not silent.
     records = [
         KernelChecksumRecord(
             kernel=result["kernel"],
@@ -211,6 +214,7 @@ def run_checksum_evaluation(
             first_plausible_code=result["first_plausible_code"],
         )
         for result in report.results()
+        if not is_error_result(result)
     ]
     return ChecksumEvaluation(
         records=records, num_completions=num_completions, campaign_summary=report.summary

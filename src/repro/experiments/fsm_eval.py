@@ -27,6 +27,7 @@ from repro.pipeline.campaign import (
     CampaignSummary,
     KernelTask,
     as_campaign_runner,
+    is_error_result,
 )
 from repro.pipeline.cache import config_fingerprint
 from repro.tsvc import load_suite
@@ -128,6 +129,8 @@ def run_fsm_evaluation(
     )
     report = runner.run_tasks(fsm_kernel_job, tasks, label="fsm-eval",
                               target=fsm_config.target)
+    # Error records carry no FSM fields; the summary's verdict counts
+    # still surface them, so a partial campaign yields partial statistics.
     records = [
         FSMKernelRecord(
             kernel=result["kernel"],
@@ -137,6 +140,7 @@ def run_fsm_evaluation(
             final_code=result["final_code"],
         )
         for result in report.results()
+        if not is_error_result(result)
     ]
     return FSMEvaluation(results=records, campaign_summary=report.summary)
 

@@ -21,6 +21,7 @@ from repro.pipeline.campaign import (
     CampaignSummary,
     KernelTask,
     as_campaign_runner,
+    is_error_result,
 )
 from repro.pipeline.cache import config_fingerprint
 from repro.targets import get_target
@@ -146,6 +147,8 @@ def run_performance_evaluation(
     runner = as_campaign_runner(campaign)
     report = runner.run_tasks(performance_kernel_job, tasks, label="performance-eval",
                               target=canonical or "avx2")
+    # Error records carry no cycle measurements; the campaign summary still
+    # counts them, so a partial measurement run yields partial speedups.
     performances = [
         KernelPerformance(
             kernel=result["kernel"],
@@ -155,5 +158,6 @@ def run_performance_evaluation(
             records=[SpeedupRecord(**record) for record in result["records"]],
         )
         for result in report.results()
+        if not is_error_result(result)
     ]
     return PerformanceEvaluation(performances=performances, campaign_summary=report.summary)

@@ -25,6 +25,7 @@ from repro.pipeline.campaign import (
     CampaignSummary,
     KernelTask,
     as_campaign_runner,
+    is_error_result,
 )
 from repro.pipeline.cache import config_fingerprint
 
@@ -162,7 +163,9 @@ def run_verification_funnel(
         checksum_refuted=total - len(plausible_candidates),
         campaign_summary=report.summary,
     )
-    results = report.results()
+    # Error records settle in no funnel stage; the campaign summary still
+    # counts them, so a partial funnel yields partial (not crashed) rows.
+    results = [result for result in report.results() if not is_error_result(result)]
     pending = list(results)
     for stage_name, _ in FUNNEL_STAGES:
         stage = FunnelStage(name=stage_name, total=len(pending))

@@ -10,8 +10,12 @@ from repro.pipeline.campaign import (
     CampaignRunner,
     CampaignSummary,
     KernelTask,
+    ShardSpec,
     derive_kernel_seed,
+    is_error_result,
+    shard_of,
 )
+from repro.pipeline.shard import merge_caches, merge_stores, report_from_store
 
 __all__ = [
     "Verdict",
@@ -29,5 +33,11 @@ __all__ = [
     "CampaignRunner",
     "CampaignSummary",
     "KernelTask",
+    "ShardSpec",
     "derive_kernel_seed",
+    "is_error_result",
+    "shard_of",
+    "merge_caches",
+    "merge_stores",
+    "report_from_store",
 ]

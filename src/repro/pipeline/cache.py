@@ -12,6 +12,16 @@ The cache keeps everything in memory and can optionally persist to a JSONL
 file (one ``{"key": ..., "value": ...}`` object per line, append-only).  A
 crashed or interrupted campaign therefore loses at most the entry being
 written; re-running resumes from the persisted entries.
+
+Durability is a knob: by default every persisted entry is ``fsync``'d
+(``flush_interval=1``), so even a machine crash loses at most one entry.
+Suite-scale campaigns issue hundreds of puts, and one fsync per put
+dominates the I/O cost; ``flush_interval=N`` batches the syncs (every N
+entries plus an explicit :meth:`ResultCache.flush`, which the campaign
+engine calls at the end of every run), and ``flush_interval=0`` syncs only
+on :meth:`~ResultCache.flush`.  Entries are always flushed to the OS after
+each put, so a crashed *process* (as opposed to a crashed machine) still
+loses at most the final line.
 """
 
 from __future__ import annotations
@@ -89,12 +99,22 @@ class CacheStats:
 
 
 class ResultCache:
-    """In-memory content-addressed cache with optional JSONL persistence."""
+    """In-memory content-addressed cache with optional JSONL persistence.
 
-    def __init__(self, path: str | Path | None = None):
+    ``flush_interval`` controls durability of the JSONL file: ``1`` (the
+    default) fsyncs after every entry, ``N`` fsyncs every N entries, ``0``
+    fsyncs only on an explicit :meth:`flush`.
+    """
+
+    def __init__(self, path: str | Path | None = None, flush_interval: int = 1):
+        if flush_interval < 0:
+            raise ValueError(f"flush_interval must be >= 0, got {flush_interval}")
         self.path = Path(path) if path is not None else None
+        self.flush_interval = flush_interval
         self.stats = CacheStats()
         self._entries: dict[str, Any] = {}
+        self._handle = None
+        self._unsynced = 0
         if self.path is not None and self.path.exists():
             for key, value in _read_jsonl_entries(self.path):
                 self._entries[key] = value
@@ -121,12 +141,46 @@ class ResultCache:
         """Store a JSON-serializable value, appending to the JSONL file if any."""
         already_stored = self._entries.get(key) == value
         self._entries[key] = value
-        if self.path is not None and not already_stored:
+        if self.path is None or already_stored:
+            return
+        handle = self._append_handle()
+        handle.write(json.dumps({"key": key, "value": value}) + "\n")
+        handle.flush()
+        self._unsynced += 1
+        if self.flush_interval and self._unsynced >= self.flush_interval:
+            os.fsync(handle.fileno())
+            self._unsynced = 0
+
+    def flush(self) -> None:
+        """Force any entries not yet fsync'd onto stable storage."""
+        if self._handle is not None and self._unsynced:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
+    def close(self) -> None:
+        """Flush pending entries and release the append handle.
+
+        Safe to call repeatedly; the handle reopens lazily on the next
+        :meth:`put`.  The campaign engine closes after every run, so idle
+        runners hold no file descriptors.
+        """
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter shutdown: the OS reclaims the handle anyway
+
+    def _append_handle(self):
+        if self._handle is None or self._handle.closed:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps({"key": key, "value": value}) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+            self._handle = self.path.open("a", encoding="utf-8")
+        return self._handle
 
     def reset_stats(self) -> CacheStats:
         """Return the current stats and start a fresh counting window."""
@@ -135,8 +189,13 @@ class ResultCache:
         return window
 
 
-def _read_jsonl_entries(path: Path) -> Iterator[tuple[str, Any]]:
-    """Yield (key, value) pairs, tolerating a truncated trailing line."""
+def iter_jsonl_dicts(path: Path) -> Iterator[dict]:
+    """Yield the JSON objects of a JSONL file, tolerating a truncated tail.
+
+    The one tolerant JSONL reader behind the result cache, the campaign
+    store and the shard merger: blank lines are skipped, a half-written
+    line (the crash-mid-append case) is dropped, non-dict lines are ignored.
+    """
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -146,5 +205,12 @@ def _read_jsonl_entries(path: Path) -> Iterator[tuple[str, Any]]:
                 entry = json.loads(line)
             except json.JSONDecodeError:
                 continue  # half-written final line of an interrupted run
-            if isinstance(entry, dict) and "key" in entry:
-                yield str(entry["key"]), entry.get("value")
+            if isinstance(entry, dict):
+                yield entry
+
+
+def _read_jsonl_entries(path: Path) -> Iterator[tuple[str, Any]]:
+    """Yield (key, value) pairs, tolerating a truncated trailing line."""
+    for entry in iter_jsonl_dicts(path):
+        if "key" in entry:
+            yield str(entry["key"]), entry.get("value")

@@ -20,6 +20,17 @@ engine makes the shape a first-class subsystem:
   already settled;
 * **resumability** — every completed task is appended to a JSONL result
   store; an interrupted campaign picks up where it left off;
+* **fault tolerance** — a raising job does not abort the campaign: the
+  failure becomes a first-class error record (``verdict="error"`` with the
+  message and traceback) that is persisted, counted and reported like any
+  other verdict (``CampaignConfig.fail_fast=True`` restores the
+  abort-on-first-failure behaviour), and a broken worker pool is rebuilt
+  with the orphaned tasks resubmitted (``max_pool_retries`` bounds it);
+* **sharding** — ``CampaignConfig.shard = ShardSpec(i, n)`` (or the string
+  ``"i/n"``) deterministically restricts the run to the i-th of n disjoint
+  partitions of the suite, keyed on a kernel-name hash, so N machines cover
+  the suite exactly once at any worker count; shard stores merge back into
+  one report via :mod:`repro.pipeline.shard`;
 * **accounting** — each run produces a :class:`CampaignSummary` with
   verdict counts, wall clock, cache hit-rate and throughput (kernels/sec).
 
@@ -35,7 +46,9 @@ import hashlib
 import json
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Optional
@@ -49,6 +62,69 @@ JobFn = Callable[["KernelTask"], dict]
 SOURCE_RUN = "run"
 SOURCE_CACHE = "cache"
 SOURCE_STORE = "store"
+
+#: Verdict value of a job that raised instead of producing a result.
+ERROR_VERDICT = "error"
+
+
+def is_error_result(result: Any) -> bool:
+    """True for the error records a failing job turns into (not aborts)."""
+    return isinstance(result, dict) and result.get("verdict") == ERROR_VERDICT
+
+
+def error_result(task: "KernelTask", label: str, error: BaseException,
+                 traceback_text: str | None = None) -> dict:
+    """Build the first-class record of a job failure on one kernel."""
+    return {
+        "kernel": task.kernel,
+        "verdict": ERROR_VERDICT,
+        "error": f"{type(error).__name__}: {error}",
+        "error_type": type(error).__name__,
+        "traceback": traceback_text,
+        "campaign": label,
+    }
+
+
+def shard_of(kernel_name: str, count: int) -> int:
+    """The shard a kernel belongs to — a pure function of its name.
+
+    Keyed on a content hash of the name alone (never on seeds, configs or
+    suite order), so every machine computes the same partition and per-kernel
+    results stay bit-identical to an unsharded run.
+    """
+    digest = hashlib.sha256(f"shard:{kernel_name}".encode("utf-8")).hexdigest()
+    return int(digest[:16], 16) % count
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One of ``count`` disjoint, exhaustive partitions of a suite."""
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(f"shard index must be in [0, {self.count}), got {self.index}")
+
+    @classmethod
+    def parse(cls, spec: "ShardSpec | str") -> "ShardSpec":
+        """Accept a ShardSpec or the ``"i/n"`` spelling used by env knobs."""
+        if isinstance(spec, cls):
+            return spec
+        try:
+            index_text, count_text = str(spec).split("/", 1)
+            return cls(index=int(index_text), count=int(count_text))
+        except (ValueError, TypeError) as error:
+            raise ValueError(f"shard spec must look like 'i/n', got {spec!r}") from error
+
+    def contains(self, kernel_name: str) -> bool:
+        return shard_of(kernel_name, self.count) == self.index
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
 
 
 def count_verdicts(records: list["CampaignRecord"]) -> dict[str, int]:
@@ -115,9 +191,34 @@ class CampaignConfig:
     #: target is folded into every cache-key fingerprint, so multi-target
     #: campaigns can share one cache/store without colliding on a verdict.
     target: str | None = None
+    #: Abort the campaign on the first failing job (the pre-fault-tolerance
+    #: behaviour).  Off by default: failures become error records instead.
+    fail_fast: bool = False
+    #: Re-execute kernels whose cached/stored result is an error record
+    #: (errors are persisted for accounting, but a resumed run retries them
+    #: rather than letting one crash poison every future run).  Set False to
+    #: reuse error records like any other result.
+    retry_errors: bool = True
+    #: Broken-pool recovery budget, per task: orphaned tasks are resubmitted
+    #: (bisecting batches to isolate a repeat offender), and a task that
+    #: breaks its own singleton pool more than this many times is recorded
+    #: as an error (or, under ``fail_fast``, aborts the campaign).
+    max_pool_retries: int = 2
+    #: Run only this shard of the task list (``ShardSpec`` or ``"i/n"``);
+    #: None runs everything.  Sharding never changes per-kernel results —
+    #: seeds derive from kernel names — so N shard stores merge back into a
+    #: report bit-identical to the unsharded run (:mod:`repro.pipeline.shard`).
+    shard: "ShardSpec | str | None" = None
+    #: fsync cadence of the persistent result cache: 1 syncs every entry
+    #: (maximally durable), N batches every N entries, 0 syncs only at the
+    #: end of each ``run_tasks`` call.
+    cache_flush_interval: int = 1
 
     def resolved_target_name(self) -> str:
         return resolve_target_setting(self.target).name
+
+    def resolved_shard(self) -> "ShardSpec | None":
+        return ShardSpec.parse(self.shard) if self.shard is not None else None
 
     def effective_workers(self) -> int:
         if self.workers <= 0:
@@ -150,6 +251,8 @@ class CampaignSummary:
     verdict_counts: dict[str, int] = field(default_factory=dict)
     #: Target ISA the campaign ran for.
     target: str = "avx2"
+    #: ``"i/n"`` when the run covered one shard of the suite; None otherwise.
+    shard: str | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -187,6 +290,7 @@ class CampaignSummary:
             "workers": self.workers,
             "target": self.target,
             "verdict_counts": dict(self.verdict_counts),
+            **({"shard": self.shard} if self.shard is not None else {}),
         }
 
 
@@ -210,7 +314,12 @@ class CampaignRunner:
 
     def __init__(self, config: CampaignConfig | None = None, cache: ResultCache | None = None):
         self.config = config or CampaignConfig()
-        self.cache = cache if cache is not None else ResultCache(self.config.cache_path)
+        self.cache = cache if cache is not None else ResultCache(
+            self.config.cache_path, flush_interval=self.config.cache_flush_interval)
+        #: The JSONL result store, shared by every run of this runner; it
+        #: parses the file once and tracks appends incrementally, so
+        #: ``run_multi_target`` no longer re-reads the whole store per target.
+        self.store = _ResultStore(self.config.store_path)
         #: Every summary this runner produced, in run order — the raw
         #: material for benchmark trajectories (``REPRO_BENCH_JSON``).
         self.summaries: list[CampaignSummary] = []
@@ -237,8 +346,25 @@ class CampaignRunner:
         accept = cache_accept or (lambda cached, task: True)
         adapt = cache_adapt or (lambda cached, task: cached)
 
-        store = _ResultStore(self.config.store_path)
+        shard = self.config.resolved_shard()
+        if shard is not None:
+            tasks = [task for task in tasks if shard.contains(task.kernel)]
+        resolved_target = target or self.config.resolved_target_name()
+
+        store = self.store
         stored = store.load() if self.config.resume else {}
+
+        def reusable(result: dict | None, task: KernelTask) -> bool:
+            if result is None:
+                return False
+            if self.config.retry_errors and is_error_result(result):
+                return False
+            return accept(result, task)
+
+        def shape(result: dict, task: KernelTask) -> dict:
+            # Error records have no job-specific shape for ``cache_adapt`` to
+            # slice; they pass through verbatim.
+            return result if is_error_result(result) else adapt(result, task)
 
         records: dict[str, CampaignRecord] = {}
         pending: list[tuple[KernelTask, str]] = []
@@ -246,19 +372,20 @@ class CampaignRunner:
         for task in tasks:
             key = task.cache_key(label)
             cached = self.cache.get(key)
-            if cached is not None and accept(cached, task):
-                records[key] = CampaignRecord(task.kernel, key, adapt(cached, task), SOURCE_CACHE)
+            if reusable(cached, task):
+                records[key] = CampaignRecord(task.kernel, key, shape(cached, task), SOURCE_CACHE)
                 continue
             if cached is not None:
                 # An entry existed but cannot serve this request (e.g. too few
-                # stored completions); count it as the miss it effectively is.
+                # stored completions, or a retryable error record); count it
+                # as the miss it effectively is.
                 self.cache.stats.hits -= 1
                 self.cache.stats.misses += 1
             from_store = stored.get(key)
-            if from_store is not None and accept(from_store, task):
+            if reusable(from_store, task):
                 resumed += 1
                 self.cache.put(key, from_store)
-                records[key] = CampaignRecord(task.kernel, key, adapt(from_store, task), SOURCE_STORE)
+                records[key] = CampaignRecord(task.kernel, key, shape(from_store, task), SOURCE_STORE)
                 continue
             pending.append((task, key))
 
@@ -266,11 +393,15 @@ class CampaignRunner:
             # Persist as each task completes (not after the pool drains), so
             # a killed campaign keeps everything that actually finished.
             self.cache.put(key, result)
-            store.append(label, task.kernel, key, result)
-            records[key] = CampaignRecord(task.kernel, key, adapt(result, task), SOURCE_RUN)
+            store.append(label, task.kernel, key, result, target=resolved_target)
+            records[key] = CampaignRecord(task.kernel, key, shape(result, task), SOURCE_RUN)
 
         executed = len(pending)
         self._execute(job, pending, label, persist)
+        # close() both fsyncs anything pending and releases the append
+        # handle, so idle runners hold no file descriptors between runs
+        # (the cache reopens lazily on the next put).
+        self.cache.close()
 
         run_stats = self.cache.reset_stats()
         self.cache.stats = window_before
@@ -279,7 +410,8 @@ class CampaignRunner:
         ordered = [records[task.cache_key(label)] for task in tasks]
         summary = self._summarize(label, ordered, run_stats, resumed,
                                   executed, time.perf_counter() - started,
-                                  target=target or self.config.resolved_target_name())
+                                  target=resolved_target,
+                                  shard=str(shard) if shard is not None else None)
         store.append_summary(summary)
         self.summaries.append(summary)
         return CampaignReport(label=label, records=ordered, summary=summary)
@@ -374,27 +506,91 @@ class CampaignRunner:
         label: str,
         on_result: Callable[[KernelTask, str, dict], None],
     ) -> None:
-        """Run pending tasks, invoking ``on_result`` as each one completes."""
+        """Run pending tasks, invoking ``on_result`` as each one completes.
+
+        A broken worker pool (a worker killed by a segfault, the OOM killer,
+        ...) is rebuilt and the orphaned tasks resubmitted, bisecting to
+        isolate a repeat offender; a task that still breaks its own
+        singleton pool after ``max_pool_retries`` retries becomes an error
+        record (or aborts the campaign under ``fail_fast``).
+        """
         if not pending:
             return
+        fail_fast = self.config.fail_fast
         workers = min(self.config.effective_workers(), len(pending))
         if workers <= 1:
             for task, key in pending:
-                on_result(task, key, _run_job(job, task, label))
+                on_result(task, key, _run_job(job, task, label, fail_fast))
             return
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_run_job, job, task, label): (task, key)
-                       for task, key in pending}
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task, key = futures[future]
-                    on_result(task, key, future.result())
+        # Recovery by bisection: a broken pool cancels every queued task, so
+        # one poison task (segfaulting its worker on every attempt) orphans
+        # whole batches and a flat resubmit loop would burn every task's
+        # retry budget as collateral.  Splitting the orphans instead corners
+        # the culprit: halves without it complete, the half with it shrinks
+        # to a singleton pool that only it can break, and only that singleton
+        # consumes retries (``max_pool_retries``) before erroring out.
+        retries: dict[str, int] = {}
+
+        def run_resilient(batch: list[tuple[KernelTask, str]]) -> None:
+            orphaned = self._execute_pool(job, batch, label, on_result, workers)
+            if not orphaned:
+                return
+            if len(orphaned) > 1:
+                mid = len(orphaned) // 2
+                run_resilient(orphaned[:mid])
+                run_resilient(orphaned[mid:])
+                return
+            task, key = orphaned[0]
+            retries[key] = retries.get(key, 0) + 1
+            if retries[key] <= self.config.max_pool_retries:
+                run_resilient(orphaned)
+                return
+            message = (f"worker pool broke {retries[key]} times with kernel "
+                       f"{task.kernel!r} alone in flight; giving up on it")
+            if fail_fast:
+                raise RuntimeError(f"campaign {label!r}: {message}")
+            on_result(task, key, error_result(task, label, BrokenProcessPool(message)))
+
+        run_resilient(list(pending))
+
+    def _execute_pool(
+        self,
+        job: JobFn,
+        pending: list[tuple[KernelTask, str]],
+        label: str,
+        on_result: Callable[[KernelTask, str, dict], None],
+        workers: int,
+    ) -> list[tuple[KernelTask, str]]:
+        """One process-pool pass; returns the tasks a broken pool orphaned.
+
+        The pool can break at any point — even while tasks are still being
+        submitted (``submit`` itself raises then) — so the whole pass is
+        guarded: every task that did not complete is reported back as
+        orphaned, never lost.
+        """
+        completed: set[str] = set()
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = {pool.submit(_run_job, job, task, label, self.config.fail_fast):
+                           (task, key) for task, key in pending}
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task, key = futures[future]
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            continue
+                        completed.add(key)
+                        on_result(task, key, result)
+        except BrokenProcessPool:
+            pass  # broke mid-submission; everything not completed is orphaned
+        return [(task, key) for task, key in pending if key not in completed]
 
     def _summarize(self, label: str, records: list[CampaignRecord], stats: CacheStats,
                    resumed: int, executed: int, wall_clock: float,
-                   target: str | None = None) -> CampaignSummary:
+                   target: str | None = None, shard: str | None = None) -> CampaignSummary:
         return CampaignSummary(
             label=label,
             kernels=len(records),
@@ -406,6 +602,7 @@ class CampaignRunner:
             workers=self.config.effective_workers(),
             verdict_counts=count_verdicts(records),
             target=target or self.config.resolved_target_name(),
+            shard=shard,
         )
 
 
@@ -451,40 +648,58 @@ def vectorize_kernel_job(task: KernelTask) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def _run_job(job: JobFn, task: KernelTask, label: str) -> dict:
+def _run_job(job: JobFn, task: KernelTask, label: str, fail_fast: bool = False) -> dict:
     try:
         return job(task)
     except Exception as error:
-        raise RuntimeError(f"campaign {label!r}: job failed on kernel {task.kernel!r}: {error}") from error
+        if fail_fast:
+            raise RuntimeError(
+                f"campaign {label!r}: job failed on kernel {task.kernel!r}: {error}"
+            ) from error
+        return error_result(task, label, error,
+                            traceback_text=traceback_module.format_exc())
 
 
 class _ResultStore:
-    """Append-only JSONL store of completed task results plus run summaries."""
+    """Append-only JSONL store of completed task results plus run summaries.
+
+    The store parses its file at most once per instance: :meth:`load` caches
+    the key -> result map and :meth:`append` updates it incrementally, so a
+    runner making many ``run_tasks`` calls (``run_multi_target``, the
+    experiment harnesses) re-reads nothing.  A *new* runner on the same path
+    still sees everything previous runners appended.
+    """
 
     def __init__(self, path: str | Path | None):
         self.path = Path(path) if path is not None else None
+        self._loaded: dict[str, dict] | None = None
 
     def load(self) -> dict[str, dict]:
         """Map cache key -> result for every completed task on record."""
+        if self._loaded is None:
+            self._loaded = self._read()
+        return self._loaded
+
+    def _read(self) -> dict[str, dict]:
         if self.path is None or not self.path.exists():
             return {}
+        from repro.pipeline.cache import iter_jsonl_dicts
+
         stored: dict[str, dict] = {}
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # half-written final line of an interrupted run
-                if isinstance(entry, dict) and entry.get("type") == "result":
-                    stored[str(entry["key"])] = entry["result"]
+        for entry in iter_jsonl_dicts(self.path):
+            if entry.get("type") == "result":
+                stored[str(entry["key"])] = entry["result"]
         return stored
 
-    def append(self, label: str, kernel: str, key: str, result: dict) -> None:
-        self._write({"type": "result", "campaign": label, "kernel": kernel,
-                     "key": key, "result": result})
+    def append(self, label: str, kernel: str, key: str, result: dict,
+               target: str | None = None) -> None:
+        if self._loaded is not None:
+            self._loaded[key] = result
+        entry = {"type": "result", "campaign": label, "kernel": kernel,
+                 "key": key, "result": result}
+        if target is not None:
+            entry["target"] = target
+        self._write(entry)
 
     def append_summary(self, summary: CampaignSummary) -> None:
         self._write({"type": "summary", **summary.as_dict()})

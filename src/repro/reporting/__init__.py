@@ -1,11 +1,20 @@
 """Plain-text table and figure renderers for the experiment harness."""
 
 from repro.reporting.tables import render_table, render_pass_at_k_curve
-from repro.reporting.campaign import render_campaign_report, render_campaign_summary
+from repro.reporting.campaign import (
+    render_campaign_errors,
+    render_campaign_report,
+    render_campaign_summary,
+    render_merged_report,
+    render_shard_summaries,
+)
 
 __all__ = [
     "render_table",
     "render_pass_at_k_curve",
+    "render_campaign_errors",
     "render_campaign_report",
     "render_campaign_summary",
+    "render_merged_report",
+    "render_shard_summaries",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.pipeline.campaign import CampaignReport, CampaignSummary
+from repro.pipeline.campaign import CampaignReport, CampaignSummary, is_error_result
 from repro.reporting.tables import render_table
 
 
@@ -21,8 +21,11 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> 
     file accumulates across sessions: existing campaign entries are kept
     and the new session's points (per-campaign kernels/sec, cache
     hit-rates, verdict counts) are appended, so the perf trajectory grows
-    run over run.  An unreadable existing file is replaced rather than
-    crashing the session teardown.
+    run over run.  Exact-duplicate entries (a re-run appending the very
+    same summary dict) are skipped, so repeated identical sessions cannot
+    grow the file without bound, and the totals always reflect the
+    deduplicated list.  An unreadable existing file is replaced rather
+    than crashing the session teardown.
     """
     path = Path(path)
     campaigns: list[dict] = []
@@ -34,6 +37,15 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> 
         except (json.JSONDecodeError, OSError, AttributeError):
             campaigns = []
     campaigns.extend(summary.as_dict() for summary in summaries)
+    seen: set[str] = set()
+    deduplicated: list[dict] = []
+    for entry in campaigns:
+        fingerprint = json.dumps(entry, sort_keys=True)
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        deduplicated.append(entry)
+    campaigns = deduplicated
     payload = {
         "campaigns": campaigns,
         "totals": {
@@ -54,6 +66,7 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
     rows = [
         {"Metric": "Campaign", "Value": summary.label},
         {"Metric": "Target", "Value": summary.target},
+        *([{"Metric": "Shard", "Value": summary.shard}] if summary.shard else []),
         {"Metric": "Kernels", "Value": summary.kernels},
         {"Metric": "Executed (fresh)", "Value": summary.executed},
         {"Metric": "Resumed from store", "Value": summary.resumed},
@@ -70,8 +83,25 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
     return render_table(rows, title=title or f"Campaign summary ({summary.label})")
 
 
+def render_campaign_errors(report: CampaignReport, title: str = "") -> str:
+    """One row per errored kernel: what failed, with the exception message.
+
+    Returns an empty string when the campaign had no error records, so
+    callers can append it unconditionally.
+    """
+    rows = [
+        {"Test": record.kernel,
+         "Error": record.result.get("error", "") or record.result.get("error_type", "")}
+        for record in report.records
+        if is_error_result(record.result)
+    ]
+    if not rows:
+        return ""
+    return render_table(rows, title=title or f"Campaign errors ({report.label})")
+
+
 def render_campaign_report(report: CampaignReport, title: str = "") -> str:
-    """Render per-kernel verdicts plus the summary table."""
+    """Render per-kernel verdicts plus error details plus the summary table."""
     rows = []
     for record in report.records:
         rows.append({
@@ -82,7 +112,42 @@ def render_campaign_report(report: CampaignReport, title: str = "") -> str:
             "Source": record.source,
         })
     per_kernel = render_table(rows, title=title or f"Campaign results ({report.label})")
+    errors = render_campaign_errors(report)
+    if errors:
+        per_kernel += "\n" + errors
     return per_kernel + "\n" + render_campaign_summary(report.summary)
+
+
+def render_merged_report(report: CampaignReport, title: str = "") -> str:
+    """Render a report reconstructed from merged shard stores.
+
+    Same shape as :func:`render_campaign_report`, titled as a merge — use it
+    on the output of :func:`repro.pipeline.shard.report_from_store`.
+    """
+    return render_campaign_report(
+        report, title=title or f"Merged campaign results ({report.label})")
+
+
+def render_shard_summaries(summaries: "list[CampaignSummary]", title: str = "") -> str:
+    """One row per shard summary: coverage, accounting and verdict counts."""
+    verdicts: list[str] = []
+    for summary in summaries:
+        for verdict in summary.verdict_counts:
+            if verdict not in verdicts:
+                verdicts.append(verdict)
+    rows = []
+    for summary in summaries:
+        row: dict[str, object] = {
+            "Shard": summary.shard or "-",
+            "Target": summary.target,
+            "Kernels": summary.kernels,
+            "Executed": summary.executed,
+            "Wall clock": f"{summary.wall_clock_seconds:.2f}s",
+        }
+        for verdict in sorted(verdicts):
+            row[verdict] = summary.verdict_counts.get(verdict, 0)
+        rows.append(row)
+    return render_table(rows, title=title or "Per-shard campaign summaries")
 
 
 def render_multi_target_summary(reports: "dict[str, CampaignReport]",

@@ -1,6 +1,8 @@
-"""Tests for the campaign engine: caching, determinism, resume, accounting."""
+"""Tests for the campaign engine: caching, determinism, resume, accounting,
+fault tolerance."""
 
 import json
+import os
 
 import pytest
 
@@ -20,6 +22,36 @@ from repro.pipeline.campaign import KernelTask
 # (unvectorizable) kernels — enough variety to exercise every verdict path.
 SUBSET = ["s000", "s111", "s112", "s113", "s1119", "s121",
           "s122", "s212", "s271", "s321", "vsumr", "vif"]
+
+
+# Module-level jobs: the process pool pickles jobs by reference, so the
+# fault-tolerance tests must not use closures.
+
+def _job_failing_on_s111(task: KernelTask) -> dict:
+    """An always-raising kernel amid healthy ones."""
+    if task.kernel == "s111":
+        raise ValueError(f"injected failure on {task.kernel}")
+    return {"kernel": task.kernel, "verdict": "equivalent"}
+
+
+def _job_fine(task: KernelTask) -> dict:
+    return {"kernel": task.kernel, "verdict": "equivalent"}
+
+
+def _job_killing_worker(task: KernelTask) -> dict:
+    """Kernel 'killer' hard-kills its worker process (simulated segfault).
+
+    With a marker path as payload it kills only once — the first attempt
+    leaves the marker behind and the resubmitted attempt succeeds.  With no
+    payload it kills on every attempt.
+    """
+    if task.kernel == "killer":
+        marker = task.payload
+        if marker is None or not os.path.exists(marker):
+            if marker is not None:
+                open(marker, "w").close()
+            os._exit(1)
+    return {"kernel": task.kernel, "verdict": "equivalent"}
 
 
 class TestResultCache:
@@ -50,11 +82,53 @@ class TestResultCache:
         path = tmp_path / "cache.jsonl"
         cache = ResultCache(path)
         cache.put(content_key("k1"), {"v": 1})
+        cache.close()
         with path.open("a") as handle:
             handle.write('{"key": "half-writ')  # simulated crash mid-append
         reloaded = ResultCache(path)
         assert reloaded.peek(content_key("k1")) == {"v": 1}
         assert len(reloaded) == 1
+
+    def test_batched_flush_interval_persists_everything(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path, flush_interval=8)
+        for i in range(20):
+            cache.put(content_key(f"k{i}"), {"v": i})
+        cache.flush()
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 20
+        assert reloaded.peek(content_key("k7")) == {"v": 7}
+
+    def test_flush_interval_batches_fsyncs(self, tmp_path, monkeypatch):
+        import repro.pipeline.cache as cache_module
+
+        syncs = []
+        monkeypatch.setattr(cache_module.os, "fsync", lambda fd: syncs.append(fd))
+
+        durable = ResultCache(tmp_path / "durable.jsonl", flush_interval=1)
+        for i in range(10):
+            durable.put(content_key(f"d{i}"), i)
+        assert len(syncs) == 10  # the seed behaviour: one fsync per entry
+
+        syncs.clear()
+        batched = ResultCache(tmp_path / "batched.jsonl", flush_interval=5)
+        for i in range(10):
+            batched.put(content_key(f"b{i}"), i)
+        assert len(syncs) == 2
+        batched.flush()  # nothing pending: the 10th put just synced
+        assert len(syncs) == 2
+
+        syncs.clear()
+        lazy = ResultCache(tmp_path / "lazy.jsonl", flush_interval=0)
+        for i in range(10):
+            lazy.put(content_key(f"l{i}"), i)
+        assert syncs == []
+        lazy.flush()
+        assert len(syncs) == 1
+
+    def test_flush_interval_is_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(flush_interval=-1)
 
 
 class TestDeterminism:
@@ -173,19 +247,134 @@ class TestChecksumCampaign:
         assert serial.first_plausible_codes() == parallel.first_plausible_codes()
 
 
-class TestErrorHandling:
-    def test_failing_job_names_the_kernel(self):
-        def broken(task: KernelTask) -> dict:
-            raise ValueError("boom")
+def _suite_tasks(names, config_hash="cfg"):
+    return [KernelTask(kernel=name, scalar_code=f"void {name}() {{}}",
+                       seed=0, config_hash=config_hash)
+            for name in names]
+
+
+class TestFaultTolerance:
+    def test_one_failing_kernel_does_not_abort_the_campaign(self, tmp_path):
+        """Regression for the abort-on-one-kernel bug: a campaign with one
+        always-raising kernel completes the others, persists them, and
+        reports the failure in the summary."""
+        store = tmp_path / "campaign.jsonl"
+        runner = CampaignRunner(CampaignConfig(workers=2, store_path=store))
+        report = runner.run_tasks(_job_failing_on_s111, _suite_tasks(SUBSET[:6]),
+                                  label="faulty")
+
+        by_kernel = report.by_kernel()
+        assert set(by_kernel) == set(SUBSET[:6])
+        assert by_kernel["s111"]["verdict"] == "error"
+        assert "ValueError" in by_kernel["s111"]["error"]
+        assert "injected failure" in by_kernel["s111"]["traceback"]
+        healthy = [n for n in SUBSET[:6] if n != "s111"]
+        assert all(by_kernel[n]["verdict"] == "equivalent" for n in healthy)
+        assert report.summary.verdict_counts == {"equivalent": 5, "error": 1}
+
+        # Every kernel — including the failure — made it into the store.
+        entries = [json.loads(line) for line in store.read_text().splitlines()]
+        persisted = {e["kernel"] for e in entries if e["type"] == "result"}
+        assert persisted == set(SUBSET[:6])
+
+    def test_fail_fast_restores_abort_on_first_failure(self):
+        runner = CampaignRunner(CampaignConfig(workers=1, fail_fast=True))
+        with pytest.raises(RuntimeError, match="s111"):
+            runner.run_tasks(_job_failing_on_s111, _suite_tasks(["s000", "s111"]),
+                             label="broken")
+
+    def test_resumed_campaign_retries_error_records(self, tmp_path):
+        """Errors are persisted for accounting, but a resumed run re-executes
+        them instead of letting one crash poison every future run."""
+        store = tmp_path / "campaign.jsonl"
+        tasks = _suite_tasks(SUBSET[:4])
+        CampaignRunner(CampaignConfig(workers=1, store_path=store)).run_tasks(
+            _job_failing_on_s111, tasks, label="crashy")
+
+        resumed = CampaignRunner(CampaignConfig(workers=1, store_path=store))
+        report = resumed.run_tasks(_job_fine, tasks, label="crashy")
+        assert report.summary.resumed == 3
+        assert report.summary.executed == 1
+        assert report.summary.verdict_counts == {"equivalent": 4}
+
+    def test_retry_errors_disabled_reuses_the_error_record(self, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        tasks = _suite_tasks(SUBSET[:4])
+        CampaignRunner(CampaignConfig(workers=1, store_path=store)).run_tasks(
+            _job_failing_on_s111, tasks, label="crashy")
+
+        sticky = CampaignRunner(CampaignConfig(workers=1, store_path=store,
+                                               retry_errors=False))
+        report = sticky.run_tasks(_job_fine, tasks, label="crashy")
+        assert report.summary.executed == 0
+        assert report.summary.resumed == 4
+        assert report.by_kernel()["s111"]["verdict"] == "error"
+
+    def test_broken_pool_resubmits_orphaned_tasks(self, tmp_path):
+        """A worker hard-killed mid-campaign (simulated segfault) breaks the
+        pool; the engine rebuilds it and the resubmitted tasks complete."""
+        marker = str(tmp_path / "killed-once")
+        tasks = [KernelTask(kernel=name, scalar_code="", seed=0,
+                            config_hash="cfg", payload=marker)
+                 for name in ("a", "killer", "c", "d")]
+        runner = CampaignRunner(CampaignConfig(workers=2))
+        report = runner.run_tasks(_job_killing_worker, tasks, label="killy")
+        assert report.summary.verdict_counts == {"equivalent": 4}
+
+    def test_broken_pool_retries_are_bounded(self):
+        """A task that breaks the pool on every attempt ends as an error
+        record after the bounded rebuilds — never a lost campaign."""
+        tasks = [KernelTask(kernel=name, scalar_code="", seed=0,
+                            config_hash="cfg", payload=None)
+                 for name in ("a", "killer")]
+        runner = CampaignRunner(CampaignConfig(workers=2, max_pool_retries=1))
+        report = runner.run_tasks(_job_killing_worker, tasks, label="killy")
+        by_kernel = report.by_kernel()
+        assert set(by_kernel) == {"a", "killer"}
+        assert by_kernel["killer"]["verdict"] == "error"
+        assert "pool" in by_kernel["killer"]["error"]
+        assert by_kernel["a"]["verdict"] == "equivalent"
+
+    def test_poison_task_takes_no_collateral_damage(self):
+        """One instantly-segfaulting task among many innocents: bisection
+        recovery corners it alone; every other task still completes."""
+        tasks = [KernelTask(kernel=name, scalar_code="", seed=0,
+                            config_hash="cfg", payload=None)
+                 for name in (["killer"] + [f"t{i:02d}" for i in range(24)])]
+        runner = CampaignRunner(CampaignConfig(workers=4))
+        report = runner.run_tasks(_job_killing_worker, tasks, label="storm")
+        assert report.summary.verdict_counts == {"equivalent": 24, "error": 1}
+        assert report.by_kernel()["killer"]["verdict"] == "error"
+
+    def test_error_records_render_in_the_report(self):
+        from repro.reporting import render_campaign_errors, render_campaign_report
 
         runner = CampaignRunner(CampaignConfig(workers=1))
-        task = KernelTask(kernel="s000", scalar_code="void f() {}",
-                          seed=0, config_hash="cfg")
-        with pytest.raises(RuntimeError, match="s000"):
-            runner.run_tasks(broken, [task], label="broken")
+        report = runner.run_tasks(_job_failing_on_s111, _suite_tasks(SUBSET[:3]),
+                                  label="faulty")
+        rendered = render_campaign_report(report)
+        assert "error" in rendered
+        assert "ValueError" in rendered
+        assert "ValueError" in render_campaign_errors(report)
+        # A clean report renders no error table at all.
+        clean = runner.run_tasks(_job_fine, _suite_tasks(["zz1", "zz2"]), label="clean")
+        assert render_campaign_errors(clean) == ""
 
+    def test_vectorize_campaign_with_injected_error_keeps_other_kernels(self, tmp_path):
+        """End to end: the flagship vectorize campaign completes around an
+        injected per-kernel failure and records it as an error verdict."""
+        store = tmp_path / "campaign.jsonl"
+        runner = CampaignRunner(CampaignConfig(workers=2, store_path=store))
+        report = runner.run_tasks(_job_failing_on_s111, _suite_tasks(SUBSET),
+                                  label="vectorize")
+        assert report.summary.kernels == len(SUBSET)
+        assert report.summary.verdict_counts["error"] == 1
+        assert report.summary.verdict_counts["equivalent"] == len(SUBSET) - 1
+
+
+class TestErrorHandling:
     def test_interrupted_campaign_keeps_completed_results(self, tmp_path):
-        """A crash mid-campaign must not lose the kernels that finished."""
+        """An abort mid-campaign (fail_fast) must not lose finished kernels."""
         store = tmp_path / "campaign.jsonl"
 
         def explode_on_last(task: KernelTask) -> dict:
@@ -193,10 +382,9 @@ class TestErrorHandling:
                 raise ValueError("boom")
             return {"kernel": task.kernel, "verdict": "equivalent"}
 
-        tasks = [KernelTask(kernel=name, scalar_code=f"void {name}() {{}}",
-                            seed=0, config_hash="cfg")
-                 for name in ("a", "b", "c", "zz-last")]
-        runner = CampaignRunner(CampaignConfig(workers=1, store_path=store))
+        tasks = _suite_tasks(["a", "b", "c", "zz-last"])
+        runner = CampaignRunner(CampaignConfig(workers=1, store_path=store,
+                                               fail_fast=True))
         with pytest.raises(RuntimeError):
             runner.run_tasks(explode_on_last, tasks, label="crashy")
 

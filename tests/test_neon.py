@@ -454,11 +454,19 @@ class TestNeonEndToEnd:
         assert payload["totals"]["campaigns"] == 1
         assert payload["campaigns"][0]["target"] == "neon"
         assert payload["campaigns"][0]["verdict_counts"]
-        # A second session appends its points instead of wiping the file.
+        # Re-writing the very same summaries is deduplicated — identical
+        # sessions cannot grow the file without bound.
         write_bench_json(runner.summaries, path)
+        payload = json.loads(path.read_text())
+        assert payload["totals"]["campaigns"] == 1
+        # A genuinely new campaign point still appends and totals follow.
+        runner2 = CampaignRunner(CampaignConfig(workers=1, target="neon"))
+        runner2.run(["s000", "s111"])
+        write_bench_json(runner2.summaries, path)
         payload = json.loads(path.read_text())
         assert payload["totals"]["campaigns"] == 2
         assert [c["target"] for c in payload["campaigns"]] == ["neon", "neon"]
+        assert payload["totals"]["kernels"] == 3
 
     def test_fsm_evaluation_inherits_the_campaign_target(self):
         """An FSM config with an unset target must run the campaign's ISA —
