@@ -12,7 +12,8 @@ Run with:  python examples/quickstart.py [kernel-name ...]
 
 Environment knobs: REPRO_WORKERS (pool width, default 0 = one per CPU),
 REPRO_STORE (JSONL result store for resumable runs), REPRO_TARGET
-(target ISA: sse4 / neon / avx2 / avx512; default avx2, the paper's setup),
+(target ISA: sse4 / neon / sve128 / sve256 (alias sve) / avx2 / avx512;
+default avx2, the paper's setup),
 REPRO_SHARD ("i/n" runs only the i-th of n disjoint suite shards — run each
 shard on its own machine with its own REPRO_STORE, then merge the stores
 with repro.pipeline.shard.merge_stores / report_from_store).

@@ -22,13 +22,14 @@ from dataclasses import dataclass, field
 from typing import Mapping, Union
 
 from repro.cfront import ast_nodes as ast
-from repro.intrinsics.lanemath import wrap32
+from repro.intrinsics.lanemath import lane_active, whilelt_lanes, wrap32
 from repro.intrinsics.registry import is_intrinsic, lookup_intrinsic
 from repro.intrinsics.values import VALID_WIDTHS
 from repro.smt.terms import Term, TermKind, bv_const, bv_var, mk, poison
 
 MINUS_ONE = bv_const(-1)
 ZERO = bv_const(0)
+ONE = bv_const(1)
 
 
 class SymbolicExecutionError(Exception):
@@ -63,7 +64,30 @@ class SymVector:
         return len(self.lanes)
 
 
-SymValue = Union[Term, SymPointer, SymVector]
+@dataclass
+class SymPred:
+    """A symbolic predicate register: one 0/1 bitvector term per lane.
+
+    Every lane term is kept in boolean form (the constant 0 or 1, or an
+    ``ite``/logical combination of such), so predicate logic composes with
+    plain bitvector AND/OR and a lane is "active" exactly when its term is
+    nonzero.
+    """
+
+    lanes: list[Term]
+
+    def __post_init__(self) -> None:
+        if len(self.lanes) not in VALID_WIDTHS:
+            raise SymbolicExecutionError(
+                f"predicate width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+            )
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
+
+
+SymValue = Union[Term, SymPointer, SymVector, SymPred]
 
 
 @dataclass
@@ -193,7 +217,18 @@ class SymbolicExecutor:
         if decl.init is not None:
             state.scalars[decl.name] = self._eval(decl.init, state)
         elif decl.var_type.is_vector:
-            state.scalars[decl.name] = SymVector([ZERO] * decl.var_type.vector_lanes)
+            lanes = decl.var_type.vector_lanes
+            if not lanes:
+                raise SymbolicExecutionError(
+                    f"declaration of scalable vector {decl.name!r} needs an "
+                    "initializer (the width travels with the intrinsics)"
+                )
+            state.scalars[decl.name] = SymVector([ZERO] * lanes)
+        elif decl.var_type.is_predicate:
+            raise SymbolicExecutionError(
+                f"declaration of predicate {decl.name!r} needs an initializer "
+                "(predicate widths travel with the intrinsics)"
+            )
         else:
             state.scalars[decl.name] = ZERO
 
@@ -239,6 +274,11 @@ class SymbolicExecutor:
                 )
             elif isinstance(then_val, SymVector) and isinstance(else_val, SymVector):
                 state.scalars[name] = SymVector(
+                    [mk(TermKind.ITE, cond, t, e) if t != e else t
+                     for t, e in zip(then_val.lanes, else_val.lanes)]
+                )
+            elif isinstance(then_val, SymPred) and isinstance(else_val, SymPred):
+                state.scalars[name] = SymPred(
                     [mk(TermKind.ITE, cond, t, e) if t != e else t
                      for t, e in zip(then_val.lanes, else_val.lanes)]
                 )
@@ -343,8 +383,8 @@ class SymbolicExecutor:
         right = self._eval(expr.right, state)
         if isinstance(left, SymPointer) or isinstance(right, SymPointer):
             return self._pointer_arith(expr.op, left, right)
-        if isinstance(left, SymVector) or isinstance(right, SymVector):
-            raise SymbolicExecutionError("scalar operator applied to a vector value")
+        if isinstance(left, (SymVector, SymPred)) or isinstance(right, (SymVector, SymPred)):
+            raise SymbolicExecutionError("scalar operator applied to a vector or predicate value")
         return mk(self._BIN_TABLE[expr.op], left, right)
 
     def _pointer_arith(self, op: str, left: SymValue, right: SymValue) -> SymValue:
@@ -482,7 +522,7 @@ class SymbolicExecutor:
                 index = pointer.offset + lane
                 if m.kind is TermKind.CONST:
                     lanes.append(state.load(pointer.region, index)
-                                 if wrap32(m.value) < 0 else ZERO)
+                                 if lane_active(m.value) else ZERO)
                 elif index < 0 or index >= region.size:
                     # Whether the out-of-bounds lane is read depends on a
                     # symbolic mask bit; neither "UB" nor "no UB" is sound,
@@ -507,7 +547,7 @@ class SymbolicExecutor:
             for lane, m in enumerate(mask.lanes):
                 index = pointer.offset + lane
                 if m.kind is TermKind.CONST:
-                    if wrap32(m.value) < 0:
+                    if lane_active(m.value):
                         state.store(pointer.region, index, vector.lanes[lane])
                 elif index < 0 or index >= region.size:
                     # Whether the out-of-bounds lane is written depends on a
@@ -519,6 +559,129 @@ class SymbolicExecutor:
                     old = state.load(pointer.region, index)
                     state.store(pointer.region, index,
                                 mk(TermKind.ITE, mk(TermKind.LT, m, ZERO),
+                                   vector.lanes[lane], old))
+            return vector
+        if spec.kind == "ptrue":
+            return SymPred([ONE] * spec.lanes)
+        if spec.kind == "whilelt":
+            # Both operands are loop-control scalars, concrete during bounded
+            # unrolling — which is exactly what lets the verifier prove a
+            # predicated loop at an unaligned trip count: the final
+            # iteration's tail predicate disables the out-of-bounds lanes
+            # *concretely*, so no boundary access ever happens.
+            base = _as_concrete(self._eval(expr.args[0], state), "whilelt base")
+            bound = _as_concrete(self._eval(expr.args[1], state), "whilelt bound")
+            return SymPred([ONE if active else ZERO
+                            for active in whilelt_lanes(base, bound, spec.lanes)])
+        if spec.kind == "ptest":
+            pred = self._pred_arg(expr.args[0], state, spec.lanes)
+            if all(lane.kind is TermKind.CONST for lane in pred.lanes):
+                return bv_const(1 if any(lane.value != 0 for lane in pred.lanes) else 0)
+            any_active = pred.lanes[0]
+            for lane in pred.lanes[1:]:
+                any_active = mk(TermKind.OR, any_active, lane)
+            return any_active
+        if spec.kind == "pred_unary":
+            # Zeroing NOT: gov & !p, on 0/1 lane terms.
+            gov = self._pred_arg(expr.args[0], state, spec.lanes)
+            operand = self._pred_arg(expr.args[1], state, spec.lanes)
+            return SymPred([
+                mk(TermKind.ITE, mk(TermKind.EQ, p, ZERO), g, ZERO)
+                for g, p in zip(gov.lanes, operand.lanes)
+            ])
+        if spec.kind == "pred_binary":
+            gov = self._pred_arg(expr.args[0], state, spec.lanes)
+            a = self._pred_arg(expr.args[1], state, spec.lanes)
+            b = self._pred_arg(expr.args[2], state, spec.lanes)
+            inner_kind = TermKind.AND if spec.op == "pand" else TermKind.OR
+            return SymPred([
+                mk(TermKind.AND, g, mk(inner_kind, x, y))
+                for g, x, y in zip(gov.lanes, a.lanes, b.lanes)
+            ])
+        if spec.kind == "pred_cmp":
+            gov = self._pred_arg(expr.args[0], state, spec.lanes)
+            a = self._vector_arg(expr.args[1], state, spec.lanes)
+            b = self._vector_arg(expr.args[2], state, spec.lanes)
+            cmp_kind = TermKind.GT if spec.op == "pcmpgt" else TermKind.EQ
+            return SymPred([
+                mk(TermKind.AND, g,
+                   mk(TermKind.ITE, mk(cmp_kind, x, y), ONE, ZERO))
+                for g, x, y in zip(gov.lanes, a.lanes, b.lanes)
+            ])
+        if spec.kind == "psel":
+            pred = self._pred_arg(expr.args[0], state, spec.lanes)
+            a = self._vector_arg(expr.args[1], state, spec.lanes)
+            b = self._vector_arg(expr.args[2], state, spec.lanes)
+            return SymVector([
+                mk(TermKind.ITE, mk(TermKind.NE, p, ZERO), x, y)
+                for p, x, y in zip(pred.lanes, a.lanes, b.lanes)
+            ])
+        if spec.kind == "pred_merge_binary":
+            pred = self._pred_arg(expr.args[0], state, spec.lanes)
+            a = self._vector_arg(expr.args[1], state, spec.lanes)
+            b = self._vector_arg(expr.args[2], state, spec.lanes)
+            merge_kind = {"padd": TermKind.ADD}[spec.op]
+            return SymVector([
+                mk(TermKind.ITE, mk(TermKind.NE, p, ZERO),
+                   mk(merge_kind, x, y), x)
+                for p, x, y in zip(pred.lanes, a.lanes, b.lanes)
+            ])
+        if spec.kind == "index":
+            base = self._eval(expr.args[0], state)
+            if not isinstance(base, Term):
+                raise SymbolicExecutionError("index base is not a scalar")
+            step = _as_concrete(self._eval(expr.args[1], state), "index step")
+            return SymVector([mk(TermKind.ADD, base, bv_const(step * lane))
+                              for lane in range(spec.lanes)])
+        if spec.kind == "pload":
+            # A lane reads memory only where the predicate is active;
+            # inactive lanes come back zero and never touch memory — an
+            # inactive lane at the region boundary records no UB, which is
+            # the soundness property the predicated tail rests on.
+            pred = self._pred_arg(expr.args[0], state, spec.lanes)
+            pointer = self._pointer_arg(expr.args[1], state)
+            region = state.regions.get(pointer.region)
+            if region is None:
+                raise SymbolicExecutionError(f"load from unknown region {pointer.region!r}")
+            lanes = []
+            for lane, p in enumerate(pred.lanes):
+                index = pointer.offset + lane
+                if p.kind is TermKind.CONST:
+                    lanes.append(state.load(pointer.region, index)
+                                 if p.value != 0 else ZERO)
+                elif index < 0 or index >= region.size:
+                    # Whether the out-of-bounds lane is read depends on a
+                    # symbolic predicate bit; neither "UB" nor "no UB" is
+                    # sound, so report the query as Inconclusive.
+                    raise SymbolicExecutionError(
+                        "predicated load with a data-dependent predicate "
+                        "reaches the region boundary"
+                    )
+                else:
+                    lanes.append(mk(TermKind.ITE, mk(TermKind.NE, p, ZERO),
+                                    state.load(pointer.region, index), ZERO))
+            return SymVector(lanes)
+        if spec.kind == "pstore":
+            pred = self._pred_arg(expr.args[0], state, spec.lanes)
+            pointer = self._pointer_arg(expr.args[1], state)
+            vector = self._vector_arg(expr.args[2], state, spec.lanes)
+            region = state.regions.get(pointer.region)
+            if region is None:
+                raise SymbolicExecutionError(f"store to unknown region {pointer.region!r}")
+            for lane, p in enumerate(pred.lanes):
+                index = pointer.offset + lane
+                if p.kind is TermKind.CONST:
+                    if p.value != 0:
+                        state.store(pointer.region, index, vector.lanes[lane])
+                elif index < 0 or index >= region.size:
+                    raise SymbolicExecutionError(
+                        "predicated store with a data-dependent predicate "
+                        "reaches the region boundary"
+                    )
+                else:
+                    old = state.load(pointer.region, index)
+                    state.store(pointer.region, index,
+                                mk(TermKind.ITE, mk(TermKind.NE, p, ZERO),
                                    vector.lanes[lane], old))
             return vector
         if spec.kind == "set1":
@@ -654,6 +817,17 @@ class SymbolicExecutor:
         if lanes is not None and value.width != lanes:
             raise SymbolicExecutionError(
                 f"intrinsic vector operand has {value.width} lanes, expected {lanes}"
+            )
+        return value
+
+    def _pred_arg(self, expr: ast.Expr, state: SymbolicState,
+                  lanes: int | None = None) -> SymPred:
+        value = self._eval(expr, state)
+        if not isinstance(value, SymPred):
+            raise SymbolicExecutionError("intrinsic predicate operand is not a predicate value")
+        if lanes is not None and value.width != lanes:
+            raise SymbolicExecutionError(
+                f"intrinsic predicate operand has {value.width} lanes, expected {lanes}"
             )
         return value
 

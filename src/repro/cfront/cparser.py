@@ -18,7 +18,7 @@ from repro.cfront import ast_nodes as ast
 from repro.cfront.ctypes import CType, normalize_base_type
 from repro.cfront.lexer import Token, TokenKind, tokenize
 from repro.errors import ParseError, SourceLocation
-from repro.targets.isa import VECTOR_TYPE_LANES
+from repro.targets.isa import PREDICATE_TYPE_NAMES, VECTOR_TYPE_LANES
 
 _TYPE_KEYWORDS = frozenset(
     {
@@ -33,7 +33,7 @@ _TYPE_KEYWORDS = frozenset(
         "static",
         "extern",
     }
-) | frozenset(VECTOR_TYPE_LANES)
+) | frozenset(VECTOR_TYPE_LANES) | PREDICATE_TYPE_NAMES
 
 _ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
 

@@ -1,12 +1,18 @@
 """Type representation for the C subset.
 
 Only the types that actually occur in TSVC kernels and their SIMD
-vectorizations are modelled: ``int``, ``void``, pointers to ``int``, and the
-integer vector types of the registered target ISAs.  Which vector types
-exist — and how many 32-bit lanes each holds — is *derived from the target
-registry* (:data:`repro.targets.VECTOR_TYPE_LANES`), so a new backend's
-vector type is recognized here, in the lexer and in the parser without any
-code change.  A handful of aliases (``long``, ``unsigned``) are folded onto
+vectorizations are modelled: ``int``, ``void``, pointers to ``int``, the
+integer vector types of the registered target ISAs, and the predicate
+register types of predicate-first targets (SVE's ``svbool_t``).  Which
+vector and predicate types exist — and how many 32-bit lanes each vector
+type holds — is *derived from the target registry*
+(:data:`repro.targets.VECTOR_TYPE_LANES` /
+:data:`repro.targets.PREDICATE_TYPE_NAMES`), so a new backend's types are
+recognized here, in the lexer and in the parser without any code change.
+Scalable vector types (``svint32_t``) record :data:`~repro.targets
+.SCALABLE_LANES` (0) lanes: the width is simulated per target and travels
+with the intrinsic names, so declarations of such types always carry an
+initializer.  A handful of aliases (``long``, ``unsigned``) are folded onto
 ``int`` because TSVC uses 32-bit integer data exclusively (the paper
 restricts itself to the 149 integer loops).
 """
@@ -15,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.targets.isa import VECTOR_TYPE_LANES
+from repro.targets.isa import PREDICATE_TYPE_NAMES, VECTOR_TYPE_LANES
 
 
 @dataclass(frozen=True)
@@ -38,8 +44,17 @@ class CType:
         return self.name in VECTOR_TYPE_LANES and self.pointer_depth == 0
 
     @property
+    def is_predicate(self) -> bool:
+        return self.name in PREDICATE_TYPE_NAMES and self.pointer_depth == 0
+
+    @property
     def vector_lanes(self) -> int:
-        """Lane count of a vector type (raises for non-vector types)."""
+        """Lane count of a vector type (raises for non-vector types).
+
+        Scalable types return :data:`~repro.targets.SCALABLE_LANES` (0): the
+        width is simulated per target, so a declaration of such a type must
+        carry an initializer whose intrinsic determines the width.
+        """
         if self.name not in VECTOR_TYPE_LANES or self.pointer_depth != 0:
             raise ValueError(f"{self} is not a vector type")
         return VECTOR_TYPE_LANES[self.name]
@@ -84,6 +99,9 @@ def normalize_base_type(specifiers: list[str]) -> CType:
     for vector_name in VECTOR_TYPE_LANES:
         if vector_name in relevant:
             return CType(vector_name)
+    for predicate_name in PREDICATE_TYPE_NAMES:
+        if predicate_name in relevant:
+            return CType(predicate_name)
     if "void" in relevant:
         return VOID
     if all(s in _INT_ALIASES for s in relevant):

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import LexError, SourceLocation
-from repro.targets.isa import VECTOR_TYPE_LANES
+from repro.targets.isa import PREDICATE_TYPE_NAMES, VECTOR_TYPE_LANES
 
 
 class TokenKind(enum.Enum):
@@ -50,7 +50,7 @@ KEYWORDS = frozenset(
         "static",
         "extern",
     }
-) | frozenset(VECTOR_TYPE_LANES)
+) | frozenset(VECTOR_TYPE_LANES) | PREDICATE_TYPE_NAMES
 
 # Multi-character punctuators, longest first so maximal munch works.
 _PUNCTUATORS = [

@@ -26,13 +26,13 @@ from typing import Mapping, Optional, Union
 from repro.cfront import ast_nodes as ast
 from repro.errors import CompileError, InterpreterError, UndefinedBehaviorError
 from repro.interp.memory import Memory, UBEvent
-from repro.intrinsics.lanemath import wrap32
+from repro.intrinsics.lanemath import lane_active, wrap32
 from repro.intrinsics.registry import (
     apply_pure_intrinsic,
     is_intrinsic,
     lookup_intrinsic,
 )
-from repro.intrinsics.values import VecValue
+from repro.intrinsics.values import PredValue, VecValue
 
 
 @dataclass(frozen=True)
@@ -46,7 +46,7 @@ class Pointer:
         return Pointer(self.region, self.offset + delta)
 
 
-Value = Union[int, Pointer, VecValue]
+Value = Union[int, Pointer, VecValue, PredValue]
 
 
 class _BreakSignal(Exception):
@@ -217,7 +217,21 @@ class Interpreter:
         if decl.init is not None:
             value = self._eval(decl.init)
         elif decl.var_type.is_vector:
-            value = VecValue.zero(decl.var_type.vector_lanes)
+            lanes = decl.var_type.vector_lanes
+            if not lanes:
+                # Scalable vector types carry no width of their own; only an
+                # initializer's intrinsic can supply one.
+                raise CompileError(
+                    f"declaration of scalable vector {decl.name!r} needs an "
+                    f"initializer (the width travels with the intrinsics, "
+                    f"not with {decl.var_type})"
+                )
+            value = VecValue.zero(lanes)
+        elif decl.var_type.is_predicate:
+            raise CompileError(
+                f"declaration of predicate {decl.name!r} needs an initializer "
+                f"(predicate widths travel with the intrinsics)"
+            )
         elif decl.var_type.is_pointer:
             value = Pointer("__null__", 0)
         else:
@@ -473,7 +487,9 @@ class Interpreter:
             if target.name not in self.scope:
                 raise CompileError(f"assignment to undeclared identifier {target.name!r}")
             existing = self.scope[target.name]
-            if isinstance(existing, VecValue) or isinstance(value, VecValue):
+            if isinstance(existing, (VecValue, PredValue)) or isinstance(
+                value, (VecValue, PredValue)
+            ):
                 self.scope[target.name] = value
             elif isinstance(existing, Pointer) or isinstance(value, Pointer):
                 self.scope[target.name] = value
@@ -510,6 +526,10 @@ class Interpreter:
             if isinstance(value, VecValue):
                 return value
             raise InterpreterError(f"cannot cast a scalar to {target_type}")
+        if target_type.is_predicate:
+            if isinstance(value, PredValue):
+                return value
+            raise InterpreterError(f"cannot cast a non-predicate to {target_type}")
         if isinstance(value, int):
             return wrap32(value)
         if isinstance(value, Pointer):
@@ -549,7 +569,7 @@ class Interpreter:
             values: list[int] = []
             poison: list[bool] = []
             for lane in range(spec.lanes):
-                if mask.lanes[lane] < 0:
+                if lane_active(mask.lanes[lane]):
                     value, is_poison = self.memory.load(pointer.region, pointer.offset + lane)
                     values.append(value)
                     poison.append(is_poison)
@@ -567,9 +587,41 @@ class Interpreter:
             mask = self._vector_argument(expr.args[1], spec.lanes)
             vector = self._vector_argument(expr.args[2], spec.lanes)
             for lane in range(spec.lanes):
-                if mask.lanes[lane] < 0:
+                if lane_active(mask.lanes[lane]):
                     self.memory.store(
                         pointer.region, pointer.offset + lane, vector.lanes[lane], vector.poison[lane]
+                    )
+            return vector
+        if spec.kind == "pload":
+            # Predicate-governed load: active lanes read memory (recording
+            # OOB/poison like any load), inactive lanes come back zero and —
+            # the property the predicated-loop legalization rests on — never
+            # touch memory at all.  A poison predicate lane makes the loaded
+            # lane unreliable rather than the access itself.
+            pred = self._pred_argument(expr.args[0], spec.lanes)
+            pointer = self._pointer_argument(expr.args[1])
+            values, poison = [], []
+            for lane in range(spec.lanes):
+                if pred.lanes[lane]:
+                    value, is_poison = self.memory.load(pointer.region, pointer.offset + lane)
+                    values.append(value)
+                    poison.append(is_poison or pred.poison[lane])
+                else:
+                    values.append(0)
+                    poison.append(pred.poison[lane])
+            return VecValue.from_lanes(values, poison)
+        if spec.kind == "pstore":
+            # Mirror image: active lanes store, inactive lanes leave memory
+            # untouched; storing under a poison predicate lane stores poison
+            # (the checker observes it as a poison-store UB event).
+            pred = self._pred_argument(expr.args[0], spec.lanes)
+            pointer = self._pointer_argument(expr.args[1])
+            vector = self._vector_argument(expr.args[2], spec.lanes)
+            for lane in range(spec.lanes):
+                if pred.lanes[lane]:
+                    self.memory.store(
+                        pointer.region, pointer.offset + lane, vector.lanes[lane],
+                        vector.poison[lane] or pred.poison[lane],
                     )
             return vector
         if spec.kind == "extract":
@@ -602,6 +654,16 @@ class Interpreter:
             )
         return value
 
+    def _pred_argument(self, expr: ast.Expr, lanes: int | None = None) -> PredValue:
+        value = self._eval(expr)
+        if not isinstance(value, PredValue):
+            raise InterpreterError("intrinsic predicate operand is not a predicate value")
+        if lanes is not None and value.width != lanes:
+            raise InterpreterError(
+                f"intrinsic predicate operand has {value.width} lanes, expected {lanes}"
+            )
+        return value
+
     # -- helpers ---------------------------------------------------------------------
 
     def _truth(self, value: Value) -> bool:
@@ -617,6 +679,11 @@ class Interpreter:
             return value
         if isinstance(value, VecValue):
             raise InterpreterError("a vector value was used where a scalar was expected")
+        if isinstance(value, PredValue):
+            raise InterpreterError(
+                "a predicate value was used where a scalar was expected "
+                "(query it with a ptest intrinsic)"
+            )
         if isinstance(value, Pointer):
             raise InterpreterError("a pointer value was used where a scalar was expected")
         raise InterpreterError(f"unexpected value of type {type(value).__name__}")

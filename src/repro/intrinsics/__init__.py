@@ -20,7 +20,7 @@ from repro.intrinsics.registry import (
     lookup_intrinsic,
     registry_for,
 )
-from repro.intrinsics.values import M256Value, VecValue
+from repro.intrinsics.values import M256Value, PredValue, VecValue
 
 __all__ = [
     "INTRINSIC_REGISTRY",
@@ -28,6 +28,7 @@ __all__ = [
     "IntrinsicSpec",
     "LANE_BITS",
     "M256Value",
+    "PredValue",
     "VecValue",
     "apply_pure_intrinsic",
     "build_registry",

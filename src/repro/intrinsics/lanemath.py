@@ -24,3 +24,24 @@ def wrap32(value: int) -> int:
 def to_unsigned32(value: int) -> int:
     """Interpret a signed 32-bit value as unsigned."""
     return value & LANE_MASK
+
+
+def lane_active(mask_value: int) -> bool:
+    """Whether a data-vector mask lane enables its operation.
+
+    One definition of "active" shared by the AVX-style masked memory ops and
+    the select byte blends: the lane's sign bit is set (TSVC vectorizations
+    only ever build full-lane 0 / -1 masks).
+    """
+    return wrap32(mask_value) < 0
+
+
+def whilelt_lanes(base: int, bound: int, width: int) -> tuple[bool, ...]:
+    """The SVE ``whilelt`` predicate pattern: lane ``k`` active iff
+    ``base + k < bound``.
+
+    Shared by the concrete interpreter and the symbolic executor so the two
+    execution substrates can never disagree about which tail lanes a
+    predicated loop's final iteration retires.
+    """
+    return tuple(base + lane < bound for lane in range(width))

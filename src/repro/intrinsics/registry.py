@@ -16,8 +16,13 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import CompileError
-from repro.intrinsics.lanemath import LANE_BITS, to_unsigned32, wrap32
-from repro.intrinsics.values import VecValue
+from repro.intrinsics.lanemath import (
+    LANE_BITS,
+    to_unsigned32,
+    whilelt_lanes,
+    wrap32,
+)
+from repro.intrinsics.values import PredValue, VecValue
 from repro.targets import ALL_TARGETS, TargetISA, get_target
 
 
@@ -29,10 +34,16 @@ class IntrinsicSpec:
     ``fn``), ``pure_vector`` (whole-vector function), ``pure_imm`` /
     ``pure_imm2`` (vector plus immediates), ``load``/``store``/``maskload``/
     ``maskstore`` (handled by the interpreter, which owns the memory model),
-    ``set``/``setr``/``set1``/``setzero`` (vector construction),
+    ``set``/``setr``/``set1``/``setzero``/``index`` (vector construction),
     ``extract`` (vector to scalar) and ``cast_low`` (reinterpret of the low
-    register half).  ``cycle_cost`` is the rough reciprocal throughput fed
-    to the registry consumers; ``lanes`` is the register width in 32-bit
+    register half).  Predicate-first targets add ``ptrue``/``whilelt``
+    (predicate construction), ``ptest`` (predicate to scalar),
+    ``pred_unary``/``pred_binary`` (zeroing predicate logic, governed by the
+    first operand), ``pred_cmp`` (vectors to predicate), ``psel``
+    (predicate-selected blend), ``pred_merge_binary`` (merging predicated
+    arithmetic) and ``pload``/``pstore`` (predicate-governed memory, handled
+    by the interpreter).  ``cycle_cost`` is the rough reciprocal throughput
+    fed to the registry consumers; ``lanes`` is the register width in 32-bit
     lanes; ``op`` is the generic operation name shared across targets.
     """
 
@@ -176,6 +187,95 @@ def _hadd(a: VecValue, b: VecValue) -> VecValue:
     return VecValue(tuple(out_lanes), tuple(out_poison))
 
 
+def _require_pred(value, name: str) -> PredValue:
+    if not isinstance(value, PredValue):
+        raise CompileError(f"{name} operand is not a predicate value")
+    return value
+
+
+def _require_vec(value, name: str) -> VecValue:
+    if not isinstance(value, VecValue):
+        raise CompileError(f"{name} operand is not a vector value")
+    return value
+
+
+def _require_scalar(value, name: str) -> int:
+    if isinstance(value, (VecValue, PredValue)):
+        raise CompileError(f"{name} operand is not a scalar value")
+    return int(value)
+
+
+def _pred_not(gov: PredValue, p: PredValue) -> PredValue:
+    """Zeroing predicate NOT: active where the governing predicate is active
+    and ``p`` is not (ACLE ``svnot_b_z`` semantics)."""
+    lanes = tuple(g and not a for g, a in zip(gov.lanes, p.lanes))
+    poison = tuple(pg or pp for pg, pp in zip(gov.poison, p.poison))
+    return PredValue(lanes, poison)
+
+
+def _pred_and(gov: PredValue, a: PredValue, b: PredValue) -> PredValue:
+    lanes = tuple(g and x and y for g, x, y in zip(gov.lanes, a.lanes, b.lanes))
+    poison = tuple(pg or pa or pb
+                   for pg, pa, pb in zip(gov.poison, a.poison, b.poison))
+    return PredValue(lanes, poison)
+
+
+def _pred_or(gov: PredValue, a: PredValue, b: PredValue) -> PredValue:
+    lanes = tuple(g and (x or y) for g, x, y in zip(gov.lanes, a.lanes, b.lanes))
+    poison = tuple(pg or pa or pb
+                   for pg, pa, pb in zip(gov.poison, a.poison, b.poison))
+    return PredValue(lanes, poison)
+
+
+def _pred_cmp_fn(lane_cmp):
+    """A predicate-producing comparison: active lanes of the governing
+    predicate compare; inactive lanes come back false (zeroing)."""
+
+    def compare(gov: PredValue, a: VecValue, b: VecValue) -> PredValue:
+        lanes = tuple(
+            g and lane_cmp(x, y)
+            for g, x, y in zip(gov.lanes, a.lanes, b.lanes)
+        )
+        # A predicate bit computed from poison data is itself unreliable —
+        # but only where the governing predicate actually looked.
+        poison = tuple(
+            pg or (g and (pa or pb))
+            for pg, g, pa, pb in zip(gov.poison, gov.lanes, a.poison, b.poison)
+        )
+        return PredValue(lanes, poison)
+
+    return compare
+
+
+def _psel(pred: PredValue, a: VecValue, b: VecValue) -> VecValue:
+    """Predicate-selected blend: active lanes from ``a``, inactive from ``b``
+    (ACLE ``svsel`` operand order — predicate first, then-value second)."""
+    lanes = tuple(x if g else y for g, x, y in zip(pred.lanes, a.lanes, b.lanes))
+    poison = tuple(
+        pg or (pa if g else pb)
+        for pg, g, pa, pb in zip(pred.poison, pred.lanes, a.poison, b.poison)
+    )
+    return VecValue(lanes, poison)
+
+
+def _pred_merge_fn(lane_fn):
+    """Merging predicated arithmetic (``_m`` form): active lanes compute,
+    inactive lanes keep the first data operand."""
+
+    def merge(pred: PredValue, a: VecValue, b: VecValue) -> VecValue:
+        lanes = tuple(
+            wrap32(lane_fn(x, y)) if g else x
+            for g, x, y in zip(pred.lanes, a.lanes, b.lanes)
+        )
+        poison = tuple(
+            pg or ((pa or pb) if g else pa)
+            for pg, g, pa, pb in zip(pred.poison, pred.lanes, a.poison, b.poison)
+        )
+        return VecValue(lanes, poison)
+
+    return merge
+
+
 # ---------------------------------------------------------------------------
 # the generic operation table
 # ---------------------------------------------------------------------------
@@ -215,6 +315,23 @@ _GENERIC_OPS: dict[str, tuple[str, int, float, Optional[Callable]]] = {
     # Reduction tails historically extract through the low register half;
     # the cast is a free reinterpret, modelled as a width truncation.
     "cast_low": ("cast_low", 1, 0.0, None),
+    # SVE's ramp constructor: lanes[k] = base + step * k.
+    "index": ("index", 2, 1.0, None),
+    # predicate construction, queries and logic (predicate-first targets)
+    "ptrue": ("ptrue", 0, 0.5, None),
+    "whilelt": ("whilelt", 2, 1.0, None),
+    "ptest_any": ("ptest", 1, 1.0, None),
+    "pnot": ("pred_unary", 2, 0.5, _pred_not),
+    "pand": ("pred_binary", 3, 0.5, _pred_and),
+    "por": ("pred_binary", 3, 0.5, _pred_or),
+    # predicate-producing comparisons, predicate-consuming data ops
+    "pcmpgt": ("pred_cmp", 3, 0.5, _pred_cmp_fn(lambda a, b: a > b)),
+    "pcmpeq": ("pred_cmp", 3, 0.5, _pred_cmp_fn(lambda a, b: a == b)),
+    "psel": ("psel", 3, 1.0, _psel),
+    "padd": ("pred_merge_binary", 3, 0.5, _pred_merge_fn(lambda a, b: a + b)),
+    # predicate-governed memory (the interpreter owns the memory model)
+    "pload": ("pload", 2, 3.5, None),
+    "pstore": ("pstore", 3, 3.5, None),
 }
 
 
@@ -273,12 +390,12 @@ def lookup_intrinsic(name: str) -> IntrinsicSpec:
     return INTRINSIC_REGISTRY[name]
 
 
-def apply_pure_intrinsic(name: str, args: list) -> VecValue:
+def apply_pure_intrinsic(name: str, args: list) -> "VecValue | PredValue | int":
     """Apply a pure (non-memory) intrinsic to already-evaluated arguments.
 
-    ``args`` holds :class:`VecValue` operands and Python ints for scalar /
-    immediate operands, in call order.  Memory intrinsics are handled by the
-    interpreter, which owns the memory model.
+    ``args`` holds :class:`VecValue` / :class:`PredValue` operands and Python
+    ints for scalar / immediate operands, in call order.  Memory intrinsics
+    are handled by the interpreter, which owns the memory model.
 
     Operand widths are validated against the intrinsic's register width (and
     ``setr``/``set`` argument counts against the lane count) up front, so a
@@ -293,10 +410,39 @@ def apply_pure_intrinsic(name: str, args: list) -> VecValue:
             )
     else:
         for arg in args:
-            if isinstance(arg, VecValue) and arg.width != spec.lanes:
+            if isinstance(arg, (VecValue, PredValue)) and arg.width != spec.lanes:
                 raise CompileError(
                     f"{name} operand has {arg.width} lanes, expected {spec.lanes}"
                 )
+    if spec.kind == "ptrue":
+        return PredValue.all_true(spec.lanes)
+    if spec.kind == "whilelt":
+        return PredValue(whilelt_lanes(_require_scalar(args[0], name),
+                                       _require_scalar(args[1], name),
+                                       spec.lanes))
+    if spec.kind == "ptest":
+        # Scalar results drop poison, like ``extract``: the concrete model
+        # keeps poison on register lanes only (the symbolic executor is the
+        # sound substrate and reports a poison-fed ptest as Inconclusive).
+        return 1 if _require_pred(args[0], name).any_active else 0
+    if spec.kind == "pred_unary":
+        return spec.fn(_require_pred(args[0], name), _require_pred(args[1], name))
+    if spec.kind == "pred_binary":
+        return spec.fn(_require_pred(args[0], name),
+                       _require_pred(args[1], name),
+                       _require_pred(args[2], name))
+    if spec.kind == "pred_cmp":
+        return spec.fn(_require_pred(args[0], name),
+                       _require_vec(args[1], name),
+                       _require_vec(args[2], name))
+    if spec.kind in ("psel", "pred_merge_binary"):
+        return spec.fn(_require_pred(args[0], name),
+                       _require_vec(args[1], name),
+                       _require_vec(args[2], name))
+    if spec.kind == "index":
+        base = _require_scalar(args[0], name)
+        step = _require_scalar(args[1], name)
+        return VecValue.from_lanes([base + step * lane for lane in range(spec.lanes)])
     if spec.kind == "pure_binary":
         return args[0].map_binary(args[1], spec.fn)
     if spec.kind == "pure_unary":

@@ -1,10 +1,17 @@
-"""Width-parametric vector values.
+"""Width-parametric vector and predicate values.
 
 :class:`VecValue` models one SIMD register of any supported width: ``n``
 32-bit lanes stored as Python ints in two's-complement signed form, plus a
 per-lane poison flag used for undefined-behaviour propagation (a lane loaded
 from out-of-bounds memory is poison; arithmetic on poison lanes yields
 poison; storing a poison lane is a UB event the checker can observe).
+
+:class:`PredValue` models one predicate register (SVE ``svbool_t``): a
+per-lane active flag, again with poison flags — a predicate computed by
+comparing poison data is itself unreliable, and a store governed by a poison
+predicate lane is a UB event.  Predicates are first-class values alongside
+vectors: the interpreter and the symbolic executor pass them through scopes,
+assignments and intrinsic calls exactly like :class:`VecValue`.
 
 :class:`M256Value` is the historical 8-lane (AVX2-register) spelling, kept
 as a thin subclass whose constructors default to eight lanes.
@@ -15,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, ClassVar, Optional, Sequence
 
-from repro.intrinsics.lanemath import wrap32
+from repro.intrinsics.lanemath import whilelt_lanes, wrap32
 from repro.targets import ALL_TARGETS
 
 #: Lane counts with a registered target ISA, derived from the registry.
@@ -97,6 +104,66 @@ class VecValue:
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return "<" + ", ".join(str(v) for v in self.lanes) + ">"
+
+
+@dataclass(frozen=True)
+class PredValue:
+    """A predicate register: per-lane active flags with poison flags."""
+
+    lanes: tuple[bool, ...]
+    poison: tuple[bool, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.poison:
+            object.__setattr__(self, "poison", (False,) * len(self.lanes))
+        if len(self.lanes) not in VALID_WIDTHS:
+            raise ValueError(
+                f"predicate width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+            )
+        if len(self.poison) != len(self.lanes):
+            raise ValueError("poison flags must match the lane count")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_lanes(cls, lanes: Sequence[bool],
+                   poison: Sequence[bool] | None = None) -> "PredValue":
+        flags = (
+            tuple(bool(p) for p in poison)
+            if poison is not None
+            else (False,) * len(lanes)
+        )
+        return cls(tuple(bool(lane) for lane in lanes), flags)
+
+    @classmethod
+    def all_true(cls, width: int) -> "PredValue":
+        return cls((True,) * width)
+
+    @classmethod
+    def all_false(cls, width: int) -> "PredValue":
+        return cls((False,) * width)
+
+    @classmethod
+    def whilelt(cls, base: int, bound: int, width: int) -> "PredValue":
+        """The ``whilelt`` pattern: lane ``k`` active iff ``base + k < bound``."""
+        return cls(whilelt_lanes(base, bound, width))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def any_active(self) -> bool:
+        return any(self.lanes)
+
+    @property
+    def any_poison(self) -> bool:
+        return any(self.poison)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "<" + ", ".join("T" if lane else "." for lane in self.lanes) + ">"
 
 
 class M256Value(VecValue):

@@ -13,6 +13,7 @@ exercised against *real* buggy programs rather than labels.
 
 from __future__ import annotations
 
+import copy
 import enum
 import random
 from dataclasses import dataclass, field
@@ -106,16 +107,27 @@ class FaultProfile:
 #: each :class:`~repro.targets.TargetISA`, so a backend whose names share
 #: nothing with the x86 grammar (NEON) participates automatically, and an
 #: unknown spelling raises :class:`~repro.targets.UnknownIntrinsicName`
-#: instead of being silently mutated into another ISA's name.
+#: instead of being silently mutated into another ISA's name.  Predicate-
+#: first targets (SVE) have no data-vector ``select``/``cmpgt`` at all, so
+#: each mutation carries a predicate-aware twin over ``psel``/``pcmpgt``,
+#: again respelled through the owning ISA.
+def _spellings(op: str) -> frozenset[str]:
+    return frozenset(t.intrinsic(op) for t in ALL_TARGETS if t.supports(op))
+
+
 _OPERATOR_SWAPS = {
     t.intrinsic(a): t.intrinsic(b)
     for t in ALL_TARGETS
     for a, b in (("add", "sub"), ("sub", "add"), ("mul", "add"))
+    if t.supports(a) and t.supports(b)
 }
 
-_SELECT_NAMES = {t.intrinsic("select") for t in ALL_TARGETS}
-_CMPGT_NAMES = {t.intrinsic("cmpgt") for t in ALL_TARGETS}
-_SETR_NAMES = {t.intrinsic("setr") for t in ALL_TARGETS}
+_SELECT_NAMES = _spellings("select")
+_PSEL_NAMES = _spellings("psel")
+_CMPGT_NAMES = _spellings("cmpgt")
+_PCMPGT_NAMES = _spellings("pcmpgt")
+_SETR_NAMES = _spellings("setr")
+_INDEX_NAMES = _spellings("index")
 
 #: Setr arities a ramp can legitimately have (one per registered width).
 _RAMP_ARITIES = {t.lanes for t in ALL_TARGETS}
@@ -142,11 +154,11 @@ def applicable_faults(vectorized_source: str) -> list[FaultKind]:
     faults = [FaultKind.COMPILE_ERROR]
     if any(name in vectorized_source for name in _OPERATOR_SWAPS):
         faults.append(FaultKind.WRONG_OPERATOR)
-    if any(name in vectorized_source for name in _SETR_NAMES):
+    if any(name in vectorized_source for name in _SETR_NAMES | _INDEX_NAMES):
         faults.append(FaultKind.NAIVE_INDUCTION)
-    if any(name in vectorized_source for name in _SELECT_NAMES):
+    if any(name in vectorized_source for name in _SELECT_NAMES | _PSEL_NAMES):
         faults.append(FaultKind.UNSAFE_HOIST)
-    if any(name in vectorized_source for name in _CMPGT_NAMES):
+    if any(name in vectorized_source for name in _CMPGT_NAMES | _PCMPGT_NAMES):
         faults.append(FaultKind.CMP_OFF_BY_ONE)
     if _count_for_loops(vectorized_source) >= 2:
         faults.append(FaultKind.MISSING_EPILOGUE)
@@ -190,7 +202,7 @@ def apply_fault(vectorized_source: str, kind: FaultKind, rng: random.Random) -> 
 
 def _inject_compile_error(source: str, rng: random.Random) -> str:
     """Misspell one intrinsic so the candidate fails to compile."""
-    for op in ("loadu", "add", "mul", "storeu", "set1"):
+    for op in ("loadu", "pload", "add", "mul", "storeu", "pstore", "set1"):
         for isa in ALL_TARGETS:
             if not isa.supports(op):
                 continue
@@ -214,25 +226,39 @@ def _swap_one_operator(func: ast.FunctionDef, rng: random.Random) -> bool:
 
 
 def _naive_induction(func: ast.FunctionDef) -> bool:
-    """Replace a ``setr`` ramp with a constant splat of its first element.
+    """Replace a ramp constructor with a constant splat of its first element.
 
     This reproduces the paper's s453 first attempt, where the induction
     vector was initialized as if a single scalar update covered all the
-    lanes.
+    lanes.  On x86/NEON the ramp is a ``setr`` with one argument per lane;
+    on SVE it is ``svindex(base, step)``, which degrades to ``svdup(base)``
+    — the same bug respelled through the owning ISA.
     """
     calls = _calls(func, _SETR_NAMES)
     ramps = [c for c in calls if len(c.args) in _RAMP_ARITIES]
-    if not ramps:
+    if ramps:
+        ramp = ramps[0]
+        first = ramp.args[0]
+        ramp.args = [first] * len(ramp.args)
+        return True
+    index_calls = _calls(func, _INDEX_NAMES)
+    if not index_calls:
         return False
-    ramp = ramps[0]
-    first = ramp.args[0]
-    ramp.args = [first] * len(ramp.args)
+    ramp = index_calls[0]
+    isa = _target_of(ramp.func)
+    ramp.func = isa.intrinsic("set1")
+    ramp.args = [ramp.args[0]]
     return True
 
 
 def _unsafe_hoist(func: ast.FunctionDef, rng: random.Random) -> bool:
-    """Drop the select on one if-converted value (store the 'then' value always)."""
-    calls = _calls(func, _SELECT_NAMES)
+    """Drop the select on one if-converted value (store the 'then' value always).
+
+    Works on both blend shapes — ``select(else, then, mask)`` and the
+    predicate-first ``psel(pred, then, else)`` — because both carry the
+    'then' value second.
+    """
+    calls = _calls(func, _SELECT_NAMES | _PSEL_NAMES)
     if not calls:
         return False
     target = rng.choice(calls)
@@ -247,13 +273,26 @@ def _relax_comparison(func: ast.FunctionDef, rng: random.Random) -> bool:
     """Turn one strict ``>`` mask into ``>=`` (greater-or-equal).
 
     The difference only shows when the compared lanes tie, so random testing
-    rarely notices — but translation validation does.
+    rarely notices — but translation validation does.  On a predicate-first
+    target the mask is a predicate register, so the relaxed form is the
+    predicate OR of the strict compare and an equality compare, each
+    governed by the original predicate.
     """
-    calls = _calls(func, _CMPGT_NAMES)
+    calls = _calls(func, _CMPGT_NAMES | _PCMPGT_NAMES)
     if not calls:
         return False
     target = rng.choice(calls)
     isa = _target_of(target.func)
+    if target.func in _PCMPGT_NAMES:
+        gov, left, right = target.args
+        greater = ast.Call(func=isa.intrinsic("pcmpgt"),
+                           args=[copy.deepcopy(gov), left, right])
+        equal = ast.Call(func=isa.intrinsic("pcmpeq"),
+                         args=[copy.deepcopy(gov), copy.deepcopy(left),
+                               copy.deepcopy(right)])
+        target.func = isa.intrinsic("por")
+        target.args = [gov, greater, equal]
+        return True
     left, right = target.args
     greater = ast.Call(func=isa.intrinsic("cmpgt"), args=[left, right])
     equal = ast.Call(func=isa.intrinsic("cmpeq"), args=[left, right])

@@ -51,6 +51,22 @@ def _base_vector_costs() -> dict[str, float]:
         "vec_setzero": 0.5,
         "vec_extract": 3.0,
         "vec_cast_low": 0.0,
+        "vec_index": 2.0,
+        # Predicate-register work (SVE-class targets): predicate construction
+        # and logic run on the flag/predicate ports and are cheap; the
+        # whilelt/ptest pair is the per-iteration price of a tail-free loop;
+        # predicate-governed memory carries a small overhead over the plain
+        # vector loads/stores of the same width.
+        "vec_ptrue": 0.5,
+        "vec_whilelt": 1.0,
+        "vec_ptest": 1.0,
+        "vec_pred_unary": 0.5,
+        "vec_pred_binary": 0.5,
+        "vec_pred_cmp": 1.0,
+        "vec_psel": 1.5,
+        "vec_pred_merge_binary": 1.5,
+        "vec_pload": 6.5,
+        "vec_pstore": 6.5,
     }
 
 

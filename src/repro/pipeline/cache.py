@@ -34,6 +34,12 @@ from pathlib import Path
 from typing import Any, Iterator
 
 
+#: Sentinel distinguishing "key absent" from "stored value is None": a cached
+#: ``None`` (or any falsy value) is a legitimate result that must persist and
+#: resume like any other.
+_MISSING = object()
+
+
 def content_key(*parts: str) -> str:
     """SHA-256 key over length-prefixed parts (no separator ambiguity)."""
     digest = hashlib.sha256()
@@ -138,8 +144,14 @@ class ResultCache:
         return self._entries.get(key)
 
     def put(self, key: str, value: Any) -> None:
-        """Store a JSON-serializable value, appending to the JSONL file if any."""
-        already_stored = self._entries.get(key) == value
+        """Store a JSON-serializable value, appending to the JSONL file if any.
+
+        The duplicate check uses a sentinel default: ``get(key) == value``
+        would conflate "key absent" with "already stored ``None``", silently
+        dropping a legitimately-``None`` value from the JSONL file and
+        forcing a resumed run to re-execute that work.
+        """
+        already_stored = self._entries.get(key, _MISSING) == value
         self._entries[key] = value
         if self.path is None or already_stored:
             return

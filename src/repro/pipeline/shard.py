@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.pipeline.cache import iter_jsonl_dicts
+from repro.targets import resolve_target_setting
 from repro.pipeline.campaign import (
     SOURCE_STORE,
     CampaignRecord,
@@ -174,8 +175,12 @@ def report_from_store(path: str | Path, label: str | None = None,
     for entry in _iter_entries(Path(path)):
         kind = entry.get("type")
         if kind == "result":
-            entry_label = str(entry.get("campaign"))
-            if entry_label not in labels_seen:
+            # A record with no campaign label stays unlabeled: stringifying
+            # it would fabricate a bogus "None" label that label inference
+            # could then "succeed" with.
+            raw_label = entry.get("campaign")
+            entry_label = str(raw_label) if raw_label is not None else None
+            if entry_label is not None and entry_label not in labels_seen:
                 labels_seen.append(entry_label)
             if label is not None and entry_label != label:
                 continue
@@ -185,10 +190,14 @@ def report_from_store(path: str | Path, label: str | None = None,
         elif kind == "summary":
             summaries.append(entry)
     if label is None:
+        if not labels_seen:
+            raise ValueError(
+                "store holds no labeled campaign records; pass label= to pick one"
+            )
         if len(labels_seen) != 1:
             raise ValueError(
                 f"store holds {len(labels_seen)} campaign labels "
-                f"({', '.join(labels_seen) or 'none'}); pass label= to pick one"
+                f"({', '.join(labels_seen)}); pass label= to pick one"
             )
         label = labels_seen[0]
 
@@ -234,8 +243,11 @@ def report_from_store(path: str | Path, label: str | None = None,
         wall_clock_seconds=sum(s.get("wall_clock_seconds", 0.0) for s in matching),
         workers=max((s.get("workers", 1) for s in matching), default=1),
         verdict_counts=count_verdicts(records),
+        # The fallback for a store with no target stamps goes through the
+        # one default-resolution rule — never a hardcoded ISA name.
         target=(target or (targets.pop() if len(targets) == 1
-                           else ("mixed" if targets else "avx2"))),
+                           else ("mixed" if targets
+                                 else resolve_target_setting().name))),
         shard=None,  # a merged report covers the whole suite again
     )
     return CampaignReport(label=label, records=records, summary=summary)

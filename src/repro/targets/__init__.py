@@ -15,7 +15,11 @@ from repro.targets.isa import (
     AVX512,
     DEFAULT_TARGET,
     NEON,
+    PREDICATE_TYPE_NAMES,
+    SCALABLE_LANES,
     SSE4,
+    SVE128,
+    SVE256,
     VECTOR_TYPE_LANES,
     TargetISA,
     UnknownIntrinsicName,
@@ -37,7 +41,11 @@ __all__ = [
     "AVX512",
     "DEFAULT_TARGET",
     "NEON",
+    "PREDICATE_TYPE_NAMES",
+    "SCALABLE_LANES",
     "SSE4",
+    "SVE128",
+    "SVE256",
     "VECTOR_TYPE_LANES",
     "TargetISA",
     "UnknownIntrinsicName",

@@ -17,12 +17,17 @@ is owned by the target:
   callers must never guess or silently coerce an unknown name into some
   other ISA's grammar.
 
-Four concrete instances ship here:
+Six concrete instances ship here:
 
 * ``SSE4``  — 4 lanes / 128-bit registers, x86 ``{prefix}_{op}_{suffix}``
   spellings;
 * ``NEON``  — 4 lanes / 128-bit registers with the ARM ``v{op}q_s32``
   spelling scheme, which deliberately shares nothing with the x86 grammar;
+* ``SVE128`` / ``SVE256`` — ARM SVE at two *simulated* vector lengths
+  (scalable hardware modelled at fixed 128-/256-bit widths): the first
+  *predicate-first* backend — ``svbool_t`` predicate registers govern
+  memory, comparisons and selects, and there are no unpredicated loads or
+  stores at all;
 * ``AVX2``  — 8 lanes / 256-bit registers (the paper's target; every
   default in the pipeline resolves to it);
 * ``AVX512`` — 16 lanes / 512-bit registers with native masked
@@ -122,6 +127,61 @@ def _x86_op_names(prefix: str, si: str, **overrides: str) -> dict[str, str]:
     return names
 
 
+def _sve_op_names(vl_bits: int) -> dict[str, str]:
+    """The ARM SVE (ACLE) naming scheme at one simulated vector length.
+
+    Real ACLE spellings are deliberately VL-agnostic (``svadd_s32_x`` works
+    at any hardware vector length); the pipeline's "width travels with the
+    intrinsic name" invariant forces each *simulated* VL to stamp its width
+    into the spelling (``_vl128`` / ``_vl256``), the same kind of model-level
+    fidelity compromise the AVX-512 and NEON notes document.  Further
+    fidelity notes: the unpredicated ``_x`` forms drop ACLE's governing
+    predicate operand (an implicit all-true ``ptrue``), ``svptest_any`` takes
+    one predicate instead of ACLE's two, and ``svget_lane_s32`` stands in
+    for the ``svlasta``/compact dance a real single-lane extract needs.
+
+    There is **no** ``loadu``/``storeu``/``cmpgt``/``select`` here: SVE has
+    no unpredicated memory operations and its comparisons produce predicate
+    registers, so the predicate-first generic ops (``pload``/``pstore``/
+    ``pcmpgt``/``psel`` ...) are the only way to touch memory or build masks.
+    """
+    s = f"_vl{vl_bits}"
+    return {
+        # unpredicated ("don't-care" _x form) data ops
+        "add": f"svadd_s32_x{s}",
+        "sub": f"svsub_s32_x{s}",
+        "mul": f"svmul_s32_x{s}",
+        "max": f"svmax_s32_x{s}",
+        "min": f"svmin_s32_x{s}",
+        "abs": f"svabs_s32_x{s}",
+        "and": f"svand_s32_x{s}",
+        "or": f"svorr_s32_x{s}",
+        "xor": f"sveor_s32_x{s}",
+        "srl": f"svlsr_n_s32_x{s}",
+        "sll": f"svlsl_n_s32_x{s}",
+        "sra": f"svasr_n_s32_x{s}",
+        # construction / extraction
+        "set1": f"svdup_n_s32{s}",
+        "index": f"svindex_s32{s}",
+        "extract": f"svget_lane_s32{s}",
+        # predicate construction and queries
+        "ptrue": f"svptrue_b32{s}",
+        "whilelt": f"svwhilelt_b32{s}",
+        "ptest_any": f"svptest_any_b32{s}",
+        # predicate logic (zeroing forms, governed by the first operand)
+        "pnot": f"svnot_b_z{s}",
+        "pand": f"svand_b_z{s}",
+        "por": f"svorr_b_z{s}",
+        # predicate-producing comparisons and predicate-consuming ops
+        "pcmpgt": f"svcmpgt_s32{s}",
+        "pcmpeq": f"svcmpeq_s32{s}",
+        "psel": f"svsel_s32{s}",
+        "pload": f"svld1_s32{s}",
+        "pstore": f"svst1_s32{s}",
+        "padd": f"svadd_s32_m{s}",
+    }
+
+
 @dataclass(frozen=True)
 class TargetISA:
     """One vector backend, described entirely as data."""
@@ -157,6 +217,15 @@ class TargetISA:
     #: LLM uses it to model "the model invented an intrinsic" failures.  It
     #: must never collide with a real ``op_names`` entry of any target.
     bogus_gather_spelling: str = ""
+    #: C type of the target's predicate registers ("" = the target has no
+    #: predicate registers; masks are ordinary data vectors).
+    predicate_type: str = ""
+    #: True when the architectural vector length is scalable and ``lanes``
+    #: is one *simulated* fixed width.  Scalable vector types are shared
+    #: across simulated widths, so their declarations always need an
+    #: initializer — the width travels with the intrinsic names, never with
+    #: the type.
+    scalable: bool = False
 
     def __post_init__(self) -> None:
         reverse: dict[str, str] = {}
@@ -183,8 +252,34 @@ class TargetISA:
     def has_masked_memory(self) -> bool:
         """Whether the target can express masked loads *and* stores at all
         (natively or as AVX-style emulations).  NEON-class targets cannot:
-        their masking is select-based and purely in-register."""
+        their masking is select-based and purely in-register.  SVE-class
+        targets answer False too — their memory masking is predicate
+        registers, a strictly stronger mechanism with its own legalization
+        (:attr:`has_predicated_loops`)."""
         return self.supports("maskload") and self.supports("maskstore")
+
+    @property
+    def has_predicates(self) -> bool:
+        """Whether masks live in predicate registers (``svbool_t``) rather
+        than data vectors.  Predicate-first targets spell comparisons,
+        selects and memory through the ``p*`` generic ops."""
+        return bool(self.predicate_type)
+
+    @property
+    def plain_load_op(self) -> str:
+        """Generic op of this target's plain full-width load: ``loadu``, or
+        ``pload`` on predicate-first targets (whose every load is governed
+        by a predicate — an all-true one for plain code)."""
+        return "loadu" if self.supports("loadu") else "pload"
+
+    @property
+    def has_predicated_loops(self) -> bool:
+        """Whether the target can retire a loop tail with a
+        ``whilelt``-governed predicated main loop (no scalar epilogue, no
+        masked-tail iteration): it needs predicate construction, a loop-exit
+        test and predicate-governed memory."""
+        return all(self.supports(op)
+                   for op in ("whilelt", "ptest_any", "pload", "pstore"))
 
     # -- spelling (the bidirectional op <-> name mapping) -------------------
 
@@ -231,6 +326,14 @@ class TargetISA:
         from repro.cfront.ctypes import CType
 
         return CType(self.vector_type, 1)
+
+    @property
+    def predicate_ctype(self) -> "CType":
+        from repro.cfront.ctypes import CType
+
+        if not self.predicate_type:
+            raise ValueError(f"{self.display_name} has no predicate registers")
+        return CType(self.predicate_type)
 
 
 #: 4 x 32-bit lanes.  The 128-bit maskload is technically an AVX (VEX)
@@ -321,6 +424,65 @@ NEON = TargetISA(
     header="arm_neon.h",
 )
 
+#: ARM SVE at a simulated 128-bit vector length: 4 x 32-bit lanes behind the
+#: scalable ``svint32_t``/``svbool_t`` types.  The first predicate-first
+#: backend: comparisons produce ``svbool_t`` predicates (``svcmpgt_s32``),
+#: selects consume them (``svsel_s32``), and **every** memory access is
+#: predicate-governed (``svld1_s32``/``svst1_s32`` — there are no
+#: unpredicated loads or stores in the table because the architecture has
+#: none).  ``svwhilelt_b32`` + ``svptest_any`` give the tail-free
+#: predicated-loop legalization the planner's ``predicated_loop`` epilogue
+#: strategy emits.  See :func:`_sve_op_names` for the simulated-VL spelling
+#: fidelity notes.
+SVE128 = TargetISA(
+    name="sve128",
+    display_name="SVE (VL128)",
+    lanes=4,
+    vector_type="svint32_t",
+    prefix="sv",
+    op_names=_sve_op_names(128),
+    vector_cost_overrides={
+        # 128-bit predicated memory moves half the data of the 256-bit base
+        # figures (SVE has no unpredicated loads/stores, so only the
+        # predicated categories need narrowing); lane extraction is cheap on
+        # AArch64 cores.
+        "vec_pload": 4.5,
+        "vec_pstore": 4.5,
+        "vec_extract": 1.5,
+    },
+    intrinsic_cost_overrides={"pload": 2.5, "pstore": 2.5, "extract": 1.0,
+                              "mul": 1.5, "psel": 0.5},
+    bogus_gather_spelling="svgather_index_s32_vl128",
+    header="arm_sve.h",
+    predicate_type="svbool_t",
+    scalable=True,
+)
+
+#: ARM SVE at a simulated 256-bit vector length: the same scalable types and
+#: predicate-first op set as :data:`SVE128` at 8 lanes.  Campaigns drive both
+#: simulated VLs through ``CampaignRunner.run_multi_target`` to demonstrate
+#: VL-agnostic verdicts — the same kernel must verify identically at either
+#: width.
+SVE256 = TargetISA(
+    name="sve256",
+    display_name="SVE (VL256)",
+    lanes=8,
+    vector_type="svint32_t",
+    prefix="sv",
+    op_names=_sve_op_names(256),
+    vector_cost_overrides={
+        # 256-bit predicated memory: AVX2-class traffic plus the predicate
+        # overhead.
+        "vec_pload": 6.5,
+        "vec_pstore": 6.5,
+    },
+    intrinsic_cost_overrides={"mul": 1.5, "psel": 0.5},
+    bogus_gather_spelling="svgather_index_s32_vl256",
+    header="arm_sve.h",
+    predicate_type="svbool_t",
+    scalable=True,
+)
+
 #: 8 x 32-bit lanes — the paper's target; the behavioural baseline every
 #: other backend is measured against.  No overrides: the AVX2 tables *are*
 #: the base tables.  ``cast_low`` is the historical reduction-tail
@@ -383,14 +545,17 @@ AVX512 = TargetISA(
 )
 
 #: Registration order doubles as the canonical narrow-to-wide ordering
-#: (ties broken by registration: SSE4 before NEON at 4 lanes).
-ALL_TARGETS: tuple[TargetISA, ...] = (SSE4, NEON, AVX2, AVX512)
+#: (ties broken by registration: SSE4 before NEON before SVE128 at 4 lanes,
+#: AVX2 — the default — before SVE256 at 8).
+ALL_TARGETS: tuple[TargetISA, ...] = (SSE4, NEON, SVE128, AVX2, SVE256, AVX512)
 
 DEFAULT_TARGET: TargetISA = AVX2
 
 _ALIASES = {
     "sse": "sse4", "sse4": "sse4", "sse4.1": "sse4", "sse41": "sse4",
     "neon": "neon", "arm": "neon", "armv8": "neon", "asimd": "neon",
+    "sve": "sve256", "sve128": "sve128", "sve-128": "sve128",
+    "sve256": "sve256", "sve-256": "sve256", "sve2": "sve256",
     "avx2": "avx2", "avx": "avx2",
     "avx512": "avx512", "avx-512": "avx512", "avx512f": "avx512",
 }
@@ -417,23 +582,40 @@ def _build_spelling_index() -> dict[str, tuple[str, str]]:
 _SPELLING_INDEX = _build_spelling_index()
 
 
+#: Lane count recorded for scalable vector types: the width is simulated
+#: per target, so the *type* carries no width — declarations of a scalable
+#: type always need an initializer, and the width travels with the intrinsic
+#: names instead.
+SCALABLE_LANES = 0
+
+
 def _build_vector_type_lanes() -> dict[str, int]:
     table: dict[str, int] = {}
     for target in ALL_TARGETS:
+        lanes = SCALABLE_LANES if target.scalable else target.lanes
         existing = table.get(target.vector_type)
-        if existing is not None and existing != target.lanes:
+        if existing is not None and existing != lanes:
             raise RuntimeError(
                 f"vector type {target.vector_type!r} registered with both "
-                f"{existing} and {target.lanes} lanes"
+                f"{existing} and {lanes} lanes"
             )
-        table[target.vector_type] = target.lanes
+        table[target.vector_type] = lanes
     return table
 
 
 #: Vector type name -> 32-bit lane count, derived from the registered
 #: targets.  The lexer/parser keyword sets and the C type model consume
 #: this, so a new backend's vector type becomes a keyword automatically.
+#: Scalable types map to :data:`SCALABLE_LANES` (0): the two simulated SVE
+#: vector lengths share one ``svint32_t``, exactly as on real hardware.
 VECTOR_TYPE_LANES: dict[str, int] = _build_vector_type_lanes()
+
+#: Predicate register type names of every registered target (``svbool_t``);
+#: the lexer/parser keyword sets and the C type model consume this the same
+#: way they consume :data:`VECTOR_TYPE_LANES`.
+PREDICATE_TYPE_NAMES: frozenset[str] = frozenset(
+    target.predicate_type for target in ALL_TARGETS if target.predicate_type
+)
 
 
 def vector_type_lanes() -> dict[str, int]:

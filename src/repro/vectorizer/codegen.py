@@ -110,6 +110,13 @@ class _VectorBodyBuilder:
         #: When set, the builder is emitting a masked tail: every memory
         #: access goes through maskload/maskstore with this mask register.
         self.tail_mask: Optional[str] = None
+        #: Predicate-first targets (SVE): masks live in predicate registers,
+        #: comparisons produce them, selects and *all* memory consume them.
+        self.predicated: bool = plan.target.has_predicates
+        #: The ``whilelt`` loop-governing predicate register of a predicated
+        #: loop; None outside that strategy (plain predicated code is
+        #: governed by an all-true ``ptrue`` materialized on demand).
+        self.loop_pred: Optional[str] = None
         self.counter = 0
         self.preload_stmts: list[ast.Stmt] = []
         self.body_stmts: list[ast.Stmt] = []
@@ -151,6 +158,44 @@ class _VectorBodyBuilder:
     def _vec_decl(self, name: str, init: ast.Expr) -> ast.Decl:
         return ast.Decl(var_type=self.target.vector_ctype, name=name, init=init)
 
+    def _pred_decl(self, name: str, init: ast.Expr) -> ast.Decl:
+        return ast.Decl(var_type=self.target.predicate_ctype, name=name, init=init)
+
+    def _governing_pred(self) -> str:
+        """The predicate governing memory/compares: the loop's ``whilelt``
+        register inside a predicated loop, else an all-true ``ptrue``
+        materialized once in the preheader of the loop body."""
+        if self.loop_pred is not None:
+            return self.loop_pred
+        key = ("ptrue",)
+        if key not in self.registers:
+            name = self._fresh("pg_all")
+            self.preload_stmts.insert(
+                0, self._pred_decl(name, _call(self._op("ptrue")))
+            )
+            self.registers[key] = name
+        return self.registers[key]
+
+    def _load_call(self, pointer: ast.Expr) -> ast.Call:
+        """A full-width load: masked in a tail, predicate-governed on
+        predicate-first targets (which have no unpredicated loads), plain
+        ``loadu`` otherwise."""
+        if self.tail_mask is not None:
+            return _call(self._op("maskload"), pointer, _ident(self.tail_mask))
+        if self.predicated:
+            return _call(self._op("pload"),
+                         _ident(self._governing_pred()), pointer)
+        return _call(self._op("loadu"), pointer)
+
+    def _store_call(self, address: ast.Expr, value: str) -> ast.Call:
+        if self.tail_mask is not None:
+            return _call(self._op("maskstore"), address,
+                         _ident(self.tail_mask), _ident(value))
+        if self.predicated:
+            return _call(self._op("pstore"),
+                         _ident(self._governing_pred()), address, _ident(value))
+        return _call(self._op("storeu"), address, _ident(value))
+
     # -- naming ---------------------------------------------------------------
 
     def _fresh(self, hint: str) -> str:
@@ -170,6 +215,11 @@ class _VectorBodyBuilder:
     def _emit_value(self, hint: str, init: ast.Expr) -> str:
         name = self._fresh(hint)
         self._emit(self._vec_decl(name, init))
+        return name
+
+    def _emit_pred(self, hint: str, init: ast.Expr) -> str:
+        name = self._fresh(hint)
+        self._emit(self._pred_decl(name, init))
         return name
 
     def _constant_vector(self, value: int) -> str:
@@ -199,24 +249,27 @@ class _VectorBodyBuilder:
         if key not in self.registers:
             name = self._fresh(f"{array}_{offset}")
             pointer = self._vector_pointer(array, _index_expr(self.iterator, offset))
-            if self.tail_mask is not None:
-                load = _call(self._op("maskload"), pointer, _ident(self.tail_mask))
-            else:
-                load = _call(self._op("loadu"), pointer)
-            self.preload_stmts.append(self._vec_decl(name, load))
+            self.preload_stmts.append(self._vec_decl(name, self._load_call(pointer)))
             self.registers[key] = name
         return self.registers[key]
 
     def _iterator_vector(self) -> str:
         key = ("itervec",)
         if key not in self.registers:
-            ramp = _call(self._op("setr"), *[_lit(k) for k in range(self.lanes)])
-            base = _call(self._op("set1"), _ident(self.iterator))
-            ramp_reg = self._emit_value("ramp", ramp)
-            base_reg = self._emit_value("ibase", base)
-            self.registers[key] = self._emit_value(
-                "ivec", _call(self._op("add"), _ident(base_reg), _ident(ramp_reg))
-            )
+            if self.target.supports("index"):
+                # SVE's ramp constructor: svindex(i, 1) is the iterator
+                # vector in one instruction.
+                self.registers[key] = self._emit_value(
+                    "ivec", _call(self._op("index"), _ident(self.iterator), _lit(1))
+                )
+            else:
+                ramp = _call(self._op("setr"), *[_lit(k) for k in range(self.lanes)])
+                base = _call(self._op("set1"), _ident(self.iterator))
+                ramp_reg = self._emit_value("ramp", ramp)
+                base_reg = self._emit_value("ibase", base)
+                self.registers[key] = self._emit_value(
+                    "ivec", _call(self._op("add"), _ident(base_reg), _ident(ramp_reg))
+                )
         return self.registers[key]
 
     def _induction_vector(self, name: str) -> str:
@@ -225,12 +278,18 @@ class _VectorBodyBuilder:
         updates_seen = self.induction_updates_seen[name]
         key = ("ind", name, updates_seen)
         if key not in self.registers:
-            lanes = [_lit(info.step * (lane + updates_seen)) for lane in range(self.lanes)]
-            ramp_reg = self._emit_value(f"{name}_ramp", _call(self._op("setr"), *lanes))
-            base_reg = self._emit_value(f"{name}_base", _call(self._op("set1"), _ident(name)))
-            self.registers[key] = self._emit_value(
-                f"{name}_vec", _call(self._op("add"), _ident(base_reg), _ident(ramp_reg))
-            )
+            if self.target.supports("index"):
+                base = _index_expr(name, info.step * updates_seen)
+                self.registers[key] = self._emit_value(
+                    f"{name}_vec", _call(self._op("index"), base, _lit(info.step))
+                )
+            else:
+                lanes = [_lit(info.step * (lane + updates_seen)) for lane in range(self.lanes)]
+                ramp_reg = self._emit_value(f"{name}_ramp", _call(self._op("setr"), *lanes))
+                base_reg = self._emit_value(f"{name}_base", _call(self._op("set1"), _ident(name)))
+                self.registers[key] = self._emit_value(
+                    f"{name}_vec", _call(self._op("add"), _ident(base_reg), _ident(ramp_reg))
+                )
         return self.registers[key]
 
     def _accumulator(self, name: str) -> str:
@@ -247,37 +306,72 @@ class _VectorBodyBuilder:
         return self.registers[key]
 
     def _invert(self, mask: str) -> str:
+        if self.predicated:
+            return self._emit_pred("pnot", _call(
+                self._op("pnot"), _ident(self._governing_pred()), _ident(mask)))
         return self._emit_value("nmask", _call(self._op("xor"), _ident(mask), _ident(self._all_ones())))
 
     def _and_masks(self, left: Optional[str], right: str) -> str:
         if left is None:
             return right
+        if self.predicated:
+            return self._emit_pred("pmask", _call(
+                self._op("pand"), _ident(self._governing_pred()),
+                _ident(left), _ident(right)))
         return self._emit_value("mask", _call(self._op("and"), _ident(left), _ident(right)))
 
+    def _emit_select(self, else_reg: str, then_reg: str, mask: str,
+                     hint: str = "sel") -> str:
+        """Blend two vectors under a mask.
+
+        On predicate-first targets the mask is a predicate and the spelling
+        is ACLE's ``svsel(pred, then, else)``; elsewhere it is the shared
+        data-vector ``select(else, then, mask)`` shape.
+        """
+        if self.predicated:
+            return self._emit_value(hint, _call(
+                self._op("psel"), _ident(mask), _ident(then_reg), _ident(else_reg)))
+        return self._emit_value(hint, _call(
+            self._op("select"), _ident(else_reg), _ident(then_reg), _ident(mask)))
+
+    def _emit_cmp(self, kind: str, left: str, right: str, hint: str) -> str:
+        """Emit one greater-than/equality compare of two vector registers.
+
+        On predicate-first targets the compare writes a predicate register
+        (``svcmpgt``/``svcmpeq`` governed by the active predicate); elsewhere
+        it writes an all-ones-per-lane data-vector mask.  This is the single
+        primitive behind every condition shape, so the two mask flavours
+        cannot diverge per operator.
+        """
+        if self.predicated:
+            op = "pcmpgt" if kind == "gt" else "pcmpeq"
+            return self._emit_pred("p" + hint, _call(
+                self._op(op), _ident(self._governing_pred()),
+                _ident(left), _ident(right)))
+        op = "cmpgt" if kind == "gt" else "cmpeq"
+        return self._emit_value(hint, _call(self._op(op), _ident(left), _ident(right)))
+
     def _condition_mask(self, cond: ast.Expr) -> str:
-        """Return a register holding an all-ones-per-lane mask where ``cond`` is true."""
+        """Return a register holding an all-ones-per-lane mask (or, on
+        predicate-first targets, a predicate register) where ``cond`` is true."""
         if isinstance(cond, ast.BinOp) and cond.op in ("<", ">", "<=", ">=", "==", "!="):
             left = self._vectorize_value(cond.left)
             right = self._vectorize_value(cond.right)
             if cond.op == ">":
-                return self._emit_value("gt", _call(self._op("cmpgt"), _ident(left), _ident(right)))
+                return self._emit_cmp("gt", left, right, "gt")
             if cond.op == "<":
-                return self._emit_value("lt", _call(self._op("cmpgt"), _ident(right), _ident(left)))
+                return self._emit_cmp("gt", right, left, "lt")
             if cond.op == "==":
-                return self._emit_value("eq", _call(self._op("cmpeq"), _ident(left), _ident(right)))
+                return self._emit_cmp("eq", left, right, "eq")
             if cond.op == "!=":
-                eq = self._emit_value("eq", _call(self._op("cmpeq"), _ident(left), _ident(right)))
-                return self._invert(eq)
+                return self._invert(self._emit_cmp("eq", left, right, "eq"))
             if cond.op == ">=":
-                lt = self._emit_value("lt", _call(self._op("cmpgt"), _ident(right), _ident(left)))
-                return self._invert(lt)
+                return self._invert(self._emit_cmp("gt", right, left, "lt"))
             # cond.op == "<="
-            gt = self._emit_value("gt", _call(self._op("cmpgt"), _ident(left), _ident(right)))
-            return self._invert(gt)
+            return self._invert(self._emit_cmp("gt", left, right, "gt"))
         # Bare value used as a condition: true when != 0.
         value = self._vectorize_value(cond)
-        eq = self._emit_value("eqz", _call(self._op("cmpeq"), _ident(value), _ident(self._zero_vector())))
-        return self._invert(eq)
+        return self._invert(self._emit_cmp("eq", value, self._zero_vector(), "eqz"))
 
     # -- value vectorization ---------------------------------------------------------------
 
@@ -325,9 +419,7 @@ class _VectorBodyBuilder:
             mask = self._condition_mask(expr.cond)
             then_reg = self._vectorize_value(expr.then)
             else_reg = self._vectorize_value(expr.otherwise)
-            return self._emit_value(
-                "sel", _call(self._op("select"), _ident(else_reg), _ident(then_reg), _ident(mask))
-            )
+            return self._emit_select(else_reg, then_reg, mask)
         if isinstance(expr, ast.Call):
             if expr.func == "abs":
                 operand = self._vectorize_value(expr.args[0])
@@ -356,7 +448,7 @@ class _VectorBodyBuilder:
             updates_seen = self.induction_updates_seen[name]
             total = const + info.step * updates_seen
             index = _index_expr(name, total)
-            load = _call(self._op("loadu"), self._vector_pointer(array, index))
+            load = self._load_call(self._vector_pointer(array, index))
             return self._emit_value(f"{array}_{name}", load)
         if self._is_loop_invariant(expr.index):
             return self._splat_expr(copy.deepcopy(expr), f"{array}_inv")
@@ -371,6 +463,10 @@ class _VectorBodyBuilder:
         if expr.op in ("<", ">", "<=", ">=", "==", "!="):
             mask = self._condition_mask(expr)
             one = self._constant_vector(1)
+            if self.predicated:
+                # Predicate registers have no bitwise view; a C boolean value
+                # is a predicate-selected blend of 1 and 0.
+                return self._emit_select(self._zero_vector(), one, mask, hint="bool")
             return self._emit_value("bool", _call(self._op("and"), _ident(mask), _ident(one)))
         raise InfeasibleVectorization(
             f"binary operator {expr.op!r} has no {self.target.display_name} integer equivalent"
@@ -553,9 +649,7 @@ class _VectorBodyBuilder:
             value = self._compute_assigned_value(("temp", name), expr)
             if mask is not None:
                 old = self.registers.get(("temp", name), self._zero_vector())
-                value = self._emit_value(
-                    "sel", _call(self._op("select"), _ident(old), _ident(value), _ident(mask))
-                )
+                value = self._emit_select(old, value, mask)
             self.registers[("temp", name)] = value
             return
         raise InfeasibleVectorization(f"assignment to unsupported scalar {name!r}")
@@ -574,9 +668,7 @@ class _VectorBodyBuilder:
             raise InfeasibleVectorization(f"unsupported reduction update for {name!r}")
         if mask is not None:
             neutral = self._zero_vector() if operation == "+" else self._constant_vector(1)
-            value = self._emit_value(
-                "sel", _call(self._op("select"), _ident(neutral), _ident(value), _ident(mask))
-            )
+            value = self._emit_select(neutral, value, mask)
         intrinsic = self._op("add") if operation == "+" else self._op("mul")
         self._emit(ast.ExprStmt(expr=ast.Assign(
             op="=", target=_ident(acc), value=_call(intrinsic, _ident(acc), _ident(value))
@@ -633,7 +725,7 @@ class _VectorBodyBuilder:
             address = self._vector_pointer(array, _index_expr(name, total))
 
             def read_current() -> str:
-                load = _call(self._op("loadu"), copy.deepcopy(address))
+                load = self._load_call(copy.deepcopy(address))
                 return self._emit_value(f"{array}_{name}_old", load)
 
         if expr.op == "=":
@@ -655,14 +747,8 @@ class _VectorBodyBuilder:
             old = self.registers.get(current_key)
             if old is None:
                 old = read_current()
-            value = self._emit_value(
-                "sel", _call(self._op("select"), _ident(old), _ident(value), _ident(mask))
-            )
-        if self.tail_mask is not None:
-            store = _call(self._op("maskstore"), address, _ident(self.tail_mask), _ident(value))
-        else:
-            store = _call(self._op("storeu"), address, _ident(value))
-        self._emit(ast.ExprStmt(expr=store))
+            value = self._emit_select(old, value, mask)
+        self._emit(ast.ExprStmt(expr=self._store_call(address, value)))
         self.registers[current_key] = value
 
 
@@ -754,8 +840,55 @@ def _build_masked_tail(plan: VectorizationPlan, iterator: str,
     return ast.If(cond=guard, then=ast.Block(body=tail_stmts), otherwise=None)
 
 
+def _build_predicated_loop_region(func: ast.FunctionDef,
+                                  plan: VectorizationPlan) -> ast.Block:
+    """The ``predicated_loop`` epilogue strategy: one ``whilelt``-governed
+    loop replaces the vector loop, the scalar epilogue *and* the masked
+    tail.
+
+    The loop predicate ``pg = whilelt(i, n)`` enables exactly the lanes
+    still inside the iteration space; every load, store, comparison and
+    select in the body is governed by it, so the final partial iteration
+    retires the remainder with no separate tail and no trip-count alignment
+    assumption — the loop exits when a ``ptest`` finds no active lane left.
+    """
+    loop = plan.features.main_loop
+    iterator = loop.iterator
+    lanes = plan.target.lanes
+    builder = _VectorBodyBuilder(plan, iterator, _collect_identifier_names(func))
+    builder.accumulator_decls = []
+    pg = builder._fresh("pg")
+    builder.loop_pred = pg
+    builder.build(plan.normalized_body)
+
+    def whilelt_call() -> ast.Call:
+        return _call(builder._op("whilelt"), _ident(iterator),
+                     copy.deepcopy(loop.end))
+
+    advance = ast.ExprStmt(expr=ast.Assign(
+        op="+=", target=_ident(iterator), value=ast.IntLiteral(value=lanes)))
+    refresh = ast.ExprStmt(expr=ast.Assign(
+        op="=", target=_ident(pg), value=whilelt_call()))
+    body = ast.Block(body=list(builder.preload_stmts) + list(builder.body_stmts)
+                     + [advance, refresh])
+
+    region: list[ast.Stmt] = []
+    if loop.declares_iterator:
+        region.append(ast.Decl(var_type=INT, name=iterator,
+                               init=copy.deepcopy(loop.start)))
+    else:
+        region.append(ast.ExprStmt(expr=ast.Assign(
+            op="=", target=_ident(iterator), value=copy.deepcopy(loop.start))))
+    region.append(builder._pred_decl(pg, whilelt_call()))
+    region.append(ast.WhileLoop(
+        cond=_call(builder._op("ptest_any"), _ident(pg)), body=body))
+    return ast.Block(body=region)
+
+
 def _build_vector_loop_region(func: ast.FunctionDef, plan: VectorizationPlan) -> ast.Block:
     """Build the block that replaces the original main loop."""
+    if plan.predicated_loop:
+        return _build_predicated_loop_region(func, plan)
     loop = plan.features.main_loop
     iterator = loop.iterator
     lanes = plan.target.lanes
@@ -843,12 +976,17 @@ def _find_matching_loop(new_func: ast.FunctionDef, old_func: ast.FunctionDef,
 
 def vectorize_kernel(func: ast.FunctionDef,
                      target: "TargetISA | str | None" = None,
-                     masked_epilogue: bool = False) -> Optional[VectorizationResult]:
+                     masked_epilogue: bool = False,
+                     predicated_loop: bool = False) -> Optional[VectorizationResult]:
     """Plan and generate SIMD code for ``func`` on ``target`` (default AVX2);
     returns None when infeasible.  ``masked_epilogue`` asks for a masked
     tail iteration instead of the scalar remainder loop (targets with
-    masked memory operations only)."""
-    plan = plan_vectorization(func, get_target(target), masked_epilogue=masked_epilogue)
+    masked memory operations only); ``predicated_loop`` asks for a
+    ``whilelt``-governed predicated main loop with no epilogue at all
+    (predicate-register targets only)."""
+    plan = plan_vectorization(func, get_target(target),
+                              masked_epilogue=masked_epilogue,
+                              predicated_loop=predicated_loop)
     if not plan.feasible:
         return None
     try:

@@ -57,6 +57,18 @@ class RejectionReason(enum.Enum):
     MASKED_TAIL_SHAPE = ("masked-tail code generation supports only plain and "
                          "if-converted loops (no reductions, inductions or "
                          "inclusive bounds)")
+    MASKED_TAIL_ON_PREDICATED = ("masked tail is subsumed on {isa}: predicate-"
+                                 "governed loops retire the remainder without a "
+                                 "separate tail iteration — request the "
+                                 "predicated_loop epilogue instead")
+    PREDICATED_LOOP_UNSUPPORTED = ("predicated loop needs predicate registers "
+                                   "governing memory and loop exit (whilelt / "
+                                   "ptest / predicated loads and stores), which "
+                                   "{isa} cannot express — keep the scalar "
+                                   "epilogue or request a masked tail")
+    PREDICATED_LOOP_SHAPE = ("predicated-loop code generation supports only "
+                             "plain and if-converted loops (no reductions, "
+                             "inductions or inclusive bounds)")
     UNSUPPORTED_CONTROL_FLOW = "control flow too complex for if-conversion"
     EARLY_EXIT = "loop contains an early exit (break/return)"
     NESTED_LOOP_BODY = "inner loop body itself contains a loop"
@@ -108,6 +120,11 @@ class VectorizationPlan:
     #: Replace the scalar epilogue with one masked tail iteration (needs the
     #: target's masked loads/stores; legality-checked at planning time).
     masked_epilogue: bool = False
+    #: Replace the vector loop *and* every epilogue with one
+    #: ``whilelt``-governed predicated loop: the final iteration's partial
+    #: predicate retires the remainder, so no trip count is ever misaligned
+    #: (needs predicate registers; legality-checked at planning time).
+    predicated_loop: bool = False
 
     @property
     def rejection_text(self) -> str:
@@ -123,15 +140,22 @@ def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None,
 
 def plan_vectorization(func: ast.FunctionDef,
                        target: TargetISA | str | None = None,
-                       masked_epilogue: bool = False) -> VectorizationPlan:
+                       masked_epilogue: bool = False,
+                       predicated_loop: bool = False) -> VectorizationPlan:
     """Analyze ``func`` and return a vectorization plan or a rejection.
 
     ``target`` selects the ISA whose lane count and operation set legality is
-    judged against; the default is the paper's AVX2 setup.
-    ``masked_epilogue`` asks for the scalar remainder loop to be replaced by
-    one masked tail iteration — legal only on targets with masked memory
-    operations, and only for plain/if-converted loop shapes.
+    judged against; the default is the paper's AVX2 setup.  The epilogue is
+    one of three strategies: the default scalar remainder loop,
+    ``masked_epilogue`` (one masked tail iteration — targets with masked
+    memory operations only), or ``predicated_loop`` (a ``whilelt``-governed
+    main loop that subsumes both the vector-loop bound adjustment and every
+    tail — predicate-register targets only).  Both non-default strategies
+    support plain/if-converted loop shapes only.
     """
+    if masked_epilogue and predicated_loop:
+        raise ValueError("masked_epilogue and predicated_loop are mutually "
+                         "exclusive epilogue strategies")
     isa = get_target(target)
     features = analyze_kernel(func)
     loop = features.main_loop
@@ -147,6 +171,8 @@ def plan_vectorization(func: ast.FunctionDef,
     plan = checker.check(body, features)
     if plan.feasible and masked_epilogue:
         return _check_masked_epilogue(plan, loop)
+    if plan.feasible and predicated_loop:
+        return _check_predicated_loop(plan, loop)
     return plan
 
 
@@ -155,16 +181,39 @@ def _check_masked_epilogue(plan: VectorizationPlan, loop) -> VectorizationPlan:
 
     The tail trades the scalar epilogue for masked loads/stores over the
     final partial block, so the target must be able to express masked memory
-    at all — on NEON-class targets the rejection names that gap explicitly —
-    and the loop shape must be one the tail generator handles (reductions
-    and induction vectors would need masked accumulator merges).
+    at all — on NEON-class targets the rejection names that gap explicitly,
+    and on predicate-first targets it points at the strictly stronger
+    ``predicated_loop`` strategy instead — and the loop shape must be one
+    the tail generator handles (reductions and induction vectors would need
+    masked accumulator merges).
     """
     isa = plan.target
+    if isa.has_predicated_loops:
+        return _reject(RejectionReason.MASKED_TAIL_ON_PREDICATED, plan.features, isa)
     if not isa.has_masked_memory:
         return _reject(RejectionReason.MASKED_MEMORY, plan.features, isa)
     if plan.reductions or plan.inductions or loop.end_op != "<":
         return _reject(RejectionReason.MASKED_TAIL_SHAPE, plan.features, isa)
     plan.masked_epilogue = True
+    return plan
+
+
+def _check_predicated_loop(plan: VectorizationPlan, loop) -> VectorizationPlan:
+    """Validate that the feasible ``plan`` can run as one predicated loop.
+
+    A ``whilelt``-governed loop needs predicate registers end to end —
+    predicate construction, a ``ptest`` loop exit, and predicate-governed
+    loads and stores; targets whose masking is data-vector based (x86, NEON)
+    are rejected with a message naming the gap.  The shape restriction
+    matches the masked tail's: reductions and induction vectors would need
+    predicated accumulator merges the generator does not emit.
+    """
+    isa = plan.target
+    if not isa.has_predicated_loops:
+        return _reject(RejectionReason.PREDICATED_LOOP_UNSUPPORTED, plan.features, isa)
+    if plan.reductions or plan.inductions or loop.end_op != "<":
+        return _reject(RejectionReason.PREDICATED_LOOP_SHAPE, plan.features, isa)
+    plan.predicated_loop = True
     return plan
 
 
@@ -238,6 +287,14 @@ class _BodyChecker:
                 return False
         return True
 
+    def _require_mask_ops(self) -> bool:
+        """If-conversion needs compares and a select — either the data-vector
+        flavour (cmp masks + blend) or the predicate-first flavour
+        (predicate-producing compares + predicate-selected blend)."""
+        if all(self.target.supports(op) for op in ("pcmpgt", "pcmpeq", "psel")):
+            return True
+        return self._require_ops("cmpgt", "cmpeq", "select")
+
     # -- statement checking ----------------------------------------------------------
 
     def _check_stmt(self, stmt: ast.Stmt, conditional: bool) -> None:
@@ -261,7 +318,7 @@ class _BodyChecker:
         if isinstance(stmt, ast.If):
             self.has_conditionals = True
             # If-conversion needs compare masks and a select on the target.
-            if not self._require_ops("cmpgt", "cmpeq", "select"):
+            if not self._require_mask_ops():
                 return
             self._check_condition(stmt.cond)
             self._check_stmt(stmt.then, conditional=True)
@@ -462,7 +519,7 @@ class _BodyChecker:
             return
         if isinstance(expr, ast.TernaryOp):
             self.has_conditionals = True
-            if not self._require_ops("cmpgt", "cmpeq", "select"):
+            if not self._require_mask_ops():
                 return
             self._check_condition(expr.cond)
             self._check_value_expr(expr.then)

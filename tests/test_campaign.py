@@ -130,6 +130,36 @@ class TestResultCache:
         with pytest.raises(ValueError):
             ResultCache(flush_interval=-1)
 
+    def test_none_and_falsy_values_persist_and_resume(self, tmp_path):
+        """A legitimately-``None`` (or otherwise falsy) value is a result like
+        any other: it must reach the JSONL file, not be conflated with "key
+        absent" and silently dropped (which forced resumed runs to redo the
+        work)."""
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        for key, value in (("none", None), ("zero", 0), ("empty", {}),
+                           ("false", False)):
+            cache.put(content_key(key), value)
+        cache.close()
+        lines = [line for line in path.read_text().splitlines() if line]
+        assert len(lines) == 4
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 4
+        for key, value in (("none", None), ("zero", 0), ("empty", {}),
+                           ("false", False)):
+            assert reloaded.peek(content_key(key)) == value
+            assert content_key(key) in reloaded
+
+    def test_duplicate_put_still_skips_the_append(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path)
+        cache.put(content_key("k"), {"v": 1})
+        cache.put(content_key("k"), {"v": 1})  # identical: no second line
+        cache.put(content_key("n"), None)
+        cache.put(content_key("n"), None)      # identical None: ditto
+        cache.close()
+        assert len(path.read_text().splitlines()) == 2
+
 
 class TestDeterminism:
     def test_derived_seeds_differ_per_kernel_and_base(self):

@@ -11,6 +11,7 @@ from repro.cfront.cparser import parse_function
 from repro.interp.interpreter import run_function
 from repro.intrinsics import (
     INTRINSIC_REGISTRY,
+    PredValue,
     VecValue,
     apply_pure_intrinsic,
     is_intrinsic,
@@ -97,18 +98,35 @@ class TestPureIntrinsics:
     def test_cmpgt_produces_full_lane_masks(self, isa):
         a = _vec(isa, _pattern(isa))
         b = VecValue.splat(2, isa.lanes)
+        if isa.has_predicates:
+            # Predicate-first targets compare into a predicate register.
+            gov = PredValue.all_true(isa.lanes)
+            out = apply_pure_intrinsic(isa.intrinsic("pcmpgt"), [gov, a, b])
+            assert out.lanes == tuple(v > 2 for v in _pattern(isa))
+            return
         out = apply_pure_intrinsic(isa.intrinsic("cmpgt"), [a, b])
         assert out.lanes == tuple(-1 if v > 2 else 0 for v in _pattern(isa))
 
     def test_blendv_selects_by_mask_sign(self, isa):
         a = VecValue.splat(1, isa.lanes)
         b = VecValue.splat(2, isa.lanes)
+        if isa.has_predicates:
+            # Same blend, predicate-selected: active lanes take the 'then'
+            # operand (ACLE svsel operand order).
+            pred = PredValue.from_lanes([i % 2 == 0 for i in range(isa.lanes)])
+            out = apply_pure_intrinsic(isa.intrinsic("psel"), [pred, b, a])
+            assert out.lanes == tuple(2 if i % 2 == 0 else 1
+                                      for i in range(isa.lanes))
+            return
         mask = _vec(isa, [-1 if i % 2 == 0 else 0 for i in range(isa.lanes)])
         out = apply_pure_intrinsic(isa.intrinsic("select"), [a, b, mask])
         assert out.lanes == tuple(2 if i % 2 == 0 else 1 for i in range(isa.lanes))
 
     def test_blendv_is_byte_granular(self, isa):
         """A mask with only the top byte's sign bit set blends only that byte."""
+        if not isa.supports("select"):
+            pytest.skip(f"{isa.display_name} blends through lane-granular "
+                        "predicates; there is no byte-granular mask view")
         a = VecValue.splat(0, isa.lanes)
         b = VecValue.splat(-1, isa.lanes)
         mask = VecValue.splat(wrap32(0x80000000), isa.lanes)
@@ -119,6 +137,14 @@ class TestPureIntrinsics:
         width = isa.lanes
         a = VecValue.from_lanes([1] * width, poison=[True] + [False] * (width - 1))
         b = VecValue.splat(2, width)
+        if isa.has_predicates:
+            pred = PredValue.from_lanes([False] * width,
+                                        poison=[False] * (width - 1) + [True])
+            out = apply_pure_intrinsic(isa.intrinsic("psel"), [pred, b, a])
+            assert out.poison[0] is True      # selected lane was poison
+            assert out.poison[-1] is True     # poison predicate poisons the lane
+            assert not any(out.poison[1:-1])
+            return
         mask = VecValue.from_lanes([0] * width,
                                    poison=[False] * (width - 1) + [True])
         out = apply_pure_intrinsic(isa.intrinsic("select"), [a, b, mask])
@@ -127,6 +153,11 @@ class TestPureIntrinsics:
         assert not any(out.poison[1:-1])
 
     def test_setr_orders_arguments_low_to_high(self, isa):
+        if not isa.supports("setr"):
+            # SVE builds ramps with svindex(base, step) instead.
+            out = apply_pure_intrinsic(isa.intrinsic("index"), [0, 1])
+            assert out.lanes == tuple(range(isa.lanes))
+            return
         out = apply_pure_intrinsic(isa.intrinsic("setr"), list(range(isa.lanes)))
         assert out.lanes == tuple(range(isa.lanes))
 
@@ -289,8 +320,15 @@ class TestRegistry:
 
     def test_every_target_registry_is_complete(self, isa):
         registry = registry_for(isa)
-        for op in ("add", "sub", "mul", "cmpgt", "select",
-                   "loadu", "storeu", "set1", "setr", "extract"):
+        core = ("add", "sub", "mul", "set1", "extract")
+        if isa.has_predicates:
+            # Predicate-first targets: compares, selects and *all* memory
+            # are predicate-governed; ramps come from index.
+            flavour = ("pcmpgt", "psel", "pload", "pstore", "index",
+                       "whilelt", "ptest_any")
+        else:
+            flavour = ("cmpgt", "select", "loadu", "storeu", "setr")
+        for op in core + flavour:
             name = isa.intrinsic(op)
             assert name in registry
             spec = registry[name]
@@ -313,8 +351,9 @@ class TestRegistry:
             lookup_intrinsic("_mm256_not_a_real_intrinsic")
 
     def test_costs_are_positive_for_memory_ops(self, isa):
-        assert lookup_intrinsic(isa.intrinsic("loadu")).cycle_cost > 0
-        assert lookup_intrinsic(isa.intrinsic("storeu")).cycle_cost > 0
+        store = "storeu" if isa.supports("storeu") else "pstore"
+        assert lookup_intrinsic(isa.intrinsic(isa.plain_load_op)).cycle_cost > 0
+        assert lookup_intrinsic(isa.intrinsic(store)).cycle_cost > 0
 
     def test_every_registered_intrinsic_has_consistent_spec(self):
         for name, spec in INTRINSIC_REGISTRY.items():

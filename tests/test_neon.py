@@ -46,6 +46,11 @@ from repro.vectorizer.planner import RejectionReason, plan_vectorization
 TARGET_NAMES = [t.name for t in ALL_TARGETS]
 
 
+def _load_spelling(isa) -> str:
+    """The target's plain-load spelling (predicate-governed on SVE)."""
+    return isa.intrinsic(isa.plain_load_op)
+
+
 # ---------------------------------------------------------------------------
 # registry round-trip: every emitted spelling lexes, parses, interprets and
 # symbolically executes
@@ -58,14 +63,76 @@ def _roundtrip_snippet(isa, spec):
 
     vt = isa.vector_type
     name = spec.name
-    load = isa.intrinsic("loadu")
-    store = isa.intrinsic("storeu")
-    lines = [
-        f"{vt} va = {load}(({vt}*)&a[0]);",
-        f"{vt} vb = {load}(({vt}*)&b[0]);",
-    ]
+    if isa.has_predicates:
+        # Predicate-first targets have no unpredicated loads or stores: the
+        # whole snippet runs under an all-true governing predicate.
+        pt = isa.predicate_type
+        load_a0 = f"{isa.intrinsic('pload')}(pg, ({vt}*)&a[0])"
+        load_b0 = f"{isa.intrinsic('pload')}(pg, ({vt}*)&b[0])"
+        lines = [
+            f"{pt} pg = {isa.intrinsic('ptrue')}();",
+            f"{vt} va = {load_a0};",
+            f"{vt} vb = {load_b0};",
+        ]
+
+        def store_line(reg):
+            return f"{isa.intrinsic('pstore')}(pg, ({vt}*)&out[0], {reg});"
+
+        def pred_to_vec(pred):
+            return f"{vt} r = {isa.intrinsic('psel')}({pred}, va, vb);"
+    else:
+        load = isa.intrinsic("loadu")
+        store = isa.intrinsic("storeu")
+        lines = [
+            f"{vt} va = {load}(({vt}*)&a[0]);",
+            f"{vt} vb = {load}(({vt}*)&b[0]);",
+        ]
+
+        def store_line(reg):
+            return f"{store}(({vt}*)&out[0], {reg});"
+
+        pred_to_vec = None
     result = None  # vector register holding the op result, if any
-    if spec.kind == "load":
+    if spec.kind == "pload":
+        lines.append(f"{vt} r = {name}(pg, ({vt}*)&a[{isa.lanes}]);")
+        result = "r"
+    elif spec.kind == "pstore":
+        lines.append(f"{name}(pg, ({vt}*)&out[0], va);")
+    elif spec.kind == "ptrue":
+        lines.append(f"{pt} p = {name}();")
+        lines.append(pred_to_vec("p"))
+        result = "r"
+    elif spec.kind == "whilelt":
+        lines.append(f"{pt} p = {name}(0, 3);")
+        lines.append(pred_to_vec("p"))
+        result = "r"
+    elif spec.kind == "ptest":
+        lines.append(f"out[0] = {name}(pg);")
+    elif spec.kind == "pred_unary":
+        lines.append(f"{pt} pz = {isa.intrinsic('whilelt')}(1, 3);")
+        lines.append(f"{pt} p = {name}(pg, pz);")
+        lines.append(pred_to_vec("p"))
+        result = "r"
+    elif spec.kind == "pred_binary":
+        lines.append(f"{pt} pz = {isa.intrinsic('whilelt')}(0, 2);")
+        lines.append(f"{pt} p = {name}(pg, pg, pz);")
+        lines.append(pred_to_vec("p"))
+        result = "r"
+    elif spec.kind == "pred_cmp":
+        lines.append(f"{pt} p = {name}(pg, va, vb);")
+        lines.append(pred_to_vec("p"))
+        result = "r"
+    elif spec.kind == "psel":
+        lines.append(f"{pt} p = {isa.intrinsic('pcmpgt')}(pg, va, vb);")
+        lines.append(f"{vt} r = {name}(p, va, vb);")
+        result = "r"
+    elif spec.kind == "pred_merge_binary":
+        lines.append(f"{vt} r = {name}(pg, va, vb);")
+        result = "r"
+    elif spec.kind == "index":
+        lines.append(f"{vt} r = {name}(1, 2);")
+        result = "r"
+    elif spec.kind == "load":
         lines.append(f"{vt} r = {name}(({vt}*)&a[{isa.lanes}]);")
         result = "r"
     elif spec.kind == "store":
@@ -118,7 +185,7 @@ def _roundtrip_snippet(isa, spec):
     else:  # pragma: no cover - new kinds must extend this builder
         raise AssertionError(f"round-trip builder misses kind {spec.kind!r}")
     if result is not None:
-        lines.append(f"{store}(({vt}*)&out[0], {result});")
+        lines.append(store_line(result))
     body = "\n    ".join(lines)
     assert registry_for(isa)[name] is spec
     return f"void kernel(int * a, int * b, int * out, int n)\n{{\n    {body}\n}}\n"
@@ -170,11 +237,17 @@ def test_unknown_spelling_raises_instead_of_defaulting():
 
 
 def test_vector_type_table_and_keywords_derive_from_targets():
+    from repro.targets import PREDICATE_TYPE_NAMES, SCALABLE_LANES
+
     assert VECTOR_TYPE_LANES["int32x4_t"] == 4
+    assert VECTOR_TYPE_LANES["svint32_t"] == SCALABLE_LANES
     for isa in ALL_TARGETS:
-        assert VECTOR_TYPE_LANES[isa.vector_type] == isa.lanes
+        expected = SCALABLE_LANES if isa.scalable else isa.lanes
+        assert VECTOR_TYPE_LANES[isa.vector_type] == expected
         assert isa.vector_type in KEYWORDS
-        assert isa.vector_ctype.vector_lanes == isa.lanes
+        assert isa.vector_ctype.vector_lanes == expected
+    for predicate_type in PREDICATE_TYPE_NAMES:
+        assert predicate_type in KEYWORDS
 
 
 # ---------------------------------------------------------------------------
@@ -418,7 +491,7 @@ class TestNeonEndToEnd:
             code = record.result["final_code"]
             if record.result["plausible"] and code and "q_s32" in code:
                 assert "vld1q_s32" in code
-                assert not any(t.intrinsic("loadu") in code
+                assert not any(_load_spelling(t) in code
                                for t in ALL_TARGETS if t is not NEON)
 
     def test_multi_target_fanout_includes_neon(self, tmp_path):

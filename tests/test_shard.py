@@ -252,6 +252,94 @@ class TestStoreMerging:
         with pytest.raises(FileNotFoundError):
             merge_stores([tmp_path / "nope.jsonl"], tmp_path / "m.jsonl")
 
+    def test_merge_caches_round_trips_none_and_falsy_values(self, tmp_path):
+        """Caches persisting legitimately-falsy values (None, 0, {}) must
+        merge verbatim — never be confused with absent or error entries."""
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(json.dumps({"key": "knone", "value": None}) + "\n"
+                     + json.dumps({"key": "kzero", "value": 0}) + "\n")
+        b.write_text(json.dumps({"key": "knone", "value": None}) + "\n"
+                     + json.dumps({"key": "kempty", "value": {}}) + "\n")
+        merged = merge_caches([a, b], tmp_path / "m.jsonl")
+        lines = {json.loads(line)["key"]: json.loads(line)
+                 for line in merged.read_text().splitlines()}
+        assert set(lines) == {"knone", "kzero", "kempty"}
+        assert lines["knone"]["value"] is None
+        assert lines["kzero"]["value"] == 0
+        assert lines["kempty"]["value"] == {}
+
+    def test_summary_only_store_merges_without_records(self, tmp_path):
+        """A shard that resumed a fully-cached run appends only a summary;
+        merging it must carry the summary over and produce no records."""
+        summary = {"type": "summary", "label": "vectorize", "kernels": 3,
+                   "executed": 0, "resumed": 3, "cache_hits": 3,
+                   "cache_misses": 0, "wall_clock_seconds": 0.1, "workers": 1,
+                   "target": "avx2", "verdict_counts": {}}
+        only_summary = tmp_path / "summary_only.jsonl"
+        only_summary.write_text(json.dumps(summary) + "\n")
+        merged = merge_stores([only_summary], tmp_path / "m.jsonl")
+        entries = [json.loads(line) for line in merged.read_text().splitlines()]
+        assert [e["type"] for e in entries] == ["summary"]
+        report = report_from_store(merged, label="vectorize")
+        assert report.records == []
+        assert report.summary.kernels == 0
+        assert report.summary.resumed == 3
+
+    def test_two_distinct_error_records_keep_the_first(self, tmp_path):
+        """Documented merge semantics, previously untested: when both stores
+        hold (different) error records for one key, the first seen wins and
+        the merge does not refuse."""
+        base = {"type": "result", "campaign": "c", "kernel": "s000", "key": "k1"}
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(json.dumps(
+            {**base, "result": {"kernel": "s000", "verdict": "error",
+                                "error": "ValueError: first"}}) + "\n")
+        b.write_text(json.dumps(
+            {**base, "result": {"kernel": "s000", "verdict": "error",
+                                "error": "OSError: second"}}) + "\n")
+        merged = merge_stores([a, b], tmp_path / "m.jsonl")
+        entry = json.loads(merged.read_text().splitlines()[0])
+        assert entry["result"]["error"] == "ValueError: first"
+        # ... and for caches, same rule on "value" entries.
+        a.write_text(json.dumps(
+            {"key": "k1", "value": {"verdict": "error", "error": "first"}}) + "\n")
+        b.write_text(json.dumps(
+            {"key": "k1", "value": {"verdict": "error", "error": "second"}}) + "\n")
+        merged_cache = merge_caches([a, b], tmp_path / "mc.jsonl")
+        entry = json.loads(merged_cache.read_text().splitlines()[0])
+        assert entry["value"]["error"] == "first"
+
+    def test_unlabeled_records_do_not_fabricate_a_label(self, tmp_path):
+        """A record with no campaign field must stay unlabeled: stringifying
+        it minted a bogus "None" label that inference then "succeeded" with."""
+        store = tmp_path / "s.jsonl"
+        unlabeled = {"type": "result", "kernel": "a", "key": "k0",
+                     "result": {"kernel": "a", "verdict": "equivalent"}}
+        store.write_text(json.dumps(unlabeled) + "\n")
+        with pytest.raises(ValueError, match="no labeled campaign records"):
+            report_from_store(store)
+        # A store mixing one real label with stray unlabeled records infers
+        # the real label and excludes the unlabeled ones.
+        labeled = {"type": "result", "campaign": "real", "kernel": "b",
+                   "key": "k1", "result": {"kernel": "b", "verdict": "equivalent"}}
+        store.write_text(json.dumps(unlabeled) + "\n" + json.dumps(labeled) + "\n")
+        report = report_from_store(store)
+        assert report.label == "real"
+        assert set(report.by_kernel()) == {"b"}
+
+    def test_summary_target_fallback_uses_the_default_resolution_rule(self, tmp_path):
+        """A store whose summaries carry no target resolves through
+        repro.targets.resolve_target_setting — the PR 3 one-default-rule
+        invariant — not through a hardcoded ISA name."""
+        from repro.targets import resolve_target_setting
+
+        store = tmp_path / "s.jsonl"
+        store.write_text(json.dumps(
+            {"type": "result", "campaign": "c", "kernel": "a", "key": "k1",
+             "result": {"kernel": "a", "verdict": "equivalent"}}) + "\n")
+        report = report_from_store(store)
+        assert report.summary.target == resolve_target_setting().name
+
 
 class TestShardedResume:
     def test_shard_resumes_from_its_own_store(self, tmp_path):

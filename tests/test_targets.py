@@ -26,9 +26,9 @@ from repro.vectorizer import vectorize_kernel
 
 class TestTargetDescriptions:
     def test_registered_targets_narrow_to_wide(self):
-        assert target_names() == ["sse4", "neon", "avx2", "avx512"]
-        assert [t.lanes for t in ALL_TARGETS] == [4, 4, 8, 16]
-        assert [t.register_bits for t in ALL_TARGETS] == [128, 128, 256, 512]
+        assert target_names() == ["sse4", "neon", "sve128", "avx2", "sve256", "avx512"]
+        assert [t.lanes for t in ALL_TARGETS] == [4, 4, 4, 8, 8, 16]
+        assert [t.register_bits for t in ALL_TARGETS] == [128, 128, 128, 256, 256, 512]
 
     def test_get_target_resolves_aliases_and_instances(self):
         assert get_target(None) is AVX2
@@ -126,9 +126,13 @@ class TestTargetAwareLLM:
             num_completions=4, target=target,
         )
         completions = llm.complete(request)
-        vectorized = [c for c in completions if isa.intrinsic("loadu") in c.code]
+
+        def load_spelling(t):
+            return t.intrinsic(t.plain_load_op)
+
+        vectorized = [c for c in completions if load_spelling(isa) in c.code]
         assert vectorized, "expected at least one intrinsic-bearing completion"
-        foreign_loads = {t.intrinsic("loadu") for t in ALL_TARGETS} - {isa.intrinsic("loadu")}
+        foreign_loads = {load_spelling(t) for t in ALL_TARGETS} - {load_spelling(isa)}
         for completion in vectorized:
             assert not any(name in completion.code for name in foreign_loads)
 

@@ -142,7 +142,9 @@ class TestMultiTargetCodegen:
     EXPECTATIONS = {
         "sse4": ("__m128i", "_mm_loadu_si128", "_mm_storeu_si128", "i += 4"),
         "neon": ("int32x4_t", "vld1q_s32", "vst1q_s32", "i += 4"),
+        "sve128": ("svint32_t", "svld1_s32_vl128", "svst1_s32_vl128", "i += 4"),
         "avx2": ("__m256i", "_mm256_loadu_si256", "_mm256_storeu_si256", "i += 8"),
+        "sve256": ("svint32_t", "svld1_s32_vl256", "svst1_s32_vl256", "i += 8"),
         "avx512": ("__m512i", "_mm512_loadu_si512", "_mm512_storeu_si512", "i += 16"),
     }
 
@@ -166,6 +168,14 @@ class TestMultiTargetCodegen:
     def test_induction_ramp_has_lane_count_arguments(self, target):
         isa = get_target(target)
         result = vectorize_kernel(load_kernel("s453").function, target)
+        if isa.supports("index"):
+            # SVE ramps are one svindex(base, step) call.
+            index = isa.intrinsic("index")
+            assert index in result.source
+            ramp_calls = [n for n in ast.walk(result.function)
+                          if isinstance(n, ast.Call) and n.func == index]
+            assert ramp_calls and all(len(call.args) == 2 for call in ramp_calls)
+            return
         setr = isa.intrinsic("setr")
         assert setr in result.source
         ramp_calls = [n for n in ast.walk(result.function)
@@ -176,7 +186,8 @@ class TestMultiTargetCodegen:
     def test_avx512_blend_uses_native_masked_op(self, target):
         isa = get_target(target)
         result = vectorize_kernel(load_kernel("s271").function, target)
-        assert isa.intrinsic("select") in result.source
+        blend = isa.intrinsic("select" if isa.supports("select") else "psel")
+        assert blend in result.source
 
     @pytest.mark.parametrize("target", TARGET_NAMES)
     def test_generated_code_reparses_on_every_target(self, target):
