@@ -1,0 +1,114 @@
+"""CI perf gate: throughput floor plus the AVX2 golden-verdict pin.
+
+Runs the standard 11-kernel vectorize suite serially on every target,
+appends the fresh summaries (with their per-stage timing breakdown) to
+``BENCH_campaign.json``, and fails when either
+
+- any target's kernels/sec drops more than ``--tolerance`` (default 20%)
+  below the best committed baseline entry for that target, or
+- the paper-default AVX2 campaign's verdicts or final-code SHAs drift
+  from the golden record pinned in ``tests/test_sve.py``.
+
+Usage:  PYTHONPATH=src python benchmarks/perf_gate.py [--tolerance 0.2]
+                  [--baseline BENCH_campaign.json] [--json BENCH_campaign.json]
+
+Exit status 0 on pass, 1 on regression or drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+
+from test_multi_target import DEFAULT_KERNELS  # noqa: E402
+from test_sve import AVX2_GOLDEN  # noqa: E402
+
+from repro.pipeline import CampaignConfig, CampaignRunner  # noqa: E402
+from repro.reporting.campaign import write_bench_json  # noqa: E402
+from repro.targets import ALL_TARGETS  # noqa: E402
+
+
+def baseline_rates(path: Path) -> dict[str, float]:
+    """Best committed kernels/sec per target (the ratchet to regress against)."""
+    if not path.exists():
+        return {}
+    entries = json.loads(path.read_text(encoding="utf-8")).get("campaigns", [])
+    best: dict[str, float] = {}
+    for entry in entries:
+        target = entry.get("target")
+        rate = entry.get("kernels_per_second")
+        if not target or not isinstance(rate, (int, float)):
+            continue
+        best[target] = max(best.get(target, 0.0), float(rate))
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_campaign.json")
+    parser.add_argument("--json", type=Path,
+                        default=REPO_ROOT / "BENCH_campaign.json",
+                        help="file the fresh summaries are appended to")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional throughput drop per target")
+    args = parser.parse_args()
+
+    floors = baseline_rates(args.baseline)
+    targets = [isa.name for isa in ALL_TARGETS]
+    runner = CampaignRunner(CampaignConfig(workers=1))
+    reports = runner.run_multi_target(DEFAULT_KERNELS, targets=targets)
+    write_bench_json(runner.summaries, args.json)
+
+    failures: list[str] = []
+
+    for target, report in reports.items():
+        summary = report.summary
+        floor = floors.get(target)
+        line = (f"{target:<8} {summary.kernels_per_second:8.1f} kernels/s "
+                f"(stages: {sum(summary.stage_seconds.values()):.3f}s profiled)")
+        if floor is not None:
+            minimum = floor * (1.0 - args.tolerance)
+            line += f"  floor {minimum:.1f} (baseline {floor:.1f})"
+            if summary.kernels_per_second < minimum:
+                failures.append(
+                    f"{target}: {summary.kernels_per_second:.1f} kernels/s is "
+                    f">{args.tolerance:.0%} below the baseline {floor:.1f}")
+        else:
+            line += "  (no baseline entry; recorded)"
+        print(line)
+
+    # The verdict pin: the golden kernels are a superset check run on AVX2
+    # alone, with the exact seed campaign config.
+    golden_kernels = [kernel for kernel, _, _ in AVX2_GOLDEN]
+    golden_report = CampaignRunner(CampaignConfig(workers=1)).run(golden_kernels)
+    observed = [(record.kernel,
+                 record.result.get("verdict"),
+                 record.result.get("final_code_sha"))
+                for record in golden_report.records]
+    for want, got in zip(AVX2_GOLDEN, observed):
+        if want != got:
+            failures.append(f"AVX2 drift on {want[0]}: expected {want[1:]}, "
+                            f"got {got[1:]}")
+    if len(observed) != len(AVX2_GOLDEN):
+        failures.append(f"AVX2 golden campaign ran {len(observed)} kernels, "
+                        f"expected {len(AVX2_GOLDEN)}")
+
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nperf gate passed: {len(reports)} targets within "
+          f"{args.tolerance:.0%} of baseline, AVX2 verdicts bit-for-bit")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,13 +10,18 @@ kernel over the three baseline compilers.
 
 Run with:  python examples/quickstart.py [kernel-name ...]
 
+Everything this script needs is on the stable top-level surface
+(``repro.__all__``) except the cycle-simulator extras.
+
 Environment knobs: REPRO_WORKERS (pool width, default 0 = one per CPU),
 REPRO_STORE (JSONL result store for resumable runs), REPRO_TARGET
 (target ISA: sse4 / neon / sve128 / sve256 (alias sve) / avx2 / avx512;
 default avx2, the paper's setup),
+REPRO_EPILOGUE (tail strategy: scalar / masked / predicated; default
+scalar — predicated needs an SVE target),
 REPRO_SHARD ("i/n" runs only the i-th of n disjoint suite shards — run each
 shard on its own machine with its own REPRO_STORE, then merge the stores
-with repro.pipeline.shard.merge_stores / report_from_store).
+with repro.merge_stores / repro.report_from_store).
 """
 
 from __future__ import annotations
@@ -24,10 +29,14 @@ from __future__ import annotations
 import os
 import sys
 
+from repro import (
+    CampaignConfig,
+    LLMVectorizer,
+    load_kernel,
+    plan_cache_stats,
+    render_campaign_report,
+)
 from repro.perf import measure_kernel, speedups_for_kernel
-from repro.pipeline import CampaignConfig, LLMVectorizer
-from repro.reporting import render_campaign_report
-from repro.tsvc import load_kernel
 
 
 def main() -> int:
@@ -43,11 +52,18 @@ def main() -> int:
         workers=int(os.environ.get("REPRO_WORKERS", "0")),
         store_path=os.environ.get("REPRO_STORE", "").strip() or None,
         target=target,
+        epilogue=os.environ.get("REPRO_EPILOGUE", "scalar").strip() or "scalar",
         shard=shard,
     )
     tool = LLMVectorizer()
     report = tool.vectorize_suite(names, campaign=config)
     print(render_campaign_report(report))
+    cache = plan_cache_stats.as_dict()
+    if any(cache.values()):
+        print(f"plan cache: {cache['parse_hits']} parse hits / "
+              f"{cache['parse_misses']} misses, "
+              f"{cache['vectorize_hits']} codegen hits / "
+              f"{cache['vectorize_misses']} misses")
 
     if kernel.name not in report.by_kernel():
         print(f"{kernel.name} is outside shard {shard}; nothing more to show here.")

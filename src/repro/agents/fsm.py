@@ -45,6 +45,9 @@ class FSMConfig:
     #: the tool/campaign layer resolves the active target through
     #: :func:`repro.targets.resolve_target_setting` and pins it here.
     target: str | None = None
+    #: Epilogue strategy the agents request (``"scalar"``, ``"masked"`` or
+    #: ``"predicated"``); pinned by the tool/campaign layer like ``target``.
+    epilogue: str = "scalar"
 
 
 @dataclass
@@ -86,7 +89,8 @@ class VectorizationFSM:
         self.llm = llm
         self.user_proxy = UserProxyAgent(kernel_name, scalar_code, target=self.config.target)
         self.vectorizer = VectorizerAgent(llm, kernel_name, scalar_code,
-                                          self.config.temperature, target=self.config.target)
+                                          self.config.temperature, target=self.config.target,
+                                          epilogue=self.config.epilogue)
         self.tester = CompilerTesterAgent(
             scalar_code, seed=self.config.checksum_seed, trip_counts=self.config.trip_counts
         )

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from repro.agents.base import Agent, Message
 from repro.analysis.features import analyze_kernel
-from repro.cfront.cparser import parse_function
 from repro.errors import ReproError
 from repro.llm.prompts import build_vectorization_prompt
+from repro.vectorizer.plancache import cached_parse
 
 
 class UserProxyAgent(Agent):
@@ -42,7 +42,7 @@ class UserProxyAgent(Agent):
 
     def _dependence_report(self) -> str:
         try:
-            features = analyze_kernel(parse_function(self.scalar_code))
+            features = analyze_kernel(cached_parse(self.scalar_code))
         except ReproError:
             return ""
         return features.dependence_summary()

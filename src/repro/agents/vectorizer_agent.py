@@ -14,12 +14,14 @@ class VectorizerAgent(Agent):
     name = "vectorizer"
 
     def __init__(self, llm: LLMClient, kernel_name: str, scalar_code: str,
-                 temperature: float = 1.0, target: str | None = None):
+                 temperature: float = 1.0, target: str | None = None,
+                 epilogue: str = "scalar"):
         self.llm = llm
         self.kernel_name = kernel_name
         self.scalar_code = scalar_code
         self.temperature = temperature
         self.target = target
+        self.epilogue = epilogue
         self.last_candidate: str | None = None
 
     def respond(self, message: Message, history: list[Message]) -> Message:
@@ -40,6 +42,7 @@ class VectorizerAgent(Agent):
             temperature=self.temperature,
             feedback=feedback,
             target=self.target,
+            epilogue=self.epilogue,
         )
         completion = self.llm.complete(request)[0]
         self.last_candidate = completion.code

@@ -849,17 +849,24 @@ def execute_symbolically(
     final states over the same symbolic inputs — exactly what the refinement
     check needs.
     """
-    state = SymbolicState()
-    for param in func.params:
-        if param.param_type.is_pointer:
-            size = array_sizes.get(param.name)
-            if size is None:
-                raise SymbolicExecutionError(f"no size provided for array parameter {param.name!r}")
-            state.regions[param.name] = SymRegion(param.name, size)
-            state.scalars[param.name] = SymPointer(param.name, 0)
-        else:
-            if param.name not in scalar_values:
-                raise SymbolicExecutionError(f"no value provided for scalar parameter {param.name!r}")
-            state.scalars[param.name] = bv_const(int(scalar_values[param.name]))
-    executor = SymbolicExecutor(func, state, max_steps=max_steps)
-    return executor.run()
+    from repro.perf.profile import stage
+
+    with stage("symexec"):
+        state = SymbolicState()
+        for param in func.params:
+            if param.param_type.is_pointer:
+                size = array_sizes.get(param.name)
+                if size is None:
+                    raise SymbolicExecutionError(
+                        f"no size provided for array parameter {param.name!r}"
+                    )
+                state.regions[param.name] = SymRegion(param.name, size)
+                state.scalars[param.name] = SymPointer(param.name, 0)
+            else:
+                if param.name not in scalar_values:
+                    raise SymbolicExecutionError(
+                        f"no value provided for scalar parameter {param.name!r}"
+                    )
+                state.scalars[param.name] = bv_const(int(scalar_values[param.name]))
+        executor = SymbolicExecutor(func, state, max_steps=max_steps)
+        return executor.run()

@@ -36,7 +36,6 @@ from typing import Optional
 from repro.analysis.accesses import collect_accesses
 from repro.analysis.loops import find_main_loop
 from repro.cfront import ast_nodes as ast
-from repro.cfront.cparser import parse_function
 from repro.errors import ParseError, ReproError
 from repro.alive.symexec import SymbolicExecutionError, SymbolicState, execute_symbolically
 from repro.intrinsics.registry import INTRINSIC_REGISTRY
@@ -150,7 +149,7 @@ class AliveVerifier:
         executable_scalar = scalar_func
         if transform_scalar:
             try:
-                executable_scalar = unroll_scalar_function(scalar_func, factor=lanes)
+                executable_scalar = _cached_unroll(scalar_func, lanes)
             except CUnrollError as exc:
                 return VerificationReport(VerificationOutcome.INCONCLUSIVE, method,
                                           detail=f"C-level unrolling failed: {exc}")
@@ -160,7 +159,7 @@ class AliveVerifier:
         vec_scalar_values = self._scalar_values(vector_func, trip_count)
 
         try:
-            scalar_state = execute_symbolically(executable_scalar, array_sizes, scalar_values)
+            scalar_state = _cached_scalar_symexec(executable_scalar, array_sizes, scalar_values)
             vector_state = execute_symbolically(vector_func, array_sizes, vec_scalar_values)
         except SymbolicExecutionError as exc:
             return VerificationReport(VerificationOutcome.INCONCLUSIVE, method,
@@ -217,7 +216,12 @@ class AliveVerifier:
     def _as_function(code: str | ast.FunctionDef) -> ast.FunctionDef:
         if isinstance(code, ast.FunctionDef):
             return code
-        return parse_function(code)
+        # Shared-AST cache: the same scalar/candidate pair flows through
+        # every verification stage, and the unroller deep-copies before it
+        # mutates — so one parse per distinct source text suffices.
+        from repro.vectorizer.plancache import cached_parse
+
+        return cached_parse(code)
 
     def _array_sizes(self, scalar_func: ast.FunctionDef, trip_count: int) -> dict[str, int]:
         """Tight array sizes: trip count plus the scalar program's own overhang.
@@ -253,15 +257,72 @@ class AliveVerifier:
         return _output_pairs(scalar_state, vector_state, scalar_func)
 
 
+#: Unrolling the scalar side is deterministic in (function, factor), and the
+#: c-unroll method re-runs for every candidate attempt against the *same*
+#: (cache-shared) scalar reference.  The unrolled tree is only ever walked
+#: read-only (symbolic execution); entries keep a strong reference to the
+#: input function so an id can never be silently reused.
+_UNROLL_MEMO: dict[tuple[int, int], tuple[ast.FunctionDef, ast.FunctionDef]] = {}
+_UNROLL_MEMO_CAPACITY = 256
+
+
+def _cached_unroll(scalar_func: ast.FunctionDef, lanes: int) -> ast.FunctionDef:
+    key = (id(scalar_func), lanes)
+    entry = _UNROLL_MEMO.get(key)
+    if entry is not None and entry[0] is scalar_func:
+        return entry[1]
+    unrolled = unroll_scalar_function(scalar_func, factor=lanes)
+    if len(_UNROLL_MEMO) >= _UNROLL_MEMO_CAPACITY:
+        _UNROLL_MEMO.clear()
+    _UNROLL_MEMO[key] = (scalar_func, unrolled)
+    return unrolled
+
+
+#: Scalar-side symbolic states repeat the same way: one kernel is verified
+#: against several candidate attempts, and each attempt re-executes the same
+#: scalar (or unrolled-scalar) tree over the same sizes and values.  States
+#: are read downstream (output pairs, UB events) but never mutated, and the
+#: hash-consed term graph makes sharing them cheap.
+_SYMEXEC_MEMO: dict[
+    tuple[int, tuple[tuple[str, int], ...], tuple[tuple[str, int], ...]],
+    tuple[ast.FunctionDef, SymbolicState],
+] = {}
+_SYMEXEC_MEMO_CAPACITY = 256
+
+
+def _cached_scalar_symexec(func: ast.FunctionDef, array_sizes: dict[str, int],
+                           scalar_values: dict[str, int]) -> SymbolicState:
+    key = (id(func), tuple(sorted(array_sizes.items())), tuple(sorted(scalar_values.items())))
+    entry = _SYMEXEC_MEMO.get(key)
+    if entry is not None and entry[0] is func:
+        return entry[1]
+    state = execute_symbolically(func, array_sizes, scalar_values)
+    if len(_SYMEXEC_MEMO) >= _SYMEXEC_MEMO_CAPACITY:
+        _SYMEXEC_MEMO.clear()
+    _SYMEXEC_MEMO[key] = (func, state)
+    return state
+
+
+_LANES_MEMO: dict[int, tuple[ast.FunctionDef, int]] = {}
+_LANES_MEMO_CAPACITY = 512
+
+
 def _candidate_lanes(vector_func: ast.FunctionDef) -> int:
     """Vector width of a candidate, inferred from the intrinsics it calls."""
+    entry = _LANES_MEMO.get(id(vector_func))
+    if entry is not None and entry[0] is vector_func:
+        return entry[1]
     lanes = 0
     for node in ast.walk(vector_func):
         if isinstance(node, ast.Call):
             spec = INTRINSIC_REGISTRY.get(node.func)
             if spec is not None:
                 lanes = max(lanes, spec.lanes)
-    return lanes or VECTOR_WIDTH
+    lanes = lanes or VECTOR_WIDTH
+    if len(_LANES_MEMO) >= _LANES_MEMO_CAPACITY:
+        _LANES_MEMO.clear()
+    _LANES_MEMO[id(vector_func)] = (vector_func, lanes)
+    return lanes
 
 
 def _output_pairs(scalar_state: SymbolicState, vector_state: SymbolicState,

@@ -108,8 +108,27 @@ def categorize(report: DependenceReport) -> str:
     return CATEGORY_NAIVE
 
 
+#: Feature analysis is pure in the tree, and with parse results cache-shared
+#: the same function object is re-analyzed once per completion (difficulty
+#: scoring) and once per dialogue (the dependence report).  Entries keep a
+#: strong reference to the analyzed function, so the id key cannot be reused.
+_FEATURE_MEMO: dict[int, tuple[ast.FunctionDef, "KernelFeatures"]] = {}
+_FEATURE_MEMO_CAPACITY = 512
+
+
 def analyze_kernel(func: ast.FunctionDef) -> KernelFeatures:
     """Run loop discovery, access collection and dependence analysis on ``func``."""
+    entry = _FEATURE_MEMO.get(id(func))
+    if entry is not None and entry[0] is func:
+        return entry[1]
+    features = _analyze_kernel_uncached(func)
+    if len(_FEATURE_MEMO) >= _FEATURE_MEMO_CAPACITY:
+        _FEATURE_MEMO.clear()
+    _FEATURE_MEMO[id(func)] = (func, features)
+    return features
+
+
+def _analyze_kernel_uncached(func: ast.FunctionDef) -> KernelFeatures:
     loop_nest = find_loops(func)
     main_loop = find_main_loop(func)
     features = KernelFeatures(function=func, loop_nest=loop_nest, main_loop=main_loop)

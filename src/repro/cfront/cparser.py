@@ -447,7 +447,10 @@ def parse_program(source: str) -> ast.Program:
 
 def parse_function(source: str) -> ast.FunctionDef:
     """Parse a source snippet expected to contain exactly one function."""
-    program = parse_program(source)
+    from repro.perf.profile import stage
+
+    with stage("parse"):
+        program = parse_program(source)
     if len(program.functions) != 1:
         raise ParseError(f"expected exactly one function, found {len(program.functions)}")
     return program.functions[0]

@@ -22,7 +22,6 @@ import random
 from dataclasses import dataclass, field
 
 from repro.cfront import ast_nodes as ast
-from repro.cfront.cparser import parse_function
 from repro.errors import (
     CompileError,
     InterpreterError,
@@ -103,11 +102,51 @@ class ChecksumReport:
 def _ensure_function(code: str | ast.FunctionDef) -> ast.FunctionDef:
     if isinstance(code, ast.FunctionDef):
         return code
-    return parse_function(code)
+    # Shared-AST cache: checksum testing re-sees the same scalar source every
+    # attempt and the same candidate source every stage, and the interpreter
+    # below never mutates what it executes.
+    from repro.vectorizer.plancache import cached_parse
+
+    return cached_parse(code)
 
 
 def _execute(func: ast.FunctionDef, vector: TestVector) -> ExecutionResult:
     return run_function(func, arrays=vector.arrays, scalars=vector.scalars)
+
+
+#: Scalar-side memo: during a campaign the tester re-runs the *same* scalar
+#: reference over the *same* seeded test suite once per candidate attempt.
+#: The interpreter copies array contents on allocation and ``outputs()``
+#: snapshots, so suites and results are safely shareable.  Keyed by the
+#: identity of the (cache-shared) scalar AST; the entry holds a strong
+#: reference to the function, so an id can never be silently reused.
+_SCALAR_MEMO: dict[
+    tuple[int, int, tuple[int, ...] | None, tuple[int, int]],
+    tuple[ast.FunctionDef, list[TestVector], list[ExecutionResult]],
+] = {}
+_SCALAR_MEMO_CAPACITY = 256
+
+
+def _scalar_suite(
+    scalar_func: ast.FunctionDef,
+    seed: int,
+    trip_counts: list[int] | None,
+    value_range: tuple[int, int],
+) -> tuple[list[TestVector], list[ExecutionResult]]:
+    """The seeded test suite plus a lazily-filled list of scalar results."""
+    key = (id(scalar_func), seed,
+           tuple(trip_counts) if trip_counts is not None else None, value_range)
+    entry = _SCALAR_MEMO.get(key)
+    if entry is not None and entry[0] is scalar_func:
+        return entry[1], entry[2]
+    rng = random.Random(seed)
+    spec = InputSpec.from_function(scalar_func)
+    suite = make_test_suite(spec, rng, trip_counts=trip_counts, value_range=value_range)
+    results: list[ExecutionResult] = []
+    if len(_SCALAR_MEMO) >= _SCALAR_MEMO_CAPACITY:
+        _SCALAR_MEMO.clear()
+    _SCALAR_MEMO[key] = (scalar_func, suite, results)
+    return suite, results
 
 
 def _compare_outputs(
@@ -157,16 +196,18 @@ def checksum_testing(
             outcome=ChecksumOutcome.CANNOT_COMPILE, compile_error=str(exc), tests_run=0
         )
 
-    rng = random.Random(seed)
-    spec = InputSpec.from_function(scalar_func)
-    suite = make_test_suite(spec, rng, trip_counts=trip_counts, value_range=value_range)
+    suite, scalar_results = _scalar_suite(scalar_func, seed, trip_counts, value_range)
 
     report = ChecksumReport(outcome=ChecksumOutcome.PLAUSIBLE)
-    for vector in suite:
-        try:
-            scalar_result = _execute(scalar_func, vector)
-        except ReproError as exc:
-            raise ReproError(f"the scalar reference program failed to execute: {exc}") from exc
+    for index, vector in enumerate(suite):
+        if index < len(scalar_results):
+            scalar_result = scalar_results[index]
+        else:
+            try:
+                scalar_result = _execute(scalar_func, vector)
+            except ReproError as exc:
+                raise ReproError(f"the scalar reference program failed to execute: {exc}") from exc
+            scalar_results.append(scalar_result)
         try:
             vector_result = _execute(vector_func, vector)
         except (CompileError,) as exc:

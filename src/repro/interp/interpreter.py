@@ -151,37 +151,41 @@ class Interpreter:
     # -- statements -------------------------------------------------------------
 
     def _exec_stmt(self, stmt: ast.Stmt) -> None:
-        if isinstance(stmt, ast.Block):
-            self._exec_sequence(stmt.body)
-        elif isinstance(stmt, ast.Decl):
-            self._exec_decl(stmt)
-        elif isinstance(stmt, ast.ExprStmt):
-            self._eval(stmt.expr)
-        elif isinstance(stmt, ast.If):
-            self._tick("branch")
-            if self._truth(self._eval(stmt.cond)):
-                self._exec_stmt(stmt.then)
-            elif stmt.otherwise is not None:
-                self._exec_stmt(stmt.otherwise)
-        elif isinstance(stmt, ast.ForLoop):
-            self._exec_for(stmt)
-        elif isinstance(stmt, ast.WhileLoop):
-            self._exec_while(stmt)
-        elif isinstance(stmt, ast.DoWhileLoop):
-            self._exec_do_while(stmt)
-        elif isinstance(stmt, ast.Return):
-            value = self._eval(stmt.value) if stmt.value is not None else None
-            raise _ReturnSignal(value)
-        elif isinstance(stmt, ast.Break):
-            raise _BreakSignal()
-        elif isinstance(stmt, ast.Continue):
-            raise _ContinueSignal()
-        elif isinstance(stmt, ast.Goto):
-            raise _GotoSignal(stmt.label)
-        elif isinstance(stmt, ast.Label):
-            self._exec_stmt(stmt.stmt)
-        else:
+        # Dispatch on the concrete node class: one dict probe instead of a
+        # cascade of isinstance checks on the interpretation hot path.
+        handler = _STMT_HANDLERS.get(stmt.__class__)
+        if handler is None:
             raise InterpreterError(f"cannot execute statement {type(stmt).__name__}")
+        handler(self, stmt)
+
+    def _exec_block(self, stmt: ast.Block) -> None:
+        self._exec_sequence(stmt.body)
+
+    def _exec_expr_stmt(self, stmt: ast.ExprStmt) -> None:
+        self._eval(stmt.expr)
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        self._tick("branch")
+        if self._truth(self._eval(stmt.cond)):
+            self._exec_stmt(stmt.then)
+        elif stmt.otherwise is not None:
+            self._exec_stmt(stmt.otherwise)
+
+    def _exec_return(self, stmt: ast.Return) -> None:
+        value = self._eval(stmt.value) if stmt.value is not None else None
+        raise _ReturnSignal(value)
+
+    def _exec_break(self, stmt: ast.Break) -> None:
+        raise _BreakSignal()
+
+    def _exec_continue(self, stmt: ast.Continue) -> None:
+        raise _ContinueSignal()
+
+    def _exec_goto(self, stmt: ast.Goto) -> None:
+        raise _GotoSignal(stmt.label)
+
+    def _exec_label(self, stmt: ast.Label) -> None:
+        self._exec_stmt(stmt.stmt)
 
     def _exec_sequence(self, stmts: list[ast.Stmt]) -> None:
         """Execute a statement list, resolving forward ``goto`` jumps locally."""
@@ -286,30 +290,23 @@ class Interpreter:
     # -- expressions --------------------------------------------------------------
 
     def _eval(self, expr: ast.Expr) -> Value:
-        if isinstance(expr, ast.IntLiteral):
-            return wrap32(expr.value)
-        if isinstance(expr, ast.Identifier):
-            return self._load_identifier(expr.name)
-        if isinstance(expr, ast.ArrayRef):
-            return self._eval_array_load(expr)
-        if isinstance(expr, ast.BinOp):
-            return self._eval_binop(expr)
-        if isinstance(expr, ast.UnaryOp):
-            return self._eval_unary(expr)
-        if isinstance(expr, ast.PostfixOp):
-            return self._eval_postfix(expr)
-        if isinstance(expr, ast.TernaryOp):
-            self._tick("branch")
-            if self._truth(self._eval(expr.cond)):
-                return self._eval(expr.then)
-            return self._eval(expr.otherwise)
-        if isinstance(expr, ast.Assign):
-            return self._eval_assign(expr)
-        if isinstance(expr, ast.Cast):
-            return self._eval_cast(expr)
-        if isinstance(expr, ast.Call):
-            return self._eval_call(expr)
-        raise InterpreterError(f"cannot evaluate expression {type(expr).__name__}")
+        # Same single-probe dispatch as ``_exec_stmt``.
+        handler = _EVAL_HANDLERS.get(expr.__class__)
+        if handler is None:
+            raise InterpreterError(f"cannot evaluate expression {type(expr).__name__}")
+        return handler(self, expr)
+
+    def _eval_literal(self, expr: ast.IntLiteral) -> int:
+        return wrap32(expr.value)
+
+    def _eval_identifier(self, expr: ast.Identifier) -> Value:
+        return self._load_identifier(expr.name)
+
+    def _eval_ternary(self, expr: ast.TernaryOp) -> Value:
+        self._tick("branch")
+        if self._truth(self._eval(expr.cond)):
+            return self._eval(expr.then)
+        return self._eval(expr.otherwise)
 
     def _load_identifier(self, name: str) -> Value:
         if name not in self.scope:
@@ -352,12 +349,9 @@ class Interpreter:
         return self._scalar_binop(op, lhs, rhs)
 
     def _scalar_binop(self, op: str, lhs: int, rhs: int) -> int:
-        if op == "+":
-            return wrap32(lhs + rhs)
-        if op == "-":
-            return wrap32(lhs - rhs)
-        if op == "*":
-            return wrap32(lhs * rhs)
+        fn = _SCALAR_BINOPS.get(op)
+        if fn is not None:
+            return fn(lhs, rhs)
         if op == "/":
             if rhs == 0:
                 self.memory._record(UBEvent("div-by-zero", "<scalar>", 0, "division by zero"))
@@ -368,28 +362,6 @@ class Interpreter:
                 self.memory._record(UBEvent("div-by-zero", "<scalar>", 0, "modulo by zero"))
                 return 0
             return wrap32(lhs - int(lhs / rhs) * rhs)
-        if op == "<":
-            return 1 if lhs < rhs else 0
-        if op == ">":
-            return 1 if lhs > rhs else 0
-        if op == "<=":
-            return 1 if lhs <= rhs else 0
-        if op == ">=":
-            return 1 if lhs >= rhs else 0
-        if op == "==":
-            return 1 if lhs == rhs else 0
-        if op == "!=":
-            return 1 if lhs != rhs else 0
-        if op == "&":
-            return wrap32(lhs & rhs)
-        if op == "|":
-            return wrap32(lhs | rhs)
-        if op == "^":
-            return wrap32(lhs ^ rhs)
-        if op == "<<":
-            return wrap32(lhs << (rhs & 31))
-        if op == ">>":
-            return wrap32(lhs >> (rhs & 31))
         raise InterpreterError(f"unsupported binary operator {op!r}")
 
     def _pointer_arith(self, op: str, left: Value, right: Value) -> Value:
@@ -689,6 +661,56 @@ class Interpreter:
         raise InterpreterError(f"unexpected value of type {type(value).__name__}")
 
 
+#: Pure scalar operators (no UB to record) as a dispatch table; ``/`` and
+#: ``%`` stay in ``_scalar_binop`` because a zero divisor records a UB event.
+_SCALAR_BINOPS = {
+    "+": lambda lhs, rhs: wrap32(lhs + rhs),
+    "-": lambda lhs, rhs: wrap32(lhs - rhs),
+    "*": lambda lhs, rhs: wrap32(lhs * rhs),
+    "<": lambda lhs, rhs: 1 if lhs < rhs else 0,
+    ">": lambda lhs, rhs: 1 if lhs > rhs else 0,
+    "<=": lambda lhs, rhs: 1 if lhs <= rhs else 0,
+    ">=": lambda lhs, rhs: 1 if lhs >= rhs else 0,
+    "==": lambda lhs, rhs: 1 if lhs == rhs else 0,
+    "!=": lambda lhs, rhs: 1 if lhs != rhs else 0,
+    "&": lambda lhs, rhs: wrap32(lhs & rhs),
+    "|": lambda lhs, rhs: wrap32(lhs | rhs),
+    "^": lambda lhs, rhs: wrap32(lhs ^ rhs),
+    "<<": lambda lhs, rhs: wrap32(lhs << (rhs & 31)),
+    ">>": lambda lhs, rhs: wrap32(lhs >> (rhs & 31)),
+}
+
+#: Concrete-class dispatch tables for the interpretation hot path, built once
+#: at import.  ``stmt.__class__`` keys make each dispatch a single dict probe.
+_STMT_HANDLERS = {
+    ast.Block: Interpreter._exec_block,
+    ast.Decl: Interpreter._exec_decl,
+    ast.ExprStmt: Interpreter._exec_expr_stmt,
+    ast.If: Interpreter._exec_if,
+    ast.ForLoop: Interpreter._exec_for,
+    ast.WhileLoop: Interpreter._exec_while,
+    ast.DoWhileLoop: Interpreter._exec_do_while,
+    ast.Return: Interpreter._exec_return,
+    ast.Break: Interpreter._exec_break,
+    ast.Continue: Interpreter._exec_continue,
+    ast.Goto: Interpreter._exec_goto,
+    ast.Label: Interpreter._exec_label,
+}
+
+_EVAL_HANDLERS = {
+    ast.IntLiteral: Interpreter._eval_literal,
+    ast.Identifier: Interpreter._eval_identifier,
+    ast.ArrayRef: Interpreter._eval_array_load,
+    ast.BinOp: Interpreter._eval_binop,
+    ast.UnaryOp: Interpreter._eval_unary,
+    ast.PostfixOp: Interpreter._eval_postfix,
+    ast.TernaryOp: Interpreter._eval_ternary,
+    ast.Assign: Interpreter._eval_assign,
+    ast.Cast: Interpreter._eval_cast,
+    ast.Call: Interpreter._eval_call,
+}
+
+
 def run_function(
     func: ast.FunctionDef,
     arrays: Mapping[str, list[int]],
@@ -702,8 +724,11 @@ def run_function(
     an isolated memory region (plus guard zone).  ``scalars`` maps value
     parameters such as ``n``.
     """
-    memory = Memory()
-    for name, values in arrays.items():
-        memory.allocate(name, len(values), values, guard=guard)
-    interpreter = Interpreter(func, memory, scalars, max_steps=max_steps)
-    return interpreter.run()
+    from repro.perf.profile import stage
+
+    with stage("interp"):
+        memory = Memory()
+        for name, values in arrays.items():
+            memory.allocate(name, len(values), values, guard=guard)
+        interpreter = Interpreter(func, memory, scalars, max_steps=max_steps)
+        return interpreter.run()

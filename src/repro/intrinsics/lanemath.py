@@ -1,12 +1,30 @@
-"""Shared 32-bit lane arithmetic.
+"""Shared 32-bit lane arithmetic, scalar and bulk.
 
 Every layer that models lane values — the intrinsic semantics, the concrete
 interpreter, the memory model and the symbolic executor's constant folding —
 agrees on one definition of 32-bit two's-complement wraparound, defined here
 and nowhere else.
+
+Beyond the scalar helpers, this module provides *bulk* kernels that evaluate
+a whole register per call: lanes as ``numpy.int32`` arrays (whose arithmetic
+wraps exactly like the scalar ``wrap32`` semantics), poison and predicate
+lanes as boolean arrays.  When numpy is unavailable the kernels fall back to
+:mod:`repro.intrinsics.purelanes`, the deliberately independent pure-Python
+reference that the property tests also compare against.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
+
+from repro.intrinsics import purelanes
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+HAVE_NUMPY = _np is not None
 
 LANE_BITS = 32
 LANE_MASK = (1 << LANE_BITS) - 1
@@ -45,3 +63,209 @@ def whilelt_lanes(base: int, bound: int, width: int) -> tuple[bool, ...]:
     predicated loop's final iteration retires.
     """
     return tuple(base + lane < bound for lane in range(width))
+
+
+# ---------------------------------------------------------------------------
+# bulk kernels: one call per register instead of one call per lane
+# ---------------------------------------------------------------------------
+
+BINARY_OPS = purelanes.BINARY_OPS
+UNARY_OPS = purelanes.UNARY_OPS
+SHIFT_OPS = purelanes.SHIFT_OPS
+
+if HAVE_NUMPY:
+    _I32_NEG1 = _np.int32(-1)
+    _I32_ZERO = _np.int32(0)
+
+    _BINARY_KERNELS = {
+        "add": _np.add,
+        "sub": _np.subtract,
+        "mul": _np.multiply,
+        "and": _np.bitwise_and,
+        "or": _np.bitwise_or,
+        "xor": _np.bitwise_xor,
+        "andnot": lambda a, b: _np.bitwise_and(_np.invert(a), b),
+        "max": _np.maximum,
+        "min": _np.minimum,
+        "cmpgt": lambda a, b: _np.where(a > b, _I32_NEG1, _I32_ZERO),
+        "cmpeq": lambda a, b: _np.where(a == b, _I32_NEG1, _I32_ZERO),
+    }
+
+    _UNARY_KERNELS = {
+        "abs": _np.abs,
+    }
+
+
+def _i32(lanes: Sequence[int]) -> "_np.ndarray":
+    return _np.array(lanes, dtype=_np.int32)
+
+
+def _bools(flags: Sequence[bool]) -> "_np.ndarray":
+    return _np.array(flags, dtype=_np.bool_)
+
+
+def _lane_tuple(array: "_np.ndarray") -> tuple[int, ...]:
+    return tuple(map(int, array))
+
+
+def _flag_tuple(array: "_np.ndarray") -> tuple[bool, ...]:
+    return tuple(map(bool, array))
+
+
+def or_flags(*flag_sets: Sequence[bool]) -> tuple[bool, ...]:
+    """Lane-wise OR of poison-flag vectors (with a no-poison fast path)."""
+    if not any(map(any, flag_sets)):
+        return (False,) * len(flag_sets[0])
+    return purelanes.or_flags(*flag_sets)
+
+
+def binary_lanes(op: str, a: Sequence[int], b: Sequence[int],
+                 pa: Sequence[bool], pb: Sequence[bool],
+                 ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+    """Lane-wise binary op with wraparound; poison ORs lane-wise."""
+    if not HAVE_NUMPY:
+        return purelanes.binary_lanes(op, a, b, pa, pb)
+    lanes = _lane_tuple(_BINARY_KERNELS[op](_i32(a), _i32(b)))
+    return lanes, or_flags(pa, pb)
+
+
+def unary_lanes(op: str, a: Sequence[int], pa: Sequence[bool],
+                ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+    if not HAVE_NUMPY:
+        return purelanes.unary_lanes(op, a, pa)
+    return _lane_tuple(_UNARY_KERNELS[op](_i32(a))), tuple(pa)
+
+
+def shift_lanes(op: str, a: Sequence[int], count: int, pa: Sequence[bool],
+                ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+    """Whole-register shift by a scalar count (AVX-style immediate shifts)."""
+    if not HAVE_NUMPY:
+        return purelanes.shift_lanes(op, a, count, pa)
+    count = int(count)
+    poison = tuple(pa)
+    if op == "srl":
+        if count >= LANE_BITS:
+            return (0,) * len(a), poison
+        shifted = (_i32(a).view(_np.uint32) >> _np.uint32(count)).view(_np.int32)
+    elif op == "sll":
+        if count >= LANE_BITS:
+            return (0,) * len(a), poison
+        shifted = (_i32(a).view(_np.uint32) << _np.uint32(count)).view(_np.int32)
+    elif op == "sra":
+        shifted = _i32(a) >> _np.int32(min(count, LANE_BITS - 1))
+    else:
+        raise KeyError(op)
+    return _lane_tuple(shifted), poison
+
+
+def select_lanes(a: Sequence[int], b: Sequence[int], mask: Sequence[int],
+                 pa: Sequence[bool], pb: Sequence[bool], pm: Sequence[bool],
+                 ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+    """Per-byte select: mask bytes with the sign bit set pick ``b``'s byte.
+
+    Byte index ``k`` of each operand lane corresponds across ``a``/``b``/
+    ``mask``, so the uint8 reinterpretation is endianness-agnostic.
+    """
+    if not HAVE_NUMPY:
+        return purelanes.select_lanes(a, b, mask, pa, pb, pm)
+    bytes_a = _i32(a).view(_np.uint8)
+    bytes_b = _i32(b).view(_np.uint8)
+    picks_b = (_i32(mask).view(_np.uint8) & 0x80).astype(_np.bool_)
+    lanes = _lane_tuple(_np.where(picks_b, bytes_b, bytes_a).view(_np.int32))
+    if not (any(pa) or any(pb) or any(pm)):
+        return lanes, (False,) * len(lanes)
+    per_lane = picks_b.reshape(len(lanes), LANE_BITS // 8)
+    uses_b = per_lane.any(axis=1)
+    uses_a = (~per_lane).any(axis=1)
+    poison = _flag_tuple(
+        _bools(pm)
+        | (_bools(pa) & uses_a)
+        | (_bools(pb) & uses_b)
+    )
+    return lanes, poison
+
+
+# -- bulk predicate kernels (lanes are booleans) ----------------------------
+
+
+def pred_not_lanes(gov: Sequence[bool], p: Sequence[bool],
+                   pg: Sequence[bool], pp: Sequence[bool],
+                   ) -> tuple[tuple[bool, ...], tuple[bool, ...]]:
+    """Zeroing predicate NOT: active where ``gov`` is active and ``p`` isn't."""
+    if not HAVE_NUMPY:
+        return purelanes.pred_not_lanes(gov, p, pg, pp)
+    lanes = _flag_tuple(_bools(gov) & ~_bools(p))
+    return lanes, or_flags(pg, pp)
+
+
+def pred_logic_lanes(op: str, gov: Sequence[bool],
+                     a: Sequence[bool], b: Sequence[bool],
+                     pg: Sequence[bool], pa: Sequence[bool],
+                     pb: Sequence[bool],
+                     ) -> tuple[tuple[bool, ...], tuple[bool, ...]]:
+    """Zeroing predicate AND/OR, governed by ``gov``."""
+    if not HAVE_NUMPY:
+        return purelanes.pred_logic_lanes(op, gov, a, b, pg, pa, pb)
+    xa, xb = _bools(a), _bools(b)
+    combined = (xa & xb) if op == "and" else (xa | xb)
+    if op not in ("and", "or"):
+        raise KeyError(op)
+    return _flag_tuple(_bools(gov) & combined), or_flags(pg, pa, pb)
+
+
+def pred_cmp_lanes(op: str, gov: Sequence[bool],
+                   a: Sequence[int], b: Sequence[int],
+                   pg: Sequence[bool], pa: Sequence[bool],
+                   pb: Sequence[bool],
+                   ) -> tuple[tuple[bool, ...], tuple[bool, ...]]:
+    """Predicate-producing comparison; inactive lanes come back false."""
+    if not HAVE_NUMPY:
+        return purelanes.pred_cmp_lanes(op, gov, a, b, pg, pa, pb)
+    xa, xb = _i32(a), _i32(b)
+    if op == "cmpgt":
+        compared = xa > xb
+    elif op == "cmpeq":
+        compared = xa == xb
+    else:
+        raise KeyError(op)
+    active = _bools(gov)
+    lanes = _flag_tuple(active & compared)
+    if not (any(pg) or any(pa) or any(pb)):
+        return lanes, (False,) * len(lanes)
+    # A predicate bit computed from poison data is itself unreliable — but
+    # only where the governing predicate actually looked.
+    poison = _flag_tuple(_bools(pg) | (active & (_bools(pa) | _bools(pb))))
+    return lanes, poison
+
+
+def psel_lanes(pred: Sequence[bool], a: Sequence[int], b: Sequence[int],
+               pg: Sequence[bool], pa: Sequence[bool], pb: Sequence[bool],
+               ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+    """Predicate-selected blend: active lanes from ``a``, inactive from ``b``."""
+    if not HAVE_NUMPY:
+        return purelanes.psel_lanes(pred, a, b, pg, pa, pb)
+    active = _bools(pred)
+    lanes = _lane_tuple(_np.where(active, _i32(a), _i32(b)))
+    if not (any(pg) or any(pa) or any(pb)):
+        return lanes, (False,) * len(lanes)
+    poison = _flag_tuple(_bools(pg) | _np.where(active, _bools(pa), _bools(pb)))
+    return lanes, poison
+
+
+def pred_merge_lanes(op: str, pred: Sequence[bool],
+                     a: Sequence[int], b: Sequence[int],
+                     pg: Sequence[bool], pa: Sequence[bool],
+                     pb: Sequence[bool],
+                     ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+    """Merging predicated arithmetic: inactive lanes keep the first operand."""
+    if not HAVE_NUMPY:
+        return purelanes.pred_merge_lanes(op, pred, a, b, pg, pa, pb)
+    active = _bools(pred)
+    xa = _i32(a)
+    computed = _BINARY_KERNELS[op](xa, _i32(b))
+    lanes = _lane_tuple(_np.where(active, computed, xa))
+    if not (any(pg) or any(pa) or any(pb)):
+        return lanes, (False,) * len(lanes)
+    fa, fb = _bools(pa), _bools(pb)
+    poison = _flag_tuple(_bools(pg) | _np.where(active, fa | fb, fa))
+    return lanes, poison

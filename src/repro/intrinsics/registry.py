@@ -16,12 +16,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import CompileError
-from repro.intrinsics.lanemath import (
-    LANE_BITS,
-    to_unsigned32,
-    whilelt_lanes,
-    wrap32,
-)
+from repro.intrinsics import lanemath
+from repro.intrinsics.lanemath import whilelt_lanes, wrap32
 from repro.intrinsics.values import PredValue, VecValue
 from repro.targets import ALL_TARGETS, TargetISA, get_target
 
@@ -91,49 +87,22 @@ def _select(a: VecValue, b: VecValue, mask: VecValue) -> VecValue:
     masks are full lanes by construction in this pipeline) and NEON's bit
     select (ditto).
     """
-    lanes = []
-    poison = []
-    for lane_a, lane_b, lane_m, pa, pb, pm in zip(
+    lanes, poison = lanemath.select_lanes(
         a.lanes, b.lanes, mask.lanes, a.poison, b.poison, mask.poison
-    ):
-        ua, ub, um = to_unsigned32(lane_a), to_unsigned32(lane_b), to_unsigned32(lane_m)
-        out = 0
-        selected_poison = pm
-        for byte in range(LANE_BITS // 8):
-            shift = byte * 8
-            mask_byte = (um >> shift) & 0xFF
-            if mask_byte & 0x80:
-                out |= ((ub >> shift) & 0xFF) << shift
-                selected_poison = selected_poison or pb
-            else:
-                out |= ((ua >> shift) & 0xFF) << shift
-                selected_poison = selected_poison or pa
-        lanes.append(wrap32(out))
-        poison.append(selected_poison)
-    return VecValue(tuple(lanes), tuple(poison))
+    )
+    return VecValue(lanes, poison)
 
 
 def _srl(a: VecValue, count: int) -> VecValue:
-    count = int(count)
-    if count >= LANE_BITS:
-        return VecValue.from_lanes([0] * a.width, a.poison)
-    return VecValue(
-        tuple(wrap32(to_unsigned32(v) >> count) for v in a.lanes), a.poison
-    )
+    return a.bulk_shift("srl", count)
 
 
 def _sll(a: VecValue, count: int) -> VecValue:
-    count = int(count)
-    if count >= LANE_BITS:
-        return VecValue.from_lanes([0] * a.width, a.poison)
-    return VecValue(tuple(wrap32(v << count) for v in a.lanes), a.poison)
+    return a.bulk_shift("sll", count)
 
 
 def _sra(a: VecValue, count: int) -> VecValue:
-    count = int(count)
-    if count >= LANE_BITS:
-        count = LANE_BITS - 1
-    return VecValue(tuple(wrap32(v >> count) for v in a.lanes), a.poison)
+    return a.bulk_shift("sra", count)
 
 
 def _permute_halves(a: VecValue, b: VecValue, imm: int) -> VecValue:
@@ -208,39 +177,31 @@ def _require_scalar(value, name: str) -> int:
 def _pred_not(gov: PredValue, p: PredValue) -> PredValue:
     """Zeroing predicate NOT: active where the governing predicate is active
     and ``p`` is not (ACLE ``svnot_b_z`` semantics)."""
-    lanes = tuple(g and not a for g, a in zip(gov.lanes, p.lanes))
-    poison = tuple(pg or pp for pg, pp in zip(gov.poison, p.poison))
+    lanes, poison = lanemath.pred_not_lanes(
+        gov.lanes, p.lanes, gov.poison, p.poison
+    )
     return PredValue(lanes, poison)
 
 
-def _pred_and(gov: PredValue, a: PredValue, b: PredValue) -> PredValue:
-    lanes = tuple(g and x and y for g, x, y in zip(gov.lanes, a.lanes, b.lanes))
-    poison = tuple(pg or pa or pb
-                   for pg, pa, pb in zip(gov.poison, a.poison, b.poison))
-    return PredValue(lanes, poison)
+def _pred_logic_fn(op: str):
+    """Zeroing predicate AND/OR, governed by the first operand."""
+
+    def logic(gov: PredValue, a: PredValue, b: PredValue) -> PredValue:
+        lanes, poison = lanemath.pred_logic_lanes(
+            op, gov.lanes, a.lanes, b.lanes, gov.poison, a.poison, b.poison
+        )
+        return PredValue(lanes, poison)
+
+    return logic
 
 
-def _pred_or(gov: PredValue, a: PredValue, b: PredValue) -> PredValue:
-    lanes = tuple(g and (x or y) for g, x, y in zip(gov.lanes, a.lanes, b.lanes))
-    poison = tuple(pg or pa or pb
-                   for pg, pa, pb in zip(gov.poison, a.poison, b.poison))
-    return PredValue(lanes, poison)
-
-
-def _pred_cmp_fn(lane_cmp):
+def _pred_cmp_fn(op: str):
     """A predicate-producing comparison: active lanes of the governing
     predicate compare; inactive lanes come back false (zeroing)."""
 
     def compare(gov: PredValue, a: VecValue, b: VecValue) -> PredValue:
-        lanes = tuple(
-            g and lane_cmp(x, y)
-            for g, x, y in zip(gov.lanes, a.lanes, b.lanes)
-        )
-        # A predicate bit computed from poison data is itself unreliable —
-        # but only where the governing predicate actually looked.
-        poison = tuple(
-            pg or (g and (pa or pb))
-            for pg, g, pa, pb in zip(gov.poison, gov.lanes, a.poison, b.poison)
+        lanes, poison = lanemath.pred_cmp_lanes(
+            op, gov.lanes, a.lanes, b.lanes, gov.poison, a.poison, b.poison
         )
         return PredValue(lanes, poison)
 
@@ -250,26 +211,19 @@ def _pred_cmp_fn(lane_cmp):
 def _psel(pred: PredValue, a: VecValue, b: VecValue) -> VecValue:
     """Predicate-selected blend: active lanes from ``a``, inactive from ``b``
     (ACLE ``svsel`` operand order — predicate first, then-value second)."""
-    lanes = tuple(x if g else y for g, x, y in zip(pred.lanes, a.lanes, b.lanes))
-    poison = tuple(
-        pg or (pa if g else pb)
-        for pg, g, pa, pb in zip(pred.poison, pred.lanes, a.poison, b.poison)
+    lanes, poison = lanemath.psel_lanes(
+        pred.lanes, a.lanes, b.lanes, pred.poison, a.poison, b.poison
     )
     return VecValue(lanes, poison)
 
 
-def _pred_merge_fn(lane_fn):
+def _pred_merge_fn(op: str):
     """Merging predicated arithmetic (``_m`` form): active lanes compute,
     inactive lanes keep the first data operand."""
 
     def merge(pred: PredValue, a: VecValue, b: VecValue) -> VecValue:
-        lanes = tuple(
-            wrap32(lane_fn(x, y)) if g else x
-            for g, x, y in zip(pred.lanes, a.lanes, b.lanes)
-        )
-        poison = tuple(
-            pg or ((pa or pb) if g else pa)
-            for pg, g, pa, pb in zip(pred.poison, pred.lanes, a.poison, b.poison)
+        lanes, poison = lanemath.pred_merge_lanes(
+            op, pred.lanes, a.lanes, b.lanes, pred.poison, a.poison, b.poison
         )
         return VecValue(lanes, poison)
 
@@ -322,13 +276,13 @@ _GENERIC_OPS: dict[str, tuple[str, int, float, Optional[Callable]]] = {
     "whilelt": ("whilelt", 2, 1.0, None),
     "ptest_any": ("ptest", 1, 1.0, None),
     "pnot": ("pred_unary", 2, 0.5, _pred_not),
-    "pand": ("pred_binary", 3, 0.5, _pred_and),
-    "por": ("pred_binary", 3, 0.5, _pred_or),
+    "pand": ("pred_binary", 3, 0.5, _pred_logic_fn("and")),
+    "por": ("pred_binary", 3, 0.5, _pred_logic_fn("or")),
     # predicate-producing comparisons, predicate-consuming data ops
-    "pcmpgt": ("pred_cmp", 3, 0.5, _pred_cmp_fn(lambda a, b: a > b)),
-    "pcmpeq": ("pred_cmp", 3, 0.5, _pred_cmp_fn(lambda a, b: a == b)),
+    "pcmpgt": ("pred_cmp", 3, 0.5, _pred_cmp_fn("cmpgt")),
+    "pcmpeq": ("pred_cmp", 3, 0.5, _pred_cmp_fn("cmpeq")),
     "psel": ("psel", 3, 1.0, _psel),
-    "padd": ("pred_merge_binary", 3, 0.5, _pred_merge_fn(lambda a, b: a + b)),
+    "padd": ("pred_merge_binary", 3, 0.5, _pred_merge_fn("add")),
     # predicate-governed memory (the interpreter owns the memory model)
     "pload": ("pload", 2, 3.5, None),
     "pstore": ("pstore", 3, 3.5, None),
@@ -444,9 +398,13 @@ def apply_pure_intrinsic(name: str, args: list) -> "VecValue | PredValue | int":
         step = _require_scalar(args[1], name)
         return VecValue.from_lanes([base + step * lane for lane in range(spec.lanes)])
     if spec.kind == "pure_binary":
-        return args[0].map_binary(args[1], spec.fn)
+        # Bulk numpy kernel keyed by the generic op name; ``spec.fn`` keeps
+        # the per-lane reference semantics for callers that want them.
+        return _require_vec(args[0], name).bulk_binary(
+            _require_vec(args[1], name), spec.op
+        )
     if spec.kind == "pure_unary":
-        return args[0].map_unary(spec.fn)
+        return _require_vec(args[0], name).bulk_unary(spec.op)
     if spec.kind == "pure_vector":
         return spec.fn(*args)
     if spec.kind == "pure_imm":

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, ClassVar, Optional, Sequence
 
+from repro.intrinsics import lanemath
 from repro.intrinsics.lanemath import whilelt_lanes, wrap32
 from repro.targets import ALL_TARGETS
 
@@ -101,6 +102,31 @@ class VecValue:
     def map_unary(self, fn: Callable[[int], int]) -> "VecValue":
         lanes = tuple(wrap32(fn(a)) for a in self.lanes)
         return VecValue(lanes, self.poison)
+
+    # -- bulk combinators (whole-register numpy kernels) --------------------
+
+    def bulk_binary(self, other: "VecValue", op: str) -> "VecValue":
+        """Named lane-wise binary op evaluated one register at a time.
+
+        Unlike :meth:`map_binary` (arbitrary Python lane function), the op is
+        named so :mod:`repro.intrinsics.lanemath` can run its numpy kernel.
+        """
+        if other.width != self.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width} lanes"
+            )
+        lanes, poison = lanemath.binary_lanes(
+            op, self.lanes, other.lanes, self.poison, other.poison
+        )
+        return VecValue(lanes, poison)
+
+    def bulk_unary(self, op: str) -> "VecValue":
+        lanes, poison = lanemath.unary_lanes(op, self.lanes, self.poison)
+        return VecValue(lanes, poison)
+
+    def bulk_shift(self, op: str, count: int) -> "VecValue":
+        lanes, poison = lanemath.shift_lanes(op, self.lanes, count, self.poison)
+        return VecValue(lanes, poison)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return "<" + ", ".join(str(v) for v in self.lanes) + ">"

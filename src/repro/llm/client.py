@@ -31,6 +31,9 @@ class CompletionRequest:
     #: :func:`repro.targets.resolve_target_setting` applies, so requests,
     #: prompts and tool configs cannot disagree about the active target.
     target: str | None = None
+    #: Epilogue strategy the completion should use (``"scalar"``, ``"masked"``
+    #: or ``"predicated"``; see :data:`repro.vectorizer.EPILOGUE_STRATEGIES`).
+    epilogue: str = "scalar"
 
 
 @dataclass(frozen=True)

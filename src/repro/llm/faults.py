@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cfront import ast_nodes as ast
-from repro.cfront.cparser import parse_function
 from repro.cfront.printer import function_to_c
 from repro.targets import ALL_TARGETS, TargetISA, resolve_intrinsic
 
@@ -149,8 +148,25 @@ def _zero_call(isa: TargetISA) -> ast.Call:
     return ast.Call(func=name, args=[ast.IntLiteral(value=arg) for arg in args])
 
 
+#: ``applicable_faults`` is pure in its source text, and the synthetic LLM
+#: asks about the same (plan-cached) candidate once per faulty attempt.
+_APPLICABLE_MEMO: dict[str, list[FaultKind]] = {}
+_APPLICABLE_MEMO_CAPACITY = 1024
+
+
 def applicable_faults(vectorized_source: str) -> list[FaultKind]:
     """Which fault kinds can be expressed on this particular candidate."""
+    cached = _APPLICABLE_MEMO.get(vectorized_source)
+    if cached is not None:
+        return list(cached)
+    faults = _applicable_faults_uncached(vectorized_source)
+    if len(_APPLICABLE_MEMO) >= _APPLICABLE_MEMO_CAPACITY:
+        _APPLICABLE_MEMO.clear()
+    _APPLICABLE_MEMO[vectorized_source] = faults
+    return list(faults)
+
+
+def _applicable_faults_uncached(vectorized_source: str) -> list[FaultKind]:
     faults = [FaultKind.COMPILE_ERROR]
     if any(name in vectorized_source for name in _OPERATOR_SWAPS):
         faults.append(FaultKind.WRONG_OPERATOR)
@@ -166,8 +182,12 @@ def applicable_faults(vectorized_source: str) -> list[FaultKind]:
 
 
 def _count_for_loops(source: str) -> int:
+    # Read-only walk, so the shared-AST cache is safe here (candidate sources
+    # are usually renderer output and already seeded).
+    from repro.vectorizer.plancache import cached_parse
+
     try:
-        func = parse_function(source)
+        func = cached_parse(source)
     except Exception:
         return 0
     return sum(1 for node in ast.walk(func) if isinstance(node, ast.ForLoop))
@@ -182,7 +202,11 @@ def apply_fault(vectorized_source: str, kind: FaultKind, rng: random.Random) -> 
     """
     if kind is FaultKind.COMPILE_ERROR:
         return _inject_compile_error(vectorized_source, rng)
-    func = parse_function(vectorized_source)
+    # A private copy of the (usually cache-seeded) tree: the mutators below
+    # edit in place, and the shared AST must never be touched.
+    from repro.vectorizer.plancache import cached_parse
+
+    func = copy.deepcopy(cached_parse(vectorized_source))
     if kind is FaultKind.WRONG_OPERATOR:
         changed = _swap_one_operator(func, rng)
     elif kind is FaultKind.NAIVE_INDUCTION:
@@ -197,7 +221,14 @@ def apply_fault(vectorized_source: str, kind: FaultKind, rng: random.Random) -> 
         changed = False
     if not changed:
         return vectorized_source
-    return function_to_c(func, include_header=True)
+    mutated_source = function_to_c(func, include_header=True)
+    # ``func`` was parsed fresh above (never from the shared-AST cache — the
+    # mutators edit it in place) and is final now; seed the parse cache so the
+    # tester/verifier reuse this tree instead of re-parsing the rendering.
+    from repro.vectorizer.plancache import seed_parse
+
+    seed_parse(mutated_source, func)
+    return mutated_source
 
 
 def _inject_compile_error(source: str, rng: random.Random) -> str:

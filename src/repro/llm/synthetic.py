@@ -35,7 +35,6 @@ from repro.analysis.features import (
     CATEGORY_REDUCTION_CF,
 )
 from repro.cfront import ast_nodes as ast
-from repro.cfront.cparser import parse_function
 from repro.cfront.ctypes import INT
 from repro.cfront.printer import function_to_c
 from repro.errors import ParseError, ReproError
@@ -43,8 +42,12 @@ from repro.llm.client import CompletionRequest, LLMClient, LLMCompletion
 from repro.llm.faults import FaultProfile, applicable_faults, apply_fault
 from repro.llm.prompts import has_dependence_feedback, has_tester_feedback
 from repro.targets import TargetISA, get_target, resolve_target_setting
-from repro.vectorizer import vectorize_kernel
-from repro.vectorizer.planner import plan_vectorization
+from repro.vectorizer.plancache import (
+    cached_parse,
+    cached_plan,
+    cached_vectorize,
+    seed_parse,
+)
 from repro.analysis.loops import find_main_loop
 
 
@@ -118,14 +121,17 @@ class SyntheticLLM(LLMClient):
     def _one_completion(self, request: CompletionRequest, index: int) -> LLMCompletion:
         rng = self._rng_for(request, index)
         target = resolve_target_setting(getattr(request, "target", None))
+        epilogue = getattr(request, "epilogue", "scalar")
         try:
-            scalar_func = parse_function(request.scalar_code)
+            scalar_func = cached_parse(request.scalar_code)
         except (ParseError, ReproError):
             return LLMCompletion(code=request.scalar_code, annotations={"mode": "echo"})
 
-        result = vectorize_kernel(scalar_func, target)
+        result = cached_vectorize(request.scalar_code, scalar_func, target,
+                                  epilogue=epilogue)
         if result is None:
-            return self._hard_kernel_completion(request, scalar_func, rng, target)
+            return self._hard_kernel_completion(request, scalar_func, rng, target,
+                                                epilogue=epilogue)
 
         correct_source = result.source
         fault_rate = self.config.fault_profile.fault_rate(
@@ -155,29 +161,56 @@ class SyntheticLLM(LLMClient):
 
     def _hard_kernel_completion(
         self, request: CompletionRequest, scalar_func: ast.FunctionDef,
-        rng: random.Random, target: TargetISA,
+        rng: random.Random, target: TargetISA, epilogue: str = "scalar",
     ) -> LLMCompletion:
-        plan = plan_vectorization(scalar_func, target)
+        plan = cached_plan(request.scalar_code, scalar_func, target, epilogue=epilogue)
         reason = plan.rejection_text or "unsupported"
         success_rate = self.config.hard_kernel_success_rate
         if has_dependence_feedback(request.prompt) or has_tester_feedback(request.prompt):
             success_rate *= 2.0
         if rng.random() < success_rate:
-            blocked = _blocked_rewrite(scalar_func, target.lanes)
+            blocked = _memoized_builder(
+                "blocked", scalar_func, target.lanes,
+                lambda: _blocked_rewrite(scalar_func, target.lanes))
             if blocked is not None:
                 return LLMCompletion(
                     code=blocked, annotations={"mode": "blocked_rewrite", "reason": reason}
                 )
         if rng.random() < self.config.broken_compile_rate:
-            broken = _uncompilable_attempt(scalar_func, target)
+            broken = _memoized_builder(
+                "uncompilable", scalar_func, target.name,
+                lambda: _uncompilable_attempt(scalar_func, target))
             return LLMCompletion(code=broken, annotations={"mode": "broken_compile", "reason": reason})
-        broken = _broken_attempt(scalar_func, target.lanes)
+        broken = _memoized_builder(
+            "broken", scalar_func, target.lanes,
+            lambda: _broken_attempt(scalar_func, target.lanes))
         return LLMCompletion(code=broken, annotations={"mode": "broken_wrong", "reason": reason})
 
 
 # ---------------------------------------------------------------------------
 # candidate builders for kernels outside the vectorizer's capability
 # ---------------------------------------------------------------------------
+
+#: The three builders below are deterministic in (scalar function, lane
+#: count / target); the rng only decides *which* builder a completion uses.
+#: Hard kernels are retried many times per campaign, so each rebuild was
+#: pure repeat work.  Entries hold a strong reference to the input function,
+#: protecting the id-based key from reuse.
+_BUILDER_MEMO: dict[tuple[str, int, object], tuple[ast.FunctionDef, Optional[str]]] = {}
+_BUILDER_MEMO_CAPACITY = 512
+
+
+def _memoized_builder(kind: str, scalar_func: ast.FunctionDef, salt: object,
+                      build) -> Optional[str]:
+    key = (kind, id(scalar_func), salt)
+    entry = _BUILDER_MEMO.get(key)
+    if entry is not None and entry[0] is scalar_func:
+        return entry[1]
+    source = build()
+    if len(_BUILDER_MEMO) >= _BUILDER_MEMO_CAPACITY:
+        _BUILDER_MEMO.clear()
+    _BUILDER_MEMO[key] = (scalar_func, source)
+    return source
 
 
 def _blocked_rewrite(scalar_func: ast.FunctionDef, lanes: int = 8) -> Optional[str]:
@@ -224,7 +257,9 @@ def _blocked_rewrite(scalar_func: ast.FunctionDef, lanes: int = 8) -> Optional[s
     )
     replacement = ast.Block(body=[outer_loop, epilogue])
     _replace_in(func.body, loop.node, replacement)
-    return function_to_c(func, include_header=True)
+    source = function_to_c(func, include_header=True)
+    seed_parse(source, func)
+    return source
 
 
 def _broken_attempt(scalar_func: ast.FunctionDef, lanes: int = 8) -> str:
@@ -238,7 +273,9 @@ def _broken_attempt(scalar_func: ast.FunctionDef, lanes: int = 8) -> str:
             value=ast.IntLiteral(value=lanes),
         )
         loop.node.step = new_step
-    return function_to_c(func, include_header=True)
+    source = function_to_c(func, include_header=True)
+    seed_parse(source, func)
+    return source
 
 
 def _uncompilable_attempt(scalar_func: ast.FunctionDef,

@@ -1,0 +1,96 @@
+"""Lightweight per-stage wall-clock profiling of the verification pipeline.
+
+Every expensive pipeline stage — ``parse``, ``plan``, ``codegen``,
+``interp``, ``symexec``, ``solve`` — brackets its work in
+:func:`stage`, and the process-local accumulator tallies wall-clock
+seconds and call counts per stage.  The campaign engine snapshots the
+accumulator around each job, so campaign summaries (and from there
+``BENCH_campaign.json``) carry an attributable stage breakdown instead of
+just a headline kernels/sec number.
+
+The module is dependency-free by design: it is imported from the hottest,
+lowest-level modules (the C parser, the interpreter, the symbolic
+executor), so it must never pull the rest of the package in.  Overhead is
+two ``perf_counter`` calls and two dict updates per stage entry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+#: The canonical stage names, in pipeline order.
+STAGES = ("parse", "plan", "codegen", "interp", "symexec", "solve")
+
+
+class StageProfile:
+    """Accumulated wall-clock seconds and call counts, per stage."""
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def add(self, name: str, elapsed: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def snapshot(self) -> dict[str, float]:
+        """The per-stage seconds so far, rounded, in stable (sorted) order."""
+        return {name: round(value, 6)
+                for name, value in sorted(self.seconds.items())}
+
+    def clear(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()
+
+
+_PROFILE = StageProfile()
+_DEPTH: dict[str, int] = {}
+
+
+@contextmanager
+def stage(name: str):
+    """Time one pipeline stage section.
+
+    Re-entrant sections of the *same* stage (the symbolic executor calling
+    itself, a parse triggered from inside a parse) are counted once, at the
+    outermost entry, so stage totals never double-count nested work.
+    """
+    depth = _DEPTH.get(name, 0)
+    _DEPTH[name] = depth + 1
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        _DEPTH[name] = depth
+        if depth == 0:
+            _PROFILE.add(name, time.perf_counter() - started)
+
+
+def snapshot() -> dict[str, float]:
+    """The per-stage wall-clock totals accumulated so far (seconds)."""
+    return _PROFILE.snapshot()
+
+
+def call_counts() -> dict[str, int]:
+    """How many (outermost) sections each stage has timed so far."""
+    return dict(sorted(_PROFILE.calls.items()))
+
+
+def reset() -> dict[str, float]:
+    """Clear the accumulator; returns the snapshot it held."""
+    previous = _PROFILE.snapshot()
+    _PROFILE.clear()
+    return previous
+
+
+def merge_stage_seconds(total: dict[str, float],
+                        part: dict[str, float] | None) -> dict[str, float]:
+    """Accumulate one stage breakdown into ``total`` (tolerates ``None``)."""
+    if part:
+        for name, value in part.items():
+            if isinstance(value, (int, float)):
+                total[name] = round(total.get(name, 0.0) + float(value), 6)
+    return total

@@ -49,14 +49,21 @@ import time
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import KW_ONLY, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from repro.perf.profile import merge_stage_seconds
 from repro.pipeline.cache import CacheStats, ResultCache, config_fingerprint, content_key
 from repro.targets import get_target, resolve_target_setting, target_names
 
 JobFn = Callable[["KernelTask"], dict]
+
+#: Sentinel key a job's per-stage timings travel back under.  ``run_tasks``
+#: pops it into the campaign accumulator before the result is cached or
+#: recorded, so persisted results stay timing-free (and byte-identical
+#: across worker counts and re-runs).
+STAGE_SECONDS_KEY = "_stage_seconds"
 
 #: Result-source tags recorded on every :class:`CampaignRecord`.
 SOURCE_RUN = "run"
@@ -173,10 +180,15 @@ class KernelTask:
 
 @dataclass
 class CampaignConfig:
-    """Knobs of a campaign run (all deterministic at any setting)."""
+    """Knobs of a campaign run (all deterministic at any setting).
+
+    Every field past ``workers`` is keyword-only: campaign configurations
+    are long-lived records whose call sites should read as named settings.
+    """
 
     #: Process-pool width; 1 runs inline, 0 means one worker per CPU.
     workers: int = 1
+    _: KW_ONLY
     #: Base seed; each kernel derives its own seed from (seed, kernel name).
     seed: int = 0
     #: JSONL file backing the content-addressed result cache (optional).
@@ -191,6 +203,10 @@ class CampaignConfig:
     #: target is folded into every cache-key fingerprint, so multi-target
     #: campaigns can share one cache/store without colliding on a verdict.
     target: str | None = None
+    #: Epilogue strategy campaigns vectorize with (``"scalar"``, ``"masked"``
+    #: or ``"predicated"``).  A vectorizer config requesting a non-default
+    #: epilogue wins over this setting, mirroring the target precedence.
+    epilogue: str = "scalar"
     #: Abort the campaign on the first failing job (the pre-fault-tolerance
     #: behaviour).  Off by default: failures become error records instead.
     fail_fast: bool = False
@@ -253,6 +269,10 @@ class CampaignSummary:
     target: str = "avx2"
     #: ``"i/n"`` when the run covered one shard of the suite; None otherwise.
     shard: str | None = None
+    #: Wall-clock seconds spent per pipeline stage (parse/plan/codegen/
+    #: interp/symexec/solve) across the freshly executed tasks, accumulated
+    #: from the per-job profiles (:mod:`repro.perf.profile`).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -290,6 +310,8 @@ class CampaignSummary:
             "workers": self.workers,
             "target": self.target,
             "verdict_counts": dict(self.verdict_counts),
+            "stage_seconds": {name: round(seconds, 6)
+                              for name, seconds in sorted(self.stage_seconds.items())},
             **({"shard": self.shard} if self.shard is not None else {}),
         }
 
@@ -330,6 +352,7 @@ class CampaignRunner:
         self,
         job: JobFn,
         tasks: list[KernelTask],
+        *,
         label: str,
         cache_accept: Callable[[dict, KernelTask], bool] | None = None,
         cache_adapt: Callable[[dict, KernelTask], dict] | None = None,
@@ -389,7 +412,15 @@ class CampaignRunner:
                 continue
             pending.append((task, key))
 
+        stage_totals: dict[str, float] = {}
+
         def persist(task: KernelTask, key: str, result: dict) -> None:
+            # The job's per-stage timings ride back on a sentinel key; pull
+            # them into the campaign accumulator BEFORE the result is cached,
+            # stored or recorded — results must stay timing-free so they are
+            # byte-identical at any worker count and across re-runs.
+            if isinstance(result, dict):
+                merge_stage_seconds(stage_totals, result.pop(STAGE_SECONDS_KEY, None))
             # Persist as each task completes (not after the pool drains), so
             # a killed campaign keeps everything that actually finished.
             self.cache.put(key, result)
@@ -411,14 +442,15 @@ class CampaignRunner:
         summary = self._summarize(label, ordered, run_stats, resumed,
                                   executed, time.perf_counter() - started,
                                   target=resolved_target,
-                                  shard=str(shard) if shard is not None else None)
+                                  shard=str(shard) if shard is not None else None,
+                                  stage_seconds=stage_totals)
         store.append_summary(summary)
         self.summaries.append(summary)
         return CampaignReport(label=label, records=ordered, summary=summary)
 
     # -- the flagship campaign: vectorize-and-verify the suite ---------------------
 
-    def run(self, names: list[str] | None = None, vectorizer_config=None,
+    def run(self, names: list[str] | None = None, vectorizer_config=None, *,
             target: str | None = None) -> CampaignReport:
         """Run the full FSM -> checksum -> formal-verification pipeline per kernel.
 
@@ -427,6 +459,9 @@ class CampaignRunner:
         sampled completions and the cache keys coherently.  ``target``
         (default: the campaign config's target) selects the ISA; it is folded
         into both the vectorizer configuration and the cache fingerprint.
+        The epilogue strategy resolves the same way: a vectorizer config
+        requesting a non-default epilogue wins, else the campaign config's
+        ``epilogue`` setting applies.
         """
         from repro.pipeline.runner import LLMVectorizerConfig
 
@@ -441,13 +476,15 @@ class CampaignRunner:
         config = vectorizer_config or LLMVectorizerConfig()
         if config.target != isa.name:
             config = replace(config, target=isa.name)
+        if config.epilogue == "scalar" and self.config.epilogue != "scalar":
+            config = replace(config, epilogue=self.config.epilogue)
         tasks = self.suite_tasks(names, payload=config,
                                  config_hash=config_fingerprint(config, target=isa.name),
                                  base_seed=config.llm.seed)
         return self.run_tasks(vectorize_kernel_job, tasks, label="vectorize",
                               target=isa.name)
 
-    def run_multi_target(self, names: list[str] | None = None, vectorizer_config=None,
+    def run_multi_target(self, names: list[str] | None = None, *, vectorizer_config=None,
                          targets: list[str] | None = None) -> dict[str, CampaignReport]:
         """Fan one suite run out as per-ISA campaigns sharing this runner's cache.
 
@@ -590,7 +627,8 @@ class CampaignRunner:
 
     def _summarize(self, label: str, records: list[CampaignRecord], stats: CacheStats,
                    resumed: int, executed: int, wall_clock: float,
-                   target: str | None = None, shard: str | None = None) -> CampaignSummary:
+                   target: str | None = None, shard: str | None = None,
+                   stage_seconds: dict[str, float] | None = None) -> CampaignSummary:
         return CampaignSummary(
             label=label,
             kernels=len(records),
@@ -603,6 +641,7 @@ class CampaignRunner:
             verdict_counts=count_verdicts(records),
             target=target or self.config.resolved_target_name(),
             shard=shard,
+            stage_seconds=dict(stage_seconds or {}),
         )
 
 
@@ -649,15 +688,37 @@ def vectorize_kernel_job(task: KernelTask) -> dict:
 
 
 def _run_job(job: JobFn, task: KernelTask, label: str, fail_fast: bool = False) -> dict:
+    from repro.perf import profile
+
+    before = profile.snapshot()
     try:
-        return job(task)
+        result = job(task)
     except Exception as error:
         if fail_fast:
             raise RuntimeError(
                 f"campaign {label!r}: job failed on kernel {task.kernel!r}: {error}"
             ) from error
-        return error_result(task, label, error,
-                            traceback_text=traceback_module.format_exc())
+        result = error_result(task, label, error,
+                              traceback_text=traceback_module.format_exc())
+    return _attach_stage_seconds(result, before, profile.snapshot())
+
+
+def _attach_stage_seconds(result: dict, before: dict[str, float],
+                          after: dict[str, float]) -> dict:
+    """Annotate ``result`` with the stage seconds this job accounted for.
+
+    Snapshot deltas (not resets) so inline execution (``workers=1``) never
+    clobbers profiling state accumulated outside the campaign engine.
+    """
+    if not isinstance(result, dict):
+        return result
+    delta = {name: round(seconds - before.get(name, 0.0), 6)
+             for name, seconds in after.items()
+             if seconds > before.get(name, 0.0)}
+    if delta:
+        result = dict(result)
+        result[STAGE_SECONDS_KEY] = delta
+    return result
 
 
 class _ResultStore:

@@ -33,6 +33,9 @@ class LLMVectorizerConfig:
     #: campaign-level targets apply, and unresolved settings fall through
     #: :func:`repro.targets.resolve_target_setting` to the pipeline default.
     target: str | None = None
+    #: Epilogue strategy candidates are generated with (``"scalar"``,
+    #: ``"masked"`` or ``"predicated"``); pinned into the FSM config per run.
+    epilogue: str = "scalar"
 
 
 @dataclass
@@ -77,6 +80,8 @@ class LLMVectorizer:
         fsm_config = self.config.fsm
         if fsm_config.target != target:
             fsm_config = replace(fsm_config, target=target)
+        if fsm_config.epilogue != self.config.epilogue:
+            fsm_config = replace(fsm_config, epilogue=self.config.epilogue)
         fsm = VectorizationFSM(self.llm, kernel.name, kernel.source, fsm_config)
         fsm_result = fsm.run()
         pipeline_report = None

@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.perf.profile import merge_stage_seconds
 from repro.pipeline.campaign import CampaignReport, CampaignSummary, is_error_result
 from repro.reporting.tables import render_table
 
@@ -46,6 +47,14 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> 
         seen.add(fingerprint)
         deduplicated.append(entry)
     campaigns = deduplicated
+    # Per-stage totals across every campaign in the file.  Entries written
+    # by older sessions have no "stage_seconds" key; they simply contribute
+    # nothing, so pre-existing files remain readable and meaningful.
+    stage_totals: dict[str, float] = {}
+    for entry in campaigns:
+        stages = entry.get("stage_seconds")
+        if isinstance(stages, dict):
+            merge_stage_seconds(stage_totals, stages)
     payload = {
         "campaigns": campaigns,
         "totals": {
@@ -54,6 +63,8 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> 
             "executed": sum(c.get("executed", 0) for c in campaigns),
             "wall_clock_seconds": round(
                 sum(c.get("wall_clock_seconds", 0.0) for c in campaigns), 4),
+            "stage_seconds": {name: round(seconds, 4)
+                              for name, seconds in sorted(stage_totals.items())},
         },
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -80,6 +91,8 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
     ]
     for verdict, count in sorted(summary.verdict_counts.items()):
         rows.append({"Metric": f"Verdict: {verdict}", "Value": count})
+    for name, seconds in sorted(summary.stage_seconds.items()):
+        rows.append({"Metric": f"Stage: {name}", "Value": f"{seconds:.3f}s"})
     return render_table(rows, title=title or f"Campaign summary ({summary.label})")
 
 

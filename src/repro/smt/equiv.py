@@ -286,6 +286,12 @@ class EquivalenceChecker:
 
     def check_pair(self, source: Term, target: Term) -> EquivalenceResult:
         """Is ``source == target`` for all variable assignments?"""
+        from repro.perf.profile import stage
+
+        with stage("solve"):
+            return self._check_pair(source, target)
+
+    def _check_pair(self, source: Term, target: Term) -> EquivalenceResult:
         if terms_structurally_equal(source, target):
             return EquivalenceResult(EquivalenceOutcome.EQUIVALENT, method="normalization")
 
@@ -311,6 +317,12 @@ class EquivalenceChecker:
         single batched random-refutation pass runs over the survivors before
         any of them is handed to the SAT stage.
         """
+        from repro.perf.profile import stage
+
+        with stage("solve"):
+            return self._check_pairs(pairs)
+
+    def _check_pairs(self, pairs: list[tuple[Term, Term]]) -> EquivalenceResult:
         unproven: list[tuple[Term, Term]] = []
         for source, target in pairs:
             if not terms_structurally_equal(source, target):

@@ -64,9 +64,19 @@ _COMMUTATIVE = {TermKind.ADD, TermKind.MUL, TermKind.AND, TermKind.OR, TermKind.
                 TermKind.EQ, TermKind.NE, TermKind.MIN, TermKind.MAX}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Term:
-    """One node of the term DAG."""
+    """One node of the term DAG.
+
+    Equality is structural, but every node caches its structural hash at
+    construction time, so hashing is O(1) and equality checks short-circuit
+    on hash inequality before falling back to a structural walk.  Nodes
+    built through :func:`mk` are additionally hash-consed (interned):
+    structurally equal terms constructed through it are pointer-equal, so
+    the identity fast path below decides most comparisons.  Direct
+    ``Term(...)`` construction (the normalizer builds raw nodes) stays
+    valid — such nodes simply aren't interned.
+    """
 
     kind: TermKind
     args: tuple["Term", ...] = ()
@@ -78,9 +88,26 @@ class Term:
             raise ValueError("constant terms need a value")
         if self.kind is TermKind.VAR and not self.name:
             raise ValueError("variable terms need a name")
+        object.__setattr__(
+            self, "_hash", hash((self.kind, self.args, self.value, self.name))
+        )
 
-    # The default dataclass equality/hash over (kind,args,value,name) doubles
-    # as structural hash-consing when combined with the caches below.
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Term):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return (
+            self.kind is other.kind
+            and self.value == other.value
+            and self.name == other.name
+            and self.args == other.args
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         if self.kind is TermKind.CONST:
@@ -92,6 +119,30 @@ class Term:
 
 _CONST_CACHE: dict[int, Term] = {}
 _VAR_CACHE: dict[str, Term] = {}
+
+#: Interning table for compound nodes built by :func:`mk`, keyed by the
+#: (kind, args) pair itself: the key tuple holds strong references, so ids
+#: stay valid, and lookups are cheap thanks to the cached per-node hashes.
+_NODE_CACHE: dict[tuple[TermKind, tuple["Term", ...]], Term] = {}
+
+#: Memo over the whole :func:`mk` simplification pipeline.  The symbolic
+#: executor rebuilds structurally identical subtrees once per bounded-unroll
+#: copy; this returns the previously simplified (and interned) result
+#: without re-running folding, identity and mask-algebra rewrites.
+_MK_CACHE: dict[tuple[TermKind, tuple["Term", ...]], Term] = {}
+
+_TERM_CACHE_LIMIT = 200_000
+
+
+def _intern(kind: TermKind, args: tuple[Term, ...]) -> Term:
+    key = (kind, args)
+    node = _NODE_CACHE.get(key)
+    if node is None:
+        node = Term(kind, args)
+        if len(_NODE_CACHE) >= _TERM_CACHE_LIMIT:
+            _NODE_CACHE.clear()
+        _NODE_CACHE[key] = node
+    return node
 
 
 def bv_const(value: int) -> Term:
@@ -120,7 +171,24 @@ def _all_const(args: Iterable[Term]) -> bool:
 
 
 def mk(kind: TermKind, *args: Term) -> Term:
-    """Build a term with light local simplification (constant folding, identities)."""
+    """Build a term with light local simplification (constant folding, identities).
+
+    Results are memoized and interned: calling ``mk`` twice with equal
+    arguments returns the same object, and the simplification rules run
+    only on the first call.
+    """
+    memo_key = (kind, args)
+    cached = _MK_CACHE.get(memo_key)
+    if cached is not None:
+        return cached
+    result = _mk_uncached(kind, *args)
+    if len(_MK_CACHE) >= _TERM_CACHE_LIMIT:
+        _MK_CACHE.clear()
+    _MK_CACHE[memo_key] = result
+    return result
+
+
+def _mk_uncached(kind: TermKind, *args: Term) -> Term:
     if any(a.kind is TermKind.POISON for a in args):
         # Poison propagates through every operation except ITE selection,
         # which the executor handles explicitly before calling ``mk``.
@@ -173,7 +241,7 @@ def mk(kind: TermKind, *args: Term) -> Term:
         # Canonical argument order gives structural equality a better chance.
         if _term_key(right) < _term_key(left):
             args = (right, left)
-    return Term(kind, tuple(args))
+    return _intern(kind, tuple(args))
 
 
 def _minmax_pattern(cond: Term, then: Term, otherwise: Term) -> Term | None:
@@ -183,10 +251,10 @@ def _minmax_pattern(cond: Term, then: Term, otherwise: Term) -> Term | None:
     low, high = cond.args
     if low == otherwise and high == then:
         # ite(e < t, t, e): picks the larger operand.
-        return Term(TermKind.MAX, tuple(sorted((then, otherwise), key=_term_key)))
+        return _intern(TermKind.MAX, tuple(sorted((then, otherwise), key=_term_key)))
     if low == then and high == otherwise:
         # ite(t < e, t, e): picks the smaller operand.
-        return Term(TermKind.MIN, tuple(sorted((then, otherwise), key=_term_key)))
+        return _intern(TermKind.MIN, tuple(sorted((then, otherwise), key=_term_key)))
     return None
 
 

@@ -9,16 +9,20 @@ packing patterns, prefix sums, non-unit strides, wrap-around scalars).
 """
 
 from repro.vectorizer.planner import (
+    EPILOGUE_STRATEGIES,
     RejectionReason,
     VectorizationPlan,
     plan_vectorization,
+    resolve_epilogue,
 )
 from repro.vectorizer.codegen import generate_vectorized_function, vectorize_kernel
 
 __all__ = [
+    "EPILOGUE_STRATEGIES",
     "RejectionReason",
     "VectorizationPlan",
     "plan_vectorization",
+    "resolve_epilogue",
     "generate_vectorized_function",
     "vectorize_kernel",
 ]

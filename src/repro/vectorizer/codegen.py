@@ -35,6 +35,7 @@ from repro.vectorizer.planner import (
     VectorizationPlan,
     VECTOR_WIDTH,  # noqa: F401  (re-exported for backwards compatibility)
     plan_vectorization,
+    resolve_epilogue,
 )
 
 
@@ -951,16 +952,19 @@ def generate_vectorized_function(func: ast.FunctionDef, plan: VectorizationPlan)
     realizable (the planner is optimistic about a few patterns, e.g. min/max
     reductions, that only code generation can fully validate).
     """
+    from repro.perf.profile import stage
+
     if not plan.feasible or plan.features is None or plan.features.main_loop is None:
         raise InfeasibleVectorization(plan.rejection_text or "no feasible plan")
-    region = _build_vector_loop_region(func, plan)
-    # Work on a copy of the original function: the original loop node identity
-    # is preserved inside the copy via a parallel walk.
-    new_func = copy.deepcopy(func)
-    original_loop = plan.features.main_loop.node
-    target = _find_matching_loop(new_func, func, original_loop)
-    new_func.body = _replace_loop(new_func.body, target, region)
-    return new_func
+    with stage("codegen"):
+        region = _build_vector_loop_region(func, plan)
+        # Work on a copy of the original function: the original loop node
+        # identity is preserved inside the copy via a parallel walk.
+        new_func = copy.deepcopy(func)
+        original_loop = plan.features.main_loop.node
+        target = _find_matching_loop(new_func, func, original_loop)
+        new_func.body = _replace_loop(new_func.body, target, region)
+        return new_func
 
 
 def _find_matching_loop(new_func: ast.FunctionDef, old_func: ast.FunctionDef,
@@ -976,17 +980,20 @@ def _find_matching_loop(new_func: ast.FunctionDef, old_func: ast.FunctionDef,
 
 def vectorize_kernel(func: ast.FunctionDef,
                      target: "TargetISA | str | None" = None,
-                     masked_epilogue: bool = False,
-                     predicated_loop: bool = False) -> Optional[VectorizationResult]:
+                     *,
+                     epilogue: str | None = None,
+                     masked_epilogue: bool | None = None,
+                     predicated_loop: bool | None = None) -> Optional[VectorizationResult]:
     """Plan and generate SIMD code for ``func`` on ``target`` (default AVX2);
-    returns None when infeasible.  ``masked_epilogue`` asks for a masked
-    tail iteration instead of the scalar remainder loop (targets with
-    masked memory operations only); ``predicated_loop`` asks for a
-    ``whilelt``-governed predicated main loop with no epilogue at all
-    (predicate-register targets only)."""
-    plan = plan_vectorization(func, get_target(target),
-                              masked_epilogue=masked_epilogue,
-                              predicated_loop=predicated_loop)
+    returns None when infeasible.  ``epilogue`` selects the tail strategy:
+    ``"scalar"`` (the default remainder loop), ``"masked"`` (one masked tail
+    iteration — targets with masked memory operations only) or
+    ``"predicated"`` (a ``whilelt``-governed predicated main loop with no
+    epilogue at all — predicate-register targets only).  The boolean
+    ``masked_epilogue`` / ``predicated_loop`` flags are deprecated shims
+    that warn and forward."""
+    epilogue = resolve_epilogue(epilogue, masked_epilogue, predicated_loop)
+    plan = plan_vectorization(func, get_target(target), epilogue=epilogue)
     if not plan.feasible:
         return None
     try:
@@ -994,6 +1001,11 @@ def vectorize_kernel(func: ast.FunctionDef,
     except InfeasibleVectorization:
         return None
     source = function_to_c(vectorized, include_header=True)
+    # Downstream consumers (checksum tester, verifier) re-parse this source;
+    # hand them the generated tree directly.
+    from repro.vectorizer.plancache import seed_parse
+
+    seed_parse(source, vectorized)
     return VectorizationResult(
         function=vectorized,
         source=source,

@@ -20,6 +20,7 @@ masking is select-based and purely in-register).
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,6 +33,42 @@ from repro.vectorizer.normalize import normalize_body
 #: Lane count of the default (AVX2) target, kept for backwards compatibility;
 #: target-aware code should use ``plan.target.lanes`` instead.
 VECTOR_WIDTH = DEFAULT_TARGET.lanes
+
+#: The three epilogue strategies: the default scalar remainder loop, one
+#: masked tail iteration (``"masked"``), or a ``whilelt``-governed predicated
+#: main loop that subsumes every tail (``"predicated"``).
+EPILOGUE_STRATEGIES = ("scalar", "masked", "predicated")
+
+
+def resolve_epilogue(epilogue: str | None = None,
+                     masked_epilogue: bool | None = None,
+                     predicated_loop: bool | None = None,
+                     _stacklevel: int = 3) -> str:
+    """Resolve the requested epilogue strategy, honouring the deprecated flags.
+
+    The old mutually-exclusive booleans (``masked_epilogue=True`` /
+    ``predicated_loop=True``) warn and forward to the ``epilogue=`` spelling;
+    conflicting requests raise ``ValueError`` exactly as they always did.
+    """
+    if masked_epilogue is not None or predicated_loop is not None:
+        warnings.warn(
+            "masked_epilogue=/predicated_loop= are deprecated; use "
+            "epilogue='masked' or epilogue='predicated' instead",
+            DeprecationWarning, stacklevel=_stacklevel)
+    if masked_epilogue and predicated_loop:
+        raise ValueError("masked_epilogue and predicated_loop are mutually "
+                         "exclusive epilogue strategies")
+    legacy = ("masked" if masked_epilogue
+              else "predicated" if predicated_loop else None)
+    if epilogue is None:
+        epilogue = legacy if legacy is not None else "scalar"
+    elif legacy is not None and legacy != epilogue:
+        raise ValueError(f"conflicting epilogue requests: epilogue="
+                         f"{epilogue!r} vs the deprecated {legacy} flag")
+    if epilogue not in EPILOGUE_STRATEGIES:
+        raise ValueError(f"unknown epilogue strategy {epilogue!r}; expected "
+                         f"one of {EPILOGUE_STRATEGIES}")
+    return epilogue
 
 
 class RejectionReason(enum.Enum):
@@ -51,23 +88,26 @@ class RejectionReason(enum.Enum):
     INVARIANT_WRITE = "write to a loop-invariant location inside the loop"
     INVARIANT_READ_OF_WRITTEN = "read of a fixed element of an array that the loop writes"
     UNSUPPORTED_OPERATION = "operation has no {isa} integer equivalent"
-    MASKED_MEMORY = ("masked tail needs masked loads/stores, which {isa} cannot "
-                     "express (no masked memory operations; select-based masking "
-                     "covers in-register blends only — keep the scalar epilogue)")
-    MASKED_TAIL_SHAPE = ("masked-tail code generation supports only plain and "
-                         "if-converted loops (no reductions, inductions or "
+    MASKED_MEMORY = ("epilogue='masked' needs masked loads/stores, which {isa} "
+                     "cannot express (no masked memory operations; select-based "
+                     "masking covers in-register blends only — keep "
+                     "epilogue='scalar')")
+    MASKED_TAIL_SHAPE = ("epilogue='masked' code generation supports only plain "
+                         "and if-converted loops (no reductions, inductions or "
                          "inclusive bounds)")
-    MASKED_TAIL_ON_PREDICATED = ("masked tail is subsumed on {isa}: predicate-"
-                                 "governed loops retire the remainder without a "
-                                 "separate tail iteration — request the "
-                                 "predicated_loop epilogue instead")
-    PREDICATED_LOOP_UNSUPPORTED = ("predicated loop needs predicate registers "
-                                   "governing memory and loop exit (whilelt / "
-                                   "ptest / predicated loads and stores), which "
-                                   "{isa} cannot express — keep the scalar "
-                                   "epilogue or request a masked tail")
-    PREDICATED_LOOP_SHAPE = ("predicated-loop code generation supports only "
-                             "plain and if-converted loops (no reductions, "
+    MASKED_TAIL_ON_PREDICATED = ("epilogue='masked' is subsumed on {isa}: "
+                                 "predicate-governed loops retire the remainder "
+                                 "without a separate tail iteration — request "
+                                 "epilogue='predicated' (formerly "
+                                 "predicated_loop=True) instead")
+    PREDICATED_LOOP_UNSUPPORTED = ("epilogue='predicated' needs predicate "
+                                   "registers governing memory and loop exit "
+                                   "(whilelt / ptest / predicated loads and "
+                                   "stores), which {isa} cannot express — keep "
+                                   "epilogue='scalar' or request "
+                                   "epilogue='masked'")
+    PREDICATED_LOOP_SHAPE = ("epilogue='predicated' code generation supports "
+                             "only plain and if-converted loops (no reductions, "
                              "inductions or inclusive bounds)")
     UNSUPPORTED_CONTROL_FLOW = "control flow too complex for if-conversion"
     EARLY_EXIT = "loop contains an early exit (break/return)"
@@ -117,14 +157,22 @@ class VectorizationPlan:
     local_temporaries: list[str] = field(default_factory=list)
     #: The ISA this plan was made for (lane count, intrinsic naming, op set).
     target: TargetISA = DEFAULT_TARGET
-    #: Replace the scalar epilogue with one masked tail iteration (needs the
-    #: target's masked loads/stores; legality-checked at planning time).
-    masked_epilogue: bool = False
-    #: Replace the vector loop *and* every epilogue with one
-    #: ``whilelt``-governed predicated loop: the final iteration's partial
-    #: predicate retires the remainder, so no trip count is ever misaligned
-    #: (needs predicate registers; legality-checked at planning time).
-    predicated_loop: bool = False
+    #: The epilogue strategy this plan carries: ``"scalar"`` (the default
+    #: remainder loop), ``"masked"`` (one masked tail iteration — needs the
+    #: target's masked loads/stores) or ``"predicated"`` (a ``whilelt``-
+    #: governed predicated loop replacing the vector loop *and* every
+    #: epilogue).  Legality is checked at planning time.
+    epilogue: str = "scalar"
+
+    @property
+    def masked_epilogue(self) -> bool:
+        """Deprecated spelling: True when ``epilogue == "masked"``."""
+        return self.epilogue == "masked"
+
+    @property
+    def predicated_loop(self) -> bool:
+        """Deprecated spelling: True when ``epilogue == "predicated"``."""
+        return self.epilogue == "predicated"
 
     @property
     def rejection_text(self) -> str:
@@ -140,22 +188,34 @@ def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None,
 
 def plan_vectorization(func: ast.FunctionDef,
                        target: TargetISA | str | None = None,
-                       masked_epilogue: bool = False,
-                       predicated_loop: bool = False) -> VectorizationPlan:
+                       *,
+                       epilogue: str | None = None,
+                       masked_epilogue: bool | None = None,
+                       predicated_loop: bool | None = None) -> VectorizationPlan:
     """Analyze ``func`` and return a vectorization plan or a rejection.
 
     ``target`` selects the ISA whose lane count and operation set legality is
-    judged against; the default is the paper's AVX2 setup.  The epilogue is
-    one of three strategies: the default scalar remainder loop,
-    ``masked_epilogue`` (one masked tail iteration — targets with masked
-    memory operations only), or ``predicated_loop`` (a ``whilelt``-governed
-    main loop that subsumes both the vector-loop bound adjustment and every
-    tail — predicate-register targets only).  Both non-default strategies
-    support plain/if-converted loop shapes only.
+    judged against; the default is the paper's AVX2 setup.  ``epilogue`` is
+    one of three strategies: ``"scalar"`` (the default remainder loop),
+    ``"masked"`` (one masked tail iteration — targets with masked memory
+    operations only), or ``"predicated"`` (a ``whilelt``-governed main loop
+    that subsumes both the vector-loop bound adjustment and every tail —
+    predicate-register targets only).  Both non-default strategies support
+    plain/if-converted loop shapes only.  The boolean ``masked_epilogue`` /
+    ``predicated_loop`` flags are deprecated shims that warn and forward.
     """
-    if masked_epilogue and predicated_loop:
-        raise ValueError("masked_epilogue and predicated_loop are mutually "
-                         "exclusive epilogue strategies")
+    from repro.perf.profile import stage
+
+    with stage("plan"):
+        return _plan_vectorization(
+            func, target,
+            epilogue=resolve_epilogue(epilogue, masked_epilogue, predicated_loop),
+        )
+
+
+def _plan_vectorization(func: ast.FunctionDef,
+                        target: TargetISA | str | None = None,
+                        *, epilogue: str) -> VectorizationPlan:
     isa = get_target(target)
     features = analyze_kernel(func)
     loop = features.main_loop
@@ -169,9 +229,9 @@ def plan_vectorization(func: ast.FunctionDef,
     body = normalize_body(loop.body)
     checker = _BodyChecker(loop.iterator, func, isa)
     plan = checker.check(body, features)
-    if plan.feasible and masked_epilogue:
+    if plan.feasible and epilogue == "masked":
         return _check_masked_epilogue(plan, loop)
-    if plan.feasible and predicated_loop:
+    if plan.feasible and epilogue == "predicated":
         return _check_predicated_loop(plan, loop)
     return plan
 
@@ -194,7 +254,7 @@ def _check_masked_epilogue(plan: VectorizationPlan, loop) -> VectorizationPlan:
         return _reject(RejectionReason.MASKED_MEMORY, plan.features, isa)
     if plan.reductions or plan.inductions or loop.end_op != "<":
         return _reject(RejectionReason.MASKED_TAIL_SHAPE, plan.features, isa)
-    plan.masked_epilogue = True
+    plan.epilogue = "masked"
     return plan
 
 
@@ -213,7 +273,7 @@ def _check_predicated_loop(plan: VectorizationPlan, loop) -> VectorizationPlan:
         return _reject(RejectionReason.PREDICATED_LOOP_UNSUPPORTED, plan.features, isa)
     if plan.reductions or plan.inductions or loop.end_op != "<":
         return _reject(RejectionReason.PREDICATED_LOOP_SHAPE, plan.features, isa)
-    plan.predicated_loop = True
+    plan.epilogue = "predicated"
     return plan
 
 

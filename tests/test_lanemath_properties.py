@@ -1,0 +1,184 @@
+"""Property tests: numpy bulk lane kernels vs the pure-Python reference.
+
+:mod:`repro.intrinsics.lanemath` evaluates whole registers with numpy;
+:mod:`repro.intrinsics.purelanes` is its deliberately independent per-lane
+oracle.  These tests drive both with randomized inputs at every target's
+lane width — including the simulated-VL SVE targets — and require
+bit-identical lanes and poison flags.
+"""
+
+import random
+
+import pytest
+
+from repro.intrinsics import lanemath, purelanes
+from repro.targets import ALL_TARGETS
+
+TARGET_WIDTHS = [pytest.param(t.name, t.lanes, id=t.name) for t in ALL_TARGETS]
+
+#: Wraparound and byte-select edge cases every random register is seasoned with.
+EDGE_VALUES = (-2**31, 2**31 - 1, -1, 0, 1, 2**30, -2**30, 0x7F80FF01, -0x7F80FF01)
+
+ROUNDS = 25
+
+
+def _rng(name: str, width: int) -> random.Random:
+    return random.Random(f"{name}:{width}")
+
+
+def _lanes(rng: random.Random, width: int) -> tuple[int, ...]:
+    return tuple(
+        rng.choice(EDGE_VALUES) if rng.random() < 0.3
+        else rng.randint(-2**31, 2**31 - 1)
+        for _ in range(width)
+    )
+
+
+def _flags(rng: random.Random, width: int) -> tuple[bool, ...]:
+    # Bias toward all-False: the no-poison fast paths must agree too.
+    if rng.random() < 0.5:
+        return (False,) * width
+    return tuple(rng.random() < 0.25 for _ in range(width))
+
+
+def test_numpy_backend_is_active():
+    """The image bakes numpy in; without it these tests compare purelanes
+    against itself and prove nothing."""
+    assert lanemath.HAVE_NUMPY
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+@pytest.mark.parametrize("op", purelanes.BINARY_OPS)
+def test_binary_lanes_match(target_name, width, op):
+    rng = _rng(f"binary:{op}:{target_name}", width)
+    for _ in range(ROUNDS):
+        a, b = _lanes(rng, width), _lanes(rng, width)
+        pa, pb = _flags(rng, width), _flags(rng, width)
+        assert (lanemath.binary_lanes(op, a, b, pa, pb)
+                == purelanes.binary_lanes(op, a, b, pa, pb))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+@pytest.mark.parametrize("op", purelanes.UNARY_OPS)
+def test_unary_lanes_match(target_name, width, op):
+    rng = _rng(f"unary:{op}:{target_name}", width)
+    for _ in range(ROUNDS):
+        a, pa = _lanes(rng, width), _flags(rng, width)
+        assert (lanemath.unary_lanes(op, a, pa)
+                == purelanes.unary_lanes(op, a, pa))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+@pytest.mark.parametrize("op", purelanes.SHIFT_OPS)
+def test_shift_lanes_match(target_name, width, op):
+    rng = _rng(f"shift:{op}:{target_name}", width)
+    for _ in range(ROUNDS):
+        a, pa = _lanes(rng, width), _flags(rng, width)
+        # Counts beyond 31 exercise the saturating/zeroing edge paths.
+        count = rng.choice((0, 1, 7, 16, 31, 32, 40))
+        assert (lanemath.shift_lanes(op, a, count, pa)
+                == purelanes.shift_lanes(op, a, count, pa))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+def test_select_lanes_match(target_name, width):
+    rng = _rng(f"select:{target_name}", width)
+    for _ in range(ROUNDS):
+        a, b, mask = _lanes(rng, width), _lanes(rng, width), _lanes(rng, width)
+        pa, pb, pm = (_flags(rng, width) for _ in range(3))
+        assert (lanemath.select_lanes(a, b, mask, pa, pb, pm)
+                == purelanes.select_lanes(a, b, mask, pa, pb, pm))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+def test_select_lanes_full_lane_masks(target_name, width):
+    """The 0 / -1 masks TSVC vectorizations actually build."""
+    rng = _rng(f"select-full:{target_name}", width)
+    for _ in range(ROUNDS):
+        a, b = _lanes(rng, width), _lanes(rng, width)
+        mask = tuple(rng.choice((0, -1)) for _ in range(width))
+        pa, pb, pm = (_flags(rng, width) for _ in range(3))
+        lanes, poison = lanemath.select_lanes(a, b, mask, pa, pb, pm)
+        assert (lanes, poison) == purelanes.select_lanes(a, b, mask, pa, pb, pm)
+        assert lanes == tuple(
+            y if m else x for x, y, m in zip(a, b, mask))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+def test_pred_not_lanes_match(target_name, width):
+    rng = _rng(f"pred-not:{target_name}", width)
+    for _ in range(ROUNDS):
+        gov, p = _flags(rng, width), _flags(rng, width)
+        pg, pp = _flags(rng, width), _flags(rng, width)
+        assert (lanemath.pred_not_lanes(gov, p, pg, pp)
+                == purelanes.pred_not_lanes(gov, p, pg, pp))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+@pytest.mark.parametrize("op", ("and", "or"))
+def test_pred_logic_lanes_match(target_name, width, op):
+    rng = _rng(f"pred-logic:{op}:{target_name}", width)
+    for _ in range(ROUNDS):
+        gov, a, b = (_flags(rng, width) for _ in range(3))
+        pg, pa, pb = (_flags(rng, width) for _ in range(3))
+        assert (lanemath.pred_logic_lanes(op, gov, a, b, pg, pa, pb)
+                == purelanes.pred_logic_lanes(op, gov, a, b, pg, pa, pb))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+@pytest.mark.parametrize("op", ("cmpgt", "cmpeq"))
+def test_pred_cmp_lanes_match(target_name, width, op):
+    rng = _rng(f"pred-cmp:{op}:{target_name}", width)
+    for _ in range(ROUNDS):
+        gov = _flags(rng, width)
+        a, b = _lanes(rng, width), _lanes(rng, width)
+        pg, pa, pb = (_flags(rng, width) for _ in range(3))
+        assert (lanemath.pred_cmp_lanes(op, gov, a, b, pg, pa, pb)
+                == purelanes.pred_cmp_lanes(op, gov, a, b, pg, pa, pb))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+def test_psel_lanes_match(target_name, width):
+    rng = _rng(f"psel:{target_name}", width)
+    for _ in range(ROUNDS):
+        pred = _flags(rng, width)
+        a, b = _lanes(rng, width), _lanes(rng, width)
+        pg, pa, pb = (_flags(rng, width) for _ in range(3))
+        assert (lanemath.psel_lanes(pred, a, b, pg, pa, pb)
+                == purelanes.psel_lanes(pred, a, b, pg, pa, pb))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+@pytest.mark.parametrize("op", ("add", "sub", "mul", "max", "min"))
+def test_pred_merge_lanes_match(target_name, width, op):
+    rng = _rng(f"pred-merge:{op}:{target_name}", width)
+    for _ in range(ROUNDS):
+        pred = _flags(rng, width)
+        a, b = _lanes(rng, width), _lanes(rng, width)
+        pg, pa, pb = (_flags(rng, width) for _ in range(3))
+        assert (lanemath.pred_merge_lanes(op, pred, a, b, pg, pa, pb)
+                == purelanes.pred_merge_lanes(op, pred, a, b, pg, pa, pb))
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+def test_or_flags_matches_reference(target_name, width):
+    rng = _rng(f"or-flags:{target_name}", width)
+    for _ in range(ROUNDS):
+        sets = [_flags(rng, width) for _ in range(rng.randint(1, 4))]
+        assert lanemath.or_flags(*sets) == purelanes.or_flags(*sets)
+
+
+@pytest.mark.parametrize("target_name,width", TARGET_WIDTHS)
+def test_results_are_plain_python_tuples(target_name, width):
+    """Bulk kernels must hand back plain ints/bools — numpy scalars would
+    leak into checksums and SMT term construction."""
+    rng = _rng(f"types:{target_name}", width)
+    a, b = _lanes(rng, width), _lanes(rng, width)
+    pa, pb = _flags(rng, width), _flags(rng, width)
+    lanes, poison = lanemath.binary_lanes("add", a, b, pa, pb)
+    assert all(type(v) is int for v in lanes)
+    assert all(type(f) is bool for f in poison)
+    flags, fp = lanemath.pred_cmp_lanes("cmpgt", (True,) * width, a, b,
+                                        pa, pb, pb)
+    assert all(type(f) is bool for f in flags)
+    assert all(type(f) is bool for f in fp)
