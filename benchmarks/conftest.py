@@ -21,6 +21,12 @@ Environment knobs (all optional):
 ``REPRO_BENCH_WORKERS``
     campaign worker-pool width (default 0 = one worker per CPU; 1 runs
     serially in-process).
+``REPRO_BENCH_BATCH``
+    kernel tasks per worker dispatch: ``auto`` (the default) adapts batch
+    sizes to the remaining queue (guided self-scheduling with work
+    stealing), an int fixes the size, ``1`` restores one task per
+    dispatch.  Batch size never changes results — per-kernel seeds derive
+    from kernel names.
 ``REPRO_BENCH_STORE``
     path to a campaign JSONL result store; lets an interrupted benchmark
     session resume and persists results for offline inspection.
@@ -86,6 +92,13 @@ def _configured_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 
+def _configured_batch() -> "int | str":
+    value = os.environ.get("REPRO_BENCH_BATCH", "").strip().lower()
+    if not value or value == "auto":
+        return "auto"
+    return int(value)
+
+
 def _configured_shard():
     from repro.pipeline import ShardSpec
 
@@ -133,14 +146,16 @@ def bench_campaign() -> CampaignRunner:
     """
     store = os.environ.get("REPRO_BENCH_STORE", "").strip() or None
     config = CampaignConfig(workers=_configured_workers(), store_path=store,
-                            shard=_configured_shard())
+                            shard=_configured_shard(),
+                            batch_size=_configured_batch())
     runner = CampaignRunner(config)
     yield runner
     path = _bench_json_path()
     if path is not None and runner.summaries:
+        from repro.perf.profile import machine_score
         from repro.reporting.campaign import write_bench_json
 
-        write_bench_json(runner.summaries, path)
+        write_bench_json(runner.summaries, path, machine_score=machine_score())
 
 
 @pytest.fixture(scope="session")

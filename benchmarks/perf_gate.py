@@ -1,16 +1,34 @@
-"""CI perf gate: throughput floor plus the AVX2 golden-verdict pin.
+"""CI perf gate: serial + parallel throughput floors plus the AVX2 golden pin.
 
-Runs the standard 11-kernel vectorize suite serially on every target,
-appends the fresh summaries (with their per-stage timing breakdown) to
-``BENCH_campaign.json``, and fails when either
+Runs the standard 11-kernel vectorize suite serially on every target, then
+a parallel-scaling sweep of the *full* TSVC suite (``--scale-workers``,
+default 1/2/4/8, through the work-stealing batch dispatcher), appends every
+fresh summary (with per-stage timings, batch counts, fleet plan-cache
+stats, and this machine's CPU probe score) to ``BENCH_campaign.json``, and
+fails when any of
 
-- any target's kernels/sec drops more than ``--tolerance`` (default 20%)
-  below the best committed baseline entry for that target, or
-- the paper-default AVX2 campaign's verdicts or final-code SHAs drift
-  from the golden record pinned in ``tests/test_sve.py``.
+- a target's serial kernels/sec drops more than ``--tolerance`` (default
+  20%) below the machine-normalised floor for that (target, kernel-count)
+  configuration,
+- a scaling run's effective kernels/sec drops more than ``--tolerance``
+  below the machine-normalised floor for its (target, workers,
+  kernel-count) configuration,
+- any scaling run's verdicts or final-code SHAs differ from the serial
+  member of the sweep (parallel dispatch must be bit-identical), or
+- the paper-default AVX2 campaign's verdicts or final-code SHAs drift from
+  the golden record pinned in ``tests/test_sve.py``.
+
+Floors are a machine-normalised ratchet: committed entries carry the
+``machine_score`` CPU probe of the box that recorded them, and each floor
+is scaled by (current score / recorded score) before the tolerance is
+applied.  A uniformly slower container therefore doesn't read as a code
+regression, while a genuine slowdown still does.  Entries recorded before
+machine scoring (no ``machine_score`` key) are kept as history but no
+longer gate.
 
 Usage:  PYTHONPATH=src python benchmarks/perf_gate.py [--tolerance 0.2]
                   [--baseline BENCH_campaign.json] [--json BENCH_campaign.json]
+                  [--scale-workers 1,2,4,8] [--scale-target avx2]
 
 Exit status 0 on pass, 1 on regression or drift.
 """
@@ -29,24 +47,59 @@ sys.path.insert(0, str(REPO_ROOT / "tests"))
 from test_multi_target import DEFAULT_KERNELS  # noqa: E402
 from test_sve import AVX2_GOLDEN  # noqa: E402
 
+from repro.perf.profile import machine_score  # noqa: E402
 from repro.pipeline import CampaignConfig, CampaignRunner  # noqa: E402
 from repro.reporting.campaign import write_bench_json  # noqa: E402
 from repro.targets import ALL_TARGETS  # noqa: E402
 
 
-def baseline_rates(path: Path) -> dict[str, float]:
-    """Best committed kernels/sec per target (the ratchet to regress against)."""
+def baseline_rates(path: Path) -> dict[tuple[str, int, int], tuple[float, float]]:
+    """Best committed (kernels/sec, machine_score) per configuration.
+
+    Keyed by (target, workers, kernel count): the 11-kernel serial smoke
+    suite and the full-suite scaling sweep have incomparable inherent
+    rates, so they ratchet independently.  Serial entries gate on the
+    fresh-execution rate; parallel entries gate on the effective rate of
+    fully-fresh runs (``executed == kernels``), matching the ``scaling``
+    section ``write_bench_json`` derives.  Only entries carrying a
+    ``machine_score`` participate — a rate without the recording machine's
+    probe score cannot be normalised to this machine.
+    """
     if not path.exists():
         return {}
     entries = json.loads(path.read_text(encoding="utf-8")).get("campaigns", [])
-    best: dict[str, float] = {}
+    best: dict[tuple[str, int, int], tuple[float, float]] = {}
     for entry in entries:
         target = entry.get("target")
-        rate = entry.get("kernels_per_second")
-        if not target or not isinstance(rate, (int, float)):
+        workers = entry.get("workers", 1)
+        kernels = entry.get("kernels", 0)
+        score = entry.get("machine_score")
+        if (not target or not isinstance(workers, int) or workers < 1
+                or not kernels or not isinstance(score, (int, float))
+                or score <= 0):
             continue
-        best[target] = max(best.get(target, 0.0), float(rate))
+        if workers == 1:
+            rate = entry.get("kernels_per_second")
+        else:
+            fresh = entry.get("executed") == kernels
+            rate = entry.get("effective_kernels_per_second") if fresh else None
+        if not isinstance(rate, (int, float)):
+            continue
+        key = (target, workers, kernels)
+        slot = best.get(key)
+        # Compare on the machine-normalised rate so the slot holds the
+        # genuinely best recorded run, not just the fastest recording box.
+        if slot is None or float(rate) / float(score) > slot[0] / slot[1]:
+            best[key] = (float(rate), float(score))
     return best
+
+
+def signature(report) -> list[tuple]:
+    """The bit-identity signature of a campaign: verdict + SHA per kernel."""
+    return [(record.kernel,
+             record.result.get("verdict"),
+             record.result.get("final_code_sha"))
+            for record in report.records]
 
 
 def main() -> int:
@@ -57,41 +110,82 @@ def main() -> int:
                         default=REPO_ROOT / "BENCH_campaign.json",
                         help="file the fresh summaries are appended to")
     parser.add_argument("--tolerance", type=float, default=0.2,
-                        help="allowed fractional throughput drop per target")
+                        help="allowed fractional throughput drop per entry")
+    parser.add_argument("--scale-workers", default="1,2,4,8",
+                        help="comma-separated worker counts for the full-suite "
+                             "parallel-scaling sweep (empty disables it)")
+    parser.add_argument("--scale-target", default="avx2",
+                        help="target ISA the scaling sweep runs on")
     args = parser.parse_args()
 
     floors = baseline_rates(args.baseline)
+    score = machine_score()
+    print(f"machine score: {score:.1f} (floors scale by current/recorded score)")
+    failures: list[str] = []
+    all_summaries = []
+
+    def gate(kind: str, key: tuple[str, int, int], rate: float) -> str:
+        """Apply one machine-normalised ratchet check; returns the suffix."""
+        slot = floors.get(key)
+        if slot is None:
+            return "  (no scored baseline entry; recorded)"
+        base_rate, base_score = slot
+        scaled = base_rate * (score / base_score)
+        minimum = scaled * (1.0 - args.tolerance)
+        if rate < minimum:
+            failures.append(
+                f"{kind}: {rate:.1f} kernels/s is >{args.tolerance:.0%} below "
+                f"the machine-normalised baseline {scaled:.1f} "
+                f"(recorded {base_rate:.1f} at score {base_score:.1f})")
+        return f"  floor {minimum:.1f} (normalised baseline {scaled:.1f})"
+
+    # Phase 1: the serial per-target ratchet on the 11-kernel suite.
     targets = [isa.name for isa in ALL_TARGETS]
     runner = CampaignRunner(CampaignConfig(workers=1))
     reports = runner.run_multi_target(DEFAULT_KERNELS, targets=targets)
-    write_bench_json(runner.summaries, args.json)
-
-    failures: list[str] = []
+    all_summaries.extend(runner.summaries)
 
     for target, report in reports.items():
         summary = report.summary
-        floor = floors.get(target)
-        line = (f"{target:<8} {summary.kernels_per_second:8.1f} kernels/s "
+        line = (f"{target:<8} w=1  {summary.kernels_per_second:8.1f} kernels/s "
                 f"(stages: {sum(summary.stage_seconds.values()):.3f}s profiled)")
-        if floor is not None:
-            minimum = floor * (1.0 - args.tolerance)
-            line += f"  floor {minimum:.1f} (baseline {floor:.1f})"
-            if summary.kernels_per_second < minimum:
-                failures.append(
-                    f"{target}: {summary.kernels_per_second:.1f} kernels/s is "
-                    f">{args.tolerance:.0%} below the baseline {floor:.1f}")
-        else:
-            line += "  (no baseline entry; recorded)"
+        line += gate(target, (target, 1, summary.kernels),
+                     summary.kernels_per_second)
         print(line)
 
-    # The verdict pin: the golden kernels are a superset check run on AVX2
-    # alone, with the exact seed campaign config.
+    # Phase 2: the parallel-scaling sweep — full suite, one fresh runner per
+    # worker count, every run bit-identical to the sweep's serial member.
+    scale_workers = [int(w) for w in args.scale_workers.split(",") if w.strip()]
+    reference_signature = None
+    for workers in scale_workers:
+        scale_runner = CampaignRunner(CampaignConfig(workers=workers))
+        report = scale_runner.run(target=args.scale_target)
+        all_summaries.extend(scale_runner.summaries)
+        summary = report.summary
+        sig = signature(report)
+        if reference_signature is None:
+            reference_signature = sig
+        elif sig != reference_signature:
+            diffs = [a[0] for a, b in zip(reference_signature, sig) if a != b]
+            failures.append(
+                f"scaling: workers={workers} verdicts/SHAs differ from the "
+                f"serial sweep member on {diffs[:5]}")
+        rate = summary.throughput.effective_rate
+        line = (f"{args.scale_target:<8} w={workers:<2} {rate:8.1f} kernels/s "
+                f"effective ({summary.kernels} kernels, "
+                f"{summary.batches or 'no'} batches, "
+                f"batch_size={summary.batch_size})")
+        line += gate(f"{args.scale_target} workers={workers}",
+                     (args.scale_target, workers, summary.kernels), rate)
+        print(line)
+
+    write_bench_json(all_summaries, args.json, machine_score=score)
+
+    # Phase 3: the verdict pin — the golden kernels are a superset check run
+    # on AVX2 alone, with the exact seed campaign config.
     golden_kernels = [kernel for kernel, _, _ in AVX2_GOLDEN]
     golden_report = CampaignRunner(CampaignConfig(workers=1)).run(golden_kernels)
-    observed = [(record.kernel,
-                 record.result.get("verdict"),
-                 record.result.get("final_code_sha"))
-                for record in golden_report.records]
+    observed = signature(golden_report)
     for want, got in zip(AVX2_GOLDEN, observed):
         if want != got:
             failures.append(f"AVX2 drift on {want[0]}: expected {want[1:]}, "
@@ -105,8 +199,9 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nperf gate passed: {len(reports)} targets within "
-          f"{args.tolerance:.0%} of baseline, AVX2 verdicts bit-for-bit")
+    print(f"\nperf gate passed: {len(reports)} targets and "
+          f"{len(scale_workers)} scaling points within {args.tolerance:.0%} "
+          f"of baseline, parallel runs and AVX2 verdicts bit-for-bit")
     return 0
 
 

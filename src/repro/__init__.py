@@ -34,6 +34,12 @@ _PUBLIC_API = {
     "Verdict": "repro.pipeline",
     "merge_stores": "repro.pipeline",
     "report_from_store": "repro.pipeline",
+    # Incremental re-verification and store hygiene.
+    "plan_reverify": "repro.pipeline",
+    "reverify": "repro.pipeline",
+    "IncrementalPlan": "repro.pipeline",
+    "compact_store": "repro.pipeline",
+    "CompactionStats": "repro.pipeline",
     # Vectorizer: deterministic planning/codegen and the epilogue contract.
     "vectorize_kernel": "repro.vectorizer",
     "plan_vectorization": "repro.vectorizer",

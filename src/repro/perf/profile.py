@@ -94,3 +94,54 @@ def merge_stage_seconds(total: dict[str, float],
             if isinstance(value, (int, float)):
                 total[name] = round(total.get(name, 0.0) + float(value), 6)
     return total
+
+
+def machine_score(repeats: int = 3) -> float:
+    """A deterministic single-core CPU probe, in arbitrary probe-runs/second.
+
+    Benchmark entries record the probe score of the machine that produced
+    them, so throughput ratchets can scale their floors by the ratio of the
+    current machine's score to the recording machine's — a uniformly slower
+    container no longer reads as a code regression, while a genuine
+    slowdown of one pipeline stage or target still does.  The workload
+    (an interpreter-bound integer loop plus a fixed hash chain, mirroring
+    the pure-Python pipeline's profile) is fixed; the best of ``repeats``
+    runs is kept to shave scheduler noise.
+    """
+    import hashlib
+
+    payload = bytes(range(256)) * 64
+    best = 0.0
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        digest = payload
+        for _ in range(16):
+            digest = hashlib.sha256(digest).digest()
+        acc = 0
+        for value in range(150_000):
+            acc = (acc * 1103515245 + value) & 0xFFFFFFFF
+        elapsed = time.perf_counter() - started
+        if elapsed > 0.0:
+            best = max(best, 1.0 / elapsed)
+    return round(best, 2)
+
+
+def merge_counts(total: dict[str, int], part: dict[str, int] | None) -> dict[str, int]:
+    """Accumulate one integer-counter breakdown into ``total``.
+
+    The counter sibling of :func:`merge_stage_seconds`: campaign workers
+    report per-batch cache/plan-cache counter deltas, and the campaign
+    engine folds them into one fleet-wide tally with this.
+    """
+    if part:
+        for name, value in part.items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                total[name] = total.get(name, 0) + value
+    return total
+
+
+def counter_delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+    """The per-counter growth between two snapshots (zero entries dropped)."""
+    return {name: after[name] - before.get(name, 0)
+            for name in after
+            if after[name] - before.get(name, 0) > 0}

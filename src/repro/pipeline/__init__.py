@@ -15,7 +15,15 @@ from repro.pipeline.campaign import (
     is_error_result,
     shard_of,
 )
-from repro.pipeline.shard import merge_caches, merge_stores, report_from_store
+from repro.pipeline.shard import merge_caches, merge_stores, report_from_store, store_live_entries
+from repro.pipeline.scheduler import ExecutionStats, next_batch_size, resolve_batch_setting
+from repro.pipeline.incremental import (
+    CompactionStats,
+    IncrementalPlan,
+    compact_store,
+    plan_reverify,
+    reverify,
+)
 
 __all__ = [
     "Verdict",
@@ -40,4 +48,13 @@ __all__ = [
     "merge_caches",
     "merge_stores",
     "report_from_store",
+    "store_live_entries",
+    "ExecutionStats",
+    "next_batch_size",
+    "resolve_batch_setting",
+    "CompactionStats",
+    "IncrementalPlan",
+    "compact_store",
+    "plan_reverify",
+    "reverify",
 ]

@@ -163,6 +163,30 @@ class ResultCache:
             os.fsync(handle.fileno())
             self._unsynced = 0
 
+    def compact(self) -> int:
+        """Rewrite the JSONL file with one line per live key; returns lines dropped.
+
+        The append-only file accumulates superseded lines over a cache's
+        life (an error record retried into a real result appends a second
+        line for the key); long-lived caches backing many campaigns reload
+        every one of them on startup.  Compaction writes the in-memory
+        entries — already the last-wins replay of the file, in first-seen
+        key order — to a sibling temp file and atomically renames it over,
+        so a crash mid-compaction leaves the original intact.
+        """
+        if self.path is None or not self.path.exists():
+            return 0
+        self.close()
+        lines_before = sum(1 for _ in _read_jsonl_entries(self.path))
+        temp = self.path.with_name(self.path.name + ".compact.tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            for key, value in self._entries.items():
+                handle.write(json.dumps({"key": key, "value": value}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        return lines_before - len(self._entries)
+
     def flush(self) -> None:
         """Force any entries not yet fsync'd onto stable storage."""
         if self._handle is not None and self._unsynced:

@@ -8,7 +8,11 @@ seed code did this with a serial Python loop per experiment.  The campaign
 engine makes the shape a first-class subsystem:
 
 * **parallelism** — kernels fan out over a :class:`ProcessPoolExecutor`
-  with a configurable worker count (``workers=0`` means one per CPU);
+  with a configurable worker count (``workers=0`` means one per CPU),
+  dispatched as adaptively-sized *batches* claimed off one shared queue
+  (:mod:`repro.pipeline.scheduler`): IPC/pickle overhead amortizes over
+  each batch, fast workers steal the remaining work from stragglers, and
+  a warm-worker initializer pre-seeds every worker's plan cache;
 * **determinism** — every kernel gets a seed derived from
   ``(base seed, kernel name)`` (the LLM seed for the vectorize and
   experiment campaigns), so per-kernel results are byte-identical at any
@@ -53,8 +57,14 @@ from dataclasses import KW_ONLY, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Optional
 
-from repro.perf.profile import merge_stage_seconds
+from repro.perf.profile import counter_delta, merge_counts, merge_stage_seconds
 from repro.pipeline.cache import CacheStats, ResultCache, config_fingerprint, content_key
+from repro.pipeline.scheduler import (
+    AUTO_BATCH,
+    ExecutionStats,
+    dispatch_batches,
+    resolve_batch_setting,
+)
 from repro.targets import get_target, resolve_target_setting, target_names
 
 JobFn = Callable[["KernelTask"], dict]
@@ -229,12 +239,26 @@ class CampaignConfig:
     #: (maximally durable), N batches every N entries, 0 syncs only at the
     #: end of each ``run_tasks`` call.
     cache_flush_interval: int = 1
+    #: How many kernel tasks one worker dispatch carries.  ``"auto"`` (the
+    #: default) uses guided self-scheduling — early batches large to
+    #: amortize pickle/IPC, late batches shrinking toward singletons so the
+    #: tail balances across workers; an int fixes the size (1 restores
+    #: one-task-per-dispatch).  Batch size never changes a result: seeds
+    #: derive from kernel names, so any batching is bit-identical.
+    batch_size: int | str = AUTO_BATCH
+    #: Pre-seed each pool worker's plan cache (parse table + small SMT
+    #: constants) with the campaign's scalar sources before its first
+    #: batch.  Purely a warm-up; results are identical either way.
+    warm_workers: bool = True
 
     def resolved_target_name(self) -> str:
         return resolve_target_setting(self.target).name
 
     def resolved_shard(self) -> "ShardSpec | None":
         return ShardSpec.parse(self.shard) if self.shard is not None else None
+
+    def resolved_batch_size(self) -> "int | str":
+        return resolve_batch_setting(self.batch_size)
 
     def effective_workers(self) -> int:
         if self.workers <= 0:
@@ -263,6 +287,11 @@ class CampaignSummary:
     cache_misses: int
     resumed: int
     wall_clock_seconds: float
+    #: Workers *actually used* by this run — 1 on the serial path, the
+    #: pool width after clamping to the pending task count otherwise, and 0
+    #: when everything came from cache/store (no worker ran at all).  The
+    #: configured width lives on the config; reporting it here used to
+    #: overstate fully-cached and clamped runs.
     workers: int
     verdict_counts: dict[str, int] = field(default_factory=dict)
     #: Target ISA the campaign ran for.
@@ -273,11 +302,28 @@ class CampaignSummary:
     #: interp/symexec/solve) across the freshly executed tasks, accumulated
     #: from the per-job profiles (:mod:`repro.perf.profile`).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: The batch-size setting the dispatcher ran with (``"auto"`` or an
+    #: int); None when no batched dispatch happened (serial path, or
+    #: nothing pending).
+    batch_size: "int | str | None" = None
+    #: Batches dispatched to the worker pool (0 on the serial path).
+    batches: int = 0
+    #: Fleet-wide plan-cache counters (parse/plan/vectorize hits+misses)
+    #: summed over every worker's per-batch deltas — the true cross-process
+    #: hit rates, not the parent's view (:mod:`repro.vectorizer.plancache`).
+    plan_cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fleet-wide plan-cache hit rate over every counter pair."""
+        hits = sum(v for k, v in self.plan_cache.items() if k.endswith("_hits"))
+        misses = sum(v for k, v in self.plan_cache.items() if k.endswith("_misses"))
+        return hits / (hits + misses) if hits + misses else 0.0
 
     @property
     def throughput(self) -> "ThroughputReport":
@@ -313,6 +359,11 @@ class CampaignSummary:
             "stage_seconds": {name: round(seconds, 6)
                               for name, seconds in sorted(self.stage_seconds.items())},
             **({"shard": self.shard} if self.shard is not None else {}),
+            **({"batch_size": self.batch_size} if self.batch_size is not None else {}),
+            **({"batches": self.batches} if self.batches else {}),
+            **({"plan_cache": dict(sorted(self.plan_cache.items())),
+                "plan_cache_hit_rate": round(self.plan_cache_hit_rate, 4)}
+               if self.plan_cache else {}),
         }
 
 
@@ -428,7 +479,7 @@ class CampaignRunner:
             records[key] = CampaignRecord(task.kernel, key, shape(result, task), SOURCE_RUN)
 
         executed = len(pending)
-        self._execute(job, pending, label, persist)
+        execution = self._execute(job, pending, label, persist)
         # close() both fsyncs anything pending and releases the append
         # handle, so idle runners hold no file descriptors between runs
         # (the cache reopens lazily on the next put).
@@ -443,7 +494,8 @@ class CampaignRunner:
                                   executed, time.perf_counter() - started,
                                   target=resolved_target,
                                   shard=str(shard) if shard is not None else None,
-                                  stage_seconds=stage_totals)
+                                  stage_seconds=stage_totals,
+                                  execution=execution)
         store.append_summary(summary)
         self.summaries.append(summary)
         return CampaignReport(label=label, records=ordered, summary=summary)
@@ -463,6 +515,22 @@ class CampaignRunner:
         requesting a non-default epilogue wins, else the campaign config's
         ``epilogue`` setting applies.
         """
+        tasks, isa_name = self.vectorize_tasks(names, vectorizer_config,
+                                               target=target)
+        return self.run_tasks(vectorize_kernel_job, tasks, label="vectorize",
+                              target=isa_name)
+
+    def vectorize_tasks(self, names: list[str] | None = None, vectorizer_config=None,
+                        *, target: str | None = None) -> tuple[list[KernelTask], str]:
+        """The exact tasks (and resolved ISA name) :meth:`run` would execute.
+
+        This is the content-addressing half of the flagship campaign split
+        out from the execution half: every task's ``config_hash`` is the
+        target-salted fingerprint of the fully-resolved vectorizer config,
+        so incremental re-verification (:mod:`repro.pipeline.incremental`)
+        can ask "which of these keys does a store already answer?" without
+        running anything.
+        """
         from repro.pipeline.runner import LLMVectorizerConfig
 
         # One resolution rule, most to least specific: the explicit argument,
@@ -481,8 +549,7 @@ class CampaignRunner:
         tasks = self.suite_tasks(names, payload=config,
                                  config_hash=config_fingerprint(config, target=isa.name),
                                  base_seed=config.llm.seed)
-        return self.run_tasks(vectorize_kernel_job, tasks, label="vectorize",
-                              target=isa.name)
+        return tasks, isa.name
 
     def run_multi_target(self, names: list[str] | None = None, *, vectorizer_config=None,
                          targets: list[str] | None = None) -> dict[str, CampaignReport]:
@@ -542,45 +609,74 @@ class CampaignRunner:
         pending: list[tuple[KernelTask, str]],
         label: str,
         on_result: Callable[[KernelTask, str, dict], None],
-    ) -> None:
+    ) -> ExecutionStats:
         """Run pending tasks, invoking ``on_result`` as each one completes.
 
-        A broken worker pool (a worker killed by a segfault, the OOM killer,
-        ...) is rebuilt and the orphaned tasks resubmitted, bisecting to
-        isolate a repeat offender; a task that still breaks its own
-        singleton pool after ``max_pool_retries`` retries becomes an error
-        record (or aborts the campaign under ``fail_fast``).
+        Parallel runs go through the work-stealing batch dispatcher
+        (:mod:`repro.pipeline.scheduler`): workers claim adaptively-sized
+        batches off one shared queue, so IPC amortizes over the batch and
+        the tail balances across the fleet instead of straggling behind a
+        static partition.  A broken worker pool orphans its unfinished
+        batches; the orphans are resubmitted per task, bisecting to isolate
+        a repeat offender — a task that still breaks its own singleton pool
+        after ``max_pool_retries`` retries becomes an error record (or
+        aborts the campaign under ``fail_fast``).  Returns what actually
+        happened: workers used, batches dispatched, fleet plan-cache stats.
         """
+        stats = ExecutionStats()
         if not pending:
-            return
+            return stats
         fail_fast = self.config.fail_fast
         workers = min(self.config.effective_workers(), len(pending))
         if workers <= 1:
+            from repro.vectorizer import plancache
+
+            stats.workers = 1
+            before = plancache.stats.as_dict()
             for task, key in pending:
                 on_result(task, key, _run_job(job, task, label, fail_fast))
-            return
-        # Recovery by bisection: a broken pool cancels every queued task, so
-        # one poison task (segfaulting its worker on every attempt) orphans
-        # whole batches and a flat resubmit loop would burn every task's
-        # retry budget as collateral.  Splitting the orphans instead corners
-        # the culprit: halves without it complete, the half with it shrinks
-        # to a singleton pool that only it can break, and only that singleton
-        # consumes retries (``max_pool_retries``) before erroring out.
+            merge_counts(stats.plan_cache,
+                         counter_delta(before, plancache.stats.as_dict()))
+            return stats
+
+        stats.workers = workers
+        stats.batch_size = self.config.resolved_batch_size()
+        warm_sources = None
+        if self.config.warm_workers:
+            # Distinct scalar sources, first-seen order: the initializer
+            # pre-parses each one once per worker.
+            warm_sources = tuple(dict.fromkeys(
+                task.scalar_code for task, _ in pending if task.scalar_code))
+        orphaned = dispatch_batches(
+            job, pending, label=label, workers=workers,
+            batch_setting=stats.batch_size, fail_fast=fail_fast,
+            on_result=on_result, stats=stats, warm_sources=warm_sources)
+        if not orphaned:
+            return stats
+
+        # Recovery by bisection, per task: a broken pool cancels everything
+        # in flight, so one poison task (segfaulting its worker on every
+        # attempt) orphans whole batches and a flat resubmit loop would burn
+        # every task's retry budget as collateral.  Splitting the orphans
+        # instead corners the culprit: halves without it complete, the half
+        # with it shrinks to a singleton pool that only it can break, and
+        # only that singleton consumes retries (``max_pool_retries``) before
+        # erroring out.
         retries: dict[str, int] = {}
 
         def run_resilient(batch: list[tuple[KernelTask, str]]) -> None:
-            orphaned = self._execute_pool(job, batch, label, on_result, workers)
-            if not orphaned:
+            remaining = self._execute_pool(job, batch, label, on_result, workers)
+            if not remaining:
                 return
-            if len(orphaned) > 1:
-                mid = len(orphaned) // 2
-                run_resilient(orphaned[:mid])
-                run_resilient(orphaned[mid:])
+            if len(remaining) > 1:
+                mid = len(remaining) // 2
+                run_resilient(remaining[:mid])
+                run_resilient(remaining[mid:])
                 return
-            task, key = orphaned[0]
+            task, key = remaining[0]
             retries[key] = retries.get(key, 0) + 1
             if retries[key] <= self.config.max_pool_retries:
-                run_resilient(orphaned)
+                run_resilient(remaining)
                 return
             message = (f"worker pool broke {retries[key]} times with kernel "
                        f"{task.kernel!r} alone in flight; giving up on it")
@@ -588,7 +684,8 @@ class CampaignRunner:
                 raise RuntimeError(f"campaign {label!r}: {message}")
             on_result(task, key, error_result(task, label, BrokenProcessPool(message)))
 
-        run_resilient(list(pending))
+        run_resilient(orphaned)
+        return stats
 
     def _execute_pool(
         self,
@@ -628,7 +725,9 @@ class CampaignRunner:
     def _summarize(self, label: str, records: list[CampaignRecord], stats: CacheStats,
                    resumed: int, executed: int, wall_clock: float,
                    target: str | None = None, shard: str | None = None,
-                   stage_seconds: dict[str, float] | None = None) -> CampaignSummary:
+                   stage_seconds: dict[str, float] | None = None,
+                   execution: ExecutionStats | None = None) -> CampaignSummary:
+        execution = execution or ExecutionStats()
         return CampaignSummary(
             label=label,
             kernels=len(records),
@@ -637,11 +736,14 @@ class CampaignRunner:
             cache_misses=stats.misses,
             resumed=resumed,
             wall_clock_seconds=wall_clock,
-            workers=self.config.effective_workers(),
+            workers=execution.workers,
             verdict_counts=count_verdicts(records),
             target=target or self.config.resolved_target_name(),
             shard=shard,
             stage_seconds=dict(stage_seconds or {}),
+            batch_size=execution.batch_size,
+            batches=execution.batches,
+            plan_cache=dict(execution.plan_cache),
         )
 
 

@@ -28,6 +28,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.perf.profile import merge_counts
 from repro.pipeline.cache import iter_jsonl_dicts
 from repro.targets import resolve_target_setting
 from repro.pipeline.campaign import (
@@ -45,6 +46,27 @@ def _iter_entries(path: Path) -> Iterator[dict]:
     if not path.exists():
         raise FileNotFoundError(f"no such store: {path}")
     yield from iter_jsonl_dicts(path)
+
+
+def store_live_entries(path: str | Path) -> tuple[dict[str, dict], list[dict]]:
+    """Replay one store's appends: the live result entry per key, plus summaries.
+
+    Within one store a later entry supersedes an earlier one with the same
+    key (an error record retried into a result on resume) — the store's own
+    replay semantics, shared by resume, :func:`merge_stores`,
+    :func:`report_from_store` and store compaction
+    (:func:`repro.pipeline.incremental.compact_store`).  Keys keep
+    first-seen order; summaries come back verbatim in append order.
+    """
+    results: dict[str, dict] = {}
+    summaries: list[dict] = []
+    for entry in _iter_entries(Path(path)):
+        kind = entry.get("type")
+        if kind == "result":
+            results[str(entry["key"])] = entry
+        elif kind == "summary":
+            summaries.append(entry)
+    return results, summaries
 
 
 def merge_stores(paths: Iterable[str | Path], out_path: str | Path) -> Path:
@@ -67,13 +89,8 @@ def merge_stores(paths: Iterable[str | Path], out_path: str | Path) -> Path:
         # Within one store a later entry supersedes an earlier one with the
         # same key (an error record retried into a result on resume) — that
         # is the store's own replay semantics, not a conflict.
-        store_results: dict[str, dict] = {}
-        for entry in _iter_entries(Path(path)):
-            kind = entry.get("type")
-            if kind == "result":
-                store_results[str(entry["key"])] = entry
-            elif kind == "summary":
-                summaries.append(entry)
+        store_results, store_summaries = store_live_entries(path)
+        summaries.extend(store_summaries)
         for key, entry in store_results.items():
             if key not in results:
                 results[key] = entry
@@ -233,6 +250,10 @@ def report_from_store(path: str | Path, label: str | None = None,
         latest[(entry.get("label"), entry.get("target"), entry.get("shard"))] = entry
     matching = list(latest.values())
     targets = {s.get("target") for s in matching if s.get("target")}
+    plan_cache: dict[str, int] = {}
+    for entry in matching:
+        merge_counts(plan_cache, entry.get("plan_cache")
+                     if isinstance(entry.get("plan_cache"), dict) else None)
     summary = CampaignSummary(
         label=label,
         kernels=len(records),
@@ -249,5 +270,7 @@ def report_from_store(path: str | Path, label: str | None = None,
                            else ("mixed" if targets
                                  else resolve_target_setting().name))),
         shard=None,  # a merged report covers the whole suite again
+        batches=sum(s.get("batches", 0) for s in matching),
+        plan_cache=plan_cache,
     )
     return CampaignReport(label=label, records=records, summary=summary)

@@ -15,7 +15,8 @@ from repro.pipeline.campaign import CampaignReport, CampaignSummary, is_error_re
 from repro.reporting.tables import render_table
 
 
-def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> Path:
+def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path",
+                     machine_score: "float | None" = None) -> Path:
     """Append campaign throughput/verdict summaries to a benchmark JSON file.
 
     The benchmark harness calls this when ``REPRO_BENCH_JSON`` is set.  The
@@ -27,6 +28,14 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> 
     grow the file without bound, and the totals always reflect the
     deduplicated list.  An unreadable existing file is replaced rather
     than crashing the session teardown.
+
+    ``machine_score`` — the recording machine's
+    :func:`repro.perf.profile.machine_score` probe — is stamped onto each
+    *new* entry when given.  Ratchets (``benchmarks/perf_gate.py``) scale
+    their throughput floors by the current-to-recorded score ratio, so
+    entries written on a slow container don't spuriously fail a fast one
+    and vice versa.  Entries without a score are kept as history but
+    cannot be machine-normalised.
     """
     path = Path(path)
     campaigns: list[dict] = []
@@ -37,7 +46,11 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> 
             campaigns = [entry for entry in prior if isinstance(entry, dict)]
         except (json.JSONDecodeError, OSError, AttributeError):
             campaigns = []
-    campaigns.extend(summary.as_dict() for summary in summaries)
+    fresh = [summary.as_dict() for summary in summaries]
+    if machine_score is not None:
+        for entry in fresh:
+            entry["machine_score"] = machine_score
+    campaigns.extend(fresh)
     seen: set[str] = set()
     deduplicated: list[dict] = []
     for entry in campaigns:
@@ -66,10 +79,48 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path") -> 
             "stage_seconds": {name: round(seconds, 4)
                               for name, seconds in sorted(stage_totals.items())},
         },
+        "scaling": scaling_entries(campaigns),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     return path
+
+
+def scaling_entries(campaigns: "list[dict]") -> list[dict]:
+    """The parallel-scaling index: best fully-fresh rate per configuration.
+
+    Keyed by (target, workers, kernel count) — an 11-kernel smoke suite and
+    the full TSVC suite have incomparable inherent rates, so they index
+    separately.  Derived from the accumulated campaign entries on every
+    write, so the section always reflects the deduplicated list.  Only
+    *fully fresh* runs count (``executed == kernels > 0``) — a cached or
+    resumed run finishes near-instantly and would report a meaningless
+    effective rate.  The batch size and machine score recorded are the best
+    run's.
+    """
+    best: dict[tuple, dict] = {}
+    for entry in campaigns:
+        target = entry.get("target")
+        workers = entry.get("workers")
+        kernels = entry.get("kernels", 0)
+        rate = entry.get("effective_kernels_per_second")
+        if (not target or not isinstance(workers, int) or workers < 1
+                or not isinstance(rate, (int, float))
+                or not kernels or entry.get("executed") != kernels):
+            continue
+        slot = best.get((target, workers, kernels))
+        if slot is None or rate > slot["effective_kernels_per_second"]:
+            best[(target, workers, kernels)] = {
+                "target": target,
+                "workers": workers,
+                "kernels": kernels,
+                "effective_kernels_per_second": round(float(rate), 4),
+                **({"batch_size": entry["batch_size"]}
+                   if "batch_size" in entry else {}),
+                **({"machine_score": entry["machine_score"]}
+                   if "machine_score" in entry else {}),
+            }
+    return [best[key] for key in sorted(best)]
 
 
 def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
@@ -83,7 +134,13 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
         {"Metric": "Resumed from store", "Value": summary.resumed},
         {"Metric": "Cache hits / misses", "Value": f"{summary.cache_hits} / {summary.cache_misses}"},
         {"Metric": "Cache hit-rate", "Value": f"{summary.cache_hit_rate:.1%}"},
-        {"Metric": "Workers", "Value": summary.workers},
+        {"Metric": "Workers (used)", "Value": summary.workers},
+        *([{"Metric": "Batch size", "Value": summary.batch_size},
+           {"Metric": "Batches dispatched", "Value": summary.batches}]
+          if summary.batch_size is not None else []),
+        *([{"Metric": "Plan-cache hit-rate (fleet)",
+            "Value": f"{summary.plan_cache_hit_rate:.1%}"}]
+          if summary.plan_cache else []),
         {"Metric": "Wall clock", "Value": f"{summary.wall_clock_seconds:.2f}s"},
         {"Metric": "Throughput (fresh)", "Value": f"{summary.kernels_per_second:.2f} kernels/s"},
         {"Metric": "Throughput (incl. cached)",
