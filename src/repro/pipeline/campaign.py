@@ -250,6 +250,12 @@ class CampaignConfig:
     #: constants) with the campaign's scalar sources before its first
     #: batch.  Purely a warm-up; results are identical either way.
     warm_workers: bool = True
+    #: JSONL file persisting the solved-query cache
+    #: (:mod:`repro.smt.solvecache`) across campaigns: loaded before tasks
+    #: run, saved (with everything the fleet solved) afterwards.  A hit
+    #: returns exactly what a fresh solve would, so persistence is purely a
+    #: speed-up; ``None`` keeps the cache process-local.
+    solve_cache_path: str | Path | None = None
 
     def resolved_target_name(self) -> str:
         return resolve_target_setting(self.target).name
@@ -312,6 +318,10 @@ class CampaignSummary:
     #: summed over every worker's per-batch deltas — the true cross-process
     #: hit rates, not the parent's view (:mod:`repro.vectorizer.plancache`).
     plan_cache: dict[str, int] = field(default_factory=dict)
+    #: Fleet-wide solver counters: solve-cache hits/misses/stores plus the
+    #: raw CDCL work (decisions/propagations/conflicts/learned_clauses/
+    #: restarts), summed the same way (:mod:`repro.smt.solvecache`).
+    solver: dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -323,6 +333,13 @@ class CampaignSummary:
         """Fleet-wide plan-cache hit rate over every counter pair."""
         hits = sum(v for k, v in self.plan_cache.items() if k.endswith("_hits"))
         misses = sum(v for k, v in self.plan_cache.items() if k.endswith("_misses"))
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    @property
+    def solve_cache_hit_rate(self) -> float:
+        """Fleet-wide solved-query cache hit rate (SAT query batches)."""
+        hits = self.solver.get("cache_hits", 0)
+        misses = self.solver.get("cache_misses", 0)
         return hits / (hits + misses) if hits + misses else 0.0
 
     @property
@@ -364,6 +381,9 @@ class CampaignSummary:
             **({"plan_cache": dict(sorted(self.plan_cache.items())),
                 "plan_cache_hit_rate": round(self.plan_cache_hit_rate, 4)}
                if self.plan_cache else {}),
+            **({"solver": dict(sorted(self.solver.items())),
+                "solve_cache_hit_rate": round(self.solve_cache_hit_rate, 4)}
+               if self.solver else {}),
         }
 
 
@@ -478,8 +498,17 @@ class CampaignRunner:
             store.append(label, task.kernel, key, result, target=resolved_target)
             records[key] = CampaignRecord(task.kernel, key, shape(result, task), SOURCE_RUN)
 
+        if self.config.solve_cache_path is not None:
+            from repro.smt import solvecache
+
+            solvecache.load(self.config.solve_cache_path)
+
         executed = len(pending)
         execution = self._execute(job, pending, label, persist)
+        if self.config.solve_cache_path is not None:
+            from repro.smt import solvecache
+
+            solvecache.save(self.config.solve_cache_path)
         # close() both fsyncs anything pending and releases the append
         # handle, so idle runners hold no file descriptors between runs
         # (the cache reopens lazily on the next put).
@@ -629,28 +658,40 @@ class CampaignRunner:
         fail_fast = self.config.fail_fast
         workers = min(self.config.effective_workers(), len(pending))
         if workers <= 1:
+            from repro.smt import solvecache
             from repro.vectorizer import plancache
 
             stats.workers = 1
             before = plancache.stats.as_dict()
+            solver_before = solvecache.stats.as_dict()
             for task, key in pending:
                 on_result(task, key, _run_job(job, task, label, fail_fast))
             merge_counts(stats.plan_cache,
                          counter_delta(before, plancache.stats.as_dict()))
+            merge_counts(stats.solver,
+                         counter_delta(solver_before, solvecache.stats.as_dict()))
             return stats
 
         stats.workers = workers
         stats.batch_size = self.config.resolved_batch_size()
         warm_sources = None
+        warm_solve_entries = None
         if self.config.warm_workers:
+            from repro.smt import solvecache
+
             # Distinct scalar sources, first-seen order: the initializer
             # pre-parses each one once per worker.
             warm_sources = tuple(dict.fromkeys(
                 task.scalar_code for task, _ in pending if task.scalar_code))
+            # Ship every solved query the parent knows (loaded from the
+            # persisted file and/or adopted from earlier campaigns) so
+            # workers start with a warm solve cache too.
+            warm_solve_entries = solvecache.export_entries()
         orphaned = dispatch_batches(
             job, pending, label=label, workers=workers,
             batch_setting=stats.batch_size, fail_fast=fail_fast,
-            on_result=on_result, stats=stats, warm_sources=warm_sources)
+            on_result=on_result, stats=stats, warm_sources=warm_sources,
+            warm_solve_entries=warm_solve_entries)
         if not orphaned:
             return stats
 
@@ -744,6 +785,7 @@ class CampaignRunner:
             batch_size=execution.batch_size,
             batches=execution.batches,
             plan_cache=dict(execution.plan_cache),
+            solver=dict(execution.solver),
         )
 
 

@@ -106,24 +106,34 @@ class ExecutionStats:
     #: Fleet-wide plan-cache counters, summed over every worker's per-batch
     #: deltas (and the parent's own delta on the serial path).
     plan_cache: dict[str, int] = field(default_factory=dict)
+    #: Fleet-wide solver counters (solve-cache hits/misses/stores plus the
+    #: raw CDCL work: decisions/propagations/conflicts/learned/restarts),
+    #: summed the same way (:mod:`repro.smt.solvecache`).
+    solver: dict[str, int] = field(default_factory=dict)
 
 
-def warm_worker(sources: tuple[str, ...]) -> None:
+def warm_worker(sources: tuple[str, ...],
+                solve_entries: "tuple | list" = ()) -> None:
     """Pool initializer: pre-seed the worker's process-local caches.
 
     Parses every distinct scalar source of the campaign into the plan
-    cache's parse table and pre-interns the small SMT constants every
-    symexec run begins with.  Initializers run before the worker's first
-    task, so no batch pays the cold-cache cost.  Failures are swallowed —
-    an unparsable source will surface as that kernel's own error record,
-    never as a broken pool.
+    cache's parse table, pre-interns the small SMT constants every symexec
+    run begins with, and adopts the parent's solved-query cache entries
+    (:mod:`repro.smt.solvecache`) so queries another campaign already
+    solved — e.g. the other SVE vector length's — are hits on the worker's
+    first batch.  Initializers run before the worker's first task, so no
+    batch pays the cold-cache cost.  Failures are swallowed — an unparsable
+    source will surface as that kernel's own error record, never as a
+    broken pool.
     """
     try:
+        from repro.smt import solvecache
         from repro.smt.terms import bv_const
         from repro.vectorizer.plancache import cached_parse
 
         for value in range(-1, 65):
             bv_const(value)
+        solvecache.seed_entries(solve_entries)
         for source in sources:
             try:
                 cached_parse(source)
@@ -138,15 +148,20 @@ def run_task_batch(job: "JobFn", tasks: "list[KernelTask]", label: str,
     """Worker entry point: run one batch serially, return one envelope.
 
     The envelope carries the per-task results (in batch order, each with
-    its stage-seconds annotation), the worker's plan-cache counter delta
-    for this batch, and — under ``fail_fast`` — the first failure, after
-    which the batch stops (completed results still ship, so the parent can
-    persist them before aborting).
+    its stage-seconds annotation), the worker's plan-cache and solver
+    counter deltas for this batch, the solved-query cache entries the batch
+    discovered (so the parent can adopt and persist them), and — under
+    ``fail_fast`` — the first failure, after which the batch stops
+    (completed results still ship, so the parent can persist them before
+    aborting).
     """
     from repro.pipeline.campaign import _run_job
+    from repro.smt import solvecache
     from repro.vectorizer import plancache
 
     before = plancache.stats.as_dict()
+    solver_before = solvecache.stats.as_dict()
+    journal_mark = solvecache.journal_position()
     results: list[dict] = []
     failure: dict | None = None
     for task in tasks:
@@ -158,6 +173,8 @@ def run_task_batch(job: "JobFn", tasks: "list[KernelTask]", label: str,
     return {
         "results": results,
         "plan_cache": counter_delta(before, plancache.stats.as_dict()),
+        "solver": counter_delta(solver_before, solvecache.stats.as_dict()),
+        "solve_cache": solvecache.entries_since(journal_mark),
         "failure": failure,
     }
 
@@ -173,6 +190,7 @@ def dispatch_batches(
     on_result: "Callable[[KernelTask, str, dict], None]",
     stats: ExecutionStats,
     warm_sources: tuple[str, ...] | None = None,
+    warm_solve_entries: "list | None" = None,
 ) -> "list[tuple[KernelTask, str]]":
     """Run ``pending`` through one warm pool via dynamic batch claims.
 
@@ -183,11 +201,14 @@ def dispatch_batches(
     completion order as each batch envelope lands, so a killed campaign
     keeps every batch that finished.
     """
+    from repro.smt import solvecache
+
     claimable = deque(pending)
     completed: set[str] = set()
 
     initializer = warm_worker if warm_sources is not None else None
-    initargs = (warm_sources,) if warm_sources is not None else ()
+    initargs = ((warm_sources, tuple(warm_solve_entries or ()))
+                if warm_sources is not None else ())
 
     try:
         with ProcessPoolExecutor(max_workers=workers, initializer=initializer,
@@ -215,6 +236,11 @@ def dispatch_batches(
                     except BrokenProcessPool:
                         continue  # the batch died with its worker: orphaned
                     merge_counts(stats.plan_cache, envelope.get("plan_cache"))
+                    merge_counts(stats.solver, envelope.get("solver"))
+                    # Adopt the batch's freshly solved queries: later
+                    # campaigns (and the persisted solve-cache file) see
+                    # them, and the next pool's initializer re-ships them.
+                    solvecache.seed_entries(envelope.get("solve_cache") or ())
                     for (task, key), result in zip(batch, envelope["results"]):
                         completed.add(key)
                         on_result(task, key, result)

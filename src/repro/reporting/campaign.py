@@ -64,10 +64,16 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path",
     # by older sessions have no "stage_seconds" key; they simply contribute
     # nothing, so pre-existing files remain readable and meaningful.
     stage_totals: dict[str, float] = {}
+    solver_totals: dict[str, int] = {}
     for entry in campaigns:
         stages = entry.get("stage_seconds")
         if isinstance(stages, dict):
             merge_stage_seconds(stage_totals, stages)
+        solver = entry.get("solver")
+        if isinstance(solver, dict):
+            for name, count in solver.items():
+                if isinstance(count, int):
+                    solver_totals[name] = solver_totals.get(name, 0) + count
     payload = {
         "campaigns": campaigns,
         "totals": {
@@ -78,6 +84,10 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path",
                 sum(c.get("wall_clock_seconds", 0.0) for c in campaigns), 4),
             "stage_seconds": {name: round(seconds, 4)
                               for name, seconds in sorted(stage_totals.items())},
+            # Fleet solver work across the file: solve-cache traffic plus
+            # raw CDCL counters, same provenance as plan_cache totals.
+            **({"solver": dict(sorted(solver_totals.items()))}
+               if solver_totals else {}),
         },
         "scaling": scaling_entries(campaigns),
     }
@@ -141,6 +151,11 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
         *([{"Metric": "Plan-cache hit-rate (fleet)",
             "Value": f"{summary.plan_cache_hit_rate:.1%}"}]
           if summary.plan_cache else []),
+        *([{"Metric": "Solve-cache hit-rate (fleet)",
+            "Value": f"{summary.solve_cache_hit_rate:.1%}"},
+           {"Metric": "Solver conflicts (fleet)",
+            "Value": summary.solver.get("conflicts", 0)}]
+          if summary.solver else []),
         {"Metric": "Wall clock", "Value": f"{summary.wall_clock_seconds:.2f}s"},
         {"Metric": "Throughput (fresh)", "Value": f"{summary.kernels_per_second:.2f} kernels/s"},
         {"Metric": "Throughput (incl. cached)",

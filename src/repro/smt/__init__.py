@@ -13,9 +13,9 @@ produced by the translation validator are discharged in three stages:
    is reported as inconclusive (mirroring Alive2/Z3 timeouts).
 """
 
-from repro.smt.terms import Term, TermKind, bv_const, bv_var, evaluate
+from repro.smt.terms import Term, TermKind, bv_const, bv_var, evaluate, term_digest
 from repro.smt.equiv import EquivalenceChecker, EquivalenceOutcome, EquivalenceResult, SolverBudget
-from repro.smt.sat import CDCLSolver, SATResult
+from repro.smt.sat import CDCLSolver, SATResult, SATStatistics
 
 __all__ = [
     "Term",
@@ -23,10 +23,12 @@ __all__ = [
     "bv_const",
     "bv_var",
     "evaluate",
+    "term_digest",
     "EquivalenceChecker",
     "EquivalenceOutcome",
     "EquivalenceResult",
     "SolverBudget",
     "CDCLSolver",
     "SATResult",
+    "SATStatistics",
 ]

@@ -18,12 +18,21 @@ from repro.smt.terms import Term, TermKind
 
 @dataclass
 class BitBlaster:
-    """Translates terms into CNF over a shared solver instance."""
+    """Translates terms into CNF over a shared solver instance.
+
+    Tseitin gates are structurally hashed: two requests for the same
+    (operation, input literals) yield one output variable, and gates fold
+    to existing literals when an input is the constant true/false literal
+    or the inputs coincide (``a AND a``, ``a XOR -a``, ...).  On the
+    near-identical unroll copies of one kernel this collapses most of the
+    circuit into shared structure instead of fresh clauses per copy.
+    """
 
     solver: CDCLSolver
     bits: int = 8
     _term_bits: dict[int, list[int]] = field(default_factory=dict)
     _var_bits: dict[str, list[int]] = field(default_factory=dict)
+    _gate_cache: dict[tuple, int] = field(default_factory=dict)
     _true_literal: int | None = None
 
     # -- plumbing -------------------------------------------------------------------
@@ -53,33 +62,92 @@ class BitBlaster:
     # -- gate encodings ---------------------------------------------------------------
 
     def _and_gate(self, a: int, b: int) -> int:
-        out = self.solver.new_var()
-        self.solver.add_clause([-a, -b, out])
-        self.solver.add_clause([a, -out])
-        self.solver.add_clause([b, -out])
+        true = self.true_literal()
+        if a == -true or b == -true or a == -b:
+            return -true
+        if a == true or a == b:
+            return b
+        if b == true:
+            return a
+        key = ("and", a, b) if a < b else ("and", b, a)
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self.solver.new_var()
+            self.solver.add_clause([-a, -b, out])
+            self.solver.add_clause([a, -out])
+            self.solver.add_clause([b, -out])
+            self._gate_cache[key] = out
         return out
 
     def _or_gate(self, a: int, b: int) -> int:
-        out = self.solver.new_var()
-        self.solver.add_clause([a, b, -out])
-        self.solver.add_clause([-a, out])
-        self.solver.add_clause([-b, out])
+        true = self.true_literal()
+        if a == true or b == true or a == -b:
+            return true
+        if a == -true or a == b:
+            return b
+        if b == -true:
+            return a
+        key = ("or", a, b) if a < b else ("or", b, a)
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self.solver.new_var()
+            self.solver.add_clause([a, b, -out])
+            self.solver.add_clause([-a, out])
+            self.solver.add_clause([-b, out])
+            self._gate_cache[key] = out
         return out
 
     def _xor_gate(self, a: int, b: int) -> int:
-        out = self.solver.new_var()
-        self.solver.add_clause([-a, -b, -out])
-        self.solver.add_clause([a, b, -out])
-        self.solver.add_clause([-a, b, out])
-        self.solver.add_clause([a, -b, out])
-        return out
+        true = self.true_literal()
+        if a == true:
+            return -b
+        if a == -true:
+            return b
+        if b == true:
+            return -a
+        if b == -true:
+            return a
+        if a == b:
+            return -true
+        if a == -b:
+            return true
+        # XOR is symmetric under joint negation: encode the gate on the
+        # positive variables once and re-apply the sign on the way out.
+        negate = (a < 0) != (b < 0)
+        a, b = abs(a), abs(b)
+        key = ("xor", a, b) if a < b else ("xor", b, a)
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self.solver.new_var()
+            self.solver.add_clause([-a, -b, -out])
+            self.solver.add_clause([a, b, -out])
+            self.solver.add_clause([-a, b, out])
+            self.solver.add_clause([a, -b, out])
+            self._gate_cache[key] = out
+        return -out if negate else out
 
     def _mux_gate(self, select: int, then: int, otherwise: int) -> int:
-        out = self.solver.new_var()
-        self.solver.add_clause([-select, -then, out])
-        self.solver.add_clause([-select, then, -out])
-        self.solver.add_clause([select, -otherwise, out])
-        self.solver.add_clause([select, otherwise, -out])
+        true = self.true_literal()
+        if select == true:
+            return then
+        if select == -true:
+            return otherwise
+        if then == otherwise:
+            return then
+        if then == -otherwise:
+            # mux(s, NOT o, o): true when exactly one of s, o holds.
+            return self._xor_gate(select, otherwise)
+        if select < 0:
+            select, then, otherwise = -select, otherwise, then
+        key = ("mux", select, then, otherwise)
+        out = self._gate_cache.get(key)
+        if out is None:
+            out = self.solver.new_var()
+            self.solver.add_clause([-select, -then, out])
+            self.solver.add_clause([-select, then, -out])
+            self.solver.add_clause([select, -otherwise, out])
+            self.solver.add_clause([select, otherwise, -out])
+            self._gate_cache[key] = out
         return out
 
     def _full_adder(self, a: int, b: int, carry_in: int) -> tuple[int, int]:
@@ -105,11 +173,26 @@ class BitBlaster:
         return self._add_words(inverted, one)
 
     def _mul_words(self, a: list[int], b: list[int]) -> list[int]:
+        # Prefer the operand with more constant bits as the multiplier: a
+        # constant control skips the row (zero bit) or adds the shifted
+        # word ungated (one bit), so constant-by-symbolic multiplies cost
+        # popcount-many adders and no AND gates.
+        true = self.true_literal()
+
+        def constant_bits(word: list[int]) -> int:
+            return sum(1 for bit in word if bit == true or bit == -true)
+
+        if constant_bits(a) > constant_bits(b):
+            a, b = b, a
+        false = -true
         accumulator = self._const_bits(0)
         for shift, control in enumerate(b):
-            shifted = [self.false_literal()] * shift + a[: self.bits - shift]
-            gated = [self._and_gate(control, bit) for bit in shifted]
-            accumulator = self._add_words(accumulator, gated)
+            if control == false:
+                continue
+            shifted = [false] * shift + a[: self.bits - shift]
+            if control != true:
+                shifted = [self._and_gate(control, bit) for bit in shifted]
+            accumulator = self._add_words(accumulator, shifted)
         return accumulator
 
     def _less_than_signed(self, a: list[int], b: list[int]) -> int:

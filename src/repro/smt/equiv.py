@@ -25,8 +25,8 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.smt.bitblast import BitBlaster, UnsupportedTerm, assert_words_differ
-from repro.smt.sat import CDCLSolver, SATResult
+from repro.smt.bitblast import BitBlaster, UnsupportedTerm
+from repro.smt.sat import CDCLSolver, SATResult, SATStatistics
 from repro.smt.terms import (
     Term,
     TermKind,
@@ -78,6 +78,10 @@ class EquivalenceResult:
     method: str = ""
     counterexample: Optional[dict[str, int]] = None
     detail: str = ""
+    #: Statistics of the SAT stage that produced this result — None when the
+    #: query was decided before bit-blasting.  A solve-cache hit carries the
+    #: statistics recorded when the batch was first solved.
+    sat_stats: Optional[SATStatistics] = None
 
 
 # ---------------------------------------------------------------------------
@@ -85,31 +89,47 @@ class EquivalenceResult:
 # ---------------------------------------------------------------------------
 
 
-def _polynomial(term: Term, atoms: dict[Term, str]) -> dict[tuple[str, ...], int]:
+def _polynomial(term: Term, atoms: dict[Term, str],
+                memo: dict[Term, dict] | None = None) -> dict[tuple[str, ...], int]:
     """Multivariate polynomial (monomial -> coefficient mod 2^32) of ``term``.
 
     Non-ring sub-terms become atom variables; their *normalized* form is used
-    as the atom key so equal-modulo-arithmetic atoms coincide.
+    as the atom key so equal-modulo-arithmetic atoms coincide.  ``memo``
+    (per top-level expansion) keeps shared DAG nodes from being re-expanded
+    once per path — unrolled kernels share almost every subterm.  Returned
+    dicts may be shared through the memo, so callers must not mutate them.
     """
+    if memo is None:
+        memo = {}
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
     kind = term.kind
     if kind is TermKind.CONST:
-        return {(): term.value % _MODULUS} if term.value % _MODULUS else {}
-    if kind is TermKind.VAR:
-        return {(term.name,): 1}
-    if kind is TermKind.ADD:
-        return _poly_add(_polynomial(term.args[0], atoms), _polynomial(term.args[1], atoms), 1)
-    if kind is TermKind.SUB:
-        return _poly_add(_polynomial(term.args[0], atoms), _polynomial(term.args[1], atoms), -1)
-    if kind is TermKind.NEG:
-        return _poly_scale(_polynomial(term.args[0], atoms), -1)
-    if kind is TermKind.MUL:
-        return _poly_mul(_polynomial(term.args[0], atoms), _polynomial(term.args[1], atoms))
-    # Non-ring operation: normalize it recursively and treat it as an atom.
-    normalized = normalize_term(term)
-    if normalized.kind in _RING_OPS or normalized.kind in (TermKind.CONST, TermKind.VAR):
-        return _polynomial(normalized, atoms)
-    name = atoms.setdefault(normalized, f"__atom{len(atoms)}")
-    return {(name,): 1}
+        result = {(): term.value % _MODULUS} if term.value % _MODULUS else {}
+    elif kind is TermKind.VAR:
+        result = {(term.name,): 1}
+    elif kind is TermKind.ADD:
+        result = _poly_add(_polynomial(term.args[0], atoms, memo),
+                           _polynomial(term.args[1], atoms, memo), 1)
+    elif kind is TermKind.SUB:
+        result = _poly_add(_polynomial(term.args[0], atoms, memo),
+                           _polynomial(term.args[1], atoms, memo), -1)
+    elif kind is TermKind.NEG:
+        result = _poly_scale(_polynomial(term.args[0], atoms, memo), -1)
+    elif kind is TermKind.MUL:
+        result = _poly_mul(_polynomial(term.args[0], atoms, memo),
+                           _polynomial(term.args[1], atoms, memo))
+    else:
+        # Non-ring operation: normalize it recursively, treat it as an atom.
+        normalized = normalize_term(term)
+        if normalized.kind in _RING_OPS or normalized.kind in (TermKind.CONST, TermKind.VAR):
+            result = _polynomial(normalized, atoms, memo)
+        else:
+            name = atoms.setdefault(normalized, f"__atom{len(atoms)}")
+            result = {(name,): 1}
+    memo[term] = result
+    return result
 
 
 def _poly_add(left: dict, right: dict, sign: int) -> dict:
@@ -183,6 +203,11 @@ def _flatten_ac(term: Term, kind: TermKind, out: list[Term]) -> None:
 def normalize_term(term: Term) -> Term:
     """Canonical form: polynomial normal form with recursively-normalized atoms.
 
+    Memoized at every node, not just the root: the unrolled lane terms of one
+    kernel share almost all of their subterms, and without subterm
+    memoization the recursion re-normalizes each shared node once per path —
+    which used to dominate the whole solve stage.
+
     Besides the ring normalization, two more canonicalizations are applied so
     that scalar and vectorized programs converge to the same shape:
 
@@ -193,6 +218,16 @@ def normalize_term(term: Term) -> Term:
       so a conditionally-accumulated scalar (``ite(c, s+x, s)``) matches the
       masked vector accumulation (``s + ite(c, x, 0)``).
     """
+    cached = _NORMALIZE_CACHE.get(term)
+    if cached is None:
+        cached = _normalize_node(term)
+        if len(_NORMALIZE_CACHE) > _NORMALIZE_CACHE_CAP:
+            _NORMALIZE_CACHE.clear()
+        _NORMALIZE_CACHE[term] = cached
+    return cached
+
+
+def _normalize_node(term: Term) -> Term:
     if term.kind in (TermKind.CONST, TermKind.VAR, TermKind.POISON):
         return term
     if term.kind in _RING_OPS:
@@ -234,30 +269,34 @@ def normalize_term(term: Term) -> Term:
     return mk(term.kind, *normalized_args)
 
 
+_ORDERING_KEY_CACHE: dict[Term, tuple] = {}
+
+
 def _ordering_key(term: Term) -> tuple:
     # A structural tuple, not a repr string: nesting repr re-escapes the
     # quotes of inner keys, which makes key size exponential in term depth.
     # Tuples share the child keys by reference and compare lazily.
-    return (
-        term.kind.value,
-        term.value if term.value is not None else 0,
-        term.name or "",
-        tuple(_ordering_key(a) for a in term.args),
-    )
+    key = _ORDERING_KEY_CACHE.get(term)
+    if key is None:
+        key = (
+            term.kind.value,
+            term.value if term.value is not None else 0,
+            term.name or "",
+            tuple(_ordering_key(a) for a in term.args),
+        )
+        if len(_ORDERING_KEY_CACHE) > _NORMALIZE_CACHE_CAP:
+            _ORDERING_KEY_CACHE.clear()
+        _ORDERING_KEY_CACHE[term] = key
+    return key
 
 
 _NORMALIZE_CACHE: dict[Term, Term] = {}
+_NORMALIZE_CACHE_CAP = 200_000
 
 
 def cached_normalize(term: Term) -> Term:
-    """Memoized :func:`normalize_term` (normal forms are reused across queries)."""
-    cached = _NORMALIZE_CACHE.get(term)
-    if cached is None:
-        cached = normalize_term(term)
-        if len(_NORMALIZE_CACHE) > 50_000:
-            _NORMALIZE_CACHE.clear()
-        _NORMALIZE_CACHE[term] = cached
-    return cached
+    """Alias of :func:`normalize_term`, which is memoized at every node."""
+    return normalize_term(term)
 
 
 def terms_structurally_equal(left: Term, right: Term) -> bool:
@@ -273,6 +312,39 @@ def terms_structurally_equal(left: Term, right: Term) -> bool:
 
 
 _BOUNDARY_VALUES = [0, 1, 2, 7, 8, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0xFFFFFFFE]
+
+
+def _alpha_canonical_pair(source: Term, target: Term) -> tuple[Term, Term, dict[str, str]]:
+    """Rename the pair's variables to first-occurrence order (``v0``, ``v1``...).
+
+    Two pairs that differ only in variable names — the lane/unroll copies of
+    one kernel, ``b_0*b_0+a_0`` vs ``b_7*b_7+a_7`` — map to the same
+    canonical pair, so one SAT verdict transfers to all of them.  Returns
+    the renamed terms plus the original→canonical variable map (used to
+    translate SAT models back).  Node-memoized so shared DAG subterms are
+    renamed once per pair, not once per path.
+    """
+    var_map: dict[str, str] = {}
+    node_memo: dict[int, Term] = {}
+
+    def rename(term: Term) -> Term:
+        done = node_memo.get(id(term))
+        if done is not None:
+            return done
+        if term.kind is TermKind.VAR:
+            canon = var_map.get(term.name)
+            if canon is None:
+                canon = f"v{len(var_map)}"
+                var_map[term.name] = canon
+            renamed = bv_var(canon)
+        elif not term.args:
+            renamed = term
+        else:
+            renamed = Term(term.kind, tuple(rename(a) for a in term.args))
+        node_memo[id(term)] = renamed
+        return renamed
+
+    return rename(source), rename(target), var_map
 
 
 class EquivalenceChecker:
@@ -336,23 +408,30 @@ class EquivalenceChecker:
                 EquivalenceOutcome.NOT_EQUIVALENT, method="concrete", counterexample=counterexample
             )
 
-        worst: Optional[EquivalenceResult] = None
+        oversized: Optional[EquivalenceResult] = None
+        sat_pairs: list[tuple[Term, Term]] = []
         for source, target in sorted(unproven, key=lambda p: term_size(p[0]) + term_size(p[1])):
             total_nodes = term_size(source) + term_size(target)
             if total_nodes > self.budget.max_term_nodes:
-                worst = EquivalenceResult(
+                oversized = EquivalenceResult(
                     EquivalenceOutcome.INCONCLUSIVE, method="budget",
                     detail=f"term too large for the SAT stage ({total_nodes} nodes)",
                 )
-                continue
-            result = self._sat_check(source, target)
-            if result.outcome is EquivalenceOutcome.NOT_EQUIVALENT:
-                return result
-            if result.outcome is EquivalenceOutcome.INCONCLUSIVE and worst is None:
-                worst = result
-        if worst is not None:
-            return worst
-        return EquivalenceResult(EquivalenceOutcome.EQUIVALENT, method="all-pairs")
+            else:
+                sat_pairs.append((source, target))
+        batch: Optional[EquivalenceResult] = None
+        if sat_pairs:
+            batch = self._sat_check_batch(sat_pairs)
+            if batch.outcome is EquivalenceOutcome.NOT_EQUIVALENT:
+                return batch
+        if oversized is not None:
+            if batch is not None:
+                oversized.sat_stats = batch.sat_stats
+            return oversized
+        if batch is not None and batch.outcome is EquivalenceOutcome.INCONCLUSIVE:
+            return batch
+        return EquivalenceResult(EquivalenceOutcome.EQUIVALENT, method="all-pairs",
+                                 sat_stats=batch.sat_stats if batch else None)
 
     def _batched_random_refute(self, pairs: list[tuple[Term, Term]]) -> Optional[dict[str, int]]:
         variables: set[str] = set()
@@ -394,43 +473,141 @@ class EquivalenceChecker:
         return None
 
     def _sat_check(self, source: Term, target: Term) -> EquivalenceResult:
+        return self._sat_check_batch([(source, target)])
+
+    def _sat_check_batch(self, pairs: list[tuple[Term, Term]]) -> EquivalenceResult:
+        """Solve every pair in one incremental solver; aggregate the verdicts.
+
+        Each pair's difference clause is guarded by a fresh selector literal
+        and solved under that assumption, so the bit-blasted gate structure
+        and learned clauses are shared across the near-identical lane/unroll
+        copies instead of rebuilt per pair; retiring the selector keeps
+        earlier queries from constraining later ones.  Per-pair budgets are
+        unchanged: every ``solve`` call gets the full conflict/propagation
+        allowance as a fresh delta.
+
+        The aggregated result is cached content-addressed on the ordered
+        pair digests plus solver parameters (:mod:`repro.smt.solvecache`) —
+        everything the computation depends on, so a hit is bit-identical to
+        a fresh solve under any campaign scheduling.
+
+        Within one batch, pairs that are alpha-equivalent — identical up to
+        variable renaming, which is what the lane/unroll copies of one
+        kernel are (``..._0`` vs ``..._15``) — are solved once: the verdict
+        of the canonical representative transfers to every copy, with SAT
+        models renamed back through each copy's own variable map before the
+        full-width confirmation.
+        """
+        from repro.smt import solvecache
+
+        budget = self.budget
+        key = solvecache.query_key(pairs, budget.sat_bitwidth,
+                                   budget.sat_conflict_budget,
+                                   budget.sat_propagation_budget)
+        record = solvecache.lookup(key)
+        if record is not None:
+            return self._result_from_record(record)
+
         solver = CDCLSolver(
-            propagation_budget=self.budget.sat_propagation_budget,
-            conflict_budget=self.budget.sat_conflict_budget,
+            propagation_budget=budget.sat_propagation_budget,
+            conflict_budget=budget.sat_conflict_budget,
         )
-        blaster = BitBlaster(solver, bits=self.budget.sat_bitwidth)
-        try:
-            left_bits = blaster.blast(source)
-            right_bits = blaster.blast(target)
-        except (UnsupportedTerm, RecursionError) as exc:
-            return EquivalenceResult(
-                EquivalenceOutcome.INCONCLUSIVE, method="bitblast", detail=str(exc)
-            )
-        assert_words_differ(blaster, left_bits, right_bits)
-        result, model = solver.solve()
-        if result is SATResult.UNSAT:
-            return EquivalenceResult(
-                EquivalenceOutcome.EQUIVALENT,
-                method=f"sat-unsat@{self.budget.sat_bitwidth}bit",
-                detail="equivalent modulo bitwidth reduction",
-            )
-        if result is SATResult.UNKNOWN:
-            return EquivalenceResult(
-                EquivalenceOutcome.INCONCLUSIVE, method="sat-budget", detail="solver budget exhausted"
-            )
-        # SAT at reduced width: extract an assignment and confirm at 32 bits.
-        assignment = self._model_to_assignment(blaster, model)
-        try:
-            if evaluate(source, assignment) != evaluate(target, assignment):
-                return EquivalenceResult(
-                    EquivalenceOutcome.NOT_EQUIVALENT, method="sat-model", counterexample=assignment
+        blaster = BitBlaster(solver, bits=budget.sat_bitwidth)
+        alpha_memo: dict[tuple[Term, Term], tuple[SATResult, Optional[dict[str, int]]]] = {}
+        worst: Optional[EquivalenceResult] = None
+        refutation: Optional[EquivalenceResult] = None
+        for source, target in pairs:
+            try:
+                canon_source, canon_target, var_map = _alpha_canonical_pair(source, target)
+                memo_key = (canon_source, canon_target)
+                cached = alpha_memo.get(memo_key)
+                if cached is not None:
+                    result, canon_assignment = cached
+                    assignment = None
+                    if canon_assignment is not None:
+                        assignment = {name: canon_assignment[canon]
+                                      for name, canon in var_map.items()
+                                      if canon in canon_assignment}
+                else:
+                    left_bits = blaster.blast(source)
+                    right_bits = blaster.blast(target)
+                    difference = [blaster._xor_gate(a, b)
+                                  for a, b in zip(left_bits, right_bits)]
+                    selector = solver.new_var()
+                    solver.add_clause([-selector] + difference)
+                    result, model = solver.solve([selector])
+                    solver.add_clause([-selector])  # retire this query's guard
+                    assignment = None
+                    if result is SATResult.SAT:
+                        # SAT at reduced width: extract an assignment for the
+                        # full-width confirmation below.
+                        assignment = self._model_to_assignment(blaster, model)
+                    canon_assignment = None
+                    if assignment is not None:
+                        canon_assignment = {canon: assignment[name]
+                                            for name, canon in var_map.items()
+                                            if name in assignment}
+                    alpha_memo[memo_key] = (result, canon_assignment)
+            except (UnsupportedTerm, RecursionError) as exc:
+                if worst is None:
+                    worst = EquivalenceResult(
+                        EquivalenceOutcome.INCONCLUSIVE, method="bitblast", detail=str(exc)
+                    )
+                continue
+            if result is SATResult.UNSAT:
+                continue
+            if result is SATResult.UNKNOWN:
+                if worst is None:
+                    worst = EquivalenceResult(
+                        EquivalenceOutcome.INCONCLUSIVE, method="sat-budget",
+                        detail="solver budget exhausted",
+                    )
+                continue
+            try:
+                if assignment is not None and \
+                        evaluate(source, assignment) != evaluate(target, assignment):
+                    refutation = EquivalenceResult(
+                        EquivalenceOutcome.NOT_EQUIVALENT, method="sat-model",
+                        counterexample=assignment,
+                    )
+                    break
+            except KeyError:
+                pass
+            if worst is None:
+                worst = EquivalenceResult(
+                    EquivalenceOutcome.INCONCLUSIVE,
+                    method="sat-width-artifact",
+                    detail="reduced-width counterexample did not reproduce at full width",
                 )
-        except KeyError:
-            pass
+        final = refutation or worst or EquivalenceResult(
+            EquivalenceOutcome.EQUIVALENT,
+            method=f"sat-unsat@{budget.sat_bitwidth}bit",
+            detail="equivalent modulo bitwidth reduction",
+        )
+        final.sat_stats = solver.stats
+        solvecache.stats.add_solver(solver.stats)
+        solvecache.store(key, self._record_from_result(final))
+        return final
+
+    @staticmethod
+    def _record_from_result(result: EquivalenceResult) -> dict:
+        return {
+            "outcome": result.outcome.value,
+            "method": result.method,
+            "counterexample": result.counterexample,
+            "detail": result.detail,
+            "stats": result.sat_stats.as_dict() if result.sat_stats else None,
+        }
+
+    @staticmethod
+    def _result_from_record(record: dict) -> EquivalenceResult:
+        stats = record.get("stats")
         return EquivalenceResult(
-            EquivalenceOutcome.INCONCLUSIVE,
-            method="sat-width-artifact",
-            detail="reduced-width counterexample did not reproduce at full width",
+            EquivalenceOutcome(record["outcome"]),
+            method=record.get("method", ""),
+            counterexample=record.get("counterexample"),
+            detail=record.get("detail", ""),
+            sat_stats=SATStatistics(**stats) if stats else None,
         )
 
     @staticmethod

@@ -1,13 +1,22 @@
-"""A compact CDCL SAT solver.
+"""A compact incremental CDCL SAT solver.
 
 The solver implements the standard conflict-driven clause learning loop with
-two-watched-literal propagation, first-UIP conflict analysis, VSIDS-style
-activity ordering and Luby-free geometric restarts.  It is deliberately small
-but it is a real solver: the bit-blasted vectorization equivalence queries it
-receives routinely contain a few thousand clauses.
+two-watched-literal propagation, first-UIP conflict analysis, lazy max-heap
+VSIDS decision ordering, phase saving, Luby restarts and LBD-based learned
+clause database reduction.  It is deliberately small but it is a real solver:
+the bit-blasted vectorization equivalence queries it receives routinely
+contain a few thousand clauses.
+
+The engine is *incremental*: clause database, learned clauses, variable
+activities and saved phases persist across :meth:`CDCLSolver.solve` calls, and
+``solve(assumptions)`` answers satisfiability under the given assumption
+literals without destroying that state.  The equivalence checker exploits this
+by asserting every lane/unroll pair of one kernel behind a selector literal in
+a single solver instance, so the shared gate structure and lemmas are learned
+once instead of per pair.
 
 Literals are encoded as nonzero integers (DIMACS convention: ``-v`` is the
-negation of variable ``v``).  A propagation/decision budget turns
+negation of variable ``v``).  Per-call propagation/conflict budgets turn
 runaway queries into a ``SATResult.UNKNOWN`` answer, which the verification
 layer reports as Inconclusive — the analogue of an Alive2/Z3 timeout.
 """
@@ -16,6 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 
 
 class SATResult(enum.Enum):
@@ -32,16 +42,61 @@ class SATStatistics:
     learned_clauses: int = 0
     restarts: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "learned_clauses": self.learned_clauses,
+            "restarts": self.restarts,
+        }
+
+
+def luby(index: int) -> int:
+    """The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (1-based)."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= index:
+        k += 1
+    while index != (1 << k) - 1:
+        index -= (1 << k) - 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= index:
+            k += 1
+    return 1 << (k - 1)
+
+
+_RESTART_BASE = 128
+
 
 class CDCLSolver:
-    """Conflict-driven clause-learning SAT solver over integer literals."""
+    """Incremental conflict-driven clause-learning solver over integer literals."""
 
     def __init__(self, propagation_budget: int = 2_000_000, conflict_budget: int = 50_000):
-        self.clauses: list[list[int]] = []
         self.num_vars = 0
         self.propagation_budget = propagation_budget
         self.conflict_budget = conflict_budget
         self.stats = SATStatistics()
+        # Permanent per-variable state (index 1..num_vars; slot 0 unused).
+        self._values: list[bool | None] = [None]  # literal-indexed, size 2n+1
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]  # saved phases; default negative-first
+        self._activity_increment = 1.0
+        self._heap: list[tuple[float, int]] = []
+        # Clause state.
+        self.clauses: list[list[int]] = []  # original (problem) clauses
+        self._pending: list[list[int]] = []  # added since the last solve()
+        self._learned: list[list[int]] = []
+        self._clause_lbd: dict[int, int] = {}
+        self._learned_limit = 2000
+        self._watches: dict[int, list[list[int]]] = {}
+        # Search state.
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._decision_level = 0
+        self._propagation_head = 0
+        self._unsat = False  # permanently UNSAT at the root
 
     # -- problem construction -----------------------------------------------------
 
@@ -52,115 +107,175 @@ class CDCLSolver:
     def add_clause(self, literals: list[int]) -> None:
         """Add a clause (list of literals); empty clauses make the problem UNSAT."""
         clause = sorted(set(literals), key=abs)
-        # Skip tautologies (x OR NOT x).
         seen = set(clause)
         if any(-lit in seen for lit in clause):
-            return
+            return  # tautology (x OR NOT x)
         for literal in clause:
-            self.num_vars = max(self.num_vars, abs(literal))
+            if abs(literal) > self.num_vars:
+                self.num_vars = abs(literal)
         self.clauses.append(clause)
+        self._pending.append(clause)
+
+    def _grow(self) -> None:
+        size = self.num_vars + 1
+        while len(self._level) < size:
+            variable = len(self._level)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            heappush(self._heap, (0.0, variable))
+        # The literal-indexed value array uses Python's negative indexing:
+        # _values[lit] is distinct for lit and -lit as long as the list holds
+        # 2*num_vars + 1 slots.  Growth must rebuild rather than append —
+        # extending the list in place would relocate every negative slot.
+        need = 2 * self.num_vars + 1
+        if len(self._values) < need:
+            old = self._values
+            old_vars = (len(old) - 1) // 2
+            new = [None] * need
+            for variable in range(1, old_vars + 1):
+                new[variable] = old[variable]
+                new[-variable] = old[-variable]
+            self._values = new
 
     # -- solving ---------------------------------------------------------------------
 
     def solve(self, assumptions: list[int] | None = None) -> tuple[SATResult, dict[int, bool]]:
-        """Solve the formula; returns (result, model) where model maps var -> bool."""
-        if any(len(clause) == 0 for clause in self.clauses):
-            return SATResult.UNSAT, {}
-        self._init_state()
-        if self.root_conflict:
+        """Solve under ``assumptions``; returns (result, model) with model var -> bool.
+
+        The call is incremental: learned clauses, activities and phases are
+        kept for the next call, and the trail is rewound to the root on exit.
+        UNSAT under non-empty assumptions means only that this assumption set
+        is infeasible, not that the clause database is.
+        """
+        if self._unsat:
             return SATResult.UNSAT, {}
         for literal in assumptions or []:
-            if not self._assume(literal):
-                return SATResult.UNSAT, {}
+            if abs(literal) > self.num_vars:
+                self.num_vars = abs(literal)
+        self._grow()
+        self._backtrack(0)
+        if not self._attach_pending():
+            self._unsat = True
+            return SATResult.UNSAT, {}
+        if self._propagate() is not None:
+            self._unsat = True
+            return SATResult.UNSAT, {}
+
+        assumptions = assumptions or []
+        stats = self.stats
+        conflict_ceiling = stats.conflicts + self.conflict_budget
+        propagation_ceiling = stats.propagations + self.propagation_budget
+        restart_index = 1
+        conflicts_until_restart = luby(restart_index) * _RESTART_BASE
+        values = self._values
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self.stats.conflicts += 1
-                if self.stats.conflicts > self.conflict_budget:
-                    return SATResult.UNKNOWN, {}
-                if self.decision_level == 0:
+                stats.conflicts += 1
+                conflicts_until_restart -= 1
+                if self._decision_level == 0:
+                    self._unsat = True
                     return SATResult.UNSAT, {}
-                learned, backtrack_level = self._analyze(conflict)
-                self._backtrack(backtrack_level)
-                self._learn(learned)
-            else:
-                if self.stats.propagations > self.propagation_budget:
+                if self._decision_level <= len(assumptions):
+                    # The conflict depends on no real decision, only on the
+                    # assumption prefix: UNSAT under these assumptions.
+                    self._backtrack(0)
+                    return SATResult.UNSAT, {}
+                if stats.conflicts > conflict_ceiling:
+                    self._backtrack(0)
                     return SATResult.UNKNOWN, {}
+                learned, backtrack_level, lbd = self._analyze(conflict)
+                # Backtrack to the asserting level even when that is below the
+                # assumption prefix — the decision loop re-assumes the tail, and
+                # a unit lemma lands permanently at level 0 (it is implied by
+                # the clause database alone, not by the assumptions).
+                self._backtrack(backtrack_level)
+                self._learn(learned, lbd)
+            elif conflicts_until_restart <= 0:
+                stats.restarts += 1
+                restart_index += 1
+                conflicts_until_restart = luby(restart_index) * _RESTART_BASE
+                self._backtrack(0)
+                if len(self._learned) > self._learned_limit:
+                    self._reduce_learned()
+            else:
+                if stats.propagations > propagation_ceiling:
+                    self._backtrack(0)
+                    return SATResult.UNKNOWN, {}
+                if self._decision_level < len(assumptions):
+                    literal = assumptions[self._decision_level]
+                    value = values[literal]
+                    if value is False:
+                        self._backtrack(0)
+                        return SATResult.UNSAT, {}
+                    self._trail_limits.append(len(self._trail))
+                    self._decision_level += 1
+                    if value is None:
+                        self._enqueue(literal, None)
+                    continue
                 literal = self._pick_branch()
                 if literal is None:
-                    model = {var: self.assignment[var] for var in range(1, self.num_vars + 1)
-                             if self.assignment[var] is not None}
+                    model = {var: values[var] for var in range(1, self.num_vars + 1)
+                             if values[var] is not None}
+                    self._backtrack(0)
                     return SATResult.SAT, model
-                self.stats.decisions += 1
-                self.decision_level += 1
+                stats.decisions += 1
+                self._trail_limits.append(len(self._trail))
+                self._decision_level += 1
                 self._enqueue(literal, None)
+
+    # -- clause attachment -------------------------------------------------------------
+
+    def _attach_pending(self) -> bool:
+        """Attach clauses added since the last solve; False on a root conflict.
+
+        Runs at decision level 0, so any assigned literal is permanently
+        assigned and can be simplified out of the incoming clause.
+        """
+        values = self._values
+        for clause in self._pending:
+            live = [lit for lit in clause if values[lit] is not False]
+            if any(values[lit] is True for lit in live):
+                continue
+            if not live:
+                return False
+            if len(live) == 1:
+                self._enqueue(live[0], clause)
+                continue
+            self._watches.setdefault(live[0], []).append(live)
+            self._watches.setdefault(live[1], []).append(live)
+        self._pending.clear()
+        return True
 
     # -- internal state ---------------------------------------------------------------
 
-    def _init_state(self) -> None:
-        size = self.num_vars + 1
-        self.assignment: list[bool | None] = [None] * size
-        self.level: list[int] = [0] * size
-        self.reason: list[list[int] | None] = [None] * size
-        self.activity: list[float] = [0.0] * size
-        self.activity_increment = 1.0
-        self.trail: list[int] = []
-        self.trail_limits: list[int] = []
-        self.decision_level = 0
-        self.propagation_head = 0
-        # Two-watched-literals: watches[lit] = clauses watching lit.
-        self.watches: dict[int, list[list[int]]] = {}
-        self.all_clauses: list[list[int]] = []
-        self.root_conflict = False
-        for clause in self.clauses:
-            self._attach(clause)
-
-    def _attach(self, clause: list[int]) -> None:
-        self.all_clauses.append(clause)
-        if len(clause) == 1:
-            # A unit clause assigns at level 0; contradictory units (x) and
-            # (not x) must surface as a root conflict, not overwrite each
-            # other on the trail.
-            value = self._value(clause[0])
-            if value is False:
-                self.root_conflict = True
-            elif value is None:
-                self._enqueue(clause[0], clause)
-            return
-        self.watches.setdefault(clause[0], []).append(clause)
-        self.watches.setdefault(clause[1], []).append(clause)
-
-    def _value(self, literal: int) -> bool | None:
-        assigned = self.assignment[abs(literal)]
-        if assigned is None:
-            return None
-        return assigned if literal > 0 else not assigned
-
-    def _assume(self, literal: int) -> bool:
-        if self._value(literal) is False:
-            return False
-        if self._value(literal) is None:
-            self._enqueue(literal, None)
-        return True
-
     def _enqueue(self, literal: int, reason: list[int] | None) -> None:
-        variable = abs(literal)
-        self.assignment[variable] = literal > 0
-        self.level[variable] = self.decision_level
-        self.reason[variable] = reason
-        self.trail.append(literal)
-        if self.decision_level > 0 and len(self.trail_limits) < self.decision_level:
-            self.trail_limits.append(len(self.trail) - 1)
+        variable = literal if literal > 0 else -literal
+        self._values[literal] = True
+        self._values[-literal] = False
+        self._level[variable] = self._decision_level
+        self._reason[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
 
     def _propagate(self) -> list[int] | None:
         """Unit propagation; returns a conflicting clause or None."""
-        while self.propagation_head < len(self.trail):
-            literal = self.trail[self.propagation_head]
-            self.propagation_head += 1
-            self.stats.propagations += 1
+        values = self._values
+        trail = self._trail
+        watches = self._watches
+        head = self._propagation_head
+        count = 0
+        while head < len(trail):
+            literal = trail[head]
+            head += 1
+            count += 1
             falsified = -literal
-            watching = self.watches.get(falsified, [])
+            watching = watches.get(falsified)
+            if not watching:
+                continue
             index = 0
             while index < len(watching):
                 clause = watching[index]
@@ -168,102 +283,162 @@ class CDCLSolver:
                 if clause[0] == falsified:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) is True:
+                if values[first] is True:
                     index += 1
                     continue
                 # Look for a replacement watch.
                 replaced = False
                 for position in range(2, len(clause)):
-                    if self._value(clause[position]) is not False:
-                        clause[1], clause[position] = clause[position], clause[1]
-                        self.watches.setdefault(clause[1], []).append(clause)
-                        watching.pop(index)
+                    other = clause[position]
+                    if values[other] is not False:
+                        clause[1], clause[position] = other, clause[1]
+                        watches.setdefault(other, []).append(clause)
+                        watching[index] = watching[-1]
+                        watching.pop()
                         replaced = True
                         break
                 if replaced:
                     continue
                 # No replacement: clause is unit or conflicting.
-                if self._value(first) is False:
+                if values[first] is False:
+                    self._propagation_head = head
+                    self.stats.propagations += count
                     return clause
                 self._enqueue(first, clause)
                 index += 1
+        self._propagation_head = head
+        self.stats.propagations += count
         return None
 
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
-        """First-UIP conflict analysis; returns (learned clause, backtrack level)."""
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int, int]:
+        """First-UIP analysis; returns (learned clause, backtrack level, LBD)."""
         learned: list[int] = []
-        seen = [False] * (self.num_vars + 1)
+        seen = bytearray(self.num_vars + 1)
+        level = self._level
         counter = 0
         literal = None
         clause = conflict
-        trail_index = len(self.trail) - 1
+        trail = self._trail
+        trail_index = len(trail) - 1
+        current_level = self._decision_level
 
         while True:
             for lit in clause:
-                variable = abs(lit)
-                if not seen[variable] and self.level[variable] > 0:
-                    seen[variable] = True
+                variable = lit if lit > 0 else -lit
+                if not seen[variable] and level[variable] > 0:
+                    seen[variable] = 1
                     self._bump(variable)
-                    if self.level[variable] == self.decision_level:
+                    if level[variable] == current_level:
                         counter += 1
                     else:
                         learned.append(lit)
             # Find the next literal on the trail at the current level.
             while True:
-                literal = self.trail[trail_index]
+                literal = trail[trail_index]
                 trail_index -= 1
-                if seen[abs(literal)]:
+                if seen[literal if literal > 0 else -literal]:
                     break
             counter -= 1
             if counter == 0:
                 break
-            clause = self.reason[abs(literal)] or []
+            variable = literal if literal > 0 else -literal
+            clause = self._reason[variable] or []
         learned.append(-literal)
         self.stats.learned_clauses += 1
         if len(learned) == 1:
-            return learned, 0
-        backtrack_level = max(self.level[abs(lit)] for lit in learned[:-1])
-        return learned, backtrack_level
+            return learned, 0, 1
+        backtrack_level = max(level[lit if lit > 0 else -lit] for lit in learned[:-1])
+        lbd = len({level[lit if lit > 0 else -lit] for lit in learned})
+        return learned, backtrack_level, lbd
 
-    def _backtrack(self, level: int) -> None:
-        while self.decision_level > level:
-            limit = self.trail_limits.pop() if self.trail_limits else 0
-            while len(self.trail) > limit:
-                literal = self.trail.pop()
-                variable = abs(literal)
-                self.assignment[variable] = None
-                self.reason[variable] = None
-            self.decision_level -= 1
-        self.propagation_head = min(self.propagation_head, len(self.trail))
+    def _backtrack(self, target: int) -> None:
+        if self._decision_level <= target:
+            return
+        limit = self._trail_limits[target]
+        del self._trail_limits[target:]
+        values = self._values
+        trail = self._trail
+        heap = self._heap
+        activity = self._activity
+        for position in range(len(trail) - 1, limit - 1, -1):
+            literal = trail[position]
+            variable = literal if literal > 0 else -literal
+            values[literal] = None
+            values[-literal] = None
+            self._reason[variable] = None
+            heappush(heap, (-activity[variable], variable))
+        del trail[limit:]
+        self._decision_level = target
+        self._propagation_head = limit
 
-    def _learn(self, clause: list[int]) -> None:
+    def _learn(self, clause: list[int], lbd: int) -> None:
         # Put the asserting literal first so it becomes unit immediately.
         asserting = clause[-1]
         ordered = [asserting] + clause[:-1]
         if len(ordered) == 1:
             self._enqueue(asserting, ordered)
             return
-        # Second watch: a literal from the backtrack level.
-        self.watches.setdefault(ordered[0], []).append(ordered)
-        self.watches.setdefault(ordered[1], []).append(ordered)
-        self.all_clauses.append(ordered)
+        self._watches.setdefault(ordered[0], []).append(ordered)
+        self._watches.setdefault(ordered[1], []).append(ordered)
+        self._learned.append(ordered)
+        self._clause_lbd[id(ordered)] = lbd
         self._enqueue(asserting, ordered)
 
+    def _reduce_learned(self) -> None:
+        """Drop the worst (highest-LBD) half of the learned clause database.
+
+        Called at a restart, so the trail holds only level-0 assignments;
+        clauses acting as level-0 reasons and glue clauses (LBD <= 2) are kept.
+        """
+        protected = {id(reason) for reason in self._reason if reason is not None}
+        lbd = self._clause_lbd
+        ranked = sorted(self._learned, key=lambda c: lbd.get(id(c), 1), reverse=True)
+        doomed: set[int] = set()
+        for clause in ranked[: len(ranked) // 2]:
+            clause_id = id(clause)
+            if lbd.get(clause_id, 1) <= 2 or clause_id in protected:
+                continue
+            doomed.add(clause_id)
+        if not doomed:
+            self._learned_limit = int(self._learned_limit * 1.5)
+            return
+        self._learned = [c for c in self._learned if id(c) not in doomed]
+        for clause_id in doomed:
+            lbd.pop(clause_id, None)
+        for literal, watching in self._watches.items():
+            if any(id(c) in doomed for c in watching):
+                self._watches[literal] = [c for c in watching if id(c) not in doomed]
+        self._learned_limit = int(self._learned_limit * 1.1)
+
     def _bump(self, variable: int) -> None:
-        self.activity[variable] += self.activity_increment
-        if self.activity[variable] > 1e100:
+        activity = self._activity
+        activity[variable] += self._activity_increment
+        if activity[variable] > 1e100:
             for index in range(1, self.num_vars + 1):
-                self.activity[index] *= 1e-100
-            self.activity_increment *= 1e-100
-        self.activity_increment *= 1.05
+                activity[index] *= 1e-100
+            self._activity_increment *= 1e-100
+            values = self._values
+            self._heap = [(-activity[v], v) for v in range(1, self.num_vars + 1)
+                          if values[v] is None]
+            heapify(self._heap)
+        else:
+            heappush(self._heap, (-activity[variable], variable))
+        self._activity_increment *= 1.05
 
     def _pick_branch(self) -> int | None:
-        best_var = None
-        best_activity = -1.0
-        for variable in range(1, self.num_vars + 1):
-            if self.assignment[variable] is None and self.activity[variable] > best_activity:
-                best_var = variable
-                best_activity = self.activity[variable]
-        if best_var is None:
-            return None
-        return -best_var  # branch negative first: bit-blasted queries favour zeros
+        """Highest-activity unassigned variable, in its saved phase.
+
+        The heap is lazy: bumps push fresh entries without removing stale
+        ones, so entries whose recorded activity no longer matches the
+        variable's current activity are discarded on pop (a fresher, larger
+        entry for that variable is still in the heap).
+        """
+        heap = self._heap
+        values = self._values
+        activity = self._activity
+        while heap:
+            negated, variable = heappop(heap)
+            if values[variable] is not None or activity[variable] != -negated:
+                continue
+            return variable if self._phase[variable] else -variable
+        return None

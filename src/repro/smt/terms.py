@@ -11,6 +11,7 @@ and absolute value.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -472,3 +473,44 @@ def term_size(term: Term) -> int:
         count += 1
         stack.extend(node.args)
     return count
+
+
+_DIGEST_CACHE: dict[Term, str] = {}
+_DIGEST_CACHE_LIMIT = 200_000
+
+
+def term_digest(term: Term) -> str:
+    """A content-stable digest of ``term``'s structure.
+
+    Unlike ``hash(term)`` (salted per process for strings), the digest
+    depends only on structural content — kind, value, name and (recursively)
+    the argument digests — so structurally-equal terms share a digest across
+    processes and runs regardless of how their DAGs happen to be shared.
+    That makes it fit to key caches that are persisted to disk or shipped
+    between campaign workers (:mod:`repro.smt.solvecache`).
+    """
+    cache = _DIGEST_CACHE
+    cached = cache.get(term)
+    if cached is not None:
+        return cached
+    if len(cache) > _DIGEST_CACHE_LIMIT:
+        cache.clear()
+    stack = [term]
+    while stack:
+        node = stack[-1]
+        if node in cache:
+            stack.pop()
+            continue
+        missing = [arg for arg in node.args if arg not in cache]
+        if missing:
+            stack.extend(missing)
+            continue
+        stack.pop()
+        payload = ":".join((
+            node.kind.value,
+            "" if node.value is None else str(node.value),
+            node.name or "",
+            ",".join(cache[arg] for arg in node.args),
+        ))
+        cache[node] = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+    return cache[term]
