@@ -22,10 +22,12 @@ from dataclasses import dataclass, field
 from typing import Mapping, Union
 
 from repro.cfront import ast_nodes as ast
-from repro.intrinsics.lanemath import lane_active, whilelt_lanes, wrap32
+from repro.intrinsics.lanemath import lane_active, whilelt_lanes
 from repro.intrinsics.registry import is_intrinsic, lookup_intrinsic
-from repro.intrinsics.values import VALID_WIDTHS
-from repro.smt.terms import Term, TermKind, bv_const, bv_var, mk, poison
+from repro.intrinsics.values import ALL_VALID_WIDTHS
+from repro.lanetypes import INT32, LaneType
+from repro.smt.terms import (Term, TermKind, active_bits, bv_const, bv_var,
+                             mk, modeled_bits, poison, to_signed)
 
 MINUS_ONE = bv_const(-1)
 ZERO = bv_const(0)
@@ -49,14 +51,19 @@ class SymPointer:
 
 @dataclass
 class SymVector:
-    """A symbolic SIMD register: one bitvector term per 32-bit lane."""
+    """A symbolic SIMD register: one bitvector term per lane.
+
+    Lane terms are modelled at the kernel's element width (the
+    :func:`~repro.smt.terms.modeled_bits` context active during execution);
+    the register's lane *count* is all that is checked here.
+    """
 
     lanes: list[Term]
 
     def __post_init__(self) -> None:
-        if len(self.lanes) not in VALID_WIDTHS:
+        if len(self.lanes) not in ALL_VALID_WIDTHS:
             raise SymbolicExecutionError(
-                f"vector width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+                f"vector width {len(self.lanes)} is not one of {ALL_VALID_WIDTHS}"
             )
 
     @property
@@ -77,9 +84,9 @@ class SymPred:
     lanes: list[Term]
 
     def __post_init__(self) -> None:
-        if len(self.lanes) not in VALID_WIDTHS:
+        if len(self.lanes) not in ALL_VALID_WIDTHS:
             raise SymbolicExecutionError(
-                f"predicate width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+                f"predicate width {len(self.lanes)} is not one of {ALL_VALID_WIDTHS}"
             )
 
     @property
@@ -147,18 +154,20 @@ class SymbolicState:
 
 def _as_concrete(value: SymValue, what: str) -> int:
     if isinstance(value, Term) and value.kind is TermKind.CONST:
-        return wrap32(value.value)
+        return to_signed(value.value, active_bits())
     raise SymbolicExecutionError(f"{what} is not a compile-time constant during symbolic execution")
 
 
 class SymbolicExecutor:
     """Executes one function symbolically."""
 
-    def __init__(self, func: ast.FunctionDef, state: SymbolicState, max_steps: int = 200_000):
+    def __init__(self, func: ast.FunctionDef, state: SymbolicState, max_steps: int = 200_000,
+                 dtype: LaneType = INT32):
         self.func = func
         self.state = state
         self.max_steps = max_steps
         self.steps = 0
+        self.dtype = dtype
 
     # -- driver ---------------------------------------------------------------------
 
@@ -496,7 +505,7 @@ class SymbolicExecutor:
             return mk(TermKind.MAX if name == "max" else TermKind.MIN, left, right)
         if not is_intrinsic(name):
             raise SymbolicExecutionError(f"call to unmodelled function {name!r}")
-        spec = lookup_intrinsic(name)
+        spec = lookup_intrinsic(name, self.dtype)
         if spec.kind == "load":
             pointer = self._pointer_arg(expr.args[0], state)
             return SymVector([state.load(pointer.region, pointer.offset + lane)
@@ -522,7 +531,7 @@ class SymbolicExecutor:
                 index = pointer.offset + lane
                 if m.kind is TermKind.CONST:
                     lanes.append(state.load(pointer.region, index)
-                                 if lane_active(m.value) else ZERO)
+                                 if lane_active(m.value, spec.lane_type) else ZERO)
                 elif index < 0 or index >= region.size:
                     # Whether the out-of-bounds lane is read depends on a
                     # symbolic mask bit; neither "UB" nor "no UB" is sound,
@@ -547,7 +556,7 @@ class SymbolicExecutor:
             for lane, m in enumerate(mask.lanes):
                 index = pointer.offset + lane
                 if m.kind is TermKind.CONST:
-                    if lane_active(m.value):
+                    if lane_active(m.value, spec.lane_type):
                         state.store(pointer.region, index, vector.lanes[lane])
                 elif index < 0 or index >= region.size:
                     # Whether the out-of-bounds lane is written depends on a
@@ -724,9 +733,10 @@ class SymbolicExecutor:
             a = self._vector_arg(expr.args[0], state, spec.lanes)
             b = self._vector_arg(expr.args[1], state, spec.lanes)
             imm = _as_concrete(self._eval(expr.args[2], state), "permute immediate")
-            halves = [a.lanes[0:4], a.lanes[4:8], b.lanes[0:4], b.lanes[4:8]]
-            low = [ZERO] * 4 if imm & 0x08 else list(halves[imm & 0x3])
-            high = [ZERO] * 4 if imm & 0x80 else list(halves[(imm >> 4) & 0x3])
+            half = spec.lanes // 2
+            halves = [a.lanes[:half], a.lanes[half:], b.lanes[:half], b.lanes[half:]]
+            low = [ZERO] * half if imm & 0x08 else list(halves[imm & 0x3])
+            high = [ZERO] * half if imm & 0x80 else list(halves[(imm >> 4) & 0x3])
             return SymVector(low + high)
         if spec.kind == "pure_vector" and spec.op == "select":
             a = self._vector_arg(expr.args[0], state, spec.lanes)
@@ -739,22 +749,20 @@ class SymbolicExecutor:
         if spec.kind == "pure_vector" and spec.op == "hadd":
             a = self._vector_arg(expr.args[0], state, spec.lanes)
             b = self._vector_arg(expr.args[1], state, spec.lanes)
+            block_lanes = 128 // spec.lane_type.bits
             lanes = []
-            for block in range(spec.lanes // 4):
-                base = block * 4
-                lanes += [
-                    mk(TermKind.ADD, a.lanes[base], a.lanes[base + 1]),
-                    mk(TermKind.ADD, a.lanes[base + 2], a.lanes[base + 3]),
-                    mk(TermKind.ADD, b.lanes[base], b.lanes[base + 1]),
-                    mk(TermKind.ADD, b.lanes[base + 2], b.lanes[base + 3]),
-                ]
+            for block in range(spec.lanes // block_lanes):
+                base = block * block_lanes
+                for src in (a, b):
+                    for pair in range(block_lanes // 2):
+                        i = base + 2 * pair
+                        lanes.append(mk(TermKind.ADD, src.lanes[i], src.lanes[i + 1]))
             return SymVector(lanes)
         raise SymbolicExecutionError(f"intrinsic {name} is not modelled symbolically")
 
     def _imm_op(self, op: str, vector: SymVector, imm: int) -> SymVector:
         """Immediate-operand lane ops: shifts and in-block shuffles."""
-        from repro.intrinsics.lanemath import LANE_BITS
-
+        lane_bits = self.dtype.bits
         imm = int(imm)
         if op == "shuffle":
             selectors = [(imm >> (2 * i)) & 0x3 for i in range(4)]
@@ -763,10 +771,10 @@ class SymbolicExecutor:
                 base = block * 4
                 lanes += [vector.lanes[base + sel] for sel in selectors]
             return SymVector(lanes)
-        if op in ("sll", "srl") and imm >= LANE_BITS:
+        if op in ("sll", "srl") and imm >= lane_bits:
             return SymVector([ZERO] * vector.width)
-        if op == "sra" and imm >= LANE_BITS:
-            imm = LANE_BITS - 1
+        if op == "sra" and imm >= lane_bits:
+            imm = lane_bits - 1
         if imm == 0:
             return vector
         count = bv_const(imm)
@@ -851,7 +859,8 @@ def execute_symbolically(
     """
     from repro.perf.profile import stage
 
-    with stage("symexec"):
+    dtype = ast.kernel_dtype(func)
+    with stage("symexec"), modeled_bits(dtype.bits):
         state = SymbolicState()
         for param in func.params:
             if param.param_type.is_pointer:
@@ -868,5 +877,5 @@ def execute_symbolically(
                         f"no value provided for scalar parameter {param.name!r}"
                     )
                 state.scalars[param.name] = bv_const(int(scalar_values[param.name]))
-        executor = SymbolicExecutor(func, state, max_steps=max_steps)
+        executor = SymbolicExecutor(func, state, max_steps=max_steps, dtype=dtype)
         return executor.run()

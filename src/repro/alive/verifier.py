@@ -36,9 +36,10 @@ from typing import Optional
 from repro.analysis.accesses import collect_accesses
 from repro.analysis.loops import find_main_loop
 from repro.cfront import ast_nodes as ast
-from repro.errors import ParseError, ReproError
+from repro.errors import CompileError, ParseError, ReproError
 from repro.alive.symexec import SymbolicExecutionError, SymbolicState, execute_symbolically
-from repro.intrinsics.registry import INTRINSIC_REGISTRY
+from repro.intrinsics.registry import INTRINSIC_REGISTRY, registry_for_dtype
+from repro.lanetypes import INT32, LaneType
 from repro.smt.equiv import EquivalenceChecker, EquivalenceOutcome, SolverBudget
 from repro.smt.terms import Term, contains_poison
 from repro.transforms.c_unroll import CUnrollError, unroll_scalar_function
@@ -139,11 +140,26 @@ class AliveVerifier:
                 return VerificationReport(VerificationOutcome.INCONCLUSIVE, method,
                                           detail=f"splitting precondition failed: {summary.reason}")
 
+        # Both sides must model the same lane element type: refinement over
+        # terms at two different widths is meaningless.
+        try:
+            scalar_dtype = ast.kernel_dtype(scalar_func)
+            vector_dtype = ast.kernel_dtype(vector_func)
+        except CompileError as exc:
+            return VerificationReport(VerificationOutcome.INCONCLUSIVE, method,
+                                      detail=f"element type inference failed: {exc}")
+        if scalar_dtype is not vector_dtype:
+            return VerificationReport(
+                VerificationOutcome.INCONCLUSIVE, method,
+                detail=f"element type mismatch: scalar models {scalar_dtype.name}, "
+                       f"candidate models {vector_dtype.name}")
+        dtype = vector_dtype
+
         # The unroll factor (and therefore the minimum trip count) follows the
         # candidate's vector width: an SSE4 candidate needs 4-way alignment,
         # an AVX-512 one 16-way.  Candidates without intrinsics (blocked
         # scalar rewrites) fall back to the default AVX2 width.
-        lanes = _candidate_lanes(vector_func)
+        lanes = _candidate_lanes(vector_func, dtype)
         trip_count = max(trip_count, lanes)
 
         executable_scalar = scalar_func
@@ -186,7 +202,7 @@ class AliveVerifier:
                 + ", ".join(target_poison[:4]),
             )
 
-        checker = EquivalenceChecker(budget=budget)
+        checker = EquivalenceChecker(budget=budget, model_bits=dtype.bits)
         if split:
             worst: Optional[VerificationReport] = None
             for source, target in comparable:
@@ -303,25 +319,27 @@ def _cached_scalar_symexec(func: ast.FunctionDef, array_sizes: dict[str, int],
     return state
 
 
-_LANES_MEMO: dict[int, tuple[ast.FunctionDef, int]] = {}
+_LANES_MEMO: dict[tuple[int, str], tuple[ast.FunctionDef, int]] = {}
 _LANES_MEMO_CAPACITY = 512
 
 
-def _candidate_lanes(vector_func: ast.FunctionDef) -> int:
+def _candidate_lanes(vector_func: ast.FunctionDef, dtype: LaneType = INT32) -> int:
     """Vector width of a candidate, inferred from the intrinsics it calls."""
-    entry = _LANES_MEMO.get(id(vector_func))
+    key = (id(vector_func), dtype.name)
+    entry = _LANES_MEMO.get(key)
     if entry is not None and entry[0] is vector_func:
         return entry[1]
+    merged = registry_for_dtype(dtype)
     lanes = 0
     for node in ast.walk(vector_func):
         if isinstance(node, ast.Call):
-            spec = INTRINSIC_REGISTRY.get(node.func)
+            spec = merged.get(node.func) or INTRINSIC_REGISTRY.get(node.func)
             if spec is not None:
                 lanes = max(lanes, spec.lanes)
     lanes = lanes or VECTOR_WIDTH
     if len(_LANES_MEMO) >= _LANES_MEMO_CAPACITY:
         _LANES_MEMO.clear()
-    _LANES_MEMO[id(vector_func)] = (vector_func, lanes)
+    _LANES_MEMO[key] = (vector_func, lanes)
     return lanes
 
 

@@ -39,8 +39,18 @@ from repro.cfront.ast_nodes import (
     UnaryOp,
     WhileLoop,
 )
+from repro.cfront.ast_nodes import kernel_dtype
 from repro.cfront.cparser import parse_expression, parse_function, parse_program
-from repro.cfront.ctypes import CType, INT, VOID, PTR_INT
+from repro.cfront.ctypes import (
+    CType,
+    INT,
+    INT16_T,
+    INT64_T,
+    INTEGER_TYPE_NAMES,
+    PTR_INT,
+    SIZED_INT_NAMES,
+    VOID,
+)
 from repro.cfront.lexer import Token, TokenKind, tokenize
 from repro.cfront.printer import to_c
 
@@ -69,8 +79,13 @@ __all__ = [
     "WhileLoop",
     "CType",
     "INT",
+    "INT16_T",
+    "INT64_T",
+    "INTEGER_TYPE_NAMES",
+    "SIZED_INT_NAMES",
     "VOID",
     "PTR_INT",
+    "kernel_dtype",
     "Token",
     "TokenKind",
     "tokenize",

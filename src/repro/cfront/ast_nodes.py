@@ -315,3 +315,41 @@ def children(node: AnyNode) -> Iterator[Node]:
 def collect(node: AnyNode, node_type) -> list:
     """Collect every descendant of ``node`` that is an instance of ``node_type``."""
     return [n for n in walk(node) if isinstance(n, node_type)]
+
+
+def kernel_dtype(func: FunctionDef):
+    """The lane element type a kernel is modelled at (a ``LaneType``).
+
+    One kernel has one element dtype: it is the sized integer spelling
+    (``int16_t``/``int64_t``) its declarations use, or the default 32-bit
+    type when every integer is plain ``int``.  Plain ``int`` coexists with
+    one sized spelling (loop counters stay ``int``) and is then modelled at
+    the kernel dtype's width — the subset models a uniform element width,
+    not C's int promotion rules.  Mixing two different sized spellings in
+    one kernel raises :class:`~repro.errors.CompileError`.
+    """
+    from repro.errors import CompileError
+    from repro.lanetypes import DEFAULT_LANE_TYPE, get_lane_type
+
+    sized: dict[str, SourceLocation] = {}
+    for node in walk(func):
+        if isinstance(node, Parameter):
+            ctype = node.param_type
+        elif isinstance(node, Decl):
+            ctype = node.var_type
+        elif isinstance(node, Cast):
+            ctype = node.target_type
+        else:
+            continue
+        if ctype.name in ("int16_t", "int64_t"):
+            sized.setdefault(ctype.name, node.location)
+    if not sized:
+        return DEFAULT_LANE_TYPE
+    if len(sized) > 1:
+        names = " and ".join(sorted(sized))
+        raise CompileError(
+            f"kernel {func.name!r} mixes element types {names}; "
+            f"one kernel models one lane element type"
+        )
+    (name,) = sized
+    return get_lane_type(name)

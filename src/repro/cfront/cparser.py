@@ -32,6 +32,9 @@ _TYPE_KEYWORDS = frozenset(
         "const",
         "static",
         "extern",
+        "int16_t",
+        "int32_t",
+        "int64_t",
     }
 ) | frozenset(VECTOR_TYPE_LANES) | PREDICATE_TYPE_NAMES
 

@@ -1,27 +1,40 @@
 """Type representation for the C subset.
 
 Only the types that actually occur in TSVC kernels and their SIMD
-vectorizations are modelled: ``int``, ``void``, pointers to ``int``, the
-integer vector types of the registered target ISAs, and the predicate
-register types of predicate-first targets (SVE's ``svbool_t``).  Which
-vector and predicate types exist — and how many 32-bit lanes each vector
-type holds — is *derived from the target registry*
-(:data:`repro.targets.VECTOR_TYPE_LANES` /
+vectorizations are modelled: the integer element types (``int`` plus the
+sized ``int16_t``/``int64_t`` spellings of the registered lane types),
+``void``, pointers to those integers, the integer vector types of the
+registered target ISAs, and the predicate register types of
+predicate-first targets (SVE's ``svbool_t``).  Which vector and predicate
+types exist — and how many lanes each vector type holds — is *derived from
+the target registry* (:data:`repro.targets.VECTOR_TYPE_LANES` /
 :data:`repro.targets.PREDICATE_TYPE_NAMES`), so a new backend's types are
-recognized here, in the lexer and in the parser without any code change.
-Scalable vector types (``svint32_t``) record :data:`~repro.targets
-.SCALABLE_LANES` (0) lanes: the width is simulated per target and travels
-with the intrinsic names, so declarations of such types always carry an
-initializer.  A handful of aliases (``long``, ``unsigned``) are folded onto
-``int`` because TSVC uses 32-bit integer data exclusively (the paper
-restricts itself to the 149 integer loops).
+recognized here, in the lexer and in the parser without any code change;
+which sized integer types exist is likewise derived from
+:data:`repro.lanetypes.ALL_LANE_TYPES`.  Scalable vector types
+(``svint32_t``) record :data:`~repro.targets.SCALABLE_LANES` (0) lanes:
+the width is simulated per target and travels with the intrinsic names, so
+declarations of such types always carry an initializer.  A handful of
+aliases (``long``, ``unsigned``) are folded onto ``int`` because TSVC's
+historical data is 32-bit; ``int32_t`` folds onto ``int`` the same way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.lanetypes import ALL_LANE_TYPES, INT32, LaneType, get_lane_type
 from repro.targets.isa import PREDICATE_TYPE_NAMES, VECTOR_TYPE_LANES
+
+#: Sized integer type names with their own :class:`CType` spelling
+#: (``int16_t``, ``int64_t``).  The default lane type keeps the plain
+#: ``int`` spelling, so it is excluded.
+SIZED_INT_NAMES: frozenset = frozenset(
+    lt.c_name for lt in ALL_LANE_TYPES if lt is not INT32
+)
+
+#: Every scalar integer type name the subset models.
+INTEGER_TYPE_NAMES: frozenset = SIZED_INT_NAMES | {"int"}
 
 
 @dataclass(frozen=True)
@@ -61,7 +74,16 @@ class CType:
 
     @property
     def is_integer(self) -> bool:
-        return self.name == "int" and self.pointer_depth == 0
+        return self.name in INTEGER_TYPE_NAMES and self.pointer_depth == 0
+
+    @property
+    def lane_type(self) -> LaneType:
+        """The lane element type of a scalar integer type (or a pointer to
+        one): ``int`` is the default 32-bit lane type, the sized spellings
+        map to their own."""
+        if self.name not in INTEGER_TYPE_NAMES:
+            raise ValueError(f"{self} is not an integer type")
+        return get_lane_type(self.name)
 
     @property
     def is_void(self) -> bool:
@@ -82,16 +104,23 @@ class CType:
 INT = CType("int")
 VOID = CType("void")
 PTR_INT = CType("int", 1)
+INT16_T = CType("int16_t")
+INT64_T = CType("int64_t")
 
-#: Type specifiers that are collapsed onto plain ``int``.
-_INT_ALIASES = frozenset({"int", "long", "short", "char", "signed", "unsigned"})
+#: Type specifiers that are collapsed onto plain ``int``.  ``int32_t`` is
+#: exactly the default lane type, so it folds rather than keeping a sized
+#: spelling of its own.
+_INT_ALIASES = frozenset(
+    {"int", "long", "short", "char", "signed", "unsigned", "int32_t"}
+)
 
 
 def normalize_base_type(specifiers: list[str]) -> CType:
     """Map a list of declaration specifiers to a base :class:`CType`.
 
-    Qualifiers (``const``, ``static``, ``extern``) are dropped; all integer
-    flavours collapse to ``int``.
+    Qualifiers (``const``, ``static``, ``extern``) are dropped; the sized
+    ``int16_t``/``int64_t`` spellings keep their identity, all other
+    integer flavours collapse to ``int``.
     """
     relevant = [s for s in specifiers if s not in ("const", "static", "extern")]
     if not relevant:
@@ -104,6 +133,12 @@ def normalize_base_type(specifiers: list[str]) -> CType:
             return CType(predicate_name)
     if "void" in relevant:
         return VOID
+    for sized_name in SIZED_INT_NAMES:
+        if sized_name in relevant:
+            rest = [s for s in relevant if s != sized_name]
+            if rest:
+                raise ValueError(f"unsupported type specifiers: {specifiers}")
+            return CType(sized_name)
     if all(s in _INT_ALIASES for s in relevant):
         return INT
     raise ValueError(f"unsupported type specifiers: {specifiers}")

@@ -49,6 +49,9 @@ KEYWORDS = frozenset(
         "sizeof",
         "static",
         "extern",
+        "int16_t",
+        "int32_t",
+        "int64_t",
     }
 ) | frozenset(VECTOR_TYPE_LANES) | PREDICATE_TYPE_NAMES
 

@@ -7,7 +7,10 @@ collected during execution feed the cycle cost model in :mod:`repro.perf`).
 
 Semantics notes:
 
-* all integer arithmetic is 32-bit two's-complement wraparound;
+* all integer arithmetic is two's-complement wraparound at the kernel's lane
+  element width (:func:`repro.cfront.ast_nodes.kernel_dtype`; 32-bit by
+  default) — the subset models one uniform element width per kernel, not
+  C's int promotion rules;
 * pointers are ``(region, offset)`` pairs — distinct arrays never alias,
   matching the non-aliasing assumption the paper establishes for parameters;
 * out-of-bounds accesses inside the guard zone yield poison and are recorded
@@ -23,16 +26,20 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
 
+from functools import lru_cache
+
 from repro.cfront import ast_nodes as ast
 from repro.errors import CompileError, InterpreterError, UndefinedBehaviorError
 from repro.interp.memory import Memory, UBEvent
-from repro.intrinsics.lanemath import lane_active, wrap32
+from repro.intrinsics.lanemath import lane_active
 from repro.intrinsics.registry import (
     apply_pure_intrinsic,
     is_intrinsic,
     lookup_intrinsic,
 )
 from repro.intrinsics.values import PredValue, VecValue
+from repro.lanetypes import INT32, LaneType
+from repro.targets import vector_type_lanes_for
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,10 @@ class Interpreter:
         self.max_steps = max_steps
         self.steps = 0
         self.op_counts: Counter = Counter()
+        #: The kernel's lane element type; every scalar wraps at its width.
+        self.dtype: LaneType = ast.kernel_dtype(func)
+        self._wrap = self.dtype.wrap
+        self._binops = _scalar_binops_for(self.dtype)
         self._bind_parameters(scalars)
 
     # -- setup ----------------------------------------------------------------
@@ -119,7 +130,7 @@ class Interpreter:
             else:
                 if param.name not in scalars:
                     raise CompileError(f"no value provided for scalar parameter {param.name!r}")
-                self.scope[param.name] = wrap32(int(scalars[param.name]))
+                self.scope[param.name] = self._wrap(int(scalars[param.name]))
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -221,7 +232,7 @@ class Interpreter:
         if decl.init is not None:
             value = self._eval(decl.init)
         elif decl.var_type.is_vector:
-            lanes = decl.var_type.vector_lanes
+            lanes = vector_type_lanes_for(decl.var_type.name, self.dtype)
             if not lanes:
                 # Scalable vector types carry no width of their own; only an
                 # initializer's intrinsic can supply one.
@@ -230,7 +241,7 @@ class Interpreter:
                     f"initializer (the width travels with the intrinsics, "
                     f"not with {decl.var_type})"
                 )
-            value = VecValue.zero(lanes)
+            value = VecValue.zero(lanes, dtype=self.dtype)
         elif decl.var_type.is_predicate:
             raise CompileError(
                 f"declaration of predicate {decl.name!r} needs an initializer "
@@ -297,7 +308,7 @@ class Interpreter:
         return handler(self, expr)
 
     def _eval_literal(self, expr: ast.IntLiteral) -> int:
-        return wrap32(expr.value)
+        return self._wrap(expr.value)
 
     def _eval_identifier(self, expr: ast.Identifier) -> Value:
         return self._load_identifier(expr.name)
@@ -349,25 +360,25 @@ class Interpreter:
         return self._scalar_binop(op, lhs, rhs)
 
     def _scalar_binop(self, op: str, lhs: int, rhs: int) -> int:
-        fn = _SCALAR_BINOPS.get(op)
+        fn = self._binops.get(op)
         if fn is not None:
             return fn(lhs, rhs)
         if op == "/":
             if rhs == 0:
                 self.memory._record(UBEvent("div-by-zero", "<scalar>", 0, "division by zero"))
                 return 0
-            return wrap32(int(lhs / rhs))  # C truncates toward zero
+            return self._wrap(int(lhs / rhs))  # C truncates toward zero
         if op == "%":
             if rhs == 0:
                 self.memory._record(UBEvent("div-by-zero", "<scalar>", 0, "modulo by zero"))
                 return 0
-            return wrap32(lhs - int(lhs / rhs) * rhs)
+            return self._wrap(lhs - int(lhs / rhs) * rhs)
         raise InterpreterError(f"unsupported binary operator {op!r}")
 
     def _pointer_arith(self, op: str, left: Value, right: Value) -> Value:
         if isinstance(left, Pointer) and isinstance(right, Pointer):
             if op == "-" and left.region == right.region:
-                return wrap32(left.offset - right.offset)
+                return self._wrap(left.offset - right.offset)
             if op in ("==", "!="):
                 same = left == right
                 return (1 if same else 0) if op == "==" else (0 if same else 1)
@@ -408,13 +419,13 @@ class Interpreter:
         value = self._as_int(operand)
         self._tick("scalar_arith")
         if op == "-":
-            return wrap32(-value)
+            return self._wrap(-value)
         if op == "+":
             return value
         if op == "!":
             return 0 if value else 1
         if op == "~":
-            return wrap32(~value)
+            return self._wrap(~value)
         raise InterpreterError(f"unsupported unary operator {op!r}")
 
     def _eval_postfix(self, expr: ast.PostfixOp) -> int:
@@ -423,7 +434,7 @@ class Interpreter:
 
     def _apply_increment(self, target: ast.Expr, delta: int, return_new: bool) -> int:
         old = self._as_int(self._read_lvalue(target))
-        new = wrap32(old + delta)
+        new = self._wrap(old + delta)
         self._write_lvalue(target, new)
         self._tick("scalar_arith")
         return new if return_new else old
@@ -466,7 +477,7 @@ class Interpreter:
             elif isinstance(existing, Pointer) or isinstance(value, Pointer):
                 self.scope[target.name] = value
             else:
-                self.scope[target.name] = wrap32(self._as_int(value))
+                self.scope[target.name] = self._wrap(self._as_int(value))
             self._tick("scalar_write", 0)
             return
         if isinstance(target, ast.ArrayRef):
@@ -503,7 +514,7 @@ class Interpreter:
                 return value
             raise InterpreterError(f"cannot cast a non-predicate to {target_type}")
         if isinstance(value, int):
-            return wrap32(value)
+            return self._wrap(value)
         if isinstance(value, Pointer):
             raise InterpreterError("cannot cast a pointer to int in this subset")
         raise InterpreterError(f"cannot coerce {type(value).__name__} to {target_type}")
@@ -515,7 +526,7 @@ class Interpreter:
         if name in ("abs", "labs"):
             value = self._as_int(self._eval(expr.args[0]))
             self._tick("scalar_arith")
-            return wrap32(abs(value))
+            return self._wrap(abs(value))
         if name in ("min", "max"):
             lhs = self._as_int(self._eval(expr.args[0]))
             rhs = self._as_int(self._eval(expr.args[1]))
@@ -523,7 +534,7 @@ class Interpreter:
             return min(lhs, rhs) if name == "min" else max(lhs, rhs)
         if not is_intrinsic(name):
             raise CompileError(f"call to unknown function or intrinsic {name!r}")
-        spec = lookup_intrinsic(name)
+        spec = lookup_intrinsic(name, self.dtype)
         if len(expr.args) != spec.arity and spec.kind not in ("setr", "set"):
             raise CompileError(
                 f"intrinsic {name} expects {spec.arity} arguments, got {len(expr.args)}"
@@ -534,21 +545,21 @@ class Interpreter:
         if spec.kind == "load":
             pointer = self._pointer_argument(expr.args[0])
             values, poison = self.memory.load_vector(pointer.region, pointer.offset, spec.lanes)
-            return VecValue.from_lanes(values, poison)
+            return VecValue.from_lanes(values, poison, dtype=spec.lane_type)
         if spec.kind == "maskload":
             pointer = self._pointer_argument(expr.args[0])
             mask = self._vector_argument(expr.args[1], spec.lanes)
             values: list[int] = []
             poison: list[bool] = []
             for lane in range(spec.lanes):
-                if lane_active(mask.lanes[lane]):
+                if lane_active(mask.lanes[lane], spec.lane_type):
                     value, is_poison = self.memory.load(pointer.region, pointer.offset + lane)
                     values.append(value)
                     poison.append(is_poison)
                 else:
                     values.append(0)
                     poison.append(False)
-            return VecValue.from_lanes(values, poison)
+            return VecValue.from_lanes(values, poison, dtype=spec.lane_type)
         if spec.kind == "store":
             pointer = self._pointer_argument(expr.args[0])
             vector = self._vector_argument(expr.args[1], spec.lanes)
@@ -559,7 +570,7 @@ class Interpreter:
             mask = self._vector_argument(expr.args[1], spec.lanes)
             vector = self._vector_argument(expr.args[2], spec.lanes)
             for lane in range(spec.lanes):
-                if lane_active(mask.lanes[lane]):
+                if lane_active(mask.lanes[lane], spec.lane_type):
                     self.memory.store(
                         pointer.region, pointer.offset + lane, vector.lanes[lane], vector.poison[lane]
                     )
@@ -581,7 +592,7 @@ class Interpreter:
                 else:
                     values.append(0)
                     poison.append(pred.poison[lane])
-            return VecValue.from_lanes(values, poison)
+            return VecValue.from_lanes(values, poison, dtype=spec.lane_type)
         if spec.kind == "pstore":
             # Mirror image: active lanes store, inactive lanes leave memory
             # untouched; storing under a poison predicate lane stores poison
@@ -606,9 +617,10 @@ class Interpreter:
             # value (the historical AVX2 reduction-tail idiom).
             half = spec.lanes // 2
             vector = self._vector_argument(expr.args[0], spec.lanes)
-            return VecValue(vector.lanes[:half], vector.poison[:half])
+            return VecValue(vector.lanes[:half], vector.poison[:half],
+                            vector.dtype)
         args = [self._eval(arg) for arg in expr.args]
-        return apply_pure_intrinsic(name, args)
+        return apply_pure_intrinsic(name, args, self.dtype)
 
     def _pointer_argument(self, expr: ast.Expr) -> Pointer:
         value = self._eval(expr)
@@ -661,24 +673,32 @@ class Interpreter:
         raise InterpreterError(f"unexpected value of type {type(value).__name__}")
 
 
-#: Pure scalar operators (no UB to record) as a dispatch table; ``/`` and
-#: ``%`` stay in ``_scalar_binop`` because a zero divisor records a UB event.
-_SCALAR_BINOPS = {
-    "+": lambda lhs, rhs: wrap32(lhs + rhs),
-    "-": lambda lhs, rhs: wrap32(lhs - rhs),
-    "*": lambda lhs, rhs: wrap32(lhs * rhs),
-    "<": lambda lhs, rhs: 1 if lhs < rhs else 0,
-    ">": lambda lhs, rhs: 1 if lhs > rhs else 0,
-    "<=": lambda lhs, rhs: 1 if lhs <= rhs else 0,
-    ">=": lambda lhs, rhs: 1 if lhs >= rhs else 0,
-    "==": lambda lhs, rhs: 1 if lhs == rhs else 0,
-    "!=": lambda lhs, rhs: 1 if lhs != rhs else 0,
-    "&": lambda lhs, rhs: wrap32(lhs & rhs),
-    "|": lambda lhs, rhs: wrap32(lhs | rhs),
-    "^": lambda lhs, rhs: wrap32(lhs ^ rhs),
-    "<<": lambda lhs, rhs: wrap32(lhs << (rhs & 31)),
-    ">>": lambda lhs, rhs: wrap32(lhs >> (rhs & 31)),
-}
+#: Pure scalar operators (no UB to record) as a per-dtype dispatch table;
+#: ``/`` and ``%`` stay in ``_scalar_binop`` because a zero divisor records
+#: a UB event.  Shift counts mask to the lane width like the vector shifts.
+@lru_cache(maxsize=None)
+def _scalar_binops_for(dtype: LaneType) -> dict:
+    wrap = dtype.wrap
+    shift_mask = dtype.bits - 1
+    return {
+        "+": lambda lhs, rhs: wrap(lhs + rhs),
+        "-": lambda lhs, rhs: wrap(lhs - rhs),
+        "*": lambda lhs, rhs: wrap(lhs * rhs),
+        "<": lambda lhs, rhs: 1 if lhs < rhs else 0,
+        ">": lambda lhs, rhs: 1 if lhs > rhs else 0,
+        "<=": lambda lhs, rhs: 1 if lhs <= rhs else 0,
+        ">=": lambda lhs, rhs: 1 if lhs >= rhs else 0,
+        "==": lambda lhs, rhs: 1 if lhs == rhs else 0,
+        "!=": lambda lhs, rhs: 1 if lhs != rhs else 0,
+        "&": lambda lhs, rhs: wrap(lhs & rhs),
+        "|": lambda lhs, rhs: wrap(lhs | rhs),
+        "^": lambda lhs, rhs: wrap(lhs ^ rhs),
+        "<<": lambda lhs, rhs: wrap(lhs << (rhs & shift_mask)),
+        ">>": lambda lhs, rhs: wrap(lhs >> (rhs & shift_mask)),
+    }
+
+
+_SCALAR_BINOPS = _scalar_binops_for(INT32)
 
 #: Concrete-class dispatch tables for the interpretation hot path, built once
 #: at import.  ``stmt.__class__`` keys make each dispatch a single dict probe.
@@ -727,7 +747,7 @@ def run_function(
     from repro.perf.profile import stage
 
     with stage("interp"):
-        memory = Memory()
+        memory = Memory(dtype=ast.kernel_dtype(func))
         for name, values in arrays.items():
             memory.allocate(name, len(values), values, guard=guard)
         interpreter = Interpreter(func, memory, scalars, max_steps=max_steps)

@@ -2,7 +2,8 @@
 
 Arrays passed to a TSVC kernel live in distinct regions (the non-aliasing
 assumption the paper establishes for verification, Section 3.1).  Each region
-is a fixed-size buffer of 32-bit integers with a guard zone: reads inside the
+is a fixed-size buffer of integers at the kernel's lane element width
+(32-bit by default) with a guard zone: reads inside the
 declared extent return data, reads within the guard zone return *poison*
 values and record a :class:`UBEvent`, and accesses beyond the guard raise
 :class:`~repro.errors.UndefinedBehaviorError`.
@@ -19,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import UndefinedBehaviorError
-from repro.intrinsics.lanemath import wrap32
+from repro.lanetypes import INT32, LaneType
 
 #: Number of guard elements kept past the end of every array region.
 DEFAULT_GUARD_ELEMS = 16
@@ -72,24 +73,27 @@ class ArrayRegion:
 class Memory:
     """A collection of named array regions plus a UB event log."""
 
-    def __init__(self, strict: bool = False):
+    def __init__(self, strict: bool = False, dtype: LaneType = INT32):
         self.regions: dict[str, ArrayRegion] = {}
         self.ub_events: list[UBEvent] = []
         #: In strict mode every UB event raises immediately (used by the
         #: verifier's concretization path); in permissive mode (checksum
         #: testing) guard-zone accesses proceed with poison values.
         self.strict = strict
+        #: Lane element type every stored value wraps at.
+        self.dtype = dtype
+        self._wrap = dtype.wrap
 
     # -- region management ---------------------------------------------------
 
     def allocate(self, name: str, size: int, values: Iterable[int] | None = None,
                  guard: int = DEFAULT_GUARD_ELEMS) -> ArrayRegion:
         """Allocate a region named ``name`` with ``size`` declared elements."""
-        data = [wrap32(v) for v in values] if values is not None else None
+        data = [self._wrap(v) for v in values] if values is not None else None
         region = ArrayRegion(name=name, size=size, guard=guard, data=data or [])
         if values is not None:
             # Re-run post-init padding with the provided prefix.
-            padded = [wrap32(v) for v in values][:size]
+            padded = [self._wrap(v) for v in values][:size]
             padded += [0] * (size + guard - len(padded))
             region.data = padded
         self.regions[name] = region
@@ -131,12 +135,12 @@ class Memory:
         if poison:
             self._record(UBEvent("poison-store", name, index, "stored a poison value"))
         if region.in_bounds(index):
-            region.data[index] = wrap32(value)
+            region.data[index] = self._wrap(value)
             region.poison[index] = poison
             return
         if region.in_guard(index):
             self._record(UBEvent("oob-write", name, index, "write in guard zone"))
-            region.data[index] = wrap32(value)
+            region.data[index] = self._wrap(value)
             region.poison[index] = True
             return
         if -region.guard <= index < 0:
@@ -168,9 +172,10 @@ class Memory:
     def checksum(self) -> int:
         """An order-sensitive checksum over every region's declared contents."""
         acc = 0
+        wrap = self._wrap
         for name in sorted(self.regions):
             for value in self.regions[name].snapshot():
-                acc = wrap32(acc * 31 + value)
+                acc = wrap(acc * 31 + value)
         return acc
 
     @property

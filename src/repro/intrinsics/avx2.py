@@ -5,8 +5,8 @@ of AVX2 semantics.  The model now lives in width-parametric form in
 :mod:`repro.intrinsics.registry` (semantics per generic op, materialized per
 :class:`~repro.targets.TargetISA`) and :mod:`repro.intrinsics.values`
 (:class:`VecValue`); this module re-exports the AVX2 view so existing
-imports — ``LANES``, ``M256Value``, ``wrap32`` and the registry helpers —
-keep working unchanged.
+imports — ``LANES``, ``wrap32`` and the registry helpers — keep working
+unchanged.
 """
 
 from __future__ import annotations
@@ -26,7 +26,7 @@ from repro.intrinsics.registry import (
     lookup_intrinsic,
     registry_for,
 )
-from repro.intrinsics.values import M256Value, VecValue
+from repro.intrinsics.values import VecValue
 from repro.targets import AVX2
 
 #: Lane count of the historical (AVX2) target.
@@ -41,7 +41,6 @@ __all__ = [
     "IntrinsicSpec",
     "LANES",
     "LANE_BITS",
-    "M256Value",
     "VecValue",
     "apply_pure_intrinsic",
     "is_intrinsic",

@@ -1,16 +1,24 @@
-"""Shared 32-bit lane arithmetic, scalar and bulk.
+"""Shared lane arithmetic, scalar and bulk, parametric in the element type.
 
 Every layer that models lane values — the intrinsic semantics, the concrete
 interpreter, the memory model and the symbolic executor's constant folding —
-agrees on one definition of 32-bit two's-complement wraparound, defined here
-and nowhere else.
+agrees on one definition of two's-complement wraparound, owned by the
+:class:`~repro.lanetypes.LaneType` descriptors and applied here
+and nowhere else.  The historical 32-bit spellings (``wrap32``,
+``to_unsigned32``, ``LANE_BITS``) remain as thin aliases of the default
+:data:`~repro.lanetypes.INT32` descriptor.
 
 Beyond the scalar helpers, this module provides *bulk* kernels that evaluate
-a whole register per call: lanes as ``numpy.int32`` arrays (whose arithmetic
-wraps exactly like the scalar ``wrap32`` semantics), poison and predicate
-lanes as boolean arrays.  When numpy is unavailable the kernels fall back to
-:mod:`repro.intrinsics.purelanes`, the deliberately independent pure-Python
-reference that the property tests also compare against.
+a whole register per call: lanes as numpy arrays of the dtype's width (whose
+arithmetic wraps exactly like the scalar ``LaneType.wrap`` semantics),
+poison and predicate lanes as boolean arrays.  When numpy is unavailable the
+kernels fall back to :mod:`repro.intrinsics.purelanes`, the deliberately
+independent pure-Python reference that the property tests also compare
+against.
+
+Shift counts at or beyond the lane width are *defined* here — ``srl``/``sll``
+produce 0 and ``sra`` clamps to ``bits - 1``, matching the scalar oracle —
+rather than delegated to numpy's per-platform over-shift behaviour.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.intrinsics import purelanes
+from repro.lanetypes import INT32, LaneType
 
 try:
     import numpy as _np
@@ -26,32 +35,22 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
 
 HAVE_NUMPY = _np is not None
 
-LANE_BITS = 32
-LANE_MASK = (1 << LANE_BITS) - 1
-SIGN_BIT = 1 << (LANE_BITS - 1)
+#: Legacy 32-bit spellings: the default element type's constants/helpers.
+LANE_BITS = INT32.bits
+LANE_MASK = INT32.mask
+SIGN_BIT = INT32.sign_bit
+wrap32 = INT32.wrap
+to_unsigned32 = INT32.to_unsigned
 
 
-def wrap32(value: int) -> int:
-    """Reduce ``value`` to signed 32-bit two's-complement range."""
-    value &= LANE_MASK
-    if value & SIGN_BIT:
-        value -= 1 << LANE_BITS
-    return value
-
-
-def to_unsigned32(value: int) -> int:
-    """Interpret a signed 32-bit value as unsigned."""
-    return value & LANE_MASK
-
-
-def lane_active(mask_value: int) -> bool:
+def lane_active(mask_value: int, dtype: LaneType = INT32) -> bool:
     """Whether a data-vector mask lane enables its operation.
 
     One definition of "active" shared by the AVX-style masked memory ops and
     the select byte blends: the lane's sign bit is set (TSVC vectorizations
     only ever build full-lane 0 / -1 masks).
     """
-    return wrap32(mask_value) < 0
+    return dtype.wrap(mask_value) < 0
 
 
 def whilelt_lanes(base: int, bound: int, width: int) -> tuple[bool, ...]:
@@ -74,21 +73,33 @@ UNARY_OPS = purelanes.UNARY_OPS
 SHIFT_OPS = purelanes.SHIFT_OPS
 
 if HAVE_NUMPY:
-    _I32_NEG1 = _np.int32(-1)
-    _I32_ZERO = _np.int32(0)
+    #: LaneType name -> (signed dtype, unsigned dtype, signed -1, signed 0).
+    _NP_TYPES = {
+        "int16": (_np.int16, _np.uint16, _np.int16(-1), _np.int16(0)),
+        "int32": (_np.int32, _np.uint32, _np.int32(-1), _np.int32(0)),
+        "int64": (_np.int64, _np.uint64, _np.int64(-1), _np.int64(0)),
+    }
 
+    def _binary_kernels(neg1, zero):
+        return {
+            "add": _np.add,
+            "sub": _np.subtract,
+            "mul": _np.multiply,
+            "and": _np.bitwise_and,
+            "or": _np.bitwise_or,
+            "xor": _np.bitwise_xor,
+            "andnot": lambda a, b: _np.bitwise_and(_np.invert(a), b),
+            "max": _np.maximum,
+            "min": _np.minimum,
+            "cmpgt": lambda a, b: _np.where(a > b, neg1, zero),
+            "cmpeq": lambda a, b: _np.where(a == b, neg1, zero),
+        }
+
+    #: LaneType name -> op -> numpy kernel (comparisons bake in the dtype's
+    #: own -1/0 so the result array keeps the element width).
     _BINARY_KERNELS = {
-        "add": _np.add,
-        "sub": _np.subtract,
-        "mul": _np.multiply,
-        "and": _np.bitwise_and,
-        "or": _np.bitwise_or,
-        "xor": _np.bitwise_xor,
-        "andnot": lambda a, b: _np.bitwise_and(_np.invert(a), b),
-        "max": _np.maximum,
-        "min": _np.minimum,
-        "cmpgt": lambda a, b: _np.where(a > b, _I32_NEG1, _I32_ZERO),
-        "cmpeq": lambda a, b: _np.where(a == b, _I32_NEG1, _I32_ZERO),
+        name: _binary_kernels(neg1, zero)
+        for name, (_, _, neg1, zero) in _NP_TYPES.items()
     }
 
     _UNARY_KERNELS = {
@@ -96,8 +107,8 @@ if HAVE_NUMPY:
     }
 
 
-def _i32(lanes: Sequence[int]) -> "_np.ndarray":
-    return _np.array(lanes, dtype=_np.int32)
+def _arr(lanes: Sequence[int], dtype: LaneType) -> "_np.ndarray":
+    return _np.array(lanes, dtype=_NP_TYPES[dtype.name][0])
 
 
 def _bools(flags: Sequence[bool]) -> "_np.ndarray":
@@ -121,38 +132,48 @@ def or_flags(*flag_sets: Sequence[bool]) -> tuple[bool, ...]:
 
 def binary_lanes(op: str, a: Sequence[int], b: Sequence[int],
                  pa: Sequence[bool], pb: Sequence[bool],
+                 dtype: LaneType = INT32,
                  ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
     """Lane-wise binary op with wraparound; poison ORs lane-wise."""
     if not HAVE_NUMPY:
-        return purelanes.binary_lanes(op, a, b, pa, pb)
-    lanes = _lane_tuple(_BINARY_KERNELS[op](_i32(a), _i32(b)))
+        return purelanes.binary_lanes(op, a, b, pa, pb, bits=dtype.bits)
+    kernel = _BINARY_KERNELS[dtype.name][op]
+    lanes = _lane_tuple(kernel(_arr(a, dtype), _arr(b, dtype)))
     return lanes, or_flags(pa, pb)
 
 
 def unary_lanes(op: str, a: Sequence[int], pa: Sequence[bool],
+                dtype: LaneType = INT32,
                 ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
     if not HAVE_NUMPY:
-        return purelanes.unary_lanes(op, a, pa)
-    return _lane_tuple(_UNARY_KERNELS[op](_i32(a))), tuple(pa)
+        return purelanes.unary_lanes(op, a, pa, bits=dtype.bits)
+    return _lane_tuple(_UNARY_KERNELS[op](_arr(a, dtype))), tuple(pa)
 
 
 def shift_lanes(op: str, a: Sequence[int], count: int, pa: Sequence[bool],
+                dtype: LaneType = INT32,
                 ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
-    """Whole-register shift by a scalar count (AVX-style immediate shifts)."""
+    """Whole-register shift by a scalar count (AVX-style immediate shifts).
+
+    Over-shifts are defined, not platform-dependent: ``srl``/``sll`` with
+    ``count >= dtype.bits`` produce 0 and ``sra`` clamps to ``bits - 1``,
+    exactly like the scalar oracle.
+    """
     if not HAVE_NUMPY:
-        return purelanes.shift_lanes(op, a, count, pa)
+        return purelanes.shift_lanes(op, a, count, pa, bits=dtype.bits)
     count = int(count)
     poison = tuple(pa)
+    signed, unsigned = _NP_TYPES[dtype.name][:2]
     if op == "srl":
-        if count >= LANE_BITS:
+        if count >= dtype.bits:
             return (0,) * len(a), poison
-        shifted = (_i32(a).view(_np.uint32) >> _np.uint32(count)).view(_np.int32)
+        shifted = (_arr(a, dtype).view(unsigned) >> unsigned(count)).view(signed)
     elif op == "sll":
-        if count >= LANE_BITS:
+        if count >= dtype.bits:
             return (0,) * len(a), poison
-        shifted = (_i32(a).view(_np.uint32) << _np.uint32(count)).view(_np.int32)
+        shifted = (_arr(a, dtype).view(unsigned) << unsigned(count)).view(signed)
     elif op == "sra":
-        shifted = _i32(a) >> _np.int32(min(count, LANE_BITS - 1))
+        shifted = _arr(a, dtype) >> signed(min(count, dtype.bits - 1))
     else:
         raise KeyError(op)
     return _lane_tuple(shifted), poison
@@ -160,6 +181,7 @@ def shift_lanes(op: str, a: Sequence[int], count: int, pa: Sequence[bool],
 
 def select_lanes(a: Sequence[int], b: Sequence[int], mask: Sequence[int],
                  pa: Sequence[bool], pb: Sequence[bool], pm: Sequence[bool],
+                 dtype: LaneType = INT32,
                  ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
     """Per-byte select: mask bytes with the sign bit set pick ``b``'s byte.
 
@@ -167,14 +189,15 @@ def select_lanes(a: Sequence[int], b: Sequence[int], mask: Sequence[int],
     ``mask``, so the uint8 reinterpretation is endianness-agnostic.
     """
     if not HAVE_NUMPY:
-        return purelanes.select_lanes(a, b, mask, pa, pb, pm)
-    bytes_a = _i32(a).view(_np.uint8)
-    bytes_b = _i32(b).view(_np.uint8)
-    picks_b = (_i32(mask).view(_np.uint8) & 0x80).astype(_np.bool_)
-    lanes = _lane_tuple(_np.where(picks_b, bytes_b, bytes_a).view(_np.int32))
+        return purelanes.select_lanes(a, b, mask, pa, pb, pm, bits=dtype.bits)
+    signed = _NP_TYPES[dtype.name][0]
+    bytes_a = _arr(a, dtype).view(_np.uint8)
+    bytes_b = _arr(b, dtype).view(_np.uint8)
+    picks_b = (_arr(mask, dtype).view(_np.uint8) & 0x80).astype(_np.bool_)
+    lanes = _lane_tuple(_np.where(picks_b, bytes_b, bytes_a).view(signed))
     if not (any(pa) or any(pb) or any(pm)):
         return lanes, (False,) * len(lanes)
-    per_lane = picks_b.reshape(len(lanes), LANE_BITS // 8)
+    per_lane = picks_b.reshape(len(lanes), dtype.bytes)
     uses_b = per_lane.any(axis=1)
     uses_a = (~per_lane).any(axis=1)
     poison = _flag_tuple(
@@ -217,11 +240,13 @@ def pred_cmp_lanes(op: str, gov: Sequence[bool],
                    a: Sequence[int], b: Sequence[int],
                    pg: Sequence[bool], pa: Sequence[bool],
                    pb: Sequence[bool],
+                   dtype: LaneType = INT32,
                    ) -> tuple[tuple[bool, ...], tuple[bool, ...]]:
     """Predicate-producing comparison; inactive lanes come back false."""
     if not HAVE_NUMPY:
-        return purelanes.pred_cmp_lanes(op, gov, a, b, pg, pa, pb)
-    xa, xb = _i32(a), _i32(b)
+        return purelanes.pred_cmp_lanes(op, gov, a, b, pg, pa, pb,
+                                        bits=dtype.bits)
+    xa, xb = _arr(a, dtype), _arr(b, dtype)
     if op == "cmpgt":
         compared = xa > xb
     elif op == "cmpeq":
@@ -240,12 +265,13 @@ def pred_cmp_lanes(op: str, gov: Sequence[bool],
 
 def psel_lanes(pred: Sequence[bool], a: Sequence[int], b: Sequence[int],
                pg: Sequence[bool], pa: Sequence[bool], pb: Sequence[bool],
+               dtype: LaneType = INT32,
                ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
     """Predicate-selected blend: active lanes from ``a``, inactive from ``b``."""
     if not HAVE_NUMPY:
-        return purelanes.psel_lanes(pred, a, b, pg, pa, pb)
+        return purelanes.psel_lanes(pred, a, b, pg, pa, pb, bits=dtype.bits)
     active = _bools(pred)
-    lanes = _lane_tuple(_np.where(active, _i32(a), _i32(b)))
+    lanes = _lane_tuple(_np.where(active, _arr(a, dtype), _arr(b, dtype)))
     if not (any(pg) or any(pa) or any(pb)):
         return lanes, (False,) * len(lanes)
     poison = _flag_tuple(_bools(pg) | _np.where(active, _bools(pa), _bools(pb)))
@@ -256,13 +282,15 @@ def pred_merge_lanes(op: str, pred: Sequence[bool],
                      a: Sequence[int], b: Sequence[int],
                      pg: Sequence[bool], pa: Sequence[bool],
                      pb: Sequence[bool],
+                     dtype: LaneType = INT32,
                      ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
     """Merging predicated arithmetic: inactive lanes keep the first operand."""
     if not HAVE_NUMPY:
-        return purelanes.pred_merge_lanes(op, pred, a, b, pg, pa, pb)
+        return purelanes.pred_merge_lanes(op, pred, a, b, pg, pa, pb,
+                                          bits=dtype.bits)
     active = _bools(pred)
-    xa = _i32(a)
-    computed = _BINARY_KERNELS[op](xa, _i32(b))
+    xa = _arr(a, dtype)
+    computed = _BINARY_KERNELS[dtype.name][op](xa, _arr(b, dtype))
     lanes = _lane_tuple(_np.where(active, computed, xa))
     if not (any(pg) or any(pa) or any(pb)):
         return lanes, (False,) * len(lanes)

@@ -5,8 +5,9 @@ numpy; this module is its deliberately independent oracle: the same bulk
 operations, spelled as straight-line per-lane Python over plain ints and
 bools.  The property tests drive both implementations with randomized
 inputs and require bit-identical results — so this module must NOT import
-the numpy kernels, and it keeps its own copy of the 32-bit wraparound
-helpers rather than sharing :func:`repro.intrinsics.lanemath.wrap32`.
+the numpy kernels (or :mod:`repro.lanetypes`), and it keeps its
+own wraparound helpers parameterized by a raw ``bits`` count rather than
+sharing the :class:`LaneType` descriptors.
 
 It also serves as the runtime fallback when numpy is unavailable.
 """
@@ -15,23 +16,22 @@ from __future__ import annotations
 
 from typing import Sequence
 
+#: Element width of the default (historical) lane type.
 _LANE_BITS = 32
-_LANE_MASK = (1 << _LANE_BITS) - 1
-_SIGN_BIT = 1 << (_LANE_BITS - 1)
 
 Lanes = tuple[int, ...]
 Flags = tuple[bool, ...]
 
 
-def _wrap(value: int) -> int:
-    value &= _LANE_MASK
-    if value & _SIGN_BIT:
-        value -= 1 << _LANE_BITS
+def _wrap(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
     return value
 
 
-def _unsigned(value: int) -> int:
-    return value & _LANE_MASK
+def _unsigned(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
 
 
 _BINARY = {
@@ -63,47 +63,50 @@ def or_flags(*flag_sets: Sequence[bool]) -> Flags:
 
 
 def binary_lanes(op: str, a: Sequence[int], b: Sequence[int],
-                 pa: Sequence[bool], pb: Sequence[bool]) -> tuple[Lanes, Flags]:
+                 pa: Sequence[bool], pb: Sequence[bool],
+                 bits: int = _LANE_BITS) -> tuple[Lanes, Flags]:
     fn = _BINARY[op]
-    lanes = tuple(_wrap(fn(x, y)) for x, y in zip(a, b))
+    lanes = tuple(_wrap(fn(x, y), bits) for x, y in zip(a, b))
     return lanes, or_flags(pa, pb)
 
 
-def unary_lanes(op: str, a: Sequence[int],
-                pa: Sequence[bool]) -> tuple[Lanes, Flags]:
+def unary_lanes(op: str, a: Sequence[int], pa: Sequence[bool],
+                bits: int = _LANE_BITS) -> tuple[Lanes, Flags]:
     fn = _UNARY[op]
-    return tuple(_wrap(fn(x)) for x in a), tuple(bool(p) for p in pa)
+    return tuple(_wrap(fn(x), bits) for x in a), tuple(bool(p) for p in pa)
 
 
-def shift_lanes(op: str, a: Sequence[int], count: int,
-                pa: Sequence[bool]) -> tuple[Lanes, Flags]:
+def shift_lanes(op: str, a: Sequence[int], count: int, pa: Sequence[bool],
+                bits: int = _LANE_BITS) -> tuple[Lanes, Flags]:
     count = int(count)
     poison = tuple(bool(p) for p in pa)
     if op == "srl":
-        if count >= _LANE_BITS:
+        if count >= bits:
             return (0,) * len(a), poison
-        return tuple(_wrap(_unsigned(v) >> count) for v in a), poison
+        return tuple(_wrap(_unsigned(v, bits) >> count, bits) for v in a), poison
     if op == "sll":
-        if count >= _LANE_BITS:
+        if count >= bits:
             return (0,) * len(a), poison
-        return tuple(_wrap(v << count) for v in a), poison
+        return tuple(_wrap(v << count, bits) for v in a), poison
     if op == "sra":
-        count = min(count, _LANE_BITS - 1)
-        return tuple(_wrap(v >> count) for v in a), poison
+        count = min(count, bits - 1)
+        return tuple(_wrap(v >> count, bits) for v in a), poison
     raise KeyError(op)
 
 
 def select_lanes(a: Sequence[int], b: Sequence[int], mask: Sequence[int],
                  pa: Sequence[bool], pb: Sequence[bool],
-                 pm: Sequence[bool]) -> tuple[Lanes, Flags]:
+                 pm: Sequence[bool], bits: int = _LANE_BITS) -> tuple[Lanes, Flags]:
     """Per-byte select: mask bytes with the sign bit set pick ``b``'s byte."""
     lanes = []
     poison = []
     for lane_a, lane_b, lane_m, fa, fb, fm in zip(a, b, mask, pa, pb, pm):
-        ua, ub, um = _unsigned(lane_a), _unsigned(lane_b), _unsigned(lane_m)
+        ua = _unsigned(lane_a, bits)
+        ub = _unsigned(lane_b, bits)
+        um = _unsigned(lane_m, bits)
         out = 0
         selected_poison = fm
-        for byte in range(_LANE_BITS // 8):
+        for byte in range(bits // 8):
             shift = byte * 8
             if (um >> shift) & 0x80:
                 out |= ((ub >> shift) & 0xFF) << shift
@@ -111,7 +114,7 @@ def select_lanes(a: Sequence[int], b: Sequence[int], mask: Sequence[int],
             else:
                 out |= ((ua >> shift) & 0xFF) << shift
                 selected_poison = selected_poison or fa
-        lanes.append(_wrap(out))
+        lanes.append(_wrap(out, bits))
         poison.append(selected_poison)
     return tuple(lanes), tuple(poison)
 
@@ -141,7 +144,8 @@ def pred_logic_lanes(op: str, gov: Sequence[bool],
 def pred_cmp_lanes(op: str, gov: Sequence[bool],
                    a: Sequence[int], b: Sequence[int],
                    pg: Sequence[bool], pa: Sequence[bool],
-                   pb: Sequence[bool]) -> tuple[Flags, Flags]:
+                   pb: Sequence[bool],
+                   bits: int = _LANE_BITS) -> tuple[Flags, Flags]:
     if op == "cmpgt":
         lanes = tuple(g and x > y for g, x, y in zip(gov, a, b))
     elif op == "cmpeq":
@@ -157,7 +161,7 @@ def pred_cmp_lanes(op: str, gov: Sequence[bool],
 
 def psel_lanes(pred: Sequence[bool], a: Sequence[int], b: Sequence[int],
                pg: Sequence[bool], pa: Sequence[bool],
-               pb: Sequence[bool]) -> tuple[Lanes, Flags]:
+               pb: Sequence[bool], bits: int = _LANE_BITS) -> tuple[Lanes, Flags]:
     lanes = tuple(x if g else y for g, x, y in zip(pred, a, b))
     poison = tuple(
         fg or (fa if g else fb)
@@ -169,10 +173,11 @@ def psel_lanes(pred: Sequence[bool], a: Sequence[int], b: Sequence[int],
 def pred_merge_lanes(op: str, pred: Sequence[bool],
                      a: Sequence[int], b: Sequence[int],
                      pg: Sequence[bool], pa: Sequence[bool],
-                     pb: Sequence[bool]) -> tuple[Lanes, Flags]:
+                     pb: Sequence[bool],
+                     bits: int = _LANE_BITS) -> tuple[Lanes, Flags]:
     fn = _BINARY[op]
     lanes = tuple(
-        _wrap(fn(x, y)) if g else x
+        _wrap(fn(x, y), bits) if g else x
         for g, x, y in zip(pred, a, b)
     )
     poison = tuple(

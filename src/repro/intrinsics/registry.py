@@ -2,12 +2,16 @@
 
 Each generic operation (``add``, ``select``, ``loadu`` ...) is defined once
 — its lane semantics, arity and base cycle cost — and materialized per
-:class:`~repro.targets.TargetISA` under the target's concrete spellings
-(``repro.targets`` owns the spelling; this module owns the semantics).
-The merged :data:`INTRINSIC_REGISTRY` spans every registered target, so the
-interpreter and the symbolic executor can execute candidates of any width
-and naming scheme without being told which backend produced them: the width
-travels with the intrinsic name.
+:class:`~repro.targets.TargetISA` and lane element type under the target's
+concrete spellings (``repro.targets`` owns the spelling; this module owns
+the semantics).  The merged :data:`INTRINSIC_REGISTRY` spans every
+registered target, so the interpreter and the symbolic executor can execute
+candidates of any width and naming scheme without being told which backend
+produced them: the width travels with the intrinsic name.  The element type
+travels with the name too for dtype-suffixed spellings (``_epi16``,
+``_s64`` ...); the x86 ``si``-typed spellings are element-type-free and
+resolve through the kernel's declared element type
+(:func:`lookup_intrinsic`'s ``dtype`` argument).
 """
 
 from __future__ import annotations
@@ -17,8 +21,14 @@ from typing import Callable, Optional
 
 from repro.errors import CompileError
 from repro.intrinsics import lanemath
-from repro.intrinsics.lanemath import whilelt_lanes, wrap32
+from repro.intrinsics.lanemath import whilelt_lanes
 from repro.intrinsics.values import PredValue, VecValue
+from repro.lanetypes import (
+    ALL_LANE_TYPES,
+    DEFAULT_LANE_TYPE,
+    LaneType,
+    get_lane_type,
+)
 from repro.targets import ALL_TARGETS, TargetISA, get_target
 
 
@@ -39,8 +49,9 @@ class IntrinsicSpec:
     (predicate-selected blend), ``pred_merge_binary`` (merging predicated
     arithmetic) and ``pload``/``pstore`` (predicate-governed memory, handled
     by the interpreter).  ``cycle_cost`` is the rough reciprocal throughput
-    fed to the registry consumers; ``lanes`` is the register width in 32-bit
-    lanes; ``op`` is the generic operation name shared across targets.
+    fed to the registry consumers; ``lanes`` is the register width in lanes
+    of the spec's element type; ``op`` is the generic operation name shared
+    across targets; ``dtype`` names the lane element type the spec models.
     """
 
     name: str
@@ -51,15 +62,24 @@ class IntrinsicSpec:
     lanes: int = 8
     op: str = ""
     target: str = "avx2"
+    dtype: str = "int32"
+
+    @property
+    def lane_type(self) -> LaneType:
+        return get_lane_type(self.dtype)
 
 
 # ---------------------------------------------------------------------------
-# width-agnostic lane semantics
+# width- and dtype-agnostic lane semantics
 # ---------------------------------------------------------------------------
+
+# Raw per-lane reference functions.  They compute over unbounded Python ints;
+# :func:`build_registry` wraps each one at the registry's lane element type,
+# so the ``fn`` stored on a spec always wraps at that spec's width.
 
 
 def _mul_lane(a: int, b: int) -> int:
-    return wrap32(a * b)
+    return a * b
 
 
 def _cmpgt(a: int, b: int) -> int:
@@ -71,11 +91,18 @@ def _cmpeq(a: int, b: int) -> int:
 
 
 def _abs_lane(a: int) -> int:
-    return wrap32(abs(a))
+    return abs(a)
 
 
 def _andnot(a: int, b: int) -> int:
-    return wrap32((~a) & b)
+    return (~a) & b
+
+
+def _wrap_lane_fn(fn: Callable, lane_type: LaneType) -> Callable:
+    def wrapped(*lanes: int) -> int:
+        return lane_type.wrap(fn(*lanes))
+
+    return wrapped
 
 
 def _select(a: VecValue, b: VecValue, mask: VecValue) -> VecValue:
@@ -88,9 +115,10 @@ def _select(a: VecValue, b: VecValue, mask: VecValue) -> VecValue:
     select (ditto).
     """
     lanes, poison = lanemath.select_lanes(
-        a.lanes, b.lanes, mask.lanes, a.poison, b.poison, mask.poison
+        a.lanes, b.lanes, mask.lanes, a.poison, b.poison, mask.poison,
+        dtype=a.dtype,
     )
-    return VecValue(lanes, poison)
+    return VecValue(lanes, poison, a.dtype)
 
 
 def _srl(a: VecValue, count: int) -> VecValue:
@@ -106,23 +134,30 @@ def _sra(a: VecValue, count: int) -> VecValue:
 
 
 def _permute_halves(a: VecValue, b: VecValue, imm: int) -> VecValue:
-    """Select 128-bit halves of ``a``/``b`` according to ``imm`` (AVX2 only)."""
-    halves = [a.lanes[0:4], a.lanes[4:8], b.lanes[0:4], b.lanes[4:8]]
-    half_poison = [a.poison[0:4], a.poison[4:8], b.poison[0:4], b.poison[4:8]]
+    """Select register halves of ``a``/``b`` according to ``imm`` (AVX2 only)."""
+    half = a.width // 2
+    halves = [a.lanes[:half], a.lanes[half:], b.lanes[:half], b.lanes[half:]]
+    half_poison = [a.poison[:half], a.poison[half:],
+                   b.poison[:half], b.poison[half:]]
     imm = int(imm)
     low_sel = imm & 0x3
     high_sel = (imm >> 4) & 0x3
     low_zero = bool(imm & 0x08)
     high_zero = bool(imm & 0x80)
-    low = (0, 0, 0, 0) if low_zero else halves[low_sel]
-    high = (0, 0, 0, 0) if high_zero else halves[high_sel]
-    low_p = (False,) * 4 if low_zero else half_poison[low_sel]
-    high_p = (False,) * 4 if high_zero else half_poison[high_sel]
-    return VecValue(tuple(low) + tuple(high), tuple(low_p) + tuple(high_p))
+    low = (0,) * half if low_zero else halves[low_sel]
+    high = (0,) * half if high_zero else halves[high_sel]
+    low_p = (False,) * half if low_zero else half_poison[low_sel]
+    high_p = (False,) * half if high_zero else half_poison[high_sel]
+    return VecValue(tuple(low) + tuple(high), tuple(low_p) + tuple(high_p),
+                    a.dtype)
 
 
 def _shuffle_lanes(a: VecValue, imm: int) -> VecValue:
-    """Shuffle 32-bit lanes within each 128-bit block, at any register width."""
+    """Shuffle 32-bit lanes within each 128-bit block, at any register width.
+
+    The op only exists in the int32 tables (``_mm*_shuffle_epi32``), so the
+    4-lane blocks are structural, not a dtype assumption.
+    """
     imm = int(imm)
     selectors = [(imm >> (2 * i)) & 0x3 for i in range(4)]
     out_lanes = []
@@ -132,28 +167,28 @@ def _shuffle_lanes(a: VecValue, imm: int) -> VecValue:
         for sel in selectors:
             out_lanes.append(a.lanes[base + sel])
             out_poison.append(a.poison[base + sel])
-    return VecValue(tuple(out_lanes), tuple(out_poison))
+    return VecValue(tuple(out_lanes), tuple(out_poison), a.dtype)
 
 
 def _hadd(a: VecValue, b: VecValue) -> VecValue:
-    """Horizontal pairwise add within 128-bit blocks."""
+    """Horizontal pairwise add within 128-bit blocks.
+
+    Each block holds ``128 // dtype.bits`` lanes; the block's output is the
+    adjacent-pair sums of ``a`` followed by those of ``b``, matching
+    ``_mm*_hadd_epi16/epi32`` (and the pairwise-add shape of ``vpaddq``).
+    """
+    dtype = a.dtype
+    block_lanes = 128 // dtype.bits
     out_lanes = []
     out_poison = []
-    for block in range(a.width // 4):
-        base = block * 4
-        out_lanes += [
-            wrap32(a.lanes[base] + a.lanes[base + 1]),
-            wrap32(a.lanes[base + 2] + a.lanes[base + 3]),
-            wrap32(b.lanes[base] + b.lanes[base + 1]),
-            wrap32(b.lanes[base + 2] + b.lanes[base + 3]),
-        ]
-        out_poison += [
-            a.poison[base] or a.poison[base + 1],
-            a.poison[base + 2] or a.poison[base + 3],
-            b.poison[base] or b.poison[base + 1],
-            b.poison[base + 2] or b.poison[base + 3],
-        ]
-    return VecValue(tuple(out_lanes), tuple(out_poison))
+    for block in range(a.width // block_lanes):
+        base = block * block_lanes
+        for src in (a, b):
+            for pair in range(block_lanes // 2):
+                i = base + 2 * pair
+                out_lanes.append(dtype.wrap(src.lanes[i] + src.lanes[i + 1]))
+                out_poison.append(src.poison[i] or src.poison[i + 1])
+    return VecValue(tuple(out_lanes), tuple(out_poison), dtype)
 
 
 def _require_pred(value, name: str) -> PredValue:
@@ -201,7 +236,8 @@ def _pred_cmp_fn(op: str):
 
     def compare(gov: PredValue, a: VecValue, b: VecValue) -> PredValue:
         lanes, poison = lanemath.pred_cmp_lanes(
-            op, gov.lanes, a.lanes, b.lanes, gov.poison, a.poison, b.poison
+            op, gov.lanes, a.lanes, b.lanes, gov.poison, a.poison, b.poison,
+            dtype=a.dtype,
         )
         return PredValue(lanes, poison)
 
@@ -212,9 +248,10 @@ def _psel(pred: PredValue, a: VecValue, b: VecValue) -> VecValue:
     """Predicate-selected blend: active lanes from ``a``, inactive from ``b``
     (ACLE ``svsel`` operand order — predicate first, then-value second)."""
     lanes, poison = lanemath.psel_lanes(
-        pred.lanes, a.lanes, b.lanes, pred.poison, a.poison, b.poison
+        pred.lanes, a.lanes, b.lanes, pred.poison, a.poison, b.poison,
+        dtype=a.dtype,
     )
-    return VecValue(lanes, poison)
+    return VecValue(lanes, poison, a.dtype)
 
 
 def _pred_merge_fn(op: str):
@@ -223,9 +260,10 @@ def _pred_merge_fn(op: str):
 
     def merge(pred: PredValue, a: VecValue, b: VecValue) -> VecValue:
         lanes, poison = lanemath.pred_merge_lanes(
-            op, pred.lanes, a.lanes, b.lanes, pred.poison, a.poison, b.poison
+            op, pred.lanes, a.lanes, b.lanes, pred.poison, a.poison, b.poison,
+            dtype=a.dtype,
         )
-        return VecValue(lanes, poison)
+        return VecValue(lanes, poison, a.dtype)
 
     return merge
 
@@ -289,30 +327,40 @@ _GENERIC_OPS: dict[str, tuple[str, int, float, Optional[Callable]]] = {
 }
 
 
-def build_registry(target: TargetISA) -> dict[str, IntrinsicSpec]:
-    """Materialize the generic operation table for one target."""
+def build_registry(target: TargetISA,
+                   dtype: "LaneType | str | None" = None,
+                   ) -> dict[str, IntrinsicSpec]:
+    """Materialize the generic operation table for one target and dtype."""
+    lane_type = get_lane_type(dtype)
+    if not target.supports_dtype(lane_type):
+        return {}
+    lanes = target.lanes_for(lane_type)
     registry: dict[str, IntrinsicSpec] = {}
     for op, (kind, arity, base_cost, fn) in _GENERIC_OPS.items():
-        if not target.supports(op):
+        if not target.supports(op, lane_type):
             continue
+        name = target.intrinsic(op, lane_type)
+        if kind in ("pure_binary", "pure_unary") and fn is not None:
+            fn = _wrap_lane_fn(fn, lane_type)
         cost = target.intrinsic_cost_overrides.get(op, base_cost)
-        registry[target.intrinsic(op)] = IntrinsicSpec(
-            name=target.intrinsic(op),
-            arity=arity if arity >= 0 else target.lanes,
+        registry[name] = IntrinsicSpec(
+            name=name,
+            arity=arity if arity >= 0 else lanes,
             kind=kind,
             cycle_cost=cost,
             fn=fn,
-            lanes=target.lanes,
+            lanes=lanes,
             op=op,
             target=target.name,
+            dtype=lane_type.name,
         )
     return registry
 
 
-def _build_merged_registry() -> dict[str, IntrinsicSpec]:
+def _build_merged_registry(lane_type: LaneType) -> dict[str, IntrinsicSpec]:
     merged: dict[str, IntrinsicSpec] = {}
     for target in ALL_TARGETS:
-        for name, spec in build_registry(target).items():
+        for name, spec in build_registry(target, lane_type).items():
             existing = merged.get(name)
             if existing is not None and existing.op != spec.op:
                 raise RuntimeError(
@@ -322,41 +370,102 @@ def _build_merged_registry() -> dict[str, IntrinsicSpec]:
     return merged
 
 
-TARGET_REGISTRIES: dict[str, dict[str, IntrinsicSpec]] = {
-    target.name: build_registry(target) for target in ALL_TARGETS
+#: (target name, dtype name) -> registry; one entry per supported pairing.
+_TARGET_REGISTRIES_BY_DTYPE: dict[tuple[str, str], dict[str, IntrinsicSpec]] = {
+    (target.name, lane_type.name): build_registry(target, lane_type)
+    for target in ALL_TARGETS
+    for lane_type in ALL_LANE_TYPES
+    if target.supports_dtype(lane_type)
 }
 
-INTRINSIC_REGISTRY: dict[str, IntrinsicSpec] = _build_merged_registry()
+#: Per-target int32 registries — the historical (default-dtype) view.
+TARGET_REGISTRIES: dict[str, dict[str, IntrinsicSpec]] = {
+    target.name: _TARGET_REGISTRIES_BY_DTYPE[
+        (target.name, DEFAULT_LANE_TYPE.name)
+    ]
+    for target in ALL_TARGETS
+}
+
+#: dtype name -> cross-target merged registry.  Shared (element-type-free)
+#: x86 spellings appear in several of these with dtype-appropriate specs;
+#: dtype-suffixed spellings appear in exactly one.
+_MERGED_BY_DTYPE: dict[str, dict[str, IntrinsicSpec]] = {
+    lane_type.name: _build_merged_registry(lane_type)
+    for lane_type in ALL_LANE_TYPES
+}
+
+#: The historical merged view: every intrinsic at the default (int32) dtype.
+INTRINSIC_REGISTRY: dict[str, IntrinsicSpec] = _MERGED_BY_DTYPE[
+    DEFAULT_LANE_TYPE.name
+]
 
 
-def registry_for(target: "TargetISA | str | None") -> dict[str, IntrinsicSpec]:
-    """The registry restricted to one target's intrinsics."""
-    return TARGET_REGISTRIES[get_target(target).name]
+def registry_for(target: "TargetISA | str | None",
+                 dtype: "LaneType | str | None" = None,
+                 ) -> dict[str, IntrinsicSpec]:
+    """The registry restricted to one target's intrinsics at one dtype."""
+    key = (get_target(target).name, get_lane_type(dtype).name)
+    try:
+        return _TARGET_REGISTRIES_BY_DTYPE[key]
+    except KeyError:
+        raise KeyError(
+            f"target {key[0]!r} does not support lane type {key[1]!r}"
+        ) from None
+
+
+def registry_for_dtype(dtype: "LaneType | str | None",
+                       ) -> dict[str, IntrinsicSpec]:
+    """The cross-target merged registry at one lane element type."""
+    return _MERGED_BY_DTYPE[get_lane_type(dtype).name]
 
 
 def is_intrinsic(name: str) -> bool:
-    """Return True if ``name`` is a modelled SIMD intrinsic (any target)."""
-    return name in INTRINSIC_REGISTRY
+    """Return True if ``name`` is a modelled SIMD intrinsic (any target,
+    any lane element type)."""
+    return any(name in registry for registry in _MERGED_BY_DTYPE.values())
 
 
-def lookup_intrinsic(name: str) -> IntrinsicSpec:
-    """Return the spec for ``name``; raises ``KeyError`` for unknown intrinsics."""
-    return INTRINSIC_REGISTRY[name]
+def lookup_intrinsic(name: str,
+                     dtype: "LaneType | str | None" = None,
+                     ) -> IntrinsicSpec:
+    """Return the spec for ``name``; raises ``KeyError`` for unknown intrinsics.
+
+    ``dtype`` is the kernel's element-type context: it decides how the x86
+    ``si``-typed (element-type-free) spellings are modelled.  Spellings that
+    carry their own dtype suffix resolve regardless of the context, so a
+    lookup never needs the context to be right to find a suffixed name.
+    """
+    if dtype is not None:
+        spec = _MERGED_BY_DTYPE[get_lane_type(dtype).name].get(name)
+        if spec is not None:
+            return spec
+    spec = INTRINSIC_REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    for registry in _MERGED_BY_DTYPE.values():
+        spec = registry.get(name)
+        if spec is not None:
+            return spec
+    raise KeyError(name)
 
 
-def apply_pure_intrinsic(name: str, args: list) -> "VecValue | PredValue | int":
+def apply_pure_intrinsic(name: str, args: list,
+                         dtype: "LaneType | str | None" = None,
+                         ) -> "VecValue | PredValue | int":
     """Apply a pure (non-memory) intrinsic to already-evaluated arguments.
 
     ``args`` holds :class:`VecValue` / :class:`PredValue` operands and Python
     ints for scalar / immediate operands, in call order.  Memory intrinsics
-    are handled by the interpreter, which owns the memory model.
+    are handled by the interpreter, which owns the memory model.  ``dtype``
+    is the kernel's element-type context for the element-type-free x86
+    spellings (see :func:`lookup_intrinsic`).
 
     Operand widths are validated against the intrinsic's register width (and
     ``setr``/``set`` argument counts against the lane count) up front, so a
     candidate mixing register widths is rejected like a C compiler would
     reject it rather than silently truncated by the lane-wise zips below.
     """
-    spec = lookup_intrinsic(name)
+    spec = lookup_intrinsic(name, dtype)
     if spec.kind in ("setr", "set"):
         if len(args) != spec.lanes:
             raise CompileError(
@@ -367,6 +476,11 @@ def apply_pure_intrinsic(name: str, args: list) -> "VecValue | PredValue | int":
             if isinstance(arg, (VecValue, PredValue)) and arg.width != spec.lanes:
                 raise CompileError(
                     f"{name} operand has {arg.width} lanes, expected {spec.lanes}"
+                )
+            if isinstance(arg, VecValue) and arg.dtype.name != spec.dtype:
+                raise CompileError(
+                    f"{name} operand has {arg.dtype.name} lanes, "
+                    f"expected {spec.dtype}"
                 )
     if spec.kind == "ptrue":
         return PredValue.all_true(spec.lanes)
@@ -396,7 +510,10 @@ def apply_pure_intrinsic(name: str, args: list) -> "VecValue | PredValue | int":
     if spec.kind == "index":
         base = _require_scalar(args[0], name)
         step = _require_scalar(args[1], name)
-        return VecValue.from_lanes([base + step * lane for lane in range(spec.lanes)])
+        return VecValue.from_lanes(
+            [base + step * lane for lane in range(spec.lanes)],
+            dtype=spec.lane_type,
+        )
     if spec.kind == "pure_binary":
         # Bulk numpy kernel keyed by the generic op name; ``spec.fn`` keeps
         # the per-lane reference semantics for callers that want them.
@@ -412,11 +529,13 @@ def apply_pure_intrinsic(name: str, args: list) -> "VecValue | PredValue | int":
     if spec.kind == "pure_imm2":
         return spec.fn(args[0], args[1], args[2])
     if spec.kind == "set1":
-        return VecValue.splat(int(args[0]), spec.lanes)
+        return VecValue.splat(int(args[0]), spec.lanes, dtype=spec.lane_type)
     if spec.kind == "setzero":
-        return VecValue.zero(spec.lanes)
+        return VecValue.zero(spec.lanes, dtype=spec.lane_type)
     if spec.kind == "setr":
-        return VecValue.from_lanes([int(a) for a in args])
+        return VecValue.from_lanes([int(a) for a in args],
+                                   dtype=spec.lane_type)
     if spec.kind == "set":
-        return VecValue.from_lanes([int(a) for a in reversed(args)])
+        return VecValue.from_lanes([int(a) for a in reversed(args)],
+                                   dtype=spec.lane_type)
     raise ValueError(f"intrinsic {name} is not pure; the interpreter must handle it")

@@ -1,10 +1,13 @@
-"""Width-parametric vector and predicate values.
+"""Width- and dtype-parametric vector and predicate values.
 
-:class:`VecValue` models one SIMD register of any supported width: ``n``
-32-bit lanes stored as Python ints in two's-complement signed form, plus a
-per-lane poison flag used for undefined-behaviour propagation (a lane loaded
-from out-of-bounds memory is poison; arithmetic on poison lanes yields
-poison; storing a poison lane is a UB event the checker can observe).
+:class:`VecValue` models one SIMD register of any supported width and lane
+element type: ``n`` lanes of ``dtype.bits``-bit signed integers stored as
+Python ints in two's-complement signed form, plus a per-lane poison flag
+used for undefined-behaviour propagation (a lane loaded from out-of-bounds
+memory is poison; arithmetic on poison lanes yields poison; storing a poison
+lane is a UB event the checker can observe).  The valid widths per dtype
+derive from the registered targets' register sizes: a 256-bit register holds
+8 int32 lanes, 16 int16 lanes or 4 int64 lanes.
 
 :class:`PredValue` models one predicate register (SVE ``svbool_t``): a
 per-lane active flag, again with poison flags — a predicate computed by
@@ -12,9 +15,6 @@ comparing poison data is itself unreliable, and a store governed by a poison
 predicate lane is a UB event.  Predicates are first-class values alongside
 vectors: the interpreter and the symbolic executor pass them through scopes,
 assignments and intrinsic calls exactly like :class:`VecValue`.
-
-:class:`M256Value` is the historical 8-lane (AVX2-register) spelling, kept
-as a thin subclass whose constructors default to eight lanes.
 """
 
 from __future__ import annotations
@@ -23,19 +23,43 @@ from dataclasses import dataclass
 from typing import Callable, ClassVar, Optional, Sequence
 
 from repro.intrinsics import lanemath
-from repro.intrinsics.lanemath import whilelt_lanes, wrap32
+from repro.intrinsics.lanemath import whilelt_lanes
+from repro.lanetypes import ALL_LANE_TYPES, INT32, LaneType
 from repro.targets import ALL_TARGETS
 
-#: Lane counts with a registered target ISA, derived from the registry.
-VALID_WIDTHS = tuple(sorted({target.lanes for target in ALL_TARGETS}))
+#: Register sizes with a registered target ISA, derived from the registry.
+REGISTER_BITS = tuple(sorted({target.register_bits for target in ALL_TARGETS}))
+
+#: Lane counts with a registered target ISA at the default (int32) element
+#: type — the historical meaning of "valid width".
+VALID_WIDTHS = tuple(sorted({bits // INT32.bits for bits in REGISTER_BITS}))
+
+#: dtype name -> lane counts some registered register size can hold.
+_WIDTHS_BY_DTYPE: dict[str, tuple[int, ...]] = {
+    dtype.name: tuple(sorted({bits // dtype.bits for bits in REGISTER_BITS}))
+    for dtype in ALL_LANE_TYPES
+}
+
+#: Union of the per-dtype width sets; predicates validate against this (the
+#: dtype a predicate governs travels with the intrinsic that built it).
+ALL_VALID_WIDTHS = tuple(sorted({
+    width for widths in _WIDTHS_BY_DTYPE.values() for width in widths
+}))
+
+
+def valid_widths(dtype: "LaneType | None" = None) -> tuple[int, ...]:
+    """Lane counts valid for one element type (default int32)."""
+    return _WIDTHS_BY_DTYPE[(dtype or INT32).name]
 
 
 @dataclass(frozen=True)
 class VecValue:
-    """An integer vector: ``width`` signed 32-bit lanes with poison flags."""
+    """An integer vector: ``width`` signed ``dtype.bits``-bit lanes with
+    poison flags."""
 
     lanes: tuple[int, ...]
     poison: tuple[bool, ...] = ()
+    dtype: LaneType = INT32
 
     #: Subclasses may pin a width so ``splat()``/``zero()`` work bare.
     default_width: ClassVar[Optional[int]] = None
@@ -43,9 +67,11 @@ class VecValue:
     def __post_init__(self) -> None:
         if not self.poison:
             object.__setattr__(self, "poison", (False,) * len(self.lanes))
-        if len(self.lanes) not in VALID_WIDTHS:
+        widths = _WIDTHS_BY_DTYPE[self.dtype.name]
+        if len(self.lanes) not in widths:
             raise ValueError(
-                f"vector width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+                f"vector width {len(self.lanes)} is not one of {widths} "
+                f"for {self.dtype.name} lanes"
             )
         if len(self.poison) != len(self.lanes):
             raise ValueError("poison flags must match the lane count")
@@ -61,22 +87,25 @@ class VecValue:
 
     @classmethod
     def from_lanes(cls, lanes: Sequence[int],
-                   poison: Sequence[bool] | None = None) -> "VecValue":
-        wrapped = tuple(wrap32(int(v)) for v in lanes)
+                   poison: Sequence[bool] | None = None,
+                   dtype: LaneType = INT32) -> "VecValue":
+        wrapped = tuple(dtype.wrap(int(v)) for v in lanes)
         flags = (
             tuple(bool(p) for p in poison)
             if poison is not None
             else (False,) * len(wrapped)
         )
-        return cls(wrapped, flags)
+        return cls(wrapped, flags, dtype)
 
     @classmethod
-    def splat(cls, value: int, width: Optional[int] = None) -> "VecValue":
-        return cls.from_lanes([value] * cls._width(width))
+    def splat(cls, value: int, width: Optional[int] = None,
+              dtype: LaneType = INT32) -> "VecValue":
+        return cls.from_lanes([value] * cls._width(width), dtype=dtype)
 
     @classmethod
-    def zero(cls, width: Optional[int] = None) -> "VecValue":
-        return cls.from_lanes([0] * cls._width(width))
+    def zero(cls, width: Optional[int] = None,
+             dtype: LaneType = INT32) -> "VecValue":
+        return cls.from_lanes([0] * cls._width(width), dtype=dtype)
 
     # -- queries ------------------------------------------------------------
 
@@ -88,20 +117,29 @@ class VecValue:
     def any_poison(self) -> bool:
         return any(self.poison)
 
-    # -- lane-wise combinators ----------------------------------------------
-
-    def map_binary(self, other: "VecValue", fn: Callable[[int, int], int]) -> "VecValue":
+    def _check_compatible(self, other: "VecValue") -> None:
         if other.width != self.width:
             raise ValueError(
                 f"width mismatch: {self.width} vs {other.width} lanes"
             )
-        lanes = tuple(wrap32(fn(a, b)) for a, b in zip(self.lanes, other.lanes))
+        if other.dtype is not self.dtype:
+            raise ValueError(
+                f"dtype mismatch: {self.dtype.name} vs {other.dtype.name} lanes"
+            )
+
+    # -- lane-wise combinators ----------------------------------------------
+
+    def map_binary(self, other: "VecValue", fn: Callable[[int, int], int]) -> "VecValue":
+        self._check_compatible(other)
+        wrap = self.dtype.wrap
+        lanes = tuple(wrap(fn(a, b)) for a, b in zip(self.lanes, other.lanes))
         poison = tuple(pa or pb for pa, pb in zip(self.poison, other.poison))
-        return VecValue(lanes, poison)
+        return VecValue(lanes, poison, self.dtype)
 
     def map_unary(self, fn: Callable[[int], int]) -> "VecValue":
-        lanes = tuple(wrap32(fn(a)) for a in self.lanes)
-        return VecValue(lanes, self.poison)
+        wrap = self.dtype.wrap
+        lanes = tuple(wrap(fn(a)) for a in self.lanes)
+        return VecValue(lanes, self.poison, self.dtype)
 
     # -- bulk combinators (whole-register numpy kernels) --------------------
 
@@ -111,22 +149,22 @@ class VecValue:
         Unlike :meth:`map_binary` (arbitrary Python lane function), the op is
         named so :mod:`repro.intrinsics.lanemath` can run its numpy kernel.
         """
-        if other.width != self.width:
-            raise ValueError(
-                f"width mismatch: {self.width} vs {other.width} lanes"
-            )
+        self._check_compatible(other)
         lanes, poison = lanemath.binary_lanes(
-            op, self.lanes, other.lanes, self.poison, other.poison
+            op, self.lanes, other.lanes, self.poison, other.poison,
+            dtype=self.dtype,
         )
-        return VecValue(lanes, poison)
+        return VecValue(lanes, poison, self.dtype)
 
     def bulk_unary(self, op: str) -> "VecValue":
-        lanes, poison = lanemath.unary_lanes(op, self.lanes, self.poison)
-        return VecValue(lanes, poison)
+        lanes, poison = lanemath.unary_lanes(op, self.lanes, self.poison,
+                                             dtype=self.dtype)
+        return VecValue(lanes, poison, self.dtype)
 
     def bulk_shift(self, op: str, count: int) -> "VecValue":
-        lanes, poison = lanemath.shift_lanes(op, self.lanes, count, self.poison)
-        return VecValue(lanes, poison)
+        lanes, poison = lanemath.shift_lanes(op, self.lanes, count,
+                                             self.poison, dtype=self.dtype)
+        return VecValue(lanes, poison, self.dtype)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return "<" + ", ".join(str(v) for v in self.lanes) + ">"
@@ -142,9 +180,10 @@ class PredValue:
     def __post_init__(self) -> None:
         if not self.poison:
             object.__setattr__(self, "poison", (False,) * len(self.lanes))
-        if len(self.lanes) not in VALID_WIDTHS:
+        if len(self.lanes) not in ALL_VALID_WIDTHS:
             raise ValueError(
-                f"predicate width {len(self.lanes)} is not one of {VALID_WIDTHS}"
+                f"predicate width {len(self.lanes)} is not one of "
+                f"{ALL_VALID_WIDTHS}"
             )
         if len(self.poison) != len(self.lanes):
             raise ValueError("poison flags must match the lane count")
@@ -190,14 +229,3 @@ class PredValue:
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return "<" + ", ".join("T" if lane else "." for lane in self.lanes) + ">"
-
-
-class M256Value(VecValue):
-    """The 8-lane AVX2-register value (historical spelling)."""
-
-    default_width: ClassVar[int] = 8
-
-    def __post_init__(self) -> None:
-        super().__post_init__()
-        if len(self.lanes) != 8:
-            raise ValueError("an AVX2 register value requires exactly 8 lanes")

@@ -51,7 +51,8 @@ def content_key(*parts: str) -> str:
     return digest.hexdigest()
 
 
-def config_fingerprint(obj: Any, target: str | None = None) -> str:
+def config_fingerprint(obj: Any, target: str | None = None,
+                       dtype: str | None = None) -> str:
     """A stable fingerprint of a (nested dataclass) configuration object.
 
     ``target`` salts the fingerprint with a target-ISA name.  Multi-target
@@ -59,6 +60,11 @@ def config_fingerprint(obj: Any, target: str | None = None) -> str:
     the performance-eval payload) do not themselves carry the target; salting
     the fingerprint guarantees that per-ISA verdicts can never collide on a
     cached entry even then.
+
+    ``dtype`` salts it with the campaign's lane element type the same way.
+    ``int32`` (and ``None``) add no salt, so every fingerprint minted before
+    the dtype axis existed stays byte-identical and old cache files resume
+    cleanly; int16/int64 campaigns get their own key space.
     """
     import dataclasses
 
@@ -79,6 +85,8 @@ def config_fingerprint(obj: Any, target: str | None = None) -> str:
     parts = [json.dumps(normalize(obj), sort_keys=True)]
     if target is not None:
         parts.append(f"target:{target}")
+    if dtype is not None and dtype != "int32":
+        parts.append(f"dtype:{dtype}")
     return content_key(*parts)
 
 

@@ -65,6 +65,7 @@ from repro.pipeline.scheduler import (
     dispatch_batches,
     resolve_batch_setting,
 )
+from repro.lanetypes import get_lane_type
 from repro.targets import get_target, resolve_target_setting, target_names
 
 JobFn = Callable[["KernelTask"], dict]
@@ -217,6 +218,12 @@ class CampaignConfig:
     #: or ``"predicated"``).  A vectorizer config requesting a non-default
     #: epilogue wins over this setting, mirroring the target precedence.
     epilogue: str = "scalar"
+    #: Lane element type the campaign models kernels at (``"int16"``,
+    #: ``"int32"`` or ``"int64"``).  Non-default dtypes load the suite
+    #: retargeted — sized ``<stdint.h>`` spellings, dtype-suffixed kernel
+    #: names — and salt every config fingerprint, so per-dtype verdicts can
+    #: never collide in a shared cache or store.
+    dtype: str = "int32"
     #: Abort the campaign on the first failing job (the pre-fault-tolerance
     #: behaviour).  Off by default: failures become error records instead.
     fail_fast: bool = False
@@ -260,6 +267,10 @@ class CampaignConfig:
     def resolved_target_name(self) -> str:
         return resolve_target_setting(self.target).name
 
+    def resolved_dtype(self) -> str:
+        """Canonical lane-type name (aliases like ``int64_t`` normalize)."""
+        return get_lane_type(self.dtype).name
+
     def resolved_shard(self) -> "ShardSpec | None":
         return ShardSpec.parse(self.shard) if self.shard is not None else None
 
@@ -302,6 +313,10 @@ class CampaignSummary:
     verdict_counts: dict[str, int] = field(default_factory=dict)
     #: Target ISA the campaign ran for.
     target: str = "avx2"
+    #: Lane element type the campaign modelled kernels at.  Entries written
+    #: before the dtype axis existed deserialize to the old universe's
+    #: ``"int32"`` default.
+    dtype: str = "int32"
     #: ``"i/n"`` when the run covered one shard of the suite; None otherwise.
     shard: str | None = None
     #: Wall-clock seconds spent per pipeline stage (parse/plan/codegen/
@@ -372,6 +387,7 @@ class CampaignSummary:
             "effective_kernels_per_second": round(self.throughput.effective_rate, 4),
             "workers": self.workers,
             "target": self.target,
+            "dtype": self.dtype,
             "verdict_counts": dict(self.verdict_counts),
             "stage_seconds": {name: round(seconds, 6)
                               for name, seconds in sorted(self.stage_seconds.items())},
@@ -576,7 +592,9 @@ class CampaignRunner:
         if config.epilogue == "scalar" and self.config.epilogue != "scalar":
             config = replace(config, epilogue=self.config.epilogue)
         tasks = self.suite_tasks(names, payload=config,
-                                 config_hash=config_fingerprint(config, target=isa.name),
+                                 config_hash=config_fingerprint(
+                                     config, target=isa.name,
+                                     dtype=self.config.resolved_dtype()),
                                  base_seed=config.llm.seed)
         return tasks, isa.name
 
@@ -614,7 +632,7 @@ class CampaignRunner:
 
         seed = self.config.seed if base_seed is None else base_seed
         tasks = []
-        for kernel in load_suite(names):
+        for kernel in load_suite(names, dtype=self.config.resolved_dtype()):
             candidate = candidates.get(kernel.name) if candidates is not None else None
             if candidates is not None and candidate is None:
                 continue
@@ -780,6 +798,7 @@ class CampaignRunner:
             workers=execution.workers,
             verdict_counts=count_verdicts(records),
             target=target or self.config.resolved_target_name(),
+            dtype=self.config.resolved_dtype(),
             shard=shard,
             stage_seconds=dict(stage_seconds or {}),
             batch_size=execution.batch_size,

@@ -250,6 +250,9 @@ def report_from_store(path: str | Path, label: str | None = None,
         latest[(entry.get("label"), entry.get("target"), entry.get("shard"))] = entry
     matching = list(latest.values())
     targets = {s.get("target") for s in matching if s.get("target")}
+    # Pre-dtype stores carry no dtype stamp; they were all int32 by
+    # construction, so the merged summary says so rather than guessing.
+    dtypes = {s.get("dtype") for s in matching if s.get("dtype")}
     plan_cache: dict[str, int] = {}
     for entry in matching:
         merge_counts(plan_cache, entry.get("plan_cache")
@@ -269,6 +272,8 @@ def report_from_store(path: str | Path, label: str | None = None,
         target=(target or (targets.pop() if len(targets) == 1
                            else ("mixed" if targets
                                  else resolve_target_setting().name))),
+        dtype=(dtypes.pop() if len(dtypes) == 1
+               else ("mixed" if dtypes else "int32")),
         shard=None,  # a merged report covers the whole suite again
         batches=sum(s.get("batches", 0) for s in matching),
         plan_cache=plan_cache,

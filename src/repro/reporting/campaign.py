@@ -99,9 +99,11 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path",
 def scaling_entries(campaigns: "list[dict]") -> list[dict]:
     """The parallel-scaling index: best fully-fresh rate per configuration.
 
-    Keyed by (target, workers, kernel count) — an 11-kernel smoke suite and
-    the full TSVC suite have incomparable inherent rates, so they index
-    separately.  Derived from the accumulated campaign entries on every
+    Keyed by (target, dtype, workers, kernel count) — an 11-kernel smoke
+    suite and the full TSVC suite have incomparable inherent rates, and so
+    do two lane element widths of the same suite, so they index separately.
+    Entries written before the dtype axis existed index as ``int32``, which
+    is what they were.  Derived from the accumulated campaign entries on every
     write, so the section always reflects the deduplicated list.  Only
     *fully fresh* runs count (``executed == kernels > 0``) — a cached or
     resumed run finishes near-instantly and would report a meaningless
@@ -111,6 +113,7 @@ def scaling_entries(campaigns: "list[dict]") -> list[dict]:
     best: dict[tuple, dict] = {}
     for entry in campaigns:
         target = entry.get("target")
+        dtype = entry.get("dtype") or "int32"
         workers = entry.get("workers")
         kernels = entry.get("kernels", 0)
         rate = entry.get("effective_kernels_per_second")
@@ -118,10 +121,11 @@ def scaling_entries(campaigns: "list[dict]") -> list[dict]:
                 or not isinstance(rate, (int, float))
                 or not kernels or entry.get("executed") != kernels):
             continue
-        slot = best.get((target, workers, kernels))
+        slot = best.get((target, dtype, workers, kernels))
         if slot is None or rate > slot["effective_kernels_per_second"]:
-            best[(target, workers, kernels)] = {
+            best[(target, dtype, workers, kernels)] = {
                 "target": target,
+                "dtype": dtype,
                 "workers": workers,
                 "kernels": kernels,
                 "effective_kernels_per_second": round(float(rate), 4),
@@ -138,6 +142,7 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
     rows = [
         {"Metric": "Campaign", "Value": summary.label},
         {"Metric": "Target", "Value": summary.target},
+        {"Metric": "Dtype", "Value": summary.dtype},
         *([{"Metric": "Shard", "Value": summary.shard}] if summary.shard else []),
         {"Metric": "Kernels", "Value": summary.kernels},
         {"Metric": "Executed (fresh)", "Value": summary.executed},
@@ -225,6 +230,7 @@ def render_shard_summaries(summaries: "list[CampaignSummary]", title: str = "") 
         row: dict[str, object] = {
             "Shard": summary.shard or "-",
             "Target": summary.target,
+            "Dtype": summary.dtype,
             "Kernels": summary.kernels,
             "Executed": summary.executed,
             "Wall clock": f"{summary.wall_clock_seconds:.2f}s",
@@ -252,6 +258,7 @@ def render_multi_target_summary(reports: "dict[str, CampaignReport]",
         summary = report.summary
         row: dict[str, object] = {
             "Target": target,
+            "Dtype": summary.dtype,
             "Kernels": summary.kernels,
             "Executed": summary.executed,
             "Hit-rate": f"{summary.cache_hit_rate:.1%}",

@@ -31,17 +31,23 @@ from repro.smt.terms import (
     Term,
     TermKind,
     WORD_BITS,
+    active_bits,
     bv_const,
     bv_var,
     collect_variables,
     evaluate,
     mk,
+    modeled_bits,
     term_size,
     to_unsigned,
 )
 
 _RING_OPS = {TermKind.ADD, TermKind.SUB, TermKind.MUL, TermKind.NEG}
-_MODULUS = 1 << WORD_BITS
+
+
+def _modulus() -> int:
+    """Ring modulus at the active modeled width (2**bits)."""
+    return 1 << active_bits()
 
 #: Polynomial expansion is worst-case exponential (a product of n sums has
 #: 2^n monomials); past this many monomials normalization abandons the ring
@@ -106,7 +112,7 @@ def _polynomial(term: Term, atoms: dict[Term, str],
         return cached
     kind = term.kind
     if kind is TermKind.CONST:
-        result = {(): term.value % _MODULUS} if term.value % _MODULUS else {}
+        result = {(): term.value % _modulus()} if term.value % _modulus() else {}
     elif kind is TermKind.VAR:
         result = {(term.name,): 1}
     elif kind is TermKind.ADD:
@@ -133,18 +139,20 @@ def _polynomial(term: Term, atoms: dict[Term, str],
 
 
 def _poly_add(left: dict, right: dict, sign: int) -> dict:
+    modulus = _modulus()
     result = dict(left)
     for monomial, coefficient in right.items():
-        result[monomial] = (result.get(monomial, 0) + sign * coefficient) % _MODULUS
+        result[monomial] = (result.get(monomial, 0) + sign * coefficient) % modulus
         if result[monomial] == 0:
             del result[monomial]
     return result
 
 
 def _poly_scale(poly: dict, factor: int) -> dict:
+    modulus = _modulus()
     result = {}
     for monomial, coefficient in poly.items():
-        scaled = (coefficient * factor) % _MODULUS
+        scaled = (coefficient * factor) % modulus
         if scaled:
             result[monomial] = scaled
     return result
@@ -153,11 +161,12 @@ def _poly_scale(poly: dict, factor: int) -> dict:
 def _poly_mul(left: dict, right: dict) -> dict:
     if len(left) * len(right) > _MAX_MONOMIALS:
         raise _PolynomialBlowup()
+    modulus = _modulus()
     result: dict[tuple[str, ...], int] = {}
     for mono_l, coeff_l in left.items():
         for mono_r, coeff_r in right.items():
             monomial = tuple(sorted(mono_l + mono_r))
-            coefficient = (result.get(monomial, 0) + coeff_l * coeff_r) % _MODULUS
+            coefficient = (result.get(monomial, 0) + coeff_l * coeff_r) % modulus
             if coefficient:
                 result[monomial] = coefficient
             elif monomial in result:
@@ -218,12 +227,13 @@ def normalize_term(term: Term) -> Term:
       so a conditionally-accumulated scalar (``ite(c, s+x, s)``) matches the
       masked vector accumulation (``s + ite(c, x, 0)``).
     """
-    cached = _NORMALIZE_CACHE.get(term)
+    key = (active_bits(), term)
+    cached = _NORMALIZE_CACHE.get(key)
     if cached is None:
         cached = _normalize_node(term)
         if len(_NORMALIZE_CACHE) > _NORMALIZE_CACHE_CAP:
             _NORMALIZE_CACHE.clear()
-        _NORMALIZE_CACHE[term] = cached
+        _NORMALIZE_CACHE[key] = cached
     return cached
 
 
@@ -290,7 +300,7 @@ def _ordering_key(term: Term) -> tuple:
     return key
 
 
-_NORMALIZE_CACHE: dict[Term, Term] = {}
+_NORMALIZE_CACHE: dict[tuple[int, Term], Term] = {}
 _NORMALIZE_CACHE_CAP = 200_000
 
 
@@ -311,7 +321,13 @@ def terms_structurally_equal(left: Term, right: Term) -> bool:
 # ---------------------------------------------------------------------------
 
 
-_BOUNDARY_VALUES = [0, 1, 2, 7, 8, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0xFFFFFFFE]
+def _boundary_values(bits: int) -> list[int]:
+    """Boundary probe values at one modeled width (INT_MAX/INT_MIN/-1/-2)."""
+    top = 1 << bits
+    return [0, 1, 2, 7, 8, top // 2 - 1, top // 2, top - 1, top - 2]
+
+
+_BOUNDARY_VALUES = _boundary_values(WORD_BITS)
 
 
 def _alpha_canonical_pair(source: Term, target: Term) -> tuple[Term, Term, dict[str, str]]:
@@ -350,9 +366,15 @@ def _alpha_canonical_pair(source: Term, target: Term) -> tuple[Term, Term, dict[
 class EquivalenceChecker:
     """Checks pairs of terms for equivalence under a resource budget."""
 
-    def __init__(self, budget: SolverBudget | None = None, seed: int = 7):
+    def __init__(self, budget: SolverBudget | None = None, seed: int = 7,
+                 model_bits: int = WORD_BITS):
         self.budget = budget or SolverBudget()
         self.seed = seed
+        #: The modeled lane element width: normalization, concrete sampling
+        #: and full-width confirmation all run at this width (the SAT stage
+        #: still blasts at the reduced ``sat_bitwidth``).
+        self.model_bits = model_bits
+        self._boundaries = _boundary_values(model_bits)
 
     # -- public ------------------------------------------------------------------
 
@@ -360,7 +382,7 @@ class EquivalenceChecker:
         """Is ``source == target`` for all variable assignments?"""
         from repro.perf.profile import stage
 
-        with stage("solve"):
+        with stage("solve"), modeled_bits(self.model_bits):
             return self._check_pair(source, target)
 
     def _check_pair(self, source: Term, target: Term) -> EquivalenceResult:
@@ -391,7 +413,7 @@ class EquivalenceChecker:
         """
         from repro.perf.profile import stage
 
-        with stage("solve"):
+        with stage("solve"), modeled_bits(self.model_bits):
             return self._check_pairs(pairs)
 
     def _check_pairs(self, pairs: list[tuple[Term, Term]]) -> EquivalenceResult:
@@ -439,17 +461,19 @@ class EquivalenceChecker:
             variables |= collect_variables(source) | collect_variables(target)
         ordered = sorted(variables)
         rng = random.Random(self.seed)
+        bits = self.model_bits
         for sample in range(self.budget.random_samples):
             assignment: dict[str, int] = {}
             for name in ordered:
-                if sample < len(_BOUNDARY_VALUES):
-                    assignment[name] = to_unsigned(_BOUNDARY_VALUES[sample] + rng.randint(-2, 2))
+                if sample < len(self._boundaries):
+                    assignment[name] = to_unsigned(
+                        self._boundaries[sample] + rng.randint(-2, 2), bits)
                 elif sample % 3 == 0:
-                    assignment[name] = to_unsigned(rng.randint(-10, 10))
+                    assignment[name] = to_unsigned(rng.randint(-10, 10), bits)
                 else:
-                    assignment[name] = rng.getrandbits(WORD_BITS)
+                    assignment[name] = rng.getrandbits(bits)
             for source, target in pairs:
-                if evaluate(source, assignment) != evaluate(target, assignment):
+                if evaluate(source, assignment, bits) != evaluate(target, assignment, bits):
                     return assignment
         return None
 
@@ -458,17 +482,18 @@ class EquivalenceChecker:
     def _random_refute(self, source: Term, target: Term) -> Optional[dict[str, int]]:
         variables = sorted(collect_variables(source) | collect_variables(target))
         rng = random.Random(self.seed)
+        bits = self.model_bits
         for sample in range(self.budget.random_samples):
             assignment: dict[str, int] = {}
             for name in variables:
-                if sample < len(_BOUNDARY_VALUES):
-                    base = _BOUNDARY_VALUES[sample]
-                    assignment[name] = to_unsigned(base + rng.randint(-2, 2))
+                if sample < len(self._boundaries):
+                    base = self._boundaries[sample]
+                    assignment[name] = to_unsigned(base + rng.randint(-2, 2), bits)
                 elif sample % 3 == 0:
-                    assignment[name] = to_unsigned(rng.randint(-10, 10))
+                    assignment[name] = to_unsigned(rng.randint(-10, 10), bits)
                 else:
-                    assignment[name] = rng.getrandbits(WORD_BITS)
-            if evaluate(source, assignment) != evaluate(target, assignment):
+                    assignment[name] = rng.getrandbits(bits)
+            if evaluate(source, assignment, bits) != evaluate(target, assignment, bits):
                 return assignment
         return None
 
@@ -503,7 +528,8 @@ class EquivalenceChecker:
         budget = self.budget
         key = solvecache.query_key(pairs, budget.sat_bitwidth,
                                    budget.sat_conflict_budget,
-                                   budget.sat_propagation_budget)
+                                   budget.sat_propagation_budget,
+                                   model_bits=self.model_bits)
         record = solvecache.lookup(key)
         if record is not None:
             return self._result_from_record(record)
@@ -565,7 +591,8 @@ class EquivalenceChecker:
                 continue
             try:
                 if assignment is not None and \
-                        evaluate(source, assignment) != evaluate(target, assignment):
+                        evaluate(source, assignment, self.model_bits) != \
+                        evaluate(target, assignment, self.model_bits):
                     refutation = EquivalenceResult(
                         EquivalenceOutcome.NOT_EQUIVALENT, method="sat-model",
                         counterexample=assignment,
@@ -610,17 +637,16 @@ class EquivalenceChecker:
             sat_stats=SATStatistics(**stats) if stats else None,
         )
 
-    @staticmethod
-    def _model_to_assignment(blaster: BitBlaster, model: dict[int, bool]) -> dict[str, int]:
+    def _model_to_assignment(self, blaster: BitBlaster, model: dict[int, bool]) -> dict[str, int]:
         assignment: dict[str, int] = {}
         for name, bits in blaster._var_bits.items():
             value = 0
             for position, literal in enumerate(bits):
                 if model.get(abs(literal), False) == (literal > 0):
                     value |= 1 << position
-            # Sign-extend the reduced-width value into 32 bits so boundary
-            # behaviour (negative numbers) is preserved.
+            # Sign-extend the reduced-width value into the modeled width so
+            # boundary behaviour (negative numbers) is preserved.
             if value & (1 << (blaster.bits - 1)):
-                value |= ((1 << (WORD_BITS - blaster.bits)) - 1) << blaster.bits
+                value |= ((1 << (self.model_bits - blaster.bits)) - 1) << blaster.bits
             assignment[name] = value
         return assignment

@@ -88,15 +88,19 @@ _journal: list[tuple[str, dict]] = []
 
 
 def query_key(pairs: "list[tuple[Term, Term]]", bitwidth: int,
-              conflict_budget: int, propagation_budget: int) -> str:
+              conflict_budget: int, propagation_budget: int,
+              model_bits: int = 32) -> str:
     """The content address of one SAT query batch.
 
     Covers everything the batched solve depends on: the ordered source and
-    target term digests and the solver parameters.  Two batches with the
-    same key are solved bit-identically, which is the determinism contract
-    a cache hit relies on.
+    target term digests and the solver parameters, including the modeled
+    lane element width (``model_bits``) — structurally identical terms mean
+    different things at different widths, so dtype-distinct queries can
+    never share a record.  Two batches with the same key are solved
+    bit-identically, which is the determinism contract a cache hit relies
+    on.
     """
-    parts = [f"w{bitwidth}/c{conflict_budget}/p{propagation_budget}"]
+    parts = [f"w{bitwidth}/m{model_bits}/c{conflict_budget}/p{propagation_budget}"]
     for source, target in pairs:
         parts.append(term_digest(source))
         parts.append(term_digest(target))

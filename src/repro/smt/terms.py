@@ -1,23 +1,56 @@
 """Bitvector term language.
 
-Terms are immutable, hash-consed DAG nodes over a fixed word width (32 bits
-for the concrete semantics; the bit-blaster may re-interpret them at a
-reduced width).  The operation set covers exactly what the symbolic executor
-needs for TSVC kernels and their AVX2 vectorizations: wraparound arithmetic,
-bitwise logic, comparisons (yielding 0/1), if-then-else selection, min/max
-and absolute value.
+Terms are immutable, hash-consed DAG nodes over one modeled word width (32
+bits by default; the :func:`modeled_bits` context switches the active width
+to the kernel's lane element width, and the bit-blaster may re-interpret
+terms at a further reduced width).  The operation set covers exactly what
+the symbolic executor needs for TSVC kernels and their SIMD vectorizations:
+wraparound arithmetic, bitwise logic, comparisons (yielding 0/1),
+if-then-else selection, min/max and absolute value.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 WORD_BITS = 32
 _WORD_MASK = (1 << WORD_BITS) - 1
 _SIGN_BIT = 1 << (WORD_BITS - 1)
+
+#: The active modeled width.  Width-sensitive construction steps (constant
+#: masking, constant folding, the full-lane mask algebra) read it, so terms
+#: built inside ``modeled_bits(16)`` wrap like int16 lanes.  The default is
+#: the historical 32-bit word.
+_ACTIVE_BITS = WORD_BITS
+
+
+def active_bits() -> int:
+    """The modeled word width terms are currently being built at."""
+    return _ACTIVE_BITS
+
+
+@contextmanager
+def modeled_bits(bits: int) -> Iterator[None]:
+    """Build terms at ``bits``-wide word semantics for the ``with`` body.
+
+    The symbolic executor wraps each kernel encoding in this context so the
+    term layer's constant folding, constant masking and mask-algebra
+    rewrites all happen at the kernel's lane element width.  Nesting is
+    fine; the previous width is restored on exit.
+    """
+    global _ACTIVE_BITS
+    if bits <= 0:
+        raise ValueError(f"modeled width must be positive, got {bits}")
+    previous = _ACTIVE_BITS
+    _ACTIVE_BITS = bits
+    try:
+        yield
+    finally:
+        _ACTIVE_BITS = previous
 
 
 def to_signed(value: int, bits: int = WORD_BITS) -> int:
@@ -130,7 +163,7 @@ _NODE_CACHE: dict[tuple[TermKind, tuple["Term", ...]], Term] = {}
 #: executor rebuilds structurally identical subtrees once per bounded-unroll
 #: copy; this returns the previously simplified (and interned) result
 #: without re-running folding, identity and mask-algebra rewrites.
-_MK_CACHE: dict[tuple[TermKind, tuple["Term", ...]], Term] = {}
+_MK_CACHE: dict[tuple[int, TermKind, tuple["Term", ...]], Term] = {}
 
 _TERM_CACHE_LIMIT = 200_000
 
@@ -147,7 +180,7 @@ def _intern(kind: TermKind, args: tuple[Term, ...]) -> Term:
 
 
 def bv_const(value: int) -> Term:
-    value = to_unsigned(int(value))
+    value = to_unsigned(int(value), _ACTIVE_BITS)
     if value not in _CONST_CACHE:
         _CONST_CACHE[value] = Term(TermKind.CONST, value=value)
     return _CONST_CACHE[value]
@@ -178,7 +211,9 @@ def mk(kind: TermKind, *args: Term) -> Term:
     arguments returns the same object, and the simplification rules run
     only on the first call.
     """
-    memo_key = (kind, args)
+    # Simplification is width-sensitive (folding, mask algebra), so the memo
+    # is keyed by the active modeled width as well as the node itself.
+    memo_key = (_ACTIVE_BITS, kind, args)
     cached = _MK_CACHE.get(memo_key)
     if cached is not None:
         return cached
@@ -197,7 +232,7 @@ def _mk_uncached(kind: TermKind, *args: Term) -> Term:
             if a.kind is TermKind.POISON:
                 return a
     if _all_const(args):
-        return bv_const(evaluate(Term(kind, tuple(args)), {}))
+        return bv_const(evaluate(Term(kind, tuple(args)), {}, bits=_ACTIVE_BITS))
     if kind is TermKind.ADD:
         left, right = args
         if left is ZERO:
@@ -279,7 +314,9 @@ def _comparison_negation(kind: TermKind, args: tuple[Term, ...]) -> Term | None:
     return None
 
 
-_ALL_ONES_VALUE = _WORD_MASK
+def _all_ones_value() -> int:
+    """The all-ones constant (-1) at the active modeled width."""
+    return (1 << _ACTIVE_BITS) - 1
 
 
 def _as_lane_mask(term: Term) -> Term | None:
@@ -288,7 +325,7 @@ def _as_lane_mask(term: Term) -> Term | None:
         term.kind is TermKind.ITE
         and term.args[1].kind is TermKind.CONST
         and term.args[2].kind is TermKind.CONST
-        and term.args[1].value == _ALL_ONES_VALUE
+        and term.args[1].value == _all_ones_value()
         and term.args[2].value == 0
     ):
         return term.args[0]
@@ -334,7 +371,7 @@ def _mask_algebra(kind: TermKind, args: tuple[Term, ...]) -> Term | None:
         left, right = args
         for mask_arg, other in ((left, right), (right, left)):
             cond = _as_lane_mask(mask_arg)
-            if cond is not None and other.kind is TermKind.CONST and other.value == _ALL_ONES_VALUE:
+            if cond is not None and other.kind is TermKind.CONST and other.value == _all_ones_value():
                 return mk(TermKind.ITE, _bool_not(cond), bv_const(-1), bv_const(0))
     return None
 

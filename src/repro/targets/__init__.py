@@ -20,6 +20,7 @@ from repro.targets.isa import (
     SSE4,
     SVE128,
     SVE256,
+    VECTOR_TYPE_BITS,
     VECTOR_TYPE_LANES,
     TargetISA,
     UnknownIntrinsicName,
@@ -27,12 +28,14 @@ from repro.targets.isa import (
     all_targets,
     contains_known_intrinsics,
     detect_target,
+    dtype_of_spelling,
     get_target,
     known_intrinsic_spellings,
     resolve_intrinsic,
     resolve_target_setting,
     target_names,
     vector_type_lanes,
+    vector_type_lanes_for,
 )
 
 __all__ = [
@@ -46,6 +49,7 @@ __all__ = [
     "SSE4",
     "SVE128",
     "SVE256",
+    "VECTOR_TYPE_BITS",
     "VECTOR_TYPE_LANES",
     "TargetISA",
     "UnknownIntrinsicName",
@@ -53,10 +57,12 @@ __all__ = [
     "all_targets",
     "contains_known_intrinsics",
     "detect_target",
+    "dtype_of_spelling",
     "get_target",
     "known_intrinsic_spellings",
     "resolve_intrinsic",
     "resolve_target_setting",
     "target_names",
     "vector_type_lanes",
+    "vector_type_lanes_for",
 ]

@@ -45,17 +45,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from repro.lanetypes import INT32, LaneType, get_lane_type
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cfront derives
     from repro.cfront.ctypes import CType  # its vector types from this module)
 
 
 class UnsupportedTargetOperation(KeyError):
-    """A generic vector operation the active target cannot express."""
+    """A generic vector operation the active target cannot express
+    (at the requested lane element type)."""
 
-    def __init__(self, target: "TargetISA", op: str):
-        super().__init__(f"{target.display_name} has no intrinsic for {op!r}")
+    def __init__(self, target: "TargetISA", op: str,
+                 dtype: "LaneType | None" = None):
+        dtype = get_lane_type(dtype)
+        if dtype is INT32:
+            message = f"{target.display_name} has no intrinsic for {op!r}"
+        else:
+            message = (f"{target.display_name} has no {dtype.name} "
+                       f"intrinsic for {op!r}")
+        super().__init__(message)
         self.target = target
         self.op = op
+        self.dtype = dtype
 
 
 class UnknownIntrinsicName(KeyError):
@@ -74,25 +85,40 @@ class UnknownIntrinsicName(KeyError):
         self.name = name
 
 
-def _x86_op_names(prefix: str, si: str, **overrides: str) -> dict[str, str]:
+def _x86_op_names(prefix: str, si: str, bits: int = 32,
+                  **overrides: str) -> dict[str, str]:
     """The regular x86 naming scheme: ``{prefix}_{op}`` / ``{prefix}_{op}_{si}``.
 
     Keys are the ISA-neutral generic operation names the rest of the
-    pipeline speaks; values are this scheme's concrete spellings.
+    pipeline speaks; values are this scheme's concrete spellings at one lane
+    element width (``bits``).  The ``si``-typed spellings (bitwise logic,
+    whole-register memory, ``setzero``, the byte blend, the half permute)
+    are element-type-free and come out identical at every width — the dtype
+    of those operations travels with the kernel's declared element type, not
+    with the intrinsic name.  Element-typed ops carry the ``_epi{bits}``
+    suffix, and the availability holes of the real ISA are modelled:
+    16-bit lanes have no masked memory and no in-block shuffle, 64-bit
+    lanes additionally lack ``mullo``/``min``/``max``/``abs``/``srai``/
+    ``hadd`` below AVX-512 (whose per-dtype overrides restore them).
+
     ``overrides`` replaces individual entries (e.g. AVX-512's native masked
     forms); mapping an op to an empty string removes it, which is how a
     target declares an operation unavailable.
     """
+    e = f"epi{bits}"
+    # 64-bit scalar-argument constructors spell the lane width as ``epi64x``
+    # at the 128-/256-bit register sizes (``_mm512`` drops the ``x``).
+    ctor = e if bits != 64 or prefix == "_mm512" else "epi64x"
     names = {
         # per-lane arithmetic / comparison
-        "add": f"{prefix}_add_epi32",
-        "sub": f"{prefix}_sub_epi32",
-        "mul": f"{prefix}_mullo_epi32",
-        "cmpgt": f"{prefix}_cmpgt_epi32",
-        "cmpeq": f"{prefix}_cmpeq_epi32",
-        "max": f"{prefix}_max_epi32",
-        "min": f"{prefix}_min_epi32",
-        "abs": f"{prefix}_abs_epi32",
+        "add": f"{prefix}_add_{e}",
+        "sub": f"{prefix}_sub_{e}",
+        "mul": f"{prefix}_mullo_{e}",
+        "cmpgt": f"{prefix}_cmpgt_{e}",
+        "cmpeq": f"{prefix}_cmpeq_{e}",
+        "max": f"{prefix}_max_{e}",
+        "min": f"{prefix}_min_{e}",
+        "abs": f"{prefix}_abs_{e}",
         # full-register bitwise
         "and": f"{prefix}_and_{si}",
         "or": f"{prefix}_or_{si}",
@@ -100,25 +126,33 @@ def _x86_op_names(prefix: str, si: str, **overrides: str) -> dict[str, str]:
         "andnot": f"{prefix}_andnot_{si}",
         # per-lane selects and shifts
         "select": f"{prefix}_blendv_epi8",
-        "srl": f"{prefix}_srli_epi32",
-        "sll": f"{prefix}_slli_epi32",
-        "sra": f"{prefix}_srai_epi32",
+        "srl": f"{prefix}_srli_{e}",
+        "sll": f"{prefix}_slli_{e}",
+        "sra": f"{prefix}_srai_{e}",
         # lane rearrangement
-        "shuffle": f"{prefix}_shuffle_epi32",
-        "hadd": f"{prefix}_hadd_epi32",
+        "shuffle": f"{prefix}_shuffle_{e}",
+        "hadd": f"{prefix}_hadd_{e}",
         "permute_halves": f"{prefix}_permute2x128_{si}",
         # memory
         "loadu": f"{prefix}_loadu_{si}",
         "storeu": f"{prefix}_storeu_{si}",
-        "maskload": f"{prefix}_maskload_epi32",
-        "maskstore": f"{prefix}_maskstore_epi32",
+        "maskload": f"{prefix}_maskload_{e}",
+        "maskstore": f"{prefix}_maskstore_{e}",
         # vector construction / extraction
-        "set1": f"{prefix}_set1_epi32",
+        "set1": f"{prefix}_set1_{ctor}",
         "setzero": f"{prefix}_setzero_{si}",
-        "setr": f"{prefix}_setr_epi32",
-        "set": f"{prefix}_set_epi32",
-        "extract": f"{prefix}_extract_epi32",
+        "setr": f"{prefix}_setr_{ctor}",
+        "set": f"{prefix}_set_{ctor}",
+        "extract": f"{prefix}_extract_{e}",
     }
+    if bits == 16:
+        # No ``_mm*_maskload_epi16`` and no in-block dword-style shuffle.
+        for op in ("maskload", "maskstore", "shuffle"):
+            names.pop(op)
+    elif bits == 64:
+        # Pre-AVX-512 holes; AVX-512's per-dtype overrides restore most.
+        for op in ("mul", "max", "min", "abs", "sra", "shuffle", "hadd"):
+            names.pop(op)
     for op, name in overrides.items():
         if name:
             names[op] = name
@@ -127,7 +161,45 @@ def _x86_op_names(prefix: str, si: str, **overrides: str) -> dict[str, str]:
     return names
 
 
-def _sve_op_names(vl_bits: int) -> dict[str, str]:
+def _neon_op_names(bits: int = 32) -> dict[str, str]:
+    """The ARM NEON (AArch64 AdvSIMD) naming scheme at one element width.
+
+    The ``_s{bits}`` suffix carries the element type in every spelling, so
+    unlike x86 there are no shared dtype-free names.  64-bit lanes model the
+    real AdvSIMD holes: no ``vmulq_s64`` and no ``vmaxq_s64``/``vminq_s64``
+    (the A64 ISA has no 64-bit lane multiply or min/max).
+    """
+    s = f"s{bits}"
+    names = {
+        "add": f"vaddq_{s}",
+        "sub": f"vsubq_{s}",
+        "mul": f"vmulq_{s}",
+        "cmpgt": f"vcgtq_{s}",
+        "cmpeq": f"vceqq_{s}",
+        "max": f"vmaxq_{s}",
+        "min": f"vminq_{s}",
+        "abs": f"vabsq_{s}",
+        "and": f"vandq_{s}",
+        "or": f"vorrq_{s}",
+        "xor": f"veorq_{s}",
+        "select": f"vbslq_{s}",
+        "srl": f"vshrq_n_u{bits}",
+        "sll": f"vshlq_n_{s}",
+        "sra": f"vshrq_n_{s}",
+        "hadd": f"vpaddq_{s}",
+        "loadu": f"vld1q_{s}",
+        "storeu": f"vst1q_{s}",
+        "set1": f"vdupq_n_{s}",
+        "setr": f"vsetq_{s}",
+        "extract": f"vgetq_lane_{s}",
+    }
+    if bits == 64:
+        for op in ("mul", "max", "min"):
+            names.pop(op)
+    return names
+
+
+def _sve_op_names(vl_bits: int, bits: int = 32) -> dict[str, str]:
     """The ARM SVE (ACLE) naming scheme at one simulated vector length.
 
     Real ACLE spellings are deliberately VL-agnostic (``svadd_s32_x`` works
@@ -144,41 +216,50 @@ def _sve_op_names(vl_bits: int) -> dict[str, str]:
     no unpredicated memory operations and its comparisons produce predicate
     registers, so the predicate-first generic ops (``pload``/``pstore``/
     ``pcmpgt``/``psel`` ...) are the only way to touch memory or build masks.
+
+    SVE's op set is fully orthogonal over element types — ``bits`` swaps
+    the ``_s32``/``_b32`` suffixes for ``_s16``/``_b16`` or ``_s64``/
+    ``_b64`` without any availability holes, exactly like real ACLE.  The
+    predicate logic ops (``svnot_b_z`` ...) are element-type-free on the
+    ``svbool_t`` register and shared across dtypes.
     """
     s = f"_vl{vl_bits}"
+    e = f"s{bits}"
+    b = f"b{bits}"
     return {
         # unpredicated ("don't-care" _x form) data ops
-        "add": f"svadd_s32_x{s}",
-        "sub": f"svsub_s32_x{s}",
-        "mul": f"svmul_s32_x{s}",
-        "max": f"svmax_s32_x{s}",
-        "min": f"svmin_s32_x{s}",
-        "abs": f"svabs_s32_x{s}",
-        "and": f"svand_s32_x{s}",
-        "or": f"svorr_s32_x{s}",
-        "xor": f"sveor_s32_x{s}",
-        "srl": f"svlsr_n_s32_x{s}",
-        "sll": f"svlsl_n_s32_x{s}",
-        "sra": f"svasr_n_s32_x{s}",
+        "add": f"svadd_{e}_x{s}",
+        "sub": f"svsub_{e}_x{s}",
+        "mul": f"svmul_{e}_x{s}",
+        "max": f"svmax_{e}_x{s}",
+        "min": f"svmin_{e}_x{s}",
+        "abs": f"svabs_{e}_x{s}",
+        "and": f"svand_{e}_x{s}",
+        "or": f"svorr_{e}_x{s}",
+        "xor": f"sveor_{e}_x{s}",
+        "srl": f"svlsr_n_{e}_x{s}",
+        "sll": f"svlsl_n_{e}_x{s}",
+        "sra": f"svasr_n_{e}_x{s}",
         # construction / extraction
-        "set1": f"svdup_n_s32{s}",
-        "index": f"svindex_s32{s}",
-        "extract": f"svget_lane_s32{s}",
+        "set1": f"svdup_n_{e}{s}",
+        "index": f"svindex_{e}{s}",
+        "extract": f"svget_lane_{e}{s}",
         # predicate construction and queries
-        "ptrue": f"svptrue_b32{s}",
-        "whilelt": f"svwhilelt_b32{s}",
-        "ptest_any": f"svptest_any_b32{s}",
-        # predicate logic (zeroing forms, governed by the first operand)
+        "ptrue": f"svptrue_{b}{s}",
+        "whilelt": f"svwhilelt_{b}{s}",
+        "ptest_any": f"svptest_any_{b}{s}",
+        # predicate logic (zeroing forms, governed by the first operand;
+        # element-type-free on the svbool_t register)
         "pnot": f"svnot_b_z{s}",
         "pand": f"svand_b_z{s}",
         "por": f"svorr_b_z{s}",
         # predicate-producing comparisons and predicate-consuming ops
-        "pcmpgt": f"svcmpgt_s32{s}",
-        "pcmpeq": f"svcmpeq_s32{s}",
-        "psel": f"svsel_s32{s}",
-        "pload": f"svld1_s32{s}",
-        "pstore": f"svst1_s32{s}",
-        "padd": f"svadd_s32_m{s}",
+        "pcmpgt": f"svcmpgt_{e}{s}",
+        "pcmpeq": f"svcmpeq_{e}{s}",
+        "psel": f"svsel_{e}{s}",
+        "pload": f"svld1_{e}{s}",
+        "pstore": f"svst1_{e}{s}",
+        "padd": f"svadd_{e}_m{s}",
     }
 
 
@@ -226,6 +307,17 @@ class TargetISA:
     #: initializer — the width travels with the intrinsic names, never with
     #: the type.
     scalable: bool = False
+    #: Generic operation tables for the non-default lane element types,
+    #: keyed by dtype name (``"int16"``/``"int64"``).  ``op_names`` remains
+    #: the int32 table.  An op absent from a dtype's table is unavailable on
+    #: the target at that element type; a dtype absent entirely is
+    #: unsupported by the target.
+    op_names_by_dtype: Mapping[str, Mapping[str, str]] = field(default_factory=dict)
+    #: C vector type per non-default dtype (dtype name -> type name).  ARM
+    #: types carry the element type (``int16x8_t``, ``svint64_t``); x86's
+    #: ``__m256i`` is element-type-free and used for every dtype, so x86
+    #: targets leave this empty.
+    vector_types_by_dtype: Mapping[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         reverse: dict[str, str] = {}
@@ -237,6 +329,27 @@ class TargetISA:
                 )
             reverse[spelled] = op
         object.__setattr__(self, "_ops_by_name", reverse)
+        # Spellings across every dtype table (op identity is dtype-free:
+        # one spelling may recur across dtype tables — the x86 ``si``-typed
+        # names do — but always for the same generic op).
+        all_spellings: dict[str, str] = dict(reverse)
+        spelling_dtype: dict[str, str] = {}
+        for dtype_name, table in self.op_names_by_dtype.items():
+            for op, spelled in table.items():
+                prior = all_spellings.get(spelled)
+                if prior is not None and prior != op:
+                    raise ValueError(
+                        f"{self.display_name}: spelling {spelled!r} assigned "
+                        f"to both {prior!r} and {op!r}"
+                    )
+                if spelled in all_spellings:
+                    # Shared across dtypes: the spelling is dtype-free.
+                    spelling_dtype.pop(spelled, None)
+                else:
+                    all_spellings[spelled] = op
+                    spelling_dtype[spelled] = dtype_name
+        object.__setattr__(self, "_ops_by_name_all", all_spellings)
+        object.__setattr__(self, "_dtype_by_name", spelling_dtype)
 
     # -- capability queries -------------------------------------------------
 
@@ -244,9 +357,41 @@ class TargetISA:
     def register_bits(self) -> int:
         return self.lanes * self.lane_bits
 
-    def supports(self, op: str) -> bool:
-        """Whether the generic operation ``op`` exists on this target."""
-        return op in self.op_names
+    def lane_types(self) -> tuple[LaneType, ...]:
+        """The lane element types this target has op tables for."""
+        return (INT32,) + tuple(
+            get_lane_type(name) for name in self.op_names_by_dtype
+        )
+
+    def supports_dtype(self, dtype: "LaneType | str | None") -> bool:
+        """Whether this target has an op table for ``dtype`` at all."""
+        dtype = get_lane_type(dtype)
+        return dtype is INT32 or dtype.name in self.op_names_by_dtype
+
+    def lanes_for(self, dtype: "LaneType | str | None" = None) -> int:
+        """Lane count of one register at ``dtype`` (default int32)."""
+        return self.register_bits // get_lane_type(dtype).bits
+
+    def op_table(self, dtype: "LaneType | str | None" = None) -> Mapping[str, str]:
+        """The generic-op -> spelling table at one element type."""
+        dtype = get_lane_type(dtype)
+        if dtype is INT32:
+            return self.op_names
+        table = self.op_names_by_dtype.get(dtype.name)
+        if table is None:
+            raise ValueError(
+                f"{self.display_name} has no {dtype.name} operation table"
+            )
+        return table
+
+    def supports(self, op: str,
+                 dtype: "LaneType | str | None" = None) -> bool:
+        """Whether the generic operation ``op`` exists on this target (at
+        the given lane element type; default int32)."""
+        dtype = get_lane_type(dtype)
+        if dtype is INT32:
+            return op in self.op_names
+        return op in self.op_names_by_dtype.get(dtype.name, {})
 
     @property
     def has_masked_memory(self) -> bool:
@@ -283,25 +428,43 @@ class TargetISA:
 
     # -- spelling (the bidirectional op <-> name mapping) -------------------
 
-    def intrinsic(self, op: str) -> str:
-        """Concrete intrinsic name for a generic op (raises if unavailable)."""
+    def intrinsic(self, op: str,
+                  dtype: "LaneType | str | None" = None) -> str:
+        """Concrete intrinsic name for a generic op at one lane element
+        type (default int32); raises if unavailable."""
         try:
-            return self.op_names[op]
-        except KeyError:
-            raise UnsupportedTargetOperation(self, op) from None
+            return self.op_table(dtype)[op]
+        except (KeyError, ValueError):
+            raise UnsupportedTargetOperation(self, op, dtype) from None
 
     def op_of(self, name: str) -> str:
         """Generic op of one of *this* target's spellings (raises otherwise)."""
         try:
-            return self._ops_by_name[name]
+            return self._ops_by_name_all[name]
         except KeyError:
             raise UnknownIntrinsicName(name) from None
 
     def spells(self, name: str) -> bool:
-        """Whether ``name`` is one of this target's intrinsic spellings."""
-        return name in self._ops_by_name
+        """Whether ``name`` is one of this target's intrinsic spellings
+        (at any lane element type)."""
+        return name in self._ops_by_name_all
 
-    def zero_call(self) -> tuple[str, tuple[int, ...]]:
+    def dtype_of(self, name: str) -> "LaneType | None":
+        """The lane element type a spelling of this target is dedicated to,
+        or ``None`` for dtype-free spellings (x86 ``si``-typed names, SVE
+        predicate logic) shared across element types."""
+        if name in self._dtype_by_name:
+            return get_lane_type(self._dtype_by_name[name])
+        if name in self._ops_by_name:
+            # In the int32 table and in no dtype table under another dtype:
+            # dedicated to int32 unless some dtype table shares the spelling.
+            shared = any(name in table
+                         for table in self.op_names_by_dtype.values())
+            return None if shared else INT32
+        return None
+
+    def zero_call(self, dtype: "LaneType | str | None" = None,
+                  ) -> tuple[str, tuple[int, ...]]:
         """How this target materializes an all-zero register, as
         ``(intrinsic name, immediate args)``.
 
@@ -309,11 +472,25 @@ class TargetISA:
         (``vdupq_n_s32(0)``), so targets without ``setzero`` fall back to
         ``set1`` with a literal 0 argument.
         """
-        if self.supports("setzero"):
-            return self.intrinsic("setzero"), ()
-        return self.intrinsic("set1"), (0,)
+        if self.supports("setzero", dtype):
+            return self.intrinsic("setzero", dtype), ()
+        return self.intrinsic("set1", dtype), (0,)
 
     # -- C-type plumbing ----------------------------------------------------
+
+    def vector_type_for(self, dtype: "LaneType | str | None" = None) -> str:
+        """The C vector type at one lane element type (default int32)."""
+        dtype = get_lane_type(dtype)
+        if dtype is INT32:
+            return self.vector_type
+        named = self.vector_types_by_dtype.get(dtype.name)
+        if named is not None:
+            return named
+        if not self.supports_dtype(dtype):
+            raise ValueError(
+                f"{self.display_name} has no {dtype.name} vector type"
+            )
+        return self.vector_type
 
     @property
     def vector_ctype(self) -> "CType":
@@ -321,11 +498,22 @@ class TargetISA:
 
         return CType(self.vector_type)
 
+    def vector_ctype_for(self, dtype: "LaneType | str | None" = None) -> "CType":
+        from repro.cfront.ctypes import CType
+
+        return CType(self.vector_type_for(dtype))
+
     @property
     def vector_pointer_ctype(self) -> "CType":
         from repro.cfront.ctypes import CType
 
         return CType(self.vector_type, 1)
+
+    def vector_pointer_ctype_for(self,
+                                 dtype: "LaneType | str | None" = None) -> "CType":
+        from repro.cfront.ctypes import CType
+
+        return CType(self.vector_type_for(dtype), 1)
 
     @property
     def predicate_ctype(self) -> "CType":
@@ -358,6 +546,10 @@ SSE4 = TargetISA(
     },
     intrinsic_cost_overrides={"loadu": 2.0, "storeu": 2.0, "extract": 1.0},
     bogus_gather_spelling="_mm_gather_load_epi32",
+    op_names_by_dtype={
+        "int16": _x86_op_names("_mm", "si128", 16, permute_halves=""),
+        "int64": _x86_op_names("_mm", "si128", 64, permute_halves=""),
+    },
 )
 
 #: 4 x 32-bit lanes with the ARM NEON (AArch64 AdvSIMD) naming scheme: the
@@ -386,29 +578,12 @@ NEON = TargetISA(
     lanes=4,
     vector_type="int32x4_t",
     prefix="v",
-    op_names={
-        "add": "vaddq_s32",
-        "sub": "vsubq_s32",
-        "mul": "vmulq_s32",
-        "cmpgt": "vcgtq_s32",
-        "cmpeq": "vceqq_s32",
-        "max": "vmaxq_s32",
-        "min": "vminq_s32",
-        "abs": "vabsq_s32",
-        "and": "vandq_s32",
-        "or": "vorrq_s32",
-        "xor": "veorq_s32",
-        "select": "vbslq_s32",
-        "srl": "vshrq_n_u32",
-        "sll": "vshlq_n_s32",
-        "sra": "vshrq_n_s32",
-        "hadd": "vpaddq_s32",
-        "loadu": "vld1q_s32",
-        "storeu": "vst1q_s32",
-        "set1": "vdupq_n_s32",
-        "setr": "vsetq_s32",
-        "extract": "vgetq_lane_s32",
+    op_names=_neon_op_names(),
+    op_names_by_dtype={
+        "int16": _neon_op_names(16),
+        "int64": _neon_op_names(64),
     },
+    vector_types_by_dtype={"int16": "int16x8_t", "int64": "int64x2_t"},
     vector_cost_overrides={
         # 128-bit memory ops, like SSE4; NEON multiplies are single-uop and
         # lane extraction is cheap on AArch64 cores.
@@ -441,6 +616,11 @@ SVE128 = TargetISA(
     vector_type="svint32_t",
     prefix="sv",
     op_names=_sve_op_names(128),
+    op_names_by_dtype={
+        "int16": _sve_op_names(128, 16),
+        "int64": _sve_op_names(128, 64),
+    },
+    vector_types_by_dtype={"int16": "svint16_t", "int64": "svint64_t"},
     vector_cost_overrides={
         # 128-bit predicated memory moves half the data of the 256-bit base
         # figures (SVE has no unpredicated loads/stores, so only the
@@ -470,6 +650,11 @@ SVE256 = TargetISA(
     vector_type="svint32_t",
     prefix="sv",
     op_names=_sve_op_names(256),
+    op_names_by_dtype={
+        "int16": _sve_op_names(256, 16),
+        "int64": _sve_op_names(256, 64),
+    },
+    vector_types_by_dtype={"int16": "svint16_t", "int64": "svint64_t"},
     vector_cost_overrides={
         # 256-bit predicated memory: AVX2-class traffic plus the predicate
         # overhead.
@@ -496,6 +681,10 @@ AVX2 = TargetISA(
     op_names=_x86_op_names("_mm256", "si256",
                            cast_low="_mm256_castsi256_si128"),
     bogus_gather_spelling="_mm256_gather_load_epi32",
+    op_names_by_dtype={
+        "int16": _x86_op_names("_mm256", "si256", 16),
+        "int64": _x86_op_names("_mm256", "si256", 64),
+    },
 )
 
 #: 16 x 32-bit lanes with native masked memory ops and blends.  Horizontal
@@ -525,6 +714,31 @@ AVX512 = TargetISA(
         hadd="",
         permute_halves="",
     ),
+    op_names_by_dtype={
+        # AVX-512BW: the full 16-bit lane op set, with native masked forms.
+        "int16": _x86_op_names(
+            "_mm512", "si512", 16,
+            select="_mm512_mask_blend_epi16",
+            maskload="_mm512_mask_loadu_epi16",
+            maskstore="_mm512_mask_storeu_epi16",
+            hadd="",
+            permute_halves="",
+        ),
+        # AVX-512F/DQ restore the pre-512 64-bit holes: mullo (DQ),
+        # min/max/abs (F) and an arithmetic 64-bit right shift.
+        "int64": _x86_op_names(
+            "_mm512", "si512", 64,
+            mul="_mm512_mullo_epi64",
+            max="_mm512_max_epi64",
+            min="_mm512_min_epi64",
+            abs="_mm512_abs_epi64",
+            sra="_mm512_srai_epi64",
+            select="_mm512_mask_blend_epi64",
+            maskload="_mm512_mask_loadu_epi64",
+            maskstore="_mm512_mask_storeu_epi64",
+            permute_halves="",
+        ),
+    },
     vector_cost_overrides={
         # 512-bit ops: wider data per instruction, slightly worse latency
         # (port 5 pressure / licence-level downclock on Skylake-X-class cores).
@@ -564,22 +778,64 @@ _BY_NAME = {target.name: target for target in ALL_TARGETS}
 
 
 def _build_spelling_index() -> dict[str, tuple[str, str]]:
-    """Intrinsic spelling -> (target name, generic op), across all targets."""
+    """Intrinsic spelling -> (target name, generic op), across all targets
+    and lane element types."""
     index: dict[str, tuple[str, str]] = {}
     for target in ALL_TARGETS:
-        for op, spelled in target.op_names.items():
-            existing = index.get(spelled)
-            if existing is not None and existing[1] != op:
-                raise RuntimeError(
-                    f"intrinsic spelling collision across targets: {spelled!r} "
-                    f"is {existing[1]!r} on {existing[0]} but {op!r} on {target.name}"
-                )
-            if existing is None:
-                index[spelled] = (target.name, op)
+        tables = [target.op_names, *target.op_names_by_dtype.values()]
+        for table in tables:
+            for op, spelled in table.items():
+                existing = index.get(spelled)
+                if existing is not None and existing[1] != op:
+                    raise RuntimeError(
+                        f"intrinsic spelling collision across targets: {spelled!r} "
+                        f"is {existing[1]!r} on {existing[0]} but {op!r} on {target.name}"
+                    )
+                if existing is None:
+                    index[spelled] = (target.name, op)
     return index
 
 
 _SPELLING_INDEX = _build_spelling_index()
+
+
+def _build_spelling_dtypes() -> dict[str, str]:
+    """Spelling -> dtype name, for spellings dedicated to one element type.
+
+    Dtype-free spellings (x86 ``si``-typed names, the byte blend, SVE
+    predicate logic) are absent: their element type travels with the
+    kernel's declared C types, not with the intrinsic name.
+    """
+    dedicated: dict[str, str] = {}
+    shared: set[str] = set()
+    for target in ALL_TARGETS:
+        tables = {INT32.name: target.op_names, **target.op_names_by_dtype}
+        for dtype_name, table in tables.items():
+            for spelled in table.values():
+                prior = dedicated.get(spelled)
+                if spelled in shared:
+                    continue
+                if prior is None:
+                    dedicated[spelled] = dtype_name
+                elif prior != dtype_name:
+                    dedicated.pop(spelled)
+                    shared.add(spelled)
+    return dedicated
+
+
+_SPELLING_DTYPES = _build_spelling_dtypes()
+
+
+def dtype_of_spelling(name: str) -> "LaneType | None":
+    """The lane element type an intrinsic spelling is dedicated to, or
+    ``None`` for dtype-free spellings shared across element types.
+
+    Raises :class:`UnknownIntrinsicName` for spellings no target emits.
+    """
+    if name not in _SPELLING_INDEX:
+        raise UnknownIntrinsicName(name)
+    dtype_name = _SPELLING_DTYPES.get(name)
+    return None if dtype_name is None else get_lane_type(dtype_name)
 
 
 #: Lane count recorded for scalable vector types: the width is simulated
@@ -592,14 +848,27 @@ SCALABLE_LANES = 0
 def _build_vector_type_lanes() -> dict[str, int]:
     table: dict[str, int] = {}
     for target in ALL_TARGETS:
-        lanes = SCALABLE_LANES if target.scalable else target.lanes
-        existing = table.get(target.vector_type)
-        if existing is not None and existing != lanes:
-            raise RuntimeError(
-                f"vector type {target.vector_type!r} registered with both "
-                f"{existing} and {lanes} lanes"
-            )
-        table[target.vector_type] = lanes
+        # The target's own (int32) vector type, plus any dtype-dedicated
+        # type names (``int16x8_t``, ``svint64_t`` ...).  x86's
+        # element-type-free register types stay at their int32 lane count —
+        # reinterpreting them under another dtype needs the kernel's dtype
+        # context (:func:`vector_type_lanes_for`).
+        entries = [(target.vector_type,
+                    SCALABLE_LANES if target.scalable else target.lanes)]
+        for dtype_name, type_name in target.vector_types_by_dtype.items():
+            if type_name == target.vector_type:
+                continue
+            lanes = (SCALABLE_LANES if target.scalable
+                     else target.lanes_for(dtype_name))
+            entries.append((type_name, lanes))
+        for type_name, lanes in entries:
+            existing = table.get(type_name)
+            if existing is not None and existing != lanes:
+                raise RuntimeError(
+                    f"vector type {type_name!r} registered with both "
+                    f"{existing} and {lanes} lanes"
+                )
+            table[type_name] = lanes
     return table
 
 
@@ -616,6 +885,48 @@ VECTOR_TYPE_LANES: dict[str, int] = _build_vector_type_lanes()
 PREDICATE_TYPE_NAMES: frozenset[str] = frozenset(
     target.predicate_type for target in ALL_TARGETS if target.predicate_type
 )
+
+
+def _build_vector_type_bits() -> dict[str, int]:
+    """Vector type name -> register size in bits (0 for scalable types)."""
+    table: dict[str, int] = {}
+    for target in ALL_TARGETS:
+        names = {target.vector_type, *target.vector_types_by_dtype.values()}
+        bits = 0 if target.scalable else target.register_bits
+        for type_name in names:
+            existing = table.get(type_name)
+            if existing is not None and existing != bits:
+                raise RuntimeError(
+                    f"vector type {type_name!r} registered with both "
+                    f"{existing} and {bits} register bits"
+                )
+            table[type_name] = bits
+    return table
+
+
+#: Vector type name -> register size in bits (0 = scalable).  The dtype
+#: context needed to reinterpret an element-type-free register type
+#: (``__m256i`` as 8 int32 / 16 int16 / 4 int64 lanes) enters through
+#: :func:`vector_type_lanes_for`.
+VECTOR_TYPE_BITS: dict[str, int] = _build_vector_type_bits()
+
+
+def vector_type_lanes_for(type_name: str,
+                          dtype: "LaneType | str | None" = None) -> int:
+    """Lane count of a vector type at one lane element type.
+
+    Scalable types return :data:`SCALABLE_LANES` (the width travels with
+    the intrinsic names, never with the type).  Without an explicit
+    ``dtype`` the type's registered natural lane count applies — dedicated
+    type names (``int64x2_t``) carry their own element type, and the
+    element-type-free x86 register types default to int32.
+    """
+    bits = VECTOR_TYPE_BITS[type_name]
+    if bits == 0:
+        return SCALABLE_LANES
+    if dtype is None:
+        return VECTOR_TYPE_LANES[type_name]
+    return bits // get_lane_type(dtype).bits
 
 
 def vector_type_lanes() -> dict[str, int]:
@@ -693,6 +1004,7 @@ def detect_target(source: str, default: "TargetISA | str | None" = None) -> Targ
     pipeline default when not given).
     """
     for target in sorted(ALL_TARGETS, key=lambda t: -t.lanes):
-        if any(name in source for name in target.op_names.values()):
+        tables = [target.op_names, *target.op_names_by_dtype.values()]
+        if any(name in source for table in tables for name in table.values()):
             return target
     return get_target(default)

@@ -27,8 +27,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cfront import ast_nodes as ast
-from repro.cfront.ctypes import INT
+from repro.cfront.ctypes import CType, INT
 from repro.cfront.printer import expr_to_c, function_to_c
+from repro.lanetypes import INT32, LaneType
 from repro.targets import TargetISA, get_target
 from repro.vectorizer.planner import (
     ReductionInfo,
@@ -105,7 +106,8 @@ class _VectorBodyBuilder:
     def __init__(self, plan: VectorizationPlan, iterator: str, existing_names: set[str]):
         self.plan = plan
         self.target = plan.target
-        self.lanes = plan.target.lanes
+        self.dtype = plan.dtype
+        self.lanes = plan.target.lanes_for(plan.dtype)
         self.iterator = iterator
         self.existing_names = existing_names
         #: When set, the builder is emitting a masked tail: every memory
@@ -132,8 +134,9 @@ class _VectorBodyBuilder:
     # -- target plumbing ------------------------------------------------------
 
     def _op(self, op: str) -> str:
-        """Concrete intrinsic name of a generic op on the active target."""
-        if not self.target.supports(op):
+        """Concrete intrinsic name of a generic op on the active target,
+        at the kernel's lane element type."""
+        if not self.target.supports(op, self.dtype):
             if op in ("maskload", "maskstore"):
                 raise InfeasibleVectorization(
                     f"masked memory operation {op!r} has no "
@@ -141,10 +144,11 @@ class _VectorBodyBuilder:
                     f"loads/stores on this target; select-based masking "
                     f"covers in-register blends only)"
                 )
+            detail = "" if self.dtype is INT32 else f" at {self.dtype.name}"
             raise InfeasibleVectorization(
-                f"operation {op!r} has no {self.target.display_name} equivalent"
+                f"operation {op!r} has no {self.target.display_name} equivalent{detail}"
             )
-        return self.target.intrinsic(op)
+        return self.target.intrinsic(op, self.dtype)
 
     def _binop_intrinsic(self, op: str) -> Optional[str]:
         table = {"+": "add", "-": "sub", "*": "mul",
@@ -154,10 +158,11 @@ class _VectorBodyBuilder:
 
     def _vector_pointer(self, array: str, index: ast.Expr) -> ast.Expr:
         address = ast.UnaryOp(op="&", operand=ast.ArrayRef(base=_ident(array), index=index))
-        return ast.Cast(target_type=self.target.vector_pointer_ctype, operand=address)
+        return ast.Cast(target_type=self.target.vector_pointer_ctype_for(self.dtype),
+                        operand=address)
 
     def _vec_decl(self, name: str, init: ast.Expr) -> ast.Decl:
-        return ast.Decl(var_type=self.target.vector_ctype, name=name, init=init)
+        return ast.Decl(var_type=self.target.vector_ctype_for(self.dtype), name=name, init=init)
 
     def _pred_decl(self, name: str, init: ast.Expr) -> ast.Decl:
         return ast.Decl(var_type=self.target.predicate_ctype, name=name, init=init)
@@ -233,7 +238,7 @@ class _VectorBodyBuilder:
         key = ("zero",)
         if key not in self.registers:
             # x86 has a dedicated zero idiom; NEON-class targets broadcast 0.
-            name, args = self.target.zero_call()
+            name, args = self.target.zero_call(self.dtype)
             self.registers[key] = self._emit_value(
                 "zero", _call(name, *[_lit(arg) for arg in args])
             )
@@ -257,7 +262,7 @@ class _VectorBodyBuilder:
     def _iterator_vector(self) -> str:
         key = ("itervec",)
         if key not in self.registers:
-            if self.target.supports("index"):
+            if self.target.supports("index", self.dtype):
                 # SVE's ramp constructor: svindex(i, 1) is the iterator
                 # vector in one instruction.
                 self.registers[key] = self._emit_value(
@@ -279,7 +284,7 @@ class _VectorBodyBuilder:
         updates_seen = self.induction_updates_seen[name]
         key = ("ind", name, updates_seen)
         if key not in self.registers:
-            if self.target.supports("index"):
+            if self.target.supports("index", self.dtype):
                 base = _index_expr(name, info.step * updates_seen)
                 self.registers[key] = self._emit_value(
                     f"{name}_vec", _call(self._op("index"), base, _lit(info.step))
@@ -519,7 +524,7 @@ class _VectorBodyBuilder:
     def _init_accumulators(self) -> None:
         for reduction in self.plan.reductions:
             if reduction.operation == "+":
-                zero_name, zero_args = self.target.zero_call()
+                zero_name, zero_args = self.target.zero_call(self.dtype)
                 init: ast.Expr = _call(zero_name, *[_lit(arg) for arg in zero_args])
             elif reduction.operation == "*":
                 init = _call(self._op("set1"), _lit(1))
@@ -758,10 +763,16 @@ class _VectorBodyBuilder:
 # ---------------------------------------------------------------------------
 
 
+def _scalar_ctype(dtype: LaneType) -> CType:
+    """The C scalar type matching one lane element type (plain ``int`` for
+    the default 32-bit lanes, the sized spelling otherwise)."""
+    return INT if dtype is INT32 else CType(dtype.c_name)
+
+
 def _reduction_finalize(builder: _VectorBodyBuilder) -> list[ast.Stmt]:
     """Horizontal reduction of each accumulator back into its scalar."""
     statements: list[ast.Stmt] = []
-    extract = builder.target.intrinsic("extract")
+    extract = builder.target.intrinsic("extract", builder.dtype)
     for name, acc in builder.accumulators.items():
         operation = builder.reduction_ops[name]
         extracts = [
@@ -782,7 +793,8 @@ def _reduction_finalize(builder: _VectorBodyBuilder) -> list[ast.Stmt]:
             comparison = ">" if operation == "max" else "<"
             for lane, extract in enumerate(extracts):
                 lane_var = f"vred_{name}_{lane}"
-                statements.append(ast.Decl(var_type=INT, name=lane_var, init=extract))
+                statements.append(ast.Decl(var_type=_scalar_ctype(builder.dtype),
+                                           name=lane_var, init=extract))
                 update = ast.If(
                     cond=ast.BinOp(op=comparison, left=_ident(lane_var), right=_ident(name)),
                     then=ast.Block(body=[ast.ExprStmt(expr=ast.Assign(op="=", target=_ident(name), value=_ident(lane_var)))]),
@@ -816,7 +828,7 @@ def _build_masked_tail(plan: VectorizationPlan, iterator: str,
     """
     builder = _VectorBodyBuilder(plan, iterator, existing_names)
     builder.accumulator_decls = []
-    lanes = plan.target.lanes
+    lanes = builder.lanes
     ramp = builder._fresh("tail_ramp")
     idx = builder._fresh("tail_idx")
     bound = builder._fresh("tail_bound")
@@ -855,8 +867,8 @@ def _build_predicated_loop_region(func: ast.FunctionDef,
     """
     loop = plan.features.main_loop
     iterator = loop.iterator
-    lanes = plan.target.lanes
     builder = _VectorBodyBuilder(plan, iterator, _collect_identifier_names(func))
+    lanes = builder.lanes
     builder.accumulator_decls = []
     pg = builder._fresh("pg")
     builder.loop_pred = pg
@@ -892,8 +904,8 @@ def _build_vector_loop_region(func: ast.FunctionDef, plan: VectorizationPlan) ->
         return _build_predicated_loop_region(func, plan)
     loop = plan.features.main_loop
     iterator = loop.iterator
-    lanes = plan.target.lanes
     builder = _VectorBodyBuilder(plan, iterator, _collect_identifier_names(func))
+    lanes = builder.lanes
     builder.accumulator_decls = []
     builder.build(plan.normalized_body)
 

@@ -27,6 +27,8 @@ from typing import Optional
 from repro.analysis.accesses import affine_index
 from repro.analysis.features import KernelFeatures, analyze_kernel
 from repro.cfront import ast_nodes as ast
+from repro.errors import CompileError
+from repro.lanetypes import DEFAULT_LANE_TYPE, INT32, LaneType
 from repro.targets import DEFAULT_TARGET, TargetISA, get_target
 from repro.vectorizer.normalize import normalize_body
 
@@ -113,6 +115,8 @@ class RejectionReason(enum.Enum):
     EARLY_EXIT = "loop contains an early exit (break/return)"
     NESTED_LOOP_BODY = "inner loop body itself contains a loop"
     UNSUPPORTED_STATEMENT = "statement form not supported by the vectorizer"
+    UNSUPPORTED_DTYPE = "kernel element type has no {isa} vector support"
+    MIXED_ELEMENT_TYPES = "kernel mixes sized element types; one kernel models one lane element type"
 
 
 class Strategy(enum.Enum):
@@ -157,6 +161,10 @@ class VectorizationPlan:
     local_temporaries: list[str] = field(default_factory=list)
     #: The ISA this plan was made for (lane count, intrinsic naming, op set).
     target: TargetISA = DEFAULT_TARGET
+    #: The lane element type the kernel declares (``int16_t``/``int``/
+    #: ``int64_t``); lane counts, op availability and intrinsic spellings
+    #: all follow it.
+    dtype: LaneType = DEFAULT_LANE_TYPE
     #: The epilogue strategy this plan carries: ``"scalar"`` (the default
     #: remainder loop), ``"masked"`` (one masked tail iteration — needs the
     #: target's masked loads/stores) or ``"predicated"`` (a ``whilelt``-
@@ -178,12 +186,21 @@ class VectorizationPlan:
     def rejection_text(self) -> str:
         if self.reason is None:
             return ""
-        return self.reason.value.format(isa=self.target.display_name)
+        text = self.reason.value.format(isa=self.target.display_name)
+        if (self.reason is RejectionReason.UNSUPPORTED_OPERATION
+                and self.dtype is not INT32):
+            # Name the element type when the gap is dtype-specific (AVX2 has
+            # int32 mul but no int64 one, say); the int32 wording is pinned.
+            text = text.replace("integer equivalent",
+                                f"{self.dtype.name} equivalent")
+        return text
 
 
 def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None,
-            target: TargetISA = DEFAULT_TARGET) -> VectorizationPlan:
-    return VectorizationPlan(feasible=False, reason=reason, features=features, target=target)
+            target: TargetISA = DEFAULT_TARGET,
+            dtype: LaneType = DEFAULT_LANE_TYPE) -> VectorizationPlan:
+    return VectorizationPlan(feasible=False, reason=reason, features=features,
+                             target=target, dtype=dtype)
 
 
 def plan_vectorization(func: ast.FunctionDef,
@@ -217,17 +234,23 @@ def _plan_vectorization(func: ast.FunctionDef,
                         target: TargetISA | str | None = None,
                         *, epilogue: str) -> VectorizationPlan:
     isa = get_target(target)
+    try:
+        dtype = ast.kernel_dtype(func)
+    except CompileError:
+        return _reject(RejectionReason.MIXED_ELEMENT_TYPES, None, isa)
+    if not isa.supports_dtype(dtype):
+        return _reject(RejectionReason.UNSUPPORTED_DTYPE, None, isa, dtype)
     features = analyze_kernel(func)
     loop = features.main_loop
     if loop is None:
-        return _reject(RejectionReason.NO_LOOP, features, isa)
+        return _reject(RejectionReason.NO_LOOP, features, isa, dtype)
     if not loop.is_canonical:
-        return _reject(RejectionReason.NON_CANONICAL_LOOP, features, isa)
+        return _reject(RejectionReason.NON_CANONICAL_LOOP, features, isa, dtype)
     if loop.step != 1 or loop.end_op not in ("<", "<="):
-        return _reject(RejectionReason.NON_UNIT_STEP, features, isa)
+        return _reject(RejectionReason.NON_UNIT_STEP, features, isa, dtype)
 
     body = normalize_body(loop.body)
-    checker = _BodyChecker(loop.iterator, func, isa)
+    checker = _BodyChecker(loop.iterator, func, isa, dtype)
     plan = checker.check(body, features)
     if plan.feasible and epilogue == "masked":
         return _check_masked_epilogue(plan, loop)
@@ -249,11 +272,13 @@ def _check_masked_epilogue(plan: VectorizationPlan, loop) -> VectorizationPlan:
     """
     isa = plan.target
     if isa.has_predicated_loops:
-        return _reject(RejectionReason.MASKED_TAIL_ON_PREDICATED, plan.features, isa)
-    if not isa.has_masked_memory:
-        return _reject(RejectionReason.MASKED_MEMORY, plan.features, isa)
+        return _reject(RejectionReason.MASKED_TAIL_ON_PREDICATED, plan.features, isa, plan.dtype)
+    if not (isa.has_masked_memory
+            and isa.supports("maskload", plan.dtype)
+            and isa.supports("maskstore", plan.dtype)):
+        return _reject(RejectionReason.MASKED_MEMORY, plan.features, isa, plan.dtype)
     if plan.reductions or plan.inductions or loop.end_op != "<":
-        return _reject(RejectionReason.MASKED_TAIL_SHAPE, plan.features, isa)
+        return _reject(RejectionReason.MASKED_TAIL_SHAPE, plan.features, isa, plan.dtype)
     plan.epilogue = "masked"
     return plan
 
@@ -270,9 +295,9 @@ def _check_predicated_loop(plan: VectorizationPlan, loop) -> VectorizationPlan:
     """
     isa = plan.target
     if not isa.has_predicated_loops:
-        return _reject(RejectionReason.PREDICATED_LOOP_UNSUPPORTED, plan.features, isa)
+        return _reject(RejectionReason.PREDICATED_LOOP_UNSUPPORTED, plan.features, isa, plan.dtype)
     if plan.reductions or plan.inductions or loop.end_op != "<":
-        return _reject(RejectionReason.PREDICATED_LOOP_SHAPE, plan.features, isa)
+        return _reject(RejectionReason.PREDICATED_LOOP_SHAPE, plan.features, isa, plan.dtype)
     plan.epilogue = "predicated"
     return plan
 
@@ -281,11 +306,13 @@ class _BodyChecker:
     """Walks the (normalized) loop body and validates it statement by statement."""
 
     def __init__(self, iterator: str, func: ast.FunctionDef,
-                 target: TargetISA = DEFAULT_TARGET):
+                 target: TargetISA = DEFAULT_TARGET,
+                 dtype: LaneType = DEFAULT_LANE_TYPE):
         self.iterator = iterator
         self.func = func
         self.target = target
-        self.width = target.lanes
+        self.dtype = dtype
+        self.width = target.lanes_for(dtype)
         self.outer_scalars = self._collect_outer_scalars(func)
         self.local_temporaries: list[str] = []
         self.reductions: dict[str, ReductionInfo] = {}
@@ -303,7 +330,7 @@ class _BodyChecker:
         if self.rejection is None:
             self._check_dependences()
         if self.rejection is not None:
-            return _reject(self.rejection, features, self.target)
+            return _reject(self.rejection, features, self.target, self.dtype)
 
         strategy = Strategy.PLAIN
         if self.reductions:
@@ -322,6 +349,7 @@ class _BodyChecker:
             has_conditionals=self.has_conditionals,
             local_temporaries=list(self.local_temporaries),
             target=self.target,
+            dtype=self.dtype,
         )
 
     # -- helpers ------------------------------------------------------------------
@@ -342,7 +370,7 @@ class _BodyChecker:
     def _require_ops(self, *ops: str) -> bool:
         """Check the target can express every generic op; fail otherwise."""
         for op in ops:
-            if not self.target.supports(op):
+            if not self.target.supports(op, self.dtype):
                 self._fail(RejectionReason.UNSUPPORTED_OPERATION)
                 return False
         return True
@@ -351,7 +379,8 @@ class _BodyChecker:
         """If-conversion needs compares and a select — either the data-vector
         flavour (cmp masks + blend) or the predicate-first flavour
         (predicate-producing compares + predicate-selected blend)."""
-        if all(self.target.supports(op) for op in ("pcmpgt", "pcmpeq", "psel")):
+        if all(self.target.supports(op, self.dtype)
+               for op in ("pcmpgt", "pcmpeq", "psel")):
             return True
         return self._require_ops("cmpgt", "cmpeq", "select")
 

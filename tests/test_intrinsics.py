@@ -19,7 +19,7 @@ from repro.intrinsics import (
     registry_for,
     wrap32,
 )
-from repro.intrinsics.avx2 import LANES, M256Value
+from repro.intrinsics.avx2 import LANES
 from repro.targets import ALL_TARGETS, get_target
 
 
@@ -74,12 +74,14 @@ class TestVecValue:
         with pytest.raises(ValueError):
             VecValue.zero(4).map_binary(VecValue.zero(8), lambda x, y: x + y)
 
-    def test_m256_compat_defaults_to_eight_lanes(self):
-        assert M256Value.splat(7).lanes == (7,) * 8
-        assert M256Value.zero().lanes == (0,) * 8
+    def test_avx2_register_values_are_plain_vecvalues(self):
+        # The historical M256Value shim is gone: an AVX2 register is just a
+        # width-8 VecValue, and the legacy ``LANES`` constant agrees.
         assert LANES == 8
-        with pytest.raises(ValueError):
-            M256Value(lanes=(1, 2, 3, 4))
+        assert VecValue.splat(7, LANES).lanes == (7,) * 8
+        assert VecValue.zero(LANES).lanes == (0,) * 8
+        import repro.intrinsics.values as values_module
+        assert not hasattr(values_module, "M256Value")
 
 
 class TestPureIntrinsics:
