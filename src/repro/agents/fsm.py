@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.agents.base import Message
 from repro.agents.tester_agent import CompilerTesterAgent
@@ -48,6 +47,11 @@ class FSMConfig:
     #: Epilogue strategy the agents request (``"scalar"``, ``"masked"`` or
     #: ``"predicated"``); pinned by the tool/campaign layer like ``target``.
     epilogue: str = "scalar"
+    #: What the static candidate vetter contributes before checksum testing:
+    #: ``"off"`` (not run), ``"advisory"`` (reports attached, acceptance
+    #: unchanged) or ``"screen"`` (error-severity candidates rejected before
+    #: any execution).
+    static_check: str = "advisory"
 
 
 @dataclass
@@ -58,6 +62,10 @@ class AttemptRecord:
     candidate_code: str
     outcome: str
     llm_annotations: dict = field(default_factory=dict)
+    #: Per-rule *error* counts from the static vetter (empty when it ran
+    #: clean or was off) and its one-line summary of everything it saw.
+    static_flags: dict = field(default_factory=dict)
+    static_summary: str | None = None
 
 
 @dataclass
@@ -68,7 +76,7 @@ class FSMResult:
     accepted: bool
     attempts: int
     llm_invocations: int
-    final_code: Optional[str]
+    final_code: str | None
     history: list[AttemptRecord] = field(default_factory=list)
     conversation: list[Message] = field(default_factory=list)
 
@@ -92,7 +100,9 @@ class VectorizationFSM:
                                           self.config.temperature, target=self.config.target,
                                           epilogue=self.config.epilogue)
         self.tester = CompilerTesterAgent(
-            scalar_code, seed=self.config.checksum_seed, trip_counts=self.config.trip_counts
+            scalar_code, seed=self.config.checksum_seed, trip_counts=self.config.trip_counts,
+            static_check=self.config.static_check, target=self.config.target,
+            epilogue=self.config.epilogue,
         )
         self.state = FSMState.INIT
 
@@ -105,7 +115,7 @@ class VectorizationFSM:
         message = self.user_proxy.initial_message()
         conversation.append(message)
 
-        accepted_code: Optional[str] = None
+        accepted_code: str | None = None
         attempts = 0
         while attempts < self.config.max_attempts:
             attempts += 1
@@ -116,12 +126,17 @@ class VectorizationFSM:
             # TEST: the tester runs checksum-based testing.
             verdict_msg = self.tester.respond(candidate_msg, conversation)
             conversation.append(verdict_msg)
+            static_report = verdict_msg.payload.get("static_report")
             history.append(
                 AttemptRecord(
                     attempt=attempts,
                     candidate_code=candidate_msg.payload.get("candidate_code", ""),
                     outcome=verdict_msg.payload.get("outcome", "unknown"),
                     llm_annotations=candidate_msg.payload.get("annotations", {}),
+                    static_flags=(static_report.rule_counts(errors_only=True)
+                                  if static_report is not None else {}),
+                    static_summary=(static_report.summary_line()
+                                    if static_report is not None else None),
                 )
             )
             if verdict_msg.payload.get("accepted"):

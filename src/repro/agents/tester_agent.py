@@ -1,40 +1,88 @@
-"""The compiler tester assistant agent: checksum testing + feedback."""
+"""The compiler tester assistant agent: static vetting + checksum testing."""
 
 from __future__ import annotations
 
 from repro.agents.base import Agent, Message
 from repro.interp.checksum import ChecksumOutcome, checksum_testing
+from repro.perf import profile
+
+#: The per-candidate outcome of a screen-mode static rejection; sits next
+#: to the :class:`~repro.interp.checksum.ChecksumOutcome` values in attempt
+#: records and campaign accounting.
+STATIC_REJECT_OUTCOME = "static_reject"
 
 
 class CompilerTesterAgent(Agent):
-    """Runs checksum-based testing on the candidate and reports the outcome.
+    """Vets the candidate statically, then runs checksum-based testing.
 
     On a mismatch (or a compile failure) the reply carries enough detail —
     example inputs, expected and actual output arrays — for the vectorizer to
     attempt a repair, matching the s453 walkthrough of Section 4.4.2.
+
+    ``static_check`` selects what the rule-based linter contributes:
+
+    * ``"off"`` — not run at all;
+    * ``"advisory"`` (default) — the :class:`~repro.staticcheck.StaticReport`
+      rides along in the reply payload, but acceptance is checksum testing's
+      alone, bit-identical to the pre-linter pipeline;
+    * ``"screen"`` — a candidate with any error-severity diagnostic is
+      rejected *before* any execution, with the diagnostics as the repair
+      feedback; clean candidates proceed to checksum testing as usual.
     """
 
     name = "tester"
 
-    def __init__(self, scalar_code: str, seed: int = 0, trip_counts: list[int] | None = None):
+    def __init__(self, scalar_code: str, seed: int = 0,
+                 trip_counts: list[int] | None = None,
+                 static_check: str = "advisory",
+                 target: str | None = None, epilogue: str = "scalar"):
         self.scalar_code = scalar_code
         self.seed = seed
         self.trip_counts = trip_counts
+        self.static_check = static_check
+        self.target = target
+        self.epilogue = epilogue
+
+    def _vet(self, candidate: str):
+        from repro.staticcheck import check_candidate
+
+        with profile.stage("staticcheck"):
+            return check_candidate(
+                candidate, target=self.target, epilogue=self.epilogue,
+                scalar_source=self.scalar_code)
 
     def respond(self, message: Message, history: list[Message]) -> Message:
         candidate = message.payload.get("candidate_code", "")
+        static_report = None
+        if self.static_check != "off":
+            static_report = self._vet(candidate)
+            if self.static_check == "screen" and static_report.has_errors:
+                return Message(
+                    sender=self.name,
+                    recipient="vectorizer",
+                    content=static_report.feedback_text(),
+                    payload={
+                        "outcome": STATIC_REJECT_OUTCOME,
+                        "accepted": False,
+                        "candidate_code": candidate,
+                        "static_report": static_report,
+                    },
+                )
         report = checksum_testing(
             self.scalar_code, candidate, seed=self.seed, trip_counts=self.trip_counts
         )
         accepted = report.outcome is ChecksumOutcome.PLAUSIBLE
+        payload = {
+            "outcome": report.outcome.value,
+            "accepted": accepted,
+            "candidate_code": candidate,
+            "report": report,
+        }
+        if static_report is not None:
+            payload["static_report"] = static_report
         return Message(
             sender=self.name,
             recipient="vectorizer",
             content=report.feedback_text(),
-            payload={
-                "outcome": report.outcome.value,
-                "accepted": accepted,
-                "candidate_code": candidate,
-                "report": report,
-            },
+            payload=payload,
         )

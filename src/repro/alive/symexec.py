@@ -18,8 +18,9 @@ the same bucket the paper uses for queries Alive2 cannot encode.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Mapping, Union
+from collections.abc import Mapping
 
 from repro.cfront import ast_nodes as ast
 from repro.intrinsics.lanemath import lane_active, whilelt_lanes
@@ -94,7 +95,7 @@ class SymPred:
         return len(self.lanes)
 
 
-SymValue = Union[Term, SymPointer, SymVector, SymPred]
+SymValue = Term | SymPointer | SymVector | SymPred
 
 
 @dataclass
@@ -172,10 +173,8 @@ class SymbolicExecutor:
     # -- driver ---------------------------------------------------------------------
 
     def run(self) -> SymbolicState:
-        try:
+        with contextlib.suppress(_ReturnSignal):
             self._exec_block_like(self.func.body, self.state)
-        except _ReturnSignal:
-            pass
         return self.state
 
     def _tick(self) -> None:

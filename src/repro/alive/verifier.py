@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.analysis.accesses import collect_accesses
 from repro.analysis.loops import find_main_loop
@@ -82,7 +81,7 @@ class VerificationReport:
     outcome: VerificationOutcome
     method: str
     detail: str = ""
-    counterexample: Optional[dict[str, int]] = None
+    counterexample: dict[str, int] | None = None
 
 
 class AliveVerifier:
@@ -204,7 +203,7 @@ class AliveVerifier:
 
         checker = EquivalenceChecker(budget=budget, model_bits=dtype.bits)
         if split:
-            worst: Optional[VerificationReport] = None
+            worst: VerificationReport | None = None
             for source, target in comparable:
                 result = checker.check_pair(source, target)
                 if result.outcome is EquivalenceOutcome.NOT_EQUIVALENT:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.cfront import ast_nodes as ast
 from repro.cfront.printer import expr_to_c
@@ -31,7 +30,7 @@ class AffineIndex:
     meaningful when ``symbolic`` is False.
     """
 
-    iterator: Optional[str]
+    iterator: str | None
     coefficient: int = 1
     offset: int = 0
     symbolic: bool = False
@@ -57,7 +56,7 @@ class ArrayAccess:
         return f"{mode} {self.array}[{expr_to_c(self.index_expr)}]{guard}"
 
 
-def affine_index(expr: ast.Expr, iterator: Optional[str]) -> AffineIndex:
+def affine_index(expr: ast.Expr, iterator: str | None) -> AffineIndex:
     """Match ``expr`` against ``coefficient * iterator + offset``."""
     coefficient, offset, symbolic, uses_iterator = _affine_parts(expr, iterator)
     if symbolic:
@@ -68,7 +67,7 @@ def affine_index(expr: ast.Expr, iterator: Optional[str]) -> AffineIndex:
     return AffineIndex(iterator=None, coefficient=0, offset=offset)
 
 
-def _affine_parts(expr: ast.Expr, iterator: Optional[str]) -> tuple[int, int, bool, bool]:
+def _affine_parts(expr: ast.Expr, iterator: str | None) -> tuple[int, int, bool, bool]:
     """Return (coefficient, offset, symbolic, uses_iterator)."""
     if isinstance(expr, ast.IntLiteral):
         return 0, expr.value, False, False
@@ -100,20 +99,20 @@ def _affine_parts(expr: ast.Expr, iterator: Optional[str]) -> tuple[int, int, bo
     return 0, 0, True, uses
 
 
-def _mentions(expr: ast.Expr, name: Optional[str]) -> bool:
+def _mentions(expr: ast.Expr, name: str | None) -> bool:
     if name is None:
         return False
     return any(isinstance(n, ast.Identifier) and n.name == name for n in ast.walk(expr))
 
 
-def collect_accesses(body: ast.Stmt, iterator: Optional[str]) -> list[ArrayAccess]:
+def collect_accesses(body: ast.Stmt, iterator: str | None) -> list[ArrayAccess]:
     """Collect every array access in ``body`` with read/write classification."""
     accesses: list[ArrayAccess] = []
     _collect_stmt(body, iterator, conditional=False, accesses=accesses)
     return accesses
 
 
-def _collect_stmt(stmt: ast.Stmt, iterator: Optional[str], conditional: bool,
+def _collect_stmt(stmt: ast.Stmt, iterator: str | None, conditional: bool,
                   accesses: list[ArrayAccess]) -> None:
     if isinstance(stmt, ast.Block):
         for inner in stmt.body:
@@ -147,7 +146,7 @@ def _collect_stmt(stmt: ast.Stmt, iterator: Optional[str], conditional: bool,
     # Break/Continue/Goto carry no accesses.
 
 
-def _collect_expr(expr: ast.Expr, iterator: Optional[str], conditional: bool,
+def _collect_expr(expr: ast.Expr, iterator: str | None, conditional: bool,
                   accesses: list[ArrayAccess], as_write: bool) -> None:
     if isinstance(expr, ast.ArrayRef):
         base_name = _base_array_name(expr.base)
@@ -198,7 +197,7 @@ def _collect_expr(expr: ast.Expr, iterator: Optional[str], conditional: bool,
     # IntLiteral / Identifier leaves: no array accesses.
 
 
-def _base_array_name(expr: ast.Expr) -> Optional[str]:
+def _base_array_name(expr: ast.Expr) -> str | None:
     if isinstance(expr, ast.Identifier):
         return expr.name
     if isinstance(expr, ast.Cast):

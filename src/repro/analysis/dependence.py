@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.analysis.accesses import AccessKind, ArrayAccess
 from repro.cfront import ast_nodes as ast
@@ -44,7 +43,7 @@ class Dependence:
     kind: DependenceKind
     source: ArrayAccess
     sink: ArrayAccess
-    distance: Optional[int] = None
+    distance: int | None = None
 
     def describe(self) -> str:
         distance = f" (distance {self.distance})" if self.distance is not None else ""
@@ -60,8 +59,8 @@ class ScalarRecurrence:
 
     name: str
     kind: str  # "reduction" or "induction" or "other"
-    operation: Optional[str] = None
-    step: Optional[int] = None
+    operation: str | None = None
+    step: int | None = None
 
     def describe(self) -> str:
         if self.kind == "reduction":
@@ -114,7 +113,7 @@ class DependenceReport:
         return "\n".join(lines)
 
 
-def _pairwise_dependence(write: ArrayAccess, other: ArrayAccess) -> Optional[Dependence]:
+def _pairwise_dependence(write: ArrayAccess, other: ArrayAccess) -> Dependence | None:
     """Dependence between a write and another access to the same array, if any."""
     if write.array != other.array:
         return None
@@ -156,7 +155,7 @@ def _reads_later(write: ArrayAccess, read: ArrayAccess) -> bool:
     return True
 
 
-def _find_scalar_recurrences(body: ast.Stmt, iterator: Optional[str]) -> list[ScalarRecurrence]:
+def _find_scalar_recurrences(body: ast.Stmt, iterator: str | None) -> list[ScalarRecurrence]:
     """Find scalars assigned inside the loop from their own previous value."""
     recurrences: dict[str, ScalarRecurrence] = {}
     conditional_ids = set()
@@ -179,28 +178,23 @@ def _find_scalar_recurrences(body: ast.Stmt, iterator: Optional[str]) -> list[Sc
             elif node.op == "=" and _mentions_name(node.value, name):
                 operation = node.value.op if isinstance(node.value, ast.BinOp) else None
                 recurrences[name] = ScalarRecurrence(name=name, kind="reduction", operation=operation)
-            elif node.op == "=" and not _mentions_name(node.value, name):
-                # Plain overwrite each iteration.  If the scalar is *read*
-                # earlier in the body than it is written, the read consumes
-                # the previous iteration's value — a wrap-around scalar
-                # (s291's ``im1``), which needs loop peeling to vectorize.
-                # Guarded overwrites (``if (a[i] > max) max = a[i]``) are
-                # conditional-reduction idioms, not wrap-around scalars.
-                if (name not in recurrences and id(node) not in conditional_ids
-                        and _read_before(body, name)):
-                    recurrences[name] = ScalarRecurrence(name=name, kind="other")
-        elif isinstance(node, (ast.PostfixOp,)) and node.op in ("++", "--"):
-            if isinstance(node.operand, ast.Identifier) and node.operand.name != iterator:
-                recurrences[node.operand.name] = ScalarRecurrence(
-                    name=node.operand.name, kind="induction", operation="+",
-                    step=1 if node.op == "++" else -1,
-                )
-        elif isinstance(node, ast.UnaryOp) and node.op in ("++", "--"):
-            if isinstance(node.operand, ast.Identifier) and node.operand.name != iterator:
-                recurrences[node.operand.name] = ScalarRecurrence(
-                    name=node.operand.name, kind="induction", operation="+",
-                    step=1 if node.op == "++" else -1,
-                )
+            elif (node.op == "=" and not _mentions_name(node.value, name)
+                    and name not in recurrences and id(node) not in conditional_ids
+                    and _read_before(body, name)):
+                # Plain overwrite each iteration, *read* earlier in the body
+                # than it is written: the read consumes the previous
+                # iteration's value — a wrap-around scalar (s291's ``im1``),
+                # which needs loop peeling to vectorize.  Guarded overwrites
+                # (``if (a[i] > max) max = a[i]``) are conditional-reduction
+                # idioms, not wrap-around scalars.
+                recurrences[name] = ScalarRecurrence(name=name, kind="other")
+        elif (isinstance(node, (ast.PostfixOp, ast.UnaryOp)) and node.op in ("++", "--")
+                and isinstance(node.operand, ast.Identifier)
+                and node.operand.name != iterator):
+            recurrences[node.operand.name] = ScalarRecurrence(
+                name=node.operand.name, kind="induction", operation="+",
+                step=1 if node.op == "++" else -1,
+            )
     return list(recurrences.values())
 
 
@@ -271,7 +265,7 @@ def _has_control_flow(body: ast.Stmt) -> tuple[bool, bool]:
 
 
 def analyze_dependences(accesses: list[ArrayAccess], body: ast.Stmt,
-                        iterator: Optional[str]) -> DependenceReport:
+                        iterator: str | None) -> DependenceReport:
     """Compute the dependence report for one loop body."""
     report = DependenceReport()
     report.has_control_flow, report.has_goto = _has_control_flow(body)

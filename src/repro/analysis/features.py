@@ -10,7 +10,6 @@ its output exactly the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.analysis.accesses import ArrayAccess, collect_accesses
 from repro.analysis.dependence import DependenceReport, analyze_dependences
@@ -41,7 +40,7 @@ class KernelFeatures:
 
     function: ast.FunctionDef
     loop_nest: LoopNest
-    main_loop: Optional[LoopInfo]
+    main_loop: LoopInfo | None
     accesses: list[ArrayAccess] = field(default_factory=list)
     dependence: DependenceReport = field(default_factory=DependenceReport)
     category: str = CATEGORY_NAIVE
@@ -55,11 +54,11 @@ class KernelFeatures:
         return self.loop_nest.max_depth > 0
 
     @property
-    def iterator(self) -> Optional[str]:
+    def iterator(self) -> str | None:
         return self.main_loop.iterator if self.main_loop else None
 
     @property
-    def step(self) -> Optional[int]:
+    def step(self) -> int | None:
         return self.main_loop.step if self.main_loop else None
 
     @property

@@ -10,7 +10,6 @@ nested-loop handling of Sections 3.1–3.2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.cfront import ast_nodes as ast
 from repro.cfront.printer import expr_to_c
@@ -28,15 +27,15 @@ class LoopInfo:
     """
 
     node: ast.ForLoop
-    iterator: Optional[str]
-    start: Optional[ast.Expr]
-    end: Optional[ast.Expr]
-    end_op: Optional[str]
-    step: Optional[int]
-    step_expr: Optional[ast.Expr]
+    iterator: str | None
+    start: ast.Expr | None
+    end: ast.Expr | None
+    end_op: str | None
+    step: int | None
+    step_expr: ast.Expr | None
     declares_iterator: bool
     depth: int = 0
-    parent: Optional["LoopInfo"] = None
+    parent: "LoopInfo" | None = None
     children: list["LoopInfo"] = field(default_factory=list)
 
     @property
@@ -86,7 +85,7 @@ class LoopNest:
         return max((loop.depth for loop in self.loops), default=-1)
 
 
-def _extract_init(init: Optional[ast.Stmt]) -> tuple[Optional[str], Optional[ast.Expr], bool]:
+def _extract_init(init: ast.Stmt | None) -> tuple[str | None, ast.Expr | None, bool]:
     """Return (iterator name, start expression, declares_iterator)."""
     if init is None:
         return None, None, False
@@ -99,7 +98,7 @@ def _extract_init(init: Optional[ast.Stmt]) -> tuple[Optional[str], Optional[ast
     return None, None, False
 
 
-def _extract_cond(cond: Optional[ast.Expr], iterator: Optional[str]) -> tuple[Optional[ast.Expr], Optional[str]]:
+def _extract_cond(cond: ast.Expr | None, iterator: str | None) -> tuple[ast.Expr | None, str | None]:
     """Return (end expression, comparison operator) if the condition bounds the iterator."""
     if cond is None or iterator is None:
         return None, None
@@ -112,7 +111,7 @@ def _extract_cond(cond: Optional[ast.Expr], iterator: Optional[str]) -> tuple[Op
     return None, None
 
 
-def _extract_step(step: Optional[ast.Expr], iterator: Optional[str]) -> tuple[Optional[int], Optional[ast.Expr]]:
+def _extract_step(step: ast.Expr | None, iterator: str | None) -> tuple[int | None, ast.Expr | None]:
     """Return (constant step, step expression) for recognized step forms."""
     if step is None or iterator is None:
         return None, None
@@ -141,7 +140,7 @@ def _extract_step(step: Optional[ast.Expr], iterator: Optional[str]) -> tuple[Op
     return None, step
 
 
-def _build_loop_info(node: ast.ForLoop, depth: int, parent: Optional[LoopInfo]) -> LoopInfo:
+def _build_loop_info(node: ast.ForLoop, depth: int, parent: LoopInfo | None) -> LoopInfo:
     iterator, start, declares = _extract_init(node.init)
     end, end_op = _extract_cond(node.cond, iterator)
     step, step_expr = _extract_step(node.step, iterator)
@@ -159,7 +158,7 @@ def _build_loop_info(node: ast.ForLoop, depth: int, parent: Optional[LoopInfo]) 
     )
 
 
-def _collect_loops(stmt: ast.Stmt, depth: int, parent: Optional[LoopInfo], out: list[LoopInfo]) -> None:
+def _collect_loops(stmt: ast.Stmt, depth: int, parent: LoopInfo | None, out: list[LoopInfo]) -> None:
     if isinstance(stmt, ast.ForLoop):
         info = _build_loop_info(stmt, depth, parent)
         if parent is not None:
@@ -192,7 +191,7 @@ def find_loops(func: ast.FunctionDef) -> LoopNest:
     return LoopNest(loops=loops)
 
 
-def find_main_loop(func: ast.FunctionDef) -> Optional[LoopInfo]:
+def find_main_loop(func: ast.FunctionDef) -> LoopInfo | None:
     """Return the innermost loop of the first top-level loop nest.
 
     TSVC kernels contain one loop nest; vectorization targets its innermost

@@ -9,7 +9,7 @@ structural pattern matching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional, Union
+from collections.abc import Iterator
 
 from repro.cfront.ctypes import CType
 from repro.errors import SourceLocation
@@ -135,8 +135,8 @@ class Decl(Stmt):
 
     var_type: CType
     name: str
-    init: Optional[Expr] = None
-    array_size: Optional[Expr] = None
+    init: Expr | None = None
+    array_size: Expr | None = None
 
 
 @dataclass
@@ -151,16 +151,16 @@ class Block(Stmt):
 class If(Stmt):
     cond: Expr
     then: Stmt
-    otherwise: Optional[Stmt] = None
+    otherwise: Stmt | None = None
 
 
 @dataclass
 class ForLoop(Stmt):
     """``for (init; cond; step) body``; each header slot may be empty."""
 
-    init: Optional[Stmt]
-    cond: Optional[Expr]
-    step: Optional[Expr]
+    init: Stmt | None
+    cond: Expr | None
+    step: Expr | None
     body: Stmt
 
 
@@ -178,7 +178,7 @@ class DoWhileLoop(Stmt):
 
 @dataclass
 class Return(Stmt):
-    value: Optional[Expr] = None
+    value: Expr | None = None
 
 
 @dataclass
@@ -239,7 +239,7 @@ class Program(Node):
         raise KeyError(f"no function named {name!r}")
 
 
-AnyNode = Union[Expr, Stmt, FunctionDef, Program, Parameter]
+AnyNode = Expr | Stmt | FunctionDef | Program | Parameter
 
 
 def walk(node: AnyNode) -> Iterator[Node]:

@@ -12,7 +12,6 @@ from the target registry, never hardcoded.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cfront import ast_nodes as ast
 from repro.cfront.ctypes import CType, normalize_base_type
@@ -294,7 +293,7 @@ class _Parser:
         cond = self.parse_expression()
         self.expect_punct(")")
         then = self.parse_statement()
-        otherwise: Optional[ast.Stmt] = None
+        otherwise: ast.Stmt | None = None
         if self.peek().is_keyword("else"):
             self.advance()
             otherwise = self.parse_statement()
@@ -303,7 +302,7 @@ class _Parser:
     def parse_for(self) -> ast.ForLoop:
         token = self.expect_keyword("for")
         self.expect_punct("(")
-        init: Optional[ast.Stmt] = None
+        init: ast.Stmt | None = None
         if not self.peek().is_punct(";"):
             if self.at_type():
                 init = self.parse_declaration()
@@ -313,11 +312,11 @@ class _Parser:
                 self.expect_punct(";")
         else:
             self.advance()
-        cond: Optional[ast.Expr] = None
+        cond: ast.Expr | None = None
         if not self.peek().is_punct(";"):
             cond = self.parse_expression()
         self.expect_punct(";")
-        step: Optional[ast.Expr] = None
+        step: ast.Expr | None = None
         if not self.peek().is_punct(")"):
             step = self.parse_expression()
         self.expect_punct(")")
@@ -355,13 +354,13 @@ class _Parser:
         while True:
             var_type = self.parse_pointer_suffix(base)
             name_token = self.expect_ident()
-            array_size: Optional[ast.Expr] = None
+            array_size: ast.Expr | None = None
             if self.accept_punct("["):
                 if not self.peek().is_punct("]"):
                     array_size = self.parse_expression()
                 self.expect_punct("]")
                 var_type = var_type.pointer_to()
-            init: Optional[ast.Expr] = None
+            init: ast.Expr | None = None
             if self.accept_punct("="):
                 init = self.parse_assignment()
             decls.append(

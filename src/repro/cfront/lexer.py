@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import LexError, SourceLocation
 from repro.targets.isa import PREDICATE_TYPE_NAMES, VECTOR_TYPE_LANES

@@ -104,11 +104,10 @@ class SimulatedCompiler:
             if not self.disproves_spurious_anti_deps:
                 return self._no(f"assumed unsafe dependence on '{dependence.array}'")
 
-        if report.inductions and not has_reduction:
-            # Non-trivial induction variables (s453-style) need idiom recognition;
-            # only the aggressive baseline re-materializes them.
-            if not self.supports_peeling:
-                return self._no("unrecognized scalar induction variable")
+        # Non-trivial induction variables (s453-style) need idiom recognition;
+        # only the aggressive baseline re-materializes them.
+        if report.inductions and not has_reduction and not self.supports_peeling:
+            return self._no("unrecognized scalar induction variable")
 
         wraparound = [r for r in report.recurrences if r.kind == "other"]
         if wraparound and not self.supports_peeling:

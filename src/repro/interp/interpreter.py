@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Union
+from collections.abc import Mapping
 
 from functools import lru_cache
 
@@ -53,7 +53,7 @@ class Pointer:
         return Pointer(self.region, self.offset + delta)
 
 
-Value = Union[int, Pointer, VecValue, PredValue]
+Value = int | Pointer | VecValue | PredValue
 
 
 class _BreakSignal(Exception):
@@ -65,7 +65,7 @@ class _ContinueSignal(Exception):
 
 
 class _ReturnSignal(Exception):
-    def __init__(self, value: Optional[Value]):
+    def __init__(self, value: Value | None):
         self.value = value
         super().__init__("return")
 
@@ -81,7 +81,7 @@ class ExecutionResult:
     """Everything observable about one execution of a kernel."""
 
     memory: Memory
-    return_value: Optional[Value]
+    return_value: Value | None
     op_counts: Counter = field(default_factory=Counter)
     steps: int = 0
 
@@ -145,7 +145,7 @@ class Interpreter:
     # -- public entry ----------------------------------------------------------
 
     def run(self) -> ExecutionResult:
-        return_value: Optional[Value] = None
+        return_value: Value | None = None
         try:
             self._exec_stmt(self.func.body)
         except _ReturnSignal as signal:
@@ -214,7 +214,7 @@ class Interpreter:
             index += 1
 
     @staticmethod
-    def _find_label(stmts: list[ast.Stmt], label: str) -> Optional[int]:
+    def _find_label(stmts: list[ast.Stmt], label: str) -> int | None:
         for position, stmt in enumerate(stmts):
             if isinstance(stmt, ast.Label) and stmt.name == label:
                 return position

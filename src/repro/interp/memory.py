@@ -17,7 +17,7 @@ crashing, exactly as on real hardware with malloc slack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import UndefinedBehaviorError
 from repro.lanetypes import INT32, LaneType

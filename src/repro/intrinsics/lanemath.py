@@ -23,7 +23,7 @@ rather than delegated to numpy's per-platform over-shift behaviour.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.intrinsics import purelanes
 from repro.lanetypes import INT32, LaneType

@@ -14,7 +14,7 @@ It also serves as the runtime fallback when numpy is unavailable.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 #: Element width of the default (historical) lane type.
 _LANE_BITS = 32

@@ -17,7 +17,7 @@ resolve through the kernel's declared element type
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.errors import CompileError
 from repro.intrinsics import lanemath
@@ -58,7 +58,7 @@ class IntrinsicSpec:
     arity: int
     kind: str
     cycle_cost: float
-    fn: Optional[Callable] = None
+    fn: Callable | None = None
     lanes: int = 8
     op: str = ""
     target: str = "avx2"
@@ -275,7 +275,7 @@ def _pred_merge_fn(op: str):
 #: op -> (kind, arity, base cycle cost, function).  ``arity = -1`` means one
 #: argument per lane (the set/setr constructors).  Costs are the AVX2 base
 #: figures; targets override per op via ``intrinsic_cost_overrides``.
-_GENERIC_OPS: dict[str, tuple[str, int, float, Optional[Callable]]] = {
+_GENERIC_OPS: dict[str, tuple[str, int, float, Callable | None]] = {
     "add": ("pure_binary", 2, 0.5, lambda a, b: a + b),
     "sub": ("pure_binary", 2, 0.5, lambda a, b: a - b),
     "mul": ("pure_binary", 2, 2.0, _mul_lane),

@@ -20,7 +20,8 @@ assignments and intrinsic calls exactly like :class:`VecValue`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import ClassVar
 
 from repro.intrinsics import lanemath
 from repro.intrinsics.lanemath import whilelt_lanes
@@ -62,7 +63,7 @@ class VecValue:
     dtype: LaneType = INT32
 
     #: Subclasses may pin a width so ``splat()``/``zero()`` work bare.
-    default_width: ClassVar[Optional[int]] = None
+    default_width: ClassVar[int | None] = None
 
     def __post_init__(self) -> None:
         if not self.poison:
@@ -79,7 +80,7 @@ class VecValue:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def _width(cls, width: Optional[int]) -> int:
+    def _width(cls, width: int | None) -> int:
         resolved = width if width is not None else cls.default_width
         if resolved is None:
             raise ValueError("a vector width is required")
@@ -98,12 +99,12 @@ class VecValue:
         return cls(wrapped, flags, dtype)
 
     @classmethod
-    def splat(cls, value: int, width: Optional[int] = None,
+    def splat(cls, value: int, width: int | None = None,
               dtype: LaneType = INT32) -> "VecValue":
         return cls.from_lanes([value] * cls._width(width), dtype=dtype)
 
     @classmethod
-    def zero(cls, width: Optional[int] = None,
+    def zero(cls, width: int | None = None,
              dtype: LaneType = INT32) -> "VecValue":
         return cls.from_lanes([0] * cls._width(width), dtype=dtype)
 

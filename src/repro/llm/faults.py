@@ -17,7 +17,6 @@ import copy
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.cfront import ast_nodes as ast
 from repro.cfront.printer import function_to_c
@@ -43,6 +42,15 @@ class FaultKind(enum.Enum):
     #: The scalar epilogue loop dropped: correct only when the trip count is a
     #: multiple of the vector width.
     MISSING_EPILOGUE = "missing_epilogue"
+    #: An accumulator's ``setzero`` initialization dropped.  The reference
+    #: interpreter zero-fills uninitialized vector locals, so execution-based
+    #: testing cannot see this one at all — it exists for the static vetter's
+    #: ``use-before-init`` rule (a real compiler would read garbage).
+    DROP_ACC_INIT = "drop_acc_init"
+    #: A predicated store's ``whilelt`` governor replaced with an all-true
+    #: predicate: every full-width iteration is unchanged, but the final
+    #: partial iteration writes all lanes past the extent.
+    UNGOVERNED_MEMORY = "ungoverned_memory"
 
 
 #: Faults that the repair loop can plausibly fix once the tester reports a
@@ -74,6 +82,11 @@ class FaultProfile:
         FaultKind.UNSAFE_HOIST: 0.16,
         FaultKind.CMP_OFF_BY_ONE: 0.22,
         FaultKind.MISSING_EPILOGUE: 0.12,
+        # Statically-visible kinds are not part of the calibrated mix (their
+        # zero weight keeps every seeded campaign's rng stream unchanged);
+        # tests and fault-corpus tooling inject them via apply_fault directly.
+        FaultKind.DROP_ACC_INIT: 0.0,
+        FaultKind.UNGOVERNED_MEMORY: 0.0,
     })
 
     def fault_rate(self, has_dependence_info: bool, has_feedback: bool) -> float:
@@ -83,7 +96,7 @@ class FaultProfile:
             return self.with_dependence_info_rate
         return self.base_fault_rate
 
-    def sample_kind(self, rng: random.Random, applicable: list["FaultKind"]) -> Optional["FaultKind"]:
+    def sample_kind(self, rng: random.Random, applicable: list["FaultKind"]) -> "FaultKind" | None:
         candidates = [(kind, self.kind_weights.get(kind, 0.0)) for kind in applicable]
         total = sum(weight for _, weight in candidates)
         if total <= 0:
@@ -127,6 +140,9 @@ _CMPGT_NAMES = _spellings("cmpgt")
 _PCMPGT_NAMES = _spellings("pcmpgt")
 _SETR_NAMES = _spellings("setr")
 _INDEX_NAMES = _spellings("index")
+_SETZERO_NAMES = _spellings("setzero")
+_PSTORE_NAMES = _spellings("pstore")
+_WHILELT_NAMES = _spellings("whilelt")
 
 #: Setr arities a ramp can legitimately have (one per registered width).
 _RAMP_ARITIES = {t.lanes for t in ALL_TARGETS}
@@ -178,6 +194,14 @@ def _applicable_faults_uncached(vectorized_source: str) -> list[FaultKind]:
         faults.append(FaultKind.CMP_OFF_BY_ONE)
     if _count_for_loops(vectorized_source) >= 2:
         faults.append(FaultKind.MISSING_EPILOGUE)
+    # New kinds stay at the end of the list: sample_kind accumulates weights
+    # in list order, so appending (zero-weight) kinds preserves the exact rng
+    # stream of every seeded campaign recorded before they existed.
+    if any(name in vectorized_source for name in _SETZERO_NAMES):
+        faults.append(FaultKind.DROP_ACC_INIT)
+    if any(name in vectorized_source for name in _PSTORE_NAMES) and any(
+            name in vectorized_source for name in _WHILELT_NAMES):
+        faults.append(FaultKind.UNGOVERNED_MEMORY)
     return faults
 
 
@@ -217,6 +241,10 @@ def apply_fault(vectorized_source: str, kind: FaultKind, rng: random.Random) -> 
         changed = _relax_comparison(func, rng)
     elif kind is FaultKind.MISSING_EPILOGUE:
         changed = _drop_epilogue(func)
+    elif kind is FaultKind.DROP_ACC_INIT:
+        changed = _drop_acc_init(func)
+    elif kind is FaultKind.UNGOVERNED_MEMORY:
+        changed = _ungoverned_store(func, rng)
     else:  # pragma: no cover - defensive
         changed = False
     if not changed:
@@ -329,6 +357,37 @@ def _relax_comparison(func: ast.FunctionDef, rng: random.Random) -> bool:
     equal = ast.Call(func=isa.intrinsic("cmpeq"), args=[left, right])
     target.func = isa.intrinsic("or")
     target.args = [greater, equal]
+    return True
+
+
+def _drop_acc_init(func: ast.FunctionDef) -> bool:
+    """Drop the ``setzero`` initializer of one vector declaration.
+
+    The interpreter zero-fills uninitialized (non-scalable) vector locals,
+    so the mutated candidate *behaves* identically — this fault is the
+    static vetter's to catch (``use-before-init``), modeling the class of
+    bugs that are invisible to any amount of execution.
+    """
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Decl) and isinstance(node.init, ast.Call)
+                and node.init.func in _SETZERO_NAMES):
+            node.init = None
+            return True
+    return False
+
+
+def _ungoverned_store(func: ast.FunctionDef, rng: random.Random) -> bool:
+    """Replace one predicated store's governor with an all-true predicate.
+
+    Full-width iterations are unchanged; the final partial iteration of the
+    whilelt loop stores every lane, running past the extent.
+    """
+    calls = [c for c in _calls(func, _PSTORE_NAMES) if c.args]
+    if not calls:
+        return False
+    target = rng.choice(calls)
+    isa = _target_of(target.func)
+    target.args[0] = ast.Call(func=isa.intrinsic("ptrue"), args=[])
     return True
 
 

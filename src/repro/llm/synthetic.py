@@ -26,7 +26,6 @@ import copy
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.analysis.features import (
     CATEGORY_DEPENDENCE,
@@ -196,12 +195,12 @@ class SyntheticLLM(LLMClient):
 #: Hard kernels are retried many times per campaign, so each rebuild was
 #: pure repeat work.  Entries hold a strong reference to the input function,
 #: protecting the id-based key from reuse.
-_BUILDER_MEMO: dict[tuple[str, int, object], tuple[ast.FunctionDef, Optional[str]]] = {}
+_BUILDER_MEMO: dict[tuple[str, int, object], tuple[ast.FunctionDef, str | None]] = {}
 _BUILDER_MEMO_CAPACITY = 512
 
 
 def _memoized_builder(kind: str, scalar_func: ast.FunctionDef, salt: object,
-                      build) -> Optional[str]:
+                      build) -> str | None:
     key = (kind, id(scalar_func), salt)
     entry = _BUILDER_MEMO.get(key)
     if entry is not None and entry[0] is scalar_func:
@@ -213,7 +212,7 @@ def _memoized_builder(kind: str, scalar_func: ast.FunctionDef, salt: object,
     return source
 
 
-def _blocked_rewrite(scalar_func: ast.FunctionDef, lanes: int = 8) -> Optional[str]:
+def _blocked_rewrite(scalar_func: ast.FunctionDef, lanes: int = 8) -> str | None:
     """A correct but unvectorized rewrite: process the loop in lane-count blocks.
 
     This mirrors the low-effort completions GPT-4 sometimes produces for loops

@@ -1,7 +1,7 @@
 """Lightweight per-stage wall-clock profiling of the verification pipeline.
 
 Every expensive pipeline stage — ``parse``, ``plan``, ``codegen``,
-``interp``, ``symexec``, ``solve`` — brackets its work in
+``staticcheck``, ``interp``, ``symexec``, ``solve`` — brackets its work in
 :func:`stage`, and the process-local accumulator tallies wall-clock
 seconds and call counts per stage.  The campaign engine snapshots the
 accumulator around each job, so campaign summaries (and from there
@@ -19,8 +19,11 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
-#: The canonical stage names, in pipeline order.
-STAGES = ("parse", "plan", "codegen", "interp", "symexec", "solve")
+#: The canonical stage names, in pipeline order.  ``staticcheck`` sits
+#: between code generation and execution: the static vetter screens (or
+#: annotates) every candidate before the interpreter sees it.
+STAGES = ("parse", "plan", "codegen", "staticcheck", "interp", "symexec",
+          "solve")
 
 
 class StageProfile:

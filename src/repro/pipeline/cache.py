@@ -26,12 +26,14 @@ loses at most the final line.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 
 #: Sentinel distinguishing "key absent" from "stored value is None": a cached
@@ -44,7 +46,7 @@ def content_key(*parts: str) -> str:
     """SHA-256 key over length-prefixed parts (no separator ambiguity)."""
     digest = hashlib.sha256()
     for part in parts:
-        encoded = part.encode("utf-8")
+        encoded = part.encode()
         digest.update(str(len(encoded)).encode("ascii"))
         digest.update(b":")
         digest.update(encoded)
@@ -215,10 +217,9 @@ class ResultCache:
             self._handle = None
 
     def __del__(self):
-        try:
+        # Interpreter shutdown: the OS reclaims the handle anyway.
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass  # interpreter shutdown: the OS reclaims the handle anyway
 
     def _append_handle(self):
         if self._handle is None or self._handle.closed:
@@ -240,7 +241,7 @@ def iter_jsonl_dicts(path: Path) -> Iterator[dict]:
     store and the shard merger: blank lines are skipped, a half-written
     line (the crash-mid-append case) is dropped, non-dict lines are ignored.
     """
-    with path.open("r", encoding="utf-8") as handle:
+    with path.open(encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:

@@ -46,6 +46,7 @@ and non-picklable payloads are also accepted.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -55,7 +56,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import KW_ONLY, dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.perf.profile import counter_delta, merge_counts, merge_stage_seconds
 from repro.pipeline.cache import CacheStats, ResultCache, config_fingerprint, content_key
@@ -66,6 +68,7 @@ from repro.pipeline.scheduler import (
     resolve_batch_setting,
 )
 from repro.lanetypes import get_lane_type
+from repro.pipeline.verdict import Verdict
 from repro.targets import get_target, resolve_target_setting, target_names
 
 JobFn = Callable[["KernelTask"], dict]
@@ -110,7 +113,7 @@ def shard_of(kernel_name: str, count: int) -> int:
     suite order), so every machine computes the same partition and per-kernel
     results stay bit-identical to an unsharded run.
     """
-    digest = hashlib.sha256(f"shard:{kernel_name}".encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(f"shard:{kernel_name}".encode()).hexdigest()
     return int(digest[:16], 16) % count
 
 
@@ -164,7 +167,7 @@ def as_campaign_runner(campaign: "CampaignRunner | CampaignConfig | None") -> "C
 
 def derive_kernel_seed(base_seed: int, kernel_name: str) -> int:
     """A deterministic per-kernel seed, independent of suite order and worker count."""
-    digest = hashlib.sha256(f"{base_seed}:{kernel_name}".encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(f"{base_seed}:{kernel_name}".encode()).hexdigest()
     return int(digest[:16], 16)
 
 
@@ -180,7 +183,7 @@ class KernelTask:
     payload: Any = None
     #: Candidate code, for jobs that verify an existing candidate; folding it
     #: into the cache key makes candidate-level results content-addressed.
-    candidate_code: Optional[str] = None
+    candidate_code: str | None = None
 
     def cache_key(self, label: str) -> str:
         parts = [label, self.kernel, self.scalar_code, self.config_hash, str(self.seed)]
@@ -224,6 +227,13 @@ class CampaignConfig:
     #: names — and salt every config fingerprint, so per-dtype verdicts can
     #: never collide in a shared cache or store.
     dtype: str = "int32"
+    #: Static candidate vetting mode: ``"off"`` skips the rule-based linter,
+    #: ``"advisory"`` (default) attaches its reports and per-rule counters
+    #: while leaving every verdict bit-identical to the unvetted pipeline,
+    #: ``"screen"`` fast-rejects error-severity candidates before any
+    #: execution (outcome ``static_reject``).  A vectorizer config requesting
+    #: a non-default mode wins over this setting, mirroring ``epilogue``.
+    static_check: str = "advisory"
     #: Abort the campaign on the first failing job (the pre-fault-tolerance
     #: behaviour).  Off by default: failures become error records instead.
     fail_fast: bool = False
@@ -337,6 +347,10 @@ class CampaignSummary:
     #: raw CDCL work (decisions/propagations/conflicts/learned_clauses/
     #: restarts), summed the same way (:mod:`repro.smt.solvecache`).
     solver: dict[str, int] = field(default_factory=dict)
+    #: Per-rule static-vetter error counts summed over every record's
+    #: attempts (:mod:`repro.staticcheck`); empty when nothing was flagged
+    #: (or the vetter was off).
+    static_flags: dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -400,6 +414,8 @@ class CampaignSummary:
             **({"solver": dict(sorted(self.solver.items())),
                 "solve_cache_hit_rate": round(self.solve_cache_hit_rate, 4)}
                if self.solver else {}),
+            **({"static_flags": dict(sorted(self.static_flags.items()))}
+               if self.static_flags else {}),
         }
 
 
@@ -591,6 +607,8 @@ class CampaignRunner:
             config = replace(config, target=isa.name)
         if config.epilogue == "scalar" and self.config.epilogue != "scalar":
             config = replace(config, epilogue=self.config.epilogue)
+        if config.static_check == "advisory" and self.config.static_check != "advisory":
+            config = replace(config, static_check=self.config.static_check)
         tasks = self.suite_tasks(names, payload=config,
                                  config_hash=config_fingerprint(
                                      config, target=isa.name,
@@ -762,23 +780,23 @@ class CampaignRunner:
         orphaned, never lost.
         """
         completed: set[str] = set()
-        try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-                futures = {pool.submit(_run_job, job, task, label, self.config.fail_fast):
-                           (task, key) for task, key in pending}
-                outstanding = set(futures)
-                while outstanding:
-                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        task, key = futures[future]
-                        try:
-                            result = future.result()
-                        except BrokenProcessPool:
-                            continue
-                        completed.add(key)
-                        on_result(task, key, result)
-        except BrokenProcessPool:
-            pass  # broke mid-submission; everything not completed is orphaned
+        # A pool broken mid-submission leaves everything not completed
+        # orphaned; the caller re-dispatches those.
+        with contextlib.suppress(BrokenProcessPool), \
+                ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {pool.submit(_run_job, job, task, label, self.config.fail_fast):
+                       (task, key) for task, key in pending}
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, key = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        continue
+                    completed.add(key)
+                    on_result(task, key, result)
         return [(task, key) for task, key in pending if key not in completed]
 
     def _summarize(self, label: str, records: list[CampaignRecord], stats: CacheStats,
@@ -787,6 +805,9 @@ class CampaignRunner:
                    stage_seconds: dict[str, float] | None = None,
                    execution: ExecutionStats | None = None) -> CampaignSummary:
         execution = execution or ExecutionStats()
+        static_flags: dict[str, int] = {}
+        for record in records:
+            merge_counts(static_flags, record.result.get("static_flags"))
         return CampaignSummary(
             label=label,
             kernels=len(records),
@@ -805,6 +826,7 @@ class CampaignRunner:
             batches=execution.batches,
             plan_cache=dict(execution.plan_cache),
             solver=dict(execution.solver),
+            static_flags=static_flags,
         )
 
 
@@ -814,19 +836,38 @@ class CampaignRunner:
 
 
 def kernel_result_record(result) -> dict:
-    """Flatten a :class:`~repro.pipeline.runner.KernelRunResult` to JSON."""
+    """Flatten a :class:`~repro.pipeline.runner.KernelRunResult` to JSON.
+
+    The static vetter's accounting rides along only when it actually flagged
+    something: ``static_flags`` sums per-rule *error* counts over every
+    attempt, ``static_summary`` is the one-line report on the final attempt's
+    candidate.  Records from vetter-free runs are byte-identical to before.
+    """
     report = result.pipeline_report
     code = result.vectorized_code
+    history = result.fsm_result.history
+    static_flags: dict[str, int] = {}
+    for attempt in history:
+        for rule_id, count in attempt.static_flags.items():
+            static_flags[rule_id] = static_flags.get(rule_id, 0) + count
+    static_summary = history[-1].static_summary if history else None
+    verdict = result.verdict
+    deciding_stage = report.deciding_stage if report is not None else None
+    if verdict is Verdict.STATIC_REJECT:
+        deciding_stage = "staticcheck"
     return {
         "kernel": result.kernel.name,
-        "verdict": result.verdict.value,
+        "verdict": verdict.value,
         "plausible": result.plausible,
         "attempts": result.fsm_result.attempts,
         "llm_invocations": result.fsm_result.llm_invocations,
-        "deciding_stage": report.deciding_stage if report is not None else None,
+        "deciding_stage": deciding_stage,
         "stage_outcomes": dict(report.stage_outcomes) if report is not None else {},
         "final_code": code,
         "final_code_sha": hashlib.sha256(code.encode()).hexdigest() if code else None,
+        **({"static_flags": dict(sorted(static_flags.items()))} if static_flags else {}),
+        **({"static_summary": static_summary}
+           if static_summary and static_summary != "clean" else {}),
     }
 
 

@@ -10,7 +10,6 @@ experiment harness and the benchmarks build on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.agents.fsm import FSMConfig, FSMResult, VectorizationFSM
 from repro.llm.client import LLMClient
@@ -36,6 +35,9 @@ class LLMVectorizerConfig:
     #: Epilogue strategy candidates are generated with (``"scalar"``,
     #: ``"masked"`` or ``"predicated"``); pinned into the FSM config per run.
     epilogue: str = "scalar"
+    #: Static candidate vetting mode (``"off"``, ``"advisory"``,
+    #: ``"screen"``); pinned into the FSM config per run like ``epilogue``.
+    static_check: str = "advisory"
 
 
 @dataclass
@@ -44,7 +46,7 @@ class KernelRunResult:
 
     kernel: LoadedKernel
     fsm_result: FSMResult
-    pipeline_report: Optional[PipelineReport] = None
+    pipeline_report: PipelineReport | None = None
 
     @property
     def plausible(self) -> bool:
@@ -53,13 +55,17 @@ class KernelRunResult:
     @property
     def verdict(self) -> Verdict:
         if not self.plausible:
+            history = self.fsm_result.history
+            if history and all(r.outcome == "static_reject" for r in history):
+                # Screen mode refuted every attempt without executing one.
+                return Verdict.STATIC_REJECT
             return Verdict.NOT_EQUIVALENT
         if self.pipeline_report is None:
             return Verdict.PLAUSIBLE
         return self.pipeline_report.verdict
 
     @property
-    def vectorized_code(self) -> Optional[str]:
+    def vectorized_code(self) -> str | None:
         return self.fsm_result.final_code
 
 
@@ -82,6 +88,8 @@ class LLMVectorizer:
             fsm_config = replace(fsm_config, target=target)
         if fsm_config.epilogue != self.config.epilogue:
             fsm_config = replace(fsm_config, epilogue=self.config.epilogue)
+        if fsm_config.static_check != self.config.static_check:
+            fsm_config = replace(fsm_config, static_check=self.config.static_check)
         fsm = VectorizationFSM(self.llm, kernel.name, kernel.source, fsm_config)
         fsm_result = fsm.run()
         pipeline_report = None

@@ -43,12 +43,14 @@ did with per-task dispatch.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.perf.profile import counter_delta, merge_counts
 
@@ -126,7 +128,9 @@ def warm_worker(sources: tuple[str, ...],
     source will surface as that kernel's own error record, never as a
     broken pool.
     """
-    try:
+    # Warming is best-effort: a cold worker is merely slower, and an
+    # unparsable source is the kernel's own job's to report.
+    with contextlib.suppress(Exception):
         from repro.smt import solvecache
         from repro.smt.terms import bv_const
         from repro.vectorizer.plancache import cached_parse
@@ -135,12 +139,8 @@ def warm_worker(sources: tuple[str, ...],
             bv_const(value)
         solvecache.seed_entries(solve_entries)
         for source in sources:
-            try:
+            with contextlib.suppress(Exception):
                 cached_parse(source)
-            except Exception:
-                pass  # the kernel's own job will report this properly
-    except Exception:
-        pass  # warming is best-effort; a cold worker is merely slower
 
 
 def run_task_batch(job: "JobFn", tasks: "list[KernelTask]", label: str,

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.perf.profile import merge_counts
 from repro.pipeline.cache import iter_jsonl_dicts
@@ -257,6 +257,10 @@ def report_from_store(path: str | Path, label: str | None = None,
     for entry in matching:
         merge_counts(plan_cache, entry.get("plan_cache")
                      if isinstance(entry.get("plan_cache"), dict) else None)
+    static_flags: dict[str, int] = {}
+    for record in records:
+        flags = record.result.get("static_flags")
+        merge_counts(static_flags, flags if isinstance(flags, dict) else None)
     summary = CampaignSummary(
         label=label,
         kernels=len(records),
@@ -277,5 +281,6 @@ def report_from_store(path: str | Path, label: str | None = None,
         shard=None,  # a merged report covers the whole suite again
         batches=sum(s.get("batches", 0) for s in matching),
         plan_cache=plan_cache,
+        static_flags=static_flags,
     )
     return CampaignReport(label=label, records=records, summary=summary)

@@ -6,13 +6,15 @@ import enum
 
 
 class Verdict(enum.Enum):
-    """The four verdicts of the paper's equivalence-checking methodology."""
+    """The paper's four equivalence verdicts, plus the static screen's one."""
 
     PLAUSIBLE = "plausible"            # survived checksum testing (possibly correct)
     EQUIVALENT = "equivalent"          # formally verified (modulo bounded unrolling)
     NOT_EQUIVALENT = "not_equivalent"  # refuted by testing or verification
     INCONCLUSIVE = "inconclusive"      # resource limits / unsupported encodings
+    STATIC_REJECT = "static_reject"    # every candidate refuted by static vetting alone
 
     @property
     def is_final(self) -> bool:
-        return self in (Verdict.EQUIVALENT, Verdict.NOT_EQUIVALENT)
+        return self in (Verdict.EQUIVALENT, Verdict.NOT_EQUIVALENT,
+                        Verdict.STATIC_REJECT)

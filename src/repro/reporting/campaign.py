@@ -65,6 +65,7 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path",
     # nothing, so pre-existing files remain readable and meaningful.
     stage_totals: dict[str, float] = {}
     solver_totals: dict[str, int] = {}
+    static_totals: dict[str, int] = {}
     for entry in campaigns:
         stages = entry.get("stage_seconds")
         if isinstance(stages, dict):
@@ -74,6 +75,11 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path",
             for name, count in solver.items():
                 if isinstance(count, int):
                     solver_totals[name] = solver_totals.get(name, 0) + count
+        flags = entry.get("static_flags")
+        if isinstance(flags, dict):
+            for rule, count in flags.items():
+                if isinstance(count, int):
+                    static_totals[rule] = static_totals.get(rule, 0) + count
     payload = {
         "campaigns": campaigns,
         "totals": {
@@ -88,6 +94,9 @@ def write_bench_json(summaries: "list[CampaignSummary]", path: "str | Path",
             # raw CDCL counters, same provenance as plan_cache totals.
             **({"solver": dict(sorted(solver_totals.items()))}
                if solver_totals else {}),
+            # Fleet static-vetter hits across the file, per rule id.
+            **({"static_flags": dict(sorted(static_totals.items()))}
+               if static_totals else {}),
         },
         "scaling": scaling_entries(campaigns),
     }
@@ -170,6 +179,8 @@ def render_campaign_summary(summary: CampaignSummary, title: str = "") -> str:
         rows.append({"Metric": f"Verdict: {verdict}", "Value": count})
     for name, seconds in sorted(summary.stage_seconds.items()):
         rows.append({"Metric": f"Stage: {name}", "Value": f"{seconds:.3f}s"})
+    for rule, count in sorted(summary.static_flags.items()):
+        rows.append({"Metric": f"Static: {rule}", "Value": count})
     return render_table(rows, title=title or f"Campaign summary ({summary.label})")
 
 
@@ -190,16 +201,34 @@ def render_campaign_errors(report: CampaignReport, title: str = "") -> str:
     return render_table(rows, title=title or f"Campaign errors ({report.label})")
 
 
+def _static_note(result: dict) -> str:
+    """The static vetter's one-line read on a kernel that needs explaining.
+
+    Verified-equivalent kernels need no explanation, so only inconclusive,
+    statically rejected and errored records surface their advisory summary
+    — the "why did this one fail?" annotation of the per-kernel table.
+    """
+    verdict = result.get("verdict", "")
+    if verdict not in ("inconclusive", "static_reject") and not is_error_result(result):
+        return ""
+    return str(result.get("static_summary") or "")
+
+
 def render_campaign_report(report: CampaignReport, title: str = "") -> str:
     """Render per-kernel verdicts plus error details plus the summary table."""
     rows = []
-    for record in report.records:
+    notes = [_static_note(record.result) for record in report.records]
+    # The Notes column appears only when the vetter had something to say, so
+    # campaigns run with ``static_check="off"`` render exactly as before.
+    show_notes = any(notes)
+    for record, note in zip(report.records, notes):
         rows.append({
             "Test": record.kernel,
             "Verdict": record.result.get("verdict", ""),
             "Stage": record.result.get("deciding_stage") or "",
             "Attempts": record.result.get("attempts", ""),
             "Source": record.source,
+            **({"Notes": note} if show_notes else {}),
         })
     per_kernel = render_table(rows, title=title or f"Campaign results ({report.label})")
     errors = render_campaign_errors(report)

@@ -7,7 +7,7 @@ artifacts can be read directly from the benchmark output.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 
 def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:

@@ -20,10 +20,10 @@ three stages (cheapest first):
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.smt.bitblast import BitBlaster, UnsupportedTerm
 from repro.smt.sat import CDCLSolver, SATResult, SATStatistics
@@ -82,12 +82,12 @@ class SolverBudget:
 class EquivalenceResult:
     outcome: EquivalenceOutcome
     method: str = ""
-    counterexample: Optional[dict[str, int]] = None
+    counterexample: dict[str, int] | None = None
     detail: str = ""
     #: Statistics of the SAT stage that produced this result — None when the
     #: query was decided before bit-blasting.  A solve-cache hit carries the
     #: statistics recorded when the batch was first solved.
-    sat_stats: Optional[SATStatistics] = None
+    sat_stats: SATStatistics | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -430,7 +430,7 @@ class EquivalenceChecker:
                 EquivalenceOutcome.NOT_EQUIVALENT, method="concrete", counterexample=counterexample
             )
 
-        oversized: Optional[EquivalenceResult] = None
+        oversized: EquivalenceResult | None = None
         sat_pairs: list[tuple[Term, Term]] = []
         for source, target in sorted(unproven, key=lambda p: term_size(p[0]) + term_size(p[1])):
             total_nodes = term_size(source) + term_size(target)
@@ -441,7 +441,7 @@ class EquivalenceChecker:
                 )
             else:
                 sat_pairs.append((source, target))
-        batch: Optional[EquivalenceResult] = None
+        batch: EquivalenceResult | None = None
         if sat_pairs:
             batch = self._sat_check_batch(sat_pairs)
             if batch.outcome is EquivalenceOutcome.NOT_EQUIVALENT:
@@ -455,7 +455,7 @@ class EquivalenceChecker:
         return EquivalenceResult(EquivalenceOutcome.EQUIVALENT, method="all-pairs",
                                  sat_stats=batch.sat_stats if batch else None)
 
-    def _batched_random_refute(self, pairs: list[tuple[Term, Term]]) -> Optional[dict[str, int]]:
+    def _batched_random_refute(self, pairs: list[tuple[Term, Term]]) -> dict[str, int] | None:
         variables: set[str] = set()
         for source, target in pairs:
             variables |= collect_variables(source) | collect_variables(target)
@@ -479,7 +479,7 @@ class EquivalenceChecker:
 
     # -- internals ------------------------------------------------------------------
 
-    def _random_refute(self, source: Term, target: Term) -> Optional[dict[str, int]]:
+    def _random_refute(self, source: Term, target: Term) -> dict[str, int] | None:
         variables = sorted(collect_variables(source) | collect_variables(target))
         rng = random.Random(self.seed)
         bits = self.model_bits
@@ -539,9 +539,9 @@ class EquivalenceChecker:
             conflict_budget=budget.sat_conflict_budget,
         )
         blaster = BitBlaster(solver, bits=budget.sat_bitwidth)
-        alpha_memo: dict[tuple[Term, Term], tuple[SATResult, Optional[dict[str, int]]]] = {}
-        worst: Optional[EquivalenceResult] = None
-        refutation: Optional[EquivalenceResult] = None
+        alpha_memo: dict[tuple[Term, Term], tuple[SATResult, dict[str, int] | None]] = {}
+        worst: EquivalenceResult | None = None
+        refutation: EquivalenceResult | None = None
         for source, target in pairs:
             try:
                 canon_source, canon_target, var_map = _alpha_canonical_pair(source, target)
@@ -589,7 +589,7 @@ class EquivalenceChecker:
                         detail="solver budget exhausted",
                     )
                 continue
-            try:
+            with contextlib.suppress(KeyError):
                 if assignment is not None and \
                         evaluate(source, assignment, self.model_bits) != \
                         evaluate(target, assignment, self.model_bits):
@@ -598,8 +598,6 @@ class EquivalenceChecker:
                         counterexample=assignment,
                     )
                     break
-            except KeyError:
-                pass
             if worst is None:
                 worst = EquivalenceResult(
                     EquivalenceOutcome.INCONCLUSIVE,

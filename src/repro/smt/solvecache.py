@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.smt.sat import SATStatistics
 from repro.smt.terms import Term, term_digest
@@ -107,7 +107,7 @@ def query_key(pairs: "list[tuple[Term, Term]]", bitwidth: int,
     return "|".join(parts)
 
 
-def lookup(key: str) -> Optional[dict]:
+def lookup(key: str) -> dict | None:
     """The stored batch record, counting the hit/miss."""
     record = _CACHE.get(key)
     if record is None:

@@ -15,7 +15,7 @@ import enum
 import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 WORD_BITS = 32
 _WORD_MASK = (1 << WORD_BITS) - 1
@@ -549,5 +549,5 @@ def term_digest(term: Term) -> str:
             node.name or "",
             ",".join(cache[arg] for arg in node.args),
         ))
-        cache[node] = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+        cache[node] = hashlib.sha256(payload.encode()).hexdigest()[:32]
     return cache[term]

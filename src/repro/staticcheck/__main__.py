@@ -1,0 +1,75 @@
+"""CLI for the static candidate vetter.
+
+    python -m repro.staticcheck candidate.c --target avx2 --dtype int32
+
+Prints each diagnostic (or a table with ``--table``), optionally the full
+JSON report, and exits 1 when any error-severity diagnostic fired — the
+same line screen mode draws inside a campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.staticcheck.checker import check_candidate
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Statically vet a vectorized candidate before the "
+                    "verifier sees it.")
+    parser.add_argument("file", help="candidate C source file")
+    parser.add_argument("--target", default=None,
+                        help="target ISA (default: inferred from spellings)")
+    parser.add_argument("--dtype", default=None,
+                        help="lane element type (default: inferred)")
+    parser.add_argument("--epilogue", default=None,
+                        choices=("scalar", "masked", "predicated"),
+                        help="declared tail strategy to check against")
+    parser.add_argument("--scalar", default=None, metavar="FILE",
+                        help="scalar reference source (enables operator-"
+                             "drift checking)")
+    parser.add_argument("--table", action="store_true",
+                        help="render diagnostics as an aligned table")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full report as JSON")
+    args = parser.parse_args(argv)
+
+    source = Path(args.file).read_text(encoding="utf-8")
+    scalar_source = None
+    if args.scalar:
+        scalar_source = Path(args.scalar).read_text(encoding="utf-8")
+
+    report = check_candidate(source, target=args.target, dtype=args.dtype,
+                             epilogue=args.epilogue,
+                             scalar_source=scalar_source)
+
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    elif args.table and report.diagnostics:
+        from repro.reporting.tables import render_table
+        rows = [{
+            "Where": f"{d.node_span[0]}:{d.node_span[1]}",
+            "Severity": d.severity.value,
+            "Rule": d.rule_id,
+            "Message": d.message,
+        } for d in report.sorted_diagnostics()]
+        print(render_table(rows, title=f"{args.file} "
+                                       f"[{report.target}/{report.dtype}]"))
+    else:
+        for diagnostic in report.sorted_diagnostics():
+            print(f"{args.file}:{diagnostic.render()}")
+        verdict = "rejected" if report.has_errors else "passed"
+        errors = len(report.errors())
+        print(f"{args.file}: {verdict} ({errors} error(s), "
+              f"{len(report.diagnostics) - errors} other) "
+              f"[{report.target}/{report.dtype}]")
+    return 1 if report.has_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Diagnostic vocabulary of the static candidate vetter.
+
+Every rule pass emits :class:`Diagnostic` records — rule id, severity,
+message, source span — and :func:`repro.staticcheck.check_candidate`
+collects them into one :class:`StaticReport` per candidate.  The report is
+what travels: the campaign engine attaches it to result records, the
+tester agent turns it into repair feedback, and the CLI renders it as a
+table.  Severities draw the screening line: only ``ERROR`` diagnostics can
+fast-reject a candidate in ``static_check="screen"`` mode; warnings and
+notes are advisory in every mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How certain (and how consequential) a diagnostic is.
+
+    ``ERROR`` means the rule proved the candidate wrong for *every* input —
+    the verifier could only confirm the refutation.  ``WARNING`` flags a
+    structure that is usually wrong but has legitimate spellings; it never
+    rejects.  ``NOTE`` is purely informational.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+#: Ordering for sort/threshold purposes (most severe first).
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule pass at one source position."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    #: ``(line, column)`` of the offending node (1-based; ``(0, 0)`` when
+    #: the pass has no better anchor than the whole function).
+    node_span: tuple[int, int] = (0, 0)
+
+    def render(self) -> str:
+        line, column = self.node_span
+        anchor = f"{line}:{column}: " if line else ""
+        return f"{anchor}{self.severity.value}: [{self.rule_id}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "node_span": list(self.node_span),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        span = data.get("node_span") or (0, 0)
+        return cls(
+            rule_id=str(data["rule_id"]),
+            severity=Severity(data.get("severity", "error")),
+            message=str(data.get("message", "")),
+            node_span=(int(span[0]), int(span[1])),
+        )
+
+
+@dataclass
+class StaticReport:
+    """Everything the static vetter found on one candidate.
+
+    ``checked`` distinguishes "ran and found nothing" from "skipped"
+    (``static_check="off"`` attaches no report at all, so a present report
+    with ``checked=False`` only appears when the candidate could not even
+    be parsed into a checkable AST — the parse failure itself is then the
+    sole diagnostic).
+    """
+
+    target: str = ""
+    dtype: str = "int32"
+    checked: bool = True
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, rule_id: str, severity: Severity, message: str,
+            node=None) -> None:
+        """Append one diagnostic, anchoring it to ``node``'s location."""
+        span = (0, 0)
+        location = getattr(node, "location", None)
+        if location is not None:
+            span = (location.line, location.column)
+        self.diagnostics.append(
+            Diagnostic(rule_id=rule_id, severity=severity, message=message,
+                       node_span=span))
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics,
+                      key=lambda d: (_SEVERITY_RANK[d.severity], d.node_span,
+                                     d.rule_id))
+
+    def rule_counts(self, errors_only: bool = False) -> dict[str, int]:
+        """Per-rule hit counts — the ``static_flags`` currency."""
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            if errors_only and diagnostic.severity is not Severity.ERROR:
+                continue
+            counts[diagnostic.rule_id] = counts.get(diagnostic.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary_line(self) -> str:
+        """One line for report tables: ``rule-id xN`` joined, or ``clean``."""
+        if not self.diagnostics:
+            return "clean"
+        parts = []
+        for rule_id, count in self.rule_counts().items():
+            parts.append(rule_id if count == 1 else f"{rule_id} x{count}")
+        return ", ".join(parts)
+
+    def feedback_text(self) -> str:
+        """The tester-agent feedback body for a statically rejected candidate."""
+        lines = ["Static vetting rejected the candidate before testing:"]
+        lines.extend(f"  {d.render()}" for d in self.sorted_diagnostics())
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "dtype": self.dtype,
+            "checked": self.checked,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StaticReport":
+        return cls(
+            target=str(data.get("target", "")),
+            dtype=str(data.get("dtype", "int32")),
+            checked=bool(data.get("checked", True)),
+            diagnostics=[Diagnostic.from_dict(d)
+                         for d in data.get("diagnostics", [])],
+        )

@@ -43,7 +43,8 @@ data-only change in this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 from repro.lanetypes import INT32, LaneType, get_lane_type
 

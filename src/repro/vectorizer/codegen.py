@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.cfront import ast_nodes as ast
 from repro.cfront.ctypes import CType, INT
@@ -97,7 +96,7 @@ def _index_expr(base: str, offset: int) -> ast.Expr:
 class _MaskContext:
     """The currently active if-conversion mask register (None = unconditional)."""
 
-    register: Optional[str] = None
+    register: str | None = None
 
 
 class _VectorBodyBuilder:
@@ -112,14 +111,14 @@ class _VectorBodyBuilder:
         self.existing_names = existing_names
         #: When set, the builder is emitting a masked tail: every memory
         #: access goes through maskload/maskstore with this mask register.
-        self.tail_mask: Optional[str] = None
+        self.tail_mask: str | None = None
         #: Predicate-first targets (SVE): masks live in predicate registers,
         #: comparisons produce them, selects and *all* memory consume them.
         self.predicated: bool = plan.target.has_predicates
         #: The ``whilelt`` loop-governing predicate register of a predicated
         #: loop; None outside that strategy (plain predicated code is
         #: governed by an all-true ``ptrue`` materialized on demand).
-        self.loop_pred: Optional[str] = None
+        self.loop_pred: str | None = None
         self.counter = 0
         self.preload_stmts: list[ast.Stmt] = []
         self.body_stmts: list[ast.Stmt] = []
@@ -150,7 +149,7 @@ class _VectorBodyBuilder:
             )
         return self.target.intrinsic(op, self.dtype)
 
-    def _binop_intrinsic(self, op: str) -> Optional[str]:
+    def _binop_intrinsic(self, op: str) -> str | None:
         table = {"+": "add", "-": "sub", "*": "mul",
                  "&": "and", "|": "or", "^": "xor"}
         generic = table.get(op)
@@ -317,7 +316,7 @@ class _VectorBodyBuilder:
                 self._op("pnot"), _ident(self._governing_pred()), _ident(mask)))
         return self._emit_value("nmask", _call(self._op("xor"), _ident(mask), _ident(self._all_ones())))
 
-    def _and_masks(self, left: Optional[str], right: str) -> str:
+    def _and_masks(self, left: str | None, right: str) -> str:
         if left is None:
             return right
         if self.predicated:
@@ -480,7 +479,7 @@ class _VectorBodyBuilder:
 
     # -- affine helpers ------------------------------------------------------------------------
 
-    def _affine_offset(self, index: ast.Expr) -> Optional[int]:
+    def _affine_offset(self, index: ast.Expr) -> int | None:
         """Offset o when ``index`` is ``iterator + o`` (coefficient 1), else None."""
         from repro.analysis.accesses import affine_index
 
@@ -489,7 +488,7 @@ class _VectorBodyBuilder:
             return affine.offset
         return None
 
-    def _induction_offset(self, index: ast.Expr) -> Optional[tuple[str, int]]:
+    def _induction_offset(self, index: ast.Expr) -> tuple[str, int] | None:
         if isinstance(index, ast.Identifier) and index.name in self.inductions:
             return index.name, 0
         if (
@@ -545,7 +544,7 @@ class _VectorBodyBuilder:
             )
             self._emit(ast.ExprStmt(expr=advance))
 
-    def _emit_stmt(self, stmt: ast.Stmt, mask: Optional[str]) -> None:
+    def _emit_stmt(self, stmt: ast.Stmt, mask: str | None) -> None:
         if isinstance(stmt, ast.Block):
             for inner in stmt.body:
                 self._emit_stmt(inner, mask)
@@ -565,7 +564,7 @@ class _VectorBodyBuilder:
             return
         raise InfeasibleVectorization(f"statement {type(stmt).__name__} cannot be vectorized")
 
-    def _emit_if(self, stmt: ast.If, mask: Optional[str]) -> None:
+    def _emit_if(self, stmt: ast.If, mask: str | None) -> None:
         minmax = self._try_minmax_reduction(stmt, mask)
         if minmax:
             return
@@ -577,7 +576,7 @@ class _VectorBodyBuilder:
             else_mask = self._and_masks(mask, inverted)
             self._emit_stmt(stmt.otherwise, else_mask)
 
-    def _try_minmax_reduction(self, stmt: ast.If, mask: Optional[str]) -> bool:
+    def _try_minmax_reduction(self, stmt: ast.If, mask: str | None) -> bool:
         """Recognize ``if (expr CMP x) x = expr;`` and emit a max/min accumulate."""
         if stmt.otherwise is not None or mask is not None:
             return False
@@ -616,7 +615,7 @@ class _VectorBodyBuilder:
         )))
         return True
 
-    def _emit_expr_stmt(self, expr: ast.Expr, mask: Optional[str]) -> None:
+    def _emit_expr_stmt(self, expr: ast.Expr, mask: str | None) -> None:
         if isinstance(expr, ast.Assign):
             self._emit_assign(expr, mask)
             return
@@ -630,7 +629,7 @@ class _VectorBodyBuilder:
             raise InfeasibleVectorization("unsupported increment statement")
         raise InfeasibleVectorization("unsupported expression statement")
 
-    def _emit_assign(self, expr: ast.Assign, mask: Optional[str]) -> None:
+    def _emit_assign(self, expr: ast.Assign, mask: str | None) -> None:
         target = expr.target
         if isinstance(target, ast.Identifier):
             self._emit_scalar_assign(target.name, expr, mask)
@@ -640,7 +639,7 @@ class _VectorBodyBuilder:
             return
         raise InfeasibleVectorization("unsupported assignment target")
 
-    def _emit_scalar_assign(self, name: str, expr: ast.Assign, mask: Optional[str]) -> None:
+    def _emit_scalar_assign(self, name: str, expr: ast.Assign, mask: str | None) -> None:
         if name in self.inductions:
             if mask is not None:
                 raise InfeasibleVectorization("conditional induction update (packing)")
@@ -660,7 +659,7 @@ class _VectorBodyBuilder:
             return
         raise InfeasibleVectorization(f"assignment to unsupported scalar {name!r}")
 
-    def _emit_reduction_update(self, name: str, expr: ast.Assign, mask: Optional[str]) -> None:
+    def _emit_reduction_update(self, name: str, expr: ast.Assign, mask: str | None) -> None:
         operation = self.reduction_ops[name]
         acc = self._accumulator(name)
         if operation == "+" and expr.op in ("+=",):
@@ -705,7 +704,7 @@ class _VectorBodyBuilder:
         value = self._vectorize_value(expr.value)
         return self._emit_value("t", _call(intrinsic, _ident(current), _ident(value)))
 
-    def _emit_array_assign(self, target: ast.ArrayRef, expr: ast.Assign, mask: Optional[str]) -> None:
+    def _emit_array_assign(self, target: ast.ArrayRef, expr: ast.Assign, mask: str | None) -> None:
         array = target.base.name if isinstance(target.base, ast.Identifier) else None
         if array is None:
             raise InfeasibleVectorization("store through a computed base pointer")
@@ -995,7 +994,7 @@ def vectorize_kernel(func: ast.FunctionDef,
                      *,
                      epilogue: str | None = None,
                      masked_epilogue: bool | None = None,
-                     predicated_loop: bool | None = None) -> Optional[VectorizationResult]:
+                     predicated_loop: bool | None = None) -> VectorizationResult | None:
     """Plan and generate SIMD code for ``func`` on ``target`` (default AVX2);
     returns None when infeasible.  ``epilogue`` selects the tail strategy:
     ``"scalar"`` (the default remainder loop), ``"masked"`` (one masked tail

@@ -110,11 +110,8 @@ def _rewrite_one_diamond(stmts: list[ast.Stmt]) -> tuple[list[ast.Stmt], bool]:
 
 
 def _contains_goto(stmts: list[ast.Stmt]) -> bool:
-    for stmt in stmts:
-        for node in ast.walk(stmt):
-            if isinstance(node, (ast.Goto, ast.Label)):
-                return True
-    return False
+    return any(isinstance(node, (ast.Goto, ast.Label))
+               for stmt in stmts for node in ast.walk(stmt))
 
 
 def _is_empty(stmt: ast.Stmt) -> bool:

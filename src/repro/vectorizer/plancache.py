@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.cfront.cparser import parse_function
 from repro.targets import TargetISA, get_target
@@ -70,12 +70,12 @@ _capacity = DEFAULT_CAPACITY
 _PARSE_CACHE: dict[str, "ast.FunctionDef"] = {}
 _PARSE_FAIL_CACHE: dict[str, Exception] = {}
 _PLAN_CACHE: dict[tuple[str, str, str], "VectorizationPlan"] = {}
-_VECTORIZE_CACHE: dict[tuple[str, str, str], "Optional[VectorizationResult]"] = {}
+_VECTORIZE_CACHE: dict[tuple[str, str, str], "VectorizationResult | None"] = {}
 
 
 def source_key(source: str) -> str:
     """The content address of one piece of C source text."""
-    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return hashlib.sha256(source.encode()).hexdigest()
 
 
 def plan_fingerprint(source: str, target: "TargetISA | str | None",
@@ -186,7 +186,7 @@ def cached_plan(source: str, func: "ast.FunctionDef | None" = None,
 
 def cached_vectorize(source: str, func: "ast.FunctionDef | None" = None,
                      target: "TargetISA | str | None" = None,
-                     epilogue: str = "scalar") -> "Optional[VectorizationResult]":
+                     epilogue: str = "scalar") -> "VectorizationResult | None":
     """Plan + generate at most once per (source, target, epilogue) triple.
 
     ``func`` is the already-parsed AST of ``source`` when the caller has one

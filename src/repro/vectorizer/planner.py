@@ -22,7 +22,6 @@ from __future__ import annotations
 import enum
 import warnings
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.analysis.accesses import affine_index
 from repro.analysis.features import KernelFeatures, analyze_kernel
@@ -150,10 +149,10 @@ class VectorizationPlan:
     """Everything code generation needs to rewrite the loop."""
 
     feasible: bool
-    strategy: Optional[Strategy] = None
-    reason: Optional[RejectionReason] = None
-    features: Optional[KernelFeatures] = None
-    normalized_body: Optional[ast.Stmt] = None
+    strategy: Strategy | None = None
+    reason: RejectionReason | None = None
+    features: KernelFeatures | None = None
+    normalized_body: ast.Stmt | None = None
     reductions: list[ReductionInfo] = field(default_factory=list)
     inductions: list[InductionInfo] = field(default_factory=list)
     has_conditionals: bool = False
@@ -196,7 +195,7 @@ class VectorizationPlan:
         return text
 
 
-def _reject(reason: RejectionReason, features: Optional[KernelFeatures] = None,
+def _reject(reason: RejectionReason, features: KernelFeatures | None = None,
             target: TargetISA = DEFAULT_TARGET,
             dtype: LaneType = DEFAULT_LANE_TYPE) -> VectorizationPlan:
     return VectorizationPlan(feasible=False, reason=reason, features=features,
@@ -321,7 +320,7 @@ class _BodyChecker:
         self.writes: list[tuple[str, int]] = []      # (array, offset)
         self.reads: list[tuple[str, int]] = []       # (array, offset), affine only
         self.invariant_reads: dict[str, bool] = {}   # array -> read at invariant index
-        self.rejection: Optional[RejectionReason] = None
+        self.rejection: RejectionReason | None = None
 
     # -- public -----------------------------------------------------------------
 
@@ -639,7 +638,7 @@ class _BodyChecker:
         # A bare value used as a condition (``if (b[i])``).
         self._check_value_expr(expr)
 
-    def _induction_index(self, expr: ast.Expr) -> Optional[str]:
+    def _induction_index(self, expr: ast.Expr) -> str | None:
         """Return the induction variable name if ``expr`` is ``var`` or ``var +/- const``."""
         if isinstance(expr, ast.Identifier) and expr.name in self.inductions:
             return expr.name
@@ -692,7 +691,7 @@ class _BodyChecker:
         # the induction update is unconditional (checked at record time).
 
 
-def _constant_of(expr: ast.Expr) -> Optional[int]:
+def _constant_of(expr: ast.Expr) -> int | None:
     if isinstance(expr, ast.IntLiteral):
         return expr.value
     if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(expr.operand, ast.IntLiteral):
@@ -716,7 +715,7 @@ def _is_simple_accumulation(expr: ast.Expr, name: str) -> bool:
     return False
 
 
-def _array_name(expr: ast.Expr) -> Optional[str]:
+def _array_name(expr: ast.Expr) -> str | None:
     if isinstance(expr, ast.Identifier):
         return expr.name
     return None

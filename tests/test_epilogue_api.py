@@ -40,14 +40,14 @@ class TestResolveEpilogue:
             assert resolve_epilogue(**flags) == expected
 
     def test_both_flags_true_still_conflict(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="mutually"):
-                resolve_epilogue(masked_epilogue=True, predicated_loop=True)
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="mutually"):
+            resolve_epilogue(masked_epilogue=True, predicated_loop=True)
 
     def test_new_spelling_conflicting_with_flag_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="conflicting"):
-                resolve_epilogue("masked", predicated_loop=True)
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="conflicting"):
+            resolve_epilogue("masked", predicated_loop=True)
 
     def test_new_spelling_agreeing_with_flag_is_allowed(self):
         with pytest.warns(DeprecationWarning):

@@ -41,12 +41,16 @@ class TestVerdict:
     def test_final_verdicts(self):
         assert Verdict.EQUIVALENT.is_final
         assert Verdict.NOT_EQUIVALENT.is_final
+        assert Verdict.STATIC_REJECT.is_final
         assert not Verdict.PLAUSIBLE.is_final
         assert not Verdict.INCONCLUSIVE.is_final
 
     def test_values_match_paper_vocabulary(self):
+        # The paper's four verdicts plus the static vetter's screen-mode
+        # refutation (a candidate rejected before any execution).
         assert {v.value for v in Verdict} == {
-            "plausible", "equivalent", "not_equivalent", "inconclusive"}
+            "plausible", "equivalent", "not_equivalent", "inconclusive",
+            "static_reject"}
 
     @pytest.mark.parametrize("verdict", list(Verdict))
     def test_round_trip_through_value(self, verdict):
